@@ -1,0 +1,41 @@
+//! Wall-clock cost of Section 6 run-time detection (candidate
+//! recovery + full verification sweep).
+
+use bmmc::catalog;
+use bmmc::detect::{detect_bmmc, load_target_vector};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdm::Geometry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_detection(c: &mut Criterion) {
+    let geom = Geometry::new(1 << 16, 1 << 4, 1 << 3, 1 << 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let perm = catalog::random_bmmc(&mut rng, geom.n());
+    let targets = perm.target_vector();
+
+    let mut group = c.benchmark_group("detection");
+    group.throughput(Throughput::Elements(geom.records() as u64));
+    group.sample_size(20);
+    group.bench_function("positive_2^16", |b| {
+        b.iter_batched(
+            || load_target_vector(geom, &targets),
+            |mut sys| detect_bmmc(&mut sys, 0).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    // Negative case: early exit is nearly free.
+    let mut corrupted = targets.clone();
+    corrupted.swap(1, 2);
+    group.bench_function("negative_2^16", |b| {
+        b.iter_batched(
+            || load_target_vector(geom, &corrupted),
+            |mut sys| detect_bmmc(&mut sys, 0).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

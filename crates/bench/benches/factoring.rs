@@ -1,0 +1,27 @@
+//! Wall-clock cost of the Section 5 factoring — the paper's "on-line"
+//! claim: all matrix work is polynomial in lg N (O(lg³ N)), so
+//! factoring must be microseconds even for petabyte-scale N.
+
+use bmmc::{catalog, factor};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_factoring(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("factoring");
+    // n = 40 ⇒ N = 2^40 records (a terabyte-scale address space);
+    // the factoring cost depends only on n.
+    for (n, b, m) in [(16usize, 4usize, 10usize), (28, 6, 16), (40, 8, 24)] {
+        let perm = catalog::random_bmmc(&mut rng, n);
+        group.bench_with_input(
+            BenchmarkId::new("factor", format!("n{n}")),
+            &perm,
+            |bch, perm| bch.iter(|| factor(black_box(perm), b, m).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factoring);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Wall-clock benchmarks for the GF(2) substrate: elimination, inverse,
+//! products, and the bit-packed vs byte-table evaluator ablation
+//! (DESIGN.md "Bit-packed vs bool-matrix GF(2) ops").
+
+use bmmc::{catalog, AffineEvaluator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf2::elim::{inverse, rank};
+use gf2::sample::random_nonsingular;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_elimination(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("gf2");
+    for n in [16usize, 32, 64] {
+        let a = random_nonsingular(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("rank", n), &a, |b, a| {
+            b.iter(|| rank(black_box(a)))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &a, |b, a| {
+            b.iter(|| inverse(black_box(a)).unwrap())
+        });
+        let bm = random_nonsingular(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("mul", n), &(a.clone(), bm), |b, (x, y)| {
+            b.iter(|| x.mul(black_box(y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 24usize;
+    let perm = catalog::random_bmmc(&mut rng, n);
+    let ev = AffineEvaluator::new(&perm);
+    let mut group = c.benchmark_group("affine_eval");
+    // Ablation: generic bit-matrix path vs the byte-table evaluator.
+    group.bench_function("matrix_mul_vec", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for x in 0..1024u64 {
+                acc ^= perm.target(black_box(x));
+            }
+            acc
+        })
+    });
+    group.bench_function("byte_tables", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for x in 0..1024u64 {
+                acc ^= ev.eval(black_box(x));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_elimination, bench_evaluator);
+criterion_main!(benches);

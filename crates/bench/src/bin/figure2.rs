@@ -1,0 +1,54 @@
+//! Regenerates **Figure 2** of the paper: parsing the address
+//! `x = (x_0 … x_{n−1})` with n = 13, b = 3, d = 4, m = 8, s = 6, and
+//! verifies every field extractor against exhaustive enumeration.
+//!
+//! ```text
+//! cargo run --release -p bmmc-bench --bin figure2
+//! ```
+
+use pdm::Layout;
+
+fn main() {
+    let (b, d, m, n) = (3u32, 4u32, 8u32, 13u32);
+    let l = Layout::from_bits(b, d, m, n);
+    println!("Figure 2: n = {n}, b = {b}, d = {d}, m = {m}, s = {}\n", l.s());
+
+    // Draw the field map, least significant bit first as in the paper.
+    let mut fields = vec![String::new(); n as usize];
+    for (i, f) in fields.iter_mut().enumerate() {
+        let i = i as u32;
+        *f = format!("x{i}:");
+        if i < b {
+            f.push_str(" offset");
+        } else if i < b + d {
+            f.push_str(" disk");
+        } else {
+            f.push_str(" stripe");
+        }
+        if i >= b && i < m {
+            f.push_str(" | relative-block");
+        }
+        if i >= m {
+            f.push_str(" | memoryload");
+        }
+    }
+    for f in &fields {
+        println!("  {f}");
+    }
+
+    // Exhaustive verification of the field decomposition.
+    for x in 0..(1u64 << n) {
+        assert_eq!(l.offset(x), x & 0b111);
+        assert_eq!(l.disk(x), (x >> 3) & 0b1111);
+        assert_eq!(l.stripe(x), x >> 7);
+        assert_eq!(l.relative_block(x), (x >> 3) & 0b11111);
+        assert_eq!(l.memoryload(x), x >> 8);
+        assert_eq!(l.compose(l.offset(x), l.disk(x), l.stripe(x)), x);
+    }
+    println!(
+        "\nverified all 2^{n} addresses: offset = bits 0..{b}, disk = bits {b}..{}, \
+         stripe = bits {}..{n}, relative block = bits {b}..{m}, memoryload = bits {m}..{n}",
+        b + d,
+        b + d
+    );
+}

@@ -1,0 +1,77 @@
+//! The general-permutation crossover (Section 1: "When rank γ is low,
+//! this method is an improvement over the general-permutation
+//! bound"): measured I/Os of the BMMC algorithm vs the executable
+//! external-sort baseline, sweeping rank γ to locate the crossover.
+//!
+//! ```text
+//! cargo run --release -p bmmc-bench --bin general_crossover
+//! ```
+
+use bmmc::{bounds, Bmmc};
+use bmmc_bench::{geom_label, measure_bmmc, Table};
+use extsort::general_permute;
+use gf2::sample::random_with_submatrix_rank;
+use pdm::{DiskSystem, Geometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    // Small lg(M/B) = 4 keeps multi-pass BMMC instances possible while
+    // leaving the sort baseline enough memory to merge (fan-in 3).
+    let geom = Geometry::new(1 << 18, 1 << 6, 1 << 2, 1 << 10).unwrap();
+    let sort_ios = bounds::merge_sort_ios(&geom).expect("geometry can merge");
+    println!(
+        "Crossover sweep @ {}   lg(M/B) = {}, sort baseline = {} I/Os\n",
+        geom_label(&geom),
+        geom.lg_mb(),
+        sort_ios
+    );
+    let mut t = Table::new(&[
+        "rank γ",
+        "BMMC measured",
+        "sort measured",
+        "winner",
+        "factor",
+    ]);
+    let (n, b) = (geom.n(), geom.b());
+    let mut crossover: Option<usize> = None;
+    for r in 0..=b.min(n - b) {
+        let a = random_with_submatrix_rank(&mut rng, n, b, r);
+        let perm = Bmmc::linear(a).unwrap();
+        let bmmc_meas = measure_bmmc(geom, &perm).ios.parallel_ios();
+
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+        sys.load_records(0, &(0..geom.records() as u64).collect::<Vec<_>>());
+        let sort_rep = general_permute(&mut sys, |&x| x, |x| perm.target(x)).unwrap();
+        let sort_meas = sort_rep.total.parallel_ios();
+
+        let (winner, factor) = if bmmc_meas <= sort_meas {
+            ("BMMC", sort_meas as f64 / bmmc_meas as f64)
+        } else {
+            if crossover.is_none() {
+                crossover = Some(r);
+            }
+            ("sort", bmmc_meas as f64 / sort_meas as f64)
+        };
+        t.row(&[
+            r.to_string(),
+            bmmc_meas.to_string(),
+            sort_meas.to_string(),
+            winner.into(),
+            format!("{factor:.2}x"),
+        ]);
+    }
+    t.print();
+    match crossover {
+        Some(r) => println!(
+            "\ncrossover at rank γ = {r}: below it the BMMC algorithm wins, above it \
+             general sorting is competitive — exactly the paper's low-rank claim."
+        ),
+        None => println!(
+            "\nthe BMMC algorithm won at every rank (it is asymptotically optimal, so \
+             it can only converge toward — never lose to — the sorting baseline as \
+             rank γ approaches its maximum; the low-rank gap is the paper's claim)."
+        ),
+    }
+}

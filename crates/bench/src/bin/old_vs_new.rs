@@ -1,0 +1,72 @@
+//! The old-vs-new comparison (Section 1 + Conclusion): the BMMC bound
+//! of Cormen \[4\] — `2N/BD·(2⌈(lgM−r)/lg(M/B)⌉ + H(N,M,B))` — against
+//! Theorem 21, across the three regimes of `H` (eq. 1), with the
+//! measured cost of this implementation alongside.
+//!
+//! ```text
+//! cargo run --release -p bmmc-bench --bin old_vs_new
+//! ```
+
+use bmmc::{bounds, catalog};
+use bmmc_bench::{geom_label, measure_bmmc, Table};
+use gf2::elim::rank;
+use pdm::Geometry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    // Fixed N = 2^18, B = 2^4, D = 2^2; sweep M to cross the three H
+    // regimes: M ≤ √N (m ≤ 9), √N < M < √(NB) (9 < m < 11), √(NB) ≤ M.
+    let mut t = Table::new(&[
+        "geometry",
+        "H regime",
+        "H",
+        "old bound I/Os",
+        "new bound I/Os",
+        "measured I/Os",
+        "old/new",
+    ]);
+    for m_exp in [8usize, 10, 12, 14] {
+        let geom = Geometry::new(1 << 18, 1 << 4, 1 << 2, 1 << m_exp).unwrap();
+        let regime = if 2 * geom.m() <= geom.n() {
+            "M ≤ √N"
+        } else if 2 * geom.m() < geom.n() + geom.b() {
+            "√N < M < √(NB)"
+        } else {
+            "√(NB) ≤ M"
+        };
+        let mut old_sum = 0u64;
+        let mut new_sum = 0u64;
+        let mut meas_sum = 0u64;
+        let trials = 3;
+        for _ in 0..trials {
+            let perm = catalog::random_bmmc(&mut rng, geom.n());
+            let r_lead = rank(&perm.matrix().submatrix(0..geom.m(), 0..geom.m()));
+            let r_gamma = rank(&perm.matrix().submatrix(geom.b()..geom.n(), 0..geom.b()));
+            old_sum += bounds::old_bmmc_upper(&geom, r_lead);
+            new_sum += bounds::theorem21_upper(&geom, r_gamma);
+            meas_sum += measure_bmmc(geom, &perm).ios.parallel_ios();
+        }
+        let (old, new, meas) = (
+            old_sum / trials,
+            new_sum / trials,
+            meas_sum / trials,
+        );
+        t.row(&[
+            geom_label(&geom),
+            regime.into(),
+            bounds::h_function(&geom).to_string(),
+            old.to_string(),
+            new.to_string(),
+            meas.to_string(),
+            format!("{:.1}x", old as f64 / new as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nThe paper's claim (Section 1): the Ω(N/BD·H) additive term of the old bound \
+         is unnecessary — the new bound removes it in every regime, and the measured \
+         cost tracks the new bound."
+    );
+}

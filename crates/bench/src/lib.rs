@@ -1,0 +1,140 @@
+//! Shared helpers for the table/figure regenerators and criterion
+//! benches: canonical geometries, measurement wrappers, and plain-text
+//! table formatting.
+
+use bmmc::algorithm::perform_bmmc;
+use bmmc::passes::reference_permute;
+use bmmc::Bmmc;
+use pdm::{DiskSystem, Geometry, IoStats};
+
+/// The paper's Figure 2 geometry: n=13, b=3, d=4, m=8.
+pub fn fig2_geometry() -> Geometry {
+    Geometry::new(1 << 13, 1 << 3, 1 << 4, 1 << 8).unwrap()
+}
+
+/// A laptop-scale default geometry for the experiments:
+/// N=2^16, B=2^4, D=2^3, M=2^10.
+pub fn default_geometry() -> Geometry {
+    Geometry::new(1 << 16, 1 << 4, 1 << 3, 1 << 10).unwrap()
+}
+
+/// Measured outcome of performing one permutation.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Passes executed.
+    pub passes: usize,
+    /// Total I/O.
+    pub ios: IoStats,
+}
+
+/// Runs `perm` on a fresh memory-backed system with identity-tagged
+/// `u64` records, verifies the final placement, and returns the
+/// measured cost.
+pub fn measure_bmmc(geom: Geometry, perm: &Bmmc) -> Measured {
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+    let input: Vec<u64> = (0..geom.records() as u64).collect();
+    sys.load_records(0, &input);
+    let report = perform_bmmc(&mut sys, perm).expect("perform_bmmc failed");
+    let expect = reference_permute(&input, |x| perm.target(x));
+    assert_eq!(
+        sys.dump_records(report.final_portion),
+        expect,
+        "verification failed while measuring"
+    );
+    Measured {
+        passes: report.num_passes(),
+        ios: report.total,
+    }
+}
+
+/// A minimal fixed-width table printer for the regenerator binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Pretty geometry label like `N=2^16 B=2^4 D=2^3 M=2^10`.
+pub fn geom_label(g: &Geometry) -> String {
+    format!(
+        "N=2^{} B=2^{} D=2^{} M=2^{}",
+        g.n(),
+        g.b(),
+        g.d(),
+        g.m()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmmc::catalog;
+
+    #[test]
+    fn measure_runs_and_verifies() {
+        let g = Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap();
+        let m = measure_bmmc(g, &catalog::bit_reversal(g.n()));
+        assert!(m.passes >= 1);
+        assert!(m.ios.parallel_ios() > 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("long_header"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! The BMMC permutation type: `y = A x ⊕ c` over GF(2).
+
+use crate::error::{BmmcError, Result};
+use gf2::elim::{inverse, is_nonsingular};
+use gf2::{BitMatrix, BitVec};
+
+/// A bit-matrix-multiply/complement permutation on `2^n` records.
+///
+/// The permutation maps an `n`-bit source address `x` to the target
+/// address `y = A x ⊕ c`, where the characteristic matrix `A` is
+/// `n x n` and nonsingular over GF(2) and `c` is the complement
+/// vector. (Paper, Section 1; Edelman–Heller–Johnsson call these
+/// *affine transformations*.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bmmc {
+    a: BitMatrix,
+    c: BitVec,
+}
+
+impl Bmmc {
+    /// Builds a BMMC permutation, validating that `A` is square,
+    /// nonsingular, and dimensioned consistently with `c`.
+    pub fn new(a: BitMatrix, c: BitVec) -> Result<Self> {
+        if !a.is_square() {
+            return Err(BmmcError::Dimension(format!(
+                "characteristic matrix is {}x{}, not square",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if c.len() != a.rows() {
+            return Err(BmmcError::Dimension(format!(
+                "complement vector has {} bits for a {}x{} matrix",
+                c.len(),
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if !is_nonsingular(&a) {
+            return Err(BmmcError::Singular);
+        }
+        Ok(Bmmc { a, c })
+    }
+
+    /// A BMMC permutation with zero complement vector (the paper's
+    /// "linear" case).
+    pub fn linear(a: BitMatrix) -> Result<Self> {
+        let n = a.rows();
+        Self::new(a, BitVec::zeros(n))
+    }
+
+    /// The identity permutation on `n`-bit addresses.
+    pub fn identity(n: usize) -> Self {
+        Bmmc {
+            a: BitMatrix::identity(n),
+            c: BitVec::zeros(n),
+        }
+    }
+
+    /// Address width `n = lg N`.
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// The characteristic matrix `A`.
+    #[inline]
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.a
+    }
+
+    /// The complement vector `c`.
+    #[inline]
+    pub fn complement(&self) -> &BitVec {
+        &self.c
+    }
+
+    /// True if this is the identity permutation (`A = I`, `c = 0`),
+    /// the one input excluded by the universal lower bound.
+    pub fn is_identity(&self) -> bool {
+        self.a.is_identity() && self.c.is_zero()
+    }
+
+    /// Applies the permutation to one address (as a bit vector).
+    pub fn apply(&self, x: &BitVec) -> BitVec {
+        let mut y = self.a.mul_vec(x);
+        y.xor_assign(&self.c);
+        y
+    }
+
+    /// Applies the permutation to one address (as an integer).
+    ///
+    /// # Panics
+    /// Panics if `x` has bits at or above position `n`.
+    pub fn target(&self, x: u64) -> u64 {
+        self.apply(&BitVec::from_u64(self.bits(), x)).as_u64()
+    }
+
+    /// The composition `self ∘ other` (apply `other` first):
+    /// by Lemma 1, `x ↦ A_self (A_other x ⊕ c_other) ⊕ c_self
+    /// = (A_self A_other) x ⊕ (A_self c_other ⊕ c_self)`.
+    pub fn compose(&self, other: &Bmmc) -> Bmmc {
+        assert_eq!(self.bits(), other.bits(), "compose width mismatch");
+        let a = self.a.mul(&other.a);
+        let mut c = self.a.mul_vec(&other.c);
+        c.xor_assign(&self.c);
+        Bmmc { a, c }
+    }
+
+    /// The inverse permutation: `x = A⁻¹ y ⊕ A⁻¹ c`.
+    pub fn inverse(&self) -> Bmmc {
+        let ainv = inverse(&self.a).expect("matrix validated nonsingular at construction");
+        let c = ainv.mul_vec(&self.c);
+        Bmmc { a: ainv, c }
+    }
+
+    /// Enumerates the full target vector: element `x` is `target(x)`.
+    /// Only sensible for small `n`; experiments use the fast
+    /// [`crate::eval::AffineEvaluator`] instead.
+    pub fn target_vector(&self) -> Vec<u64> {
+        let n = self.bits();
+        assert!(n <= 30, "target_vector would allocate 2^{n} entries");
+        (0..(1u64 << n)).map(|x| self.target(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: &str) -> BitMatrix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = m("11; 11");
+        assert_eq!(
+            Bmmc::linear(a).unwrap_err(),
+            BmmcError::Singular
+        );
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let a = m("10; 01; 11");
+        assert!(matches!(Bmmc::linear(a), Err(BmmcError::Dimension(_))));
+        let a = BitMatrix::identity(3);
+        assert!(matches!(
+            Bmmc::new(a, BitVec::zeros(2)),
+            Err(BmmcError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn identity_fixes_everything() {
+        let id = Bmmc::identity(5);
+        assert!(id.is_identity());
+        for x in 0..32 {
+            assert_eq!(id.target(x), x);
+        }
+    }
+
+    #[test]
+    fn complement_only_is_xor() {
+        let n = 4;
+        let c = BitVec::from_u64(n, 0b1010);
+        let p = Bmmc::new(BitMatrix::identity(n), c).unwrap();
+        for x in 0..16u64 {
+            assert_eq!(p.target(x), x ^ 0b1010);
+        }
+        assert!(!p.is_identity());
+    }
+
+    #[test]
+    fn target_is_bijection() {
+        let a = m("110; 011; 111");
+        let p = Bmmc::new(a, BitVec::from_u64(3, 0b101)).unwrap();
+        let mut seen = [false; 8];
+        for x in 0..8u64 {
+            let y = p.target(x) as usize;
+            assert!(!seen[y], "collision at {y}");
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let p1 = Bmmc::new(m("110; 011; 111"), BitVec::from_u64(3, 0b001)).unwrap();
+        let p2 = Bmmc::new(m("101; 010; 011"), BitVec::from_u64(3, 0b100)).unwrap();
+        let comp = p2.compose(&p1);
+        for x in 0..8u64 {
+            assert_eq!(comp.target(x), p2.target(p1.target(x)));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = Bmmc::new(m("110; 011; 111"), BitVec::from_u64(3, 0b011)).unwrap();
+        let inv = p.inverse();
+        for x in 0..8u64 {
+            assert_eq!(inv.target(p.target(x)), x);
+            assert_eq!(p.target(inv.target(x)), x);
+        }
+        assert!(p.compose(&inv).is_identity());
+        assert!(inv.compose(&p).is_identity());
+    }
+
+    #[test]
+    fn target_vector_enumerates() {
+        let p = Bmmc::new(BitMatrix::identity(3), BitVec::from_u64(3, 0b111)).unwrap();
+        assert_eq!(p.target_vector(), vec![7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn lemma1_composition_is_matrix_product() {
+        // With zero complements, compose(Z, Y) has matrix Z·Y.
+        let z = Bmmc::linear(m("110; 011; 111")).unwrap();
+        let y = Bmmc::linear(m("101; 010; 011")).unwrap();
+        let comp = z.compose(&y);
+        assert_eq!(*comp.matrix(), z.matrix().mul(y.matrix()));
+        assert!(comp.complement().is_zero());
+    }
+}

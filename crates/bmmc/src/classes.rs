@@ -1,0 +1,228 @@
+//! Permutation subclasses: BPC, MRC, MLD, and their predicates.
+//!
+//! All predicates take the characteristic matrix together with the
+//! relevant boundary logarithms (`b = lg B`, `m = lg M`), matching the
+//! paper's block decompositions:
+//!
+//! * **BPC** — `A` is a permutation matrix (Table 1).
+//! * **MRC** — leading `m x m` and trailing `(n−m) x (n−m)` submatrices
+//!   nonsingular, lower-left `(n−m) x m` zero (Table 1). One pass.
+//! * **MLD** — `A` nonsingular with the *kernel condition* (eq. 4)
+//!   `ker α ⊆ ker δ`, where `α = A_{b..m−1, 0..m−1}` and
+//!   `δ = A_{m..n−1, 0..m−1}`. One pass with striped reads and
+//!   independent writes (Section 3).
+
+use gf2::elim::is_nonsingular;
+use gf2::kernel::kernel_contained_in;
+use gf2::perm::is_permutation_matrix;
+use gf2::BitMatrix;
+
+/// True if `a` characterizes a BMMC permutation: square and
+/// nonsingular over GF(2).
+pub fn is_bmmc(a: &BitMatrix) -> bool {
+    is_nonsingular(a)
+}
+
+/// True if `a` characterizes a BPC permutation: a permutation matrix.
+pub fn is_bpc(a: &BitMatrix) -> bool {
+    is_permutation_matrix(a)
+}
+
+/// True if `a` characterizes an MRC permutation at memory boundary `m`:
+///
+/// ```text
+///        m      n−m
+///   [ nonsing  arbitrary ]  m
+///   [    0     nonsing   ]  n−m
+/// ```
+pub fn is_mrc(a: &BitMatrix, m: usize) -> bool {
+    let n = a.rows();
+    if !a.is_square() || m > n {
+        return false;
+    }
+    a.submatrix(m..n, 0..m).is_zero()
+        && is_nonsingular(&a.submatrix(0..m, 0..m))
+        && is_nonsingular(&a.submatrix(m..n, m..n))
+}
+
+/// True if `a` characterizes an MLD permutation at boundaries `b ≤ m`:
+/// nonsingular and `ker α ⊆ ker δ` (eq. 4). Uses the two-step check of
+/// Section 6: compute a basis of `ker α` and verify `δ` annihilates it.
+pub fn is_mld(a: &BitMatrix, b: usize, m: usize) -> bool {
+    let n = a.rows();
+    if !a.is_square() || b > m || m > n {
+        return false;
+    }
+    if !is_nonsingular(a) {
+        return false;
+    }
+    let alpha = a.submatrix(b..m, 0..m);
+    let delta = a.submatrix(m..n, 0..m);
+    kernel_contained_in(&alpha, &delta)
+}
+
+/// True if `a` is the *inverse* of an MLD permutation — the class the
+/// paper's conclusion points at ("the inverse of any one-pass
+/// permutation is a one-pass permutation"). Such permutations run in
+/// one pass with the mirrored discipline: independent reads, striped
+/// writes (see [`crate::passes`]).
+pub fn is_mld_inverse(a: &BitMatrix, b: usize, m: usize) -> bool {
+    match gf2::elim::inverse(a) {
+        Some(inv) => is_mld(&inv, b, m),
+        None => false,
+    }
+}
+
+/// Class membership flags for one characteristic matrix under a given
+/// `(b, m)` geometry. `mrc ⊆ mld ⊆ bmmc` always holds (Section 3:
+/// "any MRC permutation is an MLD permutation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassFlags {
+    /// Nonsingular over GF(2).
+    pub bmmc: bool,
+    /// Permutation matrix.
+    pub bpc: bool,
+    /// Memory-rearrangement/complement: one pass, striped in and out.
+    pub mrc: bool,
+    /// Memoryload-dispersal: one pass, striped reads, independent
+    /// writes.
+    pub mld: bool,
+    /// Inverse of an MLD permutation: one pass, independent reads,
+    /// striped writes.
+    pub mld_inverse: bool,
+}
+
+/// Classifies a matrix under boundaries `(b, m)`.
+pub fn classify(a: &BitMatrix, b: usize, m: usize) -> ClassFlags {
+    ClassFlags {
+        bmmc: is_bmmc(a),
+        bpc: is_bpc(a),
+        mrc: is_mrc(a, m),
+        mld: is_mld(a, b, m),
+        mld_inverse: is_mld_inverse(a, b, m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::sample::{random_matrix, random_nonsingular};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(s: &str) -> BitMatrix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn identity_is_everything() {
+        let i = BitMatrix::identity(6);
+        let f = classify(&i, 2, 4);
+        assert!(f.bmmc && f.bpc && f.mrc && f.mld && f.mld_inverse);
+    }
+
+    #[test]
+    fn eraser_inverse_is_mld_inverse() {
+        // Erasers are involutions, so they are both MLD and MLD⁻¹.
+        let e = m("100; 010; 011");
+        assert!(is_mld(&e, 1, 2));
+        assert!(is_mld_inverse(&e, 1, 2));
+    }
+
+    #[test]
+    fn mld_inverse_need_not_be_mld() {
+        // Take an MLD matrix that is not MRC; its inverse is MLD⁻¹ but
+        // typically not MLD.
+        use gf2::elim::inverse;
+        let mut rng = StdRng::seed_from_u64(22);
+        let (b, mm, n) = (2usize, 5usize, 9usize);
+        let mut found = false;
+        for _ in 0..100 {
+            let p = crate::catalog::random_mld(&mut rng, n, b, mm);
+            let inv = inverse(p.matrix()).unwrap();
+            if !is_mld(&inv, b, mm) {
+                assert!(is_mld_inverse(&inv, b, mm));
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "every sampled MLD inverse was MLD — class collapse?");
+    }
+
+    #[test]
+    fn mrc_requires_zero_lower_left() {
+        // n=4, m=2. Lower-left nonzero => not MRC.
+        let a = m("1000; 0100; 1010; 0001");
+        assert!(is_bmmc(&a));
+        assert!(!is_mrc(&a, 2));
+        // Zero lower-left, nonsingular blocks => MRC.
+        let b = m("1010; 0110; 0010; 0001");
+        assert!(is_mrc(&b, 2));
+    }
+
+    #[test]
+    fn every_mrc_is_mld() {
+        // Section 3: the lower-left of an MRC matrix is 0, so its
+        // kernel is everything, which contains ker α.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (b, mm, n) = (2, 4, 7);
+        for _ in 0..50 {
+            let mut a = BitMatrix::zeros(n, n);
+            a.set_block(0, 0, &random_nonsingular(&mut rng, mm));
+            a.set_block(mm, mm, &random_nonsingular(&mut rng, n - mm));
+            a.set_block(0, mm, &random_matrix(&mut rng, mm, n - mm));
+            assert!(is_mrc(&a, mm));
+            assert!(is_mld(&a, b, mm), "MRC matrix failed MLD check:\n{a:?}");
+        }
+    }
+
+    #[test]
+    fn eraser_form_is_mld() {
+        // Section 4: the erasure matrix form [I 0 0; 0 I 0; 0 * I] is
+        // MLD. Take b=1, m=2, n=3 and the * = 1.
+        let e = m("100; 010; 011");
+        assert!(is_mld(&e, 1, 2));
+        assert!(!is_mrc(&e, 2));
+    }
+
+    #[test]
+    fn paper_counterexample_not_mld() {
+        // Section 3's MRC·MLD product with reversed order is not MLD
+        // (b = m−b = n−m = 1 ⇒ b=1, m=2, n=3).
+        let product = m("010; 100; 011");
+        assert!(is_bmmc(&product));
+        assert!(!is_bpc(&product)); // it has a 2-one row
+        assert!(!is_mld(&product, 1, 2));
+    }
+
+    #[test]
+    fn singular_is_nothing() {
+        let s = m("11; 11");
+        let f = classify(&s, 1, 1);
+        assert!(!f.bmmc && !f.bpc && !f.mrc && !f.mld);
+    }
+
+    #[test]
+    fn bpc_detection() {
+        let p = gf2::perm::permutation_matrix(&[2, 0, 1, 3]);
+        assert!(is_bpc(&p));
+        assert!(is_bmmc(&p));
+    }
+
+    #[test]
+    fn bpc_crossing_m_is_not_mld() {
+        // A permutation matrix that moves bit 0 across the memory
+        // boundary m=2 cannot be one-pass: swap bits 0 and 2 (n=4).
+        let p = gf2::perm::permutation_matrix(&[2, 1, 0, 3]);
+        assert!(!is_mld(&p, 1, 2));
+        assert!(!is_mrc(&p, 2));
+    }
+
+    #[test]
+    fn bpc_within_sections_is_mrc() {
+        // Permutation that keeps bits within [0,m) and [m,n): one pass.
+        let p = gf2::perm::permutation_matrix(&[1, 0, 3, 2]);
+        assert!(is_mrc(&p, 2));
+        assert!(is_mld(&p, 1, 2));
+    }
+}

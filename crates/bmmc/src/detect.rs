@@ -1,0 +1,413 @@
+//! Run-time BMMC detection (Section 6).
+//!
+//! Given a vector of `N` target addresses stored on the disk system
+//! (the record at source address `x` holds `π(x)`), decide whether `π`
+//! is BMMC — and recover `(A, c)` if so — in at most
+//! `N/BD + ⌈(lg(N/B)+1)/D⌉` parallel reads.
+//!
+//! The candidate is forced: `c` must be `π(0)`, and column `A_k` must
+//! be `π(2^k) ⊕ c` (eq. 20 with `S_k = ∅`). Reading all unit-vector
+//! targets naively would hammer disk `D₀` (every address `2^k` with
+//! `k ≥ b + d` lives there), so the schedule instead reads, in the
+//! *first* parallel I/O, block 0 of disk 0 (giving `c` and the offset
+//! columns), stripe 0 of each power-of-two disk (giving the disk
+//! columns), and stripe `2^t` of each non-power-of-two disk `q` —
+//! decoding stripe columns through eq. (20) using the just-recovered
+//! disk columns of `q`. Each subsequent parallel I/O recovers `D` more
+//! stripe columns the same way. Verification then scans all `N`
+//! addresses in `N/BD` striped reads, stopping at the first mismatch.
+
+use crate::bmmc::Bmmc;
+use crate::error::Result;
+use crate::eval::AffineEvaluator;
+use gf2::{BitMatrix, BitVec};
+use pdm::{BlockRef, DiskSystem};
+
+/// Read counts for the two detection phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Parallel reads spent recovering the candidate `(A, c)`.
+    pub candidate_reads: u64,
+    /// Parallel reads spent verifying (≤ `N/BD`; less on early exit).
+    pub verify_reads: u64,
+}
+
+impl DetectStats {
+    /// Total parallel reads.
+    pub fn total(&self) -> u64 {
+        self.candidate_reads + self.verify_reads
+    }
+}
+
+/// Why a target vector was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotBmmcReason {
+    /// The forced candidate matrix is singular, so no BMMC permutation
+    /// can produce this vector.
+    SingularCandidate,
+    /// Verification found a source address whose stored target
+    /// disagrees with the candidate map.
+    Mismatch {
+        /// The offending source address.
+        address: u64,
+        /// The stored target.
+        stored: u64,
+        /// What the candidate predicts.
+        predicted: u64,
+    },
+}
+
+/// Detection outcome.
+#[derive(Clone, Debug)]
+pub enum Detection {
+    /// The vector is exactly `x ↦ A x ⊕ c`.
+    Bmmc {
+        /// The recovered permutation.
+        perm: Bmmc,
+        /// Parallel-read counts.
+        stats: DetectStats,
+    },
+    /// The vector is not a BMMC permutation.
+    NotBmmc {
+        /// Why it was rejected.
+        reason: NotBmmcReason,
+        /// Parallel-read counts.
+        stats: DetectStats,
+    },
+}
+
+impl Detection {
+    /// The recovered permutation, if BMMC.
+    pub fn bmmc(&self) -> Option<&Bmmc> {
+        match self {
+            Detection::Bmmc { perm, .. } => Some(perm),
+            Detection::NotBmmc { .. } => None,
+        }
+    }
+
+    /// Parallel-read counts for either outcome.
+    pub fn stats(&self) -> DetectStats {
+        match self {
+            Detection::Bmmc { stats, .. } | Detection::NotBmmc { stats, .. } => *stats,
+        }
+    }
+}
+
+/// Runs Section 6 detection on the target vector stored in `portion`
+/// of `sys` (record at address `x` = `π(x)` as a `u64`).
+///
+/// ```
+/// use bmmc::catalog;
+/// use bmmc::detect::{detect_bmmc, load_target_vector};
+/// use pdm::Geometry;
+///
+/// let geom = Geometry::new(1 << 13, 1 << 3, 1 << 4, 1 << 8).unwrap();
+/// let perm = catalog::gray_code(13);
+/// let mut sys = load_target_vector(geom, &perm.target_vector());
+/// let det = detect_bmmc(&mut sys, 0).unwrap();
+/// assert_eq!(det.bmmc().unwrap(), &perm);
+/// assert_eq!(det.stats().total(), 65); // N/BD + ⌈(lg(N/B)+1)/D⌉
+/// ```
+pub fn detect_bmmc(sys: &mut DiskSystem<u64>, portion: usize) -> Result<Detection> {
+    let geom = sys.geometry();
+    let (n, b, d) = (geom.n(), geom.b(), geom.d());
+    let s = geom.s();
+    let disks = geom.disks();
+    let base = sys.portion_base(portion);
+    let before = sys.stats();
+
+    // ---- Phase 1: recover the candidate (A, c).
+    let mut cols = vec![0u64; n]; // column j of A as a target-bit mask
+    let mut c = 0u64;
+
+    // First parallel read: assemble the request list and remember how
+    // to decode each block.
+    enum Decode {
+        /// Block 0 of disk 0: c and the offset columns A_0..A_{b−1}.
+        OffsetBlock,
+        /// Stripe 0 of disk 2^j: the disk column A_{b+j}.
+        DiskColumn(usize),
+        /// Stripe 2^t of disk q: stripe column A_{b+d+t} via eq. (20).
+        StripeColumn { t: usize, q: usize },
+    }
+    let mut refs = vec![BlockRef {
+        disk: 0,
+        slot: base,
+    }];
+    let mut decodes = vec![Decode::OffsetBlock];
+    for j in 0..d {
+        refs.push(BlockRef {
+            disk: 1 << j,
+            slot: base,
+        });
+        decodes.push(Decode::DiskColumn(j));
+    }
+    let mut t = 0usize; // next stripe bit to recover
+    for q in 1..disks {
+        if q.is_power_of_two() {
+            continue;
+        }
+        if t >= s {
+            break;
+        }
+        refs.push(BlockRef {
+            disk: q,
+            slot: base + (1 << t),
+        });
+        decodes.push(Decode::StripeColumn { t, q });
+        t += 1;
+    }
+    let blocks = sys.read_blocks(&refs)?;
+    for (decode, block) in decodes.iter().zip(&blocks) {
+        match *decode {
+            Decode::OffsetBlock => {
+                c = block[0];
+                for k in 0..b {
+                    cols[k] = block[1 << k] ^ c;
+                }
+            }
+            Decode::DiskColumn(j) => {
+                cols[b + j] = block[0] ^ c;
+            }
+            Decode::StripeColumn { t, q } => {
+                cols[b + d + t] = decode_stripe_column(block[0], q, b, &cols, c);
+            }
+        }
+    }
+
+    // Subsequent reads: D more stripe columns each, on arbitrary
+    // distinct disks, decoded through the disk columns.
+    while t < s {
+        let mut refs = Vec::with_capacity(disks);
+        let mut pend = Vec::with_capacity(disks);
+        for q in 0..disks {
+            if t >= s {
+                break;
+            }
+            refs.push(BlockRef {
+                disk: q,
+                slot: base + (1 << t),
+            });
+            pend.push((t, q));
+            t += 1;
+        }
+        let blocks = sys.read_blocks(&refs)?;
+        for ((t, q), block) in pend.into_iter().zip(&blocks) {
+            cols[b + d + t] = decode_stripe_column(block[0], q, b, &cols, c);
+        }
+    }
+    let candidate_reads = sys.stats().since(&before).parallel_reads;
+
+    // Assemble the candidate and check its form.
+    let mut a = BitMatrix::zeros(n, n);
+    for (j, &col) in cols.iter().enumerate() {
+        a.set_column(j, &BitVec::from_u64(n, col));
+    }
+    let perm = match Bmmc::new(a, BitVec::from_u64(n, c)) {
+        Ok(p) => p,
+        Err(_) => {
+            return Ok(Detection::NotBmmc {
+                reason: NotBmmcReason::SingularCandidate,
+                stats: DetectStats {
+                    candidate_reads,
+                    verify_reads: 0,
+                },
+            });
+        }
+    };
+
+    // ---- Phase 2: verify all N addresses with striped reads.
+    let ev = AffineEvaluator::new(&perm);
+    let stripe_len = (geom.block() * disks) as u64;
+    let mid = sys.stats();
+    for slot in 0..geom.stripes() {
+        let stripe = sys.read_stripe(base + slot)?;
+        let start = slot as u64 * stripe_len;
+        for (i, &stored) in stripe.iter().enumerate() {
+            let x = start + i as u64;
+            let predicted = ev.eval(x);
+            if stored != predicted {
+                return Ok(Detection::NotBmmc {
+                    reason: NotBmmcReason::Mismatch {
+                        address: x,
+                        stored,
+                        predicted,
+                    },
+                    stats: DetectStats {
+                        candidate_reads,
+                        verify_reads: sys.stats().since(&mid).parallel_reads,
+                    },
+                });
+            }
+        }
+    }
+    Ok(Detection::Bmmc {
+        perm,
+        stats: DetectStats {
+            candidate_reads,
+            verify_reads: sys.stats().since(&mid).parallel_reads,
+        },
+    })
+}
+
+/// Eq. (20): `A_{b+d+t} = y ⊕ (⊕_{j ∈ bits(q)} A_{b+j}) ⊕ c`, where `y`
+/// is the stored target of the address with stripe field `2^t` and
+/// disk field `q`.
+fn decode_stripe_column(y: u64, q: usize, b: usize, cols: &[u64], c: u64) -> u64 {
+    let mut acc = y ^ c;
+    let mut q = q;
+    let mut j = 0;
+    while q != 0 {
+        if q & 1 == 1 {
+            acc ^= cols[b + j];
+        }
+        q >>= 1;
+        j += 1;
+    }
+    acc
+}
+
+/// Loads a target vector into a fresh memory-backed disk system sized
+/// by `geom` (a convenience for tests and experiments).
+pub fn load_target_vector(
+    geom: pdm::Geometry,
+    targets: &[u64],
+) -> DiskSystem<u64> {
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 1);
+    sys.load_records(0, targets);
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::detection_reads;
+    use crate::catalog;
+    use pdm::Geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Paper Figure 2 geometry: n=13, b=3, d=4, m=8.
+    fn fig2() -> Geometry {
+        Geometry::new(1 << 13, 1 << 3, 1 << 4, 1 << 8).unwrap()
+    }
+
+    fn detect_vector(geom: Geometry, targets: &[u64]) -> Detection {
+        let mut sys = load_target_vector(geom, targets);
+        detect_bmmc(&mut sys, 0).unwrap()
+    }
+
+    #[test]
+    fn recovers_random_bmmc() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g = fig2();
+        for _ in 0..5 {
+            let perm = catalog::random_bmmc(&mut rng, g.n());
+            let det = detect_vector(g, &perm.target_vector());
+            let found = det.bmmc().expect("should detect BMMC");
+            assert_eq!(found, &perm, "recovered wrong (A, c)");
+        }
+    }
+
+    #[test]
+    fn read_count_matches_section6_bound() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = fig2();
+        let perm = catalog::random_bmmc(&mut rng, g.n());
+        let det = detect_vector(g, &perm.target_vector());
+        let stats = det.stats();
+        // Candidate phase: ⌈(lg(N/B)+1)/D⌉ = ⌈11/16⌉ = 1 read.
+        assert_eq!(stats.candidate_reads, 1);
+        assert_eq!(stats.verify_reads as usize, g.stripes());
+        assert_eq!(stats.total(), detection_reads(&g));
+    }
+
+    #[test]
+    fn read_count_single_disk() {
+        let mut rng = StdRng::seed_from_u64(73);
+        // D = 1: candidate needs 1 + s reads = lg(N/B)+1.
+        let g = Geometry::new(1 << 10, 1 << 2, 1, 1 << 6).unwrap();
+        let perm = catalog::random_bmmc(&mut rng, g.n());
+        let det = detect_vector(g, &perm.target_vector());
+        let stats = det.stats();
+        assert_eq!(
+            stats.candidate_reads as usize,
+            g.lg_nb() + 1,
+            "D=1 candidate phase"
+        );
+        assert_eq!(stats.total(), detection_reads(&g));
+        assert_eq!(det.bmmc().unwrap(), &perm);
+    }
+
+    #[test]
+    fn detects_named_permutations() {
+        let g = fig2();
+        for perm in [
+            catalog::bit_reversal(g.n()),
+            catalog::gray_code(g.n()),
+            catalog::vector_reversal(g.n()),
+            catalog::transpose(g.n(), 5),
+        ] {
+            let det = detect_vector(g, &perm.target_vector());
+            assert_eq!(det.bmmc().expect("named perm is BMMC"), &perm);
+        }
+    }
+
+    #[test]
+    fn rejects_non_bmmc_permutation() {
+        let g = fig2();
+        // A permutation that is NOT affine: swap two records only.
+        let mut targets: Vec<u64> = (0..g.records() as u64).collect();
+        targets.swap(5, 9);
+        let det = detect_vector(g, &targets);
+        match det {
+            Detection::NotBmmc { reason, stats } => {
+                assert!(matches!(reason, NotBmmcReason::Mismatch { .. }));
+                assert!(stats.total() <= detection_reads(&g));
+            }
+            Detection::Bmmc { .. } => panic!("swap of two records detected as BMMC"),
+        }
+    }
+
+    #[test]
+    fn rejects_singular_candidate_cheaply() {
+        let g = fig2();
+        // Constant-0 "targets": candidate c = 0 and every column 0 →
+        // singular, rejected with zero verification reads.
+        let targets = vec![0u64; g.records()];
+        let det = detect_vector(g, &targets);
+        match det {
+            Detection::NotBmmc { reason, stats } => {
+                assert_eq!(reason, NotBmmcReason::SingularCandidate);
+                assert_eq!(stats.verify_reads, 0);
+            }
+            Detection::Bmmc { .. } => panic!("constant vector detected as BMMC"),
+        }
+    }
+
+    #[test]
+    fn early_exit_on_late_mismatch_counts_partial_reads() {
+        let g = fig2();
+        let perm = catalog::gray_code(g.n());
+        let mut targets = perm.target_vector();
+        // Corrupt one entry near the middle.
+        let at = g.records() / 2 + 3;
+        targets[at] ^= 1;
+        let det = detect_vector(g, &targets);
+        match det {
+            Detection::NotBmmc { reason, stats } => {
+                assert!(matches!(reason, NotBmmcReason::Mismatch { .. }));
+                assert!(stats.verify_reads < g.stripes() as u64);
+            }
+            Detection::Bmmc { .. } => panic!("corrupted vector detected as BMMC"),
+        }
+    }
+
+    #[test]
+    fn identity_is_detected() {
+        let g = fig2();
+        let targets: Vec<u64> = (0..g.records() as u64).collect();
+        let det = detect_vector(g, &targets);
+        assert!(det.bmmc().unwrap().is_identity());
+    }
+}

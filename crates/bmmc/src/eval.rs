@@ -1,0 +1,125 @@
+//! Fast evaluation of `y = A x ⊕ c` for `n ≤ 64`.
+//!
+//! The executors apply the affine map to every one of up to `2^n`
+//! addresses, so the generic bit-matrix product is the hot path of the
+//! whole simulator. [`AffineEvaluator`] precomputes, for each byte
+//! position of the input, a 256-entry table of the XOR of the matrix
+//! columns selected by that byte. Evaluating an address is then
+//! `⌈n/8⌉` table lookups and XORs — no per-bit branching.
+
+use crate::bmmc::Bmmc;
+
+/// Precomputed byte-sliced evaluator for a BMMC permutation.
+#[derive(Clone)]
+pub struct AffineEvaluator {
+    n: u32,
+    c: u64,
+    /// `tables[k][byte]` = XOR of columns `8k .. 8k+8` of `A` selected
+    /// by the bits of `byte`, each column packed as a `u64` target mask.
+    tables: Vec<[u64; 256]>,
+}
+
+impl AffineEvaluator {
+    /// Builds the evaluator. The permutation must act on at most 64
+    /// address bits (always true in the disk model, where `n = lg N`).
+    pub fn new(perm: &Bmmc) -> Self {
+        let n = perm.bits();
+        assert!(n <= 64, "AffineEvaluator supports n ≤ 64, got {n}");
+        // Pack each matrix column j as a u64: bit i = A[i][j].
+        let mut cols = vec![0u64; n];
+        for (j, col) in cols.iter_mut().enumerate() {
+            let column = perm.matrix().column(j);
+            for i in column.iter_ones() {
+                *col |= 1 << i;
+            }
+        }
+        let num_tables = n.div_ceil(8);
+        let mut tables = vec![[0u64; 256]; num_tables];
+        for (k, table) in tables.iter_mut().enumerate() {
+            let base = k * 8;
+            let width = 8.min(n - base);
+            for byte in 0usize..256 {
+                if byte >> width != 0 {
+                    continue; // bits beyond n never occur in valid input
+                }
+                let mut acc = 0u64;
+                for bit in 0..width {
+                    if byte >> bit & 1 == 1 {
+                        acc ^= cols[base + bit];
+                    }
+                }
+                table[byte] = acc;
+            }
+        }
+        AffineEvaluator {
+            n: n as u32,
+            c: perm.complement().as_u64(),
+            tables,
+        }
+    }
+
+    /// Address width `n`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Computes `A x ⊕ c`.
+    ///
+    /// Debug-asserts that `x < 2^n`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        debug_assert!(self.n == 64 || x < (1u64 << self.n), "address out of range");
+        let mut acc = self.c;
+        for (k, table) in self.tables.iter().enumerate() {
+            acc ^= table[(x >> (8 * k)) as usize & 0xff];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::sample::random_nonsingular;
+    use gf2::BitVec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_slow_path_exhaustively() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 3, 8, 9, 13] {
+            let a = random_nonsingular(&mut rng, n);
+            let c = BitVec::from_u64(n, rng.gen::<u64>() & ((1 << n) - 1));
+            let p = Bmmc::new(a, c).unwrap();
+            let ev = AffineEvaluator::new(&p);
+            for x in 0..(1u64 << n) {
+                assert_eq!(ev.eval(x), p.target(x), "n={n}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_slow_path_sampled_wide() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for n in [17usize, 24, 31] {
+            let a = random_nonsingular(&mut rng, n);
+            let c = BitVec::from_u64(n, rng.gen::<u64>() & ((1u64 << n) - 1));
+            let p = Bmmc::new(a, c).unwrap();
+            let ev = AffineEvaluator::new(&p);
+            for _ in 0..200 {
+                let x = rng.gen::<u64>() & ((1u64 << n) - 1);
+                assert_eq!(ev.eval(x), p.target(x), "n={n}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_evaluator() {
+        let ev = AffineEvaluator::new(&Bmmc::identity(20));
+        for x in [0u64, 1, 12345, (1 << 20) - 1] {
+            assert_eq!(ev.eval(x), x);
+        }
+    }
+}

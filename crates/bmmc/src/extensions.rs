@@ -1,0 +1,223 @@
+//! Extensions from the paper's conclusion (Section 7): additional
+//! O(1)-pass permutation classes beyond MRC/MLD.
+//!
+//! The paper remarks that "the inverse of any one-pass permutation is
+//! a one-pass permutation" — implemented as
+//! [`crate::factoring::PassKind::MldInverse`] — and that "the
+//! composition of an MLD permutation with the inverse of an MLD
+//! permutation is a one-pass permutation". This module implements the
+//! latter: [`perform_mld_pair`] executes `π_Y ∘ π_Z⁻¹` for MLD
+//! permutations `Y` and `Z` in exactly one pass, with independent
+//! reads *and* independent writes:
+//!
+//! * For each *intermediate* memoryload `w`, the source addresses
+//!   `x = Z(w·M + i)` form `M/B` full source blocks evenly spread over
+//!   the disks (Lemma 13 applied to `Z`), so they are gathered with
+//!   `M/BD` independent reads.
+//! * The same `M` records, viewed through `Y` on the intermediate
+//!   addresses, fill `M/B` full target blocks evenly spread over the
+//!   disks (Lemma 13 applied to `Y`), emitted with `M/BD` independent
+//!   writes.
+
+use crate::bmmc::Bmmc;
+use crate::classes::is_mld;
+use crate::error::{BmmcError, Result};
+use crate::eval::AffineEvaluator;
+use crate::passes::PassStats;
+use crate::factoring::PassKind;
+use pdm::{BlockRef, DiskSystem, Record};
+
+/// Performs the composition `π_Y ∘ π_Z⁻¹` (first `Z⁻¹`, then `Y`) of
+/// two MLD permutations in ONE pass, moving records from portion `src`
+/// to portion `dst`.
+///
+/// Returns an error if `Y` or `Z` is not MLD for the system's
+/// geometry, or if the widths do not match.
+pub fn perform_mld_pair<R: Record>(
+    sys: &mut DiskSystem<R>,
+    y: &Bmmc,
+    z: &Bmmc,
+    src: usize,
+    dst: usize,
+) -> Result<PassStats> {
+    let geom = sys.geometry();
+    let layout = sys.layout();
+    let n = geom.n();
+    if y.bits() != n || z.bits() != n {
+        return Err(BmmcError::GeometryMismatch {
+            perm_bits: y.bits(),
+            system_bits: n,
+        });
+    }
+    let (b, m) = (geom.b(), geom.m());
+    if !is_mld(y.matrix(), b, m) || !is_mld(z.matrix(), b, m) {
+        return Err(BmmcError::Dimension(
+            "perform_mld_pair requires both permutations to be MLD".to_string(),
+        ));
+    }
+    let before = sys.stats();
+    let composed = y.compose(&z.inverse());
+    let comp_ev = AffineEvaluator::new(&composed);
+    let z_ev = AffineEvaluator::new(z);
+    let y_ev = AffineEvaluator::new(y);
+
+    let mem = geom.memory();
+    let block = geom.block();
+    let disks = geom.disks();
+    let mask = (mem - 1) as u64;
+    let rel_blocks = geom.blocks_per_memoryload();
+    let src_base = sys.portion_base(src);
+    let dst_base = sys.portion_base(dst);
+
+    let mut per_disk: Vec<Vec<u64>> = vec![Vec::with_capacity(rel_blocks / disks); disks];
+    let mut target_block = vec![0u64; rel_blocks];
+    let mut seen: Vec<bool> = Vec::new();
+    for w in 0..geom.memoryloads() {
+        let base = (w * mem) as u64;
+        // Sources: x = Z(w·M + i); discover their M/B full blocks.
+        for d in per_disk.iter_mut() {
+            d.clear();
+        }
+        seen.clear();
+        seen.resize(geom.total_blocks(), false);
+        for i in 0..mem as u64 {
+            let x = z_ev.eval(base + i);
+            let blk = layout.block(x);
+            if !seen[blk as usize] {
+                seen[blk as usize] = true;
+                per_disk[layout.disk_of_block(blk) as usize].push(blk);
+            }
+            // Targets: y = Y(w·M + i); record the block for each
+            // relative block number (Lemma 14 for Y).
+            let t = y_ev.eval(base + i);
+            target_block[layout.relative_block(t) as usize] = layout.block(t);
+        }
+        debug_assert!(per_disk.iter().all(|d| d.len() == rel_blocks / disks));
+
+        // Gather with independent reads; place each record by its
+        // final target position (low m bits of (Y∘Z⁻¹)(x)).
+        let mut buf = vec![R::default(); mem];
+        for k in 0..rel_blocks / disks {
+            let refs: Vec<BlockRef> = (0..disks)
+                .map(|disk| BlockRef {
+                    disk,
+                    slot: src_base + layout.stripe_of_block(per_disk[disk][k]) as usize,
+                })
+                .collect();
+            let blocks = sys.read_blocks(&refs)?;
+            for (disk, data) in blocks.iter().enumerate() {
+                let blk = per_disk[disk][k];
+                for (off, rec) in data.iter().enumerate() {
+                    let x = layout.compose_block(blk, off as u64);
+                    let t = comp_ev.eval(x);
+                    buf[(t & mask) as usize] = *rec;
+                }
+            }
+        }
+
+        // Scatter with independent writes, exactly like an MLD pass.
+        for k in 0..rel_blocks / disks {
+            let mut writes: Vec<(BlockRef, &[R])> = Vec::with_capacity(disks);
+            for delta in 0..disks {
+                let rel = k * disks + delta;
+                let blk = target_block[rel];
+                debug_assert_eq!(layout.disk_of_block(blk) as usize, delta);
+                writes.push((
+                    BlockRef {
+                        disk: delta,
+                        slot: dst_base + layout.stripe_of_block(blk) as usize,
+                    },
+                    &buf[rel * block..(rel + 1) * block],
+                ));
+            }
+            sys.write_blocks(&writes)?;
+        }
+    }
+    Ok(PassStats {
+        kind: PassKind::Mld,
+        ios: sys.stats().since(&before),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::passes::reference_permute;
+    use pdm::Geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> Geometry {
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap()
+    }
+
+    #[test]
+    fn mld_pair_is_one_pass_and_correct() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(121);
+        for _ in 0..5 {
+            let y = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            let z = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            let input: Vec<u64> = (0..g.records() as u64).collect();
+            sys.load_records(0, &input);
+            let stats = perform_mld_pair(&mut sys, &y, &z, 0, 1).unwrap();
+            // One pass: 2N/BD I/Os exactly.
+            assert_eq!(stats.ios.parallel_ios() as usize, g.ios_per_pass());
+            let composed = y.compose(&z.inverse());
+            let expect = reference_permute(&input, |x| composed.target(x));
+            assert_eq!(sys.dump_records(1), expect);
+        }
+    }
+
+    #[test]
+    fn mld_pair_may_need_two_passes_via_factoring() {
+        // The point of the extension: Y·Z⁻¹ is generally NOT MLD (nor
+        // MLD⁻¹ / MRC), so the generic planner needs ≥ 2 passes where
+        // perform_mld_pair needs 1.
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(122);
+        let mut demonstrated = false;
+        for _ in 0..100 {
+            let y = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            let z = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            let composed = y.compose(&z.inverse());
+            let passes =
+                crate::algorithm::plan_passes(&composed, g.b(), g.m()).unwrap();
+            if passes.len() >= 2 {
+                demonstrated = true;
+                break;
+            }
+        }
+        assert!(
+            demonstrated,
+            "every sampled MLD·MLD⁻¹ composition was one-pass-classifiable"
+        );
+    }
+
+    #[test]
+    fn rejects_non_mld_inputs() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(123);
+        let y = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+        // A permutation crossing the memory boundary is not MLD.
+        let not_mld = catalog::bit_reversal(g.n());
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        assert!(perform_mld_pair(&mut sys, &y, &not_mld, 0, 1).is_err());
+        assert!(perform_mld_pair(&mut sys, &not_mld, &y, 0, 1).is_err());
+    }
+
+    #[test]
+    fn identity_pair_is_identity() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(124);
+        let y = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+        // Y ∘ Y⁻¹ = identity: records end up where they started.
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+        sys.load_records(0, &input);
+        perform_mld_pair(&mut sys, &y, &y, 0, 1).unwrap();
+        assert_eq!(sys.dump_records(1), input);
+    }
+}

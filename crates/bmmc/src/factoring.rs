@@ -1,0 +1,532 @@
+//! The Section 5 factoring engine: any BMMC characteristic matrix `A`
+//! is factored as
+//!
+//! ```text
+//!   A = F · E_g⁻¹ S_g⁻¹ · E_{g−1}⁻¹ S_{g−1}⁻¹ ⋯ E_1⁻¹ S_1⁻¹ · P⁻¹
+//! ```
+//!
+//! (eq. 18), where `P = T·R` (trailer · reducer) and `F` are MRC and
+//! each grouping `E_i⁻¹ S_i⁻¹` — with `P⁻¹` folded into the first —
+//! is MLD (Theorem 17). Reading factors right to left (Corollary 2)
+//! gives a plan of `g + 1` one-pass permutations with
+//! `g = ⌈rank γ̂ / lg(M/B)⌉` (eq. 17), which Lemma 20 bounds by
+//! `⌈rank γ / lg(M/B)⌉ + 1` in terms of the lower bound's submatrix
+//! `γ = A_{b..n−1, 0..b−1}` — Theorem 21.
+
+use crate::bmmc::Bmmc;
+use crate::classes::{is_mld, is_mrc};
+use crate::error::{BmmcError, Result};
+use crate::factors::{eraser, reducer, swapper, trailer, ColAdd};
+use gf2::elim::{inverse, solve, Elimination, IndependentSet};
+use gf2::{BitMatrix, BitVec};
+
+/// Which one-pass class a pass belongs to (determines the executor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassKind {
+    /// Memory-rearrangement/complement: striped reads *and* writes.
+    Mrc,
+    /// Memoryload-dispersal: striped reads, independent writes.
+    Mld,
+    /// Inverse of an MLD permutation: independent reads, striped
+    /// writes (the mirrored discipline — Section 7's "the inverse of
+    /// any one-pass permutation is a one-pass permutation").
+    MldInverse,
+}
+
+/// One pass of the plan: a one-pass BMMC permutation.
+#[derive(Clone, Debug)]
+pub struct Pass {
+    /// The pass's characteristic matrix.
+    pub matrix: BitMatrix,
+    /// The pass's complement vector (zero for all but the final pass).
+    pub complement: BitVec,
+    /// The class this pass was verified to belong to.
+    pub kind: PassKind,
+}
+
+impl Pass {
+    /// The pass as a standalone BMMC permutation.
+    pub fn as_bmmc(&self) -> Bmmc {
+        Bmmc::new(self.matrix.clone(), self.complement.clone())
+            .expect("pass factors are nonsingular by construction")
+    }
+}
+
+/// The full factorization, retaining the individual Section 5 factors
+/// for inspection, plus the executable pass plan.
+#[derive(Clone, Debug)]
+pub struct Factorization {
+    /// `P = T·R`: the trailer–reducer product (MRC).
+    pub p: BitMatrix,
+    /// The swap/erase rounds `(S_i, E_i)`, `i = 1..g`, in the order
+    /// they were applied to transform `A` into `F`.
+    pub rounds: Vec<(BitMatrix, BitMatrix)>,
+    /// The final MRC factor `F`.
+    pub f: BitMatrix,
+    /// The executable passes in execution order (first pass first).
+    pub passes: Vec<Pass>,
+}
+
+impl Factorization {
+    /// `g`: number of swap/erase rounds (eq. 17).
+    pub fn g(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Number of one-pass permutations in the plan (`g + 1`, except a
+    /// single pass when `g = 0`).
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Recomposes the passes and checks they reproduce `perm`:
+    /// the product of pass matrices, last pass leftmost, must equal
+    /// `A`, and complements must compose to `c`.
+    pub fn verify(&self, perm: &Bmmc) -> bool {
+        let n = perm.bits();
+        let mut composed = Bmmc::identity(n);
+        for pass in &self.passes {
+            composed = pass.as_bmmc().compose(&composed);
+        }
+        composed == *perm
+    }
+}
+
+/// Factors a BMMC permutation into a one-pass plan at boundaries
+/// `b = lg B`, `m = lg M` (Section 5).
+///
+/// Returns an error if `m ≤ b` (the model needs at least two blocks of
+/// memory for the factoring to make progress) or `m ≥ n`.
+///
+/// ```
+/// use bmmc::{catalog, factor};
+///
+/// // Bit reversal on 13-bit addresses, B = 2^3, M = 2^8.
+/// let perm = catalog::bit_reversal(13);
+/// let fac = factor(&perm, 3, 8).unwrap();
+/// assert!(fac.verify(&perm));           // passes recompose to A
+/// assert!(fac.num_passes() <= 2);       // ⌈rank γ̂ / lg(M/B)⌉ + 1
+/// ```
+pub fn factor(perm: &Bmmc, b: usize, m: usize) -> Result<Factorization> {
+    factor_chunked(perm, b, m, m - b)
+}
+
+/// [`factor`] with an explicit swap/erase *chunk size* — the number of
+/// lower-left columns eliminated per round. Section 5 uses the full
+/// middle-section width `m − b`, which is optimal; smaller chunks are
+/// exposed for the ablation study (`g` grows to `⌈rank γ̂ / chunk⌉`,
+/// and so does the pass count).
+///
+/// # Panics
+/// Panics if `chunk` is 0 or exceeds `m − b`.
+pub fn factor_chunked(perm: &Bmmc, b: usize, m: usize, chunk: usize) -> Result<Factorization> {
+    let n = perm.bits();
+    if !(b < m && m < n) {
+        return Err(BmmcError::Dimension(format!(
+            "factoring requires b < m < n, got b={b}, m={m}, n={n}"
+        )));
+    }
+    assert!(
+        chunk >= 1 && chunk <= m - b,
+        "chunk size {chunk} must be in 1..={}",
+        m - b
+    );
+    let a = perm.matrix().clone();
+
+    // --- Step 1: trailer T — make the trailing (n−m)x(n−m) submatrix
+    // nonsingular by adding columns of γ into δ (Section 5,
+    // "Creating a nonsingular trailing submatrix").
+    let t = build_trailer(&a, m);
+    let a1 = a.mul(&t);
+    debug_assert!(
+        gf2::elim::is_nonsingular(&a1.submatrix(m..n, m..n)),
+        "trailer failed to produce a nonsingular trailing submatrix"
+    );
+
+    // --- Step 2: reducer R — zero the linearly dependent columns of
+    // the lower-left (n−m)xm submatrix, leaving rank γ̂ independent
+    // columns and zeros ("reduced form").
+    let r = build_reducer(&a1, m);
+    let a2 = a1.mul(&r);
+    let p = t.mul(&r);
+    debug_assert!(is_mrc(&p, m), "P = T·R must be MRC");
+
+    // --- Step 3: repeated swap/erase rounds — swap nonzero lower-left
+    // columns into the middle section (≤ m−b at a time), then zero the
+    // middle section by adding trailing-basis columns.
+    let mut cur = a2;
+    let mut rounds: Vec<(BitMatrix, BitMatrix)> = Vec::new();
+    loop {
+        let lower = cur.submatrix(m..n, 0..m);
+        let nonzero: Vec<usize> = (0..m).filter(|&j| !lower.column(j).is_zero()).collect();
+        if nonzero.is_empty() {
+            break;
+        }
+        assert!(
+            rounds.len() <= m,
+            "swap/erase loop failed to terminate (bug in factoring)"
+        );
+        // Swap nonzero left-section columns into zero middle-section
+        // columns (entire columns, not just the lower parts).
+        let nz_left: Vec<usize> = nonzero.iter().copied().filter(|&j| j < b).collect();
+        let zero_middle: Vec<usize> = (b..m)
+            .filter(|&j| lower.column(j).is_zero())
+            .collect();
+        let pairs: Vec<(usize, usize)> = nz_left
+            .iter()
+            .copied()
+            .zip(zero_middle.iter().copied())
+            .collect();
+        let s = swapper(n, m, &pairs);
+        cur = cur.mul(&s);
+
+        // Erase nonzero middle columns (up to `chunk` of them per
+        // round) by solving δ̂·w = v and adding the selected
+        // right-section columns into each.
+        let lower = cur.submatrix(m..n, 0..m);
+        let delta_hat = cur.submatrix(m..n, m..n);
+        let mut adds: Vec<ColAdd> = Vec::new();
+        let mut erased = 0usize;
+        for j in b..m {
+            if erased == chunk {
+                break;
+            }
+            let v = lower.column(j);
+            if v.is_zero() {
+                continue;
+            }
+            erased += 1;
+            let w = solve(&delta_hat, &v)
+                .expect("trailing submatrix is nonsingular, so every column is reachable");
+            for k in w.iter_ones() {
+                adds.push(ColAdd { src: m + k, dst: j });
+            }
+        }
+        let e = eraser(n, b, m, &adds);
+        cur = cur.mul(&e);
+        rounds.push((s, e));
+    }
+    let f = cur;
+    debug_assert!(is_mrc(&f, m), "final factor F must be MRC");
+
+    // --- Step 4: assemble the executable passes, rightmost factor
+    // first (Corollary 2). Erasers and swappers are involutions, so
+    // E⁻¹ = E and S⁻¹ = S; only P needs an explicit inverse.
+    let p_inv = inverse(&p).expect("P is a product of nonsingular factors");
+    let mut passes: Vec<Pass> = Vec::new();
+    let zero_c = BitVec::zeros(n);
+    if rounds.is_empty() {
+        // A = F·P⁻¹ — a single MRC pass.
+        let only = f.mul(&p_inv);
+        debug_assert!(is_mrc(&only, m));
+        passes.push(Pass {
+            matrix: only,
+            complement: perm.complement().clone(),
+            kind: PassKind::Mrc,
+        });
+    } else {
+        for (i, (s, e)) in rounds.iter().enumerate() {
+            // Group (E_i⁻¹ S_i⁻¹) = E_i·S_i; the first also absorbs P⁻¹.
+            let mut grp = e.mul(s);
+            if i == 0 {
+                grp = grp.mul(&p_inv);
+            }
+            debug_assert!(
+                is_mld(&grp, b, m),
+                "pass {i} is not MLD (Theorem 17 violated)"
+            );
+            passes.push(Pass {
+                matrix: grp,
+                complement: zero_c.clone(),
+                kind: PassKind::Mld,
+            });
+        }
+        passes.push(Pass {
+            matrix: f.clone(),
+            complement: perm.complement().clone(),
+            kind: PassKind::Mrc,
+        });
+    }
+
+    Ok(Factorization {
+        p,
+        rounds,
+        f,
+        passes,
+    })
+}
+
+/// Builds the trailer matrix for step 1: find a maximal independent
+/// set `V` among the columns of `δ = A_{m..n−1, m..n−1}`, extend it to
+/// a basis of GF(2)^{n−m} with columns `W` drawn from
+/// `γ = A_{m..n−1, 0..m−1}`, and add each `w ∈ W` into a distinct
+/// dependent column of `δ`.
+fn build_trailer(a: &BitMatrix, m: usize) -> BitMatrix {
+    let n = a.rows();
+    let lower = a.submatrix(m..n, 0..n);
+    let mut set = IndependentSet::new();
+    let mut v_cols: Vec<usize> = Vec::new(); // independent right-section columns
+    let mut vbar: Vec<usize> = Vec::new(); // dependent right-section columns
+    for j in m..n {
+        if set.insert(&lower.column(j)) {
+            v_cols.push(j);
+        } else {
+            vbar.push(j);
+        }
+    }
+    let mut w_cols: Vec<usize> = Vec::new();
+    for j in 0..m {
+        if set.len() == n - m {
+            break;
+        }
+        if set.insert(&lower.column(j)) {
+            w_cols.push(j);
+        }
+    }
+    assert_eq!(
+        set.len(),
+        n - m,
+        "rows m..n of a nonsingular matrix must have full rank"
+    );
+    let adds: Vec<ColAdd> = w_cols
+        .into_iter()
+        .zip(vbar)
+        .map(|(src, dst)| ColAdd { src, dst })
+        .collect();
+    trailer(n, m, &adds)
+}
+
+/// Builds the reducer matrix for step 2: zero every linearly dependent
+/// column of the lower-left `(n−m) x m` submatrix by adding the pivot
+/// columns that sum to it.
+fn build_reducer(a1: &BitMatrix, m: usize) -> BitMatrix {
+    let n = a1.rows();
+    let gamma = a1.submatrix(m..n, 0..m);
+    let elim = Elimination::new(&gamma);
+    let mut adds: Vec<ColAdd> = Vec::new();
+    for j in elim.free_columns() {
+        if gamma.column(j).is_zero() {
+            continue;
+        }
+        for k in elim.combination_of_pivots(j) {
+            adds.push(ColAdd { src: k, dst: j });
+        }
+    }
+    reducer(n, m, &adds)
+}
+
+/// `g` as predicted by eq. 17 from the reduced-form rank: the number
+/// of swap/erase rounds the factoring will use.
+pub fn predicted_rounds(perm: &Bmmc, m: usize, lg_mb: usize) -> usize {
+    let n = perm.bits();
+    let rank = gf2::elim::rank(&perm.matrix().submatrix(m..n, 0..m));
+    rank.div_ceil(lg_mb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use gf2::elim::rank;
+    use gf2::sample::random_with_submatrix_rank;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Paper Figure 2 boundaries: n=13, b=3, m=8.
+    const N: usize = 13;
+    const B: usize = 3;
+    const M: usize = 8;
+
+    fn check(perm: &Bmmc, b: usize, m: usize) -> Factorization {
+        let fac = factor(perm, b, m).expect("factoring failed");
+        assert!(fac.verify(perm), "factorization does not recompose to A");
+        // Every intermediate pass MLD, final pass MRC.
+        for (i, pass) in fac.passes.iter().enumerate() {
+            match pass.kind {
+                PassKind::Mld => assert!(
+                    is_mld(&pass.matrix, b, m),
+                    "pass {i} claims MLD but is not"
+                ),
+                PassKind::Mrc => {
+                    assert_eq!(i, fac.passes.len() - 1, "MRC pass must be last");
+                    assert!(is_mrc(&pass.matrix, m), "final pass not MRC");
+                }
+                PassKind::MldInverse => {
+                    panic!("Section 5 factoring never emits MLD⁻¹ passes")
+                }
+            }
+        }
+        fac
+    }
+
+    #[test]
+    fn identity_factors_to_one_pass() {
+        let id = Bmmc::identity(N);
+        let fac = check(&id, B, M);
+        assert_eq!(fac.num_passes(), 1);
+        assert_eq!(fac.g(), 0);
+    }
+
+    #[test]
+    fn mrc_input_factors_to_one_pass() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let p = catalog::random_mrc(&mut rng, N, M);
+            let fac = check(&p, B, M);
+            assert_eq!(fac.num_passes(), 1, "MRC permutations are one pass");
+        }
+    }
+
+    #[test]
+    fn gray_code_is_one_pass() {
+        let g = catalog::gray_code(N);
+        let fac = check(&g, B, M);
+        assert_eq!(fac.num_passes(), 1);
+    }
+
+    #[test]
+    fn random_bmmc_factors_and_verifies() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let p = catalog::random_bmmc(&mut rng, N);
+            check(&p, B, M);
+        }
+    }
+
+    #[test]
+    fn pass_count_matches_eq17() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..20 {
+            let p = catalog::random_bmmc(&mut rng, N);
+            let fac = check(&p, B, M);
+            // g = ⌈rank γ̂ / (m−b)⌉ where γ̂ is the *reduced* lower-left
+            // block; its rank equals rank of the original lower-left
+            // block A_{m..n, 0..m} (column ops preserve rank).
+            let expect_g = predicted_rounds(&p, M, M - B);
+            assert_eq!(fac.g(), expect_g, "g != ⌈rank γ̂/(m−b)⌉");
+            assert_eq!(fac.num_passes(), expect_g + 1);
+        }
+    }
+
+    #[test]
+    fn theorem21_pass_bound_via_lemma20() {
+        // passes ≤ ⌈rank γ / lg(M/B)⌉ + 2 with γ = A_{b..n, 0..b}.
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..30 {
+            let p = catalog::random_bmmc(&mut rng, N);
+            let fac = check(&p, B, M);
+            let gamma_rank = rank(&p.matrix().submatrix(B..N, 0..B));
+            let bound = gamma_rank.div_ceil(M - B) + 2;
+            assert!(
+                fac.num_passes() <= bound,
+                "passes {} exceed Theorem 21 bound {bound} (rank γ = {gamma_rank})",
+                fac.num_passes()
+            );
+        }
+    }
+
+    #[test]
+    fn prescribed_rank_sweep_factors() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for r in 0..=B.min(N - B) {
+            let a = random_with_submatrix_rank(&mut rng, N, B, r);
+            let p = Bmmc::linear(a).unwrap();
+            let fac = check(&p, B, M);
+            let bound = r.div_ceil(M - B) + 2;
+            assert!(fac.num_passes() <= bound, "rank {r}: {} > {bound}", fac.num_passes());
+        }
+    }
+
+    #[test]
+    fn bit_reversal_factors() {
+        let p = catalog::bit_reversal(N);
+        let fac = check(&p, B, M);
+        // Bit reversal has rank γ = min(b, n−b) = 3 → at most
+        // ⌈3/5⌉ + 2 = 3 passes.
+        assert!(fac.num_passes() <= 3);
+    }
+
+    #[test]
+    fn transpose_factors() {
+        for lg_r in 1..N {
+            let p = catalog::transpose(N, lg_r);
+            let fac = check(&p, B, M);
+            assert!(fac.verify(&p), "transpose lg_r={lg_r}");
+        }
+    }
+
+    #[test]
+    fn complement_carried_by_final_pass() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let p = catalog::random_bmmc(&mut rng, N);
+        assert!(!p.complement().is_zero(), "sampler should give nonzero c here");
+        let fac = check(&p, B, M);
+        for pass in &fac.passes[..fac.passes.len() - 1] {
+            assert!(pass.complement.is_zero(), "only the final pass carries c");
+        }
+        assert_eq!(
+            fac.passes.last().unwrap().complement,
+            *p.complement()
+        );
+    }
+
+    #[test]
+    fn chunked_factoring_recomposes_at_every_chunk() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let p = catalog::random_bmmc(&mut rng, N);
+        for chunk in 1..=(M - B) {
+            let fac = factor_chunked(&p, B, M, chunk).unwrap();
+            assert!(fac.verify(&p), "chunk {chunk} does not recompose");
+            for pass in &fac.passes[..fac.passes.len() - 1] {
+                assert!(is_mld(&pass.matrix, B, M), "chunk {chunk}: pass not MLD");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_chunks_never_use_fewer_passes() {
+        // The ablation claim: the Section 5 chunk size (m−b) is
+        // optimal; passes = ⌈rank γ̂/chunk⌉ + 1 grows as chunk shrinks.
+        let mut rng = StdRng::seed_from_u64(49);
+        for _ in 0..5 {
+            let p = catalog::random_bmmc(&mut rng, N);
+            let rank_gm = gf2::elim::rank(&p.matrix().submatrix(M..N, 0..M));
+            let mut prev = usize::MAX;
+            for chunk in (1..=(M - B)).rev() {
+                let fac = factor_chunked(&p, B, M, chunk).unwrap();
+                assert_eq!(
+                    fac.num_passes(),
+                    if rank_gm == 0 { 1 } else { rank_gm.div_ceil(chunk) + 1 },
+                    "chunk {chunk}: wrong pass count"
+                );
+                assert!(fac.num_passes() >= prev.min(fac.num_passes()));
+                prev = fac.num_passes();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn chunk_zero_rejected() {
+        let id = Bmmc::identity(N);
+        let _ = factor_chunked(&id, B, M, 0);
+    }
+
+    #[test]
+    fn rejects_degenerate_boundaries() {
+        let id = Bmmc::identity(8);
+        assert!(factor(&id, 3, 3).is_err()); // b == m
+        assert!(factor(&id, 2, 8).is_err()); // m == n
+    }
+
+    #[test]
+    fn small_b_zero_geometry() {
+        // B = 1 (b = 0): left section empty; everything must still work.
+        let mut rng = StdRng::seed_from_u64(47);
+        for _ in 0..10 {
+            let p = catalog::random_bmmc(&mut rng, 9);
+            let fac = factor(&p, 0, 4).unwrap();
+            assert!(fac.verify(&p));
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The column-operation matrix forms of Section 4: trailer, reducer,
+//! swapper, and eraser matrices.
+//!
+//! A *column-addition matrix* `Q` has 1s on the diagonal plus
+//! `q_{ij} = 1` wherever column `i` of the multiplicand is to be added
+//! into column `j` (so `A·Q` performs the additions). The *dependency
+//! restriction* — if column `i` is added into `j`, then `j` is not
+//! added into anything — makes `Q` nonsingular (Lemma 19).
+//!
+//! The four specialized forms, at boundaries `b ≤ m ≤ n`:
+//!
+//! ```text
+//! trailer T = [I 0 *; 0 I *; 0 0 I]   left/middle → right   (MRC)
+//! reducer R = [* * 0; * * 0; 0 0 I]   left/middle → left/middle (MRC)
+//! swapper S = [perm 0; 0 I]           permute leftmost m columns (MRC)
+//! eraser  E = [I 0 0; 0 I 0; 0 * I]   right → middle         (MLD, E = E⁻¹)
+//! ```
+
+use gf2::BitMatrix;
+
+/// A single column addition: add column `src` into column `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColAdd {
+    /// Source column (added from).
+    pub src: usize,
+    /// Destination column (added into).
+    pub dst: usize,
+}
+
+/// Builds a column-addition matrix from a list of additions.
+///
+/// # Panics
+/// Panics if any addition violates the dependency restriction
+/// (a destination column also used as a source), if `src == dst`, or
+/// if an index is out of range.
+pub fn column_addition_matrix(n: usize, adds: &[ColAdd]) -> BitMatrix {
+    let mut is_dst = vec![false; n];
+    let mut is_src = vec![false; n];
+    let mut q = BitMatrix::identity(n);
+    for &ColAdd { src, dst } in adds {
+        assert!(src < n && dst < n, "column index out of range");
+        assert_ne!(src, dst, "cannot add a column into itself");
+        is_src[src] = true;
+        is_dst[dst] = true;
+        q.set(src, dst, true);
+    }
+    for j in 0..n {
+        assert!(
+            !(is_src[j] && is_dst[j]),
+            "dependency restriction violated at column {j}: \
+             a destination column may not be added into another column"
+        );
+    }
+    q
+}
+
+/// True if `q` is a column-addition matrix: unit diagonal and the
+/// dependency restriction holds for its off-diagonal 1s.
+pub fn is_column_addition(q: &BitMatrix) -> bool {
+    if !q.is_square() {
+        return false;
+    }
+    let n = q.rows();
+    let mut is_src = vec![false; n];
+    let mut is_dst = vec![false; n];
+    for i in 0..n {
+        if !q.get(i, i) {
+            return false;
+        }
+        for j in 0..n {
+            if i != j && q.get(i, j) {
+                is_src[i] = true;
+                is_dst[j] = true;
+            }
+        }
+    }
+    (0..n).all(|j| !(is_src[j] && is_dst[j]))
+}
+
+/// Constructively factors a column-addition matrix as `Q = L · U` with
+/// `L` unit lower-triangular and `U` unit upper-triangular (Lemma 19).
+///
+/// Writing `Q = I + N`, split `N` into its strictly-lower and
+/// strictly-upper parts. The dependency restriction makes
+/// `N_lower · N_upper = 0` (a destination column is never a source),
+/// so `(I + N_lower)(I + N_upper) = I + N = Q` exactly.
+///
+/// # Panics
+/// Panics if `q` is not a column-addition matrix.
+pub fn lu_split(q: &BitMatrix) -> (BitMatrix, BitMatrix) {
+    assert!(
+        is_column_addition(q),
+        "lu_split requires a column-addition matrix"
+    );
+    let n = q.rows();
+    let mut l = BitMatrix::identity(n);
+    let mut u = BitMatrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && q.get(i, j) {
+                if i > j {
+                    l.set(i, j, true);
+                } else {
+                    u.set(i, j, true);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(l.mul(&u), *q, "Lemma 19 factorization failed");
+    (l, u)
+}
+
+/// Builds a trailer matrix: additions from the leftmost `m` columns
+/// into the rightmost `n−m` columns.
+///
+/// # Panics
+/// Panics if any addition is not left/middle → right.
+pub fn trailer(n: usize, m: usize, adds: &[ColAdd]) -> BitMatrix {
+    for a in adds {
+        assert!(
+            a.src < m && a.dst >= m && a.dst < n,
+            "trailer additions must go from columns < {m} into columns ≥ {m}"
+        );
+    }
+    column_addition_matrix(n, adds)
+}
+
+/// Builds a reducer matrix: additions within the leftmost `m` columns.
+///
+/// # Panics
+/// Panics if any addition leaves the leftmost `m` columns or violates
+/// the dependency restriction.
+pub fn reducer(n: usize, m: usize, adds: &[ColAdd]) -> BitMatrix {
+    for a in adds {
+        assert!(
+            a.src < m && a.dst < m,
+            "reducer additions must stay within the leftmost {m} columns"
+        );
+    }
+    column_addition_matrix(n, adds)
+}
+
+/// Builds a swapper matrix: a permutation of the leftmost `m` columns
+/// (identity on the rest). `perm[j] = i` means source column `j` of the
+/// multiplicand ends up in position ... — concretely, multiplying
+/// `A·S` with `S[i][j] = 1` places column `i` of `A` at position `j`.
+///
+/// `pairs` lists disjoint column pairs `(x, y)`, each with `x, y < m`,
+/// to be exchanged.
+///
+/// # Panics
+/// Panics if pairs overlap or touch columns ≥ m.
+pub fn swapper(n: usize, m: usize, pairs: &[(usize, usize)]) -> BitMatrix {
+    let mut used = vec![false; n];
+    let mut s = BitMatrix::identity(n);
+    for &(x, y) in pairs {
+        assert!(x < m && y < m, "swapper pairs must be within the leftmost {m} columns");
+        assert!(x != y && !used[x] && !used[y], "swapper pairs must be disjoint");
+        used[x] = true;
+        used[y] = true;
+        s.set(x, x, false);
+        s.set(y, y, false);
+        s.set(x, y, true);
+        s.set(y, x, true);
+    }
+    s
+}
+
+/// Builds an eraser matrix: additions from the rightmost `n−m` columns
+/// into the middle columns `b..m`. Erasers are involutions
+/// (Section 4: "any matrix of this form is its own inverse").
+///
+/// # Panics
+/// Panics if any addition is not right → middle.
+pub fn eraser(n: usize, b: usize, m: usize, adds: &[ColAdd]) -> BitMatrix {
+    for a in adds {
+        assert!(
+            a.src >= m && a.src < n && a.dst >= b && a.dst < m,
+            "eraser additions must go from columns ≥ {m} into columns in {b}..{m}"
+        );
+    }
+    column_addition_matrix(n, adds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{is_mld, is_mrc};
+    use gf2::elim::is_nonsingular;
+
+    #[test]
+    fn paper_section4_example() {
+        // The worked example: Q adds column 0 into columns 1 and 2,
+        // and column 3 into column 1 (n = 4).
+        let q = column_addition_matrix(
+            4,
+            &[
+                ColAdd { src: 0, dst: 1 },
+                ColAdd { src: 0, dst: 2 },
+                ColAdd { src: 3, dst: 1 },
+            ],
+        );
+        let expect: BitMatrix = "1110; 0100; 0010; 0101".parse().unwrap();
+        assert_eq!(q, expect);
+        assert!(is_column_addition(&q));
+
+        let a: BitMatrix = "1011; 0110; 1100; 0101".parse().unwrap();
+        let expect_product: BitMatrix = "1001; 0110; 1010; 0001".parse().unwrap();
+        assert_eq!(a.mul(&q), expect_product);
+    }
+
+    #[test]
+    fn lemma19_lu_split_constructive() {
+        // The constructive form of Lemma 19: Q = L·U with unit
+        // triangular factors, including the paper's worked example.
+        let q = column_addition_matrix(
+            4,
+            &[
+                ColAdd { src: 0, dst: 1 },
+                ColAdd { src: 0, dst: 2 },
+                ColAdd { src: 3, dst: 1 },
+            ],
+        );
+        let (l, u) = lu_split(&q);
+        assert_eq!(l.mul(&u), q);
+        // L unit lower-triangular, U unit upper-triangular.
+        for i in 0..4 {
+            assert!(l.get(i, i) && u.get(i, i));
+            for j in (i + 1)..4 {
+                assert!(!l.get(i, j), "L has an upper entry");
+                assert!(!u.get(j, i), "U has a lower entry");
+            }
+        }
+        // Matches the paper's example factors for its Q.
+        let paper_q: BitMatrix = "1110; 0100; 0010; 0101".parse().unwrap();
+        let (pl, pu) = lu_split(&paper_q);
+        let expect_l: BitMatrix = "1000; 0100; 0010; 0101".parse().unwrap();
+        let expect_u: BitMatrix = "1110; 0100; 0010; 0001".parse().unwrap();
+        assert_eq!(pl, expect_l);
+        assert_eq!(pu, expect_u);
+        assert!(is_nonsingular(&paper_q));
+    }
+
+    #[test]
+    #[should_panic(expected = "column-addition")]
+    fn lu_split_rejects_non_column_addition() {
+        let a: BitMatrix = "01; 10".parse().unwrap(); // zero diagonal
+        lu_split(&a);
+    }
+
+    #[test]
+    fn lemma19_column_addition_nonsingular() {
+        // Every column-addition matrix is nonsingular.
+        let q = column_addition_matrix(
+            5,
+            &[
+                ColAdd { src: 0, dst: 2 },
+                ColAdd { src: 1, dst: 2 },
+                ColAdd { src: 4, dst: 3 },
+            ],
+        );
+        assert!(is_nonsingular(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency restriction")]
+    fn dependency_restriction_enforced() {
+        // Column 1 receives an addition and is also a source.
+        column_addition_matrix(
+            3,
+            &[ColAdd { src: 0, dst: 1 }, ColAdd { src: 1, dst: 2 }],
+        );
+    }
+
+    #[test]
+    fn trailer_is_mrc() {
+        let (n, m) = (6, 4);
+        let t = trailer(
+            n,
+            m,
+            &[ColAdd { src: 0, dst: 4 }, ColAdd { src: 2, dst: 5 }],
+        );
+        assert!(is_mrc(&t, m), "trailer form must be MRC");
+        assert!(is_column_addition(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "trailer additions")]
+    fn trailer_rejects_wrong_direction() {
+        trailer(6, 4, &[ColAdd { src: 4, dst: 0 }]);
+    }
+
+    #[test]
+    fn reducer_is_mrc() {
+        let (n, m) = (6, 4);
+        let r = reducer(
+            n,
+            m,
+            &[ColAdd { src: 0, dst: 1 }, ColAdd { src: 2, dst: 1 }],
+        );
+        assert!(is_mrc(&r, m), "reducer form must be MRC");
+    }
+
+    #[test]
+    fn swapper_is_mrc_and_swaps() {
+        let (n, m) = (6, 4);
+        let s = swapper(n, m, &[(0, 2), (1, 3)]);
+        assert!(is_mrc(&s, m));
+        // A·S should exchange columns 0↔2 and 1↔3.
+        let a = BitMatrix::identity(n);
+        let prod = a.mul(&s);
+        assert!(prod.get(0, 2) && prod.get(2, 0));
+        assert!(prod.get(1, 3) && prod.get(3, 1));
+        assert!(!prod.get(0, 0) && !prod.get(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn swapper_rejects_overlap() {
+        swapper(6, 4, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn eraser_is_mld_and_involution() {
+        let (b, m, n) = (1, 3, 6);
+        let e = eraser(
+            n,
+            b,
+            m,
+            &[
+                ColAdd { src: 3, dst: 1 },
+                ColAdd { src: 4, dst: 2 },
+                ColAdd { src: 5, dst: 1 },
+            ],
+        );
+        assert!(is_mld(&e, b, m), "eraser form must be MLD");
+        assert!(e.mul(&e).is_identity(), "eraser must be an involution");
+    }
+
+    #[test]
+    #[should_panic(expected = "eraser additions")]
+    fn eraser_rejects_additions_into_left() {
+        // dst = 0 < b = 1 is the low (offset) section: not allowed.
+        eraser(6, 1, 3, &[ColAdd { src: 4, dst: 0 }]);
+    }
+
+    #[test]
+    fn column_addition_effect_matches_manual_xor() {
+        let a: BitMatrix = "1011; 0110; 1100; 0101".parse().unwrap();
+        let q = column_addition_matrix(4, &[ColAdd { src: 1, dst: 3 }]);
+        let prod = a.mul(&q);
+        let mut manual = a.clone();
+        manual.xor_col_into(1, 3);
+        assert_eq!(prod, manual);
+    }
+}

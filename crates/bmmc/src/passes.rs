@@ -1,0 +1,424 @@
+//! One-pass executors: MRC and MLD permutations on a
+//! [`pdm::DiskSystem`].
+//!
+//! Both pass types process source memoryloads in order (Section 3):
+//! read the memoryload's `M/BD` stripes with striped reads, permute the
+//! `M` records in memory, and write them out —
+//!
+//! * **MRC**: all `M` records go to a single target memoryload, written
+//!   with `M/BD` striped writes;
+//! * **MLD**: the records form `M/B` *full* target blocks (Lemma 13),
+//!   one per relative block number, spread evenly over the disks
+//!   (property 3), written with `M/BD` independent writes of `D`
+//!   blocks each.
+//!
+//! Either way a pass costs exactly `2N/BD` parallel I/Os.
+//!
+//! The in-memory rearrangement is the same for both: the record headed
+//! for target address `y` is placed at buffer position `y mod M`
+//! (its target relative-block number and offset). This is a bijection
+//! on the memoryload because the leading `m x m` submatrix of a
+//! one-pass characteristic matrix is nonsingular (Lemma 12; trivially
+//! for MRC), and it is performed in place by cycle-following.
+
+use crate::error::{BmmcError, Result};
+use crate::eval::AffineEvaluator;
+use crate::factoring::{Pass, PassKind};
+use pdm::memory::permute_in_place;
+use pdm::{BlockRef, DiskSystem, IoStats, Record};
+
+/// Per-pass execution statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct PassStats {
+    /// Which executor ran.
+    pub kind: PassKind,
+    /// I/O performed by this pass alone.
+    pub ios: IoStats,
+}
+
+/// Executes one pass, moving all `N` records from portion `src` to
+/// portion `dst` of the disk system.
+pub fn execute_pass<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    pass: &Pass,
+) -> Result<PassStats> {
+    let geom = sys.geometry();
+    let n = geom.n();
+    if pass.matrix.rows() != n {
+        return Err(BmmcError::GeometryMismatch {
+            perm_bits: pass.matrix.rows(),
+            system_bits: n,
+        });
+    }
+    assert_ne!(src, dst, "source and target portions must differ");
+    let before = sys.stats();
+    let ev = AffineEvaluator::new(&pass.as_bmmc());
+    match pass.kind {
+        PassKind::Mrc => execute_mrc(sys, src, dst, &ev)?,
+        PassKind::Mld => execute_mld(sys, src, dst, &ev)?,
+        PassKind::MldInverse => {
+            let inv_ev = AffineEvaluator::new(&pass.as_bmmc().inverse());
+            execute_mld_inverse(sys, src, dst, &ev, &inv_ev)?;
+        }
+    }
+    Ok(PassStats {
+        kind: pass.kind,
+        ios: sys.stats().since(&before),
+    })
+}
+
+fn execute_mrc<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    ev: &AffineEvaluator,
+) -> Result<()> {
+    let geom = sys.geometry();
+    let (mem, m) = (geom.memory(), geom.m());
+    let mask = (mem - 1) as u64;
+    for ml in 0..geom.memoryloads() {
+        let mut records = sys.read_memoryload(src, ml)?;
+        let base = (ml * mem) as u64;
+        let target_ml = (ev.eval(base) >> m) as usize;
+        debug_assert!(
+            (0..mem as u64).all(|i| (ev.eval(base + i) >> m) as usize == target_ml),
+            "MRC pass scattered a memoryload across target memoryloads"
+        );
+        permute_in_place(&mut records, |i| (ev.eval(base + i as u64) & mask) as usize);
+        sys.write_memoryload(dst, target_ml, &records)?;
+    }
+    Ok(())
+}
+
+fn execute_mld<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    ev: &AffineEvaluator,
+) -> Result<()> {
+    let geom = sys.geometry();
+    let layout = sys.layout();
+    let mem = geom.memory();
+    let block = geom.block();
+    let disks = geom.disks();
+    let mask = (mem - 1) as u64;
+    let rel_blocks = geom.blocks_per_memoryload(); // M/B
+    let mut target_block = vec![0u64; rel_blocks];
+    for ml in 0..geom.memoryloads() {
+        let mut records = sys.read_memoryload(src, ml)?;
+        let base = (ml * mem) as u64;
+        // Pre-compute the global target block for each relative block
+        // number (well-defined: records sharing a relative block share
+        // a target memoryload — Lemma 14 via the kernel condition).
+        for i in 0..mem as u64 {
+            let y = ev.eval(base + i);
+            let rel = layout.relative_block(y) as usize;
+            target_block[rel] = layout.block(y);
+        }
+        permute_in_place(&mut records, |i| (ev.eval(base + i as u64) & mask) as usize);
+        // Write M/BD batches of D blocks; batch t carries relative
+        // blocks tD .. tD+D−1, whose low d bits give their disks.
+        let dst_base = sys.portion_base(dst);
+        for t in 0..rel_blocks / disks {
+            let mut writes: Vec<(BlockRef, &[R])> = Vec::with_capacity(disks);
+            for delta in 0..disks {
+                let rel = t * disks + delta;
+                let blk = target_block[rel];
+                let disk = layout.disk_of_block(blk) as usize;
+                debug_assert_eq!(
+                    disk, delta,
+                    "relative block {rel} not on its home disk (property 3 violated)"
+                );
+                let slot = dst_base + layout.stripe_of_block(blk) as usize;
+                writes.push((
+                    BlockRef { disk, slot },
+                    &records[rel * block..(rel + 1) * block],
+                ));
+            }
+            sys.write_blocks(&writes)?;
+        }
+    }
+    Ok(())
+}
+
+/// Executes the inverse of an MLD permutation in one pass with the
+/// mirrored discipline: for each *target* memoryload, its records'
+/// source addresses form `M/B` full source blocks spread evenly over
+/// the disks (Lemma 13 applied to `A⁻¹`), so they are gathered with
+/// `M/BD` independent reads, arranged in memory by target position,
+/// and emitted with `M/BD` striped writes.
+fn execute_mld_inverse<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    ev: &AffineEvaluator,
+    inv_ev: &AffineEvaluator,
+) -> Result<()> {
+    let geom = sys.geometry();
+    let layout = sys.layout();
+    let mem = geom.memory();
+    let disks = geom.disks();
+    let mask = (mem - 1) as u64;
+    let rel_blocks = geom.blocks_per_memoryload();
+    let src_base = sys.portion_base(src);
+    // Per-disk lists of source block numbers to gather, reused across
+    // memoryloads.
+    let mut per_disk: Vec<Vec<u64>> = vec![Vec::with_capacity(rel_blocks / disks); disks];
+    let mut seen: Vec<bool> = Vec::new();
+    for t in 0..geom.memoryloads() {
+        let base = (t * mem) as u64;
+        // Discover the M/B distinct source blocks feeding this target
+        // memoryload.
+        for d in per_disk.iter_mut() {
+            d.clear();
+        }
+        seen.clear();
+        seen.resize(geom.total_blocks(), false);
+        for i in 0..mem as u64 {
+            let x = inv_ev.eval(base + i);
+            let blk = layout.block(x);
+            if !seen[blk as usize] {
+                seen[blk as usize] = true;
+                per_disk[layout.disk_of_block(blk) as usize].push(blk);
+            }
+        }
+        debug_assert!(
+            per_disk.iter().all(|d| d.len() == rel_blocks / disks),
+            "source blocks of a target memoryload not evenly spread (mirror of property 3)"
+        );
+        // Gather with M/BD independent reads and scatter each record
+        // to its target position (low m bits of its target address).
+        let mut out = vec![R::default(); mem];
+        for k in 0..rel_blocks / disks {
+            let refs: Vec<BlockRef> = (0..disks)
+                .map(|disk| BlockRef {
+                    disk,
+                    slot: src_base + layout.stripe_of_block(per_disk[disk][k]) as usize,
+                })
+                .collect();
+            let blocks = sys.read_blocks(&refs)?;
+            for (disk, data) in blocks.iter().enumerate() {
+                let blk = per_disk[disk][k];
+                for (off, rec) in data.iter().enumerate() {
+                    let x = layout.compose_block(blk, off as u64);
+                    let y = ev.eval(x);
+                    debug_assert_eq!(
+                        layout.memoryload(y) as usize,
+                        t,
+                        "gathered a record not destined for this memoryload"
+                    );
+                    out[(y & mask) as usize] = *rec;
+                }
+            }
+        }
+        sys.write_memoryload(dst, t, &out)?;
+    }
+    Ok(())
+}
+
+/// The reference (zero-I/O) permutation: returns the record vector as
+/// it must appear after performing `target` on `input` —
+/// `output[target(x)] = input[x]`.
+pub fn reference_permute<R: Record>(input: &[R], target: impl Fn(u64) -> u64) -> Vec<R> {
+    let mut out = vec![R::default(); input.len()];
+    for (x, rec) in input.iter().enumerate() {
+        out[target(x as u64) as usize] = *rec;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmmc::Bmmc;
+    use crate::catalog;
+    use crate::factoring::{Pass, PassKind};
+    use gf2::BitVec;
+    use pdm::Geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// N=2^10, B=2^2, D=2^2, M=2^6 → b=2, d=2, m=6, n=10.
+    fn geom() -> Geometry {
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap()
+    }
+
+    fn run_one_pass(perm: &Bmmc, kind: PassKind) {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+        sys.load_records(0, &input);
+        let pass = Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind,
+        };
+        let stats = execute_pass(&mut sys, 0, 1, &pass).unwrap();
+        // Exactly one pass: 2N/BD parallel I/Os, N/BD reads all striped.
+        assert_eq!(stats.ios.parallel_ios() as usize, g.ios_per_pass());
+        assert_eq!(stats.ios.parallel_reads as usize, g.stripes());
+        assert_eq!(stats.ios.striped_reads as usize, g.stripes());
+        let expect = reference_permute(&input, |x| perm.target(x));
+        assert_eq!(sys.dump_records(1), expect, "wrong final placement");
+        match kind {
+            PassKind::Mrc | PassKind::MldInverse => assert_eq!(
+                stats.ios.striped_writes, stats.ios.parallel_writes,
+                "MRC/MLD⁻¹ must write striped"
+            ),
+            PassKind::Mld => {}
+        }
+    }
+
+    #[test]
+    fn mrc_pass_random() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let g = geom();
+        for _ in 0..5 {
+            let perm = catalog::random_mrc(&mut rng, g.n(), g.m());
+            run_one_pass(&perm, PassKind::Mrc);
+        }
+    }
+
+    #[test]
+    fn mld_pass_random() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = geom();
+        for _ in 0..5 {
+            let perm = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            run_one_pass(&perm, PassKind::Mld);
+        }
+    }
+
+    #[test]
+    fn mrc_runs_as_mld_too() {
+        // Every MRC permutation is MLD (Section 3), so the MLD
+        // executor must also handle it.
+        let mut rng = StdRng::seed_from_u64(53);
+        let g = geom();
+        let perm = catalog::random_mrc(&mut rng, g.n(), g.m());
+        run_one_pass(&perm, PassKind::Mld);
+    }
+
+    #[test]
+    fn gray_code_one_pass() {
+        let g = geom();
+        run_one_pass(&catalog::gray_code(g.n()), PassKind::Mrc);
+    }
+
+    #[test]
+    fn vector_reversal_one_pass() {
+        let g = geom();
+        // y = x ⊕ 1...1 is MRC (identity matrix) with full complement.
+        run_one_pass(&catalog::vector_reversal(g.n()), PassKind::Mrc);
+    }
+
+    #[test]
+    fn identity_pass_keeps_order() {
+        let g = geom();
+        run_one_pass(&Bmmc::identity(g.n()), PassKind::Mrc);
+    }
+
+    #[test]
+    fn eraser_form_pass_is_mld() {
+        // An eraser-form matrix exercises genuinely independent writes.
+        let g = geom();
+        let (b, m, n) = (g.b(), g.m(), g.n());
+        let e = crate::factors::eraser(
+            n,
+            b,
+            m,
+            &[
+                crate::factors::ColAdd { src: m, dst: b },
+                crate::factors::ColAdd { src: m + 1, dst: b + 1 },
+            ],
+        );
+        let perm = Bmmc::new(e, BitVec::zeros(n)).unwrap();
+        assert!(crate::classes::is_mld(perm.matrix(), b, m));
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+        sys.load_records(0, &input);
+        let pass = Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind: PassKind::Mld,
+        };
+        let stats = execute_pass(&mut sys, 0, 1, &pass).unwrap();
+        let expect = reference_permute(&input, |x| perm.target(x));
+        assert_eq!(sys.dump_records(1), expect);
+        // This one genuinely disperses: writes are not all striped.
+        assert!(stats.ios.independent_writes() > 0);
+    }
+
+    #[test]
+    fn mld_inverse_pass_random() {
+        // The inverse of an MLD permutation runs in one pass with the
+        // mirrored discipline: independent reads, striped writes.
+        let mut rng = StdRng::seed_from_u64(54);
+        let g = geom();
+        for _ in 0..5 {
+            let fwd = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            let perm = fwd.inverse();
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            let input: Vec<u64> = (0..g.records() as u64).collect();
+            sys.load_records(0, &input);
+            let pass = Pass {
+                matrix: perm.matrix().clone(),
+                complement: perm.complement().clone(),
+                kind: PassKind::MldInverse,
+            };
+            let stats = execute_pass(&mut sys, 0, 1, &pass).unwrap();
+            assert_eq!(stats.ios.parallel_ios() as usize, g.ios_per_pass());
+            assert_eq!(
+                stats.ios.striped_writes, stats.ios.parallel_writes,
+                "MLD⁻¹ writes are striped"
+            );
+            let expect = reference_permute(&input, |x| perm.target(x));
+            assert_eq!(sys.dump_records(1), expect, "MLD⁻¹ misplaced records");
+        }
+    }
+
+    #[test]
+    fn mrc_runs_as_mld_inverse_too() {
+        // MRC inverses are MRC (Theorem 18) ⊆ MLD, so the MLD⁻¹
+        // executor must handle an MRC matrix as well.
+        let mut rng = StdRng::seed_from_u64(55);
+        let g = geom();
+        let perm = catalog::random_mrc(&mut rng, g.n(), g.m());
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+        sys.load_records(0, &input);
+        let pass = Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind: PassKind::MldInverse,
+        };
+        execute_pass(&mut sys, 0, 1, &pass).unwrap();
+        let expect = reference_permute(&input, |x| perm.target(x));
+        assert_eq!(sys.dump_records(1), expect);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let perm = Bmmc::identity(5);
+        let pass = Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind: PassKind::Mrc,
+        };
+        assert!(matches!(
+            execute_pass(&mut sys, 0, 1, &pass),
+            Err(BmmcError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reference_permute_sanity() {
+        let input = [10u64, 11, 12, 13];
+        let out = reference_permute(&input, |x| x ^ 0b11);
+        assert_eq!(out, vec![13, 12, 11, 10]);
+    }
+}

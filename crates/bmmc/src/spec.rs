@@ -1,0 +1,179 @@
+//! A plain-text interchange format for BMMC permutations.
+//!
+//! The format a storage system (or the CLI tool) can read and write:
+//!
+//! ```text
+//! # any line starting with '#' is a comment
+//! bmmc 4                 # header: address width n
+//! 1000                   # n rows of the characteristic matrix A,
+//! 0100                   # row i on line i, column j = j-th char
+//! 0010
+//! 0001
+//! complement 1010        # optional complement vector c, bit 0 first
+//! ```
+//!
+//! Row/column conventions match the paper (indexed from 0 from the
+//! upper left); the complement line lists `c_0 c_1 … c_{n−1}`.
+
+use crate::bmmc::Bmmc;
+use crate::error::{BmmcError, Result};
+use gf2::{BitMatrix, BitVec};
+
+/// Serializes a permutation in the spec format.
+pub fn to_spec(perm: &Bmmc) -> String {
+    let n = perm.bits();
+    let mut out = String::with_capacity((n + 2) * (n + 1));
+    out.push_str(&format!("bmmc {n}\n"));
+    for i in 0..n {
+        for j in 0..n {
+            out.push(if perm.matrix().get(i, j) { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    if !perm.complement().is_zero() {
+        out.push_str("complement ");
+        for i in 0..n {
+            out.push(if perm.complement().bit(i) { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a permutation from the spec format.
+///
+/// Returns [`BmmcError::Dimension`] on malformed input and
+/// [`BmmcError::Singular`] if the matrix is not invertible.
+pub fn parse_spec(text: &str) -> Result<Bmmc> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines
+        .next()
+        .ok_or_else(|| BmmcError::Dimension("empty spec".to_string()))?;
+    let n: usize = header
+        .strip_prefix("bmmc")
+        .map(str::trim)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            BmmcError::Dimension(format!("expected `bmmc <n>` header, got {header:?}"))
+        })?;
+    if n == 0 || n > 64 {
+        return Err(BmmcError::Dimension(format!(
+            "address width {n} out of range 1..=64"
+        )));
+    }
+    let mut a = BitMatrix::zeros(n, n);
+    for i in 0..n {
+        let row = lines.next().ok_or_else(|| {
+            BmmcError::Dimension(format!("matrix row {i} missing (expected {n} rows)"))
+        })?;
+        let bits: Vec<char> = row.chars().filter(|c| !c.is_whitespace()).collect();
+        if bits.len() != n {
+            return Err(BmmcError::Dimension(format!(
+                "matrix row {i} has {} columns, expected {n}",
+                bits.len()
+            )));
+        }
+        for (j, ch) in bits.into_iter().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => a.set(i, j, true),
+                other => {
+                    return Err(BmmcError::Dimension(format!(
+                        "invalid character {other:?} in matrix row {i}"
+                    )))
+                }
+            }
+        }
+    }
+    let mut c = BitVec::zeros(n);
+    if let Some(line) = lines.next() {
+        let body = line.strip_prefix("complement").map(str::trim).ok_or_else(|| {
+            BmmcError::Dimension(format!("unexpected trailing line {line:?}"))
+        })?;
+        let bits: Vec<char> = body.chars().filter(|ch| !ch.is_whitespace()).collect();
+        if bits.len() != n {
+            return Err(BmmcError::Dimension(format!(
+                "complement has {} bits, expected {n}",
+                bits.len()
+            )));
+        }
+        for (i, ch) in bits.into_iter().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => c.set(i, true),
+                other => {
+                    return Err(BmmcError::Dimension(format!(
+                        "invalid character {other:?} in complement"
+                    )))
+                }
+            }
+        }
+    }
+    if let Some(extra) = lines.next() {
+        return Err(BmmcError::Dimension(format!(
+            "unexpected trailing line {extra:?}"
+        )));
+    }
+    Bmmc::new(a, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_random() {
+        let mut rng = StdRng::seed_from_u64(131);
+        for n in [1usize, 4, 13, 24] {
+            let p = catalog::random_bmmc(&mut rng, n);
+            let text = to_spec(&p);
+            let q = parse_spec(&text).unwrap();
+            assert_eq!(p, q, "round trip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_zero_complement_omits_line() {
+        let p = catalog::gray_code(5);
+        let text = to_spec(&p);
+        assert!(!text.contains("complement"));
+        assert_eq!(parse_spec(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn parses_paper_style_example() {
+        let text = "
+            # identity with full complement = vector reversal
+            bmmc 3
+            100
+            010
+            001
+            complement 111
+        ";
+        let p = parse_spec(text).unwrap();
+        assert_eq!(p, catalog::vector_reversal(3));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("bmmc x").is_err());
+        assert!(parse_spec("bmmc 2\n10").is_err()); // missing row
+        assert!(parse_spec("bmmc 2\n10\n012").is_err()); // bad char + width
+        assert!(parse_spec("bmmc 2\n10\n01\ncomplement 1").is_err()); // short c
+        assert!(parse_spec("bmmc 2\n10\n01\njunk").is_err());
+        assert!(parse_spec("bmmc 2\n11\n11").is_err()); // singular
+    }
+
+    #[test]
+    fn rejects_width_out_of_range() {
+        assert!(parse_spec("bmmc 0").is_err());
+        assert!(parse_spec("bmmc 65").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal hand-rolled argument parsing (the workspace's dependency
+//! policy has no CLI-parser crate; the surface is small enough that a
+//! flag walker is clearer than a framework).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--flag value` / `--flag`
+/// pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv[1..]`. Flags are `--name value` except for the
+    /// boolean flags listed in `bools`, which take no value.
+    pub fn parse(
+        argv: impl IntoIterator<Item = String>,
+        bools: &[&str],
+    ) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if bools.contains(&name) {
+                    out.flags.insert(name.to_string(), String::new());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    out.flags.insert(name.to_string(), value);
+                }
+            } else if out.command.is_empty() {
+                out.command = tok;
+            } else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// True if boolean `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// The value of `--name` or an error naming the flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+/// Parses an integer that may use `2^k` notation.
+pub fn parse_pow2(s: &str) -> Result<usize, String> {
+    if let Some(exp) = s.strip_prefix("2^") {
+        let e: u32 = exp
+            .parse()
+            .map_err(|_| format!("bad exponent in {s:?}"))?;
+        if e >= usize::BITS {
+            return Err(format!("{s} overflows usize"));
+        }
+        Ok(1usize << e)
+    } else {
+        s.parse().map_err(|_| format!("bad integer {s:?}"))
+    }
+}
+
+/// Parses a geometry flag `N,B,D,M` (each `2^k` or decimal).
+pub fn parse_geometry(s: &str) -> Result<pdm::Geometry, String> {
+    let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "geometry must be N,B,D,M (e.g. 2^16,2^4,2^3,2^10), got {s:?}"
+        ));
+    }
+    let vals: Vec<usize> = parts
+        .iter()
+        .map(|p| parse_pow2(p))
+        .collect::<Result<_, _>>()?;
+    pdm::Geometry::new(vals[0], vals[1], vals[2], vals[3]).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(argv("run --builtin gray --verify"), &["verify"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("builtin"), Some("gray"));
+        assert!(a.has("verify"));
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(argv("run --builtin"), &[]).is_err());
+    }
+
+    #[test]
+    fn unexpected_positional_is_an_error() {
+        assert!(Args::parse(argv("run stray"), &[]).is_err());
+    }
+
+    #[test]
+    fn pow2_notation() {
+        assert_eq!(parse_pow2("2^10").unwrap(), 1024);
+        assert_eq!(parse_pow2("64").unwrap(), 64);
+        assert!(parse_pow2("2^x").is_err());
+        assert!(parse_pow2("2^99").is_err());
+    }
+
+    #[test]
+    fn geometry_parsing() {
+        let g = parse_geometry("2^16,2^4,2^3,2^10").unwrap();
+        assert_eq!(g.records(), 1 << 16);
+        assert_eq!(g.block(), 16);
+        assert!(parse_geometry("1,2,3").is_err());
+        assert!(parse_geometry("2^4,2^4,2^3,2^10").is_err()); // M ≥ N
+    }
+}

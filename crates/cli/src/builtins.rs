@@ -1,0 +1,168 @@
+//! Named built-in permutations for the CLI, resolved against an
+//! address width `n`. Parameterized names use `name:value` syntax.
+
+use bmmc::{catalog, Bmmc};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The catalog of `--builtin` names shown by `bmmc-cli help`.
+pub const BUILTIN_HELP: &str = "\
+  identity            the identity permutation
+  bit-reversal        FFT reordering (bit i <-> bit n-1-i)
+  vector-reversal     y = x XOR (2^n - 1)
+  gray                binary-reflected Gray code
+  gray-inv            inverse Gray code
+  shuffle             perfect shuffle (rotate bits up by 1)
+  unshuffle           inverse perfect shuffle
+  morton              Z-order interleave (even n)
+  transpose:K         R x S matrix transpose with lg R = K
+  rotation:K          rotate address bits up by K
+  hypercube:MASK      y = x XOR MASK (MASK decimal or 0x..)
+  butterfly:K         swap bit K with bit 0
+  swap-fields:K       exchange bit fields [0,K) and [K,2K)
+  random:SEED         random BMMC (seeded)
+  random-bpc:SEED     random BPC (seeded)
+  random-mrc:SEED     random MRC for the geometry's m (seeded)
+  random-mld:SEED     random MLD for the geometry's (b, m) (seeded)";
+
+/// Resolves a builtin name to a permutation on `n`-bit addresses.
+/// `b` and `m` parameterize the class samplers.
+pub fn resolve(name: &str, n: usize, b: usize, m: usize) -> Result<Bmmc, String> {
+    let (head, param) = match name.split_once(':') {
+        Some((h, p)) => (h, Some(p)),
+        None => (name, None),
+    };
+    let need = |what: &str| -> Result<&str, String> {
+        param.ok_or_else(|| format!("builtin {head:?} needs a parameter: {head}:{what}"))
+    };
+    let parse_k = |p: &str| -> Result<usize, String> {
+        p.parse().map_err(|_| format!("bad parameter {p:?} for {head}"))
+    };
+    let parse_seed = |p: Option<&str>| -> u64 {
+        p.and_then(|s| s.parse().ok()).unwrap_or(0)
+    };
+    match head {
+        "identity" => Ok(Bmmc::identity(n)),
+        "bit-reversal" => Ok(catalog::bit_reversal(n)),
+        "vector-reversal" => Ok(catalog::vector_reversal(n)),
+        "gray" => Ok(catalog::gray_code(n)),
+        "gray-inv" => Ok(catalog::gray_code_inverse(n)),
+        "shuffle" => Ok(catalog::perfect_shuffle(n)),
+        "unshuffle" => Ok(catalog::perfect_unshuffle(n)),
+        "morton" => {
+            if !n.is_multiple_of(2) {
+                return Err(format!("morton needs an even address width, n = {n}"));
+            }
+            Ok(catalog::morton(n))
+        }
+        "transpose" => {
+            let k = parse_k(need("lgR")?)?;
+            if k > n {
+                return Err(format!("transpose: lg R = {k} exceeds n = {n}"));
+            }
+            Ok(catalog::transpose(n, k))
+        }
+        "rotation" => {
+            let k = parse_k(need("K")?)?;
+            Ok(catalog::rotation(n, k % n.max(1)))
+        }
+        "hypercube" => {
+            let p = need("MASK")?;
+            let mask = if let Some(hex) = p.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).map_err(|_| format!("bad mask {p:?}"))?
+            } else {
+                p.parse().map_err(|_| format!("bad mask {p:?}"))?
+            };
+            if n < 64 && mask >= (1 << n) {
+                return Err(format!("mask {mask:#x} does not fit in {n} bits"));
+            }
+            Ok(catalog::hypercube(n, mask))
+        }
+        "butterfly" => {
+            let k = parse_k(need("K")?)?;
+            if k >= n {
+                return Err(format!("butterfly: stage {k} out of range for n = {n}"));
+            }
+            Ok(catalog::butterfly(n, k))
+        }
+        "swap-fields" => {
+            let k = parse_k(need("K")?)?;
+            if 2 * k > n {
+                return Err(format!("swap-fields: 2K = {} exceeds n = {n}", 2 * k));
+            }
+            Ok(catalog::swap_fields(n, k))
+        }
+        "random" => Ok(catalog::random_bmmc(
+            &mut StdRng::seed_from_u64(parse_seed(param)),
+            n,
+        )),
+        "random-bpc" => Ok(catalog::random_bpc(
+            &mut StdRng::seed_from_u64(parse_seed(param)),
+            n,
+        )),
+        "random-mrc" => Ok(catalog::random_mrc(
+            &mut StdRng::seed_from_u64(parse_seed(param)),
+            n,
+            m,
+        )),
+        "random-mld" => Ok(catalog::random_mld(
+            &mut StdRng::seed_from_u64(parse_seed(param)),
+            n,
+            b,
+            m,
+        )),
+        other => Err(format!(
+            "unknown builtin {other:?}; available:\n{BUILTIN_HELP}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_plain_names() {
+        for name in [
+            "identity",
+            "bit-reversal",
+            "vector-reversal",
+            "gray",
+            "gray-inv",
+            "shuffle",
+            "unshuffle",
+            "morton",
+        ] {
+            let p = resolve(name, 10, 2, 6).unwrap();
+            assert_eq!(p.bits(), 10, "{name}");
+        }
+    }
+
+    #[test]
+    fn resolves_parameterized() {
+        assert!(resolve("transpose:5", 10, 2, 6).is_ok());
+        assert!(resolve("hypercube:0x3f", 10, 2, 6).is_ok());
+        assert!(resolve("butterfly:9", 10, 2, 6).is_ok());
+        assert!(resolve("swap-fields:5", 10, 2, 6).is_ok());
+        assert!(resolve("random:7", 10, 2, 6).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(resolve("transpose", 10, 2, 6).is_err()); // missing param
+        assert!(resolve("transpose:11", 10, 2, 6).is_err());
+        assert!(resolve("butterfly:10", 10, 2, 6).is_err());
+        assert!(resolve("morton", 9, 2, 6).is_err());
+        assert!(resolve("hypercube:2048", 10, 2, 6).is_err());
+        assert!(resolve("nope", 10, 2, 6).is_err());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = resolve("random:42", 12, 3, 8).unwrap();
+        let b = resolve("random:42", 12, 3, 8).unwrap();
+        let c = resolve("random:43", 12, 3, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

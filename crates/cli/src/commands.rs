@@ -1,0 +1,295 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_geometry, parse_pow2, Args};
+use crate::builtins;
+use bmmc::algorithm::{execute_passes, perform_bmmc};
+use bmmc::bpc_baseline::perform_bpc_baseline;
+use bmmc::detect::{detect_bmmc, Detection};
+use bmmc::verify::{verify_permutation, VerifyOutcome};
+use bmmc::{bounds, classify, factor_chunked, spec, Bmmc, PassKind};
+use gf2::elim::rank;
+use gf2::perm::bpc_cross_rank;
+use pdm::{DiskSystem, Geometry, TimingModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Loads the permutation from `--builtin` or `--spec` and checks it
+/// fits the geometry.
+fn load_perm(a: &Args, geom: &Geometry) -> Result<Bmmc, String> {
+    let perm = match (a.get("builtin"), a.get("spec")) {
+        (Some(name), None) => builtins::resolve(name, geom.n(), geom.b(), geom.m())?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            spec::parse_spec(&text).map_err(|e| e.to_string())?
+        }
+        _ => return Err("give exactly one of --builtin NAME or --spec FILE".to_string()),
+    };
+    if perm.bits() != geom.n() {
+        return Err(format!(
+            "permutation is on {}-bit addresses but the geometry has n = {}",
+            perm.bits(),
+            geom.n()
+        ));
+    }
+    Ok(perm)
+}
+
+fn geometry(a: &Args) -> Result<Geometry, String> {
+    parse_geometry(a.require("geometry")?)
+}
+
+/// `bmmc-cli info`: classification, ranks, and every bound.
+pub fn info(a: &Args) -> Result<(), String> {
+    let geom = geometry(a)?;
+    let perm = load_perm(a, &geom)?;
+    let (n, b, m) = (geom.n(), geom.b(), geom.m());
+    let flags = classify(perm.matrix(), b, m);
+    let r_gamma = rank(&perm.matrix().submatrix(b..n, 0..b));
+    let r_gamma_m = rank(&perm.matrix().submatrix(m..n, 0..m));
+    let r_lead = rank(&perm.matrix().submatrix(0..m, 0..m));
+
+    println!(
+        "geometry      N=2^{n} B=2^{} D=2^{} M=2^{m}  (one pass = {} parallel I/Os)",
+        geom.b(),
+        geom.d(),
+        geom.ios_per_pass()
+    );
+    println!(
+        "classes       BMMC={} BPC={} MRC={} MLD={} MLD⁻¹={}",
+        flags.bmmc, flags.bpc, flags.mrc, flags.mld, flags.mld_inverse
+    );
+    println!(
+        "ranks         rank γ (b-split) = {r_gamma}, rank γ̂ (m-split) = {r_gamma_m}, \
+         leading m×m = {r_lead}"
+    );
+    if flags.bpc {
+        println!(
+            "cross-rank    ρ(A) = {} (old BPC bound {} I/Os)",
+            bpc_cross_rank(perm.matrix(), b, m),
+            bounds::old_bpc_upper(&geom, bpc_cross_rank(perm.matrix(), b, m))
+        );
+    }
+    println!(
+        "Theorem 3     lower bound expression = {:.0} parallel I/Os",
+        bounds::theorem3_lower(&geom, r_gamma)
+    );
+    println!(
+        "§7 precise    lower bound = {:.0} parallel I/Os",
+        bounds::precise_lower(&geom, r_gamma)
+    );
+    println!(
+        "Theorem 21    upper bound = {} parallel I/Os ({} passes predicted)",
+        bounds::theorem21_upper(&geom, r_gamma),
+        bounds::factoring_passes(&geom, r_gamma_m)
+    );
+    println!(
+        "old BMMC [4]  upper bound = {} parallel I/Os (H = {})",
+        bounds::old_bmmc_upper(&geom, r_lead),
+        bounds::h_function(&geom)
+    );
+    let (per_rec, sort, min) = bounds::general_permutation_bound(&geom);
+    println!(
+        "general perm  min({per_rec}, {sort}) = {min} parallel I/Os (sorting baseline)"
+    );
+    println!(
+        "detection     {} parallel reads (Section 6)",
+        bounds::detection_reads(&geom)
+    );
+    Ok(())
+}
+
+/// `bmmc-cli factor`: the Section 5 plan, pass by pass.
+pub fn factor(a: &Args) -> Result<(), String> {
+    let geom = geometry(a)?;
+    let perm = load_perm(a, &geom)?;
+    let chunk = match a.get("chunk") {
+        Some(s) => parse_pow2(s)?,
+        None => geom.lg_mb(),
+    };
+    let fac = factor_chunked(&perm, geom.b(), geom.m(), chunk).map_err(|e| e.to_string())?;
+    println!(
+        "factored into {} pass(es) with {} swap/erase round(s), chunk = {chunk}:",
+        fac.num_passes(),
+        fac.g()
+    );
+    for (i, pass) in fac.passes.iter().enumerate() {
+        println!(
+            "  pass {}: {:?}  ({} I/O discipline)",
+            i + 1,
+            pass.kind,
+            match pass.kind {
+                PassKind::Mrc => "striped reads, striped writes",
+                PassKind::Mld => "striped reads, independent writes",
+                PassKind::MldInverse => "independent reads, striped writes",
+            }
+        );
+    }
+    if !fac.verify(&perm) {
+        return Err("internal error: factorization does not recompose".to_string());
+    }
+    println!("recomposition check: passes compose back to A ✓");
+    Ok(())
+}
+
+/// `bmmc-cli run`: perform the permutation and report costs.
+pub fn run(a: &Args) -> Result<(), String> {
+    let geom = geometry(a)?;
+    let perm = load_perm(a, &geom)?;
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+    match a.get("timing") {
+        Some("hdd") => sys.set_timing(TimingModel::hdd()),
+        Some("ssd") => sys.set_timing(TimingModel::ssd()),
+        Some(other) => return Err(format!("unknown timing model {other:?}")),
+        None => {}
+    }
+    sys.load_records(0, &(0..geom.records() as u64).collect::<Vec<_>>());
+
+    let algorithm = a.get("algorithm").unwrap_or("auto");
+    let report = match algorithm {
+        "auto" => perform_bmmc(&mut sys, &perm).map_err(|e| e.to_string())?,
+        "factor" => {
+            let chunk = match a.get("chunk") {
+                Some(s) => parse_pow2(s)?,
+                None => geom.lg_mb(),
+            };
+            let fac = factor_chunked(&perm, geom.b(), geom.m(), chunk)
+                .map_err(|e| e.to_string())?;
+            execute_passes(&mut sys, &fac.passes).map_err(|e| e.to_string())?
+        }
+        "bpc" => perform_bpc_baseline(&mut sys, &perm).map_err(|e| e.to_string())?,
+        "sort" => {
+            let rep = extsort::general_permute(&mut sys, |&x| x, |x| perm.target(x))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "sort baseline: {} passes, {}",
+                rep.passes, rep.total
+            );
+            if a.has("verify") {
+                verify_and_report(&mut sys, rep.final_portion, &perm)?;
+            }
+            if let Some(t) = sys.timing() {
+                println!("simulated time: {:.2} s ({} seeks)", t.elapsed_ms() / 1000.0, t.seeks());
+            }
+            return Ok(());
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let kinds: Vec<PassKind> = report.passes.iter().map(|p| p.kind).collect();
+    println!(
+        "{} pass(es) {:?}: {}",
+        report.num_passes(),
+        kinds,
+        report.total
+    );
+    if let Some(t) = sys.timing() {
+        println!(
+            "simulated time: {:.2} s ({} seeks, {} sequential accesses)",
+            t.elapsed_ms() / 1000.0,
+            t.seeks(),
+            t.sequential_accesses()
+        );
+    }
+    if a.has("verify") {
+        verify_and_report(&mut sys, report.final_portion, &perm)?;
+    }
+    Ok(())
+}
+
+fn verify_and_report(
+    sys: &mut DiskSystem<u64>,
+    portion: usize,
+    perm: &Bmmc,
+) -> Result<(), String> {
+    match verify_permutation(sys, portion, perm, |&k| k).map_err(|e| e.to_string())? {
+        VerifyOutcome::Correct { reads } => {
+            println!("verified: every record at its target address ({reads} reads)");
+            Ok(())
+        }
+        VerifyOutcome::Misplaced {
+            address, found_key, ..
+        } => Err(format!(
+            "VERIFICATION FAILED: address {address} holds record {found_key}"
+        )),
+    }
+}
+
+/// `bmmc-cli detect`: Section 6 detection on a target vector.
+pub fn detect(a: &Args) -> Result<(), String> {
+    let geom = geometry(a)?;
+    let targets: Vec<u64> = match (a.get("targets"), a.get("shuffle"), a.get("builtin")) {
+        (Some(path), None, None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let vals: Result<Vec<u64>, _> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::parse)
+                .collect();
+            vals.map_err(|e| format!("bad target line: {e}"))?
+        }
+        (None, Some(seed), None) => {
+            let seed: u64 = seed.parse().map_err(|_| "bad --shuffle seed".to_string())?;
+            let mut v: Vec<u64> = (0..geom.records() as u64).collect();
+            v.shuffle(&mut StdRng::seed_from_u64(seed));
+            v
+        }
+        (None, None, Some(_)) => {
+            let perm = load_perm(a, &geom)?;
+            perm.target_vector()
+        }
+        _ => {
+            return Err(
+                "give exactly one of --targets FILE, --shuffle SEED, or --builtin NAME"
+                    .to_string(),
+            )
+        }
+    };
+    if targets.len() != geom.records() {
+        return Err(format!(
+            "target vector has {} entries, geometry needs N = {}",
+            targets.len(),
+            geom.records()
+        ));
+    }
+    let mut sys = bmmc::detect::load_target_vector(geom, &targets);
+    match detect_bmmc(&mut sys, 0).map_err(|e| e.to_string())? {
+        Detection::Bmmc { perm, stats } => {
+            let flags = classify(perm.matrix(), geom.b(), geom.m());
+            println!(
+                "BMMC: yes ({} reads: {} candidate + {} verify; bound {})",
+                stats.total(),
+                stats.candidate_reads,
+                stats.verify_reads,
+                bounds::detection_reads(&geom)
+            );
+            println!(
+                "classes: BPC={} MRC={} MLD={} MLD⁻¹={}",
+                flags.bpc, flags.mrc, flags.mld, flags.mld_inverse
+            );
+            print!("{}", spec::to_spec(&perm));
+        }
+        Detection::NotBmmc { reason, stats } => {
+            println!("BMMC: no ({:?}; {} reads)", reason, stats.total());
+        }
+    }
+    Ok(())
+}
+
+/// `bmmc-cli spec`: print a builtin in the spec format.
+pub fn spec(a: &Args) -> Result<(), String> {
+    let n = parse_pow2(a.get("n").unwrap_or("13"))?;
+    if n == 0 || n > 64 {
+        return Err(format!("--n {n} out of range 1..=64"));
+    }
+    // For spec output, (b, m) only matter for the class samplers; use
+    // a canonical split.
+    let b = (n / 4).max(1);
+    let m = (n * 2 / 3).max(b + 1);
+    let name = a.require("builtin")?;
+    let perm = builtins::resolve(name, n, b, m.min(n - 1))?;
+    print!("{}", spec::to_spec(&perm));
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! `bmmc-cli` — drive the BMMC permutation library from the shell.
+//!
+//! ```text
+//! bmmc-cli info    --builtin bit-reversal --geometry 2^16,2^4,2^3,2^10
+//! bmmc-cli factor  --builtin random:7     --geometry 2^13,2^3,2^4,2^8
+//! bmmc-cli run     --builtin transpose:8  --geometry 2^16,2^4,2^3,2^10 --verify
+//! bmmc-cli run     --spec perm.bmmc       --geometry ... --algorithm sort
+//! bmmc-cli detect  --targets targets.txt  --geometry 2^13,2^3,2^4,2^8
+//! bmmc-cli spec    --builtin gray --n 13
+//! ```
+
+mod args;
+mod builtins;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bmmc-cli — BMMC permutations on a simulated parallel disk system
+
+USAGE:
+  bmmc-cli <command> [flags]
+
+COMMANDS:
+  info     classify a permutation and print every bound the paper states
+  factor   print the Section 5 factoring and pass plan
+  run      perform the permutation on the simulated disk array
+  detect   run Section 6 detection on a vector of target addresses
+  spec     print a permutation in the spec file format
+  help     this text
+
+COMMON FLAGS:
+  --geometry N,B,D,M    disk geometry, powers of two (e.g. 2^16,2^4,2^3,2^10)
+  --builtin NAME        a named permutation (see below)
+  --spec FILE           read the permutation from a spec file instead
+
+RUN FLAGS:
+  --algorithm WHICH     auto (default) | factor | sort | bpc
+  --timing MODEL        also simulate service time: hdd | ssd
+  --chunk K             swap/erase chunk-size override (ablation)
+  --verify              scan the output and confirm every placement
+
+DETECT FLAGS:
+  --targets FILE        one target address per line (decimal), length N
+  --shuffle SEED        use a random non-BMMC shuffle instead
+
+SPEC FLAGS:
+  --n BITS              address width for --builtin (spec has no geometry)
+
+BUILTINS:
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv, &["verify"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "info" => commands::info(&parsed),
+        "factor" => commands::factor(&parsed),
+        "run" => commands::run(&parsed),
+        "detect" => commands::detect(&parsed),
+        "spec" => commands::spec(&parsed),
+        "help" | "" => {
+            println!("{USAGE}{}", builtins::BUILTIN_HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `bmmc-cli help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the `bmmc-cli` binary via `std::process`.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bmmc-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn bmmc-cli");
+    assert!(
+        out.status.success(),
+        "bmmc-cli {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn bmmc-cli");
+    assert!(!out.status.success(), "bmmc-cli {args:?} unexpectedly succeeded");
+    String::from_utf8(out.stderr).expect("utf8 stderr")
+}
+
+const GEOM: &str = "2^12,2^2,2^2,2^7";
+
+#[test]
+fn help_lists_builtins() {
+    let text = run_ok(&["help"]);
+    assert!(text.contains("bit-reversal"));
+    assert!(text.contains("COMMANDS"));
+}
+
+#[test]
+fn info_prints_bounds() {
+    let text = run_ok(&["info", "--builtin", "bit-reversal", "--geometry", GEOM]);
+    assert!(text.contains("Theorem 3"));
+    assert!(text.contains("Theorem 21"));
+    assert!(text.contains("BPC=true"));
+}
+
+#[test]
+fn run_with_verify_succeeds() {
+    let text = run_ok(&[
+        "run",
+        "--builtin",
+        "transpose:6",
+        "--geometry",
+        GEOM,
+        "--verify",
+    ]);
+    assert!(text.contains("verified"));
+}
+
+#[test]
+fn run_sort_algorithm() {
+    let text = run_ok(&[
+        "run",
+        "--builtin",
+        "gray",
+        "--geometry",
+        GEOM,
+        "--algorithm",
+        "sort",
+        "--verify",
+    ]);
+    assert!(text.contains("sort baseline"));
+    assert!(text.contains("verified"));
+}
+
+#[test]
+fn run_with_timing_model() {
+    let text = run_ok(&[
+        "run",
+        "--builtin",
+        "random:3",
+        "--geometry",
+        GEOM,
+        "--timing",
+        "hdd",
+    ]);
+    assert!(text.contains("simulated time"));
+}
+
+#[test]
+fn factor_prints_plan() {
+    let text = run_ok(&["factor", "--builtin", "random:9", "--geometry", GEOM]);
+    assert!(text.contains("pass 1"));
+    assert!(text.contains("recomposition check"));
+}
+
+#[test]
+fn detect_positive_and_negative() {
+    let pos = run_ok(&["detect", "--builtin", "gray", "--geometry", GEOM]);
+    assert!(pos.contains("BMMC: yes"));
+    assert!(pos.contains("MRC=true"));
+    let neg = run_ok(&["detect", "--shuffle", "1", "--geometry", GEOM]);
+    assert!(neg.contains("BMMC: no"));
+}
+
+#[test]
+fn spec_round_trips_through_file() {
+    let text = run_ok(&["spec", "--builtin", "bit-reversal", "--n", "12"]);
+    assert!(text.starts_with("bmmc 12"));
+    let dir = std::env::temp_dir().join(format!("bmmc-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("perm.bmmc");
+    std::fs::write(&path, &text).unwrap();
+    let run = run_ok(&[
+        "run",
+        "--spec",
+        path.to_str().unwrap(),
+        "--geometry",
+        GEOM,
+        "--verify",
+    ]);
+    assert!(run.contains("verified"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported() {
+    let err = run_err(&["run", "--builtin", "nope", "--geometry", GEOM]);
+    assert!(err.contains("unknown builtin"));
+    let err = run_err(&["run", "--builtin", "gray", "--geometry", "3,3,3,3"]);
+    assert!(err.contains("power of two"));
+    let err = run_err(&["frobnicate"]);
+    assert!(err.contains("unknown command"));
+    let err = run_err(&["run", "--geometry", GEOM]);
+    assert!(err.contains("exactly one of"));
+}

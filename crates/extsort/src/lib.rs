@@ -1,0 +1,24 @@
+//! External merge sort on the parallel disk model, and the
+//! general-permutation baseline built on it.
+//!
+//! Vitter & Shriver's general-permutation bound —
+//! `Θ(min(N/D, (N/BD)·lg(N/B)/lg(M/B)))` parallel I/Os — is the
+//! comparator the BMMC paper improves on for its permutation class.
+//! This crate provides the executable baseline: sort the records by
+//! target address with an external merge sort, which *is* the
+//! permutation once the keys are `0..N`.
+//!
+//! The merge is stripe-granular: every buffer holds one stripe
+//! (`B·D` records), so every read and write is a striped parallel I/O
+//! and each pass costs exactly `2N/BD` operations. The fan-in is
+//! therefore `M/BD − 1` (one stripe buffered per run plus one output
+//! stripe). Vitter–Shriver reach fan-in `Θ(M/B)` with forecasting and
+//! randomized striping; the substitution preserves the bound's shape
+//! (passes = `Θ(log_{M/BD}(N/M))`) and is exact in our cost tables —
+//! see DESIGN.md.
+
+pub mod merge;
+pub mod permute;
+
+pub use merge::{sort_by_key, SortReport};
+pub use permute::general_permute;

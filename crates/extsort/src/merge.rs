@@ -1,0 +1,292 @@
+//! Stripe-granular external merge sort.
+//!
+//! 1. **Run formation**: each memoryload is read (striped), sorted in
+//!    memory, and written back as a sorted run of `M` records — one
+//!    pass, `2N/BD` parallel I/Os.
+//! 2. **Merge passes**: groups of up to `F = M/BD − 1` consecutive
+//!    runs are merged; each active run buffers one stripe and the
+//!    output buffers one stripe, so memory holds at most
+//!    `(F+1)·BD = M` records. Every transfer is a striped parallel
+//!    I/O; each pass costs exactly `2N/BD`.
+//!
+//! Total: `(2N/BD)·(1 + ⌈log_F(N/M)⌉)` parallel I/Os.
+
+use pdm::{DiskSystem, IoStats, PdmError, Record};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of an external sort.
+#[derive(Clone, Copy, Debug)]
+pub struct SortReport {
+    /// Number of passes over the data (run formation + merge passes).
+    pub passes: usize,
+    /// Merge fan-in used (`M/BD − 1`).
+    pub fan_in: usize,
+    /// Total I/O.
+    pub total: IoStats,
+    /// Portion holding the sorted data.
+    pub final_portion: usize,
+}
+
+/// A run: a contiguous range of stripes within a portion, sorted by
+/// key.
+#[derive(Clone, Copy, Debug)]
+struct Run {
+    start: usize,
+    end: usize, // exclusive, in stripes
+}
+
+/// One run being consumed during a merge: a one-stripe buffer plus the
+/// read cursor.
+struct Cursor<R> {
+    run: Run,
+    next_stripe: usize,
+    buf: Vec<R>,
+    pos: usize,
+}
+
+impl<R: Record> Cursor<R> {
+    fn exhausted(&self) -> bool {
+        self.pos >= self.buf.len() && self.next_stripe >= self.run.end
+    }
+
+    /// Refills the buffer if empty; returns false when the run is done.
+    fn ensure(&mut self, sys: &mut DiskSystem<R>, base: usize) -> Result<bool, PdmError> {
+        if self.pos < self.buf.len() {
+            return Ok(true);
+        }
+        if self.next_stripe >= self.run.end {
+            return Ok(false);
+        }
+        self.buf = sys.read_stripe(base + self.next_stripe)?;
+        self.pos = 0;
+        self.next_stripe += 1;
+        Ok(true)
+    }
+
+    fn peek(&self) -> &R {
+        &self.buf[self.pos]
+    }
+
+    fn pop(&mut self) -> R {
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        r
+    }
+}
+
+/// Sorts the `N` records in portion 0 by `key`, ascending. Requires a
+/// disk system with at least two portions, and `M ≥ 3·BD` (fan-in of
+/// at least two runs plus the output buffer).
+pub fn sort_by_key<R: Record>(
+    sys: &mut DiskSystem<R>,
+    key: impl Fn(&R) -> u64 + Copy,
+) -> Result<SortReport, PdmError> {
+    let geom = sys.geometry();
+    assert!(sys.portions() >= 2, "sort needs two portions");
+    let stripes_in_memory = geom.memory() / (geom.block() * geom.disks());
+    let fan_in = stripes_in_memory.saturating_sub(1);
+    if fan_in < 2 {
+        return Err(PdmError::Config(format!(
+            "merge sort needs M ≥ 3·BD (fan-in {fan_in} < 2)"
+        )));
+    }
+    let before = sys.stats();
+
+    // --- Run formation: memoryload-sized sorted runs into portion 1.
+    let spm = geom.stripes_per_memoryload();
+    for ml in 0..geom.memoryloads() {
+        let mut records = sys.read_memoryload(0, ml)?;
+        records.sort_unstable_by_key(key);
+        sys.write_memoryload(1, ml, &records)?;
+    }
+    let mut runs: Vec<Run> = (0..geom.memoryloads())
+        .map(|ml| Run {
+            start: ml * spm,
+            end: (ml + 1) * spm,
+        })
+        .collect();
+    let mut src = 1usize;
+    let mut passes = 1usize;
+
+    // --- Merge passes.
+    while runs.len() > 1 {
+        let dst = 1 - src;
+        let mut next_runs: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(fan_in));
+        for group in runs.chunks(fan_in) {
+            let start = group[0].start;
+            let end = group.last().unwrap().end;
+            merge_group(sys, src, dst, group, key)?;
+            next_runs.push(Run { start, end });
+        }
+        runs = next_runs;
+        src = dst;
+        passes += 1;
+    }
+
+    Ok(SortReport {
+        passes,
+        fan_in,
+        total: sys.stats().since(&before),
+        final_portion: src,
+    })
+}
+
+/// Merges a group of consecutive runs from `src` into the same stripe
+/// range of `dst`.
+fn merge_group<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    group: &[Run],
+    key: impl Fn(&R) -> u64 + Copy,
+) -> Result<(), PdmError> {
+    let geom = sys.geometry();
+    let src_base = sys.portion_base(src);
+    let dst_base = sys.portion_base(dst);
+    let stripe_len = geom.block() * geom.disks();
+
+    let mut cursors: Vec<Cursor<R>> = group
+        .iter()
+        .map(|&run| Cursor {
+            run,
+            next_stripe: run.start,
+            buf: Vec::new(),
+            pos: 0,
+        })
+        .collect();
+    // Heap of (key, cursor index); pull the global minimum, refilling
+    // that cursor's stripe buffer on demand.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter_mut().enumerate() {
+        if c.ensure(sys, src_base)? {
+            heap.push(Reverse((key(c.peek()), i)));
+        }
+    }
+    let mut out: Vec<R> = Vec::with_capacity(stripe_len);
+    let mut out_stripe = group[0].start;
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let rec = cursors[i].pop();
+        out.push(rec);
+        if out.len() == stripe_len {
+            sys.write_stripe(dst_base + out_stripe, &out)?;
+            out_stripe += 1;
+            out.clear();
+        }
+        if cursors[i].ensure(sys, src_base)? {
+            heap.push(Reverse((key(cursors[i].peek()), i)));
+        }
+    }
+    debug_assert!(out.is_empty(), "runs are stripe-aligned");
+    debug_assert!(cursors.iter().all(Cursor::exhausted));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::Geometry;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn geom() -> Geometry {
+        // N=2^10, B=2^2, D=2^2, M=2^6: M/BD = 4 stripes, fan-in 3.
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap()
+    }
+
+    #[test]
+    fn sorts_shuffled_records() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut records: Vec<u64> = (0..g.records() as u64).collect();
+        records.shuffle(&mut rng);
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &records);
+        let report = sort_by_key(&mut sys, |&r| r).unwrap();
+        let out = sys.dump_records(report.final_portion);
+        let expect: Vec<u64> = (0..g.records() as u64).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pass_count_matches_formula() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let mut records: Vec<u64> = (0..g.records() as u64).rev().collect();
+        records.rotate_left(7);
+        sys.load_records(0, &records);
+        let report = sort_by_key(&mut sys, |&r| r).unwrap();
+        // N/M = 16 runs, fan-in 3: 16 → 6 → 2 → 1 = 3 merge passes.
+        assert_eq!(report.fan_in, 3);
+        assert_eq!(report.passes, 4);
+        // Every pass costs exactly 2N/BD striped I/Os.
+        assert_eq!(
+            report.total.parallel_ios() as usize,
+            report.passes * g.ios_per_pass()
+        );
+        assert_eq!(report.total.striped_reads, report.total.parallel_reads);
+        assert_eq!(report.total.striped_writes, report.total.parallel_writes);
+    }
+
+    #[test]
+    fn already_sorted_input() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+        let report = sort_by_key(&mut sys, |&r| r).unwrap();
+        let out = sys.dump_records(report.final_portion);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorts_with_duplicate_keys() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let records: Vec<u64> = (0..g.records() as u64).map(|i| i % 17).collect();
+        sys.load_records(0, &records);
+        let report = sort_by_key(&mut sys, |&r| r).unwrap();
+        let out = sys.dump_records(report.final_portion);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        // Same multiset.
+        let mut a = out.clone();
+        let mut b = records.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_tiny_memory() {
+        // M = BD: zero fan-in.
+        let g = Geometry::new(1 << 8, 1 << 2, 1 << 2, 1 << 4).unwrap();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &(0..256u64).collect::<Vec<_>>());
+        assert!(sort_by_key(&mut sys, |&r| r).is_err());
+    }
+
+    #[test]
+    fn single_disk_sort() {
+        let g = Geometry::new(1 << 9, 1 << 2, 1, 1 << 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut records: Vec<u64> = (0..g.records() as u64).collect();
+        records.shuffle(&mut rng);
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &records);
+        let report = sort_by_key(&mut sys, |&r| r).unwrap();
+        let out = sys.dump_records(report.final_portion);
+        assert_eq!(out, (0..g.records() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn descending_key_sort() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+        let max = g.records() as u64 - 1;
+        let report = sort_by_key(&mut sys, move |&r| max - r).unwrap();
+        let out = sys.dump_records(report.final_portion);
+        let expect: Vec<u64> = (0..g.records() as u64).rev().collect();
+        assert_eq!(out, expect);
+    }
+}

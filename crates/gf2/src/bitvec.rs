@@ -1,0 +1,372 @@
+//! Bit-packed vectors over GF(2).
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// A fixed-length vector over GF(2), packed 64 bits per word.
+///
+/// Bit `i` of the vector lives in word `i / 64` at position `i % 64`.
+/// The trailing bits of the last word beyond `len` are always zero; every
+/// mutating operation re-establishes this invariant so that equality and
+/// hashing can compare words directly.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// The all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; words_for(len)],
+        }
+    }
+
+    /// The all-ones vector of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![!0u64; words_for(len)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// The unit vector `e_i` of length `len` (a single 1 in position `i`).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        let mut v = Self::zeros(len);
+        v.set(i, true);
+        v
+    }
+
+    /// Builds a vector of length `len` from the low bits of `value`
+    /// (bit 0 of `value` becomes element 0).
+    ///
+    /// # Panics
+    /// Panics if `value` has a set bit at or above position `len`.
+    pub fn from_u64(len: usize, value: u64) -> Self {
+        if len < 64 {
+            assert!(
+                value < (1u64 << len),
+                "value {value:#x} does not fit in {len} bits"
+            );
+        }
+        let mut v = Self::zeros(len);
+        if !v.words.is_empty() {
+            v.words[0] = value;
+        }
+        v
+    }
+
+    /// Builds a vector from an iterator of bools; the first item is bit 0.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value of bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        let w = i / WORD_BITS;
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[w] |= mask;
+        } else {
+            self.words[w] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place XOR with another vector of the same length.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
+    /// GF(2) inner product: the parity of the AND of the two vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "dot length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// The sub-vector of bits `range.start .. range.end` (paper's
+    /// `x_{s..e-1}` notation).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the length.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.end <= self.len, "slice out of range");
+        let mut out = BitVec::zeros(range.len());
+        for (k, i) in range.enumerate() {
+            if self.bit(i) {
+                out.set(k, true);
+            }
+        }
+        out
+    }
+
+    /// Concatenates `self` (low bits) with `hi` (high bits).
+    pub fn concat(&self, hi: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + hi.len);
+        for i in 0..self.len {
+            if self.bit(i) {
+                out.set(i, true);
+            }
+        }
+        for i in 0..hi.len {
+            if hi.bit(i) {
+                out.set(self.len + i, true);
+            }
+        }
+        out
+    }
+
+    /// Interprets the vector as an integer (bit 0 = LSB).
+    ///
+    /// # Panics
+    /// Panics if the length exceeds 64 and any high bit is set.
+    pub fn as_u64(&self) -> u64 {
+        for (k, &w) in self.words.iter().enumerate() {
+            if k > 0 && w != 0 {
+                panic!("BitVec does not fit in u64");
+            }
+        }
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Iterator over the positions of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Raw words backing the vector (low word first).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Zeroes any bits at positions `>= len` in the last word.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    /// Renders as bit 0 first, matching the paper's `(x_0, x_1, ..)` order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert!(z.is_zero());
+        assert_eq!(z.count_ones(), 0);
+
+        let o = BitVec::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!(!o.is_zero());
+    }
+
+    #[test]
+    fn ones_masks_tail_word() {
+        let o = BitVec::ones(65);
+        assert_eq!(o.words()[1], 1);
+        assert_eq!(o.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(70);
+        v.set(0, true);
+        v.set(69, true);
+        assert!(v.bit(0));
+        assert!(v.bit(69));
+        assert!(!v.bit(35));
+        v.flip(69);
+        assert!(!v.bit(69));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(8);
+        let _ = v.bit(8);
+    }
+
+    #[test]
+    fn from_u64_round_trip() {
+        let v = BitVec::from_u64(13, 0b1010011001011);
+        assert_eq!(v.as_u64(), 0b1010011001011);
+        assert!(v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_overflow_panics() {
+        let _ = BitVec::from_u64(3, 8);
+    }
+
+    #[test]
+    fn unit_vectors() {
+        for i in 0..20 {
+            let e = BitVec::unit(20, i);
+            assert_eq!(e.count_ones(), 1);
+            assert!(e.bit(i));
+            assert_eq!(e.as_u64(), 1 << i);
+        }
+    }
+
+    #[test]
+    fn xor_assign_is_involutive() {
+        let a = BitVec::from_u64(10, 0b1100110011);
+        let b = BitVec::from_u64(10, 0b0101010101);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        assert_eq!(c.as_u64(), 0b1100110011 ^ 0b0101010101);
+        c.xor_assign(&b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dot_product_parity() {
+        let a = BitVec::from_u64(4, 0b1011);
+        let b = BitVec::from_u64(4, 0b1110);
+        // AND = 0b1010, two ones => parity 0.
+        assert!(!a.dot(&b));
+        let c = BitVec::from_u64(4, 0b0010);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let v = BitVec::from_u64(13, 0b1010011001011);
+        let lo = v.slice(0..5);
+        let hi = v.slice(5..13);
+        assert_eq!(lo.as_u64(), 0b01011);
+        assert_eq!(hi.as_u64(), 0b10100110);
+        assert_eq!(lo.concat(&hi), v);
+    }
+
+    #[test]
+    fn iter_ones_matches_bits() {
+        let v = BitVec::from_bits((0..130).map(|i| i % 7 == 0));
+        let ones: Vec<usize> = v.iter_ones().collect();
+        let expect: Vec<usize> = (0..130).filter(|i| i % 7 == 0).collect();
+        assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn display_lsb_first() {
+        let v = BitVec::from_u64(4, 0b0011);
+        assert_eq!(v.to_string(), "1100");
+    }
+}

@@ -1,0 +1,404 @@
+//! Gaussian elimination over GF(2): rank, inverse, solving, and
+//! column-dependency analysis.
+//!
+//! The factoring algorithm of Section 5 of the paper repeatedly needs
+//! * a maximal set of linearly independent columns of a submatrix
+//!   (the sets `V`, `W`, and `U` in the trailer/reducer constructions), and
+//! * for each dependent column, the subset of basis columns whose sum
+//!   equals it (the sets `U_j`).
+//!
+//! Both fall out of the reduced row-echelon form computed here: the pivot
+//! columns are a maximal independent set, and for a non-pivot column `j`
+//! the entries of RREF column `j` in the pivot rows name exactly the pivot
+//! columns that sum to column `j`.
+
+use crate::bitvec::BitVec;
+use crate::matrix::BitMatrix;
+
+/// The result of running Gauss–Jordan elimination on a matrix.
+///
+/// Holds the reduced row-echelon form (RREF) and the pivot positions.
+/// All queries (`rank`, `pivot_columns`, `combination_of_pivots`, …) are
+/// O(1) or single-pass over the stored form.
+#[derive(Clone, Debug)]
+pub struct Elimination {
+    rref: BitMatrix,
+    /// `(row, col)` of each pivot, in increasing row (and column) order.
+    pivots: Vec<(usize, usize)>,
+}
+
+impl Elimination {
+    /// Runs Gauss–Jordan elimination (to full RREF) on a copy of `a`.
+    pub fn new(a: &BitMatrix) -> Self {
+        let mut m = a.clone();
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..cols {
+            if pivot_row >= rows {
+                break;
+            }
+            // Find a row at or below pivot_row with a 1 in this column.
+            let found = (pivot_row..rows).find(|&r| m.get(r, col));
+            let Some(r) = found else { continue };
+            m.swap_rows(pivot_row, r);
+            // Clear the column everywhere else (full reduction).
+            for r2 in 0..rows {
+                if r2 != pivot_row && m.get(r2, col) {
+                    m.xor_row_into(pivot_row, r2);
+                }
+            }
+            pivots.push((pivot_row, col));
+            pivot_row += 1;
+        }
+        Elimination { rref: m, pivots }
+    }
+
+    /// The rank of the matrix.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// The reduced row-echelon form.
+    #[inline]
+    pub fn rref(&self) -> &BitMatrix {
+        &self.rref
+    }
+
+    /// The pivot `(row, col)` pairs in increasing order.
+    #[inline]
+    pub fn pivots(&self) -> &[(usize, usize)] {
+        &self.pivots
+    }
+
+    /// Indices of a maximal set of linearly independent columns
+    /// (the pivot columns), ascending. This is the paper's "maximal set
+    /// of linearly independent columns determined by Gaussian
+    /// elimination".
+    pub fn pivot_columns(&self) -> Vec<usize> {
+        self.pivots.iter().map(|&(_, c)| c).collect()
+    }
+
+    /// Indices of the non-pivot (linearly dependent) columns, ascending.
+    pub fn free_columns(&self) -> Vec<usize> {
+        let piv: Vec<usize> = self.pivot_columns();
+        (0..self.rref.cols()).filter(|c| !piv.contains(c)).collect()
+    }
+
+    /// For column `j`, the set `U_j` of pivot columns whose GF(2) sum
+    /// equals column `j` of the original matrix. For a pivot column this
+    /// is just `[j]`.
+    pub fn combination_of_pivots(&self, j: usize) -> Vec<usize> {
+        assert!(j < self.rref.cols(), "column {j} out of range");
+        if let Some(&(_, c)) = self.pivots.iter().find(|&&(_, c)| c == j) {
+            return vec![c];
+        }
+        self.pivots
+            .iter()
+            .filter(|&&(r, _)| self.rref.get(r, j))
+            .map(|&(_, c)| c)
+            .collect()
+    }
+}
+
+/// The rank of a matrix over GF(2).
+///
+/// ```
+/// use gf2::{elim::rank, BitMatrix};
+/// let a: BitMatrix = "101; 011; 110".parse().unwrap(); // row2 = row0 ⊕ row1
+/// assert_eq!(rank(&a), 2);
+/// ```
+pub fn rank(a: &BitMatrix) -> usize {
+    Elimination::new(a).rank()
+}
+
+/// True if the matrix is square and invertible over GF(2).
+pub fn is_nonsingular(a: &BitMatrix) -> bool {
+    a.is_square() && rank(a) == a.rows()
+}
+
+/// The inverse of a nonsingular square matrix, or `None` if singular.
+///
+/// Gauss–Jordan on the augmented matrix `[A | I]`.
+pub fn inverse(a: &BitMatrix) -> Option<BitMatrix> {
+    if !a.is_square() {
+        return None;
+    }
+    let n = a.rows();
+    let mut aug = BitMatrix::zeros(n, 2 * n);
+    aug.set_block(0, 0, a);
+    aug.set_block(0, n, &BitMatrix::identity(n));
+    let mut pivot_row = 0;
+    for col in 0..n {
+        let found = (pivot_row..n).find(|&r| aug.get(r, col));
+        let Some(r) = found else { return None };
+        aug.swap_rows(pivot_row, r);
+        for r2 in 0..n {
+            if r2 != pivot_row && aug.get(r2, col) {
+                aug.xor_row_into(pivot_row, r2);
+            }
+        }
+        pivot_row += 1;
+    }
+    Some(aug.submatrix(0..n, n..2 * n))
+}
+
+/// Solves `A x = y` over GF(2). Returns one solution (free variables set
+/// to zero) or `None` if the system is inconsistent.
+pub fn solve(a: &BitMatrix, y: &BitVec) -> Option<BitVec> {
+    assert_eq!(y.len(), a.rows(), "solve dimension mismatch");
+    let n = a.cols();
+    let mut aug = BitMatrix::zeros(a.rows(), n + 1);
+    aug.set_block(0, 0, a);
+    aug.set_column(n, y);
+    let elim = Elimination::new(&aug);
+    // Inconsistent iff some pivot lands in the augmented column.
+    if elim.pivots().iter().any(|&(_, c)| c == n) {
+        return None;
+    }
+    let mut x = BitVec::zeros(n);
+    for &(r, c) in elim.pivots() {
+        if elim.rref().get(r, n) {
+            x.set(c, true);
+        }
+    }
+    Some(x)
+}
+
+/// An incrementally-built maximal independent set of GF(2) vectors.
+///
+/// Vectors are stored in echelon form (each with a distinct pivot
+/// position), so insertion and membership-in-span tests are O(rank)
+/// row XORs. Used by the samplers (basis completion) and by the
+/// run-time detection code.
+#[derive(Clone, Debug, Default)]
+pub struct IndependentSet {
+    /// Echelonized representatives, each paired with its pivot position.
+    echelon: Vec<(usize, BitVec)>,
+    /// The original vectors, in insertion order, that were accepted.
+    members: Vec<BitVec>,
+}
+
+impl IndependentSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reduces `v` against the current echelon and returns the residue.
+    fn reduce(&self, v: &BitVec) -> BitVec {
+        let mut r = v.clone();
+        for (p, e) in &self.echelon {
+            if r.bit(*p) {
+                r.xor_assign(e);
+            }
+        }
+        r
+    }
+
+    /// True if `v` lies in the span of the accepted vectors.
+    pub fn contains_in_span(&self, v: &BitVec) -> bool {
+        self.reduce(v).is_zero()
+    }
+
+    /// Tries to add `v`; returns `true` if it was independent of the
+    /// current set (and is now a member).
+    pub fn insert(&mut self, v: &BitVec) -> bool {
+        let r = self.reduce(v);
+        let pivot = r.iter_ones().next();
+        match pivot {
+            None => false,
+            Some(p) => {
+                self.echelon.push((p, r));
+                self.members.push(v.clone());
+                true
+            }
+        }
+    }
+
+    /// Number of accepted (independent) vectors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if no vectors have been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The accepted vectors in insertion order.
+    pub fn members(&self) -> &[BitVec] {
+        &self.members
+    }
+}
+
+/// Extends the independent columns of `start` to a full basis of
+/// GF(2)^n by greedily appending unit vectors, returning the appended
+/// vectors only.
+///
+/// # Panics
+/// Panics if the starting vectors are dependent or have length != `n`.
+pub fn complete_basis(start: &[BitVec], n: usize) -> Vec<BitVec> {
+    let mut set = IndependentSet::new();
+    for v in start {
+        assert_eq!(v.len(), n, "basis vector length mismatch");
+        assert!(set.insert(v), "starting vectors are linearly dependent");
+    }
+    let mut extension = Vec::with_capacity(n - start.len());
+    for i in 0..n {
+        if set.len() == n {
+            break;
+        }
+        let e = BitVec::unit(n, i);
+        if set.insert(&e) {
+            extension.push(e);
+        }
+    }
+    assert_eq!(set.len(), n, "failed to complete basis");
+    extension
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: &str) -> BitMatrix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(rank(&BitMatrix::identity(7)), 7);
+        assert_eq!(rank(&BitMatrix::zeros(4, 6)), 0);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // Row 2 = row 0 + row 1.
+        let a = m("101; 011; 110");
+        assert_eq!(rank(&a), 2);
+        assert!(!is_nonsingular(&a));
+    }
+
+    #[test]
+    fn rank_of_rectangular() {
+        let a = m("10110; 01011; 11101");
+        // row2 = row0 + row1.
+        assert_eq!(rank(&a), 2);
+        assert_eq!(rank(&a.transpose()), 2);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = m("110; 011; 111");
+        let inv = inverse(&a).expect("nonsingular");
+        assert!(a.mul(&inv).is_identity());
+        assert!(inv.mul(&a).is_identity());
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        assert!(inverse(&m("11; 11")).is_none());
+        assert!(inverse(&m("10; 01; 11")).is_none()); // not square
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let i = BitMatrix::identity(9);
+        assert_eq!(inverse(&i).unwrap(), i);
+    }
+
+    #[test]
+    fn solve_consistent_system() {
+        let a = m("110; 011; 111");
+        for target in 0..8u64 {
+            let y = BitVec::from_u64(3, target);
+            let x = solve(&a, &y).expect("nonsingular system always solvable");
+            assert_eq!(a.mul_vec(&x), y);
+        }
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        // Rows 0 and 1 identical: y must agree on those coordinates.
+        let a = m("101; 101");
+        let y = BitVec::from_u64(2, 0b01);
+        assert!(solve(&a, &y).is_none());
+        let y2 = BitVec::from_u64(2, 0b11);
+        let x = solve(&a, &y2).expect("consistent");
+        assert_eq!(a.mul_vec(&x), y2);
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let a = m("1100");
+        let y = BitVec::from_u64(1, 1);
+        let x = solve(&a, &y).unwrap();
+        assert_eq!(a.mul_vec(&x), y);
+    }
+
+    #[test]
+    fn pivot_columns_are_independent_and_maximal() {
+        // col2 = col0 + col1, col3 = 0, col4 independent (only 1 in row 2).
+        let a = m("10101; 01100; 00001");
+        let e = Elimination::new(&a);
+        assert_eq!(e.rank(), 3);
+        let piv = e.pivot_columns();
+        assert_eq!(piv, vec![0, 1, 4]);
+        assert_eq!(e.free_columns(), vec![2, 3]);
+    }
+
+    #[test]
+    fn combination_of_pivots_reconstructs_column() {
+        let a = m("10101; 01100; 00001");
+        let e = Elimination::new(&a);
+        for j in 0..a.cols() {
+            let combo = e.combination_of_pivots(j);
+            let mut sum = BitVec::zeros(a.rows());
+            for &k in &combo {
+                sum.xor_assign(&a.column(k));
+            }
+            assert_eq!(sum, a.column(j), "column {j} not reconstructed");
+        }
+    }
+
+    #[test]
+    fn independent_set_rejects_dependent() {
+        let mut s = IndependentSet::new();
+        let v1 = BitVec::from_u64(4, 0b0011);
+        let v2 = BitVec::from_u64(4, 0b0101);
+        let v3 = BitVec::from_u64(4, 0b0110); // v1 ^ v2
+        assert!(s.insert(&v1));
+        assert!(s.insert(&v2));
+        assert!(!s.insert(&v3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains_in_span(&v3));
+        assert!(!s.contains_in_span(&BitVec::from_u64(4, 0b1000)));
+    }
+
+    #[test]
+    fn independent_set_rejects_zero() {
+        let mut s = IndependentSet::new();
+        assert!(!s.insert(&BitVec::zeros(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn complete_basis_spans() {
+        let start = vec![BitVec::from_u64(4, 0b0110), BitVec::from_u64(4, 0b1100)];
+        let ext = complete_basis(&start, 4);
+        assert_eq!(ext.len(), 2);
+        let mut all = start.clone();
+        all.extend(ext);
+        let b = BitMatrix::from_rows(&all);
+        assert_eq!(rank(&b), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependent")]
+    fn complete_basis_panics_on_dependent_start() {
+        let start = vec![BitVec::from_u64(3, 0b011), BitVec::from_u64(3, 0b011)];
+        complete_basis(&start, 3);
+    }
+}

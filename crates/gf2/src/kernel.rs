@@ -1,0 +1,166 @@
+//! Kernels, row spaces, and the MLD kernel-condition test.
+//!
+//! The paper's MLD class is defined by the *kernel condition* (eq. 4):
+//! `ker α ⊆ ker δ`. Section 6 gives the practical test implemented by
+//! [`kernel_contained_in`]: compute a basis of `ker K` and check that
+//! every basis vector is annihilated by `L`.
+
+use crate::bitvec::BitVec;
+use crate::elim::Elimination;
+use crate::matrix::BitMatrix;
+
+/// A basis for the kernel (null space) of `a`: all `x` with `A x = 0`.
+///
+/// Derived from the RREF: one basis vector per free column `f`, with a 1
+/// in position `f` and, for each pivot `(row r, col p)`, bit `p` set to
+/// `RREF[r][f]`.
+pub fn kernel_basis(a: &BitMatrix) -> Vec<BitVec> {
+    let elim = Elimination::new(a);
+    let q = a.cols();
+    elim.free_columns()
+        .into_iter()
+        .map(|f| {
+            let mut v = BitVec::zeros(q);
+            v.set(f, true);
+            for &(r, p) in elim.pivots() {
+                if elim.rref().get(r, f) {
+                    v.set(p, true);
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+/// A basis for the row space of `a` (the nonzero rows of its RREF).
+pub fn row_space_basis(a: &BitMatrix) -> Vec<BitVec> {
+    let elim = Elimination::new(a);
+    (0..elim.rank()).map(|r| elim.rref().row(r)).collect()
+}
+
+/// Tests `ker K ⊆ ker L` for matrices with the same number of columns.
+///
+/// This is the Section 6 procedure: find a basis `{x^(i)}` of `ker K` and
+/// verify `L x^(i) = 0` for each. By linearity that covers all of
+/// `ker K`.
+///
+/// # Panics
+/// Panics if `K` and `L` have different column counts.
+pub fn kernel_contained_in(k: &BitMatrix, l: &BitMatrix) -> bool {
+    assert_eq!(
+        k.cols(),
+        l.cols(),
+        "kernel_contained_in requires equal column counts"
+    );
+    kernel_basis(k).iter().all(|x| l.mul_vec(x).is_zero())
+}
+
+/// Tests whether `v` lies in the row space of `a`.
+pub fn in_row_space(a: &BitMatrix, v: &BitVec) -> bool {
+    assert_eq!(v.len(), a.cols(), "in_row_space length mismatch");
+    let base = Elimination::new(a).rank();
+    let mut ext = BitMatrix::zeros(a.rows() + 1, a.cols());
+    ext.set_block(0, 0, a);
+    ext.set_row(a.rows(), v);
+    Elimination::new(&ext).rank() == base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::rank;
+
+    fn m(s: &str) -> BitMatrix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn kernel_of_nonsingular_is_trivial() {
+        let a = m("110; 011; 111");
+        assert!(kernel_basis(&a).is_empty());
+    }
+
+    #[test]
+    fn kernel_basis_annihilates() {
+        let a = m("10101; 01100; 00001");
+        let basis = kernel_basis(&a);
+        assert_eq!(basis.len(), 2); // 5 columns - rank 3
+        for v in &basis {
+            assert!(a.mul_vec(v).is_zero(), "basis vector {v} not in kernel");
+            assert!(!v.is_zero());
+        }
+        // Basis vectors are independent.
+        let b = BitMatrix::from_rows(&basis);
+        assert_eq!(rank(&b), basis.len());
+    }
+
+    #[test]
+    fn kernel_dimension_matches_rank_nullity() {
+        let a = m("1111; 0000; 1111");
+        assert_eq!(kernel_basis(&a).len(), 4 - rank(&a));
+    }
+
+    #[test]
+    fn row_space_basis_spans_rows() {
+        let a = m("101; 011; 110");
+        let basis = row_space_basis(&a);
+        assert_eq!(basis.len(), 2);
+        for i in 0..a.rows() {
+            assert!(in_row_space(&BitMatrix::from_rows(&basis), &a.row(i)));
+        }
+    }
+
+    #[test]
+    fn kernel_containment_basic() {
+        // ker of [1 1] = span{(1,1)}; L = [1 1] also kills it.
+        let k = m("11");
+        let l = m("11");
+        assert!(kernel_contained_in(&k, &l));
+        // L = [1 0] does not.
+        let l2 = m("10");
+        assert!(!kernel_contained_in(&k, &l2));
+    }
+
+    #[test]
+    fn kernel_containment_zero_l() {
+        // ker of anything is contained in ker 0 = everything.
+        let k = m("10; 01");
+        let l = BitMatrix::zeros(3, 2);
+        assert!(kernel_contained_in(&k, &l));
+    }
+
+    #[test]
+    fn kernel_containment_trivial_kernel() {
+        // K nonsingular => ker K = {0} ⊆ anything.
+        let k = m("10; 01");
+        let l = m("11; 10");
+        assert!(kernel_contained_in(&k, &l));
+    }
+
+    #[test]
+    fn paper_section3_counterexample() {
+        // Section 3's example of an MRC·MLD product that is NOT MLD,
+        // with b = m-b = n-m = 1 (so m = 2, n = 3):
+        //   product = [0 1 0; 1 0 0; 0 1 1]
+        // alpha = rows b..m-1 (row 1) of first m columns = [1 0],
+        // delta = rows m..n-1 (row 2) of first m columns = [0 1].
+        // ker alpha = span{(0,1)}, and delta*(0,1) = 1 != 0.
+        let product = m("010; 100; 011");
+        let alpha = product.submatrix(1..2, 0..2);
+        let delta = product.submatrix(2..3, 0..2);
+        assert!(!kernel_contained_in(&alpha, &delta));
+    }
+
+    #[test]
+    fn row_space_orthogonal_to_kernel() {
+        // Lemma 11 background: row space ⟂ kernel.
+        let a = m("10110; 01011; 11101");
+        let kb = kernel_basis(&a);
+        let rb = row_space_basis(&a);
+        for x in &kb {
+            for r in &rb {
+                assert!(!x.dot(r), "kernel and row space not orthogonal");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Bit-packed linear algebra over GF(2).
+//!
+//! This crate is the algebraic substrate for the BMMC-permutation
+//! reproduction: every permutation class in the paper is defined by an
+//! `n x n` 0-1 matrix that is nonsingular over GF(2), and the factoring
+//! algorithm of Section 5 is a sequence of rank computations, kernel-basis
+//! extractions, and column operations on such matrices.
+//!
+//! Representation: a [`BitMatrix`] stores each row as a bit-packed
+//! [`BitVec`] (64 bits per machine word), so a row operation is a handful
+//! of word XORs and a matrix-vector product over GF(2) is a masked parity
+//! per row. All routines are deterministic and allocation-conscious; the
+//! heavy loops (elimination, products) run over whole words.
+//!
+//! Conventions follow the paper:
+//! * rows and columns are indexed from 0,
+//! * vectors are column vectors; `x.bit(0)` is the *least significant*
+//!   address bit,
+//! * `A.submatrix(r0..r1, c0..c1)` is the paper's `A_{r0..r1-1, c0..c1-1}`
+//!   "`..`" notation,
+//! * arithmetic is mod 2: `+` is XOR, `*` is AND.
+
+pub mod bitvec;
+pub mod elim;
+pub mod kernel;
+pub mod matrix;
+pub mod perm;
+pub mod sample;
+
+pub use bitvec::BitVec;
+pub use elim::{Elimination, solve};
+pub use kernel::{kernel_basis, kernel_contained_in, row_space_basis};
+pub use matrix::BitMatrix;
+pub use perm::{cross_rank, is_permutation_matrix, permutation_matrix};
+pub use sample::{random_matrix, random_nonsingular, random_with_submatrix_rank};

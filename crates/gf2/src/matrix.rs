@@ -1,0 +1,548 @@
+//! Bit-packed matrices over GF(2).
+
+use crate::bitvec::BitVec;
+use std::fmt;
+use std::str::FromStr;
+
+const WORD_BITS: usize = 64;
+
+/// A dense 0-1 matrix over GF(2), stored row-major with each row packed
+/// into 64-bit words.
+///
+/// Entry `(i, j)` is row `i`, column `j`, both indexed from 0 from the
+/// upper left, matching the paper's conventions. A matrix-vector product
+/// `A.mul_vec(&x)` computes `y_i = ⊕_j a_{ij} x_j`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    stride: usize, // words per row
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// The all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let stride = cols.div_ceil(WORD_BITS).max(1);
+        BitMatrix {
+            rows,
+            cols,
+            stride,
+            data: vec![0; rows * stride],
+        }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix whose rows are the given equal-length vectors.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[BitVec]) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has inconsistent length");
+            m.set_row(i, r);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    #[inline]
+    fn row_words(&self, i: usize) -> &[u64] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    #[inline]
+    fn row_words_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        (self.row_words(i)[j / WORD_BITS] >> (j % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        let w = j / WORD_BITS;
+        let mask = 1u64 << (j % WORD_BITS);
+        let words = self.row_words_mut(i);
+        if value {
+            words[w] |= mask;
+        } else {
+            words[w] &= !mask;
+        }
+    }
+
+    /// Copies row `i` out as a vector.
+    pub fn row(&self, i: usize) -> BitVec {
+        assert!(i < self.rows, "row {i} out of range");
+        let mut v = BitVec::zeros(self.cols);
+        for j in 0..self.cols {
+            if self.get(i, j) {
+                v.set(j, true);
+            }
+        }
+        v
+    }
+
+    /// Copies column `j` out as a vector.
+    pub fn column(&self, j: usize) -> BitVec {
+        assert!(j < self.cols, "column {j} out of range");
+        let mut v = BitVec::zeros(self.rows);
+        for i in 0..self.rows {
+            if self.get(i, j) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Overwrites row `i` with the given vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_row(&mut self, i: usize, v: &BitVec) {
+        assert_eq!(v.len(), self.cols, "set_row length mismatch");
+        let stride = self.stride;
+        let words = self.row_words_mut(i);
+        words[..v.words().len()].copy_from_slice(v.words());
+        for w in words[v.words().len()..stride].iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Overwrites column `j` with the given vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_column(&mut self, j: usize, v: &BitVec) {
+        assert_eq!(v.len(), self.rows, "set_column length mismatch");
+        for i in 0..self.rows {
+            self.set(i, j, v.bit(i));
+        }
+    }
+
+    /// XORs row `src` into row `dst` (`row_dst += row_src` over GF(2)).
+    pub fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.rows && dst < self.rows, "row index out of range");
+        assert_ne!(src, dst, "xor_row_into with src == dst would zero the row");
+        let (s, d) = (src * self.stride, dst * self.stride);
+        for k in 0..self.stride {
+            let w = self.data[s + k];
+            self.data[d + k] ^= w;
+        }
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of range");
+        if a == b {
+            return;
+        }
+        for k in 0..self.stride {
+            self.data.swap(a * self.stride + k, b * self.stride + k);
+        }
+    }
+
+    /// XORs column `src` into column `dst` (the paper's "adding column
+    /// `A_src` into column `A_dst`").
+    pub fn xor_col_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.cols && dst < self.cols, "column index out of range");
+        assert_ne!(src, dst, "xor_col_into with src == dst would zero the column");
+        for i in 0..self.rows {
+            if self.get(i, src) {
+                let v = self.get(i, dst);
+                self.set(i, dst, !v);
+            }
+        }
+    }
+
+    /// Swaps two columns.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        assert!(a < self.cols && b < self.cols, "column index out of range");
+        if a == b {
+            return;
+        }
+        for i in 0..self.rows {
+            let (va, vb) = (self.get(i, a), self.get(i, b));
+            self.set(i, a, vb);
+            self.set(i, b, va);
+        }
+    }
+
+    /// Matrix-vector product `y = Ax` over GF(2).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
+        let mut y = BitVec::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut acc = 0u64;
+            for (a, b) in self.row_words(i).iter().zip(x.words()) {
+                acc ^= a & b;
+            }
+            if acc.count_ones() % 2 == 1 {
+                y.set(i, true);
+            }
+        }
+        y
+    }
+
+    /// Matrix product `self * other` over GF(2).
+    ///
+    /// Implemented as: for each set entry `(i, k)` of `self`, XOR row `k`
+    /// of `other` into row `i` of the result — O(rows·cols) word-level row
+    /// XORs, which is fast for the small (≤ 64-column) matrices used here.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "mul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = BitMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                if self.get(i, k) {
+                    let (o, s) = (i * out.stride, k * other.stride);
+                    for w in 0..out.stride.min(other.stride) {
+                        out.data[o + w] ^= other.data[s + w];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if self.get(i, j) {
+                    t.set(j, i, true);
+                }
+            }
+        }
+        t
+    }
+
+    /// The contiguous submatrix with the given row and column ranges —
+    /// the paper's `A_{r0..r1-1, c0..c1-1}` notation.
+    ///
+    /// # Panics
+    /// Panics if a range exceeds the matrix shape.
+    pub fn submatrix(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> BitMatrix {
+        assert!(rows.end <= self.rows && cols.end <= self.cols, "submatrix out of range");
+        let mut s = BitMatrix::zeros(rows.len(), cols.len());
+        for (si, i) in rows.clone().enumerate() {
+            for (sj, j) in cols.clone().enumerate() {
+                if self.get(i, j) {
+                    s.set(si, sj, true);
+                }
+            }
+        }
+        s
+    }
+
+    /// The submatrix consisting of whole columns indexed by `cols` (the
+    /// paper's single-set indexing `A_S`).
+    pub fn columns(&self, cols: &[usize]) -> BitMatrix {
+        let mut s = BitMatrix::zeros(self.rows, cols.len());
+        for (sj, &j) in cols.iter().enumerate() {
+            assert!(j < self.cols, "column {j} out of range");
+            for i in 0..self.rows {
+                if self.get(i, j) {
+                    s.set(i, sj, true);
+                }
+            }
+        }
+        s
+    }
+
+    /// Copies `block` into `self` with its upper-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    /// Panics if the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &BitMatrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block does not fit at ({r0},{c0})"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self.set(r0 + i, c0 + j, block.get(i, j));
+            }
+        }
+    }
+
+    /// True if this is an identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if self.get(i, j) != (i == j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&w| w == 0)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{}", u8::from(self.get(i, j)))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Parses a matrix from rows of `0`/`1` characters separated by newlines
+/// or `;`. Spaces are ignored. Intended for tests and doc examples.
+///
+/// ```
+/// use gf2::BitMatrix;
+/// let a: BitMatrix = "10; 01".parse().unwrap();
+/// assert!(a.is_identity());
+/// ```
+impl FromStr for BitMatrix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rows: Vec<&str> = s
+            .split(['\n', ';'])
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rows.is_empty() {
+            return Ok(BitMatrix::zeros(0, 0));
+        }
+        let parse_row = |r: &str| -> Result<Vec<bool>, String> {
+            r.chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(format!("invalid matrix character {other:?}")),
+                })
+                .collect()
+        };
+        let first = parse_row(rows[0])?;
+        let cols = first.len();
+        let mut m = BitMatrix::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            let bits = parse_row(r)?;
+            if bits.len() != cols {
+                return Err(format!(
+                    "row {i} has {} columns, expected {cols}",
+                    bits.len()
+                ));
+            }
+            for (j, b) in bits.into_iter().enumerate() {
+                m.set(i, j, b);
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let i = BitMatrix::identity(8);
+        assert!(i.is_identity());
+        assert!(i.is_square());
+        assert!(!i.is_zero());
+        let x = BitVec::from_u64(8, 0b10110101);
+        assert_eq!(i.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let a: BitMatrix = "101; 010; 111".parse().unwrap();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 3);
+        assert!(a.get(0, 0) && !a.get(0, 1) && a.get(0, 2));
+        assert!(a.get(2, 0) && a.get(2, 1) && a.get(2, 2));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("10; 1".parse::<BitMatrix>().is_err());
+        assert!("1x".parse::<BitMatrix>().is_err());
+    }
+
+    #[test]
+    fn mul_matches_paper_example() {
+        // The column-addition example from Section 4 of the paper:
+        // A * Q = A' where Q adds column 0 into columns 1 and 2, and
+        // column 3 into column 1.
+        let a: BitMatrix = "1011; 0110; 1100; 0101".parse().unwrap();
+        let q: BitMatrix = "1110; 0100; 0010; 0101".parse().unwrap();
+        let expect: BitMatrix = "1001; 0110; 1010; 0001".parse().unwrap();
+        assert_eq!(a.mul(&q), expect);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a: BitMatrix = "110; 011; 101".parse().unwrap();
+        let x = BitVec::from_u64(3, 0b011); // x0=1, x1=1, x2=0
+        // y0 = x0^x1 = 0, y1 = x1^x2 = 1, y2 = x0^x2 = 1.
+        let y = a.mul_vec(&x);
+        assert_eq!(y.as_u64(), 0b110);
+    }
+
+    #[test]
+    fn mul_associative_with_vec() {
+        let a: BitMatrix = "1011; 0110; 1100; 0101".parse().unwrap();
+        let b: BitMatrix = "1110; 0100; 0010; 0101".parse().unwrap();
+        for v in 0..16u64 {
+            let x = BitVec::from_u64(4, v);
+            let lhs = a.mul(&b).mul_vec(&x);
+            let rhs = a.mul_vec(&b.mul_vec(&x));
+            assert_eq!(lhs, rhs, "associativity failed for x={v:04b}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a: BitMatrix = "10110; 01101; 11000".parse().unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 5);
+        assert_eq!(a.transpose().cols(), 3);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let a: BitMatrix = "1011; 0110; 1100; 0101".parse().unwrap();
+        let s = a.submatrix(1..3, 0..2);
+        let expect: BitMatrix = "01; 11".parse().unwrap();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn columns_selection() {
+        let a: BitMatrix = "1011; 0110; 1100; 0101".parse().unwrap();
+        let s = a.columns(&[3, 0]);
+        assert_eq!(s.column(0), a.column(3));
+        assert_eq!(s.column(1), a.column(0));
+    }
+
+    #[test]
+    fn row_and_col_ops() {
+        let mut a: BitMatrix = "10; 01".parse().unwrap();
+        a.xor_row_into(0, 1);
+        assert_eq!(a, "10; 11".parse().unwrap());
+        a.xor_col_into(1, 0);
+        assert_eq!(a, "10; 01".parse().unwrap());
+        a.swap_rows(0, 1);
+        assert_eq!(a, "01; 10".parse().unwrap());
+        a.swap_cols(0, 1);
+        assert!(a.is_identity());
+    }
+
+    #[test]
+    fn set_block_and_set_column() {
+        let mut a = BitMatrix::zeros(4, 4);
+        a.set_block(1, 1, &BitMatrix::identity(2));
+        assert!(a.get(1, 1) && a.get(2, 2));
+        assert!(!a.get(0, 0) && !a.get(3, 3));
+        a.set_column(0, &BitVec::from_u64(4, 0b1111));
+        assert_eq!(a.column(0).count_ones(), 4);
+    }
+
+    #[test]
+    fn wide_matrix_over_word_boundary() {
+        let n = 80;
+        let mut a = BitMatrix::zeros(2, n);
+        a.set(0, 79, true);
+        a.set(1, 63, true);
+        a.set(1, 64, true);
+        let x = BitVec::ones(n);
+        let y = a.mul_vec(&x);
+        assert!(y.bit(0)); // one term
+        assert!(!y.bit(1)); // two terms cancel
+    }
+
+    #[test]
+    fn set_row_clears_old_bits() {
+        let mut a = BitMatrix::from_fn(2, 70, |_, _| true);
+        a.set_row(0, &BitVec::zeros(70));
+        assert!(a.row(0).is_zero());
+        assert_eq!(a.row(1).count_ones(), 70);
+    }
+}

@@ -1,0 +1,161 @@
+//! Permutation matrices and cross-ranks (the BPC machinery of Cormen \[4\]).
+
+use crate::elim::rank;
+use crate::matrix::BitMatrix;
+
+/// Builds the `n x n` permutation matrix `A` with `A[pi[j], j] = 1`, so
+/// that `y = A x` satisfies `y_{pi[j]} = x_j`: bit `j` of the source
+/// address moves to bit `pi[j]` of the target address.
+///
+/// # Panics
+/// Panics if `pi` is not a permutation of `0..n`.
+pub fn permutation_matrix(pi: &[usize]) -> BitMatrix {
+    let n = pi.len();
+    let mut seen = vec![false; n];
+    let mut a = BitMatrix::zeros(n, n);
+    for (j, &i) in pi.iter().enumerate() {
+        assert!(i < n, "permutation value {i} out of range");
+        assert!(!seen[i], "duplicate permutation value {i}");
+        seen[i] = true;
+        a.set(i, j, true);
+    }
+    a
+}
+
+/// True if `a` is a permutation matrix: square with exactly one 1 in
+/// each row and each column.
+pub fn is_permutation_matrix(a: &BitMatrix) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let n = a.rows();
+    for i in 0..n {
+        if a.row(i).count_ones() != 1 {
+            return false;
+        }
+    }
+    for j in 0..n {
+        if a.column(j).count_ones() != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Extracts the permutation `pi` from a permutation matrix
+/// (`pi[j] = i` where `A[i, j] = 1`).
+///
+/// # Panics
+/// Panics if `a` is not a permutation matrix.
+pub fn permutation_of_matrix(a: &BitMatrix) -> Vec<usize> {
+    assert!(is_permutation_matrix(a), "not a permutation matrix");
+    (0..a.cols())
+        .map(|j| (0..a.rows()).find(|&i| a.get(i, j)).unwrap())
+        .collect()
+}
+
+/// The `k`-cross-rank of `a` (paper eq. (2)):
+/// `rho_k(A) = rank A_{k..n-1, 0..k-1}`.
+///
+/// For permutation matrices this equals `rank A_{0..k-1, k..n-1}`; we
+/// compute the lower-left form directly, which is well-defined for any
+/// matrix.
+pub fn cross_rank(a: &BitMatrix, k: usize) -> usize {
+    assert!(a.is_square(), "cross_rank requires a square matrix");
+    let n = a.rows();
+    assert!(k <= n, "cross point {k} out of range");
+    if k == 0 || k == n {
+        return 0;
+    }
+    rank(&a.submatrix(k..n, 0..k))
+}
+
+/// The cross-rank of a BPC characteristic matrix (paper eq. (3)):
+/// `rho(A) = max(rho_b(A), rho_m(A))`.
+pub fn bpc_cross_rank(a: &BitMatrix, b: usize, m: usize) -> usize {
+    cross_rank(a, b).max(cross_rank(a, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    #[test]
+    fn permutation_matrix_moves_bits() {
+        // pi = reversal on 4 bits.
+        let pi = vec![3, 2, 1, 0];
+        let a = permutation_matrix(&pi);
+        let x = BitVec::from_u64(4, 0b0011);
+        let y = a.mul_vec(&x);
+        assert_eq!(y.as_u64(), 0b1100);
+        assert!(is_permutation_matrix(&a));
+    }
+
+    #[test]
+    fn identity_is_permutation() {
+        let i = BitMatrix::identity(6);
+        assert!(is_permutation_matrix(&i));
+        assert_eq!(permutation_of_matrix(&i), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn round_trip_permutation() {
+        let pi = vec![2, 0, 3, 1, 4];
+        let a = permutation_matrix(&pi);
+        assert_eq!(permutation_of_matrix(&a), pi);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_non_permutation() {
+        permutation_matrix(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn non_permutation_matrices_detected() {
+        let a: BitMatrix = "11; 01".parse().unwrap();
+        assert!(!is_permutation_matrix(&a));
+        let z = BitMatrix::zeros(2, 2);
+        assert!(!is_permutation_matrix(&z));
+    }
+
+    #[test]
+    fn cross_rank_of_identity_is_zero() {
+        let i = BitMatrix::identity(8);
+        for k in 0..=8 {
+            assert_eq!(cross_rank(&i, k), 0);
+        }
+    }
+
+    #[test]
+    fn cross_rank_of_full_reversal() {
+        // Bit reversal on n=6: pi[j] = 5-j. Lower-left block of size
+        // (6-k) x k has min(k, 6-k) ones on the anti-diagonal.
+        let a = permutation_matrix(&[5, 4, 3, 2, 1, 0]);
+        for k in 0..=6 {
+            assert_eq!(cross_rank(&a, k), k.min(6 - k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn cross_rank_symmetric_for_permutation() {
+        // For permutation matrices, rank of lower-left equals rank of
+        // upper-right (paper eq. (2)).
+        let pi = vec![4, 2, 0, 5, 3, 1];
+        let a = permutation_matrix(&pi);
+        let n = 6;
+        for k in 1..n {
+            let lower = rank(&a.submatrix(k..n, 0..k));
+            let upper = rank(&a.submatrix(0..k, k..n));
+            assert_eq!(lower, upper, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn bpc_cross_rank_max() {
+        let a = permutation_matrix(&[5, 4, 3, 2, 1, 0]);
+        // b = 1, m = 3: rho_1 = 1, rho_3 = 3.
+        assert_eq!(bpc_cross_rank(&a, 1, 3), 3);
+    }
+}

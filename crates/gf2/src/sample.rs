@@ -1,0 +1,239 @@
+//! Random samplers for GF(2) matrices.
+//!
+//! The rank-sweep experiments (DESIGN.md exp. `LB`/`UB`) need nonsingular
+//! characteristic matrices whose lower-left `(n-b) x b` submatrix `γ` has a
+//! *prescribed* rank, because both the lower bound (Theorem 3) and the
+//! upper bound (Theorem 21) are functions of `rank γ`.
+//! [`random_with_submatrix_rank`] constructs such matrices: it builds a
+//! rank-`r` lower-left block as a product of full-rank factors, completes
+//! it to a nonsingular matrix, and then randomizes by block-triangular
+//! congruence, which preserves both nonsingularity and `rank γ`.
+
+use crate::bitvec::BitVec;
+use crate::elim::{complete_basis, is_nonsingular, rank};
+use crate::matrix::BitMatrix;
+use rand::Rng;
+
+/// A uniformly random `rows x cols` matrix over GF(2).
+pub fn random_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> BitMatrix {
+    BitMatrix::from_fn(rows, cols, |_, _| rng.gen::<bool>())
+}
+
+/// A uniformly random *nonsingular* `n x n` matrix over GF(2), by
+/// rejection sampling. The acceptance probability converges to
+/// `∏ (1 - 2^-i) ≈ 0.289`, so a handful of attempts suffice.
+pub fn random_nonsingular<R: Rng + ?Sized>(rng: &mut R, n: usize) -> BitMatrix {
+    if n == 0 {
+        return BitMatrix::zeros(0, 0);
+    }
+    loop {
+        let a = random_matrix(rng, n, n);
+        if is_nonsingular(&a) {
+            return a;
+        }
+    }
+}
+
+/// A random `rows x cols` matrix of rank exactly `r`, as a product
+/// `X (rows x r) * Y (r x cols)` of full-rank factors.
+///
+/// # Panics
+/// Panics if `r > min(rows, cols)`.
+pub fn random_with_rank<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    r: usize,
+) -> BitMatrix {
+    assert!(
+        r <= rows.min(cols),
+        "rank {r} impossible for a {rows}x{cols} matrix"
+    );
+    if r == 0 {
+        return BitMatrix::zeros(rows, cols);
+    }
+    let x = loop {
+        let cand = random_matrix(rng, rows, r);
+        if rank(&cand) == r {
+            break cand;
+        }
+    };
+    let y = loop {
+        let cand = random_matrix(rng, r, cols);
+        if rank(&cand) == r {
+            break cand;
+        }
+    };
+    let out = x.mul(&y);
+    debug_assert_eq!(rank(&out), r);
+    out
+}
+
+/// A random permutation of `0..n` (Fisher–Yates).
+pub fn random_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut pi: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        pi.swap(i, j);
+    }
+    pi
+}
+
+/// A random nonsingular `n x n` matrix whose lower-left `(n-b) x b`
+/// submatrix `A[b..n, 0..b]` (the paper's `γ`) has rank exactly `r`.
+///
+/// Construction:
+/// 1. Draw `γ` of rank exactly `r` via [`random_with_rank`].
+/// 2. Complete to a nonsingular `A₀`: put `I_b` above `γ` (making the
+///    first `b` columns independent regardless of `γ`) and extend with
+///    unit vectors to a basis.
+/// 3. Randomize: `A = L · A₀ · R` with `L`, `R` *block upper-triangular*
+///    at the split `b` (nonsingular diagonal blocks, random upper-right
+///    block). Then `A[b..n, 0..b] = L₂₂ · γ · R₁₁` which keeps rank `r`,
+///    and `A` stays nonsingular.
+///
+/// # Panics
+/// Panics if `b > n` or `r > min(b, n-b)`.
+pub fn random_with_submatrix_rank<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    b: usize,
+    r: usize,
+) -> BitMatrix {
+    assert!(b <= n, "split {b} out of range for n = {n}");
+    assert!(
+        r <= b.min(n - b),
+        "rank {r} impossible for a {}x{b} submatrix",
+        n - b
+    );
+    if b == 0 || b == n {
+        // γ is empty; any nonsingular matrix has rank γ = 0 = r.
+        return random_nonsingular(rng, n);
+    }
+
+    let gamma = random_with_rank(rng, n - b, b, r);
+
+    // Step 2: constructive nonsingular completion.
+    let mut cols: Vec<BitVec> = Vec::with_capacity(n);
+    for j in 0..b {
+        // Column j: upper part e_j, lower part γ column j.
+        let mut c = BitVec::zeros(n);
+        c.set(j, true);
+        for i in 0..(n - b) {
+            if gamma.get(i, j) {
+                c.set(b + i, true);
+            }
+        }
+        cols.push(c);
+    }
+    let ext = complete_basis(&cols, n);
+    cols.extend(ext);
+    let mut a0 = BitMatrix::zeros(n, n);
+    for (j, c) in cols.iter().enumerate() {
+        a0.set_column(j, c);
+    }
+    debug_assert!(is_nonsingular(&a0));
+    debug_assert_eq!(rank(&a0.submatrix(b..n, 0..b)), r);
+
+    // Step 3: randomize with block-upper-triangular L and R.
+    let l = random_block_upper(rng, n, b);
+    let rr = random_block_upper(rng, n, b);
+    let a = l.mul(&a0).mul(&rr);
+    debug_assert!(is_nonsingular(&a));
+    debug_assert_eq!(rank(&a.submatrix(b..n, 0..b)), r);
+    a
+}
+
+/// A random nonsingular block-upper-triangular matrix at split `k`:
+/// `[[T₁₁, T₁₂], [0, T₂₂]]` with `T₁₁ (k x k)` and `T₂₂` nonsingular and
+/// `T₁₂` uniform.
+pub fn random_block_upper<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> BitMatrix {
+    assert!(k <= n, "split {k} out of range");
+    let mut t = BitMatrix::zeros(n, n);
+    t.set_block(0, 0, &random_nonsingular(rng, k));
+    t.set_block(k, k, &random_nonsingular(rng, n - k));
+    t.set_block(0, k, &random_matrix(rng, k, n - k));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_nonsingular_is_nonsingular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1, 2, 5, 13, 20] {
+            let a = random_nonsingular(&mut rng, n);
+            assert!(is_nonsingular(&a), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_with_rank_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (rows, cols) in [(5, 3), (3, 5), (8, 8)] {
+            for r in 0..=rows.min(cols) {
+                let a = random_with_rank(&mut rng, rows, cols, r);
+                assert_eq!(rank(&a), r, "{rows}x{cols} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn random_with_rank_rejects_too_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        random_with_rank(&mut rng, 3, 5, 4);
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pi = random_permutation(&mut rng, 50);
+        let mut seen = [false; 50];
+        for &v in &pi {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn prescribed_submatrix_rank_all_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (n, b) = (13, 3); // paper's Figure 2 geometry
+        for r in 0..=b.min(n - b) {
+            let a = random_with_submatrix_rank(&mut rng, n, b, r);
+            assert!(is_nonsingular(&a), "r = {r}: singular");
+            assert_eq!(rank(&a.submatrix(b..n, 0..b)), r, "r = {r}: wrong γ rank");
+        }
+    }
+
+    #[test]
+    fn prescribed_rank_edge_splits() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // b = 0 (no low bits) and b = n degenerate to plain nonsingular.
+        let a = random_with_submatrix_rank(&mut rng, 6, 0, 0);
+        assert!(is_nonsingular(&a));
+        let a = random_with_submatrix_rank(&mut rng, 6, 6, 0);
+        assert!(is_nonsingular(&a));
+    }
+
+    #[test]
+    fn block_upper_is_nonsingular_and_triangular() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_block_upper(&mut rng, 10, 4);
+        assert!(is_nonsingular(&t));
+        assert!(t.submatrix(4..10, 0..4).is_zero());
+    }
+
+    #[test]
+    fn samples_vary() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_nonsingular(&mut rng, 12);
+        let b = random_nonsingular(&mut rng, 12);
+        assert_ne!(a, b, "two independent samples should differ");
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the GF(2) substrate: algebraic laws that
+//! the rest of the workspace silently relies on.
+
+use gf2::elim::{complete_basis, inverse, is_nonsingular, rank, solve, Elimination};
+use gf2::kernel::{in_row_space, kernel_basis, row_space_basis};
+use gf2::sample::{random_matrix, random_nonsingular, random_with_rank};
+use gf2::{BitMatrix, BitVec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seeded(s: u64) -> StdRng {
+    StdRng::seed_from_u64(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn transpose_preserves_rank(s in any::<u64>(), r in 1usize..8, c in 1usize..8) {
+        let a = random_matrix(&mut seeded(s), r, c);
+        prop_assert_eq!(rank(&a), rank(&a.transpose()));
+    }
+
+    #[test]
+    fn mul_vec_distributes_over_xor(s in any::<u64>(), r in 1usize..8, c in 1usize..8) {
+        let mut rng = seeded(s);
+        let a = random_matrix(&mut rng, r, c);
+        let x = random_matrix(&mut rng, c, 1).column(0);
+        let y = random_matrix(&mut rng, c, 1).column(0);
+        let mut xy = x.clone();
+        xy.xor_assign(&y);
+        let mut lhs = a.mul_vec(&x);
+        lhs.xor_assign(&a.mul_vec(&y));
+        prop_assert_eq!(a.mul_vec(&xy), lhs);
+    }
+
+    #[test]
+    fn mul_transpose_antihomomorphism(s in any::<u64>(), n in 1usize..8) {
+        let mut rng = seeded(s);
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        prop_assert_eq!(a.mul(&b).transpose(), b.transpose().mul(&a.transpose()));
+    }
+
+    #[test]
+    fn inverse_unique_and_involutive(s in any::<u64>(), n in 1usize..12) {
+        let a = random_nonsingular(&mut seeded(s), n);
+        let inv = inverse(&a).unwrap();
+        prop_assert_eq!(inverse(&inv).unwrap(), a);
+    }
+
+    #[test]
+    fn rank_bounds(s in any::<u64>(), r in 1usize..10, c in 1usize..10) {
+        let a = random_matrix(&mut seeded(s), r, c);
+        prop_assert!(rank(&a) <= r.min(c));
+    }
+
+    #[test]
+    fn rank_subadditive_under_sum(s in any::<u64>(), r in 1usize..8, c in 1usize..8) {
+        let mut rng = seeded(s);
+        let a = random_matrix(&mut rng, r, c);
+        let b = random_matrix(&mut rng, r, c);
+        // rank(A ⊕ B) ≤ rank A + rank B.
+        let mut sum = BitMatrix::zeros(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                sum.set(i, j, a.get(i, j) != b.get(i, j));
+            }
+        }
+        prop_assert!(rank(&sum) <= rank(&a) + rank(&b));
+    }
+
+    #[test]
+    fn solve_agrees_with_mul(s in any::<u64>(), n in 1usize..10) {
+        let mut rng = seeded(s);
+        let a = random_nonsingular(&mut rng, n);
+        let x = random_matrix(&mut rng, n, 1).column(0);
+        let y = a.mul_vec(&x);
+        let x2 = solve(&a, &y).unwrap();
+        prop_assert_eq!(x2, x, "nonsingular system has a unique solution");
+    }
+
+    #[test]
+    fn rank_nullity(s in any::<u64>(), r in 1usize..8, c in 1usize..8) {
+        let a = random_matrix(&mut seeded(s), r, c);
+        prop_assert_eq!(rank(&a) + kernel_basis(&a).len(), c);
+    }
+
+    #[test]
+    fn row_space_contains_all_rows(s in any::<u64>(), r in 1usize..8, c in 1usize..8) {
+        let a = random_matrix(&mut seeded(s), r, c);
+        let rows = row_space_basis(&a);
+        if rows.is_empty() {
+            // Zero matrix: the row space is trivial.
+            for i in 0..r {
+                prop_assert!(a.row(i).is_zero());
+            }
+        } else {
+            let basis = BitMatrix::from_rows(&rows);
+            for i in 0..r {
+                prop_assert!(in_row_space(&basis, &a.row(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_columns_reconstruct_all_columns(s in any::<u64>(), r in 1usize..8, c in 1usize..8) {
+        let a = random_matrix(&mut seeded(s), r, c);
+        let e = Elimination::new(&a);
+        for j in 0..c {
+            let mut sum = BitVec::zeros(r);
+            for k in e.combination_of_pivots(j) {
+                sum.xor_assign(&a.column(k));
+            }
+            prop_assert_eq!(sum, a.column(j));
+        }
+    }
+
+    #[test]
+    fn prescribed_rank_sampler_is_exact(s in any::<u64>(), r in 1usize..6, c in 1usize..6) {
+        let mut rng = seeded(s);
+        for target in 0..=r.min(c) {
+            let a = random_with_rank(&mut rng, r, c, target);
+            prop_assert_eq!(rank(&a), target);
+        }
+    }
+
+    #[test]
+    fn complete_basis_always_spans(s in any::<u64>(), n in 1usize..10, k in 0usize..6) {
+        let mut rng = seeded(s);
+        let k = k.min(n);
+        // Start from the column space of a random full-column-rank matrix.
+        let start_m = random_with_rank(&mut rng, n, k.max(1), k.max(1).min(n));
+        let start: Vec<BitVec> = if k == 0 {
+            vec![]
+        } else {
+            (0..rank(&start_m).min(k)).map(|j| start_m.column(j)).collect()
+        };
+        // Only proceed if start is independent (columns of a full-rank
+        // matrix are, but guard for k > rank).
+        let check = BitMatrix::from_rows(&start);
+        prop_assume!(start.is_empty() || rank(&check) == start.len());
+        let ext = complete_basis(&start, n);
+        let mut all = start.clone();
+        all.extend(ext);
+        prop_assert_eq!(all.len(), n);
+        prop_assert!(is_nonsingular(&BitMatrix::from_rows(&all)));
+    }
+
+    #[test]
+    fn bitvec_slice_concat_identity(bits in proptest::collection::vec(any::<bool>(), 1..120), cut in 0usize..120) {
+        let v = BitVec::from_bits(bits.iter().copied());
+        let cut = cut.min(v.len());
+        let lo = v.slice(0..cut);
+        let hi = v.slice(cut..v.len());
+        prop_assert_eq!(lo.concat(&hi), v);
+    }
+
+    #[test]
+    fn bitvec_dot_symmetric(a in any::<u64>(), b in any::<u64>(), n in 1usize..64) {
+        let mask = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        let x = BitVec::from_u64(n, a & mask);
+        let y = BitVec::from_u64(n, b & mask);
+        prop_assert_eq!(x.dot(&y), y.dot(&x));
+        prop_assert_eq!(x.dot(&y), ((a & b & mask).count_ones() % 2) == 1);
+    }
+}

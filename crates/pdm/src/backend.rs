@@ -1,0 +1,222 @@
+//! Storage backends: one `DiskUnit` per simulated disk.
+//!
+//! Two implementations:
+//! * [`MemDisk`] — blocks held in a flat `Vec`; the default for
+//!   experiments (the paper's cost model counts operations, not bytes).
+//! * [`FileDisk`] — one file per disk with real `read_at`/`write_at`
+//!   system calls, for end-to-end realism and the threaded-service
+//!   benchmarks.
+
+use crate::error::{PdmError, Result};
+use crate::record::ByteRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A single disk that stores fixed-size blocks of records of type `R`.
+///
+/// A `DiskUnit` knows nothing about striping or parallel I/O; the
+/// [`crate::system::DiskSystem`] enforces the model on top of a vector
+/// of these.
+pub trait DiskUnit<R>: Send {
+    /// Number of block slots on this disk.
+    fn slots(&self) -> usize;
+    /// Records per block.
+    fn block(&self) -> usize;
+    /// Reads block `slot` into `out` (`out.len() == block()`).
+    fn read(&mut self, slot: usize, out: &mut [R]) -> Result<()>;
+    /// Writes `data` (`data.len() == block()`) to block `slot`.
+    fn write(&mut self, slot: usize, data: &[R]) -> Result<()>;
+}
+
+/// An in-memory disk: `slots * block` records in one allocation.
+pub struct MemDisk<R> {
+    block: usize,
+    data: Vec<R>,
+}
+
+impl<R: Copy + Default> MemDisk<R> {
+    /// A zeroed disk with the given number of block slots.
+    pub fn new(block: usize, slots: usize) -> Self {
+        MemDisk {
+            block,
+            data: vec![R::default(); block * slots],
+        }
+    }
+}
+
+impl<R: Copy + Default + Send> DiskUnit<R> for MemDisk<R> {
+    fn slots(&self) -> usize {
+        self.data.len() / self.block
+    }
+
+    fn block(&self) -> usize {
+        self.block
+    }
+
+    fn read(&mut self, slot: usize, out: &mut [R]) -> Result<()> {
+        let start = slot * self.block;
+        if start + self.block > self.data.len() {
+            return Err(PdmError::OutOfRange {
+                disk: usize::MAX,
+                slot,
+                slots_per_disk: self.slots(),
+            });
+        }
+        out.copy_from_slice(&self.data[start..start + self.block]);
+        Ok(())
+    }
+
+    fn write(&mut self, slot: usize, data: &[R]) -> Result<()> {
+        let start = slot * self.block;
+        if start + self.block > self.data.len() {
+            return Err(PdmError::OutOfRange {
+                disk: usize::MAX,
+                slot,
+                slots_per_disk: self.slots(),
+            });
+        }
+        self.data[start..start + self.block].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// A file-backed disk: block `i` lives at byte offset
+/// `i * block * R::BYTES` in a single preallocated file.
+pub struct FileDisk {
+    block: usize,
+    slots: usize,
+    record_bytes: usize,
+    file: File,
+}
+
+impl FileDisk {
+    /// Creates (or truncates) the file at `path` sized for
+    /// `slots * block` records of `R`.
+    pub fn create<R: ByteRecord>(path: &Path, block: usize, slots: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| PdmError::Io(format!("create {}: {e}", path.display())))?;
+        file.set_len((block * slots * R::BYTES) as u64)
+            .map_err(|e| PdmError::Io(format!("set_len {}: {e}", path.display())))?;
+        Ok(FileDisk {
+            block,
+            slots,
+            record_bytes: R::BYTES,
+            file,
+        })
+    }
+
+    fn seek_to(&mut self, slot: usize) -> Result<()> {
+        let off = (slot * self.block * self.record_bytes) as u64;
+        self.file
+            .seek(SeekFrom::Start(off))
+            .map_err(|e| PdmError::Io(format!("seek: {e}")))?;
+        Ok(())
+    }
+}
+
+impl<R: ByteRecord + Send> DiskUnit<R> for FileDisk {
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn block(&self) -> usize {
+        self.block
+    }
+
+    fn read(&mut self, slot: usize, out: &mut [R]) -> Result<()> {
+        if slot >= self.slots {
+            return Err(PdmError::OutOfRange {
+                disk: usize::MAX,
+                slot,
+                slots_per_disk: self.slots,
+            });
+        }
+        self.seek_to(slot)?;
+        let mut buf = vec![0u8; self.block * self.record_bytes];
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| PdmError::Io(format!("read: {e}")))?;
+        for (i, r) in out.iter_mut().enumerate() {
+            *r = R::from_bytes(&buf[i * self.record_bytes..]);
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, slot: usize, data: &[R]) -> Result<()> {
+        if slot >= self.slots {
+            return Err(PdmError::OutOfRange {
+                disk: usize::MAX,
+                slot,
+                slots_per_disk: self.slots,
+            });
+        }
+        self.seek_to(slot)?;
+        let mut buf = vec![0u8; self.block * self.record_bytes];
+        for (i, r) in data.iter().enumerate() {
+            r.to_bytes(&mut buf[i * self.record_bytes..(i + 1) * self.record_bytes]);
+        }
+        self.file
+            .write_all(&buf)
+            .map_err(|e| PdmError::Io(format!("write: {e}")))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_disk_round_trip() {
+        let mut d: MemDisk<u64> = MemDisk::new(4, 8);
+        assert_eq!(DiskUnit::<u64>::slots(&d), 8);
+        d.write(3, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u64; 4];
+        d.read(3, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        // Untouched slot reads back zeros.
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mem_disk_out_of_range() {
+        let mut d: MemDisk<u64> = MemDisk::new(4, 2);
+        let mut out = [0u64; 4];
+        assert!(d.read(2, &mut out).is_err());
+        assert!(d.write(5, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn file_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pdm-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk0.bin");
+        let mut d = FileDisk::create::<u64>(&path, 4, 4).unwrap();
+        d.write(2, &[9u64, 8, 7, 6]).unwrap();
+        d.write(0, &[1u64, 2, 3, 4]).unwrap();
+        let mut out = [0u64; 4];
+        DiskUnit::<u64>::read(&mut d, 2, &mut out).unwrap();
+        assert_eq!(out, [9, 8, 7, 6]);
+        DiskUnit::<u64>::read(&mut d, 0, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_disk_out_of_range() {
+        let dir = std::env::temp_dir().join(format!("pdm-test-oor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk0.bin");
+        let mut d = FileDisk::create::<u64>(&path, 2, 2).unwrap();
+        let mut out = [0u64; 2];
+        assert!(DiskUnit::<u64>::read(&mut d, 2, &mut out).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the parallel disk model.
+
+use std::fmt;
+
+/// Errors surfaced by the PDM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdmError {
+    /// The geometry violates the Vitter–Shriver model constraints.
+    Config(String),
+    /// An injected fault fired on the given disk during the given
+    /// parallel I/O operation (see [`crate::fault`]).
+    Fault { op: u64, disk: usize },
+    /// A request addressed a block outside the disk.
+    OutOfRange {
+        disk: usize,
+        slot: usize,
+        slots_per_disk: usize,
+    },
+    /// More than one block was addressed on a single disk within one
+    /// parallel I/O operation.
+    DuplicateDisk { disk: usize },
+    /// An independent (non-striped) access was attempted while the
+    /// system is restricted to striped I/O.
+    StripedOnly,
+    /// A real-file backend I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for PdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdmError::Config(msg) => write!(f, "invalid PDM configuration: {msg}"),
+            PdmError::Fault { op, disk } => {
+                write!(f, "injected fault on disk {disk} at parallel I/O #{op}")
+            }
+            PdmError::OutOfRange {
+                disk,
+                slot,
+                slots_per_disk,
+            } => write!(
+                f,
+                "block {slot} out of range on disk {disk} (capacity {slots_per_disk} blocks)"
+            ),
+            PdmError::DuplicateDisk { disk } => write!(
+                f,
+                "parallel I/O addresses disk {disk} more than once (model allows at most one block per disk)"
+            ),
+            PdmError::StripedOnly => write!(
+                f,
+                "independent access rejected: the system is restricted to striped I/O"
+            ),
+            PdmError::Io(msg) => write!(f, "backend I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdmError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PdmError>;

@@ -1,0 +1,74 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] names parallel-I/O operations (by global operation
+//! index) and disks on which the transfer should fail. The
+//! [`crate::system::DiskSystem`] consults the plan before each
+//! operation and surfaces [`crate::error::PdmError::Fault`], letting
+//! tests verify that algorithms propagate disk errors instead of
+//! silently corrupting data.
+
+use std::collections::BTreeSet;
+
+/// A schedule of injected failures keyed by (parallel-I/O index, disk).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: BTreeSet<(u64, usize)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a failure of `disk` during parallel I/O number `op`
+    /// (operations are numbered from 0 across reads and writes).
+    pub fn fail_at(mut self, op: u64, disk: usize) -> Self {
+        self.faults.insert((op, disk));
+        self
+    }
+
+    /// True if the plan contains a fault for this operation and any of
+    /// the participating disks; returns the first faulted disk.
+    pub fn check(&self, op: u64, disks: impl IntoIterator<Item = usize>) -> Option<usize> {
+        disks.into_iter().find(|&d| self.faults.contains(&(op, d)))
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.check(0, [0, 1, 2]), None);
+    }
+
+    #[test]
+    fn fault_fires_on_matching_op_and_disk() {
+        let p = FaultPlan::new().fail_at(3, 1);
+        assert_eq!(p.check(3, [0, 1, 2]), Some(1));
+        assert_eq!(p.check(2, [0, 1, 2]), None);
+        assert_eq!(p.check(3, [0, 2]), None);
+    }
+
+    #[test]
+    fn multiple_faults() {
+        let p = FaultPlan::new().fail_at(0, 0).fail_at(5, 3);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.check(0, [0]), Some(0));
+        assert_eq!(p.check(5, [3]), Some(3));
+    }
+}

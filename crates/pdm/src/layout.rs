@@ -1,0 +1,244 @@
+//! Record-address parsing (the paper's Figure 2).
+//!
+//! An `n`-bit record address `x = (x_0, …, x_{n−1})`, least significant
+//! bit first, is split into fields:
+//!
+//! ```text
+//!   bits 0 .. b        offset of the record within its block
+//!   bits b .. b+d      disk number
+//!   bits b+d .. n      stripe number
+//!   bits b .. m        relative block number (block within memoryload)
+//!   bits m .. n        memoryload number
+//! ```
+//!
+//! Record indices vary most rapidly within a block, then among disks,
+//! then among stripes (Figure 1).
+
+use crate::config::Geometry;
+
+/// Address-field extractor for a fixed geometry.
+///
+/// All methods are branch-free shifts/masks; addresses are `u64` (the
+/// paper's bit-vector addresses interpreted as integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    b: u32,
+    d: u32,
+    m: u32,
+    n: u32,
+}
+
+impl Layout {
+    /// Builds the layout for a geometry.
+    pub fn new(geom: &Geometry) -> Self {
+        Layout {
+            b: geom.b() as u32,
+            d: geom.d() as u32,
+            m: geom.m() as u32,
+            n: geom.n() as u32,
+        }
+    }
+
+    /// Builds a layout directly from bit widths (`b + d ≤ m < n`).
+    ///
+    /// # Panics
+    /// Panics if the widths are inconsistent.
+    pub fn from_bits(b: u32, d: u32, m: u32, n: u32) -> Self {
+        assert!(b + d <= m, "b + d = {} must be ≤ m = {m}", b + d);
+        assert!(m < n, "m = {m} must be < n = {n}");
+        Layout { b, d, m, n }
+    }
+
+    /// `n = lg N`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// `b = lg B`.
+    #[inline]
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// `d = lg D`.
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// `m = lg M`.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// `s = n − (b + d)`: stripe-field width.
+    #[inline]
+    pub fn s(&self) -> u32 {
+        self.n - self.b - self.d
+    }
+
+    /// Offset within the block: bits `0..b`.
+    #[inline]
+    pub fn offset(&self, x: u64) -> u64 {
+        x & ((1 << self.b) - 1)
+    }
+
+    /// Disk number: bits `b..b+d`.
+    #[inline]
+    pub fn disk(&self, x: u64) -> u64 {
+        (x >> self.b) & ((1 << self.d) - 1)
+    }
+
+    /// Stripe number: bits `b+d..n`.
+    #[inline]
+    pub fn stripe(&self, x: u64) -> u64 {
+        x >> (self.b + self.d)
+    }
+
+    /// Global block number: bits `b..n` (the paper's "source/target
+    /// block" index `x_{b..n−1}`, eq. (7)).
+    #[inline]
+    pub fn block(&self, x: u64) -> u64 {
+        x >> self.b
+    }
+
+    /// Relative block number within the memoryload: bits `b..m`
+    /// (Figure 2). Ranges over `0 .. M/B`.
+    #[inline]
+    pub fn relative_block(&self, x: u64) -> u64 {
+        (x >> self.b) & ((1 << (self.m - self.b)) - 1)
+    }
+
+    /// Memoryload number: bits `m..n`.
+    #[inline]
+    pub fn memoryload(&self, x: u64) -> u64 {
+        x >> self.m
+    }
+
+    /// Reassembles an address from offset, disk, and stripe fields.
+    #[inline]
+    pub fn compose(&self, offset: u64, disk: u64, stripe: u64) -> u64 {
+        debug_assert!(offset < (1 << self.b));
+        debug_assert!(disk < (1 << self.d));
+        debug_assert!(stripe < (1 << self.s()));
+        offset | (disk << self.b) | (stripe << (self.b + self.d))
+    }
+
+    /// Reassembles an address from a global block number and an offset.
+    #[inline]
+    pub fn compose_block(&self, block: u64, offset: u64) -> u64 {
+        debug_assert!(offset < (1 << self.b));
+        (block << self.b) | offset
+    }
+
+    /// The disk a global block number resides on: the low `d` bits of
+    /// the block number (Section 3, property 3: the disk is encoded in
+    /// the least significant `d` bits of the relative block number).
+    #[inline]
+    pub fn disk_of_block(&self, block: u64) -> u64 {
+        block & ((1 << self.d) - 1)
+    }
+
+    /// The stripe a global block number resides in.
+    #[inline]
+    pub fn stripe_of_block(&self, block: u64) -> u64 {
+        block >> self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact geometry of the paper's Figure 2: n=13, b=3, d=4, m=8.
+    fn fig2() -> Layout {
+        Layout::from_bits(3, 4, 8, 13)
+    }
+
+    #[test]
+    fn figure2_field_widths() {
+        let l = fig2();
+        assert_eq!(l.s(), 6);
+        assert_eq!(l.b(), 3);
+        assert_eq!(l.d(), 4);
+        assert_eq!(l.m(), 8);
+        assert_eq!(l.n(), 13);
+    }
+
+    #[test]
+    fn figure2_field_extraction() {
+        let l = fig2();
+        // Address with offset=0b101, disk=0b1001, stripe=0b000011.
+        let x = l.compose(0b101, 0b1001, 0b000011);
+        assert_eq!(l.offset(x), 0b101);
+        assert_eq!(l.disk(x), 0b1001);
+        assert_eq!(l.stripe(x), 0b000011);
+        // Relative block = bits 3..8 = disk bits ++ low stripe bit.
+        assert_eq!(l.relative_block(x), 0b1_1001);
+        // Memoryload = bits 8..13 = high 5 stripe bits.
+        assert_eq!(l.memoryload(x), 0b00001);
+    }
+
+    #[test]
+    fn figure1_layout_order() {
+        // Figure 1: N=64, B=2, D=8. Record 21 = stripe 1, disk 2, offset 1.
+        let g = Geometry::new(64, 2, 8, 32).unwrap();
+        let l = Layout::new(&g);
+        assert_eq!(l.offset(21), 1);
+        assert_eq!(l.disk(21), 2);
+        assert_eq!(l.stripe(21), 1);
+        // Record 40 = stripe 2, disk 4, offset 0.
+        assert_eq!(l.offset(40), 0);
+        assert_eq!(l.disk(40), 4);
+        assert_eq!(l.stripe(40), 2);
+    }
+
+    #[test]
+    fn compose_round_trips_every_address() {
+        let l = fig2();
+        for x in 0..(1u64 << 13) {
+            let y = l.compose(l.offset(x), l.disk(x), l.stripe(x));
+            assert_eq!(x, y);
+            let z = l.compose_block(l.block(x), l.offset(x));
+            assert_eq!(x, z);
+        }
+    }
+
+    #[test]
+    fn block_fields_consistent() {
+        let l = fig2();
+        for x in (0..(1u64 << 13)).step_by(7) {
+            let blk = l.block(x);
+            assert_eq!(l.disk_of_block(blk), l.disk(x));
+            assert_eq!(l.stripe_of_block(blk), l.stripe(x));
+            assert_eq!(
+                l.relative_block(x),
+                blk & ((1 << (l.m() - l.b())) - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn memoryload_is_high_bits() {
+        let l = fig2();
+        // One memoryload = M = 256 records = M/BD = 2 stripes.
+        for x in 0..(1u64 << 13) {
+            assert_eq!(l.memoryload(x), x >> 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be")]
+    fn rejects_bd_above_m() {
+        Layout::from_bits(5, 4, 8, 13);
+    }
+
+    #[test]
+    fn single_disk_layout() {
+        let l = Layout::from_bits(2, 0, 4, 8);
+        assert_eq!(l.disk(0xff), 0);
+        assert_eq!(l.stripe(0b11111111), 0b111111);
+    }
+}

@@ -1,0 +1,52 @@
+//! Vitter–Shriver parallel disk model (PDM) simulator.
+//!
+//! The model (Vitter & Shriver 1990; the cost model of the BMMC paper):
+//! `N` records live on `D` disks in blocks of `B` records; a RAM holds
+//! `M` records; one **parallel I/O operation** transfers at most one
+//! block per disk (up to `BD` records). Algorithms are charged by the
+//! number of parallel I/Os only.
+//!
+//! This crate provides:
+//! * [`Geometry`] — validated `(N, B, D, M)` quadruples and the paper's
+//!   `b, d, m, n` logarithms;
+//! * [`Layout`] — Figure 2 address-field parsing (offset / disk /
+//!   stripe / relative block / memoryload);
+//! * [`DiskSystem`] — the disk array itself, with striped and
+//!   independent parallel I/O, exact [`IoStats`] accounting, memory- or
+//!   file-backed storage, optional one-thread-per-disk servicing, and
+//!   deterministic fault injection;
+//! * [`Memory`] — the M-record internal memory with capacity
+//!   enforcement, plus in-place permutation by cycle-following.
+//!
+//! ```
+//! use pdm::{DiskSystem, Geometry};
+//!
+//! let geom = Geometry::new(64, 2, 8, 32).unwrap(); // Figure 1 of the paper
+//! let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 1);
+//! sys.load_records(0, &(0..64).collect::<Vec<_>>());
+//! let stripe0 = sys.read_stripe(0).unwrap();
+//! assert_eq!(stripe0, (0..16).collect::<Vec<_>>());
+//! assert_eq!(sys.stats().parallel_ios(), 1);
+//! ```
+
+pub mod backend;
+pub mod config;
+pub mod error;
+pub mod fault;
+pub mod layout;
+pub mod memory;
+pub mod parallel;
+pub mod record;
+pub mod stats;
+pub mod system;
+pub mod timing;
+
+pub use config::Geometry;
+pub use error::{PdmError, Result};
+pub use fault::FaultPlan;
+pub use layout::Layout;
+pub use memory::{permute_in_place, Memory};
+pub use record::{ByteRecord, Record, TaggedRecord};
+pub use stats::IoStats;
+pub use system::{BlockRef, DiskSystem};
+pub use timing::{TimingModel, TimingTracker};

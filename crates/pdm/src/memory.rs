@@ -1,0 +1,196 @@
+//! The M-record internal memory and in-memory permutation.
+//!
+//! The model allows arbitrary computation on records once they are in
+//! memory; the only constraint is capacity `M`. [`Memory`] enforces the
+//! capacity, and [`permute_in_place`] rearranges a buffer by
+//! cycle-following so that no second M-record buffer is needed — the
+//! permutation uses O(M) *bits* of scratch, honouring the model.
+
+/// An internal memory holding at most `capacity` records.
+#[derive(Clone, Debug)]
+pub struct Memory<R> {
+    capacity: usize,
+    data: Vec<R>,
+}
+
+impl<R: Copy + Default> Memory<R> {
+    /// An empty memory with the given record capacity (the model's `M`).
+    pub fn new(capacity: usize) -> Self {
+        Memory {
+            capacity,
+            data: Vec::new(),
+        }
+    }
+
+    /// The record capacity `M`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently resident.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no records are resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Loads records, replacing the current contents.
+    ///
+    /// # Panics
+    /// Panics if the load exceeds capacity — algorithms that trip this
+    /// have violated the model.
+    pub fn load(&mut self, records: Vec<R>) {
+        assert!(
+            records.len() <= self.capacity,
+            "memory overflow: loading {} records into capacity {}",
+            records.len(),
+            self.capacity
+        );
+        self.data = records;
+    }
+
+    /// Appends records (e.g. one block at a time).
+    ///
+    /// # Panics
+    /// Panics if capacity would be exceeded.
+    pub fn extend_from(&mut self, records: &[R]) {
+        assert!(
+            self.data.len() + records.len() <= self.capacity,
+            "memory overflow: {} + {} exceeds capacity {}",
+            self.data.len(),
+            records.len(),
+            self.capacity
+        );
+        self.data.extend_from_slice(records);
+    }
+
+    /// Immutable view of the resident records.
+    pub fn as_slice(&self) -> &[R] {
+        &self.data
+    }
+
+    /// Mutable view of the resident records.
+    pub fn as_mut_slice(&mut self) -> &mut [R] {
+        &mut self.data
+    }
+
+    /// Removes and returns all resident records.
+    pub fn take(&mut self) -> Vec<R> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+/// Rearranges `data` so that the record at index `i` moves to index
+/// `target(i)`, where `target` is a bijection on `0..data.len()`.
+///
+/// Uses cycle-following with a visited bitmap: O(len) time, O(len) bits
+/// of scratch, no second record buffer.
+///
+/// # Panics
+/// Panics (in debug builds) if `target` is not a bijection.
+pub fn permute_in_place<R: Copy>(data: &mut [R], target: impl Fn(usize) -> usize) {
+    let n = data.len();
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut carried = data[start];
+        let mut dst = target(start);
+        // Walk the cycle containing `start`, depositing each carried
+        // record at its target and picking up the displaced one.
+        while dst != start {
+            debug_assert!(dst < n, "target {dst} out of range");
+            debug_assert!(!visited[dst], "target function is not a bijection");
+            visited[dst] = true;
+            std::mem::swap(&mut carried, &mut data[dst]);
+            dst = target(dst);
+        }
+        data[start] = carried;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_take() {
+        let mut mem: Memory<u64> = Memory::new(8);
+        mem.load(vec![1, 2, 3]);
+        assert_eq!(mem.len(), 3);
+        assert_eq!(mem.as_slice(), &[1, 2, 3]);
+        let out = mem.take();
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory overflow")]
+    fn load_over_capacity_panics() {
+        let mut mem: Memory<u64> = Memory::new(2);
+        mem.load(vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory overflow")]
+    fn extend_over_capacity_panics() {
+        let mut mem: Memory<u64> = Memory::new(4);
+        mem.extend_from(&[1, 2, 3]);
+        mem.extend_from(&[4, 5]);
+    }
+
+    #[test]
+    fn permute_identity() {
+        let mut v = [10, 20, 30, 40];
+        permute_in_place(&mut v, |i| i);
+        assert_eq!(v, [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn permute_rotation() {
+        let mut v = [0, 1, 2, 3, 4];
+        // Record at i moves to i+1 mod 5.
+        permute_in_place(&mut v, |i| (i + 1) % 5);
+        assert_eq!(v, [4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn permute_reversal() {
+        let mut v: Vec<u32> = (0..16).collect();
+        permute_in_place(&mut v, |i| 15 - i);
+        let expect: Vec<u32> = (0..16).rev().collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn permute_matches_scatter_reference() {
+        // Compare against the obvious out-of-place scatter for a
+        // pseudo-random bijection (multiplication by 5 mod 16).
+        let n = 16usize;
+        let target = |i: usize| (i * 5) % n;
+        let mut v: Vec<usize> = (100..100 + n).collect();
+        let mut expect = vec![0usize; n];
+        for i in 0..n {
+            expect[target(i)] = v[i];
+        }
+        permute_in_place(&mut v, target);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn permute_empty_and_singleton() {
+        let mut empty: [u8; 0] = [];
+        permute_in_place(&mut empty, |i| i);
+        let mut one = [7u8];
+        permute_in_place(&mut one, |i| i);
+        assert_eq!(one, [7]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Concurrent servicing of a parallel I/O operation.
+//!
+//! A parallel I/O touches at most one block on each disk; the transfers
+//! are independent by construction, so they can be serviced by one
+//! thread per participating disk. For [`crate::backend::MemDisk`] this
+//! is pure overhead, but for [`crate::backend::FileDisk`] it overlaps
+//! real system calls exactly the way a hardware disk array would.
+//! The `DiskSystem` chooses between this path and a serial loop via
+//! [`crate::system::DiskSystem::set_threaded`].
+
+use crate::backend::DiskUnit;
+use crate::error::{PdmError, Result};
+use crate::record::Record;
+use parking_lot::Mutex;
+
+/// Reads one block from each `(disk, slot)` pair concurrently.
+/// `outs[i]` receives the block for request `i`; requests must address
+/// distinct disks.
+pub fn threaded_read<R: Record>(
+    units: &mut [Box<dyn DiskUnit<R>>],
+    reqs: &[(usize, usize)],
+    outs: &mut [Vec<R>],
+) -> Result<()> {
+    debug_assert_eq!(reqs.len(), outs.len());
+    // Scatter the per-request output buffers into disk-indexed slots so
+    // each spawned thread gets a disjoint `&mut`.
+    let mut by_disk: Vec<Option<(usize, &mut Vec<R>)>> =
+        (0..units.len()).map(|_| None).collect();
+    for (&(disk, slot), out) in reqs.iter().zip(outs.iter_mut()) {
+        by_disk[disk] = Some((slot, out));
+    }
+    let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        for (unit, job) in units.iter_mut().zip(by_disk) {
+            if let Some((slot, out)) = job {
+                let errors = &errors;
+                s.spawn(move |_| {
+                    if let Err(e) = unit.read(slot, out) {
+                        errors.lock().push(e);
+                    }
+                });
+            }
+        }
+    })
+    .expect("disk service thread panicked");
+    match errors.into_inner().pop() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Writes one block to each `(disk, slot)` pair concurrently.
+/// Requests must address distinct disks.
+pub fn threaded_write<R: Record>(
+    units: &mut [Box<dyn DiskUnit<R>>],
+    writes: &[(usize, usize, &[R])],
+) -> Result<()> {
+    let mut by_disk: Vec<Option<(usize, &[R])>> = (0..units.len()).map(|_| None).collect();
+    for &(disk, slot, data) in writes {
+        by_disk[disk] = Some((slot, data));
+    }
+    let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        for (unit, job) in units.iter_mut().zip(by_disk) {
+            if let Some((slot, data)) = job {
+                let errors = &errors;
+                s.spawn(move |_| {
+                    if let Err(e) = unit.write(slot, data) {
+                        errors.lock().push(e);
+                    }
+                });
+            }
+        }
+    })
+    .expect("disk service thread panicked");
+    match errors.into_inner().pop() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemDisk;
+
+    fn units(block: usize, slots: usize, disks: usize) -> Vec<Box<dyn DiskUnit<u64>>> {
+        (0..disks)
+            .map(|_| Box::new(MemDisk::<u64>::new(block, slots)) as Box<dyn DiskUnit<u64>>)
+            .collect()
+    }
+
+    #[test]
+    fn threaded_round_trip() {
+        let mut u = units(2, 4, 4);
+        let data: Vec<Vec<u64>> = (0..4u64).map(|d| vec![d * 10, d * 10 + 1]).collect();
+        let writes: Vec<(usize, usize, &[u64])> = data
+            .iter()
+            .enumerate()
+            .map(|(d, v)| (d, d % 4, v.as_slice()))
+            .collect();
+        threaded_write(&mut u, &writes).unwrap();
+
+        let reqs: Vec<(usize, usize)> = (0..4).map(|d| (d, d % 4)).collect();
+        let mut outs: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 2]).collect();
+        threaded_read(&mut u, &reqs, &mut outs).unwrap();
+        assert_eq!(outs, data);
+    }
+
+    #[test]
+    fn threaded_read_propagates_errors() {
+        let mut u = units(2, 2, 2);
+        let reqs = [(0usize, 5usize)]; // out of range
+        let mut outs = vec![vec![0u64; 2]];
+        assert!(threaded_read(&mut u, &reqs, &mut outs).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Parallel I/O accounting.
+//!
+//! The paper's only cost metric is the number of *parallel I/O
+//! operations*: each operation transfers at most one block per disk.
+//! We additionally classify operations as *striped* (the same block
+//! location on every disk) or *independent* (arbitrary locations), since
+//! the MLD one-pass algorithm specifically uses striped reads and
+//! independent writes (Section 3).
+
+use std::fmt;
+
+/// Counters for every category of parallel I/O the simulator performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Parallel read operations.
+    pub parallel_reads: u64,
+    /// Parallel write operations.
+    pub parallel_writes: u64,
+    /// Reads in which all `D` disks were accessed at the same location.
+    pub striped_reads: u64,
+    /// Writes in which all `D` disks were accessed at the same location.
+    pub striped_writes: u64,
+    /// Total blocks transferred from disk.
+    pub blocks_read: u64,
+    /// Total blocks transferred to disk.
+    pub blocks_written: u64,
+}
+
+impl IoStats {
+    /// Total parallel I/O operations — the paper's cost measure.
+    #[inline]
+    pub fn parallel_ios(&self) -> u64 {
+        self.parallel_reads + self.parallel_writes
+    }
+
+    /// Reads that were not striped.
+    #[inline]
+    pub fn independent_reads(&self) -> u64 {
+        self.parallel_reads - self.striped_reads
+    }
+
+    /// Writes that were not striped.
+    #[inline]
+    pub fn independent_writes(&self) -> u64 {
+        self.parallel_writes - self.striped_writes
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            parallel_reads: self.parallel_reads - earlier.parallel_reads,
+            parallel_writes: self.parallel_writes - earlier.parallel_writes,
+            striped_reads: self.striped_reads - earlier.striped_reads,
+            striped_writes: self.striped_writes - earlier.striped_writes,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            blocks_written: self.blocks_written - earlier.blocks_written,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} parallel I/Os ({} reads: {} striped / {} independent; \
+             {} writes: {} striped / {} independent; \
+             {} blocks in, {} blocks out)",
+            self.parallel_ios(),
+            self.parallel_reads,
+            self.striped_reads,
+            self.independent_reads(),
+            self.parallel_writes,
+            self.striped_writes,
+            self.independent_writes(),
+            self.blocks_read,
+            self.blocks_written,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_classes() {
+        let s = IoStats {
+            parallel_reads: 10,
+            parallel_writes: 6,
+            striped_reads: 7,
+            striped_writes: 2,
+            blocks_read: 80,
+            blocks_written: 48,
+        };
+        assert_eq!(s.parallel_ios(), 16);
+        assert_eq!(s.independent_reads(), 3);
+        assert_eq!(s.independent_writes(), 4);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = IoStats {
+            parallel_reads: 5,
+            parallel_writes: 3,
+            striped_reads: 5,
+            striped_writes: 3,
+            blocks_read: 40,
+            blocks_written: 24,
+        };
+        let mut b = a;
+        b.parallel_reads += 2;
+        b.blocks_read += 16;
+        let d = b.since(&a);
+        assert_eq!(d.parallel_reads, 2);
+        assert_eq!(d.blocks_read, 16);
+        assert_eq!(d.parallel_writes, 0);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let s = IoStats::default();
+        assert!(s.to_string().contains("0 parallel I/Os"));
+    }
+}

@@ -1,0 +1,630 @@
+//! The parallel disk system: `D` disks driven by parallel I/O
+//! operations with exact accounting.
+//!
+//! A [`DiskSystem`] owns one [`DiskUnit`] per
+//! disk and exposes the model's two access disciplines:
+//!
+//! * **striped** — [`DiskSystem::read_stripe`] / [`DiskSystem::write_stripe`]
+//!   move the `D` blocks at the same location on every disk;
+//! * **independent** — [`DiskSystem::read_blocks`] /
+//!   [`DiskSystem::write_blocks`] move at most one block per disk at
+//!   arbitrary locations.
+//!
+//! Either way one call is one parallel I/O (the paper's unit of cost)
+//! and is tallied in [`IoStats`]. The system enforces the model: a
+//! request that addresses the same disk twice in one operation is an
+//! error, not a slower success.
+//!
+//! Disks are sized as `portions × N/BD` stripes. Algorithms that "map
+//! records from one set of N/BD stripes to a different set" (Section 3)
+//! use portion 0 as the source and portion 1 as the target, swapping
+//! roles between passes.
+
+use crate::backend::{DiskUnit, FileDisk, MemDisk};
+use crate::config::Geometry;
+use crate::error::{PdmError, Result};
+use crate::fault::FaultPlan;
+use crate::layout::Layout;
+use crate::parallel::{threaded_read, threaded_write};
+use crate::record::{ByteRecord, Record};
+use crate::stats::IoStats;
+use crate::timing::{TimingModel, TimingTracker};
+use std::path::Path;
+
+/// A reference to one block: disk number and block slot on that disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockRef {
+    /// Disk number, `0 .. D`.
+    pub disk: usize,
+    /// Block slot on the disk (global across portions).
+    pub slot: usize,
+}
+
+/// A simulated parallel disk system storing records of type `R`.
+pub struct DiskSystem<R> {
+    geom: Geometry,
+    layout: Layout,
+    units: Vec<Box<dyn DiskUnit<R>>>,
+    portions: usize,
+    stats: IoStats,
+    faults: FaultPlan,
+    op_counter: u64,
+    threaded: bool,
+    timing: Option<TimingTracker>,
+    striped_only: bool,
+}
+
+impl<R: Record> DiskSystem<R> {
+    /// A memory-backed system with `portions` address spaces of `N/BD`
+    /// stripes each (use 2 for the source/target double-buffering of
+    /// the one-pass algorithms).
+    pub fn new_mem(geom: Geometry, portions: usize) -> Self {
+        assert!(portions >= 1, "need at least one portion");
+        let slots = portions * geom.stripes();
+        let units = (0..geom.disks())
+            .map(|_| Box::new(MemDisk::<R>::new(geom.block(), slots)) as Box<dyn DiskUnit<R>>)
+            .collect();
+        DiskSystem {
+            geom,
+            layout: Layout::new(&geom),
+            units,
+            portions,
+            stats: IoStats::default(),
+            faults: FaultPlan::new(),
+            op_counter: 0,
+            threaded: false,
+            timing: None,
+            striped_only: false,
+        }
+    }
+
+    /// The geometry this system was built with.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// The address layout (Figure 2 field extractor).
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Number of block slots on each disk.
+    #[inline]
+    pub fn slots_per_disk(&self) -> usize {
+        self.portions * self.geom.stripes()
+    }
+
+    /// Number of portions (independent N-record address spaces).
+    #[inline]
+    pub fn portions(&self) -> usize {
+        self.portions
+    }
+
+    /// First stripe slot of a portion.
+    #[inline]
+    pub fn portion_base(&self, portion: usize) -> usize {
+        assert!(portion < self.portions, "portion {portion} out of range");
+        portion * self.geom.stripes()
+    }
+
+    /// Cumulative I/O statistics.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the I/O statistics (not the operation counter used by
+    /// fault plans).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Enables or disables threaded (one thread per disk) servicing of
+    /// parallel I/Os.
+    pub fn set_threaded(&mut self, on: bool) {
+        self.threaded = on;
+    }
+
+    /// Enables the optional service-time model ([`crate::timing`]);
+    /// each subsequent parallel I/O accumulates simulated elapsed
+    /// time. Counted operations are unaffected.
+    pub fn set_timing(&mut self, model: TimingModel) {
+        self.timing = Some(TimingTracker::new(model, self.geom.disks()));
+    }
+
+    /// The timing tracker, if [`DiskSystem::set_timing`] was called.
+    pub fn timing(&self) -> Option<&TimingTracker> {
+        self.timing.as_ref()
+    }
+
+    /// Restricts the system to *striped* I/O only (the weaker model
+    /// variant the paper contrasts with independent I/O in Section 1).
+    /// Subsequent non-striped operations fail with
+    /// [`PdmError::StripedOnly`].
+    pub fn set_striped_only(&mut self, on: bool) {
+        self.striped_only = on;
+    }
+
+    fn validate(&self, refs: impl Iterator<Item = BlockRef>) -> Result<()> {
+        let mut seen = vec![false; self.geom.disks()];
+        for r in refs {
+            if r.disk >= self.geom.disks() {
+                return Err(PdmError::OutOfRange {
+                    disk: r.disk,
+                    slot: r.slot,
+                    slots_per_disk: self.slots_per_disk(),
+                });
+            }
+            if r.slot >= self.slots_per_disk() {
+                return Err(PdmError::OutOfRange {
+                    disk: r.disk,
+                    slot: r.slot,
+                    slots_per_disk: self.slots_per_disk(),
+                });
+            }
+            if seen[r.disk] {
+                return Err(PdmError::DuplicateDisk { disk: r.disk });
+            }
+            seen[r.disk] = true;
+        }
+        Ok(())
+    }
+
+    fn is_striped(&self, refs: &[BlockRef]) -> bool {
+        refs.len() == self.geom.disks()
+            && refs.windows(2).all(|w| w[0].slot == w[1].slot)
+    }
+
+    fn check_faults(&mut self, refs: &[BlockRef]) -> Result<()> {
+        let op = self.op_counter;
+        self.op_counter += 1;
+        if let Some(disk) = self.faults.check(op, refs.iter().map(|r| r.disk)) {
+            return Err(PdmError::Fault { op, disk });
+        }
+        Ok(())
+    }
+
+    /// One parallel read: fetches each requested block (at most one per
+    /// disk). Returns the blocks in request order. Counts one parallel
+    /// I/O (zero if `refs` is empty).
+    pub fn read_blocks(&mut self, refs: &[BlockRef]) -> Result<Vec<Vec<R>>> {
+        if refs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.validate(refs.iter().copied())?;
+        if self.striped_only && !self.is_striped(refs) {
+            return Err(PdmError::StripedOnly);
+        }
+        self.check_faults(refs)?;
+        let block = self.geom.block();
+        let mut outs: Vec<Vec<R>> = refs.iter().map(|_| vec![R::default(); block]).collect();
+        if self.threaded && self.geom.disks() > 1 {
+            let reqs: Vec<(usize, usize)> = refs.iter().map(|r| (r.disk, r.slot)).collect();
+            threaded_read(&mut self.units, &reqs, &mut outs)?;
+        } else {
+            for (r, out) in refs.iter().zip(outs.iter_mut()) {
+                self.units[r.disk].read(r.slot, out).map_err(|e| match e {
+                    PdmError::OutOfRange { slot, slots_per_disk, .. } => PdmError::OutOfRange {
+                        disk: r.disk,
+                        slot,
+                        slots_per_disk,
+                    },
+                    other => other,
+                })?;
+            }
+        }
+        self.stats.parallel_reads += 1;
+        self.stats.blocks_read += refs.len() as u64;
+        if self.is_striped(refs) {
+            self.stats.striped_reads += 1;
+        }
+        if let Some(t) = self.timing.as_mut() {
+            t.record(refs.iter().map(|r| (r.disk, r.slot)));
+        }
+        Ok(outs)
+    }
+
+    /// One parallel write: stores each block (at most one per disk).
+    /// Every block must be exactly `B` records. Counts one parallel I/O
+    /// (zero if `writes` is empty).
+    pub fn write_blocks(&mut self, writes: &[(BlockRef, &[R])]) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        for (_, data) in writes {
+            assert_eq!(
+                data.len(),
+                self.geom.block(),
+                "write_blocks requires full {}-record blocks",
+                self.geom.block()
+            );
+        }
+        let refs: Vec<BlockRef> = writes.iter().map(|(r, _)| *r).collect();
+        self.validate(refs.iter().copied())?;
+        if self.striped_only && !self.is_striped(&refs) {
+            return Err(PdmError::StripedOnly);
+        }
+        self.check_faults(&refs)?;
+        if self.threaded && self.geom.disks() > 1 {
+            let reqs: Vec<(usize, usize, &[R])> = writes
+                .iter()
+                .map(|(r, data)| (r.disk, r.slot, *data))
+                .collect();
+            threaded_write(&mut self.units, &reqs)?;
+        } else {
+            for (r, data) in writes {
+                self.units[r.disk].write(r.slot, data)?;
+            }
+        }
+        self.stats.parallel_writes += 1;
+        self.stats.blocks_written += writes.len() as u64;
+        if self.is_striped(&refs) {
+            self.stats.striped_writes += 1;
+        }
+        if let Some(t) = self.timing.as_mut() {
+            t.record(refs.iter().map(|r| (r.disk, r.slot)));
+        }
+        Ok(())
+    }
+
+    /// Striped read of the stripe at `slot`: the `D` blocks at the same
+    /// location on every disk, concatenated in disk order (which is
+    /// record-address order within the stripe).
+    pub fn read_stripe(&mut self, slot: usize) -> Result<Vec<R>> {
+        let refs: Vec<BlockRef> = (0..self.geom.disks())
+            .map(|disk| BlockRef { disk, slot })
+            .collect();
+        let blocks = self.read_blocks(&refs)?;
+        let mut out = Vec::with_capacity(self.geom.block() * self.geom.disks());
+        for b in blocks {
+            out.extend_from_slice(&b);
+        }
+        Ok(out)
+    }
+
+    /// Striped write of `data` (`B·D` records in address order) to the
+    /// stripe at `slot`.
+    pub fn write_stripe(&mut self, slot: usize, data: &[R]) -> Result<()> {
+        assert_eq!(
+            data.len(),
+            self.geom.block() * self.geom.disks(),
+            "write_stripe requires a full stripe of {} records",
+            self.geom.block() * self.geom.disks()
+        );
+        let writes: Vec<(BlockRef, &[R])> = data
+            .chunks_exact(self.geom.block())
+            .enumerate()
+            .map(|(disk, chunk)| (BlockRef { disk, slot }, chunk))
+            .collect();
+        self.write_blocks(&writes)
+    }
+
+    /// Reads memoryload `ml` of a portion: its `M/BD` consecutive
+    /// stripes, returned as `M` records in address order. Costs `M/BD`
+    /// parallel (striped) reads.
+    pub fn read_memoryload(&mut self, portion: usize, ml: usize) -> Result<Vec<R>> {
+        let spm = self.geom.stripes_per_memoryload();
+        let base = self.portion_base(portion) + ml * spm;
+        let mut out = Vec::with_capacity(self.geom.memory());
+        for t in 0..spm {
+            out.extend(self.read_stripe(base + t)?);
+        }
+        Ok(out)
+    }
+
+    /// Writes `M` records (address order) to memoryload `ml` of a
+    /// portion with `M/BD` striped writes.
+    pub fn write_memoryload(&mut self, portion: usize, ml: usize, data: &[R]) -> Result<()> {
+        assert_eq!(
+            data.len(),
+            self.geom.memory(),
+            "write_memoryload requires a full memoryload of {} records",
+            self.geom.memory()
+        );
+        let spm = self.geom.stripes_per_memoryload();
+        let stripe_len = self.geom.block() * self.geom.disks();
+        let base = self.portion_base(portion) + ml * spm;
+        for (t, chunk) in data.chunks_exact(stripe_len).enumerate() {
+            self.write_stripe(base + t, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Translates a record address within a portion to its block
+    /// location (Figure 1 layout).
+    pub fn locate(&self, portion: usize, address: u64) -> BlockRef {
+        let disk = self.layout.disk(address) as usize;
+        let stripe = self.layout.stripe(address) as usize;
+        BlockRef {
+            disk,
+            slot: self.portion_base(portion) + stripe,
+        }
+    }
+
+    /// Fills a portion with `records` in address order **without
+    /// counting I/Os** — initial data placement, not part of any
+    /// algorithm's cost.
+    pub fn load_records(&mut self, portion: usize, records: &[R]) {
+        assert_eq!(
+            records.len(),
+            self.geom.records(),
+            "load_records requires exactly N = {} records",
+            self.geom.records()
+        );
+        let base = self.portion_base(portion);
+        let stripe_len = self.geom.block() * self.geom.disks();
+        for (t, stripe) in records.chunks_exact(stripe_len).enumerate() {
+            for (disk, chunk) in stripe.chunks_exact(self.geom.block()).enumerate() {
+                self.units[disk]
+                    .write(base + t, chunk)
+                    .expect("load_records within capacity");
+            }
+        }
+    }
+
+    /// Reads a whole portion back in address order **without counting
+    /// I/Os** — for verification at the end of an experiment.
+    pub fn dump_records(&mut self, portion: usize) -> Vec<R> {
+        let base = self.portion_base(portion);
+        let mut out = Vec::with_capacity(self.geom.records());
+        let mut buf = vec![R::default(); self.geom.block()];
+        for t in 0..self.geom.stripes() {
+            for disk in 0..self.geom.disks() {
+                self.units[disk]
+                    .read(base + t, &mut buf)
+                    .expect("dump_records within capacity");
+                out.extend_from_slice(&buf);
+            }
+        }
+        out
+    }
+
+    /// Reads one block **without counting I/Os** — used by the
+    /// potential-function tracker to observe state between operations.
+    pub fn peek_block(&mut self, r: BlockRef) -> Vec<R> {
+        let mut buf = vec![R::default(); self.geom.block()];
+        self.units[r.disk]
+            .read(r.slot, &mut buf)
+            .expect("peek_block within capacity");
+        buf
+    }
+}
+
+impl<R: Record + ByteRecord> DiskSystem<R> {
+    /// A file-backed system: one preallocated file per disk in `dir`.
+    pub fn new_file(geom: Geometry, portions: usize, dir: &Path) -> Result<Self> {
+        assert!(portions >= 1, "need at least one portion");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| PdmError::Io(format!("create_dir_all {}: {e}", dir.display())))?;
+        let slots = portions * geom.stripes();
+        let mut units: Vec<Box<dyn DiskUnit<R>>> = Vec::with_capacity(geom.disks());
+        for d in 0..geom.disks() {
+            let path = dir.join(format!("disk{d:03}.bin"));
+            units.push(Box::new(FileDisk::create::<R>(&path, geom.block(), slots)?));
+        }
+        Ok(DiskSystem {
+            geom,
+            layout: Layout::new(&geom),
+            units,
+            portions,
+            stats: IoStats::default(),
+            faults: FaultPlan::new(),
+            op_counter: 0,
+            threaded: false,
+            timing: None,
+            striped_only: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DiskSystem<u64> {
+        // N=64, B=2, D=4, M=16: 8 stripes, 4 memoryloads.
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        DiskSystem::new_mem(g, 2)
+    }
+
+    #[test]
+    fn load_dump_round_trip() {
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        assert_eq!(sys.dump_records(0), records);
+        assert_eq!(sys.stats().parallel_ios(), 0, "loading is free");
+    }
+
+    #[test]
+    fn figure1_placement() {
+        // Figure 1 semantics: record 21 (B=2, D=4 here) sits at
+        // offset 1, disk 2, stripe 2: 21 = 1 + 2*2 + 2*8.
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        let loc = sys.locate(0, 21);
+        assert_eq!(loc, BlockRef { disk: 2, slot: 2 });
+        let blk = sys.peek_block(loc);
+        assert_eq!(blk, vec![20, 21]);
+    }
+
+    #[test]
+    fn striped_read_counts_one_io() {
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        let stripe = sys.read_stripe(0).unwrap();
+        assert_eq!(stripe, (0..8).collect::<Vec<u64>>());
+        let s = sys.stats();
+        assert_eq!(s.parallel_reads, 1);
+        assert_eq!(s.striped_reads, 1);
+        assert_eq!(s.blocks_read, 4);
+    }
+
+    #[test]
+    fn independent_read_classified() {
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        let blocks = sys
+            .read_blocks(&[
+                BlockRef { disk: 0, slot: 0 },
+                BlockRef { disk: 2, slot: 3 },
+            ])
+            .unwrap();
+        assert_eq!(blocks[0], vec![0, 1]);
+        assert_eq!(blocks[1], vec![28, 29]); // stripe 3, disk 2 → 24 + 4..
+        let s = sys.stats();
+        assert_eq!(s.parallel_reads, 1);
+        assert_eq!(s.striped_reads, 0);
+        assert_eq!(s.independent_reads(), 1);
+    }
+
+    #[test]
+    fn duplicate_disk_rejected() {
+        let mut sys = small();
+        let err = sys
+            .read_blocks(&[
+                BlockRef { disk: 1, slot: 0 },
+                BlockRef { disk: 1, slot: 1 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, PdmError::DuplicateDisk { disk: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut sys = small();
+        assert!(sys
+            .read_blocks(&[BlockRef { disk: 9, slot: 0 }])
+            .is_err());
+        assert!(sys
+            .read_blocks(&[BlockRef { disk: 0, slot: 99 }])
+            .is_err());
+    }
+
+    #[test]
+    fn write_blocks_round_trip() {
+        let mut sys = small();
+        let a = [100u64, 101];
+        let b = [200u64, 201];
+        sys.write_blocks(&[
+            (BlockRef { disk: 0, slot: 8 }, &a),
+            (BlockRef { disk: 3, slot: 9 }, &b),
+        ])
+        .unwrap();
+        assert_eq!(sys.peek_block(BlockRef { disk: 0, slot: 8 }), a.to_vec());
+        assert_eq!(sys.peek_block(BlockRef { disk: 3, slot: 9 }), b.to_vec());
+        let s = sys.stats();
+        assert_eq!(s.parallel_writes, 1);
+        assert_eq!(s.blocks_written, 2);
+        assert_eq!(s.independent_writes(), 1);
+    }
+
+    #[test]
+    fn memoryload_round_trip_and_cost() {
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        // M = 16, BD = 8 → 2 stripes per memoryload, 4 memoryloads.
+        let ml1 = sys.read_memoryload(0, 1).unwrap();
+        assert_eq!(ml1, (16..32).collect::<Vec<u64>>());
+        assert_eq!(sys.stats().parallel_reads, 2);
+        assert_eq!(sys.stats().striped_reads, 2);
+
+        sys.write_memoryload(1, 0, &ml1).unwrap();
+        assert_eq!(sys.stats().parallel_writes, 2);
+        let back = sys.read_memoryload(1, 0).unwrap();
+        assert_eq!(back, ml1);
+    }
+
+    #[test]
+    fn portions_are_disjoint() {
+        let mut sys = small();
+        let zeros = vec![0u64; 64];
+        let ones = vec![1u64; 64];
+        sys.load_records(0, &zeros);
+        sys.load_records(1, &ones);
+        assert_eq!(sys.dump_records(0), zeros);
+        assert_eq!(sys.dump_records(1), ones);
+    }
+
+    #[test]
+    fn striped_only_mode_rejects_independent_access() {
+        let mut sys = small();
+        sys.set_striped_only(true);
+        // Striped operations still work.
+        sys.read_stripe(0).unwrap();
+        let stripe = vec![0u64; 8];
+        sys.write_stripe(8, &stripe).unwrap();
+        // Independent accesses are rejected without being charged.
+        let before = sys.stats();
+        let err = sys
+            .read_blocks(&[BlockRef { disk: 0, slot: 0 }])
+            .unwrap_err();
+        assert!(matches!(err, PdmError::StripedOnly));
+        let err = sys
+            .write_blocks(&[(BlockRef { disk: 1, slot: 2 }, &[0u64, 0][..])])
+            .unwrap_err();
+        assert!(matches!(err, PdmError::StripedOnly));
+        assert_eq!(sys.stats(), before, "rejected ops must not be charged");
+    }
+
+    #[test]
+    fn fault_injection_fires() {
+        let mut sys = small();
+        sys.set_faults(FaultPlan::new().fail_at(1, 2));
+        // op 0 succeeds
+        sys.read_stripe(0).unwrap();
+        // op 1 touches all disks; disk 2 faults.
+        let err = sys.read_stripe(1).unwrap_err();
+        assert!(matches!(err, PdmError::Fault { op: 1, disk: 2 }));
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        let g = Geometry::new(256, 4, 8, 64).unwrap();
+        let records: Vec<u64> = (0..256).collect();
+        let mut serial = DiskSystem::<u64>::new_mem(g, 1);
+        serial.load_records(0, &records);
+        let mut threaded = DiskSystem::<u64>::new_mem(g, 1);
+        threaded.set_threaded(true);
+        threaded.load_records(0, &records);
+        for slot in 0..g.stripes() {
+            assert_eq!(
+                serial.read_stripe(slot).unwrap(),
+                threaded.read_stripe(slot).unwrap()
+            );
+        }
+        assert_eq!(serial.stats(), threaded.stats());
+    }
+
+    #[test]
+    fn empty_requests_are_free() {
+        let mut sys = small();
+        assert!(sys.read_blocks(&[]).unwrap().is_empty());
+        sys.write_blocks(&[]).unwrap();
+        assert_eq!(sys.stats().parallel_ios(), 0);
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let dir = std::env::temp_dir().join(format!("pdm-sys-{}", std::process::id()));
+        let mut sys: DiskSystem<u64> = DiskSystem::new_file(g, 2, &dir).unwrap();
+        let records: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        sys.load_records(0, &records);
+        assert_eq!(sys.dump_records(0), records);
+        let stripe = sys.read_stripe(1).unwrap();
+        assert_eq!(stripe, (8..16).map(|i| i * 3).collect::<Vec<u64>>());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! Bit-reversal reordering for an out-of-core FFT.
+//!
+//! The decimation-in-time FFT consumes its input in bit-reversed index
+//! order. For data sets larger than memory, the reorder is a disk
+//! permutation — and it is BPC (the paper's Section 1 list), so the
+//! BMMC algorithm performs it in a constant number of passes where a
+//! general permutation routine would pay the sorting bound.
+//!
+//! ```text
+//! cargo run --example fft_bit_reversal
+//! ```
+
+use bmmc::{algorithm::perform_bmmc, bounds, catalog};
+use extsort::general_permute;
+use gf2::elim::rank;
+use pdm::{DiskSystem, Geometry};
+
+fn main() {
+    // 2^18 complex samples (records hold the sample index here).
+    let geom = Geometry::new(1 << 18, 1 << 4, 1 << 2, 1 << 10).unwrap();
+    let n = geom.n();
+    let perm = catalog::bit_reversal(n);
+
+    // --- BMMC algorithm.
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+    let input: Vec<u64> = (0..geom.records() as u64).collect();
+    sys.load_records(0, &input);
+    let report = perform_bmmc(&mut sys, &perm).expect("bit reversal failed");
+    let out = sys.dump_records(report.final_portion);
+    for (addr, &sample) in out.iter().enumerate() {
+        let expect = (addr as u64).reverse_bits() >> (64 - n);
+        assert_eq!(sample, expect, "sample misplaced at {addr}");
+    }
+    println!(
+        "BMMC algorithm:   {} passes, {:>7} parallel I/Os",
+        report.num_passes(),
+        report.total.parallel_ios()
+    );
+
+    // --- General-permutation baseline (external merge sort by target).
+    let mut sys2: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+    sys2.load_records(0, &input);
+    let sort_report = general_permute(&mut sys2, |&r| r, |x| x.reverse_bits() >> (64 - n))
+        .expect("sort baseline failed");
+    assert_eq!(
+        sys2.dump_records(sort_report.final_portion),
+        out,
+        "baseline disagrees with BMMC algorithm"
+    );
+    println!(
+        "sort baseline:    {} passes, {:>7} parallel I/Os",
+        sort_report.passes,
+        sort_report.total.parallel_ios()
+    );
+
+    let gamma_rank = rank(&perm.matrix().submatrix(geom.b()..n, 0..geom.b()));
+    println!(
+        "speedup {:.2}x   (Theorem 21 bound {} I/Os at rank γ = {gamma_rank}; \
+         sorting bound {} I/Os)",
+        sort_report.total.parallel_ios() as f64 / report.total.parallel_ios() as f64,
+        bounds::theorem21_upper(&geom, gamma_rank),
+        bounds::merge_sort_ios(&geom).unwrap()
+    );
+}

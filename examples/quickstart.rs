@@ -1,0 +1,76 @@
+//! Quickstart: perform a BMMC permutation on a simulated parallel disk
+//! system and compare the measured I/O count with the paper's bounds.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bmmc::{algorithm::perform_bmmc, bounds, catalog};
+use gf2::elim::rank;
+use pdm::{DiskSystem, Geometry, TaggedRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The Vitter–Shriver geometry: N = 2^16 records, blocks of B = 2^4,
+    // D = 2^3 disks, memory for M = 2^10 records.
+    let geom = Geometry::new(1 << 16, 1 << 4, 1 << 3, 1 << 10).unwrap();
+    println!(
+        "geometry: N = {}, B = {}, D = {}, M = {}  (n={}, b={}, d={}, m={})",
+        geom.records(),
+        geom.block(),
+        geom.disks(),
+        geom.memory(),
+        geom.n(),
+        geom.b(),
+        geom.d(),
+        geom.m()
+    );
+
+    // Load N tagged records in address order onto the disks.
+    let mut sys: DiskSystem<TaggedRecord> = DiskSystem::new_mem(geom, 2);
+    let input: Vec<TaggedRecord> = (0..geom.records() as u64)
+        .map(TaggedRecord::new)
+        .collect();
+    sys.load_records(0, &input);
+
+    // A random BMMC permutation: y = A·x ⊕ c over GF(2).
+    let mut rng = StdRng::seed_from_u64(2024);
+    let perm = catalog::random_bmmc(&mut rng, geom.n());
+    let gamma_rank = rank(&perm.matrix().submatrix(geom.b()..geom.n(), 0..geom.b()));
+    println!("permutation: random BMMC with rank γ = {gamma_rank}");
+
+    // Perform it with the asymptotically optimal algorithm.
+    let report = perform_bmmc(&mut sys, &perm).expect("algorithm failed");
+    println!(
+        "performed in {} passes, {} parallel I/Os ({})",
+        report.num_passes(),
+        report.total.parallel_ios(),
+        report.total
+    );
+
+    // Check the result: the record with source address x must now sit
+    // at address y = perm.target(x).
+    let out = sys.dump_records(report.final_portion);
+    for (y, rec) in out.iter().enumerate() {
+        assert!(rec.intact(), "payload corrupted");
+        assert_eq!(perm.target(rec.key), y as u64, "record misplaced");
+    }
+    println!("verified: all {} records at their target addresses", out.len());
+
+    // Compare with the paper's bounds.
+    println!(
+        "Theorem 3 lower bound : {:>8.0} parallel I/Os",
+        bounds::theorem3_lower(&geom, gamma_rank)
+    );
+    println!(
+        "measured              : {:>8} parallel I/Os",
+        report.total.parallel_ios()
+    );
+    println!(
+        "Theorem 21 upper bound: {:>8} parallel I/Os",
+        bounds::theorem21_upper(&geom, gamma_rank)
+    );
+    let (_, _, general) = bounds::general_permutation_bound(&geom);
+    println!("general-permutation   : {general:>8} parallel I/Os (sorting baseline)");
+}

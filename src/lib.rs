@@ -1,0 +1,14 @@
+//! Umbrella crate for the BMMC parallel-disk reproduction workspace.
+//!
+//! Re-exports the four library crates so examples and integration tests can
+//! use a single dependency:
+//!
+//! * [`gf2`] — GF(2) bit-vector / bit-matrix linear algebra.
+//! * [`pdm`] — Vitter–Shriver parallel disk model simulator.
+//! * [`bmmc`] — BMMC permutation classes, factoring, algorithms, detection.
+//! * [`extsort`] — external merge sort and the general-permutation baseline.
+
+pub use bmmc;
+pub use extsort;
+pub use gf2;
+pub use pdm;

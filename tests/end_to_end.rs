@@ -1,0 +1,193 @@
+//! End-to-end integration: the full pipeline (sample → factor →
+//! execute → verify) across a sweep of disk geometries, cross-checked
+//! against the external-sort baseline.
+
+use bmmc::algorithm::perform_bmmc;
+use bmmc::bpc_baseline::perform_bpc_baseline;
+use bmmc::passes::reference_permute;
+use bmmc::{bounds, catalog};
+use extsort::general_permute;
+use gf2::elim::rank;
+use pdm::{DiskSystem, Geometry, TaggedRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A spread of geometries: varying block size, disk count, and memory.
+fn geometries() -> Vec<Geometry> {
+    vec![
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap(),
+        Geometry::new(1 << 12, 1 << 3, 1 << 2, 1 << 7).unwrap(),
+        Geometry::new(1 << 12, 1 << 2, 1 << 4, 1 << 8).unwrap(),
+        Geometry::new(1 << 14, 1 << 4, 1 << 3, 1 << 9).unwrap(),
+        Geometry::new(1 << 12, 1, 1 << 2, 1 << 6).unwrap(), // B = 1
+        Geometry::new(1 << 11, 1 << 3, 1, 1 << 6).unwrap(), // D = 1
+    ]
+}
+
+#[test]
+fn random_bmmc_across_geometries() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    for g in geometries() {
+        for _ in 0..3 {
+            let perm = catalog::random_bmmc(&mut rng, g.n());
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            let input: Vec<u64> = (0..g.records() as u64).collect();
+            sys.load_records(0, &input);
+            let report = perform_bmmc(&mut sys, &perm).expect("perform_bmmc");
+            let expect = reference_permute(&input, |x| perm.target(x));
+            assert_eq!(
+                sys.dump_records(report.final_portion),
+                expect,
+                "wrong placement for geometry {g:?}"
+            );
+            let r = rank(&perm.matrix().submatrix(g.b()..g.n(), 0..g.b()));
+            assert!(
+                report.total.parallel_ios() <= bounds::theorem21_upper(&g, r),
+                "Theorem 21 violated for geometry {g:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bmmc_agrees_with_sort_baseline() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let g = Geometry::new(1 << 12, 1 << 3, 1 << 2, 1 << 7).unwrap();
+    for _ in 0..3 {
+        let perm = catalog::random_bmmc(&mut rng, g.n());
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+
+        let mut sys1: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys1.load_records(0, &input);
+        let r1 = perform_bmmc(&mut sys1, &perm).unwrap();
+
+        let mut sys2: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys2.load_records(0, &input);
+        let r2 = general_permute(&mut sys2, |&r| r, |x| perm.target(x)).unwrap();
+
+        assert_eq!(
+            sys1.dump_records(r1.final_portion),
+            sys2.dump_records(r2.final_portion),
+            "BMMC algorithm and sort baseline disagree"
+        );
+    }
+}
+
+#[test]
+fn catalog_permutations_across_geometries() {
+    for g in geometries() {
+        let perms = vec![
+            ("transpose", catalog::transpose(g.n(), g.n() / 2)),
+            ("bit_reversal", catalog::bit_reversal(g.n())),
+            ("vector_reversal", catalog::vector_reversal(g.n())),
+            ("gray", catalog::gray_code(g.n())),
+            ("gray_inv", catalog::gray_code_inverse(g.n())),
+            ("hypercube", catalog::hypercube(g.n(), 0b101)),
+        ];
+        for (name, perm) in perms {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            let input: Vec<u64> = (0..g.records() as u64).collect();
+            sys.load_records(0, &input);
+            let report = perform_bmmc(&mut sys, &perm)
+                .unwrap_or_else(|e| panic!("{name} failed on {g:?}: {e}"));
+            let expect = reference_permute(&input, |x| perm.target(x));
+            assert_eq!(
+                sys.dump_records(report.final_portion),
+                expect,
+                "{name} misplaced records on {g:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bpc_baseline_agrees_with_new_algorithm() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let g = Geometry::new(1 << 12, 1 << 2, 1 << 2, 1 << 7).unwrap();
+    for _ in 0..5 {
+        let perm = catalog::random_bpc(&mut rng, g.n());
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+
+        let mut sys1: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys1.load_records(0, &input);
+        let new = perform_bmmc(&mut sys1, &perm).unwrap();
+
+        let mut sys2: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys2.load_records(0, &input);
+        let old = perform_bpc_baseline(&mut sys2, &perm).unwrap();
+
+        assert_eq!(
+            sys1.dump_records(new.final_portion),
+            sys2.dump_records(old.final_portion)
+        );
+        assert!(new.num_passes() <= old.num_passes());
+    }
+}
+
+#[test]
+fn file_backend_end_to_end() {
+    let g = Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap();
+    let dir = std::env::temp_dir().join(format!("bmmc-e2e-{}", std::process::id()));
+    let mut sys: DiskSystem<TaggedRecord> =
+        DiskSystem::new_file(g, 2, &dir).expect("file backend");
+    let input: Vec<TaggedRecord> = (0..g.records() as u64).map(TaggedRecord::new).collect();
+    sys.load_records(0, &input);
+    let perm = catalog::bit_reversal(g.n());
+    let report = perform_bmmc(&mut sys, &perm).unwrap();
+    let out = sys.dump_records(report.final_portion);
+    for (y, rec) in out.iter().enumerate() {
+        assert!(rec.intact());
+        assert_eq!(perm.target(rec.key), y as u64);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threaded_disks_match_serial() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let g = Geometry::new(1 << 12, 1 << 2, 1 << 3, 1 << 7).unwrap();
+    let perm = catalog::random_bmmc(&mut rng, g.n());
+    let input: Vec<u64> = (0..g.records() as u64).collect();
+
+    let mut serial: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    serial.load_records(0, &input);
+    let r1 = perform_bmmc(&mut serial, &perm).unwrap();
+
+    let mut threaded: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    threaded.set_threaded(true);
+    threaded.load_records(0, &input);
+    let r2 = perform_bmmc(&mut threaded, &perm).unwrap();
+
+    assert_eq!(
+        serial.dump_records(r1.final_portion),
+        threaded.dump_records(r2.final_portion)
+    );
+    assert_eq!(r1.total, r2.total, "I/O accounting must not depend on threading");
+}
+
+#[test]
+fn composed_permutations_chain() {
+    // Performing π2 after π1 equals performing π2 ∘ π1 in one shot.
+    let mut rng = StdRng::seed_from_u64(1005);
+    let g = Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap();
+    let p1 = catalog::random_bmmc(&mut rng, g.n());
+    let p2 = catalog::random_bmmc(&mut rng, g.n());
+    let input: Vec<u64> = (0..g.records() as u64).collect();
+
+    // Chain: perform p1, copy result back into a fresh portion-0, perform p2.
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    sys.load_records(0, &input);
+    let r1 = perform_bmmc(&mut sys, &p1).unwrap();
+    let mid = sys.dump_records(r1.final_portion);
+    let mut sys2: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    sys2.load_records(0, &mid);
+    let r2 = perform_bmmc(&mut sys2, &p2).unwrap();
+    let chained = sys2.dump_records(r2.final_portion);
+
+    // One shot with the composition.
+    let comp = p2.compose(&p1);
+    let mut sys3: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    sys3.load_records(0, &input);
+    let r3 = perform_bmmc(&mut sys3, &comp).unwrap();
+    assert_eq!(sys3.dump_records(r3.final_portion), chained);
+}

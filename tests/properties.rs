@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) on the core invariants:
+//! GF(2) algebra laws, factoring soundness, class closure theorems,
+//! detection round-trips, and executor correctness.
+
+use bmmc::classes::{is_mld, is_mrc};
+use bmmc::factoring::factor;
+use bmmc::{catalog, Bmmc};
+use gf2::elim::{inverse, is_nonsingular, rank};
+use gf2::kernel::{kernel_basis, kernel_contained_in};
+use gf2::sample::{random_nonsingular, random_with_submatrix_rank};
+use gf2::{BitMatrix, BitVec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a seed for deterministic matrix sampling.
+fn seed() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_inverse_round_trip(s in seed(), n in 1usize..16) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = random_nonsingular(&mut rng, n);
+        let inv = inverse(&a).unwrap();
+        prop_assert!(a.mul(&inv).is_identity());
+        prop_assert!(inv.mul(&a).is_identity());
+    }
+
+    #[test]
+    fn matrix_mul_associative(s in seed(), n in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = random_nonsingular(&mut rng, n);
+        let b = random_nonsingular(&mut rng, n);
+        let c = random_nonsingular(&mut rng, n);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn rank_invariant_under_nonsingular_multiplication(s in seed(), n in 2usize..12) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = random_nonsingular(&mut rng, n);
+        let t = random_nonsingular(&mut rng, n);
+        // Rank of any submatrix row-range is preserved by column ops on
+        // the whole matrix (used implicitly throughout Section 5).
+        prop_assert_eq!(rank(&a), rank(&a.mul(&t)));
+        prop_assert_eq!(rank(&a), rank(&t.mul(&a)));
+    }
+
+    #[test]
+    fn kernel_basis_spans_kernel(s in seed(), rows in 1usize..8, cols in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = gf2::sample::random_matrix(&mut rng, rows, cols);
+        let basis = kernel_basis(&a);
+        prop_assert_eq!(basis.len(), cols - rank(&a));
+        for v in &basis {
+            prop_assert!(a.mul_vec(v).is_zero());
+        }
+        // Exhaustive check for small dims: every kernel vector is in the span.
+        if cols <= 10 {
+            let mut kernel_count = 0u64;
+            for bits in 0..(1u64 << cols) {
+                let x = BitVec::from_u64(cols, bits);
+                if a.mul_vec(&x).is_zero() {
+                    kernel_count += 1;
+                }
+            }
+            prop_assert_eq!(kernel_count, 1u64 << basis.len());
+        }
+    }
+
+    #[test]
+    fn bmmc_compose_inverse_laws(s in seed(), n in 1usize..14) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let p = catalog::random_bmmc(&mut rng, n);
+        let q = catalog::random_bmmc(&mut rng, n);
+        // (p∘q)⁻¹ = q⁻¹∘p⁻¹
+        let left = p.compose(&q).inverse();
+        let right = q.inverse().compose(&p.inverse());
+        prop_assert_eq!(left, right);
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn factoring_recomposes(s in seed()) {
+        // Paper geometry n=13, b=3, m=8 plus a second small geometry.
+        let mut rng = StdRng::seed_from_u64(s);
+        for (n, b, m) in [(13usize, 3usize, 8usize), (9, 2, 5)] {
+            let p = catalog::random_bmmc(&mut rng, n);
+            let fac = factor(&p, b, m).unwrap();
+            prop_assert!(fac.verify(&p), "recomposition failed");
+            for pass in &fac.passes[..fac.passes.len().saturating_sub(1)] {
+                prop_assert!(is_mld(&pass.matrix, b, m));
+            }
+            prop_assert!(is_mrc(&fac.passes.last().unwrap().matrix, m));
+        }
+    }
+
+    #[test]
+    fn theorem21_pass_bound(s in seed(), r in 0usize..4) {
+        let (n, b, m) = (13usize, 3usize, 8usize);
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = random_with_submatrix_rank(&mut rng, n, b, r.min(b));
+        let p = Bmmc::linear(a).unwrap();
+        let fac = factor(&p, b, m).unwrap();
+        let bound = r.min(b).div_ceil(m - b) + 2;
+        prop_assert!(fac.num_passes() <= bound);
+    }
+
+    #[test]
+    fn theorem17_mld_compose_mrc_is_mld(s in seed()) {
+        // Y (MLD) · X (MRC) characterizes an MLD permutation.
+        let (n, b, m) = (10usize, 2usize, 6usize);
+        let mut rng = StdRng::seed_from_u64(s);
+        let y = catalog::random_mld(&mut rng, n, b, m);
+        let x = catalog::random_mrc(&mut rng, n, m);
+        let prod = y.matrix().mul(x.matrix());
+        prop_assert!(is_mld(&prod, b, m), "Theorem 17 violated");
+    }
+
+    #[test]
+    fn theorem18_mrc_closed_under_compose_and_inverse(s in seed()) {
+        let (n, m) = (10usize, 6usize);
+        let mut rng = StdRng::seed_from_u64(s);
+        let a1 = catalog::random_mrc(&mut rng, n, m);
+        let a2 = catalog::random_mrc(&mut rng, n, m);
+        prop_assert!(is_mrc(&a1.matrix().mul(a2.matrix()), m));
+        prop_assert!(is_mrc(&inverse(a1.matrix()).unwrap(), m));
+    }
+
+    #[test]
+    fn mrc_implies_mld(s in seed()) {
+        let (n, b, m) = (10usize, 2usize, 6usize);
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = catalog::random_mrc(&mut rng, n, m);
+        prop_assert!(is_mld(a.matrix(), b, m), "MRC ⊄ MLD?!");
+    }
+
+    #[test]
+    fn lemma16_mld_gamma_rank_bounded(s in seed()) {
+        // rank of the lower-left (n−m)×m block of an MLD matrix ≤ m−b.
+        let (n, b, m) = (10usize, 2usize, 6usize);
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = catalog::random_mld(&mut rng, n, b, m);
+        let lower = a.matrix().submatrix(m..n, 0..m);
+        prop_assert!(rank(&lower) <= m - b, "Lemma 16 violated");
+    }
+
+    #[test]
+    fn lemma12_mld_leading_block_nonsingular(s in seed()) {
+        let (n, b, m) = (10usize, 2usize, 6usize);
+        let mut rng = StdRng::seed_from_u64(s);
+        let a = catalog::random_mld(&mut rng, n, b, m);
+        prop_assert!(is_nonsingular(&a.matrix().submatrix(0..m, 0..m)));
+    }
+
+    #[test]
+    fn kernel_condition_iff_rowspace_containment(s in seed(), p in 1usize..6, q in 1usize..6, cols in 1usize..8) {
+        // ker K ⊆ ker L ⟺ row L ⊆ row K (Lemma 11 and its converse).
+        let mut rng = StdRng::seed_from_u64(s);
+        let k = gf2::sample::random_matrix(&mut rng, p, cols);
+        let l = gf2::sample::random_matrix(&mut rng, q, cols);
+        let containment = kernel_contained_in(&k, &l);
+        // row L ⊆ row K ⟺ rank [K; L] == rank K.
+        let mut stacked = BitMatrix::zeros(p + q, cols);
+        stacked.set_block(0, 0, &k);
+        stacked.set_block(p, 0, &l);
+        let rowspace = rank(&stacked) == rank(&k);
+        prop_assert_eq!(containment, rowspace);
+    }
+
+    #[test]
+    fn affine_evaluator_matches_matrix(s in seed(), n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let p = catalog::random_bmmc(&mut rng, n);
+        let ev = bmmc::AffineEvaluator::new(&p);
+        for x in (0..1u64 << n.min(12)).step_by(7) {
+            prop_assert_eq!(ev.eval(x), p.target(x));
+        }
+    }
+
+    #[test]
+    fn in_place_permutation_matches_scatter(s in seed(), lgn in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(s);
+        let n = 1usize << lgn;
+        let perm = catalog::random_bmmc(&mut rng, lgn);
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        let mut expect = vec![0u64; n];
+        for i in 0..n {
+            expect[perm.target(i as u64) as usize] = data[i];
+        }
+        pdm::permute_in_place(&mut data, |i| perm.target(i as u64) as usize);
+        prop_assert_eq!(data, expect);
+    }
+}
