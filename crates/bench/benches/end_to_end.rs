@@ -77,8 +77,7 @@ fn bench_algorithms(c: &mut Criterion) {
         fgroup.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut sys: DiskSystem<u64> =
-                        DiskSystem::new_file(fgeom, 2, &dir).unwrap();
+                    let mut sys: DiskSystem<u64> = DiskSystem::new_file(fgeom, 2, &dir).unwrap();
                     sys.set_threaded(threaded);
                     sys.load_records(0, &finput);
                     sys

@@ -1,9 +1,9 @@
 //! Wall-clock throughput of the one-pass executors (MRC and MLD) —
 //! the inner loop of every experiment.
 
+use bmmc::catalog;
 use bmmc::factoring::{Pass, PassKind};
 use bmmc::passes::execute_pass;
-use bmmc::catalog;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pdm::{DiskSystem, Geometry};
 use rand::rngs::StdRng;

@@ -49,7 +49,11 @@ fn main() {
             .iter()
             .enumerate()
             .all(|(y, &k)| perm.target(k) == y as u64);
-        let predicted = if rank_gm == 0 { 1 } else { rank_gm.div_ceil(chunk) + 1 };
+        let predicted = if rank_gm == 0 {
+            1
+        } else {
+            rank_gm.div_ceil(chunk) + 1
+        };
         t.row(&[
             chunk.to_string(),
             predicted.to_string(),

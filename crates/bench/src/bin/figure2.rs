@@ -11,7 +11,10 @@ use pdm::Layout;
 fn main() {
     let (b, d, m, n) = (3u32, 4u32, 8u32, 13u32);
     let l = Layout::from_bits(b, d, m, n);
-    println!("Figure 2: n = {n}, b = {b}, d = {d}, m = {m}, s = {}\n", l.s());
+    println!(
+        "Figure 2: n = {n}, b = {b}, d = {d}, m = {m}, s = {}\n",
+        l.s()
+    );
 
     // Draw the field map, least significant bit first as in the paper.
     let mut fields = vec![String::new(); n as usize];

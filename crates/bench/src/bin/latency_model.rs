@@ -35,15 +35,20 @@ fn main() {
             "MLD⁻¹ (random)".into(),
             catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m()).inverse(),
         ),
-        ("BMMC (bit reversal)".into(), catalog::bit_reversal(geom.n())),
+        (
+            "BMMC (bit reversal)".into(),
+            catalog::bit_reversal(geom.n()),
+        ),
         (
             "BMMC (random)".into(),
             catalog::random_bmmc(&mut rng, geom.n()),
         ),
     ];
     for (model_name, model) in [("HDD", TimingModel::hdd()), ("SSD", TimingModel::ssd())] {
-        println!("-- {model_name} model (seek {} ms, sequential {} ms, transfer {} ms/block)",
-            model.seek_ms, model.sequential_ms, model.transfer_ms);
+        println!(
+            "-- {model_name} model (seek {} ms, sequential {} ms, transfer {} ms/block)",
+            model.seek_ms, model.sequential_ms, model.transfer_ms
+        );
         let mut t = Table::new(&[
             "permutation",
             "passes",

@@ -29,7 +29,10 @@ fn main() {
     ]);
     let mut cases: Vec<(String, bmmc::Bmmc)> = Vec::new();
     for i in 0..3 {
-        cases.push((format!("random MLD #{i}"), catalog::random_mld(&mut rng, n, b, m)));
+        cases.push((
+            format!("random MLD #{i}"),
+            catalog::random_mld(&mut rng, n, b, m),
+        ));
     }
     // Theorem 17: MLD ∘ MRC is MLD (matrix product Y·X).
     for i in 0..2 {

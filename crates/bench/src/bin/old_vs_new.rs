@@ -48,11 +48,7 @@ fn main() {
             new_sum += bounds::theorem21_upper(&geom, r_gamma);
             meas_sum += measure_bmmc(geom, &perm).ios.parallel_ios();
         }
-        let (old, new, meas) = (
-            old_sum / trials,
-            new_sum / trials,
-            meas_sum / trials,
-        );
+        let (old, new, meas) = (old_sum / trials, new_sum / trials, meas_sum / trials);
         t.row(&[
             geom_label(&geom),
             regime.into(),

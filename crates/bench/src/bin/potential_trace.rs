@@ -65,8 +65,14 @@ fn main() {
 
     let phi0 = initial_potential_formula(geom.records(), geom.b(), r_gamma);
     let phit = final_potential(geom.records(), geom.b());
-    println!("\neq. (9) initial potential: {phi0:.0} (measured {:.0})", traj[0]);
-    println!("final potential N lg B:   {phit:.0} (measured {:.0})", traj.last().unwrap());
+    println!(
+        "\neq. (9) initial potential: {phi0:.0} (measured {:.0})",
+        traj[0]
+    );
+    println!(
+        "final potential N lg B:   {phit:.0} (measured {:.0})",
+        traj.last().unwrap()
+    );
     println!(
         "§7 precise lower bound:   {:.0} parallel I/Os (measured {}; Theorem 21 upper {})",
         bounds::precise_lower(&geom, r_gamma),

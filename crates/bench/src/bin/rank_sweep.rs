@@ -65,7 +65,10 @@ fn main() {
             format!("{:.1}", passes as f64 / trials as f64),
             format!("{:.1}", predicted as f64 / trials as f64),
         ]);
-        assert!(ios <= bounds::theorem21_upper(&geom, r), "upper bound violated");
+        assert!(
+            ios <= bounds::theorem21_upper(&geom, r),
+            "upper bound violated"
+        );
     }
     t.print();
     println!(

@@ -46,9 +46,7 @@ fn main() {
             format!("{:.2}s", dt.as_secs_f64()),
             format!(
                 "{:.1}",
-                geom.records() as f64 * report.num_passes() as f64
-                    / dt.as_secs_f64()
-                    / 1e6
+                geom.records() as f64 * report.num_passes() as f64 / dt.as_secs_f64() / 1e6
             ),
         ]);
     }

@@ -21,8 +21,11 @@ fn main() {
         fig2_geometry(),
         Geometry::new(1 << 16, 1 << 4, 1 << 3, 1 << 10).unwrap(),
     ] {
-        println!("\n== Table 1 @ {} (one pass = 2N/BD = {} parallel I/Os)",
-            geom_label(&geom), geom.ios_per_pass());
+        println!(
+            "\n== Table 1 @ {} (one pass = 2N/BD = {} parallel I/Os)",
+            geom_label(&geom),
+            geom.ios_per_pass()
+        );
         let (n, b, m) = (geom.n(), geom.b(), geom.m());
         let mut t = Table::new(&[
             "class",

@@ -107,13 +107,7 @@ impl Table {
 
 /// Pretty geometry label like `N=2^16 B=2^4 D=2^3 M=2^10`.
 pub fn geom_label(g: &Geometry) -> String {
-    format!(
-        "N=2^{} B=2^{} D=2^{} M=2^{}",
-        g.n(),
-        g.b(),
-        g.d(),
-        g.m()
-    )
+    format!("N=2^{} B=2^{} D=2^{} M=2^{}", g.n(), g.b(), g.d(), g.m())
 }
 
 #[cfg(test)]

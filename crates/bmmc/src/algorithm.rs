@@ -68,10 +68,7 @@ pub fn plan_passes(perm: &Bmmc, b: usize, m: usize) -> Result<Vec<Pass>> {
 /// Executes a sequence of one-pass permutations. Data starts in
 /// portion 0; each pass flips portions; the report names the final
 /// portion.
-pub fn execute_passes<R: Record>(
-    sys: &mut DiskSystem<R>,
-    passes: &[Pass],
-) -> Result<BmmcReport> {
+pub fn execute_passes<R: Record>(sys: &mut DiskSystem<R>, passes: &[Pass]) -> Result<BmmcReport> {
     assert!(
         sys.portions() >= 2,
         "plan execution needs a source and a target portion"
@@ -92,10 +89,7 @@ pub fn execute_passes<R: Record>(
 }
 
 /// Executes an already-computed factorization (see [`execute_passes`]).
-pub fn execute_plan<R: Record>(
-    sys: &mut DiskSystem<R>,
-    fac: &Factorization,
-) -> Result<BmmcReport> {
+pub fn execute_plan<R: Record>(sys: &mut DiskSystem<R>, fac: &Factorization) -> Result<BmmcReport> {
     execute_passes(sys, &fac.passes)
 }
 
@@ -217,8 +211,7 @@ mod tests {
         let g = geom();
         let perm = catalog::random_bmmc(&mut rng, g.n());
         let mut sys: DiskSystem<TaggedRecord> = DiskSystem::new_mem(g, 2);
-        let input: Vec<TaggedRecord> =
-            (0..g.records() as u64).map(TaggedRecord::new).collect();
+        let input: Vec<TaggedRecord> = (0..g.records() as u64).map(TaggedRecord::new).collect();
         sys.load_records(0, &input);
         let report = perform_bmmc(&mut sys, &perm).unwrap();
         let out = sys.dump_records(report.final_portion);

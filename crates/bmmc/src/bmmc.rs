@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn rejects_singular() {
         let a = m("11; 11");
-        assert_eq!(
-            Bmmc::linear(a).unwrap_err(),
-            BmmcError::Singular
-        );
+        assert_eq!(Bmmc::linear(a).unwrap_err(), BmmcError::Singular);
     }
 
     #[test]

@@ -114,10 +114,7 @@ pub fn bpc_baseline_plan(perm: &Bmmc, b: usize, m: usize) -> Result<BpcPlan> {
 
 /// Executes the baseline plan, data in portion 0. The report's pass
 /// count realizes the \[4\]-style bound `2⌈ρ_m/lg(M/B)⌉ + 1`.
-pub fn perform_bpc_baseline<R: Record>(
-    sys: &mut DiskSystem<R>,
-    perm: &Bmmc,
-) -> Result<BmmcReport> {
+pub fn perform_bpc_baseline<R: Record>(sys: &mut DiskSystem<R>, perm: &Bmmc) -> Result<BmmcReport> {
     let geom = sys.geometry();
     if perm.bits() != geom.n() {
         return Err(BmmcError::GeometryMismatch {

@@ -41,15 +41,13 @@ pub fn bit_reversal(n: usize) -> Bmmc {
 /// Vector reversal: `y = x ⊕ (2^n − 1)`, i.e. identity matrix with an
 /// all-ones complement vector.
 pub fn vector_reversal(n: usize) -> Bmmc {
-    Bmmc::new(BitMatrix::identity(n), BitVec::ones(n))
-        .expect("identity is nonsingular")
+    Bmmc::new(BitMatrix::identity(n), BitVec::ones(n)).expect("identity is nonsingular")
 }
 
 /// Hypercube permutation: exchange across the dimensions set in
 /// `mask` — `y = x ⊕ mask`.
 pub fn hypercube(n: usize, mask: u64) -> Bmmc {
-    Bmmc::new(BitMatrix::identity(n), BitVec::from_u64(n, mask))
-        .expect("identity is nonsingular")
+    Bmmc::new(BitMatrix::identity(n), BitVec::from_u64(n, mask)).expect("identity is nonsingular")
 }
 
 /// The standard binary-reflected Gray code `g(x) = x ⊕ (x >> 1)`:
@@ -112,7 +110,10 @@ pub fn butterfly(n: usize, k: usize) -> Bmmc {
 /// row bits and column bits interleave, `(r, c) ↦ … c₁ r₁ c₀ r₀`.
 /// Source address = `c + 2^k · r`.
 pub fn morton(n: usize) -> Bmmc {
-    assert!(n.is_multiple_of(2), "Morton order needs an even address width, got {n}");
+    assert!(
+        n.is_multiple_of(2),
+        "Morton order needs an even address width, got {n}"
+    );
     let k = n / 2;
     // Source bit j < k is column bit c_j → target position 2j+1;
     // source bit k+i is row bit r_i → target position 2i.
@@ -293,10 +294,16 @@ mod tests {
         let p = perfect_shuffle(n);
         for x in 0..(1u64 << n) {
             // x ↦ 2x mod (2^n − 1) for x < 2^n − 1 (the classic riffle).
-            let expect = if x == (1 << n) - 1 { x } else { (2 * x) % ((1 << n) - 1) };
+            let expect = if x == (1 << n) - 1 {
+                x
+            } else {
+                (2 * x) % ((1 << n) - 1)
+            };
             assert_eq!(p.target(x), expect, "x = {x}");
         }
-        assert!(perfect_shuffle(n).compose(&perfect_unshuffle(n)).is_identity());
+        assert!(perfect_shuffle(n)
+            .compose(&perfect_unshuffle(n))
+            .is_identity());
     }
 
     #[test]

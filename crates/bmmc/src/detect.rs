@@ -269,10 +269,7 @@ fn decode_stripe_column(y: u64, q: usize, b: usize, cols: &[u64], c: u64) -> u64
 
 /// Loads a target vector into a fresh memory-backed disk system sized
 /// by `geom` (a convenience for tests and experiments).
-pub fn load_target_vector(
-    geom: pdm::Geometry,
-    targets: &[u64],
-) -> DiskSystem<u64> {
+pub fn load_target_vector(geom: pdm::Geometry, targets: &[u64]) -> DiskSystem<u64> {
     let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 1);
     sys.load_records(0, targets);
     sys

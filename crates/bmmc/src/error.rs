@@ -13,7 +13,10 @@ pub enum BmmcError {
     Dimension(String),
     /// The permutation's address width does not match the disk
     /// system's `n = lg N`.
-    GeometryMismatch { perm_bits: usize, system_bits: usize },
+    GeometryMismatch {
+        perm_bits: usize,
+        system_bits: usize,
+    },
     /// A disk-system error during execution.
     Pdm(pdm::PdmError),
     /// The supplied target-address vector is not a permutation of

@@ -23,8 +23,8 @@ use crate::bmmc::Bmmc;
 use crate::classes::is_mld;
 use crate::error::{BmmcError, Result};
 use crate::eval::AffineEvaluator;
-use crate::passes::PassStats;
 use crate::factoring::PassKind;
+use crate::passes::PassStats;
 use pdm::{BlockRef, DiskSystem, Record};
 
 /// Performs the composition `π_Y ∘ π_Z⁻¹` (first `Z⁻¹`, then `Y`) of
@@ -183,8 +183,7 @@ mod tests {
             let y = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
             let z = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
             let composed = y.compose(&z.inverse());
-            let passes =
-                crate::algorithm::plan_passes(&composed, g.b(), g.m()).unwrap();
+            let passes = crate::algorithm::plan_passes(&composed, g.b(), g.m()).unwrap();
             if passes.len() >= 2 {
                 demonstrated = true;
                 break;

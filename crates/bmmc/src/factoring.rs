@@ -169,9 +169,7 @@ pub fn factor_chunked(perm: &Bmmc, b: usize, m: usize, chunk: usize) -> Result<F
         // Swap nonzero left-section columns into zero middle-section
         // columns (entire columns, not just the lower parts).
         let nz_left: Vec<usize> = nonzero.iter().copied().filter(|&j| j < b).collect();
-        let zero_middle: Vec<usize> = (b..m)
-            .filter(|&j| lower.column(j).is_zero())
-            .collect();
+        let zero_middle: Vec<usize> = (b..m).filter(|&j| lower.column(j).is_zero()).collect();
         let pairs: Vec<(usize, usize)> = nz_left
             .iter()
             .copied()
@@ -343,10 +341,9 @@ mod tests {
         // Every intermediate pass MLD, final pass MRC.
         for (i, pass) in fac.passes.iter().enumerate() {
             match pass.kind {
-                PassKind::Mld => assert!(
-                    is_mld(&pass.matrix, b, m),
-                    "pass {i} claims MLD but is not"
-                ),
+                PassKind::Mld => {
+                    assert!(is_mld(&pass.matrix, b, m), "pass {i} claims MLD but is not")
+                }
                 PassKind::Mrc => {
                     assert_eq!(i, fac.passes.len() - 1, "MRC pass must be last");
                     assert!(is_mrc(&pass.matrix, m), "final pass not MRC");
@@ -433,7 +430,11 @@ mod tests {
             let p = Bmmc::linear(a).unwrap();
             let fac = check(&p, B, M);
             let bound = r.div_ceil(M - B) + 2;
-            assert!(fac.num_passes() <= bound, "rank {r}: {} > {bound}", fac.num_passes());
+            assert!(
+                fac.num_passes() <= bound,
+                "rank {r}: {} > {bound}",
+                fac.num_passes()
+            );
         }
     }
 
@@ -459,15 +460,15 @@ mod tests {
     fn complement_carried_by_final_pass() {
         let mut rng = StdRng::seed_from_u64(46);
         let p = catalog::random_bmmc(&mut rng, N);
-        assert!(!p.complement().is_zero(), "sampler should give nonzero c here");
+        assert!(
+            !p.complement().is_zero(),
+            "sampler should give nonzero c here"
+        );
         let fac = check(&p, B, M);
         for pass in &fac.passes[..fac.passes.len() - 1] {
             assert!(pass.complement.is_zero(), "only the final pass carries c");
         }
-        assert_eq!(
-            fac.passes.last().unwrap().complement,
-            *p.complement()
-        );
+        assert_eq!(fac.passes.last().unwrap().complement, *p.complement());
     }
 
     #[test]
@@ -496,7 +497,11 @@ mod tests {
                 let fac = factor_chunked(&p, B, M, chunk).unwrap();
                 assert_eq!(
                     fac.num_passes(),
-                    if rank_gm == 0 { 1 } else { rank_gm.div_ceil(chunk) + 1 },
+                    if rank_gm == 0 {
+                        1
+                    } else {
+                        rank_gm.div_ceil(chunk) + 1
+                    },
                     "chunk {chunk}: wrong pass count"
                 );
                 assert!(fac.num_passes() >= prev.min(fac.num_passes()));

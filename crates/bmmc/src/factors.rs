@@ -154,8 +154,14 @@ pub fn swapper(n: usize, m: usize, pairs: &[(usize, usize)]) -> BitMatrix {
     let mut used = vec![false; n];
     let mut s = BitMatrix::identity(n);
     for &(x, y) in pairs {
-        assert!(x < m && y < m, "swapper pairs must be within the leftmost {m} columns");
-        assert!(x != y && !used[x] && !used[y], "swapper pairs must be disjoint");
+        assert!(
+            x < m && y < m,
+            "swapper pairs must be within the leftmost {m} columns"
+        );
+        assert!(
+            x != y && !used[x] && !used[y],
+            "swapper pairs must be disjoint"
+        );
         used[x] = true;
         used[y] = true;
         s.set(x, x, false);
@@ -266,10 +272,7 @@ mod tests {
     #[should_panic(expected = "dependency restriction")]
     fn dependency_restriction_enforced() {
         // Column 1 receives an addition and is also a source.
-        column_addition_matrix(
-            3,
-            &[ColAdd { src: 0, dst: 1 }, ColAdd { src: 1, dst: 2 }],
-        );
+        column_addition_matrix(3, &[ColAdd { src: 0, dst: 1 }, ColAdd { src: 1, dst: 2 }]);
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub mod verify;
 pub use crate::bmmc::Bmmc;
 pub use algorithm::{execute_passes, perform_bmmc, plan_passes, BmmcReport};
 pub use classes::{classify, is_bmmc, is_bpc, is_mld, is_mld_inverse, is_mrc, ClassFlags};
-pub use extensions::perform_mld_pair;
 pub use detect::{detect_bmmc, Detection};
 pub use error::{BmmcError, Result};
 pub use eval::AffineEvaluator;
+pub use extensions::perform_mld_pair;
 pub use factoring::{factor, factor_chunked, Factorization, Pass, PassKind};

@@ -331,7 +331,10 @@ mod tests {
             m,
             &[
                 crate::factors::ColAdd { src: m, dst: b },
-                crate::factors::ColAdd { src: m + 1, dst: b + 1 },
+                crate::factors::ColAdd {
+                    src: m + 1,
+                    dst: b + 1,
+                },
             ],
         );
         let perm = Bmmc::new(e, BitVec::zeros(n)).unwrap();

@@ -154,8 +154,7 @@ mod tests {
 
     fn loaded_system(g: Geometry) -> DiskSystem<TaggedRecord> {
         let mut sys = DiskSystem::new_mem(g, 2);
-        let input: Vec<TaggedRecord> =
-            (0..g.records() as u64).map(TaggedRecord::new).collect();
+        let input: Vec<TaggedRecord> = (0..g.records() as u64).map(TaggedRecord::new).collect();
         sys.load_records(0, &input);
         sys
     }

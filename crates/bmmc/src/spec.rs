@@ -90,9 +90,10 @@ pub fn parse_spec(text: &str) -> Result<Bmmc> {
     }
     let mut c = BitVec::zeros(n);
     if let Some(line) = lines.next() {
-        let body = line.strip_prefix("complement").map(str::trim).ok_or_else(|| {
-            BmmcError::Dimension(format!("unexpected trailing line {line:?}"))
-        })?;
+        let body = line
+            .strip_prefix("complement")
+            .map(str::trim)
+            .ok_or_else(|| BmmcError::Dimension(format!("unexpected trailing line {line:?}")))?;
         let bits: Vec<char> = body.chars().filter(|ch| !ch.is_whitespace()).collect();
         if bits.len() != n {
             return Err(BmmcError::Dimension(format!(

@@ -97,8 +97,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         let report = perform_bmmc(&mut sys, &perm).unwrap();
-        let out = verify_permutation(&mut sys, report.final_portion, &perm, |r| r.key)
-            .unwrap();
+        let out = verify_permutation(&mut sys, report.final_portion, &perm, |r| r.key).unwrap();
         assert_eq!(
             out,
             VerifyOutcome::Correct {

@@ -16,10 +16,7 @@ pub struct Args {
 impl Args {
     /// Parses `argv[1..]`. Flags are `--name value` except for the
     /// boolean flags listed in `bools`, which take no value.
-    pub fn parse(
-        argv: impl IntoIterator<Item = String>,
-        bools: &[&str],
-    ) -> Result<Args, String> {
+    pub fn parse(argv: impl IntoIterator<Item = String>, bools: &[&str]) -> Result<Args, String> {
         let mut out = Args::default();
         let mut iter = argv.into_iter().peekable();
         while let Some(tok) = iter.next() {
@@ -53,16 +50,15 @@ impl Args {
 
     /// The value of `--name` or an error naming the flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 }
 
 /// Parses an integer that may use `2^k` notation.
 pub fn parse_pow2(s: &str) -> Result<usize, String> {
     if let Some(exp) = s.strip_prefix("2^") {
-        let e: u32 = exp
-            .parse()
-            .map_err(|_| format!("bad exponent in {s:?}"))?;
+        let e: u32 = exp.parse().map_err(|_| format!("bad exponent in {s:?}"))?;
         if e >= usize::BITS {
             return Err(format!("{s} overflows usize"));
         }

@@ -36,11 +36,10 @@ pub fn resolve(name: &str, n: usize, b: usize, m: usize) -> Result<Bmmc, String>
         param.ok_or_else(|| format!("builtin {head:?} needs a parameter: {head}:{what}"))
     };
     let parse_k = |p: &str| -> Result<usize, String> {
-        p.parse().map_err(|_| format!("bad parameter {p:?} for {head}"))
+        p.parse()
+            .map_err(|_| format!("bad parameter {p:?} for {head}"))
     };
-    let parse_seed = |p: Option<&str>| -> u64 {
-        p.and_then(|s| s.parse().ok()).unwrap_or(0)
-    };
+    let parse_seed = |p: Option<&str>| -> u64 { p.and_then(|s| s.parse().ok()).unwrap_or(0) };
     match head {
         "identity" => Ok(Bmmc::identity(n)),
         "bit-reversal" => Ok(catalog::bit_reversal(n)),

@@ -20,8 +20,8 @@ fn load_perm(a: &Args, geom: &Geometry) -> Result<Bmmc, String> {
     let perm = match (a.get("builtin"), a.get("spec")) {
         (Some(name), None) => builtins::resolve(name, geom.n(), geom.b(), geom.m())?,
         (None, Some(path)) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             spec::parse_spec(&text).map_err(|e| e.to_string())?
         }
         _ => return Err("give exactly one of --builtin NAME or --spec FILE".to_string()),
@@ -90,9 +90,7 @@ pub fn info(a: &Args) -> Result<(), String> {
         bounds::h_function(&geom)
     );
     let (per_rec, sort, min) = bounds::general_permutation_bound(&geom);
-    println!(
-        "general perm  min({per_rec}, {sort}) = {min} parallel I/Os (sorting baseline)"
-    );
+    println!("general perm  min({per_rec}, {sort}) = {min} parallel I/Os (sorting baseline)");
     println!(
         "detection     {} parallel reads (Section 6)",
         bounds::detection_reads(&geom)
@@ -154,23 +152,24 @@ pub fn run(a: &Args) -> Result<(), String> {
                 Some(s) => parse_pow2(s)?,
                 None => geom.lg_mb(),
             };
-            let fac = factor_chunked(&perm, geom.b(), geom.m(), chunk)
-                .map_err(|e| e.to_string())?;
+            let fac =
+                factor_chunked(&perm, geom.b(), geom.m(), chunk).map_err(|e| e.to_string())?;
             execute_passes(&mut sys, &fac.passes).map_err(|e| e.to_string())?
         }
         "bpc" => perform_bpc_baseline(&mut sys, &perm).map_err(|e| e.to_string())?,
         "sort" => {
             let rep = extsort::general_permute(&mut sys, |&x| x, |x| perm.target(x))
                 .map_err(|e| e.to_string())?;
-            println!(
-                "sort baseline: {} passes, {}",
-                rep.passes, rep.total
-            );
+            println!("sort baseline: {} passes, {}", rep.passes, rep.total);
             if a.has("verify") {
                 verify_and_report(&mut sys, rep.final_portion, &perm)?;
             }
             if let Some(t) = sys.timing() {
-                println!("simulated time: {:.2} s ({} seeks)", t.elapsed_ms() / 1000.0, t.seeks());
+                println!(
+                    "simulated time: {:.2} s ({} seeks)",
+                    t.elapsed_ms() / 1000.0,
+                    t.seeks()
+                );
             }
             return Ok(());
         }
@@ -197,11 +196,7 @@ pub fn run(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn verify_and_report(
-    sys: &mut DiskSystem<u64>,
-    portion: usize,
-    perm: &Bmmc,
-) -> Result<(), String> {
+fn verify_and_report(sys: &mut DiskSystem<u64>, portion: usize, perm: &Bmmc) -> Result<(), String> {
     match verify_permutation(sys, portion, perm, |&k| k).map_err(|e| e.to_string())? {
         VerifyOutcome::Correct { reads } => {
             println!("verified: every record at its target address ({reads} reads)");
@@ -220,8 +215,8 @@ pub fn detect(a: &Args) -> Result<(), String> {
     let geom = geometry(a)?;
     let targets: Vec<u64> = match (a.get("targets"), a.get("shuffle"), a.get("builtin")) {
         (Some(path), None, None) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let vals: Result<Vec<u64>, _> = text
                 .lines()
                 .map(str::trim)
@@ -242,8 +237,7 @@ pub fn detect(a: &Args) -> Result<(), String> {
         }
         _ => {
             return Err(
-                "give exactly one of --targets FILE, --shuffle SEED, or --builtin NAME"
-                    .to_string(),
+                "give exactly one of --targets FILE, --shuffle SEED, or --builtin NAME".to_string(),
             )
         }
     };

@@ -18,7 +18,10 @@ fn run_ok(args: &[&str]) -> String {
 
 fn run_err(args: &[&str]) -> String {
     let out = cli().args(args).output().expect("spawn bmmc-cli");
-    assert!(!out.status.success(), "bmmc-cli {args:?} unexpectedly succeeded");
+    assert!(
+        !out.status.success(),
+        "bmmc-cli {args:?} unexpectedly succeeded"
+    );
     String::from_utf8(out.stderr).expect("utf8 stderr")
 }
 

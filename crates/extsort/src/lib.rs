@@ -16,6 +16,23 @@
 //! randomized striping; the substitution preserves the bound's shape
 //! (passes = `Θ(log_{M/BD}(N/M))`) and is exact in our cost tables —
 //! see DESIGN.md.
+//!
+//! ```
+//! use extsort::general_permute;
+//! use pdm::{DiskSystem, Geometry};
+//!
+//! // Bit-reversal of 2^10 records via the sort-based baseline.
+//! let g = Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap();
+//! let n = g.records() as u64;
+//! let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+//! sys.load_records(0, &(0..n).collect::<Vec<_>>());
+//! let rev = |x: u64| x.reverse_bits() >> (64 - 10);
+//! let report = general_permute(&mut sys, |&r| r, rev).unwrap();
+//! let out = sys.dump_records(report.final_portion);
+//! for x in 0..n {
+//!     assert_eq!(out[rev(x) as usize], x);
+//! }
+//! ```
 
 pub mod merge;
 pub mod permute;

@@ -46,8 +46,7 @@ mod tests {
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &(0..n as u64).collect::<Vec<_>>());
         let tmap = &targets;
-        let report =
-            general_permute(&mut sys, |&r| r, move |x| tmap[x as usize]).unwrap();
+        let report = general_permute(&mut sys, |&r| r, move |x| tmap[x as usize]).unwrap();
         let out = sys.dump_records(report.final_portion);
         for (x, &y) in targets2.iter().enumerate() {
             assert_eq!(out[y as usize], x as u64, "record {x} misplaced");
@@ -61,10 +60,14 @@ mod tests {
         let g = geom();
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
-        let report = general_permute(&mut sys, |&r| r, |x| {
-            // bit-reversal as a stand-in permutation
-            x.reverse_bits() >> (64 - g.n())
-        })
+        let report = general_permute(
+            &mut sys,
+            |&r| r,
+            |x| {
+                // bit-reversal as a stand-in permutation
+                x.reverse_bits() >> (64 - g.n())
+            },
+        )
         .unwrap();
         let mut runs = g.memoryloads();
         let mut merge_passes = 0;
@@ -84,14 +87,10 @@ mod tests {
         let g = geom();
         let n = g.records();
         let mut sys: DiskSystem<TaggedRecord> = DiskSystem::new_mem(g, 2);
-        sys.load_records(
-            0,
-            &(0..n as u64).map(TaggedRecord::new).collect::<Vec<_>>(),
-        );
+        sys.load_records(0, &(0..n as u64).map(TaggedRecord::new).collect::<Vec<_>>());
         // vector reversal
         let max = n as u64 - 1;
-        let report =
-            general_permute(&mut sys, |r: &TaggedRecord| r.key, move |x| max - x).unwrap();
+        let report = general_permute(&mut sys, |r: &TaggedRecord| r.key, move |x| max - x).unwrap();
         let out = sys.dump_records(report.final_portion);
         for (y, rec) in out.iter().enumerate() {
             assert!(rec.intact());

@@ -97,7 +97,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -107,7 +111,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         let w = i / WORD_BITS;
         let mask = 1u64 << (i % WORD_BITS);
         if value {
@@ -120,7 +128,11 @@ impl BitVec {
     /// Flips bit `i`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
     }
 

@@ -129,17 +129,16 @@ pub fn inverse(a: &BitMatrix) -> Option<BitMatrix> {
     let mut aug = BitMatrix::zeros(n, 2 * n);
     aug.set_block(0, 0, a);
     aug.set_block(0, n, &BitMatrix::identity(n));
-    let mut pivot_row = 0;
+    // Every column must yield a pivot (else A is singular), so column
+    // `col` always pivots on row `col`.
     for col in 0..n {
-        let found = (pivot_row..n).find(|&r| aug.get(r, col));
-        let Some(r) = found else { return None };
-        aug.swap_rows(pivot_row, r);
+        let r = (col..n).find(|&r| aug.get(r, col))?;
+        aug.swap_rows(col, r);
         for r2 in 0..n {
-            if r2 != pivot_row && aug.get(r2, col) {
-                aug.xor_row_into(pivot_row, r2);
+            if r2 != col && aug.get(r2, col) {
+                aug.xor_row_into(col, r2);
             }
         }
-        pivot_row += 1;
     }
     Some(aug.submatrix(0..n, n..2 * n))
 }

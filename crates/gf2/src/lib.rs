@@ -28,7 +28,7 @@ pub mod perm;
 pub mod sample;
 
 pub use bitvec::BitVec;
-pub use elim::{Elimination, solve};
+pub use elim::{solve, Elimination};
 pub use kernel::{kernel_basis, kernel_contained_in, row_space_basis};
 pub use matrix::BitMatrix;
 pub use perm::{cross_rank, is_permutation_matrix, permutation_matrix};

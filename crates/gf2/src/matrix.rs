@@ -102,7 +102,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         (self.row_words(i)[j / WORD_BITS] >> (j % WORD_BITS)) & 1 == 1
     }
 
@@ -112,7 +115,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: bool) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         let w = j / WORD_BITS;
         let mask = 1u64 << (j % WORD_BITS);
         let words = self.row_words_mut(i);
@@ -197,8 +203,14 @@ impl BitMatrix {
     /// XORs column `src` into column `dst` (the paper's "adding column
     /// `A_src` into column `A_dst`").
     pub fn xor_col_into(&mut self, src: usize, dst: usize) {
-        assert!(src < self.cols && dst < self.cols, "column index out of range");
-        assert_ne!(src, dst, "xor_col_into with src == dst would zero the column");
+        assert!(
+            src < self.cols && dst < self.cols,
+            "column index out of range"
+        );
+        assert_ne!(
+            src, dst,
+            "xor_col_into with src == dst would zero the column"
+        );
         for i in 0..self.rows {
             if self.get(i, src) {
                 let v = self.get(i, dst);
@@ -290,7 +302,10 @@ impl BitMatrix {
         rows: std::ops::Range<usize>,
         cols: std::ops::Range<usize>,
     ) -> BitMatrix {
-        assert!(rows.end <= self.rows && cols.end <= self.cols, "submatrix out of range");
+        assert!(
+            rows.end <= self.rows && cols.end <= self.cols,
+            "submatrix out of range"
+        );
         let mut s = BitMatrix::zeros(rows.len(), cols.len());
         for (si, i) in rows.clone().enumerate() {
             for (sj, j) in cols.clone().enumerate() {
@@ -461,7 +476,7 @@ mod tests {
     fn mul_vec_matches_manual() {
         let a: BitMatrix = "110; 011; 101".parse().unwrap();
         let x = BitVec::from_u64(3, 0b011); // x0=1, x1=1, x2=0
-        // y0 = x0^x1 = 0, y1 = x1^x2 = 1, y2 = x0^x2 = 1.
+                                            // y0 = x0^x1 = 0, y1 = x1^x2 = 1, y2 = x0^x2 = 1.
         let y = a.mul_vec(&x);
         assert_eq!(y.as_u64(), 0b110);
     }

@@ -213,10 +213,7 @@ mod tests {
             let blk = l.block(x);
             assert_eq!(l.disk_of_block(blk), l.disk(x));
             assert_eq!(l.stripe_of_block(blk), l.stripe(x));
-            assert_eq!(
-                l.relative_block(x),
-                blk & ((1 << (l.m() - l.b())) - 1)
-            );
+            assert_eq!(l.relative_block(x), blk & ((1 << (l.m() - l.b())) - 1));
         }
     }
 

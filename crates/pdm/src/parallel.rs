@@ -24,25 +24,23 @@ pub fn threaded_read<R: Record>(
     debug_assert_eq!(reqs.len(), outs.len());
     // Scatter the per-request output buffers into disk-indexed slots so
     // each spawned thread gets a disjoint `&mut`.
-    let mut by_disk: Vec<Option<(usize, &mut Vec<R>)>> =
-        (0..units.len()).map(|_| None).collect();
+    let mut by_disk: Vec<Option<(usize, &mut Vec<R>)>> = (0..units.len()).map(|_| None).collect();
     for (&(disk, slot), out) in reqs.iter().zip(outs.iter_mut()) {
         by_disk[disk] = Some((slot, out));
     }
     let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (unit, job) in units.iter_mut().zip(by_disk) {
             if let Some((slot, out)) = job {
                 let errors = &errors;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     if let Err(e) = unit.read(slot, out) {
                         errors.lock().push(e);
                     }
                 });
             }
         }
-    })
-    .expect("disk service thread panicked");
+    });
     match errors.into_inner().pop() {
         Some(e) => Err(e),
         None => Ok(()),
@@ -60,19 +58,18 @@ pub fn threaded_write<R: Record>(
         by_disk[disk] = Some((slot, data));
     }
     let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (unit, job) in units.iter_mut().zip(by_disk) {
             if let Some((slot, data)) = job {
                 let errors = &errors;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     if let Err(e) = unit.write(slot, data) {
                         errors.lock().push(e);
                     }
                 });
             }
         }
-    })
-    .expect("disk service thread panicked");
+    });
     match errors.into_inner().pop() {
         Some(e) => Err(e),
         None => Ok(()),

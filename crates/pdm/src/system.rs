@@ -178,8 +178,7 @@ impl<R: Record> DiskSystem<R> {
     }
 
     fn is_striped(&self, refs: &[BlockRef]) -> bool {
-        refs.len() == self.geom.disks()
-            && refs.windows(2).all(|w| w[0].slot == w[1].slot)
+        refs.len() == self.geom.disks() && refs.windows(2).all(|w| w[0].slot == w[1].slot)
     }
 
     fn check_faults(&mut self, refs: &[BlockRef]) -> Result<()> {
@@ -211,7 +210,11 @@ impl<R: Record> DiskSystem<R> {
         } else {
             for (r, out) in refs.iter().zip(outs.iter_mut()) {
                 self.units[r.disk].read(r.slot, out).map_err(|e| match e {
-                    PdmError::OutOfRange { slot, slots_per_disk, .. } => PdmError::OutOfRange {
+                    PdmError::OutOfRange {
+                        slot,
+                        slots_per_disk,
+                        ..
+                    } => PdmError::OutOfRange {
                         disk: r.disk,
                         slot,
                         slots_per_disk,
@@ -475,10 +478,7 @@ mod tests {
         let records: Vec<u64> = (0..64).collect();
         sys.load_records(0, &records);
         let blocks = sys
-            .read_blocks(&[
-                BlockRef { disk: 0, slot: 0 },
-                BlockRef { disk: 2, slot: 3 },
-            ])
+            .read_blocks(&[BlockRef { disk: 0, slot: 0 }, BlockRef { disk: 2, slot: 3 }])
             .unwrap();
         assert_eq!(blocks[0], vec![0, 1]);
         assert_eq!(blocks[1], vec![28, 29]); // stripe 3, disk 2 → 24 + 4..
@@ -492,10 +492,7 @@ mod tests {
     fn duplicate_disk_rejected() {
         let mut sys = small();
         let err = sys
-            .read_blocks(&[
-                BlockRef { disk: 1, slot: 0 },
-                BlockRef { disk: 1, slot: 1 },
-            ])
+            .read_blocks(&[BlockRef { disk: 1, slot: 0 }, BlockRef { disk: 1, slot: 1 }])
             .unwrap_err();
         assert!(matches!(err, PdmError::DuplicateDisk { disk: 1 }));
     }
@@ -503,12 +500,8 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut sys = small();
-        assert!(sys
-            .read_blocks(&[BlockRef { disk: 9, slot: 0 }])
-            .is_err());
-        assert!(sys
-            .read_blocks(&[BlockRef { disk: 0, slot: 99 }])
-            .is_err());
+        assert!(sys.read_blocks(&[BlockRef { disk: 9, slot: 0 }]).is_err());
+        assert!(sys.read_blocks(&[BlockRef { disk: 0, slot: 99 }]).is_err());
     }
 
     #[test]

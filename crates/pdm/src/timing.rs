@@ -152,8 +152,8 @@ mod tests {
     fn parallel_op_takes_slowest_disk() {
         let mut t = TimingTracker::new(model(), 2);
         t.record([(0, 0)]); // seed disk 0 at slot 0
-        // Disk 0 sequential (1.5), disk 1 first access = seek (10.5):
-        // the op costs max = 10.5.
+                            // Disk 0 sequential (1.5), disk 1 first access = seek (10.5):
+                            // the op costs max = 10.5.
         t.record([(0, 1), (1, 3)]);
         assert!((t.elapsed_ms() - (10.5 + 10.5)).abs() < 1e-9);
         assert!((t.busy_ms()[0] - 12.0).abs() < 1e-9);

@@ -14,14 +14,24 @@ fn every_io_moves_at_most_one_block_per_disk() {
         for slot_b in 0..4 {
             let err = sys
                 .read_blocks(&[
-                    BlockRef { disk: 1, slot: slot_a },
-                    BlockRef { disk: 1, slot: slot_b },
+                    BlockRef {
+                        disk: 1,
+                        slot: slot_a,
+                    },
+                    BlockRef {
+                        disk: 1,
+                        slot: slot_b,
+                    },
                 ])
                 .unwrap_err();
             assert!(matches!(err, PdmError::DuplicateDisk { disk: 1 }));
         }
     }
-    assert_eq!(sys.stats().parallel_ios(), 0, "failed ops must not be charged");
+    assert_eq!(
+        sys.stats().parallel_ios(),
+        0,
+        "failed ops must not be charged"
+    );
 }
 
 #[test]

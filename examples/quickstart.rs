@@ -29,9 +29,7 @@ fn main() {
 
     // Load N tagged records in address order onto the disks.
     let mut sys: DiskSystem<TaggedRecord> = DiskSystem::new_mem(geom, 2);
-    let input: Vec<TaggedRecord> = (0..geom.records() as u64)
-        .map(TaggedRecord::new)
-        .collect();
+    let input: Vec<TaggedRecord> = (0..geom.records() as u64).map(TaggedRecord::new).collect();
     sys.load_records(0, &input);
 
     // A random BMMC permutation: y = A·x ⊕ c over GF(2).
@@ -56,7 +54,10 @@ fn main() {
         assert!(rec.intact(), "payload corrupted");
         assert_eq!(perm.target(rec.key), y as u64, "record misplaced");
     }
-    println!("verified: all {} records at their target addresses", out.len());
+    println!(
+        "verified: all {} records at their target addresses",
+        out.len()
+    );
 
     // Compare with the paper's bounds.
     println!(

@@ -25,7 +25,10 @@ fn main() {
     let mut workloads: Vec<(&str, Vec<u64>)> = vec![
         ("bit reversal", catalog::bit_reversal(n).target_vector()),
         ("Gray code", catalog::gray_code(n).target_vector()),
-        ("vector reversal", catalog::vector_reversal(n).target_vector()),
+        (
+            "vector reversal",
+            catalog::vector_reversal(n).target_vector(),
+        ),
         (
             "random BMMC",
             catalog::random_bmmc(&mut rng, n).target_vector(),
@@ -47,7 +50,10 @@ fn main() {
         geom.stripes(),
         bounds::detection_reads(&geom) - geom.stripes() as u64
     );
-    println!("{:<24} {:>9} {:>7} {:>8}", "workload", "verdict", "reads", "class");
+    println!(
+        "{:<24} {:>9} {:>7} {:>8}",
+        "workload", "verdict", "reads", "class"
+    );
     for (name, targets) in workloads {
         let mut sys = load_target_vector(geom, &targets);
         let det = detect_bmmc(&mut sys, 0).expect("detection I/O failed");
@@ -63,10 +69,22 @@ fn main() {
                 } else {
                     "BMMC"
                 };
-                println!("{:<24} {:>9} {:>7} {:>8}", name, "BMMC", stats.total(), class);
+                println!(
+                    "{:<24} {:>9} {:>7} {:>8}",
+                    name,
+                    "BMMC",
+                    stats.total(),
+                    class
+                );
             }
             Detection::NotBmmc { stats, .. } => {
-                println!("{:<24} {:>9} {:>7} {:>8}", name, "not BMMC", stats.total(), "-");
+                println!(
+                    "{:<24} {:>9} {:>7} {:>8}",
+                    name,
+                    "not BMMC",
+                    stats.total(),
+                    "-"
+                );
             }
         }
     }

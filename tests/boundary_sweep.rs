@@ -21,22 +21,14 @@ fn factoring_correct_for_every_split() {
                 let perm = catalog::random_bmmc(&mut rng, n);
                 let fac = factor(&perm, b, m)
                     .unwrap_or_else(|e| panic!("factor failed at b={b}, m={m}: {e}"));
-                assert!(
-                    fac.verify(&perm),
-                    "recomposition failed at b={b}, m={m}"
-                );
-                let rank_gm =
-                    gf2::elim::rank(&perm.matrix().submatrix(m..n, 0..m));
+                assert!(fac.verify(&perm), "recomposition failed at b={b}, m={m}");
+                let rank_gm = gf2::elim::rank(&perm.matrix().submatrix(m..n, 0..m));
                 let expect = if rank_gm == 0 {
                     1
                 } else {
                     rank_gm.div_ceil(m - b) + 1
                 };
-                assert_eq!(
-                    fac.num_passes(),
-                    expect,
-                    "wrong pass count at b={b}, m={m}"
-                );
+                assert_eq!(fac.num_passes(), expect, "wrong pass count at b={b}, m={m}");
             }
         }
     }
@@ -109,8 +101,8 @@ fn detection_correct_for_every_small_geometry() {
                 };
                 let perm = catalog::random_bmmc(&mut rng, n);
                 let mut sys = load_target_vector(g, &perm.target_vector());
-                let det = detect_bmmc(&mut sys, 0)
-                    .unwrap_or_else(|e| panic!("b={b} d={d} m={m}: {e}"));
+                let det =
+                    detect_bmmc(&mut sys, 0).unwrap_or_else(|e| panic!("b={b} d={d} m={m}: {e}"));
                 assert_eq!(
                     det.bmmc().expect("positive instance"),
                     &perm,

@@ -128,8 +128,7 @@ fn bpc_baseline_agrees_with_new_algorithm() {
 fn file_backend_end_to_end() {
     let g = Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap();
     let dir = std::env::temp_dir().join(format!("bmmc-e2e-{}", std::process::id()));
-    let mut sys: DiskSystem<TaggedRecord> =
-        DiskSystem::new_file(g, 2, &dir).expect("file backend");
+    let mut sys: DiskSystem<TaggedRecord> = DiskSystem::new_file(g, 2, &dir).expect("file backend");
     let input: Vec<TaggedRecord> = (0..g.records() as u64).map(TaggedRecord::new).collect();
     sys.load_records(0, &input);
     let perm = catalog::bit_reversal(g.n());
@@ -162,7 +161,10 @@ fn threaded_disks_match_serial() {
         serial.dump_records(r1.final_portion),
         threaded.dump_records(r2.final_portion)
     );
-    assert_eq!(r1.total, r2.total, "I/O accounting must not depend on threading");
+    assert_eq!(
+        r1.total, r2.total,
+        "I/O accounting must not depend on threading"
+    );
 }
 
 #[test]

@@ -1,0 +1,37 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion. The examples double as executable documentation of the
+//! paper's headline claims, so they must not silently rot.
+//!
+//! Each example already uses a laptop-scale geometry (N ≤ 2^16), so a
+//! full run is fast; the dominant cost is the one-time `cargo build`.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "fft_bit_reversal",
+    "gray_code_scan",
+    "mld_pipeline",
+    "out_of_core_transpose",
+    "runtime_detection",
+];
+
+#[test]
+fn all_examples_run() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for name in EXAMPLES {
+        let out = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} failed ({}):\n--- stdout\n{}\n--- stderr\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(!out.stdout.is_empty(), "example {name} produced no output");
+    }
+}

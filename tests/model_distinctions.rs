@@ -152,8 +152,7 @@ fn permutation_family_sweeps() {
     for (name, perm) in families {
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &input);
-        let report =
-            perform_bmmc(&mut sys, &perm).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = perform_bmmc(&mut sys, &perm).unwrap_or_else(|e| panic!("{name}: {e}"));
         let expect = reference_permute(&input, |x| perm.target(x));
         assert_eq!(
             sys.dump_records(report.final_portion),

@@ -5,9 +5,7 @@
 
 use bmmc::algorithm::perform_bmmc;
 use bmmc::detect::{detect_bmmc, load_target_vector};
-use bmmc::potential::{
-    final_potential, initial_potential_formula, potential, trace_potential,
-};
+use bmmc::potential::{final_potential, initial_potential_formula, potential, trace_potential};
 use bmmc::{bounds, catalog, factor, Bmmc};
 use gf2::elim::rank;
 use gf2::sample::random_with_submatrix_rank;
@@ -52,7 +50,10 @@ fn theorem15_mld_one_pass() {
         let report = perform_bmmc(&mut sys, &perm).unwrap();
         assert_eq!(report.num_passes(), 1, "Theorem 15");
         let ios = report.total;
-        assert_eq!(ios.striped_reads, ios.parallel_reads, "MLD reads are striped");
+        assert_eq!(
+            ios.striped_reads, ios.parallel_reads,
+            "MLD reads are striped"
+        );
     }
 }
 
@@ -133,9 +134,7 @@ fn potential_endpoints_match_paper() {
         let fac = factor(&perm, g.b(), g.m()).unwrap();
         let (report, traj) =
             trace_potential(&mut sys, &fac, |rec| rec.key, |x| perm.target(x)).unwrap();
-        assert!(
-            (traj.last().unwrap() - final_potential(g.records(), g.b())).abs() < 1e-6
-        );
+        assert!((traj.last().unwrap() - final_potential(g.records(), g.b())).abs() < 1e-6);
         assert_eq!(traj.len(), report.num_passes() + 1);
     }
 }

@@ -1,0 +1,309 @@
+//! Offline vendored mini-criterion.
+//!
+//! Mirrors the `criterion` 0.5 API shape this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `Throughput`, `BatchSize`, `BenchmarkId`, `black_box`) and produces a
+//! simple wall-clock report: a fixed warm-up, then `sample_size` timed
+//! samples, printing the median per-iteration time. No statistics
+//! beyond that — the point is that `cargo bench` compiles and produces
+//! usable numbers offline, not to replace criterion's analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function_name, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => write!(f, "{n}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "<unnamed>"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function_name: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function_name: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into(), self.sample_size, None, &mut f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn time_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one(
+    group: &str,
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+
+    // Calibrate the per-sample iteration count so one sample takes
+    // roughly 10 ms (capped for very slow routines).
+    let probe = time_once(f, 1).max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(f, iters).as_secs_f64() / iters as f64)
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!(", {}/s", human_bytes(b as f64 / median)),
+        Throughput::Elements(e) => format!(", {:.3e} elem/s", e as f64 / median),
+    });
+    println!(
+        "{label:<48} time: [{} {} {}]{}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = rate;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1} {}", UNITS[unit])
+}
+
+/// `criterion_group!(name, fn1, fn2, …)` — a runner that calls each
+/// registered bench function with a fresh default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, …)` — the `main` for a
+/// `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,105 @@
+//! Self-tests for the mini-proptest runner: the danger with a vendored
+//! stand-in is a runner that silently runs zero cases and fake-greens
+//! every property in the workspace, so these pin the actual semantics.
+
+use proptest::prelude::*;
+use proptest::test_runner::{run_cases, ProptestConfig, TestCaseError};
+
+#[test]
+fn runs_exactly_the_configured_number_of_cases() {
+    let mut ran = 0u32;
+    run_cases("counter", &ProptestConfig::with_cases(37), |_rng| {
+        ran += 1;
+        Ok(())
+    });
+    assert_eq!(ran, 37);
+}
+
+#[test]
+fn failure_panics_with_the_message() {
+    let result = std::panic::catch_unwind(|| {
+        run_cases("boom", &ProptestConfig::with_cases(10), |_rng| {
+            Err(TestCaseError::fail("deliberate"))
+        });
+    });
+    let panic = result.expect_err("failing property must panic");
+    let text = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is a String");
+    assert!(text.contains("deliberate"), "panic message: {text}");
+    assert!(text.contains("case #1"), "panic message: {text}");
+}
+
+#[test]
+fn rejections_do_not_count_as_passes() {
+    let mut attempts = 0u32;
+    run_cases("rejecting", &ProptestConfig::with_cases(5), |_rng| {
+        attempts += 1;
+        if attempts.is_multiple_of(2) {
+            Err(TestCaseError::reject("every other case"))
+        } else {
+            Ok(())
+        }
+    });
+    // 5 passes interleaved with 4 rejections.
+    assert_eq!(attempts, 9);
+}
+
+#[test]
+fn exhausting_the_reject_budget_fails_loudly() {
+    let result = std::panic::catch_unwind(|| {
+        let cfg = ProptestConfig {
+            max_global_rejects: 50,
+            ..ProptestConfig::with_cases(5)
+        };
+        run_cases("always_rejects", &cfg, |_rng| {
+            Err(TestCaseError::reject("impossible precondition"))
+        });
+    });
+    let panic = result.expect_err("a vacuous property must not pass");
+    let text = panic
+        .downcast_ref::<String>()
+        .expect("panic payload is a String");
+    assert!(text.contains("too many prop_assume rejections"), "{text}");
+    assert!(text.contains("0/5"), "{text}");
+}
+
+#[test]
+fn sampling_is_deterministic_per_test_name() {
+    let collect = |name: &str| {
+        let mut vals = Vec::new();
+        run_cases(name, &ProptestConfig::with_cases(8), |rng| {
+            vals.push(any::<u64>().sample(rng));
+            Ok(())
+        });
+        vals
+    };
+    assert_eq!(collect("alpha"), collect("alpha"));
+    assert_ne!(collect("alpha"), collect("beta"));
+}
+
+#[test]
+fn range_strategies_respect_bounds() {
+    run_cases("ranges", &ProptestConfig::with_cases(256), |rng| {
+        let a = (3usize..9).sample(rng);
+        assert!((3..9).contains(&a));
+        let b = (10u64..=10).sample(rng);
+        assert_eq!(b, 10);
+        let v = proptest::collection::vec(any::<bool>(), 2..5).sample(rng);
+        assert!((2..5).contains(&v.len()));
+        Ok(())
+    });
+}
+
+// The macro surface itself, as the workspace's tests use it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn macro_binds_multiple_strategies(x in 1usize..50, y in any::<u64>()) {
+        prop_assert!((1..50).contains(&x));
+        prop_assume!(x != 7); // rejects ~1/49 of cases; exercises the reject path
+        prop_assert_eq!(y.wrapping_add(1).wrapping_sub(1), y);
+        prop_assert_ne!(x, 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! Self-tests for the vendored `rand`: seeded determinism is what the
+//! whole workspace's reproducibility rests on.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+#[test]
+fn same_seed_same_stream() {
+    let mut a = StdRng::seed_from_u64(42);
+    let mut b = StdRng::seed_from_u64(42);
+    for _ in 0..1000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut a = StdRng::seed_from_u64(1);
+    let mut b = StdRng::seed_from_u64(2);
+    let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+    let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+    assert_ne!(sa, sb);
+}
+
+#[test]
+fn gen_range_is_in_bounds_and_hits_endpoints() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut seen = [false; 5];
+    for _ in 0..1000 {
+        let v = rng.gen_range(0usize..5);
+        seen[v] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "all of 0..5 reachable: {seen:?}");
+    for _ in 0..100 {
+        let v = rng.gen_range(3u64..=4);
+        assert!(v == 3 || v == 4);
+    }
+}
+
+#[test]
+fn gen_bool_is_roughly_fair() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+    assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+}
+
+#[test]
+fn shuffle_is_a_permutation() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut v: Vec<u32> = (0..256).collect();
+    v.shuffle(&mut rng);
+    assert_ne!(
+        v,
+        (0..256).collect::<Vec<_>>(),
+        "256 elements left in place"
+    );
+    let mut sorted = v.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..256).collect::<Vec<_>>());
+}
+
+#[test]
+fn choose_covers_the_slice() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let items = [10u8, 20, 30];
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..200 {
+        seen.insert(*items.choose(&mut rng).unwrap());
+    }
+    assert_eq!(seen.len(), 3);
+    let empty: [u8; 0] = [];
+    assert!(empty.choose(&mut rng).is_none());
+}
