@@ -1,0 +1,422 @@
+//! Old loop vs. streaming engine, across disk counts and service
+//! disciplines — the bench behind `BENCH_PR2.json` and the CI
+//! `bench-smoke` perf gate.
+//!
+//! For each `D` the sweep performs the same seeded one-pass MLD
+//! permutation (striped reads + independent writes, the paper's
+//! Theorem 15 discipline) four ways:
+//!
+//! * `legacy`/`serial`   — the superseded per-call-site loop
+//!   (`bmmc::passes::reference`) with serial disk servicing;
+//! * `legacy`/`threaded` — the same loop with the old
+//!   spawn-one-thread-per-disk-per-I/O servicing
+//!   ([`ServiceMode::SpawnPerOp`]);
+//! * `engine`/`serial`   — the [`pdm::PassEngine`] streaming loop,
+//!   serial servicing (buffer reuse only);
+//! * `engine`/`threaded` — the engine on the persistent per-disk
+//!   service threads ([`ServiceMode::Threaded`]), overlapping the
+//!   reads of memoryload *k+1* with the permute of memoryload *k*.
+//!
+//! Every configuration is verified against the reference permutation
+//! and must charge the *identical* number of parallel I/Os — the model
+//! cost may not change, only the wall clock.
+//!
+//! ```text
+//! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
+//!   --quick        small sizes (CI smoke); emits only the "quick" section
+//!   --baseline     run full + quick and insist on the acceptance ratio
+//!   --out FILE     write the JSON document to FILE
+//!   --check FILE   compare this run's quick section against FILE's;
+//!                  exit 1 if the engine regressed >20% vs. the recorded
+//!                  speedup (rows whose recorded ratio is below the 1.5x
+//!                  acceptance bar are noise and not time-gated) or the
+//!                  parallel-I/O counts moved at all
+//! ```
+
+use bmmc::catalog;
+use bmmc::factoring::{Pass, PassKind};
+use bmmc::passes::{execute_pass, reference, reference_permute};
+use bmmc_bench::json::Json;
+use pdm::{DiskSystem, Geometry, ServiceMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[derive(Clone, Copy, Debug)]
+struct Row {
+    disks: usize,
+    mode: &'static str,  // "serial" | "threaded"
+    impl_: &'static str, // "legacy" | "engine"
+    records_per_sec: f64,
+    elapsed_ms: f64,
+    parallel_ios: u64,
+    passes: usize,
+}
+
+impl Row {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("disks", Json::Num(self.disks as f64)),
+            ("mode", Json::Str(self.mode.into())),
+            ("impl", Json::Str(self.impl_.into())),
+            (
+                "records_per_sec",
+                Json::Num((self.records_per_sec * 10.0).round() / 10.0),
+            ),
+            (
+                "elapsed_ms",
+                Json::Num((self.elapsed_ms * 1000.0).round() / 1000.0),
+            ),
+            ("parallel_ios", Json::Num(self.parallel_ios as f64)),
+            ("passes", Json::Num(self.passes as f64)),
+        ])
+    }
+}
+
+/// One sweep (a set of sizes): the geometry template and disk counts.
+struct SweepSpec {
+    name: &'static str,
+    lg_records: usize,
+    lg_block: usize,
+    lg_memory: usize,
+    disk_counts: &'static [usize],
+    reps: usize,
+}
+
+const FULL: SweepSpec = SweepSpec {
+    name: "full",
+    lg_records: 20,
+    lg_block: 3,
+    lg_memory: 13,
+    disk_counts: &[1, 4, 16, 64],
+    reps: 5,
+};
+
+const QUICK: SweepSpec = SweepSpec {
+    name: "quick",
+    lg_records: 18,
+    lg_block: 3,
+    lg_memory: 12,
+    disk_counts: &[1, 4, 16],
+    reps: 5,
+};
+
+fn service_mode(mode: &str, use_engine: bool) -> ServiceMode {
+    match (mode, use_engine) {
+        ("serial", _) => ServiceMode::Serial,
+        // "threaded" means each implementation's own threading story:
+        // the old loop only ever had spawn-per-op servicing.
+        ("threaded", false) => ServiceMode::SpawnPerOp,
+        ("threaded", true) => ServiceMode::Threaded,
+        _ => unreachable!("unknown mode {mode}"),
+    }
+}
+
+fn run_config(
+    geom: Geometry,
+    pass: &Pass,
+    expect: &[u64],
+    mode: &'static str,
+    impl_: &'static str,
+    reps: usize,
+) -> Row {
+    let use_engine = impl_ == "engine";
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+    sys.set_service_mode(service_mode(mode, use_engine));
+    let input: Vec<u64> = (0..geom.records() as u64).collect();
+    sys.load_records(0, &input);
+    let execute = |sys: &mut DiskSystem<u64>| {
+        if use_engine {
+            execute_pass(sys, 0, 1, pass).expect("engine pass failed")
+        } else {
+            reference::execute_pass(sys, 0, 1, pass).expect("reference pass failed")
+        }
+    };
+    // Warm-up rep doubles as the correctness check.
+    let stats = execute(&mut sys);
+    assert_eq!(
+        sys.dump_records(1),
+        expect,
+        "{impl_}/{mode} D={} produced a wrong permutation",
+        geom.disks()
+    );
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = execute(&mut sys);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            s.ios.parallel_ios(),
+            stats.ios.parallel_ios(),
+            "parallel I/O count changed between reps"
+        );
+        best = best.min(dt);
+    }
+    Row {
+        disks: geom.disks(),
+        mode,
+        impl_,
+        records_per_sec: geom.records() as f64 / best,
+        elapsed_ms: best * 1e3,
+        parallel_ios: stats.ios.parallel_ios(),
+        passes: 1,
+    }
+}
+
+fn run_sweep(spec: &SweepSpec) -> (Vec<Row>, Json) {
+    let mut rows = Vec::new();
+    eprintln!(
+        "== {} sweep: N=2^{}, B=2^{}, M=2^{}, best of {} reps",
+        spec.name, spec.lg_records, spec.lg_block, spec.lg_memory, spec.reps
+    );
+    for &d in spec.disk_counts {
+        let geom = Geometry::new(
+            1 << spec.lg_records,
+            1 << spec.lg_block,
+            d,
+            1 << spec.lg_memory,
+        )
+        .expect("sweep geometry is valid");
+        // One seeded MLD permutation per geometry so every
+        // implementation performs the identical data movement.
+        let mut rng = StdRng::seed_from_u64(0xB44C + d as u64);
+        let perm = catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m());
+        let pass = Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind: PassKind::Mld,
+        };
+        let input: Vec<u64> = (0..geom.records() as u64).collect();
+        let expect = reference_permute(&input, |x| perm.target(x));
+        for mode in ["serial", "threaded"] {
+            let mut ios = None;
+            for impl_ in ["legacy", "engine"] {
+                let row = run_config(geom, &pass, &expect, mode, impl_, spec.reps);
+                eprintln!(
+                    "   D={:<3} {:<8} {:<6} {:>12.0} rec/s  {:>8.2} ms  {} parallel I/Os",
+                    row.disks, mode, impl_, row.records_per_sec, row.elapsed_ms, row.parallel_ios
+                );
+                if let Some(prev) = ios {
+                    assert_eq!(
+                        prev, row.parallel_ios,
+                        "engine changed the charged I/O count at D={d} {mode}"
+                    );
+                }
+                ios = Some(row.parallel_ios);
+                rows.push(row);
+            }
+        }
+    }
+    let rows_ref = &rows;
+    let speedups: Vec<Json> = spec
+        .disk_counts
+        .iter()
+        .flat_map(|&d| {
+            ["serial", "threaded"].into_iter().map(move |mode| {
+                let s = speedup(rows_ref, d, mode).expect("both impls present");
+                Json::obj(vec![
+                    ("disks", Json::Num(d as f64)),
+                    ("mode", Json::Str(mode.into())),
+                    (
+                        "engine_over_legacy",
+                        Json::Num((s * 1000.0).round() / 1000.0),
+                    ),
+                ])
+            })
+        })
+        .collect();
+    let section = Json::obj(vec![
+        (
+            "geometry",
+            Json::obj(vec![
+                ("lg_records", Json::Num(spec.lg_records as f64)),
+                ("lg_block", Json::Num(spec.lg_block as f64)),
+                ("lg_memory", Json::Num(spec.lg_memory as f64)),
+            ]),
+        ),
+        ("reps", Json::Num(spec.reps as f64)),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+        ("speedups", Json::Arr(speedups)),
+    ]);
+    (rows, section)
+}
+
+fn speedup(rows: &[Row], disks: usize, mode: &str) -> Option<f64> {
+    let rps = |impl_: &str| {
+        rows.iter()
+            .find(|r| r.disks == disks && r.mode == mode && r.impl_ == impl_)
+            .map(|r| r.records_per_sec)
+    };
+    Some(rps("engine")? / rps("legacy")?)
+}
+
+/// Extracts `(disks, mode) → (engine_over_legacy, engine parallel_ios)`
+/// from a document's section.
+fn section_metrics(doc: &Json, section: &str) -> Vec<(u64, String, f64, u64)> {
+    let Some(sec) = doc.get(section) else {
+        return Vec::new();
+    };
+    let speedups = sec.get("speedups").and_then(Json::as_array).unwrap_or(&[]);
+    let rows = sec.get("rows").and_then(Json::as_array).unwrap_or(&[]);
+    speedups
+        .iter()
+        .filter_map(|s| {
+            let disks = s.get("disks")?.as_u64()?;
+            let mode = s.get("mode")?.as_str()?.to_string();
+            let ratio = s.get("engine_over_legacy")?.as_f64()?;
+            let ios = rows.iter().find_map(|r| {
+                (r.get("disks")?.as_u64()? == disks
+                    && r.get("mode")?.as_str()? == mode
+                    && r.get("impl")?.as_str()? == "engine")
+                    .then(|| r.get("parallel_ios")?.as_u64())?
+            })?;
+            Some((disks, mode, ratio, ios))
+        })
+        .collect()
+}
+
+/// The CI gate: compares this run's quick section with the checked-in
+/// baseline. Fails on a >20% speedup regression or any change in the
+/// charged parallel-I/O counts.
+fn check_against_baseline(current: &Json, baseline_path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let baseline = Json::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+    let base = section_metrics(&baseline, "quick");
+    let cur = section_metrics(current, "quick");
+    if base.is_empty() {
+        return Err(format!("{baseline_path} has no quick section to compare"));
+    }
+    let mut failures = Vec::new();
+    for (disks, mode, base_ratio, base_ios) in &base {
+        let Some((_, _, cur_ratio, cur_ios)) =
+            cur.iter().find(|(d, m, _, _)| d == disks && m == mode)
+        else {
+            failures.push(format!("D={disks} {mode}: missing from current run"));
+            continue;
+        };
+        if cur_ios != base_ios {
+            failures.push(format!(
+                "D={disks} {mode}: parallel I/Os changed {base_ios} → {cur_ios} \
+                 (the engine may not change the model cost)"
+            ));
+        }
+        // "Regressed >20% vs. the checked-in baseline" — applied only
+        // to rows whose recorded ratio clears the 1.5x acceptance bar
+        // (the serial rows sit at ~1.0x ± noise; gating noise would
+        // flake). The parallel-I/O check above stays exact for every
+        // row. If the CI fleet's hardware proves systematically
+        // different from the machine that recorded BENCH_PR2.json,
+        // the remedy is regenerating the baseline there
+        // (`engine_sweep --baseline --out BENCH_PR2.json`), not
+        // loosening this rule.
+        if *base_ratio < 1.5 {
+            eprintln!(
+                "check D={disks} {mode}: recorded ratio {base_ratio:.2}x is noise-level, \
+                 timing not gated (I/O counts still exact)"
+            );
+            continue;
+        }
+        let floor = 0.8 * base_ratio;
+        if *cur_ratio < floor {
+            failures.push(format!(
+                "D={disks} {mode}: engine speedup {cur_ratio:.2}x regressed >20% below \
+                 the recorded {base_ratio:.2}x (floor {floor:.2}x)"
+            ));
+        } else {
+            eprintln!(
+                "check D={disks} {mode}: speedup {cur_ratio:.2}x vs recorded {base_ratio:.2}x — ok"
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // --baseline always runs the full sweep (it must enforce the
+    // acceptance ratio), so it overrides --quick.
+    let baseline_mode = has("--baseline");
+    let quick_only = has("--quick") && !baseline_mode;
+
+    let mut sections: Vec<(&str, Json)> = Vec::new();
+    let mut full_rows = Vec::new();
+    if !quick_only {
+        let (rows, section) = run_sweep(&FULL);
+        full_rows = rows;
+        sections.push(("full", section));
+    }
+    if quick_only || baseline_mode {
+        let (_, section) = run_sweep(&QUICK);
+        sections.push(("quick", section));
+    }
+
+    let mut doc_pairs = vec![
+        ("bench", Json::Str("engine_sweep".into())),
+        ("version", Json::Num(1.0)),
+        (
+            "acceptance",
+            Json::Str(
+                "engine >= 1.5x legacy records/s at D=16 threaded, identical parallel_ios".into(),
+            ),
+        ),
+    ];
+    for (name, section) in sections {
+        doc_pairs.push((name, section));
+    }
+    let doc = Json::obj(doc_pairs);
+
+    if !full_rows.is_empty() {
+        let s = speedup(&full_rows, 16, "threaded").expect("D=16 threaded measured");
+        eprintln!("D=16 threaded engine speedup: {s:.2}x");
+        if baseline_mode {
+            assert!(
+                s >= 1.5,
+                "acceptance criterion failed: engine only {s:.2}x at D=16 threaded"
+            );
+        }
+    }
+
+    if let Some(path) = value_of("--out") {
+        std::fs::write(&path, doc.to_pretty()).expect("write --out file");
+        eprintln!("wrote {path}");
+    } else {
+        print!("{}", doc.to_pretty());
+    }
+
+    if let Some(baseline) = value_of("--check") {
+        match check_against_baseline(&doc, &baseline) {
+            Ok(()) => eprintln!("bench-smoke gate: PASS"),
+            Err(msg) => {
+                // Timing on a loaded host is noisy even best-of-N (the
+                // legacy spawn-per-op side swings the most); a single
+                // clean retry separates real regressions from flakes.
+                // The --out artifact keeps the first attempt's numbers.
+                eprintln!("bench-smoke gate: first attempt failed:\n{msg}\nretrying once…");
+                let (_, retry_section) = run_sweep(&QUICK);
+                let retry_doc = Json::obj(vec![("quick", retry_section)]);
+                match check_against_baseline(&retry_doc, &baseline) {
+                    Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),
+                    Err(msg) => {
+                        eprintln!("bench-smoke gate: FAIL (twice)\n{msg}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //! benches: canonical geometries, measurement wrappers, and plain-text
 //! table formatting.
 
+pub mod json;
+
 use bmmc::algorithm::perform_bmmc;
 use bmmc::passes::reference_permute;
 use bmmc::Bmmc;

@@ -7,8 +7,8 @@ use crate::bmmc::Bmmc;
 use crate::classes::{is_mld, is_mld_inverse, is_mrc};
 use crate::error::{BmmcError, Result};
 use crate::factoring::{factor, Factorization, Pass, PassKind};
-use crate::passes::{execute_pass, PassStats};
-use pdm::{DiskSystem, IoStats, Record};
+use crate::passes::{execute_pass_with, PassStats};
+use pdm::{DiskSystem, IoStats, PassEngine, Record};
 
 /// The result of performing a BMMC permutation.
 #[derive(Clone, Debug)]
@@ -67,18 +67,20 @@ pub fn plan_passes(perm: &Bmmc, b: usize, m: usize) -> Result<Vec<Pass>> {
 
 /// Executes a sequence of one-pass permutations. Data starts in
 /// portion 0; each pass flips portions; the report names the final
-/// portion.
+/// portion. One [`PassEngine`] (and so one pair of memoryload buffers)
+/// is shared across all passes.
 pub fn execute_passes<R: Record>(sys: &mut DiskSystem<R>, passes: &[Pass]) -> Result<BmmcReport> {
     assert!(
         sys.portions() >= 2,
         "plan execution needs a source and a target portion"
     );
     let before = sys.stats();
+    let mut engine = PassEngine::new(sys.geometry());
     let mut stats = Vec::with_capacity(passes.len());
     let mut src = 0usize;
     for pass in passes {
         let dst = 1 - src;
-        stats.push(execute_pass(sys, src, dst, pass)?);
+        stats.push(execute_pass_with(&mut engine, sys, src, dst, pass)?);
         src = dst;
     }
     Ok(BmmcReport {

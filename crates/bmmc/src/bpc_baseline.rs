@@ -23,12 +23,11 @@
 //! paper claims ("reduces the innermost factor of 2 … to a factor
 //! of 1").
 
-use crate::algorithm::BmmcReport;
+use crate::algorithm::{execute_passes, BmmcReport};
 use crate::bmmc::Bmmc;
 use crate::classes::{is_bpc, is_mrc};
 use crate::error::{BmmcError, Result};
 use crate::factoring::{factor, Pass, PassKind};
-use crate::passes::execute_pass;
 use gf2::perm::{permutation_matrix, permutation_of_matrix};
 use pdm::{DiskSystem, Record};
 
@@ -123,19 +122,7 @@ pub fn perform_bpc_baseline<R: Record>(sys: &mut DiskSystem<R>, perm: &Bmmc) -> 
         });
     }
     let plan = bpc_baseline_plan(perm, geom.b(), geom.m())?;
-    let before = sys.stats();
-    let mut stats = Vec::with_capacity(plan.passes.len());
-    let mut src = 0usize;
-    for pass in &plan.passes {
-        let dst = 1 - src;
-        stats.push(execute_pass(sys, src, dst, pass)?);
-        src = dst;
-    }
-    Ok(BmmcReport {
-        passes: stats,
-        total: sys.stats().since(&before),
-        final_portion: src,
-    })
+    execute_passes(sys, &plan.passes)
 }
 
 #[cfg(test)]

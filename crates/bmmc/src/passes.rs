@@ -1,31 +1,47 @@
 //! One-pass executors: MRC and MLD permutations on a
-//! [`pdm::DiskSystem`].
+//! [`pdm::DiskSystem`], built on the shared streaming
+//! [`PassEngine`](pdm::PassEngine).
 //!
-//! Both pass types process source memoryloads in order (Section 3):
-//! read the memoryload's `M/BD` stripes with striped reads, permute the
-//! `M` records in memory, and write them out —
+//! All pass types process memoryloads in order (Section 3): read a
+//! memoryload (`M/BD` parallel reads), permute the `M` records in
+//! memory, and write them out (`M/BD` parallel writes) —
 //!
-//! * **MRC**: all `M` records go to a single target memoryload, written
-//!   with `M/BD` striped writes;
-//! * **MLD**: the records form `M/B` *full* target blocks (Lemma 13),
-//!   one per relative block number, spread evenly over the disks
-//!   (property 3), written with `M/BD` independent writes of `D`
-//!   blocks each.
+//! * **MRC**: striped reads of each source memoryload; all `M` records
+//!   go to a single target memoryload, written with striped writes;
+//! * **MLD**: striped reads; the records form `M/B` *full* target
+//!   blocks (Lemma 13), one per relative block number, spread evenly
+//!   over the disks (property 3), written with independent writes of
+//!   `D` blocks each;
+//! * **MLD⁻¹**: the mirror image — each *target* memoryload's records
+//!   are gathered with independent reads of `D` full source blocks
+//!   each (Lemma 13 applied to `A⁻¹`), arranged in memory, and emitted
+//!   with striped writes.
 //!
-//! Either way a pass costs exactly `2N/BD` parallel I/Os.
+//! Either way a pass costs exactly `2N/BD` parallel I/Os. The executors
+//! only build the engine's read/write *plans* and the in-memory
+//! rearrangement; buffering, I/O issue, and (in
+//! [`ServiceMode::Threaded`](pdm::ServiceMode)) the overlap of the
+//! next memoryload's reads with the current permute all live in
+//! `pdm::engine`.
 //!
-//! The in-memory rearrangement is the same for both: the record headed
-//! for target address `y` is placed at buffer position `y mod M`
+//! The in-memory rearrangement is the same for MRC and MLD: the record
+//! headed for target address `y` is placed at buffer position `y mod M`
 //! (its target relative-block number and offset). This is a bijection
 //! on the memoryload because the leading `m x m` submatrix of a
 //! one-pass characteristic matrix is nonsingular (Lemma 12; trivially
 //! for MRC), and it is performed in place by cycle-following.
+//!
+//! The superseded hand-written loops survive in [`reference`] — they
+//! are the differential-testing oracle for the engine and the "old
+//! loop" baseline of the `engine_sweep` benchmark.
 
 use crate::error::{BmmcError, Result};
 use crate::eval::AffineEvaluator;
 use crate::factoring::{Pass, PassKind};
+use pdm::engine::{ReadPlan, WritePlan};
 use pdm::memory::permute_in_place;
-use pdm::{BlockRef, DiskSystem, IoStats, Record};
+use pdm::{BlockRef, DiskSystem, IoStats, PassEngine, Record};
+use std::cell::RefCell;
 
 /// Per-pass execution statistics.
 #[derive(Clone, Copy, Debug)]
@@ -37,8 +53,23 @@ pub struct PassStats {
 }
 
 /// Executes one pass, moving all `N` records from portion `src` to
-/// portion `dst` of the disk system.
+/// portion `dst` of the disk system. Convenience wrapper over
+/// [`execute_pass_with`] that builds a fresh engine; multi-pass
+/// algorithms should build one [`PassEngine`] and reuse it.
 pub fn execute_pass<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    pass: &Pass,
+) -> Result<PassStats> {
+    let mut engine = PassEngine::new(sys.geometry());
+    execute_pass_with(&mut engine, sys, src, dst, pass)
+}
+
+/// Executes one pass on a caller-provided engine (reusing its
+/// memoryload buffers across passes).
+pub fn execute_pass_with<R: Record>(
+    engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
@@ -56,11 +87,11 @@ pub fn execute_pass<R: Record>(
     let before = sys.stats();
     let ev = AffineEvaluator::new(&pass.as_bmmc());
     match pass.kind {
-        PassKind::Mrc => execute_mrc(sys, src, dst, &ev)?,
-        PassKind::Mld => execute_mld(sys, src, dst, &ev)?,
+        PassKind::Mrc => execute_mrc(engine, sys, src, dst, &ev)?,
+        PassKind::Mld => execute_mld(engine, sys, src, dst, &ev)?,
         PassKind::MldInverse => {
             let inv_ev = AffineEvaluator::new(&pass.as_bmmc().inverse());
-            execute_mld_inverse(sys, src, dst, &ev, &inv_ev)?;
+            execute_mld_inverse(engine, sys, src, dst, &ev, &inv_ev)?;
         }
     }
     Ok(PassStats {
@@ -70,6 +101,7 @@ pub fn execute_pass<R: Record>(
 }
 
 fn execute_mrc<R: Record>(
+    engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
@@ -78,21 +110,29 @@ fn execute_mrc<R: Record>(
     let geom = sys.geometry();
     let (mem, m) = (geom.memory(), geom.m());
     let mask = (mem - 1) as u64;
-    for ml in 0..geom.memoryloads() {
-        let mut records = sys.read_memoryload(src, ml)?;
-        let base = (ml * mem) as u64;
-        let target_ml = (ev.eval(base) >> m) as usize;
-        debug_assert!(
-            (0..mem as u64).all(|i| (ev.eval(base + i) >> m) as usize == target_ml),
-            "MRC pass scattered a memoryload across target memoryloads"
-        );
-        permute_in_place(&mut records, |i| (ev.eval(base + i as u64) & mask) as usize);
-        sys.write_memoryload(dst, target_ml, &records)?;
-    }
-    Ok(())
+    engine
+        .run_pass(
+            sys,
+            |ml| ReadPlan::Memoryload { portion: src, ml },
+            |ml, records, _scratch| {
+                let base = (ml * mem) as u64;
+                let target_ml = (ev.eval(base) >> m) as usize;
+                debug_assert!(
+                    (0..mem as u64).all(|i| (ev.eval(base + i) >> m) as usize == target_ml),
+                    "MRC pass scattered a memoryload across target memoryloads"
+                );
+                permute_in_place(records, |i| (ev.eval(base + i as u64) & mask) as usize);
+                WritePlan::Memoryload {
+                    portion: dst,
+                    ml: target_ml,
+                }
+            },
+        )
+        .map_err(BmmcError::from)
 }
 
 fn execute_mld<R: Record>(
+    engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
@@ -101,55 +141,71 @@ fn execute_mld<R: Record>(
     let geom = sys.geometry();
     let layout = sys.layout();
     let mem = geom.memory();
-    let block = geom.block();
     let disks = geom.disks();
     let mask = (mem - 1) as u64;
     let rel_blocks = geom.blocks_per_memoryload(); // M/B
+    let dst_base = sys.portion_base(dst);
     let mut target_block = vec![0u64; rel_blocks];
-    for ml in 0..geom.memoryloads() {
-        let mut records = sys.read_memoryload(src, ml)?;
-        let base = (ml * mem) as u64;
-        // Pre-compute the global target block for each relative block
-        // number (well-defined: records sharing a relative block share
-        // a target memoryload — Lemma 14 via the kernel condition).
-        for i in 0..mem as u64 {
-            let y = ev.eval(base + i);
-            let rel = layout.relative_block(y) as usize;
-            target_block[rel] = layout.block(y);
-        }
-        permute_in_place(&mut records, |i| (ev.eval(base + i as u64) & mask) as usize);
-        // Write M/BD batches of D blocks; batch t carries relative
-        // blocks tD .. tD+D−1, whose low d bits give their disks.
-        let dst_base = sys.portion_base(dst);
-        for t in 0..rel_blocks / disks {
-            let mut writes: Vec<(BlockRef, &[R])> = Vec::with_capacity(disks);
-            for delta in 0..disks {
-                let rel = t * disks + delta;
-                let blk = target_block[rel];
-                let disk = layout.disk_of_block(blk) as usize;
-                debug_assert_eq!(
-                    disk, delta,
-                    "relative block {rel} not on its home disk (property 3 violated)"
-                );
-                let slot = dst_base + layout.stripe_of_block(blk) as usize;
-                writes.push((
-                    BlockRef { disk, slot },
-                    &records[rel * block..(rel + 1) * block],
-                ));
-            }
-            sys.write_blocks(&writes)?;
-        }
-    }
-    Ok(())
+    engine
+        .run_pass(
+            sys,
+            |ml| ReadPlan::Memoryload { portion: src, ml },
+            |ml, records, _scratch| {
+                let base = (ml * mem) as u64;
+                // Pre-compute the global target block for each relative
+                // block number (well-defined: records sharing a relative
+                // block share a target memoryload — Lemma 14 via the
+                // kernel condition).
+                for i in 0..mem as u64 {
+                    let y = ev.eval(base + i);
+                    let rel = layout.relative_block(y) as usize;
+                    target_block[rel] = layout.block(y);
+                }
+                permute_in_place(records, |i| (ev.eval(base + i as u64) & mask) as usize);
+                // Scatter M/BD batches of D blocks; batch t carries
+                // relative blocks tD .. tD+D−1 (contiguous in the
+                // permuted buffer), whose low d bits give their disks.
+                let batches = (0..rel_blocks / disks)
+                    .map(|t| {
+                        (0..disks)
+                            .map(|delta| {
+                                let rel = t * disks + delta;
+                                let blk = target_block[rel];
+                                let disk = layout.disk_of_block(blk) as usize;
+                                debug_assert_eq!(
+                                    disk, delta,
+                                    "relative block {rel} not on its home disk \
+                                     (property 3 violated)"
+                                );
+                                BlockRef {
+                                    disk,
+                                    slot: dst_base + layout.stripe_of_block(blk) as usize,
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                WritePlan::Scatter { batches }
+            },
+        )
+        .map_err(BmmcError::from)
 }
 
-/// Executes the inverse of an MLD permutation in one pass with the
-/// mirrored discipline: for each *target* memoryload, its records'
-/// source addresses form `M/B` full source blocks spread evenly over
-/// the disks (Lemma 13 applied to `A⁻¹`), so they are gathered with
-/// `M/BD` independent reads, arranged in memory by target position,
-/// and emitted with `M/BD` striped writes.
+/// Per-memoryload gather bookkeeping for the MLD⁻¹ executor, shared
+/// between the engine's `reads` and `transform` callbacks. The engine
+/// may call `reads(t+1)` before `transform(t)` (prefetch), so the
+/// gathered block lists are kept for two loads, indexed by `t % 2`.
+struct GatherState {
+    /// Source block numbers in gather order (batch-major), per parity.
+    blocks: [Vec<u64>; 2],
+    /// Scratch: per-disk source-block lists for the load being planned.
+    per_disk: Vec<Vec<u64>>,
+    /// Scratch: block-seen bitmap over all N/B source blocks.
+    seen: Vec<bool>,
+}
+
 fn execute_mld_inverse<R: Record>(
+    engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
@@ -159,63 +215,90 @@ fn execute_mld_inverse<R: Record>(
     let geom = sys.geometry();
     let layout = sys.layout();
     let mem = geom.memory();
+    let block = geom.block();
     let disks = geom.disks();
     let mask = (mem - 1) as u64;
     let rel_blocks = geom.blocks_per_memoryload();
     let src_base = sys.portion_base(src);
-    // Per-disk lists of source block numbers to gather, reused across
-    // memoryloads.
-    let mut per_disk: Vec<Vec<u64>> = vec![Vec::with_capacity(rel_blocks / disks); disks];
-    let mut seen: Vec<bool> = Vec::new();
-    for t in 0..geom.memoryloads() {
-        let base = (t * mem) as u64;
-        // Discover the M/B distinct source blocks feeding this target
-        // memoryload.
-        for d in per_disk.iter_mut() {
-            d.clear();
-        }
-        seen.clear();
-        seen.resize(geom.total_blocks(), false);
-        for i in 0..mem as u64 {
-            let x = inv_ev.eval(base + i);
-            let blk = layout.block(x);
-            if !seen[blk as usize] {
-                seen[blk as usize] = true;
-                per_disk[layout.disk_of_block(blk) as usize].push(blk);
-            }
-        }
-        debug_assert!(
-            per_disk.iter().all(|d| d.len() == rel_blocks / disks),
-            "source blocks of a target memoryload not evenly spread (mirror of property 3)"
-        );
-        // Gather with M/BD independent reads and scatter each record
-        // to its target position (low m bits of its target address).
-        let mut out = vec![R::default(); mem];
-        for k in 0..rel_blocks / disks {
-            let refs: Vec<BlockRef> = (0..disks)
-                .map(|disk| BlockRef {
-                    disk,
-                    slot: src_base + layout.stripe_of_block(per_disk[disk][k]) as usize,
-                })
-                .collect();
-            let blocks = sys.read_blocks(&refs)?;
-            for (disk, data) in blocks.iter().enumerate() {
-                let blk = per_disk[disk][k];
-                for (off, rec) in data.iter().enumerate() {
-                    let x = layout.compose_block(blk, off as u64);
-                    let y = ev.eval(x);
-                    debug_assert_eq!(
-                        layout.memoryload(y) as usize,
-                        t,
-                        "gathered a record not destined for this memoryload"
-                    );
-                    out[(y & mask) as usize] = *rec;
+    let state = RefCell::new(GatherState {
+        blocks: [Vec::new(), Vec::new()],
+        per_disk: vec![Vec::with_capacity(rel_blocks / disks); disks],
+        seen: vec![false; geom.total_blocks()],
+    });
+    engine
+        .run_pass(
+            sys,
+            |t| {
+                // Discover the M/B distinct source blocks feeding target
+                // memoryload t and plan their gather: M/BD independent
+                // reads of one block per disk.
+                let st = &mut *state.borrow_mut();
+                let base = (t * mem) as u64;
+                // Reset only the M/B bits the previous load set — a
+                // full clear of the N/B-entry bitmap per load would
+                // dominate the planner at large N.
+                for d in st.per_disk.iter_mut() {
+                    for blk in d.drain(..) {
+                        st.seen[blk as usize] = false;
+                    }
                 }
-            }
-        }
-        sys.write_memoryload(dst, t, &out)?;
-    }
-    Ok(())
+                for i in 0..mem as u64 {
+                    let x = inv_ev.eval(base + i);
+                    let blk = layout.block(x);
+                    if !st.seen[blk as usize] {
+                        st.seen[blk as usize] = true;
+                        st.per_disk[layout.disk_of_block(blk) as usize].push(blk);
+                    }
+                }
+                debug_assert!(
+                    st.per_disk.iter().all(|d| d.len() == rel_blocks / disks),
+                    "source blocks of a target memoryload not evenly spread \
+                     (mirror of property 3)"
+                );
+                let order = &mut st.blocks[t % 2];
+                order.clear();
+                let batches = (0..rel_blocks / disks)
+                    .map(|k| {
+                        (0..disks)
+                            .map(|disk| {
+                                let blk = st.per_disk[disk][k];
+                                order.push(blk);
+                                BlockRef {
+                                    disk,
+                                    slot: src_base + layout.stripe_of_block(blk) as usize,
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                ReadPlan::Gather { batches }
+            },
+            |t, records, scratch| {
+                // `records` holds the gathered blocks in batch-major
+                // order; scatter each record to its target position (the
+                // low m bits of its target address) via the scratch
+                // buffer.
+                let st = state.borrow();
+                for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
+                    for off in 0..block {
+                        let x = layout.compose_block(blk, off as u64);
+                        let y = ev.eval(x);
+                        debug_assert_eq!(
+                            layout.memoryload(y) as usize,
+                            t,
+                            "gathered a record not destined for this memoryload"
+                        );
+                        scratch[(y & mask) as usize] = records[g * block + off];
+                    }
+                }
+                std::mem::swap(records, scratch);
+                WritePlan::Memoryload {
+                    portion: dst,
+                    ml: t,
+                }
+            },
+        )
+        .map_err(BmmcError::from)
 }
 
 /// The reference (zero-I/O) permutation: returns the record vector as
@@ -229,6 +312,163 @@ pub fn reference_permute<R: Record>(input: &[R], target: impl Fn(u64) -> u64) ->
     out
 }
 
+/// The superseded per-call-site loops, kept verbatim as the
+/// differential-testing oracle for the [`PassEngine`]-based executors
+/// and as the "old loop" baseline of the `engine_sweep` benchmark.
+/// They allocate fresh buffers per block and service every parallel
+/// I/O synchronously; the cost *counts* are identical to the engine's.
+pub mod reference {
+    use super::*;
+
+    /// Executes one pass with the classic hand-written loops (see
+    /// [`super::execute_pass`] for the engine-based production path).
+    pub fn execute_pass<R: Record>(
+        sys: &mut DiskSystem<R>,
+        src: usize,
+        dst: usize,
+        pass: &Pass,
+    ) -> Result<PassStats> {
+        let geom = sys.geometry();
+        let n = geom.n();
+        if pass.matrix.rows() != n {
+            return Err(BmmcError::GeometryMismatch {
+                perm_bits: pass.matrix.rows(),
+                system_bits: n,
+            });
+        }
+        assert_ne!(src, dst, "source and target portions must differ");
+        let before = sys.stats();
+        let ev = AffineEvaluator::new(&pass.as_bmmc());
+        match pass.kind {
+            PassKind::Mrc => execute_mrc(sys, src, dst, &ev)?,
+            PassKind::Mld => execute_mld(sys, src, dst, &ev)?,
+            PassKind::MldInverse => {
+                let inv_ev = AffineEvaluator::new(&pass.as_bmmc().inverse());
+                execute_mld_inverse(sys, src, dst, &ev, &inv_ev)?;
+            }
+        }
+        Ok(PassStats {
+            kind: pass.kind,
+            ios: sys.stats().since(&before),
+        })
+    }
+
+    fn execute_mrc<R: Record>(
+        sys: &mut DiskSystem<R>,
+        src: usize,
+        dst: usize,
+        ev: &AffineEvaluator,
+    ) -> Result<()> {
+        let geom = sys.geometry();
+        let (mem, m) = (geom.memory(), geom.m());
+        let mask = (mem - 1) as u64;
+        for ml in 0..geom.memoryloads() {
+            let mut records = sys.read_memoryload(src, ml)?;
+            let base = (ml * mem) as u64;
+            let target_ml = (ev.eval(base) >> m) as usize;
+            permute_in_place(&mut records, |i| (ev.eval(base + i as u64) & mask) as usize);
+            sys.write_memoryload(dst, target_ml, &records)?;
+        }
+        Ok(())
+    }
+
+    fn execute_mld<R: Record>(
+        sys: &mut DiskSystem<R>,
+        src: usize,
+        dst: usize,
+        ev: &AffineEvaluator,
+    ) -> Result<()> {
+        let geom = sys.geometry();
+        let layout = sys.layout();
+        let mem = geom.memory();
+        let block = geom.block();
+        let disks = geom.disks();
+        let mask = (mem - 1) as u64;
+        let rel_blocks = geom.blocks_per_memoryload();
+        let mut target_block = vec![0u64; rel_blocks];
+        for ml in 0..geom.memoryloads() {
+            let mut records = sys.read_memoryload(src, ml)?;
+            let base = (ml * mem) as u64;
+            for i in 0..mem as u64 {
+                let y = ev.eval(base + i);
+                let rel = layout.relative_block(y) as usize;
+                target_block[rel] = layout.block(y);
+            }
+            permute_in_place(&mut records, |i| (ev.eval(base + i as u64) & mask) as usize);
+            let dst_base = sys.portion_base(dst);
+            for t in 0..rel_blocks / disks {
+                let mut writes: Vec<(BlockRef, &[R])> = Vec::with_capacity(disks);
+                for delta in 0..disks {
+                    let rel = t * disks + delta;
+                    let blk = target_block[rel];
+                    let disk = layout.disk_of_block(blk) as usize;
+                    let slot = dst_base + layout.stripe_of_block(blk) as usize;
+                    writes.push((
+                        BlockRef { disk, slot },
+                        &records[rel * block..(rel + 1) * block],
+                    ));
+                }
+                sys.write_blocks(&writes)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_mld_inverse<R: Record>(
+        sys: &mut DiskSystem<R>,
+        src: usize,
+        dst: usize,
+        ev: &AffineEvaluator,
+        inv_ev: &AffineEvaluator,
+    ) -> Result<()> {
+        let geom = sys.geometry();
+        let layout = sys.layout();
+        let mem = geom.memory();
+        let disks = geom.disks();
+        let mask = (mem - 1) as u64;
+        let rel_blocks = geom.blocks_per_memoryload();
+        let src_base = sys.portion_base(src);
+        let mut per_disk: Vec<Vec<u64>> = vec![Vec::with_capacity(rel_blocks / disks); disks];
+        let mut seen: Vec<bool> = Vec::new();
+        for t in 0..geom.memoryloads() {
+            let base = (t * mem) as u64;
+            for d in per_disk.iter_mut() {
+                d.clear();
+            }
+            seen.clear();
+            seen.resize(geom.total_blocks(), false);
+            for i in 0..mem as u64 {
+                let x = inv_ev.eval(base + i);
+                let blk = layout.block(x);
+                if !seen[blk as usize] {
+                    seen[blk as usize] = true;
+                    per_disk[layout.disk_of_block(blk) as usize].push(blk);
+                }
+            }
+            let mut out = vec![R::default(); mem];
+            for k in 0..rel_blocks / disks {
+                let refs: Vec<BlockRef> = (0..disks)
+                    .map(|disk| BlockRef {
+                        disk,
+                        slot: src_base + layout.stripe_of_block(per_disk[disk][k]) as usize,
+                    })
+                    .collect();
+                let blocks = sys.read_blocks(&refs)?;
+                for (disk, data) in blocks.iter().enumerate() {
+                    let blk = per_disk[disk][k];
+                    for (off, rec) in data.iter().enumerate() {
+                        let x = layout.compose_block(blk, off as u64);
+                        let y = ev.eval(x);
+                        out[(y & mask) as usize] = *rec;
+                    }
+                }
+            }
+            sys.write_memoryload(dst, t, &out)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,7 +476,7 @@ mod tests {
     use crate::catalog;
     use crate::factoring::{Pass, PassKind};
     use gf2::BitVec;
-    use pdm::Geometry;
+    use pdm::{Geometry, ServiceMode};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -256,10 +496,13 @@ mod tests {
             kind,
         };
         let stats = execute_pass(&mut sys, 0, 1, &pass).unwrap();
-        // Exactly one pass: 2N/BD parallel I/Os, N/BD reads all striped.
+        // Exactly one pass: 2N/BD parallel I/Os, N/BD reads (striped
+        // for the forward disciplines, independent gathers for MLD⁻¹).
         assert_eq!(stats.ios.parallel_ios() as usize, g.ios_per_pass());
         assert_eq!(stats.ios.parallel_reads as usize, g.stripes());
-        assert_eq!(stats.ios.striped_reads as usize, g.stripes());
+        if matches!(kind, PassKind::Mrc | PassKind::Mld) {
+            assert_eq!(stats.ios.striped_reads as usize, g.stripes());
+        }
         let expect = reference_permute(&input, |x| perm.target(x));
         assert_eq!(sys.dump_records(1), expect, "wrong final placement");
         match kind {
@@ -269,6 +512,32 @@ mod tests {
             ),
             PassKind::Mld => {}
         }
+    }
+
+    /// Runs `perm` through the engine executor and the reference loop
+    /// on separate systems and insists on identical placements and
+    /// identical I/O statistics.
+    fn assert_matches_reference(perm: &Bmmc, kind: PassKind, mode: ServiceMode) {
+        let g = geom();
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+        let pass = Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind,
+        };
+        let mut engine_sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        engine_sys.set_service_mode(mode);
+        engine_sys.load_records(0, &input);
+        let engine_stats = execute_pass(&mut engine_sys, 0, 1, &pass).unwrap();
+        let mut ref_sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        ref_sys.load_records(0, &input);
+        let ref_stats = reference::execute_pass(&mut ref_sys, 0, 1, &pass).unwrap();
+        assert_eq!(engine_stats.ios, ref_stats.ios, "I/O accounting diverged");
+        assert_eq!(
+            engine_sys.dump_records(1),
+            ref_sys.dump_records(1),
+            "placements diverged"
+        );
     }
 
     #[test]
@@ -357,28 +626,13 @@ mod tests {
     #[test]
     fn mld_inverse_pass_random() {
         // The inverse of an MLD permutation runs in one pass with the
-        // mirrored discipline: independent reads, striped writes.
+        // mirrored discipline: independent reads, striped writes (the
+        // helper asserts both).
         let mut rng = StdRng::seed_from_u64(54);
         let g = geom();
         for _ in 0..5 {
             let fwd = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
-            let perm = fwd.inverse();
-            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
-            let input: Vec<u64> = (0..g.records() as u64).collect();
-            sys.load_records(0, &input);
-            let pass = Pass {
-                matrix: perm.matrix().clone(),
-                complement: perm.complement().clone(),
-                kind: PassKind::MldInverse,
-            };
-            let stats = execute_pass(&mut sys, 0, 1, &pass).unwrap();
-            assert_eq!(stats.ios.parallel_ios() as usize, g.ios_per_pass());
-            assert_eq!(
-                stats.ios.striped_writes, stats.ios.parallel_writes,
-                "MLD⁻¹ writes are striped"
-            );
-            let expect = reference_permute(&input, |x| perm.target(x));
-            assert_eq!(sys.dump_records(1), expect, "MLD⁻¹ misplaced records");
+            run_one_pass(&fwd.inverse(), PassKind::MldInverse);
         }
     }
 
@@ -400,6 +654,20 @@ mod tests {
         execute_pass(&mut sys, 0, 1, &pass).unwrap();
         let expect = reference_permute(&input, |x| perm.target(x));
         assert_eq!(sys.dump_records(1), expect);
+    }
+
+    #[test]
+    fn engine_matches_reference_all_kinds_and_modes() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let g = geom();
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let mrc = catalog::random_mrc(&mut rng, g.n(), g.m());
+            assert_matches_reference(&mrc, PassKind::Mrc, mode);
+            let mld = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            assert_matches_reference(&mld, PassKind::Mld, mode);
+            let inv = catalog::random_mld(&mut rng, g.n(), g.b(), g.m()).inverse();
+            assert_matches_reference(&inv, PassKind::MldInverse, mode);
+        }
     }
 
     #[test]

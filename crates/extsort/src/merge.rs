@@ -1,17 +1,28 @@
 //! Stripe-granular external merge sort.
 //!
-//! 1. **Run formation**: each memoryload is read (striped), sorted in
-//!    memory, and written back as a sorted run of `M` records — one
-//!    pass, `2N/BD` parallel I/Os.
+//! 1. **Run formation**: each memoryload streams through the shared
+//!    [`PassEngine`](pdm::PassEngine) — striped reads, in-memory sort,
+//!    striped writes back as a sorted run of `M` records — one pass,
+//!    `2N/BD` parallel I/Os. In [`pdm::ServiceMode::Threaded`] the
+//!    engine overlaps the reads of memoryload *k+1* with the sort of
+//!    memoryload *k*.
 //! 2. **Merge passes**: groups of up to `F = M/BD − 1` consecutive
 //!    runs are merged; each active run buffers one stripe and the
 //!    output buffers one stripe, so memory holds at most
 //!    `(F+1)·BD = M` records. Every transfer is a striped parallel
-//!    I/O; each pass costs exactly `2N/BD`.
+//!    I/O through a reusable stripe buffer
+//!    ([`pdm::DiskSystem::read_stripe_into`] — no per-refill
+//!    allocation); each pass costs exactly `2N/BD`.
+//!
+//!    (The merge keeps single-buffered cursors on purpose: prefetching
+//!    each run's next stripe would double the resident buffers to
+//!    `2F·BD > M` records and violate the memory model, so the
+//!    engine's overlap applies to run formation only.)
 //!
 //! Total: `(2N/BD)·(1 + ⌈log_F(N/M)⌉)` parallel I/Os.
 
-use pdm::{DiskSystem, IoStats, PdmError, Record};
+use pdm::engine::{ReadPlan, WritePlan};
+use pdm::{DiskSystem, IoStats, PassEngine, PdmError, Record};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -36,29 +47,43 @@ struct Run {
     end: usize, // exclusive, in stripes
 }
 
-/// One run being consumed during a merge: a one-stripe buffer plus the
-/// read cursor.
+/// One run being consumed during a merge: a reusable one-stripe buffer
+/// plus the read cursor.
 struct Cursor<R> {
     run: Run,
     next_stripe: usize,
     buf: Vec<R>,
+    /// Valid records in `buf` (0 until the first refill).
+    filled: usize,
     pos: usize,
 }
 
 impl<R: Record> Cursor<R> {
-    fn exhausted(&self) -> bool {
-        self.pos >= self.buf.len() && self.next_stripe >= self.run.end
+    fn new(run: Run, stripe_len: usize) -> Self {
+        Cursor {
+            run,
+            next_stripe: run.start,
+            buf: vec![R::default(); stripe_len],
+            filled: 0,
+            pos: 0,
+        }
     }
 
-    /// Refills the buffer if empty; returns false when the run is done.
+    fn exhausted(&self) -> bool {
+        self.pos >= self.filled && self.next_stripe >= self.run.end
+    }
+
+    /// Refills the buffer (in place, no allocation) if empty; returns
+    /// false when the run is done.
     fn ensure(&mut self, sys: &mut DiskSystem<R>, base: usize) -> Result<bool, PdmError> {
-        if self.pos < self.buf.len() {
+        if self.pos < self.filled {
             return Ok(true);
         }
         if self.next_stripe >= self.run.end {
             return Ok(false);
         }
-        self.buf = sys.read_stripe(base + self.next_stripe)?;
+        sys.read_stripe_into(base + self.next_stripe, &mut self.buf)?;
+        self.filled = self.buf.len();
         self.pos = 0;
         self.next_stripe += 1;
         Ok(true)
@@ -93,13 +118,18 @@ pub fn sort_by_key<R: Record>(
     }
     let before = sys.stats();
 
-    // --- Run formation: memoryload-sized sorted runs into portion 1.
+    // --- Run formation: memoryload-sized sorted runs into portion 1,
+    // streamed through the engine.
+    let mut engine: PassEngine<R> = PassEngine::new(geom);
+    engine.run_pass(
+        sys,
+        |ml| ReadPlan::Memoryload { portion: 0, ml },
+        |ml, records, _scratch| {
+            records.sort_unstable_by_key(|r| key(r));
+            WritePlan::Memoryload { portion: 1, ml }
+        },
+    )?;
     let spm = geom.stripes_per_memoryload();
-    for ml in 0..geom.memoryloads() {
-        let mut records = sys.read_memoryload(0, ml)?;
-        records.sort_unstable_by_key(key);
-        sys.write_memoryload(1, ml, &records)?;
-    }
     let mut runs: Vec<Run> = (0..geom.memoryloads())
         .map(|ml| Run {
             start: ml * spm,
@@ -110,13 +140,15 @@ pub fn sort_by_key<R: Record>(
     let mut passes = 1usize;
 
     // --- Merge passes.
+    let stripe_len = geom.block() * geom.disks();
+    let mut out: Vec<R> = Vec::with_capacity(stripe_len);
     while runs.len() > 1 {
         let dst = 1 - src;
         let mut next_runs: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(fan_in));
         for group in runs.chunks(fan_in) {
             let start = group[0].start;
             let end = group.last().unwrap().end;
-            merge_group(sys, src, dst, group, key)?;
+            merge_group(sys, src, dst, group, key, &mut out)?;
             next_runs.push(Run { start, end });
         }
         runs = next_runs;
@@ -133,13 +165,14 @@ pub fn sort_by_key<R: Record>(
 }
 
 /// Merges a group of consecutive runs from `src` into the same stripe
-/// range of `dst`.
+/// range of `dst`. `out` is the reusable one-stripe output buffer.
 fn merge_group<R: Record>(
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
     group: &[Run],
     key: impl Fn(&R) -> u64 + Copy,
+    out: &mut Vec<R>,
 ) -> Result<(), PdmError> {
     let geom = sys.geometry();
     let src_base = sys.portion_base(src);
@@ -148,12 +181,7 @@ fn merge_group<R: Record>(
 
     let mut cursors: Vec<Cursor<R>> = group
         .iter()
-        .map(|&run| Cursor {
-            run,
-            next_stripe: run.start,
-            buf: Vec::new(),
-            pos: 0,
-        })
+        .map(|&run| Cursor::new(run, stripe_len))
         .collect();
     // Heap of (key, cursor index); pull the global minimum, refilling
     // that cursor's stripe buffer on demand.
@@ -163,13 +191,13 @@ fn merge_group<R: Record>(
             heap.push(Reverse((key(c.peek()), i)));
         }
     }
-    let mut out: Vec<R> = Vec::with_capacity(stripe_len);
+    out.clear();
     let mut out_stripe = group[0].start;
     while let Some(Reverse((_, i))) = heap.pop() {
         let rec = cursors[i].pop();
         out.push(rec);
         if out.len() == stripe_len {
-            sys.write_stripe(dst_base + out_stripe, &out)?;
+            sys.write_stripe(dst_base + out_stripe, out)?;
             out_stripe += 1;
             out.clear();
         }
@@ -185,7 +213,7 @@ fn merge_group<R: Record>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdm::Geometry;
+    use pdm::{Geometry, ServiceMode};
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
@@ -207,6 +235,25 @@ mod tests {
         let out = sys.dump_records(report.final_portion);
         let expect: Vec<u64> = (0..g.records() as u64).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sorts_identically_threaded() {
+        let g = geom();
+        let mut rng = StdRng::seed_from_u64(103);
+        let mut records: Vec<u64> = (0..g.records() as u64).collect();
+        records.shuffle(&mut rng);
+        let run = |mode: ServiceMode| {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode);
+            sys.load_records(0, &records);
+            let report = sort_by_key(&mut sys, |&r| r).unwrap();
+            (report.total, sys.dump_records(report.final_portion))
+        };
+        let (serial_total, serial_out) = run(ServiceMode::Serial);
+        let (threaded_total, threaded_out) = run(ServiceMode::Threaded);
+        assert_eq!(serial_out, threaded_out);
+        assert_eq!(serial_total, threaded_total);
     }
 
     #[test]
@@ -275,7 +322,7 @@ mod tests {
         sys.load_records(0, &records);
         let report = sort_by_key(&mut sys, |&r| r).unwrap();
         let out = sys.dump_records(report.final_portion);
-        assert_eq!(out, (0..g.records() as u64).collect::<Vec<_>>());
+        assert_eq!(out, (0..g.records() as u64).collect::<Vec<u64>>());
     }
 
     #[test]

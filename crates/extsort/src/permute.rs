@@ -4,6 +4,12 @@
 //! To perform an arbitrary permutation `π`, tag each record with its
 //! target address `π(x)` and sort by the tag: the sorted order *is*
 //! the permuted order, because the tags are exactly `0..N`.
+//!
+//! The sort itself runs on the shared streaming machinery of
+//! `pdm::engine` (see [`crate::merge`]): run formation is a
+//! [`pdm::PassEngine`] pass, so with
+//! [`pdm::ServiceMode::Threaded`] the per-disk service threads
+//! prefetch the next memoryload while the current one is sorted.
 
 use crate::merge::{sort_by_key, SortReport};
 use pdm::{DiskSystem, PdmError, Record};

@@ -1,0 +1,640 @@
+//! The streaming pass engine: one memoryload at a time through memory,
+//! with double-buffered I/O overlap.
+//!
+//! Every algorithm in this workspace — the BMMC one-pass executors, the
+//! BPC baseline chunks, external-sort run formation — reduces to the
+//! same inner loop: stream the `N` records through memory one
+//! `M`-record *memoryload* at a time, rearrange in RAM, write back. The
+//! [`PassEngine`] is that loop, written once:
+//!
+//! * **reads** come from a [`ReadPlan`] per memoryload — either the
+//!   `M/BD` consecutive stripes of a source memoryload (striped reads)
+//!   or an arbitrary gather of independent block batches (the MLD⁻¹
+//!   discipline);
+//! * the caller's **transform** rearranges the `M` records in memory
+//!   (a scratch memoryload buffer is provided for out-of-place
+//!   scatters);
+//! * **writes** go out per the returned [`WritePlan`] — striped to a
+//!   target memoryload, or an independent scatter of block batches
+//!   (the MLD discipline).
+//!
+//! Costs are exactly those of the hand-written loops the engine
+//! replaces: each memoryload is read once and written once, so a full
+//! pass is `2N/BD` parallel I/Os, with the striped/independent split
+//! determined entirely by the plans. [`IoStats`](crate::IoStats) is
+//! charged through the ordinary [`DiskSystem`] accounting.
+//!
+//! # Overlap
+//!
+//! In [`ServiceMode::Threaded`] the engine runs split-phase: while the
+//! CPU transforms memoryload *k*, the per-disk service threads are
+//! already reading memoryload *k+1* and still draining the writes of
+//! memoryload *k−1*. Records move through the system's reusable block
+//! buffer pool instead of fresh allocations. In the synchronous service
+//! modes the engine degenerates to exactly the classic loop — same
+//! operations, same order, same operation numbering for
+//! [fault plans](crate::FaultPlan). (With overlap enabled the *set* of
+//! operations is identical but reads are issued one memoryload early,
+//! so fault-plan operation indices differ from the serial order. On
+//! *error* paths one further asymmetry exists in any mode: split-phase
+//! writes are charged at submission, so a pass aborted by a backend
+//! write failure has charged that operation where the classic loop
+//! would not — success-path statistics are always identical.)
+//!
+//! ```
+//! use pdm::{DiskSystem, Geometry};
+//! use pdm::engine::{PassEngine, ReadPlan, WritePlan};
+//!
+//! // Reverse the records of each memoryload, portion 0 → portion 1.
+//! let geom = Geometry::new(64, 2, 4, 16).unwrap();
+//! let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+//! sys.load_records(0, &(0..64).collect::<Vec<_>>());
+//! let mut engine = PassEngine::new(geom);
+//! engine
+//!     .run_pass(
+//!         &mut sys,
+//!         |ml| ReadPlan::Memoryload { portion: 0, ml },
+//!         |ml, data, _scratch| {
+//!             data.reverse();
+//!             WritePlan::Memoryload { portion: 1, ml }
+//!         },
+//!     )
+//!     .unwrap();
+//! assert_eq!(sys.stats().parallel_ios() as usize, geom.ios_per_pass());
+//! assert_eq!(sys.dump_records(1)[..16], (0..16).rev().collect::<Vec<u64>>());
+//! ```
+
+use crate::config::Geometry;
+use crate::error::Result;
+use crate::record::Record;
+use crate::system::{BlockRef, DiskSystem, ReadTicket, ServiceMode, WriteTicket};
+
+/// Where one memoryload's records come from.
+#[derive(Clone, Debug)]
+pub enum ReadPlan {
+    /// The `M/BD` consecutive stripes of memoryload `ml` in `portion`,
+    /// read with striped parallel I/Os.
+    Memoryload {
+        /// Source portion.
+        portion: usize,
+        /// Memoryload index within the portion.
+        ml: usize,
+    },
+    /// Independent block batches; each inner vector is one parallel I/O
+    /// of at most one block per disk. Batch `k`'s request `j` lands at
+    /// buffer offset `(sum of earlier batch sizes + j) · B`; the total
+    /// must be exactly `M` records. Block slots are absolute (include
+    /// the portion base).
+    Gather {
+        /// The batches, in issue order.
+        batches: Vec<Vec<BlockRef>>,
+    },
+}
+
+/// Where one memoryload's records go.
+#[derive(Clone, Debug)]
+pub enum WritePlan {
+    /// Striped writes to memoryload `ml` of `portion`.
+    Memoryload {
+        /// Target portion.
+        portion: usize,
+        /// Memoryload index within the portion.
+        ml: usize,
+    },
+    /// Independent block batches; batch `k`'s request `j` takes the
+    /// block at buffer offset `(sum of earlier batch sizes + j) · B`.
+    /// The total must be exactly `M` records. Slots are absolute.
+    Scatter {
+        /// The batches, in issue order.
+        batches: Vec<Vec<BlockRef>>,
+    },
+}
+
+/// The reusable streaming loop. Owns two `M`-record buffers (data and
+/// scratch) that persist across passes, so a multi-pass algorithm
+/// allocates its working memory once.
+pub struct PassEngine<R: Record> {
+    data: Vec<R>,
+    scratch: Vec<R>,
+}
+
+/// The reads for one memoryload, in whichever phase the service mode
+/// dictates: split-phase tickets already in flight (Threaded overlap),
+/// or a plan to execute directly into the memoryload buffer when its
+/// turn comes (synchronous modes — one copy, no staging buffers).
+enum PendingLoad<R: Record> {
+    /// One ticket per parallel I/O, each tagged with its destination
+    /// offset (in records) in the memoryload buffer.
+    Tickets(Vec<(usize, ReadTicket<R>)>),
+    /// Not yet issued; performed synchronously at collection time.
+    Plan(ReadPlan),
+}
+
+impl<R: Record> PassEngine<R> {
+    /// An engine for the given geometry. The transform sees one
+    /// memoryload plus an `M`-record scratch buffer, mirroring the
+    /// paper's in-memory rearrangement step. (The scratch buffer and
+    /// the overlap-mode staging blocks are simulator conveniences that
+    /// never change the charged I/O count; contrast the merge phase of
+    /// `extsort`, which stays single-buffered because widening *its*
+    /// working set would change the fan-in and hence the pass-count
+    /// formula being measured.)
+    pub fn new(geom: Geometry) -> Self {
+        PassEngine {
+            data: vec![R::default(); geom.memory()],
+            scratch: vec![R::default(); geom.memory()],
+        }
+    }
+
+    /// Streams every memoryload of the system through `transform`.
+    ///
+    /// `reads(t)` supplies the [`ReadPlan`] for memoryload `t`
+    /// (`t` in `0 .. N/M`); `transform(t, data, scratch)` rearranges
+    /// the `M` records (leaving the result in `data`, using `scratch`
+    /// freely) and returns the [`WritePlan`]. A pass costs exactly
+    /// `2N/BD` parallel I/Os.
+    ///
+    /// Contract for `reads`: it is called exactly once per memoryload,
+    /// in increasing order, but — when overlap is active — up to one
+    /// memoryload *ahead* of the corresponding `transform` call.
+    /// Plan-producing state shared with `transform` must therefore be
+    /// kept for two loads (e.g. indexed by `t % 2`).
+    ///
+    /// Hazard contract: memoryload `t+1`'s read plan must not touch
+    /// blocks that the write plans of memoryloads `t` or `t−1` write.
+    /// With overlap active those reads are submitted to the per-disk
+    /// queues *before* load `t`'s writes, so an overlapping plan would
+    /// silently read stale data in [`ServiceMode::Threaded`] while
+    /// appearing correct serially. Reading from one portion and
+    /// writing to a different one (what every pass in this workspace
+    /// does — `execute_pass` asserts `src != dst`) satisfies this by
+    /// construction.
+    ///
+    /// On error, all in-flight split-phase operations are drained and
+    /// their buffers returned to the system's pool before the error is
+    /// propagated.
+    pub fn run_pass<F, G>(
+        &mut self,
+        sys: &mut DiskSystem<R>,
+        mut reads: F,
+        mut transform: G,
+    ) -> Result<()>
+    where
+        F: FnMut(usize) -> ReadPlan,
+        G: FnMut(usize, &mut Vec<R>, &mut Vec<R>) -> WritePlan,
+    {
+        let mut pending_read: Option<PendingLoad<R>> = None;
+        let mut pending_writes: Vec<WriteTicket<R>> = Vec::new();
+        let result = self.run_pass_inner(
+            sys,
+            &mut pending_read,
+            &mut pending_writes,
+            &mut reads,
+            &mut transform,
+        );
+        if result.is_err() {
+            if let Some(PendingLoad::Tickets(tickets)) = pending_read.take() {
+                for (_, t) in tickets {
+                    sys.discard_read(t);
+                }
+            }
+            for t in pending_writes.drain(..) {
+                // Transfer errors here are masked by the original
+                // error; buffers are reclaimed either way.
+                let _ = sys.finish_write(t);
+            }
+        }
+        result
+    }
+
+    fn run_pass_inner<F, G>(
+        &mut self,
+        sys: &mut DiskSystem<R>,
+        pending_read: &mut Option<PendingLoad<R>>,
+        pending_writes: &mut Vec<WriteTicket<R>>,
+        reads: &mut F,
+        transform: &mut G,
+    ) -> Result<()>
+    where
+        F: FnMut(usize) -> ReadPlan,
+        G: FnMut(usize, &mut Vec<R>, &mut Vec<R>) -> WritePlan,
+    {
+        let geom = sys.geometry();
+        let loads = geom.memoryloads();
+        let mem = geom.memory();
+        assert!(
+            self.data.len() == mem && self.scratch.len() == mem,
+            "engine built for a different geometry"
+        );
+        // Overlap only pays (and only changes operation ordering) when
+        // the service threads can run transfers behind the CPU. In the
+        // synchronous modes the engine degenerates to the classic loop:
+        // plans execute directly into the memoryload buffer, in the
+        // classic operation order.
+        let overlap = sys.service_mode() == ServiceMode::Threaded;
+
+        *pending_read = Some(if overlap {
+            PendingLoad::Tickets(Self::issue_reads(sys, &geom, reads(0))?)
+        } else {
+            PendingLoad::Plan(reads(0))
+        });
+        for t in 0..loads {
+            let current = pending_read.take().expect("read pipeline primed");
+            Self::collect_reads(sys, &geom, current, &mut self.data)?;
+            if overlap && t + 1 < loads {
+                *pending_read = Some(PendingLoad::Tickets(Self::issue_reads(
+                    sys,
+                    &geom,
+                    reads(t + 1),
+                )?));
+            }
+            let wp = transform(t, &mut self.data, &mut self.scratch);
+            // Bound the write pipeline to one memoryload: drain the
+            // previous load's writes before issuing this load's.
+            Self::drain_writes(sys, pending_writes)?;
+            *pending_writes = Self::issue_writes(sys, &geom, wp, &self.data)?;
+            if !overlap && t + 1 < loads {
+                // Synchronous modes: keep the classic loop's operation
+                // order (write memoryload t, then read t+1).
+                Self::drain_writes(sys, pending_writes)?;
+                *pending_read = Some(PendingLoad::Plan(reads(t + 1)));
+            }
+        }
+        Self::drain_writes(sys, pending_writes)?;
+        Ok(())
+    }
+
+    /// Finishes every outstanding write ticket — even after one fails —
+    /// so their staging buffers always return to the pool; the first
+    /// error is reported.
+    fn drain_writes(sys: &mut DiskSystem<R>, pending: &mut Vec<WriteTicket<R>>) -> Result<()> {
+        let mut first_err = None;
+        for w in pending.drain(..) {
+            if let Err(e) = sys.finish_write(w) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn issue_reads(
+        sys: &mut DiskSystem<R>,
+        geom: &Geometry,
+        plan: ReadPlan,
+    ) -> Result<Vec<(usize, ReadTicket<R>)>> {
+        let block = geom.block();
+        let mut tickets = Vec::new();
+        let issue = |sys: &mut DiskSystem<R>,
+                     offset: usize,
+                     refs: &[BlockRef],
+                     tickets: &mut Vec<(usize, ReadTicket<R>)>|
+         -> Result<()> {
+            match sys.begin_read(refs) {
+                Ok(t) => {
+                    tickets.push((offset, t));
+                    Ok(())
+                }
+                Err(e) => {
+                    // Abort: reclaim the tickets issued so far.
+                    for (_, t) in tickets.drain(..) {
+                        sys.discard_read(t);
+                    }
+                    Err(e)
+                }
+            }
+        };
+        match plan {
+            ReadPlan::Memoryload { portion, ml } => {
+                let spm = geom.stripes_per_memoryload();
+                let stripe_len = block * geom.disks();
+                let base = sys.portion_base(portion) + ml * spm;
+                for s in 0..spm {
+                    let refs: Vec<BlockRef> = (0..geom.disks())
+                        .map(|disk| BlockRef {
+                            disk,
+                            slot: base + s,
+                        })
+                        .collect();
+                    issue(sys, s * stripe_len, &refs, &mut tickets)?;
+                }
+            }
+            ReadPlan::Gather { batches } => {
+                let mut offset = 0;
+                for refs in &batches {
+                    issue(sys, offset, refs, &mut tickets)?;
+                    offset += refs.len() * block;
+                }
+                assert_eq!(
+                    offset,
+                    geom.memory(),
+                    "gather plan must cover exactly one memoryload"
+                );
+            }
+        }
+        Ok(tickets)
+    }
+
+    /// Collects one memoryload into `out`: waits out in-flight tickets,
+    /// or executes a deferred plan directly (synchronous modes).
+    fn collect_reads(
+        sys: &mut DiskSystem<R>,
+        geom: &Geometry,
+        load: PendingLoad<R>,
+        out: &mut [R],
+    ) -> Result<()> {
+        let block = geom.block();
+        match load {
+            PendingLoad::Tickets(tickets) => {
+                let mut first_err = None;
+                for (offset, ticket) in tickets {
+                    let len = ticket.records(block);
+                    let r = sys.finish_read(ticket, &mut out[offset..offset + len]);
+                    if let Err(e) = r {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            PendingLoad::Plan(ReadPlan::Memoryload { portion, ml }) => {
+                sys.read_memoryload_into(portion, ml, out)
+            }
+            PendingLoad::Plan(ReadPlan::Gather { batches }) => {
+                let mut offset = 0;
+                for refs in &batches {
+                    let len = refs.len() * block;
+                    sys.read_blocks_into(refs, &mut out[offset..offset + len])?;
+                    offset += len;
+                }
+                assert_eq!(
+                    offset,
+                    geom.memory(),
+                    "gather plan must cover exactly one memoryload"
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn issue_writes(
+        sys: &mut DiskSystem<R>,
+        geom: &Geometry,
+        plan: WritePlan,
+        data: &[R],
+    ) -> Result<Vec<WriteTicket<R>>> {
+        let block = geom.block();
+        let mut tickets = Vec::new();
+        match plan {
+            WritePlan::Memoryload { portion, ml } => {
+                let spm = geom.stripes_per_memoryload();
+                let stripe_len = block * geom.disks();
+                let base = sys.portion_base(portion) + ml * spm;
+                for s in 0..spm {
+                    let refs: Vec<BlockRef> = (0..geom.disks())
+                        .map(|disk| BlockRef {
+                            disk,
+                            slot: base + s,
+                        })
+                        .collect();
+                    match sys.begin_write(&refs, &data[s * stripe_len..(s + 1) * stripe_len]) {
+                        Ok(t) => tickets.push(t),
+                        Err(e) => {
+                            for t in tickets {
+                                let _ = sys.finish_write(t);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            WritePlan::Scatter { batches } => {
+                let mut offset = 0;
+                for refs in &batches {
+                    let len = refs.len() * block;
+                    match sys.begin_write(refs, &data[offset..offset + len]) {
+                        Ok(t) => tickets.push(t),
+                        Err(e) => {
+                            for t in tickets {
+                                let _ = sys.finish_write(t);
+                            }
+                            return Err(e);
+                        }
+                    }
+                    offset += len;
+                }
+                assert_eq!(
+                    offset,
+                    geom.memory(),
+                    "scatter plan must cover exactly one memoryload"
+                );
+            }
+        }
+        Ok(tickets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::PdmError;
+
+    fn geom() -> Geometry {
+        // N=256, B=2, D=4, M=32: 32 stripes, 8 memoryloads.
+        Geometry::new(256, 2, 4, 32).unwrap()
+    }
+
+    fn identity_pass(sys: &mut DiskSystem<u64>, engine: &mut PassEngine<u64>) {
+        engine
+            .run_pass(
+                sys,
+                |ml| ReadPlan::Memoryload { portion: 0, ml },
+                |ml, _data, _scratch| WritePlan::Memoryload { portion: 1, ml },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn identity_pass_costs_one_pass_every_mode() {
+        for mode in [
+            ServiceMode::Serial,
+            ServiceMode::SpawnPerOp,
+            ServiceMode::Threaded,
+        ] {
+            let g = geom();
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode);
+            let input: Vec<u64> = (0..256).collect();
+            sys.load_records(0, &input);
+            let mut engine = PassEngine::new(g);
+            identity_pass(&mut sys, &mut engine);
+            assert_eq!(sys.dump_records(1), input, "mode {mode:?}");
+            let s = sys.stats();
+            assert_eq!(s.parallel_ios() as usize, g.ios_per_pass());
+            assert_eq!(s.striped_reads, s.parallel_reads);
+            assert_eq!(s.striped_writes, s.parallel_writes);
+            assert_eq!(sys.buffer_pool_stats().outstanding, 0);
+        }
+    }
+
+    #[test]
+    fn transform_and_scratch_swap() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &(0..256).collect::<Vec<_>>());
+        let mut engine = PassEngine::new(g);
+        engine
+            .run_pass(
+                &mut sys,
+                |ml| ReadPlan::Memoryload { portion: 0, ml },
+                |ml, data, scratch| {
+                    // Out-of-place reversal via scratch, then swap.
+                    for (i, &r) in data.iter().enumerate() {
+                        scratch[data.len() - 1 - i] = r;
+                    }
+                    std::mem::swap(data, scratch);
+                    WritePlan::Memoryload { portion: 1, ml }
+                },
+            )
+            .unwrap();
+        let out = sys.dump_records(1);
+        let mem = g.memory();
+        for ml in 0..g.memoryloads() {
+            let chunk = &out[ml * mem..(ml + 1) * mem];
+            let expect: Vec<u64> = ((ml * mem) as u64..((ml + 1) * mem) as u64).rev().collect();
+            assert_eq!(chunk, &expect[..]);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_plans_round_trip() {
+        // Gather reads the memoryload's stripes as explicit independent
+        // batches (same blocks, so the data round-trips), scatter
+        // writes them back likewise; both are classified independent
+        // only when not all slots align — here they do align, so this
+        // checks plan bookkeeping rather than classification.
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let input: Vec<u64> = (0..256).map(|i| i * 3).collect();
+        sys.load_records(0, &input);
+        let spm = g.stripes_per_memoryload();
+        let dst_base = sys.portion_base(1);
+        let mut engine = PassEngine::new(g);
+        engine
+            .run_pass(
+                &mut sys,
+                |ml| ReadPlan::Gather {
+                    batches: (0..spm)
+                        .map(|s| {
+                            (0..g.disks())
+                                .map(|disk| BlockRef {
+                                    disk,
+                                    slot: ml * spm + s,
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                },
+                |ml, _data, _scratch| WritePlan::Scatter {
+                    batches: (0..spm)
+                        .map(|s| {
+                            (0..g.disks())
+                                .map(|disk| BlockRef {
+                                    disk,
+                                    slot: dst_base + ml * spm + s,
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                },
+            )
+            .unwrap();
+        assert_eq!(sys.dump_records(1), input);
+        assert_eq!(sys.stats().parallel_ios() as usize, g.ios_per_pass());
+    }
+
+    #[test]
+    fn threaded_overlap_matches_serial_stats_and_output() {
+        let g = geom();
+        let input: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(17)).collect();
+        let run = |mode: ServiceMode| {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode);
+            sys.load_records(0, &input);
+            let mut engine = PassEngine::new(g);
+            engine
+                .run_pass(
+                    &mut sys,
+                    |ml| ReadPlan::Memoryload { portion: 0, ml },
+                    |ml, data, _| {
+                        data.rotate_left(3);
+                        WritePlan::Memoryload {
+                            portion: 1,
+                            ml: (ml + 1) % g.memoryloads(),
+                        }
+                    },
+                )
+                .unwrap();
+            (sys.stats(), sys.dump_records(1))
+        };
+        let (serial_stats, serial_out) = run(ServiceMode::Serial);
+        let (threaded_stats, threaded_out) = run(ServiceMode::Threaded);
+        assert_eq!(serial_stats, threaded_stats);
+        assert_eq!(serial_out, threaded_out);
+    }
+
+    #[test]
+    fn fault_aborts_cleanly_without_stranding_buffers() {
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let g = geom();
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode);
+            sys.load_records(0, &(0..256).collect::<Vec<_>>());
+            // Fault somewhere in the middle of the pass.
+            sys.set_faults(FaultPlan::new().fail_at(7, 1));
+            let mut engine = PassEngine::new(g);
+            let err = engine
+                .run_pass(
+                    &mut sys,
+                    |ml| ReadPlan::Memoryload { portion: 0, ml },
+                    |ml, _, _| WritePlan::Memoryload { portion: 1, ml },
+                )
+                .unwrap_err();
+            assert!(matches!(err, PdmError::Fault { .. }), "mode {mode:?}");
+            assert_eq!(
+                sys.buffer_pool_stats().outstanding,
+                0,
+                "engine abort stranded pooled buffers in mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_passes() {
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        let input: Vec<u64> = (0..256).collect();
+        sys.load_records(0, &input);
+        let mut engine = PassEngine::new(g);
+        identity_pass(&mut sys, &mut engine);
+        // Second pass back into portion 0, reusing the same buffers.
+        engine
+            .run_pass(
+                &mut sys,
+                |ml| ReadPlan::Memoryload { portion: 1, ml },
+                |ml, _d, _s| WritePlan::Memoryload { portion: 0, ml },
+            )
+            .unwrap();
+        assert_eq!(sys.dump_records(0), input);
+        assert_eq!(sys.stats().parallel_ios() as usize, 2 * g.ios_per_pass());
+    }
+}

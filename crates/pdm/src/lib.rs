@@ -16,7 +16,10 @@
 //!   file-backed storage, optional one-thread-per-disk servicing, and
 //!   deterministic fault injection;
 //! * [`Memory`] — the M-record internal memory with capacity
-//!   enforcement, plus in-place permutation by cycle-following.
+//!   enforcement, plus in-place permutation by cycle-following;
+//! * [`PassEngine`] — the shared streaming loop (read a memoryload,
+//!   rearrange in RAM, write it out) with double-buffered I/O overlap
+//!   on the persistent per-disk service threads.
 //!
 //! ```
 //! use pdm::{DiskSystem, Geometry};
@@ -31,6 +34,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod layout;
@@ -42,11 +46,12 @@ pub mod system;
 pub mod timing;
 
 pub use config::Geometry;
+pub use engine::{PassEngine, ReadPlan, WritePlan};
 pub use error::{PdmError, Result};
 pub use fault::FaultPlan;
 pub use layout::Layout;
 pub use memory::{permute_in_place, Memory};
 pub use record::{ByteRecord, Record, TaggedRecord};
 pub use stats::IoStats;
-pub use system::{BlockRef, DiskSystem};
+pub use system::{BlockRef, BufferPoolStats, DiskSystem, ReadTicket, ServiceMode, WriteTicket};
 pub use timing::{TimingModel, TimingTracker};

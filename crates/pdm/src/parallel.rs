@@ -1,31 +1,200 @@
-//! Concurrent servicing of a parallel I/O operation.
+//! Concurrent servicing of parallel I/O operations.
 //!
 //! A parallel I/O touches at most one block on each disk; the transfers
 //! are independent by construction, so they can be serviced by one
-//! thread per participating disk. For [`crate::backend::MemDisk`] this
-//! is pure overhead, but for [`crate::backend::FileDisk`] it overlaps
-//! real system calls exactly the way a hardware disk array would.
-//! The `DiskSystem` chooses between this path and a serial loop via
-//! [`crate::system::DiskSystem::set_threaded`].
+//! thread per participating disk. Two threaded disciplines exist:
+//!
+//! * [`DiskPool`] — **persistent** service threads, one per disk, fed
+//!   over channels. Commands carry owned block buffers (recycled by the
+//!   caller's buffer pool), so a transfer costs one channel round-trip
+//!   instead of a thread spawn. Because submission and completion are
+//!   decoupled, a caller can keep an operation in flight while it
+//!   computes — this is what the [`crate::engine`] pipeline uses to
+//!   overlap the permute of memoryload *k* with the reads of
+//!   memoryload *k+1*.
+//! * [`threaded_read`] / [`threaded_write`] — the legacy
+//!   spawn-per-operation discipline retained as
+//!   [`crate::system::ServiceMode::SpawnPerOp`] for comparison
+//!   benchmarks (`engine_sweep`): every parallel I/O pays `D` thread
+//!   spawns and joins.
+//!
+//! For [`crate::backend::MemDisk`] threading is pure overhead either
+//! way, but for [`crate::backend::FileDisk`] it overlaps real system
+//! calls exactly the way a hardware disk array would. The `DiskSystem`
+//! chooses the discipline via
+//! [`crate::system::DiskSystem::set_service_mode`].
 
 use crate::backend::DiskUnit;
 use crate::error::{PdmError, Result};
 use crate::record::Record;
 use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
 
-/// Reads one block from each `(disk, slot)` pair concurrently.
-/// `outs[i]` receives the block for request `i`; requests must address
-/// distinct disks.
+/// A command for one disk's service thread. Buffers travel by value:
+/// the worker fills (read) or drains (write) the buffer and sends it
+/// back in the [`Completion`], so the caller's pool can recycle it.
+pub enum Cmd<R: Record> {
+    /// Read block `slot` into `buf` and reply on `done`.
+    Read {
+        /// Block slot on this disk.
+        slot: usize,
+        /// Destination buffer, exactly one block long.
+        buf: Vec<R>,
+        /// Caller's request index, echoed in the completion.
+        idx: usize,
+        /// Completion channel.
+        done: Sender<Completion<R>>,
+    },
+    /// Write `buf` to block `slot` and reply on `done`.
+    Write {
+        /// Block slot on this disk.
+        slot: usize,
+        /// Source buffer, exactly one block long.
+        buf: Vec<R>,
+        /// Caller's request index, echoed in the completion.
+        idx: usize,
+        /// Completion channel.
+        done: Sender<Completion<R>>,
+    },
+    /// Shut the worker down (it returns its unit to the joiner).
+    Stop,
+}
+
+/// The result of one block transfer, carrying the buffer back for
+/// reuse.
+pub struct Completion<R> {
+    /// The request index from the [`Cmd`].
+    pub idx: usize,
+    /// The disk that serviced the request.
+    pub disk: usize,
+    /// The block buffer (filled with data for reads).
+    pub buf: Vec<R>,
+    /// Transfer outcome.
+    pub result: Result<()>,
+}
+
+/// Persistent per-disk service threads.
+///
+/// Each worker owns its [`DiskUnit`] for the pool's lifetime;
+/// [`DiskPool::into_units`] shuts the workers down and hands the units
+/// back (used when the [`crate::system::DiskSystem`] switches service
+/// modes).
+pub struct DiskPool<R: Record> {
+    senders: Vec<Sender<Cmd<R>>>,
+    joins: Vec<Option<JoinHandle<Box<dyn DiskUnit<R>>>>>,
+}
+
+impl<R: Record> DiskPool<R> {
+    /// Spawns one service thread per unit.
+    pub fn new(units: Vec<Box<dyn DiskUnit<R>>>) -> Self {
+        let mut senders = Vec::with_capacity(units.len());
+        let mut joins = Vec::with_capacity(units.len());
+        for (disk, mut unit) in units.into_iter().enumerate() {
+            let (tx, rx): (Sender<Cmd<R>>, Receiver<Cmd<R>>) = channel();
+            let join = std::thread::Builder::new()
+                .name(format!("pdm-disk-{disk}"))
+                .spawn(move || {
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            Cmd::Read {
+                                slot,
+                                mut buf,
+                                idx,
+                                done,
+                            } => {
+                                let result = unit.read(slot, &mut buf);
+                                let _ = done.send(Completion {
+                                    idx,
+                                    disk,
+                                    buf,
+                                    result,
+                                });
+                            }
+                            Cmd::Write {
+                                slot,
+                                buf,
+                                idx,
+                                done,
+                            } => {
+                                let result = unit.write(slot, &buf);
+                                let _ = done.send(Completion {
+                                    idx,
+                                    disk,
+                                    buf,
+                                    result,
+                                });
+                            }
+                            Cmd::Stop => break,
+                        }
+                    }
+                    unit
+                })
+                .expect("failed to spawn disk service thread");
+            senders.push(tx);
+            joins.push(Some(join));
+        }
+        DiskPool { senders, joins }
+    }
+
+    /// Number of disks (workers).
+    pub fn disks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Submits a command to `disk`'s worker. Non-blocking; the reply
+    /// arrives on the command's `done` channel.
+    pub fn submit(&self, disk: usize, cmd: Cmd<R>) {
+        self.senders[disk]
+            .send(cmd)
+            .expect("disk service thread terminated unexpectedly");
+    }
+
+    /// Shuts down the workers and returns their disk units in disk
+    /// order.
+    pub fn into_units(mut self) -> Vec<Box<dyn DiskUnit<R>>> {
+        for tx in &self.senders {
+            let _ = tx.send(Cmd::Stop);
+        }
+        self.joins
+            .iter_mut()
+            .map(|j| {
+                j.take()
+                    .expect("worker already joined")
+                    .join()
+                    .expect("disk service thread panicked")
+            })
+            .collect()
+    }
+}
+
+impl<R: Record> Drop for DiskPool<R> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for j in self.joins.iter_mut() {
+            if let Some(h) = j.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Reads one block from each `(disk, slot)` pair concurrently by
+/// spawning one short-lived thread per request (the legacy
+/// spawn-per-operation discipline). `outs[i]` receives the block for
+/// request `i`; requests must address distinct disks.
 pub fn threaded_read<R: Record>(
     units: &mut [Box<dyn DiskUnit<R>>],
     reqs: &[(usize, usize)],
-    outs: &mut [Vec<R>],
+    outs: Vec<&mut [R]>,
 ) -> Result<()> {
     debug_assert_eq!(reqs.len(), outs.len());
     // Scatter the per-request output buffers into disk-indexed slots so
     // each spawned thread gets a disjoint `&mut`.
-    let mut by_disk: Vec<Option<(usize, &mut Vec<R>)>> = (0..units.len()).map(|_| None).collect();
-    for (&(disk, slot), out) in reqs.iter().zip(outs.iter_mut()) {
+    let mut by_disk: Vec<Option<(usize, &mut [R])>> = (0..units.len()).map(|_| None).collect();
+    for (&(disk, slot), out) in reqs.iter().zip(outs) {
         by_disk[disk] = Some((slot, out));
     }
     let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
@@ -47,8 +216,9 @@ pub fn threaded_read<R: Record>(
     }
 }
 
-/// Writes one block to each `(disk, slot)` pair concurrently.
-/// Requests must address distinct disks.
+/// Writes one block to each `(disk, slot)` pair concurrently with one
+/// short-lived thread per request (legacy discipline). Requests must
+/// address distinct disks.
 pub fn threaded_write<R: Record>(
     units: &mut [Box<dyn DiskUnit<R>>],
     writes: &[(usize, usize, &[R])],
@@ -99,16 +269,91 @@ mod tests {
         threaded_write(&mut u, &writes).unwrap();
 
         let reqs: Vec<(usize, usize)> = (0..4).map(|d| (d, d % 4)).collect();
-        let mut outs: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 2]).collect();
-        threaded_read(&mut u, &reqs, &mut outs).unwrap();
-        assert_eq!(outs, data);
+        let mut flat = [0u64; 8];
+        threaded_read(&mut u, &reqs, flat.chunks_exact_mut(2).collect()).unwrap();
+        let got: Vec<Vec<u64>> = flat.chunks_exact(2).map(|c| c.to_vec()).collect();
+        assert_eq!(got, data);
     }
 
     #[test]
     fn threaded_read_propagates_errors() {
         let mut u = units(2, 2, 2);
         let reqs = [(0usize, 5usize)]; // out of range
-        let mut outs = vec![vec![0u64; 2]];
-        assert!(threaded_read(&mut u, &reqs, &mut outs).is_err());
+        let mut out = vec![0u64; 2];
+        assert!(threaded_read(&mut u, &reqs, vec![out.as_mut_slice()]).is_err());
+    }
+
+    #[test]
+    fn pool_round_trip_and_unit_recovery() {
+        let pool = DiskPool::new(units(2, 4, 4));
+        assert_eq!(pool.disks(), 4);
+        // Write a distinct block to each disk, all in flight at once.
+        let (tx, rx) = channel();
+        for d in 0..4usize {
+            pool.submit(
+                d,
+                Cmd::Write {
+                    slot: d,
+                    buf: vec![d as u64 * 10, d as u64 * 10 + 1],
+                    idx: d,
+                    done: tx.clone(),
+                },
+            );
+        }
+        for _ in 0..4 {
+            let c = rx.recv().unwrap();
+            c.result.unwrap();
+        }
+        // Read them back concurrently.
+        for d in 0..4usize {
+            pool.submit(
+                d,
+                Cmd::Read {
+                    slot: d,
+                    buf: vec![0u64; 2],
+                    idx: d,
+                    done: tx.clone(),
+                },
+            );
+        }
+        let mut got = vec![Vec::new(); 4];
+        for _ in 0..4 {
+            let c = rx.recv().unwrap();
+            c.result.unwrap();
+            assert_eq!(c.idx, c.disk);
+            got[c.idx] = c.buf;
+        }
+        for (d, blk) in got.iter().enumerate() {
+            assert_eq!(blk, &vec![d as u64 * 10, d as u64 * 10 + 1]);
+        }
+        // Workers hand their units back intact.
+        let mut recovered = pool.into_units();
+        let mut out = [0u64; 2];
+        recovered[3].read(3, &mut out).unwrap();
+        assert_eq!(out, [30, 31]);
+    }
+
+    #[test]
+    fn pool_propagates_unit_errors_with_buffer() {
+        let pool = DiskPool::new(units(2, 2, 1));
+        let (tx, rx) = channel();
+        pool.submit(
+            0,
+            Cmd::Read {
+                slot: 9, // out of range
+                buf: vec![0u64; 2],
+                idx: 0,
+                done: tx,
+            },
+        );
+        let c = rx.recv().unwrap();
+        assert!(c.result.is_err());
+        assert_eq!(c.buf.len(), 2, "buffer must come back even on error");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = DiskPool::new(units(2, 2, 3));
+        drop(pool); // must not hang or leak threads
     }
 }

@@ -19,17 +19,35 @@
 //! records from one set of N/BD stripes to a different set" (Section 3)
 //! use portion 0 as the source and portion 1 as the target, swapping
 //! roles between passes.
+//!
+//! # Service modes and the streaming fast path
+//!
+//! How a parallel I/O is physically serviced is orthogonal to how it is
+//! charged; [`ServiceMode`] selects among a serial loop, the legacy
+//! spawn-per-operation threads, and persistent per-disk service threads
+//! ([`crate::parallel::DiskPool`]). In [`ServiceMode::Threaded`] the
+//! system additionally supports *split-phase* operations
+//! ([`DiskSystem::begin_read`] / [`DiskSystem::finish_read`] and the
+//! write duals): the operation is validated, charged, and submitted to
+//! the service threads immediately, and the caller collects the data
+//! later — the [`crate::engine::PassEngine`] uses this to overlap disk
+//! transfers with in-memory permutation. Split-phase operations move
+//! data through a pool of reusable block buffers
+//! ([`DiskSystem::buffer_pool_stats`]) instead of fresh allocations;
+//! every code path, including fault-injection errors, must return its
+//! blocks to the pool.
 
 use crate::backend::{DiskUnit, FileDisk, MemDisk};
 use crate::config::Geometry;
 use crate::error::{PdmError, Result};
 use crate::fault::FaultPlan;
 use crate::layout::Layout;
-use crate::parallel::{threaded_read, threaded_write};
+use crate::parallel::{threaded_read, threaded_write, Cmd, Completion, DiskPool};
 use crate::record::{ByteRecord, Record};
 use crate::stats::IoStats;
 use crate::timing::{TimingModel, TimingTracker};
 use std::path::Path;
+use std::sync::mpsc::{channel, Receiver};
 
 /// A reference to one block: disk number and block slot on that disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -40,16 +58,147 @@ pub struct BlockRef {
     pub slot: usize,
 }
 
+/// How parallel I/O operations are physically serviced. The charged
+/// cost ([`IoStats`]) is identical in every mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// One thread services all participating disks in sequence.
+    #[default]
+    Serial,
+    /// Legacy threading: spawn one short-lived thread per disk per
+    /// operation. Retained for comparison benchmarks; superseded by
+    /// [`ServiceMode::Threaded`].
+    SpawnPerOp,
+    /// Persistent per-disk service threads with asynchronous
+    /// submission; enables the split-phase
+    /// [`DiskSystem::begin_read`]/[`DiskSystem::begin_write`] overlap.
+    Threaded,
+}
+
+/// The physical host of the disk units, per service mode.
+enum Service<R: Record> {
+    Serial(Vec<Box<dyn DiskUnit<R>>>),
+    SpawnPerOp(Vec<Box<dyn DiskUnit<R>>>),
+    Pooled(DiskPool<R>),
+}
+
+impl<R: Record> Service<R> {
+    fn mode(&self) -> ServiceMode {
+        match self {
+            Service::Serial(_) => ServiceMode::Serial,
+            Service::SpawnPerOp(_) => ServiceMode::SpawnPerOp,
+            Service::Pooled(_) => ServiceMode::Threaded,
+        }
+    }
+
+    fn into_units(self) -> Vec<Box<dyn DiskUnit<R>>> {
+        match self {
+            Service::Serial(u) | Service::SpawnPerOp(u) => u,
+            Service::Pooled(pool) => pool.into_units(),
+        }
+    }
+}
+
+/// Pool-accounting snapshot (see [`DiskSystem::buffer_pool_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Buffers sitting in the free list.
+    pub free: usize,
+    /// Buffers currently lent out (in flight or held by a ticket).
+    pub outstanding: usize,
+    /// Total buffers ever allocated. A steady-state workload should
+    /// stop growing this after warm-up; growth under errors indicates
+    /// a leak on an error path.
+    pub allocated: u64,
+}
+
+/// A recycling pool of block-sized record buffers.
+struct BlockPool<R> {
+    block: usize,
+    free: Vec<Vec<R>>,
+    outstanding: usize,
+    allocated: u64,
+}
+
+impl<R: Record> BlockPool<R> {
+    fn new(block: usize) -> Self {
+        BlockPool {
+            block,
+            free: Vec::new(),
+            outstanding: 0,
+            allocated: 0,
+        }
+    }
+
+    fn take(&mut self) -> Vec<R> {
+        self.outstanding += 1;
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => {
+                self.allocated += 1;
+                vec![R::default(); self.block]
+            }
+        }
+    }
+
+    fn put(&mut self, buf: Vec<R>) {
+        debug_assert_eq!(buf.len(), self.block, "foreign buffer returned to pool");
+        self.outstanding -= 1;
+        self.free.push(buf);
+    }
+
+    fn stats(&self) -> BufferPoolStats {
+        BufferPoolStats {
+            free: self.free.len(),
+            outstanding: self.outstanding,
+            allocated: self.allocated,
+        }
+    }
+}
+
+/// A split-phase parallel read in flight (see
+/// [`DiskSystem::begin_read`]). Must be resolved with
+/// [`DiskSystem::finish_read`] or [`DiskSystem::discard_read`]; simply
+/// dropping the ticket strands its pooled buffers.
+#[must_use = "resolve with finish_read/discard_read or the pooled buffers are stranded"]
+pub struct ReadTicket<R: Record> {
+    /// Completion channel (Threaded mode); `None` when the transfer
+    /// completed synchronously at `begin_read`.
+    rx: Option<Receiver<Completion<R>>>,
+    /// Outstanding completions on `rx`.
+    pending: usize,
+    /// Buffers already filled in request order (synchronous modes).
+    sync: Vec<Vec<R>>,
+    /// Requested disks in request order, for error attribution.
+    disks: Vec<usize>,
+}
+
+impl<R: Record> ReadTicket<R> {
+    /// Records transferred by this operation.
+    pub fn records(&self, block: usize) -> usize {
+        self.disks.len() * block
+    }
+}
+
+/// A split-phase parallel write in flight (see
+/// [`DiskSystem::begin_write`]). Must be resolved with
+/// [`DiskSystem::finish_write`].
+#[must_use = "resolve with finish_write or the staging buffers are stranded"]
+pub struct WriteTicket<R: Record> {
+    rx: Option<Receiver<Completion<R>>>,
+    pending: usize,
+}
+
 /// A simulated parallel disk system storing records of type `R`.
-pub struct DiskSystem<R> {
+pub struct DiskSystem<R: Record> {
     geom: Geometry,
     layout: Layout,
-    units: Vec<Box<dyn DiskUnit<R>>>,
+    service: Service<R>,
+    pool: BlockPool<R>,
     portions: usize,
     stats: IoStats,
     faults: FaultPlan,
     op_counter: u64,
-    threaded: bool,
     timing: Option<TimingTracker>,
     striped_only: bool,
 }
@@ -67,12 +216,12 @@ impl<R: Record> DiskSystem<R> {
         DiskSystem {
             geom,
             layout: Layout::new(&geom),
-            units,
+            service: Service::Serial(units),
+            pool: BlockPool::new(geom.block()),
             portions,
             stats: IoStats::default(),
             faults: FaultPlan::new(),
             op_counter: 0,
-            threaded: false,
             timing: None,
             striped_only: false,
         }
@@ -126,10 +275,43 @@ impl<R: Record> DiskSystem<R> {
         self.faults = plan;
     }
 
+    /// Selects how parallel I/Os are physically serviced. Charged costs
+    /// are identical in every mode; only wall-clock behaviour differs.
+    /// Switching modes drains any service threads first.
+    pub fn set_service_mode(&mut self, mode: ServiceMode) {
+        if self.service.mode() == mode {
+            return;
+        }
+        let placeholder = Service::Serial(Vec::new());
+        let units = std::mem::replace(&mut self.service, placeholder).into_units();
+        self.service = match mode {
+            ServiceMode::Serial => Service::Serial(units),
+            ServiceMode::SpawnPerOp => Service::SpawnPerOp(units),
+            ServiceMode::Threaded => Service::Pooled(DiskPool::new(units)),
+        };
+    }
+
+    /// The current service mode.
+    pub fn service_mode(&self) -> ServiceMode {
+        self.service.mode()
+    }
+
     /// Enables or disables threaded (one thread per disk) servicing of
-    /// parallel I/Os.
+    /// parallel I/Os. `true` selects [`ServiceMode::Threaded`]
+    /// (persistent service threads), `false` [`ServiceMode::Serial`].
     pub fn set_threaded(&mut self, on: bool) {
-        self.threaded = on;
+        self.set_service_mode(if on {
+            ServiceMode::Threaded
+        } else {
+            ServiceMode::Serial
+        });
+    }
+
+    /// Buffer-pool accounting for the split-phase paths. After every
+    /// completed (or failed) operation, `outstanding` counts only
+    /// buffers held by unresolved tickets.
+    pub fn buffer_pool_stats(&self) -> BufferPoolStats {
+        self.pool.stats()
     }
 
     /// Enables the optional service-time model ([`crate::timing`]);
@@ -181,7 +363,13 @@ impl<R: Record> DiskSystem<R> {
         refs.len() == self.geom.disks() && refs.windows(2).all(|w| w[0].slot == w[1].slot)
     }
 
-    fn check_faults(&mut self, refs: &[BlockRef]) -> Result<()> {
+    /// Validation common to every counted operation: model checks, then
+    /// the fault plan (which consumes one operation number).
+    fn admit(&mut self, refs: &[BlockRef]) -> Result<()> {
+        self.validate(refs.iter().copied())?;
+        if self.striped_only && !self.is_striped(refs) {
+            return Err(PdmError::StripedOnly);
+        }
         let op = self.op_counter;
         self.op_counter += 1;
         if let Some(disk) = self.faults.check(op, refs.iter().map(|r| r.disk)) {
@@ -190,48 +378,120 @@ impl<R: Record> DiskSystem<R> {
         Ok(())
     }
 
-    /// One parallel read: fetches each requested block (at most one per
-    /// disk). Returns the blocks in request order. Counts one parallel
-    /// I/O (zero if `refs` is empty).
-    pub fn read_blocks(&mut self, refs: &[BlockRef]) -> Result<Vec<Vec<R>>> {
-        if refs.is_empty() {
-            return Ok(Vec::new());
-        }
-        self.validate(refs.iter().copied())?;
-        if self.striped_only && !self.is_striped(refs) {
-            return Err(PdmError::StripedOnly);
-        }
-        self.check_faults(refs)?;
-        let block = self.geom.block();
-        let mut outs: Vec<Vec<R>> = refs.iter().map(|_| vec![R::default(); block]).collect();
-        if self.threaded && self.geom.disks() > 1 {
-            let reqs: Vec<(usize, usize)> = refs.iter().map(|r| (r.disk, r.slot)).collect();
-            threaded_read(&mut self.units, &reqs, &mut outs)?;
-        } else {
-            for (r, out) in refs.iter().zip(outs.iter_mut()) {
-                self.units[r.disk].read(r.slot, out).map_err(|e| match e {
-                    PdmError::OutOfRange {
-                        slot,
-                        slots_per_disk,
-                        ..
-                    } => PdmError::OutOfRange {
-                        disk: r.disk,
-                        slot,
-                        slots_per_disk,
-                    },
-                    other => other,
-                })?;
+    /// Charges one parallel I/O to the statistics and timing model.
+    fn charge(&mut self, refs: &[BlockRef], is_read: bool) {
+        if is_read {
+            self.stats.parallel_reads += 1;
+            self.stats.blocks_read += refs.len() as u64;
+            if self.is_striped(refs) {
+                self.stats.striped_reads += 1;
             }
-        }
-        self.stats.parallel_reads += 1;
-        self.stats.blocks_read += refs.len() as u64;
-        if self.is_striped(refs) {
-            self.stats.striped_reads += 1;
+        } else {
+            self.stats.parallel_writes += 1;
+            self.stats.blocks_written += refs.len() as u64;
+            if self.is_striped(refs) {
+                self.stats.striped_writes += 1;
+            }
         }
         if let Some(t) = self.timing.as_mut() {
             t.record(refs.iter().map(|r| (r.disk, r.slot)));
         }
-        Ok(outs)
+    }
+
+    fn fixup_disk(disk: usize, e: PdmError) -> PdmError {
+        match e {
+            PdmError::OutOfRange {
+                slot,
+                slots_per_disk,
+                ..
+            } => PdmError::OutOfRange {
+                disk,
+                slot,
+                slots_per_disk,
+            },
+            other => other,
+        }
+    }
+
+    /// One parallel read into a contiguous buffer: fetches each
+    /// requested block (at most one per disk) into
+    /// `out[i*B .. (i+1)*B]` in request order, with no allocation on
+    /// the serial path. Counts one parallel I/O (zero if `refs` is
+    /// empty).
+    pub fn read_blocks_into(&mut self, refs: &[BlockRef], out: &mut [R]) -> Result<()> {
+        if refs.is_empty() {
+            assert!(out.is_empty(), "output buffer for an empty request");
+            return Ok(());
+        }
+        let block = self.geom.block();
+        assert_eq!(
+            out.len(),
+            refs.len() * block,
+            "read_blocks_into requires {} records of output space",
+            refs.len() * block
+        );
+        self.admit(refs)?;
+        match &mut self.service {
+            Service::Serial(units) => {
+                for (r, chunk) in refs.iter().zip(out.chunks_exact_mut(block)) {
+                    units[r.disk]
+                        .read(r.slot, chunk)
+                        .map_err(|e| Self::fixup_disk(r.disk, e))?;
+                }
+            }
+            Service::SpawnPerOp(units) => {
+                let reqs: Vec<(usize, usize)> = refs.iter().map(|r| (r.disk, r.slot)).collect();
+                threaded_read(units, &reqs, out.chunks_exact_mut(block).collect())?;
+            }
+            Service::Pooled(pool) => {
+                let (tx, rx) = channel();
+                for (idx, r) in refs.iter().enumerate() {
+                    let buf = self.pool.take();
+                    pool.submit(
+                        r.disk,
+                        Cmd::Read {
+                            slot: r.slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        },
+                    );
+                }
+                drop(tx);
+                let mut first_err = None;
+                for _ in 0..refs.len() {
+                    let c = rx.recv().expect("disk service thread hung up");
+                    match c.result {
+                        Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
+                        Err(e) if first_err.is_none() => {
+                            first_err = Some(Self::fixup_disk(c.disk, e));
+                        }
+                        Err(_) => {}
+                    }
+                    // Pool hygiene: the buffer comes back on every path.
+                    self.pool.put(c.buf);
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+            }
+        }
+        self.charge(refs, true);
+        Ok(())
+    }
+
+    /// One parallel read: fetches each requested block (at most one per
+    /// disk). Returns the blocks in request order. Counts one parallel
+    /// I/O (zero if `refs` is empty). Allocating convenience wrapper
+    /// over [`DiskSystem::read_blocks_into`].
+    pub fn read_blocks(&mut self, refs: &[BlockRef]) -> Result<Vec<Vec<R>>> {
+        if refs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let block = self.geom.block();
+        let mut flat = vec![R::default(); refs.len() * block];
+        self.read_blocks_into(refs, &mut flat)?;
+        Ok(flat.chunks_exact(block).map(|c| c.to_vec()).collect())
     }
 
     /// One parallel write: stores each block (at most one per disk).
@@ -241,54 +501,312 @@ impl<R: Record> DiskSystem<R> {
         if writes.is_empty() {
             return Ok(());
         }
+        let block = self.geom.block();
         for (_, data) in writes {
             assert_eq!(
                 data.len(),
-                self.geom.block(),
-                "write_blocks requires full {}-record blocks",
-                self.geom.block()
+                block,
+                "write_blocks requires full {block}-record blocks"
             );
         }
         let refs: Vec<BlockRef> = writes.iter().map(|(r, _)| *r).collect();
-        self.validate(refs.iter().copied())?;
-        if self.striped_only && !self.is_striped(&refs) {
-            return Err(PdmError::StripedOnly);
-        }
-        self.check_faults(&refs)?;
-        if self.threaded && self.geom.disks() > 1 {
-            let reqs: Vec<(usize, usize, &[R])> = writes
-                .iter()
-                .map(|(r, data)| (r.disk, r.slot, *data))
-                .collect();
-            threaded_write(&mut self.units, &reqs)?;
-        } else {
-            for (r, data) in writes {
-                self.units[r.disk].write(r.slot, data)?;
+        self.admit(&refs)?;
+        match &mut self.service {
+            Service::Serial(units) => {
+                for (r, data) in writes {
+                    units[r.disk]
+                        .write(r.slot, data)
+                        .map_err(|e| Self::fixup_disk(r.disk, e))?;
+                }
+            }
+            Service::SpawnPerOp(units) => {
+                let reqs: Vec<(usize, usize, &[R])> = writes
+                    .iter()
+                    .map(|(r, data)| (r.disk, r.slot, *data))
+                    .collect();
+                threaded_write(units, &reqs)?;
+            }
+            Service::Pooled(pool) => {
+                let (tx, rx) = channel();
+                for (idx, (r, data)) in writes.iter().enumerate() {
+                    let mut buf = self.pool.take();
+                    buf.copy_from_slice(data);
+                    pool.submit(
+                        r.disk,
+                        Cmd::Write {
+                            slot: r.slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        },
+                    );
+                }
+                drop(tx);
+                let mut first_err = None;
+                for _ in 0..writes.len() {
+                    let c = rx.recv().expect("disk service thread hung up");
+                    if let Err(e) = c.result {
+                        if first_err.is_none() {
+                            first_err = Some(Self::fixup_disk(c.disk, e));
+                        }
+                    }
+                    self.pool.put(c.buf);
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
             }
         }
-        self.stats.parallel_writes += 1;
-        self.stats.blocks_written += writes.len() as u64;
-        if self.is_striped(&refs) {
-            self.stats.striped_writes += 1;
-        }
-        if let Some(t) = self.timing.as_mut() {
-            t.record(refs.iter().map(|r| (r.disk, r.slot)));
-        }
+        self.charge(&refs, false);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Split-phase operations (the engine's overlap path).
+
+    /// Begins one parallel read. The operation is validated, charged,
+    /// and submitted immediately; in [`ServiceMode::Threaded`] the
+    /// transfer proceeds on the service threads while the caller
+    /// computes, in the synchronous modes it completes before this
+    /// returns. Resolve with [`DiskSystem::finish_read`] (or
+    /// [`DiskSystem::discard_read`] on an abort path).
+    ///
+    /// Unlike the all-at-once operations, a split-phase operation is
+    /// charged at submission: a transfer that later fails has still
+    /// been issued against the model.
+    pub fn begin_read(&mut self, refs: &[BlockRef]) -> Result<ReadTicket<R>> {
+        let block = self.geom.block();
+        if refs.is_empty() {
+            return Ok(ReadTicket {
+                rx: None,
+                pending: 0,
+                sync: Vec::new(),
+                disks: Vec::new(),
+            });
+        }
+        self.admit(refs)?;
+        self.charge(refs, true);
+        let disks: Vec<usize> = refs.iter().map(|r| r.disk).collect();
+        match &mut self.service {
+            Service::Pooled(pool) => {
+                let (tx, rx) = channel();
+                for (idx, r) in refs.iter().enumerate() {
+                    let buf = self.pool.take();
+                    pool.submit(
+                        r.disk,
+                        Cmd::Read {
+                            slot: r.slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        },
+                    );
+                }
+                Ok(ReadTicket {
+                    rx: Some(rx),
+                    pending: refs.len(),
+                    sync: Vec::new(),
+                    disks,
+                })
+            }
+            Service::Serial(units) | Service::SpawnPerOp(units) => {
+                // Synchronous fallback: transfer now into pooled
+                // buffers; `finish_read` just copies out.
+                let mut sync = Vec::with_capacity(refs.len());
+                for r in refs {
+                    let mut buf = self.pool.take();
+                    match units[r.disk].read(r.slot, &mut buf) {
+                        Ok(()) => sync.push(buf),
+                        Err(e) => {
+                            // Pool hygiene on the error path.
+                            self.pool.put(buf);
+                            for b in sync {
+                                self.pool.put(b);
+                            }
+                            return Err(Self::fixup_disk(r.disk, e));
+                        }
+                    }
+                }
+                debug_assert_eq!(block, sync[0].len());
+                Ok(ReadTicket {
+                    rx: None,
+                    pending: 0,
+                    sync,
+                    disks,
+                })
+            }
+        }
+    }
+
+    /// Completes a split-phase read, copying block `i` of the request
+    /// into `out[i*B .. (i+1)*B]` and recycling the transfer buffers.
+    /// On error every buffer is still reclaimed.
+    pub fn finish_read(&mut self, ticket: ReadTicket<R>, out: &mut [R]) -> Result<()> {
+        let block = self.geom.block();
+        assert_eq!(
+            out.len(),
+            ticket.disks.len() * block,
+            "finish_read requires {} records of output space",
+            ticket.disks.len() * block
+        );
+        let ReadTicket {
+            rx, pending, sync, ..
+        } = ticket;
+        let mut first_err = None;
+        if let Some(rx) = rx {
+            for _ in 0..pending {
+                let c = rx.recv().expect("disk service thread hung up");
+                match c.result {
+                    Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
+                    Err(e) if first_err.is_none() => {
+                        first_err = Some(Self::fixup_disk(c.disk, e));
+                    }
+                    Err(_) => {}
+                }
+                self.pool.put(c.buf);
+            }
+        } else {
+            for (i, buf) in sync.into_iter().enumerate() {
+                out[i * block..(i + 1) * block].copy_from_slice(&buf);
+                self.pool.put(buf);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Abandons a split-phase read (abort path): waits out the
+    /// transfers, discards the data, and reclaims every buffer.
+    pub fn discard_read(&mut self, ticket: ReadTicket<R>) {
+        let ReadTicket {
+            rx, pending, sync, ..
+        } = ticket;
+        if let Some(rx) = rx {
+            for _ in 0..pending {
+                let c = rx.recv().expect("disk service thread hung up");
+                self.pool.put(c.buf);
+            }
+        } else {
+            for buf in sync {
+                self.pool.put(buf);
+            }
+        }
+    }
+
+    /// Begins one parallel write from a contiguous buffer: block `i` of
+    /// the request is taken from `data[i*B .. (i+1)*B]`. The data is
+    /// staged into pooled buffers, so `data` is reusable as soon as
+    /// this returns. Charged at submission; resolve with
+    /// [`DiskSystem::finish_write`].
+    pub fn begin_write(&mut self, refs: &[BlockRef], data: &[R]) -> Result<WriteTicket<R>> {
+        let block = self.geom.block();
+        if refs.is_empty() {
+            return Ok(WriteTicket {
+                rx: None,
+                pending: 0,
+            });
+        }
+        assert_eq!(
+            data.len(),
+            refs.len() * block,
+            "begin_write requires {} records of data",
+            refs.len() * block
+        );
+        self.admit(refs)?;
+        self.charge(refs, false);
+        match &mut self.service {
+            Service::Pooled(pool) => {
+                let (tx, rx) = channel();
+                for (idx, r) in refs.iter().enumerate() {
+                    let mut buf = self.pool.take();
+                    buf.copy_from_slice(&data[idx * block..(idx + 1) * block]);
+                    pool.submit(
+                        r.disk,
+                        Cmd::Write {
+                            slot: r.slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        },
+                    );
+                }
+                Ok(WriteTicket {
+                    rx: Some(rx),
+                    pending: refs.len(),
+                })
+            }
+            Service::Serial(units) => {
+                for (i, r) in refs.iter().enumerate() {
+                    units[r.disk]
+                        .write(r.slot, &data[i * block..(i + 1) * block])
+                        .map_err(|e| Self::fixup_disk(r.disk, e))?;
+                }
+                Ok(WriteTicket {
+                    rx: None,
+                    pending: 0,
+                })
+            }
+            Service::SpawnPerOp(units) => {
+                let reqs: Vec<(usize, usize, &[R])> = refs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.disk, r.slot, &data[i * block..(i + 1) * block]))
+                    .collect();
+                threaded_write(units, &reqs)?;
+                Ok(WriteTicket {
+                    rx: None,
+                    pending: 0,
+                })
+            }
+        }
+    }
+
+    /// Completes a split-phase write, reclaiming the staging buffers
+    /// and surfacing any transfer error.
+    pub fn finish_write(&mut self, ticket: WriteTicket<R>) -> Result<()> {
+        let WriteTicket { rx, pending } = ticket;
+        let mut first_err = None;
+        if let Some(rx) = rx {
+            for _ in 0..pending {
+                let c = rx.recv().expect("disk service thread hung up");
+                if let Err(e) = c.result {
+                    if first_err.is_none() {
+                        first_err = Some(Self::fixup_disk(c.disk, e));
+                    }
+                }
+                self.pool.put(c.buf);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Striped convenience layers.
+
+    fn stripe_refs(&self, slot: usize) -> Vec<BlockRef> {
+        (0..self.geom.disks())
+            .map(|disk| BlockRef { disk, slot })
+            .collect()
+    }
+
+    /// Striped read of the stripe at `slot` into `out` (`B·D` records
+    /// in address order), with no per-block allocation.
+    pub fn read_stripe_into(&mut self, slot: usize, out: &mut [R]) -> Result<()> {
+        let refs = self.stripe_refs(slot);
+        self.read_blocks_into(&refs, out)
     }
 
     /// Striped read of the stripe at `slot`: the `D` blocks at the same
     /// location on every disk, concatenated in disk order (which is
     /// record-address order within the stripe).
     pub fn read_stripe(&mut self, slot: usize) -> Result<Vec<R>> {
-        let refs: Vec<BlockRef> = (0..self.geom.disks())
-            .map(|disk| BlockRef { disk, slot })
-            .collect();
-        let blocks = self.read_blocks(&refs)?;
-        let mut out = Vec::with_capacity(self.geom.block() * self.geom.disks());
-        for b in blocks {
-            out.extend_from_slice(&b);
-        }
+        let mut out = vec![R::default(); self.geom.block() * self.geom.disks()];
+        self.read_stripe_into(slot, &mut out)?;
         Ok(out)
     }
 
@@ -309,16 +827,32 @@ impl<R: Record> DiskSystem<R> {
         self.write_blocks(&writes)
     }
 
+    /// Reads memoryload `ml` of a portion into `out` (`M` records in
+    /// address order) with `M/BD` striped reads and no per-block
+    /// allocation.
+    pub fn read_memoryload_into(&mut self, portion: usize, ml: usize, out: &mut [R]) -> Result<()> {
+        assert_eq!(
+            out.len(),
+            self.geom.memory(),
+            "read_memoryload_into requires a full memoryload of {} records",
+            self.geom.memory()
+        );
+        let spm = self.geom.stripes_per_memoryload();
+        let stripe_len = self.geom.block() * self.geom.disks();
+        let base = self.portion_base(portion) + ml * spm;
+        for (t, chunk) in out.chunks_exact_mut(stripe_len).enumerate() {
+            self.read_stripe_into(base + t, chunk)?;
+        }
+        debug_assert_eq!(spm * stripe_len, self.geom.memory());
+        Ok(())
+    }
+
     /// Reads memoryload `ml` of a portion: its `M/BD` consecutive
     /// stripes, returned as `M` records in address order. Costs `M/BD`
     /// parallel (striped) reads.
     pub fn read_memoryload(&mut self, portion: usize, ml: usize) -> Result<Vec<R>> {
-        let spm = self.geom.stripes_per_memoryload();
-        let base = self.portion_base(portion) + ml * spm;
-        let mut out = Vec::with_capacity(self.geom.memory());
-        for t in 0..spm {
-            out.extend(self.read_stripe(base + t)?);
-        }
+        let mut out = vec![R::default(); self.geom.memory()];
+        self.read_memoryload_into(portion, ml, &mut out)?;
         Ok(out)
     }
 
@@ -338,6 +872,59 @@ impl<R: Record> DiskSystem<R> {
             self.write_stripe(base + t, chunk)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Uncounted direct access (setup / verification / observation).
+
+    /// Reads one block directly, bypassing the model (no I/O charged).
+    fn unit_read(&mut self, disk: usize, slot: usize, out: &mut [R]) -> Result<()> {
+        match &mut self.service {
+            Service::Serial(units) | Service::SpawnPerOp(units) => units[disk].read(slot, out),
+            Service::Pooled(pool) => {
+                let buf = self.pool.take();
+                let (tx, rx) = channel();
+                pool.submit(
+                    disk,
+                    Cmd::Read {
+                        slot,
+                        buf,
+                        idx: 0,
+                        done: tx,
+                    },
+                );
+                let c = rx.recv().expect("disk service thread hung up");
+                if c.result.is_ok() {
+                    out.copy_from_slice(&c.buf);
+                }
+                self.pool.put(c.buf);
+                c.result
+            }
+        }
+    }
+
+    /// Writes one block directly, bypassing the model (no I/O charged).
+    fn unit_write(&mut self, disk: usize, slot: usize, data: &[R]) -> Result<()> {
+        match &mut self.service {
+            Service::Serial(units) | Service::SpawnPerOp(units) => units[disk].write(slot, data),
+            Service::Pooled(pool) => {
+                let mut buf = self.pool.take();
+                buf.copy_from_slice(data);
+                let (tx, rx) = channel();
+                pool.submit(
+                    disk,
+                    Cmd::Write {
+                        slot,
+                        buf,
+                        idx: 0,
+                        done: tx,
+                    },
+                );
+                let c = rx.recv().expect("disk service thread hung up");
+                self.pool.put(c.buf);
+                c.result
+            }
+        }
     }
 
     /// Translates a record address within a portion to its block
@@ -363,10 +950,10 @@ impl<R: Record> DiskSystem<R> {
         );
         let base = self.portion_base(portion);
         let stripe_len = self.geom.block() * self.geom.disks();
+        let block = self.geom.block();
         for (t, stripe) in records.chunks_exact(stripe_len).enumerate() {
-            for (disk, chunk) in stripe.chunks_exact(self.geom.block()).enumerate() {
-                self.units[disk]
-                    .write(base + t, chunk)
+            for (disk, chunk) in stripe.chunks_exact(block).enumerate() {
+                self.unit_write(disk, base + t, chunk)
                     .expect("load_records within capacity");
             }
         }
@@ -380,8 +967,7 @@ impl<R: Record> DiskSystem<R> {
         let mut buf = vec![R::default(); self.geom.block()];
         for t in 0..self.geom.stripes() {
             for disk in 0..self.geom.disks() {
-                self.units[disk]
-                    .read(base + t, &mut buf)
+                self.unit_read(disk, base + t, &mut buf)
                     .expect("dump_records within capacity");
                 out.extend_from_slice(&buf);
             }
@@ -393,8 +979,7 @@ impl<R: Record> DiskSystem<R> {
     /// potential-function tracker to observe state between operations.
     pub fn peek_block(&mut self, r: BlockRef) -> Vec<R> {
         let mut buf = vec![R::default(); self.geom.block()];
-        self.units[r.disk]
-            .read(r.slot, &mut buf)
+        self.unit_read(r.disk, r.slot, &mut buf)
             .expect("peek_block within capacity");
         buf
     }
@@ -415,12 +1000,12 @@ impl<R: Record + ByteRecord> DiskSystem<R> {
         Ok(DiskSystem {
             geom,
             layout: Layout::new(&geom),
-            units,
+            service: Service::Serial(units),
+            pool: BlockPool::new(geom.block()),
             portions,
             stats: IoStats::default(),
             faults: FaultPlan::new(),
             op_counter: 0,
-            threaded: false,
             timing: None,
             striped_only: false,
         })
@@ -588,16 +1173,33 @@ mod tests {
         let records: Vec<u64> = (0..256).collect();
         let mut serial = DiskSystem::<u64>::new_mem(g, 1);
         serial.load_records(0, &records);
-        let mut threaded = DiskSystem::<u64>::new_mem(g, 1);
-        threaded.set_threaded(true);
-        threaded.load_records(0, &records);
-        for slot in 0..g.stripes() {
-            assert_eq!(
-                serial.read_stripe(slot).unwrap(),
-                threaded.read_stripe(slot).unwrap()
-            );
+        for mode in [ServiceMode::SpawnPerOp, ServiceMode::Threaded] {
+            let mut threaded = DiskSystem::<u64>::new_mem(g, 1);
+            threaded.set_service_mode(mode);
+            assert_eq!(threaded.service_mode(), mode);
+            threaded.load_records(0, &records);
+            serial.reset_stats();
+            for slot in 0..g.stripes() {
+                assert_eq!(
+                    serial.read_stripe(slot).unwrap(),
+                    threaded.read_stripe(slot).unwrap()
+                );
+            }
+            assert_eq!(serial.stats(), threaded.stats());
         }
-        assert_eq!(serial.stats(), threaded.stats());
+    }
+
+    #[test]
+    fn service_mode_switch_preserves_data() {
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).map(|i| i * 7).collect();
+        sys.load_records(0, &records);
+        sys.set_service_mode(ServiceMode::Threaded);
+        assert_eq!(sys.dump_records(0), records);
+        sys.set_service_mode(ServiceMode::SpawnPerOp);
+        assert_eq!(sys.dump_records(0), records);
+        sys.set_service_mode(ServiceMode::Serial);
+        assert_eq!(sys.dump_records(0), records);
     }
 
     #[test]
@@ -605,7 +1207,108 @@ mod tests {
         let mut sys = small();
         assert!(sys.read_blocks(&[]).unwrap().is_empty());
         sys.write_blocks(&[]).unwrap();
+        let t = sys.begin_read(&[]).unwrap();
+        sys.finish_read(t, &mut []).unwrap();
+        let t = sys.begin_write(&[], &[]).unwrap();
+        sys.finish_write(t).unwrap();
         assert_eq!(sys.stats().parallel_ios(), 0);
+    }
+
+    #[test]
+    fn split_phase_round_trip_all_modes() {
+        for mode in [
+            ServiceMode::Serial,
+            ServiceMode::SpawnPerOp,
+            ServiceMode::Threaded,
+        ] {
+            let mut sys = small();
+            sys.set_service_mode(mode);
+            let records: Vec<u64> = (0..64).collect();
+            sys.load_records(0, &records);
+            // Overlapped read of stripes 0 and 1.
+            let t0 = sys.begin_read(&sys.stripe_refs(0)).unwrap();
+            let t1 = sys.begin_read(&sys.stripe_refs(1)).unwrap();
+            let mut s0 = vec![0u64; 8];
+            let mut s1 = vec![0u64; 8];
+            sys.finish_read(t0, &mut s0).unwrap();
+            sys.finish_read(t1, &mut s1).unwrap();
+            assert_eq!(s0, (0..8).collect::<Vec<u64>>());
+            assert_eq!(s1, (8..16).collect::<Vec<u64>>());
+            // Split-phase write to portion 1, then verify.
+            let refs = sys.stripe_refs(sys.portion_base(1));
+            let w = sys.begin_write(&refs, &s1).unwrap();
+            sys.finish_write(w).unwrap();
+            assert_eq!(
+                sys.peek_block(BlockRef {
+                    disk: 0,
+                    slot: sys.portion_base(1)
+                }),
+                vec![8, 9]
+            );
+            let s = sys.stats();
+            assert_eq!(s.parallel_reads, 2);
+            assert_eq!(s.striped_reads, 2);
+            assert_eq!(s.parallel_writes, 1);
+            // All pooled buffers returned.
+            assert_eq!(sys.buffer_pool_stats().outstanding, 0, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn buffer_pool_recycles_on_fault_error_path() {
+        // Regression test: a fault-injection error must not strand
+        // pooled block buffers (the pool's `outstanding` count would
+        // creep up and every later operation would allocate afresh).
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let mut sys = small();
+            sys.set_service_mode(mode);
+            let records: Vec<u64> = (0..64).collect();
+            sys.load_records(0, &records);
+            // Warm the pool, then record its size.
+            let mut buf = vec![0u64; 8];
+            sys.read_stripe_into(0, &mut buf).unwrap();
+            let t = sys.begin_read(&sys.stripe_refs(1)).unwrap();
+            sys.finish_read(t, &mut buf).unwrap();
+            let warm = sys.buffer_pool_stats();
+            assert_eq!(warm.outstanding, 0);
+            // Every striped op from now on faults on disk 2.
+            let mut plan = FaultPlan::new();
+            for op in 2..32 {
+                plan = plan.fail_at(op, 2);
+            }
+            sys.set_faults(plan);
+            for _ in 0..10 {
+                assert!(matches!(
+                    sys.read_stripe_into(0, &mut buf),
+                    Err(PdmError::Fault { .. })
+                ));
+                assert!(matches!(
+                    sys.begin_read(&sys.stripe_refs(0)),
+                    Err(PdmError::Fault { .. })
+                ));
+                assert!(matches!(
+                    sys.begin_write(&sys.stripe_refs(8), &buf),
+                    Err(PdmError::Fault { .. })
+                ));
+            }
+            let after = sys.buffer_pool_stats();
+            assert_eq!(after.outstanding, 0, "buffers leaked in mode {mode:?}");
+            assert_eq!(
+                after.allocated, warm.allocated,
+                "faulted ops must not grow the pool (mode {mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn discard_read_reclaims_buffers() {
+        let mut sys = small();
+        sys.set_service_mode(ServiceMode::Threaded);
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        let t = sys.begin_read(&sys.stripe_refs(0)).unwrap();
+        sys.discard_read(t);
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0);
     }
 
     #[test]
