@@ -21,24 +21,40 @@
 //! and must charge the *identical* number of parallel I/Os — the model
 //! cost may not change, only the wall clock.
 //!
+//! Since PR 3 the document also carries a **fusion** section (multi-
+//! pass plans executed fused vs. unfused — the fused runs must charge
+//! strictly fewer parallel I/Os, exactly 2× fewer on fully-fusable
+//! chains, with identical final placement) and an **extsort** section
+//! (the memory-model-faithful single-buffered merge vs. the
+//! double-buffered variant with halved fan-in).
+//!
 //! ```text
 //! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
-//!   --quick        small sizes (CI smoke); emits only the "quick" section
-//!   --baseline     run full + quick and insist on the acceptance ratio
-//!   --out FILE     write the JSON document to FILE
-//!   --check FILE   compare this run's quick section against FILE's;
-//!                  exit 1 if the engine regressed >20% vs. the recorded
-//!                  speedup (rows whose recorded ratio is below the 1.5x
-//!                  acceptance bar are noise and not time-gated) or the
-//!                  parallel-I/O counts moved at all
+//!   --quick         small sizes (CI smoke); emits the "quick", "fusion",
+//!                   and "extsort" sections
+//!   --baseline      run full + quick and insist on the acceptance ratio
+//!   --out FILE      write the JSON document to FILE
+//!   --check FILE    compare this run's quick/fusion/extsort sections
+//!                   against FILE's; exit 1 if the engine regressed >20%
+//!                   vs. the recorded speedup (rows whose recorded ratio
+//!                   is below the 1.5x acceptance bar are noise and not
+//!                   time-gated) or any parallel-I/O count moved at all
+//!   --check-latest  like --check, against the newest BENCH_PR*.json in
+//!                   the working directory (per-PR bench trajectory)
 //! ```
 
+use bmmc::algorithm::{execute_passes, execute_passes_unfused};
+use bmmc::bpc_baseline::bpc_baseline_plan;
 use bmmc::catalog;
 use bmmc::factoring::{Pass, PassKind};
+use bmmc::fusion::fuse_passes;
 use bmmc::passes::{execute_pass, reference, reference_permute};
+use bmmc::Bmmc;
 use bmmc_bench::json::Json;
+use extsort::{sort_by_key_with, SortConfig};
 use pdm::{DiskSystem, Geometry, ServiceMode};
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -244,6 +260,268 @@ fn run_sweep(spec: &SweepSpec) -> (Vec<Row>, Json) {
     (rows, section)
 }
 
+/// One fusion workload: a named multi-pass plan on a geometry.
+struct FusionCase {
+    workload: &'static str,
+    geom: Geometry,
+    passes: Vec<Pass>,
+    expect: Vec<u64>,
+    /// True when the whole chain must fuse pairwise (exactly 2× fewer
+    /// I/Os).
+    fully_fusable: bool,
+}
+
+fn fusion_cases(lg_records: usize) -> Vec<FusionCase> {
+    let mut cases = Vec::new();
+    let pass_of = |perm: &Bmmc, kind: PassKind| Pass {
+        matrix: perm.matrix().clone(),
+        complement: perm.complement().clone(),
+        kind,
+    };
+
+    // Workload 1: the BPC baseline plan for bit reversal at a geometry
+    // with a narrow middle section (m − b = 3), so the exchange needs
+    // several chunks: 2k+1 planned passes fuse to k+1 steps.
+    {
+        let geom = Geometry::new(1 << lg_records, 1 << 6, 1 << 2, 1 << 9).expect("bpc geometry");
+        let perm = catalog::bit_reversal(geom.n());
+        let passes = bpc_baseline_plan(&perm, geom.b(), geom.m())
+            .expect("bit reversal is BPC")
+            .passes;
+        assert!(passes.len() >= 5, "want a multi-chunk baseline plan");
+        let input: Vec<u64> = (0..geom.records() as u64).collect();
+        let expect = reference_permute(&input, |x| perm.target(x));
+        cases.push(FusionCase {
+            workload: "bpc-baseline",
+            geom,
+            passes,
+            expect,
+            fully_fusable: false,
+        });
+    }
+
+    // Workload 2: an alternating MRC/MLD chain — every pair fuses by
+    // the discipline rule, so the fused run must charge exactly half.
+    {
+        let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 2, 1 << 12).expect("alt geometry");
+        let mut rng = StdRng::seed_from_u64(0xF05E);
+        let mut passes = Vec::new();
+        let mut composed = Bmmc::identity(geom.n());
+        for _ in 0..3 {
+            let mrc = catalog::random_mrc(&mut rng, geom.n(), geom.m());
+            let mld = catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m());
+            passes.push(pass_of(&mrc, PassKind::Mrc));
+            passes.push(pass_of(&mld, PassKind::Mld));
+            composed = mld.compose(&mrc.compose(&composed));
+        }
+        let input: Vec<u64> = (0..geom.records() as u64).collect();
+        let expect = reference_permute(&input, |x| composed.target(x));
+        cases.push(FusionCase {
+            workload: "alternating-chain",
+            geom,
+            passes,
+            expect,
+            fully_fusable: true,
+        });
+    }
+
+    // Workload 3: the Section 7 MLD⁻¹;MLD pair — gathered reads,
+    // scattered writes, one round-trip instead of two.
+    {
+        let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 2, 1 << 12).expect("pair geometry");
+        let mut rng = StdRng::seed_from_u64(0xF19A);
+        let z = catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m());
+        let y = catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m());
+        let passes = vec![
+            pass_of(&z.inverse(), PassKind::MldInverse),
+            pass_of(&y, PassKind::Mld),
+        ];
+        let composed = y.compose(&z.inverse());
+        let input: Vec<u64> = (0..geom.records() as u64).collect();
+        let expect = reference_permute(&input, |x| composed.target(x));
+        cases.push(FusionCase {
+            workload: "mld-pair",
+            geom,
+            passes,
+            expect,
+            fully_fusable: true,
+        });
+    }
+    cases
+}
+
+/// Fused vs. unfused execution of multi-pass plans. Verifies identical
+/// placement and strictly fewer parallel I/Os fused (exactly 2× on the
+/// fully-fusable chains) — the PR 3 acceptance criterion — and reports
+/// the timings.
+fn run_fusion_sweep(lg_records: usize, reps: usize) -> Json {
+    eprintln!("== fusion sweep: N=2^{lg_records}, threaded, best of {reps} reps");
+    let mut rows: Vec<Json> = Vec::new();
+    for case in fusion_cases(lg_records) {
+        let geom = case.geom;
+        let plan = fuse_passes(&case.passes, geom.b(), geom.m());
+        let mut ios = [0u64; 2]; // [unfused, fused]
+        for (fi, fused) in [false, true].into_iter().enumerate() {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+            sys.set_service_mode(ServiceMode::Threaded);
+            let input: Vec<u64> = (0..geom.records() as u64).collect();
+            sys.load_records(0, &input);
+            let execute = |sys: &mut DiskSystem<u64>| {
+                if fused {
+                    execute_passes(sys, &case.passes).expect("fused run")
+                } else {
+                    execute_passes_unfused(sys, &case.passes).expect("unfused run")
+                }
+            };
+            let report = execute(&mut sys);
+            assert_eq!(
+                sys.dump_records(report.final_portion),
+                case.expect,
+                "{} ({}) produced a wrong permutation",
+                case.workload,
+                if fused { "fused" } else { "unfused" }
+            );
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r = execute(&mut sys);
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(r.total.parallel_ios(), report.total.parallel_ios());
+            }
+            ios[fi] = report.total.parallel_ios();
+            eprintln!(
+                "   {:<18} {:<8} {:>2} pass(es) for {:>2} planned  {:>7} parallel I/Os  {:>8.2} ms",
+                case.workload,
+                if fused { "fused" } else { "unfused" },
+                report.num_passes(),
+                case.passes.len(),
+                report.total.parallel_ios(),
+                best * 1e3,
+            );
+            rows.push(Json::obj(vec![
+                ("workload", Json::Str(case.workload.into())),
+                (
+                    "impl",
+                    Json::Str(if fused { "fused" } else { "unfused" }.into()),
+                ),
+                ("planned_passes", Json::Num(case.passes.len() as f64)),
+                ("executed_passes", Json::Num(report.num_passes() as f64)),
+                (
+                    "parallel_ios",
+                    Json::Num(report.total.parallel_ios() as f64),
+                ),
+                (
+                    "records_per_sec",
+                    Json::Num(((geom.records() as f64 / best) * 10.0).round() / 10.0),
+                ),
+                (
+                    "elapsed_ms",
+                    Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+                ),
+            ]));
+        }
+        // The acceptance criterion: strictly fewer parallel I/Os with
+        // identical placement; exactly 2× on fully-fusable chains.
+        assert!(
+            ios[1] < ios[0],
+            "{}: fused {} parallel I/Os not strictly below unfused {}",
+            case.workload,
+            ios[1],
+            ios[0]
+        );
+        assert_eq!(
+            ios[1] as usize,
+            plan.num_steps() * geom.ios_per_pass(),
+            "{}: fused cost must be one pass per step",
+            case.workload
+        );
+        if case.fully_fusable {
+            assert_eq!(
+                2 * ios[1],
+                ios[0],
+                "{}: fully-fusable chain must halve the I/O count",
+                case.workload
+            );
+        }
+    }
+    Json::obj(vec![
+        ("mode", Json::Str("threaded".into())),
+        ("lg_records", Json::Num(lg_records as f64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// Single- vs. double-buffered extsort merge (halved fan-in), threaded.
+fn run_extsort_sweep(lg_records: usize, reps: usize) -> Json {
+    let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 4, 1 << 12).expect("extsort geometry");
+    eprintln!(
+        "== extsort sweep: N=2^{lg_records}, B=2^3, D=2^4, M=2^12, threaded, best of {reps} reps"
+    );
+    let mut rng = StdRng::seed_from_u64(0x50C7);
+    let mut input: Vec<u64> = (0..geom.records() as u64).collect();
+    input.shuffle(&mut rng);
+    let mut rows: Vec<Json> = Vec::new();
+    for double in [false, true] {
+        let cfg = SortConfig {
+            double_buffered_merge: double,
+        };
+        let run = |input: &[u64]| {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+            sys.set_service_mode(ServiceMode::Threaded);
+            sys.load_records(0, input);
+            let t0 = Instant::now();
+            let report = sort_by_key_with(&mut sys, |&r| r, cfg).expect("sort");
+            let dt = t0.elapsed().as_secs_f64();
+            let out = sys.dump_records(report.final_portion);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "missorted output");
+            (report, dt)
+        };
+        let (report, mut best) = run(&input);
+        for _ in 1..reps {
+            let (r, dt) = run(&input);
+            assert_eq!(r.total.parallel_ios(), report.total.parallel_ios());
+            best = best.min(dt);
+        }
+        eprintln!(
+            "   {:<16} fan-in {:>2}  {} passes  {:>7} parallel I/Os  {:>8.2} ms",
+            if double {
+                "double-buffered"
+            } else {
+                "single-buffered"
+            },
+            report.fan_in,
+            report.passes,
+            report.total.parallel_ios(),
+            best * 1e3
+        );
+        rows.push(Json::obj(vec![
+            (
+                "variant",
+                Json::Str(if double { "double" } else { "single" }.into()),
+            ),
+            ("fan_in", Json::Num(report.fan_in as f64)),
+            ("passes", Json::Num(report.passes as f64)),
+            (
+                "parallel_ios",
+                Json::Num(report.total.parallel_ios() as f64),
+            ),
+            (
+                "records_per_sec",
+                Json::Num(((geom.records() as f64 / best) * 10.0).round() / 10.0),
+            ),
+            (
+                "elapsed_ms",
+                Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ]));
+    }
+    Json::obj(vec![
+        ("mode", Json::Str("threaded".into())),
+        ("lg_records", Json::Num(lg_records as f64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
 fn speedup(rows: &[Row], disks: usize, mode: &str) -> Option<f64> {
     let rps = |impl_: &str| {
         rows.iter()
@@ -278,19 +556,64 @@ fn section_metrics(doc: &Json, section: &str) -> Vec<(u64, String, f64, u64)> {
         .collect()
 }
 
+/// Extracts `(label, parallel_ios)` pairs from a fusion or extsort
+/// section's rows, keyed by the row's identifying fields.
+fn io_rows(doc: &Json, section: &str, key_fields: &[&str]) -> Vec<(String, u64)> {
+    let Some(rows) = doc
+        .get(section)
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            let label = key_fields
+                .iter()
+                .map(|f| r.get(f).and_then(Json::as_str).unwrap_or("?").to_string())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some((label, r.get("parallel_ios")?.as_u64()?))
+        })
+        .collect()
+}
+
 /// The CI gate: compares this run's quick section with the checked-in
 /// baseline. Fails on a >20% speedup regression or any change in the
-/// charged parallel-I/O counts.
+/// charged parallel-I/O counts — including the fusion and extsort
+/// sections' counts, which are fully deterministic.
 fn check_against_baseline(current: &Json, baseline_path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
     let baseline = Json::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+    let mut failures = Vec::new();
+    for (section, keys) in [
+        ("fusion", &["workload", "impl"][..]),
+        ("extsort", &["variant"][..]),
+    ] {
+        for (label, base_ios) in io_rows(&baseline, section, keys) {
+            match io_rows(current, section, keys)
+                .into_iter()
+                .find(|(l, _)| *l == label)
+            {
+                Some((_, cur_ios)) if cur_ios == base_ios => {
+                    eprintln!("check {section} {label}: {cur_ios} parallel I/Os — ok");
+                }
+                Some((_, cur_ios)) => failures.push(format!(
+                    "{section} {label}: parallel I/Os changed {base_ios} → {cur_ios}"
+                )),
+                None => failures.push(format!("{section} {label}: missing from current run")),
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
     let base = section_metrics(&baseline, "quick");
     let cur = section_metrics(current, "quick");
     if base.is_empty() {
         return Err(format!("{baseline_path} has no quick section to compare"));
     }
-    let mut failures = Vec::new();
     for (disks, mode, base_ratio, base_ios) in &base {
         let Some((_, _, cur_ratio, cur_ios)) =
             cur.iter().find(|(d, m, _, _)| d == disks && m == mode)
@@ -364,14 +687,24 @@ fn main() {
         let (_, section) = run_sweep(&QUICK);
         sections.push(("quick", section));
     }
+    // The fusion and extsort sections run at the quick size in every
+    // mode: their parallel-I/O counts are deterministic (and exactly
+    // gated by --check), their timings cheap.
+    let fusion_section = run_fusion_sweep(QUICK.lg_records, QUICK.reps);
+    sections.push(("fusion", fusion_section.clone()));
+    let extsort_section = run_extsort_sweep(QUICK.lg_records, QUICK.reps);
+    sections.push(("extsort", extsort_section.clone()));
 
     let mut doc_pairs = vec![
         ("bench", Json::Str("engine_sweep".into())),
-        ("version", Json::Num(1.0)),
+        ("version", Json::Num(2.0)),
         (
             "acceptance",
             Json::Str(
-                "engine >= 1.5x legacy records/s at D=16 threaded, identical parallel_ios".into(),
+                "engine >= 1.5x legacy records/s at D=16 threaded, identical parallel_ios; \
+                 fused execution strictly fewer parallel I/Os than unfused (2x on \
+                 fully-fusable chains), identical placement"
+                    .into(),
             ),
         ),
     ];
@@ -398,7 +731,19 @@ fn main() {
         print!("{}", doc.to_pretty());
     }
 
-    if let Some(baseline) = value_of("--check") {
+    // --check FILE compares against a named baseline; --check-latest
+    // finds the newest BENCH_PR*.json in the working directory, so the
+    // gate follows the per-PR bench trajectory without CI edits.
+    let check_target = value_of("--check").or_else(|| {
+        has("--check-latest").then(|| {
+            latest_bench_baseline(".").unwrap_or_else(|| {
+                eprintln!("--check-latest: no BENCH_PR*.json found");
+                std::process::exit(1);
+            })
+        })
+    });
+    if let Some(baseline) = check_target {
+        eprintln!("bench-smoke gate: checking against {baseline}");
         match check_against_baseline(&doc, &baseline) {
             Ok(()) => eprintln!("bench-smoke gate: PASS"),
             Err(msg) => {
@@ -406,9 +751,15 @@ fn main() {
                 // legacy spawn-per-op side swings the most); a single
                 // clean retry separates real regressions from flakes.
                 // The --out artifact keeps the first attempt's numbers.
+                // The fusion/extsort I/O counts are deterministic, so
+                // the first run's sections are reused verbatim.
                 eprintln!("bench-smoke gate: first attempt failed:\n{msg}\nretrying once…");
                 let (_, retry_section) = run_sweep(&QUICK);
-                let retry_doc = Json::obj(vec![("quick", retry_section)]);
+                let retry_doc = Json::obj(vec![
+                    ("quick", retry_section),
+                    ("fusion", fusion_section),
+                    ("extsort", extsort_section),
+                ]);
                 match check_against_baseline(&retry_doc, &baseline) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),
                     Err(msg) => {
@@ -419,4 +770,28 @@ fn main() {
             }
         }
     }
+}
+
+/// The newest committed bench baseline: the `BENCH_PR<k>.json` in
+/// `dir` with the highest PR number.
+fn latest_bench_baseline(dir: &str) -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        // Skip unreadable or non-UTF-8 entries rather than aborting
+        // the scan — one stray file must not hide the baseline.
+        let Some(name) = entry.ok().and_then(|e| e.file_name().into_string().ok()) else {
+            continue;
+        };
+        let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| num > *b) {
+            best = Some((num, name));
+        }
+    }
+    best.map(|(_, name)| name)
 }

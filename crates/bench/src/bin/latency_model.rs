@@ -12,7 +12,7 @@
 
 use bmmc::algorithm::{perform_bmmc, plan_passes};
 use bmmc::catalog;
-use bmmc::factoring::PassKind;
+
 use bmmc_bench::{default_geometry, geom_label, Table};
 use extsort::general_permute;
 use pdm::{DiskSystem, TimingModel};
@@ -63,7 +63,7 @@ fn main() {
             sys.load_records(0, &input);
             let report = perform_bmmc(&mut sys, perm).unwrap();
             let timing = sys.timing().unwrap();
-            let kinds: Vec<PassKind> = report.passes.iter().map(|p| p.kind).collect();
+            let kinds: Vec<String> = report.passes.iter().map(|p| p.label()).collect();
             t.row(&[
                 format!("{name} {kinds:?}"),
                 report.num_passes().to_string(),

@@ -53,7 +53,7 @@ fn main() {
     for (i, w) in traj.windows(2).enumerate() {
         let ios = report.passes[i].ios.parallel_ios();
         t.row(&[
-            format!("{} ({:?})", i + 1, report.passes[i].kind),
+            format!("{} ({})", i + 1, report.passes[i].label()),
             format!("{:.0}", w[1]),
             format!("{:+.0}", w[1] - w[0]),
             ios.to_string(),

@@ -1,30 +1,75 @@
 //! The asymptotically optimal BMMC algorithm (Theorem 21), end to end:
-//! factor the characteristic matrix (Section 5), then execute the
-//! one-pass plan on a disk system, ping-ponging between the source and
-//! target portions.
+//! factor the characteristic matrix (Section 5), fuse adjacent passes
+//! where they compose within the memory model ([`crate::fusion`]),
+//! then execute the plan on a disk system, ping-ponging between the
+//! source and target portions.
 
 use crate::bmmc::Bmmc;
 use crate::classes::{is_mld, is_mld_inverse, is_mrc};
 use crate::error::{BmmcError, Result};
 use crate::factoring::{factor, Factorization, Pass, PassKind};
+use crate::fusion::{execute_fused_with, fuse_passes, FusedPlan};
 use crate::passes::{execute_pass_with, PassStats};
 use pdm::{DiskSystem, IoStats, PassEngine, Record};
+
+/// Statistics for one *executed* step: one disk round-trip realizing
+/// one or more original planned passes (several when the pass fuser
+/// folded adjacent passes — see [`crate::fusion`]).
+#[derive(Clone, Debug)]
+pub struct StepStats {
+    /// Kinds of the original planned passes this step realized, in
+    /// order (length 1 for an unfused step).
+    pub kinds: Vec<PassKind>,
+    /// I/O performed by this step alone.
+    pub ios: IoStats,
+}
+
+impl StepStats {
+    /// True if this step realized more than one planned pass.
+    pub fn fused(&self) -> bool {
+        self.kinds.len() > 1
+    }
+
+    /// Display label, e.g. `"Mrc"` or `"Mrc+Mld"`.
+    pub fn label(&self) -> String {
+        crate::fusion::kinds_label(&self.kinds)
+    }
+}
+
+impl From<PassStats> for StepStats {
+    fn from(p: PassStats) -> Self {
+        StepStats {
+            kinds: vec![p.kind],
+            ios: p.ios,
+        }
+    }
+}
 
 /// The result of performing a BMMC permutation.
 #[derive(Clone, Debug)]
 pub struct BmmcReport {
-    /// Per-pass kinds and I/O counts, in execution order.
-    pub passes: Vec<PassStats>,
-    /// Total I/O across all passes.
+    /// Per-step kinds and I/O counts, in execution order.
+    pub passes: Vec<StepStats>,
+    /// Total I/O across all steps.
     pub total: IoStats,
     /// The portion (0 or 1) holding the permuted data afterwards.
     pub final_portion: usize,
 }
 
 impl BmmcReport {
-    /// Number of passes executed.
+    /// Number of passes (disk round-trips) executed.
     pub fn num_passes(&self) -> usize {
         self.passes.len()
+    }
+
+    /// Number of passes the plan contained before fusion.
+    pub fn planned_passes(&self) -> usize {
+        self.passes.iter().map(|s| s.kinds.len()).sum()
+    }
+
+    /// Disk round-trips saved by pass fusion.
+    pub fn passes_saved(&self) -> usize {
+        self.planned_passes() - self.num_passes()
     }
 }
 
@@ -65,11 +110,60 @@ pub fn plan_passes(perm: &Bmmc, b: usize, m: usize) -> Result<Vec<Pass>> {
     Ok(factor(perm, b, m)?.passes)
 }
 
-/// Executes a sequence of one-pass permutations. Data starts in
-/// portion 0; each pass flips portions; the report names the final
-/// portion. One [`PassEngine`] (and so one pair of memoryload buffers)
-/// is shared across all passes.
+/// Executes a sequence of one-pass permutations, fusing adjacent
+/// passes that compose within the memory model ([`crate::fusion`]) —
+/// the default execution path. Data starts in portion 0; each executed
+/// step flips portions; the report names the final portion. One
+/// [`PassEngine`] (and so one pair of memoryload buffers) is shared
+/// across all steps.
+///
+/// The final placement is byte-identical to
+/// [`execute_passes_unfused`]; only the intermediate disk round-trips
+/// (and so the I/O totals) differ.
 pub fn execute_passes<R: Record>(sys: &mut DiskSystem<R>, passes: &[Pass]) -> Result<BmmcReport> {
+    let geom = sys.geometry();
+    execute_fused_plan(sys, &fuse_passes(passes, geom.b(), geom.m()))
+}
+
+/// Executes an already-fused plan (see [`execute_passes`], which
+/// builds one automatically).
+pub fn execute_fused_plan<R: Record>(
+    sys: &mut DiskSystem<R>,
+    plan: &FusedPlan,
+) -> Result<BmmcReport> {
+    assert!(
+        sys.portions() >= 2,
+        "plan execution needs a source and a target portion"
+    );
+    let before = sys.stats();
+    let mut engine = PassEngine::new(sys.geometry());
+    let mut stats = Vec::with_capacity(plan.num_steps());
+    let mut src = 0usize;
+    for step in &plan.steps {
+        let dst = 1 - src;
+        let step_before = sys.stats();
+        execute_fused_with(&mut engine, sys, src, dst, step)?;
+        stats.push(StepStats {
+            kinds: step.replaced.clone(),
+            ios: sys.stats().since(&step_before),
+        });
+        src = dst;
+    }
+    Ok(BmmcReport {
+        passes: stats,
+        total: sys.stats().since(&before),
+        final_portion: src,
+    })
+}
+
+/// Executes a pass sequence *without* fusion: one disk round-trip per
+/// planned pass, exactly as the plan was written. This is the opt-out
+/// for differential testing against [`crate::passes::reference`] and
+/// for measuring what fusion saves.
+pub fn execute_passes_unfused<R: Record>(
+    sys: &mut DiskSystem<R>,
+    passes: &[Pass],
+) -> Result<BmmcReport> {
     assert!(
         sys.portions() >= 2,
         "plan execution needs a source and a target portion"
@@ -80,7 +174,7 @@ pub fn execute_passes<R: Record>(sys: &mut DiskSystem<R>, passes: &[Pass]) -> Re
     let mut src = 0usize;
     for pass in passes {
         let dst = 1 - src;
-        stats.push(execute_pass_with(&mut engine, sys, src, dst, pass)?);
+        stats.push(execute_pass_with(&mut engine, sys, src, dst, pass)?.into());
         src = dst;
     }
     Ok(BmmcReport {

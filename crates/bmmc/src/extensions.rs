@@ -22,14 +22,20 @@
 use crate::bmmc::Bmmc;
 use crate::classes::is_mld;
 use crate::error::{BmmcError, Result};
-use crate::eval::AffineEvaluator;
 use crate::factoring::PassKind;
+use crate::fusion::{execute_fused_with, FusedPass, WriteDiscipline};
 use crate::passes::PassStats;
-use pdm::{BlockRef, DiskSystem, Record};
+use pdm::{DiskSystem, PassEngine, Record};
 
 /// Performs the composition `π_Y ∘ π_Z⁻¹` (first `Z⁻¹`, then `Y`) of
 /// two MLD permutations in ONE pass, moving records from portion `src`
 /// to portion `dst`.
+///
+/// Since PR 3 this is a thin wrapper over the pass-fusion executor
+/// ([`crate::fusion`]): the pair `(Z⁻¹ as MLD⁻¹, Y as MLD)` fuses by
+/// the discipline rule into a single gathered-read/scattered-write
+/// step with the composed evaluator `Y·Z⁻¹` — the general mechanism
+/// of which this Section 7 composition is one instance.
 ///
 /// Returns an error if `Y` or `Z` is not MLD for the system's
 /// geometry, or if the widths do not match.
@@ -41,7 +47,6 @@ pub fn perform_mld_pair<R: Record>(
     dst: usize,
 ) -> Result<PassStats> {
     let geom = sys.geometry();
-    let layout = sys.layout();
     let n = geom.n();
     if y.bits() != n || z.bits() != n {
         return Err(BmmcError::GeometryMismatch {
@@ -56,83 +61,17 @@ pub fn perform_mld_pair<R: Record>(
         ));
     }
     let before = sys.stats();
-    let composed = y.compose(&z.inverse());
-    let comp_ev = AffineEvaluator::new(&composed);
-    let z_ev = AffineEvaluator::new(z);
-    let y_ev = AffineEvaluator::new(y);
-
-    let mem = geom.memory();
-    let block = geom.block();
-    let disks = geom.disks();
-    let mask = (mem - 1) as u64;
-    let rel_blocks = geom.blocks_per_memoryload();
-    let src_base = sys.portion_base(src);
-    let dst_base = sys.portion_base(dst);
-
-    let mut per_disk: Vec<Vec<u64>> = vec![Vec::with_capacity(rel_blocks / disks); disks];
-    let mut target_block = vec![0u64; rel_blocks];
-    let mut seen: Vec<bool> = Vec::new();
-    for w in 0..geom.memoryloads() {
-        let base = (w * mem) as u64;
-        // Sources: x = Z(w·M + i); discover their M/B full blocks.
-        for d in per_disk.iter_mut() {
-            d.clear();
-        }
-        seen.clear();
-        seen.resize(geom.total_blocks(), false);
-        for i in 0..mem as u64 {
-            let x = z_ev.eval(base + i);
-            let blk = layout.block(x);
-            if !seen[blk as usize] {
-                seen[blk as usize] = true;
-                per_disk[layout.disk_of_block(blk) as usize].push(blk);
-            }
-            // Targets: y = Y(w·M + i); record the block for each
-            // relative block number (Lemma 14 for Y).
-            let t = y_ev.eval(base + i);
-            target_block[layout.relative_block(t) as usize] = layout.block(t);
-        }
-        debug_assert!(per_disk.iter().all(|d| d.len() == rel_blocks / disks));
-
-        // Gather with independent reads; place each record by its
-        // final target position (low m bits of (Y∘Z⁻¹)(x)).
-        let mut buf = vec![R::default(); mem];
-        for k in 0..rel_blocks / disks {
-            let refs: Vec<BlockRef> = (0..disks)
-                .map(|disk| BlockRef {
-                    disk,
-                    slot: src_base + layout.stripe_of_block(per_disk[disk][k]) as usize,
-                })
-                .collect();
-            let blocks = sys.read_blocks(&refs)?;
-            for (disk, data) in blocks.iter().enumerate() {
-                let blk = per_disk[disk][k];
-                for (off, rec) in data.iter().enumerate() {
-                    let x = layout.compose_block(blk, off as u64);
-                    let t = comp_ev.eval(x);
-                    buf[(t & mask) as usize] = *rec;
-                }
-            }
-        }
-
-        // Scatter with independent writes, exactly like an MLD pass.
-        for k in 0..rel_blocks / disks {
-            let mut writes: Vec<(BlockRef, &[R])> = Vec::with_capacity(disks);
-            for delta in 0..disks {
-                let rel = k * disks + delta;
-                let blk = target_block[rel];
-                debug_assert_eq!(layout.disk_of_block(blk) as usize, delta);
-                writes.push((
-                    BlockRef {
-                        disk: delta,
-                        slot: dst_base + layout.stripe_of_block(blk) as usize,
-                    },
-                    &buf[rel * block..(rel + 1) * block],
-                ));
-            }
-            sys.write_blocks(&writes)?;
-        }
-    }
+    let z_inv = z.inverse();
+    let composed = y.compose(&z_inv);
+    let step = FusedPass {
+        matrix: composed.matrix().clone(),
+        complement: composed.complement().clone(),
+        gather: Some(z_inv),
+        write: WriteDiscipline::Scatter,
+        replaced: vec![PassKind::MldInverse, PassKind::Mld],
+    };
+    let mut engine = PassEngine::new(geom);
+    execute_fused_with(&mut engine, sys, src, dst, &step)?;
     Ok(PassStats {
         kind: PassKind::Mld,
         ios: sys.stats().since(&before),

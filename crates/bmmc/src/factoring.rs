@@ -33,6 +33,23 @@ pub enum PassKind {
     MldInverse,
 }
 
+impl PassKind {
+    /// True if this discipline *reads* whole source memoryloads with
+    /// striped I/Os (MRC and MLD). The pass-fusion planner
+    /// ([`crate::fusion`]) may glue such a pass onto a predecessor
+    /// that writes whole memoryloads.
+    pub fn reads_whole_memoryloads(&self) -> bool {
+        matches!(self, PassKind::Mrc | PassKind::Mld)
+    }
+
+    /// True if this discipline *writes* whole target memoryloads with
+    /// striped I/Os (MRC and MLD⁻¹) — the other half of the fusion
+    /// discipline rule.
+    pub fn writes_whole_memoryloads(&self) -> bool {
+        matches!(self, PassKind::Mrc | PassKind::MldInverse)
+    }
+}
+
 /// One pass of the plan: a one-pass BMMC permutation.
 #[derive(Clone, Debug)]
 pub struct Pass {

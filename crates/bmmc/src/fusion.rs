@@ -1,0 +1,598 @@
+//! Pass-pair fusion: skip the disk round-trip between adjacent passes
+//! of a multi-pass plan.
+//!
+//! A plan from [`crate::factoring::factor`], [`crate::plan_passes`],
+//! or [`crate::bpc_baseline`] is a sequence of one-pass permutations,
+//! and the executor pays a full disk round-trip *between* passes: pass
+//! `k` writes its output to a portion and pass `k+1` immediately reads
+//! the same records back. But both rearrangements are known GF(2)
+//! affine maps — whenever they compose within the `M`-record memory
+//! model, one read, one composed in-memory rearrangement, and one
+//! write suffice, halving the parallel I/O for that pair. The
+//! [`fuse_passes`] planner folds adjacent passes greedily into
+//! [`FusedPass`] groups, and [`execute_fused_with`] runs each group in
+//! a single pass of `2N/BD` parallel I/Os.
+//!
+//! # Legality rule
+//!
+//! Two adjacent passes `p1; p2` (first `p1`, then `p2`) fuse when the
+//! intermediate portion can be reconstructed one memoryload at a time
+//! in RAM. Writing the composed matrix `C = A₂·A₁` (and complement
+//! `c = A₂c₁ ⊕ c₂`), the planner applies two rules, in order:
+//!
+//! 1. **Discipline rule — unconditional.** If `p1` *writes* whole
+//!    target memoryloads (MRC or MLD⁻¹: striped writes) and `p2`
+//!    *reads* whole source memoryloads (MRC or MLD: striped reads),
+//!    the intermediate memoryload `p1` would have written is exactly
+//!    the memoryload `p2` would have read — so the fused pass keeps
+//!    `p1`'s read side, applies the composed rearrangement, and writes
+//!    with `p2`'s write side. No rank condition is needed: the pairs
+//!    MRC∘MRC, MLD∘MRC, MRC∘MLD⁻¹ and MLD∘MLD⁻¹ (composition order:
+//!    right first) always fuse, and a fused group keeps absorbing
+//!    passes while its write side stays striped. The four resulting
+//!    read/write shapes are the three classic disciplines plus the
+//!    gathered-read/scattered-write executor
+//!    ([`crate::passes`]' `execute_gather_scatter`), which also
+//!    realizes the Section 7 remark that the composition of an MLD
+//!    permutation with an MLD inverse is one pass
+//!    ([`crate::extensions::perform_mld_pair`]).
+//! 2. **Rank rule — conditional.** Otherwise (`p1` scatters blocks, or
+//!    `p2` gathers blocks), the pair still fuses if the *composed*
+//!    matrix `C` is itself one-pass executable, i.e. classifies as
+//!    MRC, MLD, or MLD⁻¹ at the geometry's `(b, m)` boundaries —
+//!    equivalently, each source memoryload maps under `C` onto whole
+//!    target memoryloads (MRC: nonsingular leading `m×m` submatrix and
+//!    zero lower-left, Table 1) or whole target blocks (MLD: the
+//!    kernel condition `ker α ⊆ ker δ` of eq. 4; MLD⁻¹ mirrored).
+//!    The checks are rank computations on `C`'s submatrices via
+//!    [`gf2::elim`] (see [`crate::classes`]). This covers e.g.
+//!    MRC∘MLD pairs whose composition happens to stay memoryload-
+//!    dispersal — the paper's Section 3 warns the MLD class is *not*
+//!    closed under composition, which is exactly why the check is a
+//!    rank condition rather than unconditional.
+//!
+//! Pairs where `p1` scatters and the composition leaves the one-pass
+//! classes do **not** fuse: an intermediate memoryload of such a pair
+//! is assembled from arbitrary `B`-record subsets of several source
+//! memoryloads, which no `M/BD`-I/O read discipline can gather.
+//!
+//! Correctness does not depend on the classifier: each fused group is
+//! executed by the generalized executors of [`crate::passes`], whose
+//! debug assertions check the whole-memoryload / whole-block /
+//! evenly-spread properties (Lemmas 12–14, property 3) on every unit.
+//!
+//! # What fuses in practice
+//!
+//! * The Section 5 factoring of a *generic* BMMC matrix is already
+//!   pass-minimal for its rank (eq. 17), so its interior MLD pairs
+//!   rarely satisfy the rank rule — the paper's optimality is
+//!   respected.
+//! * The [`crate::bpc_baseline`] plan `(MLD, MRC)×k, MRC` fuses every
+//!   `MRC_i; MLD_{i+1}` seam and the trailing `MRC; MRC` pair by the
+//!   discipline rule: `2k+1` planned passes execute as `k+1` steps —
+//!   asymptotically the 2× round-trip saving this module exists for.
+//! * Chains of MRC passes, and any `MLD⁻¹ …` prefix followed by
+//!   striped-reading passes, collapse completely (`k` passes → 1).
+
+use crate::bmmc::Bmmc;
+use crate::classes::{is_mld, is_mld_inverse, is_mrc};
+use crate::error::{BmmcError, Result};
+use crate::eval::AffineEvaluator;
+use crate::factoring::{Pass, PassKind};
+use crate::passes;
+use gf2::{BitMatrix, BitVec};
+use pdm::{DiskSystem, Geometry, PassEngine, Record};
+
+/// How a fused pass reads each unit of `M` records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadDiscipline {
+    /// Striped reads of whole source memoryloads (MRC/MLD heritage).
+    Striped,
+    /// Independent gathers of whole source blocks (MLD⁻¹ heritage).
+    Gather,
+}
+
+/// How a fused pass writes each unit of `M` records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteDiscipline {
+    /// Striped writes of whole target memoryloads (MRC/MLD⁻¹
+    /// heritage).
+    Striped,
+    /// Independent scatters of whole target blocks (MLD heritage).
+    Scatter,
+}
+
+/// One executed step of a fused plan: one disk round-trip realizing
+/// one or more original one-pass permutations.
+#[derive(Clone, Debug)]
+pub struct FusedPass {
+    /// Composed characteristic matrix of the group (`A_k ⋯ A_1`).
+    pub matrix: BitMatrix,
+    /// Composed complement vector.
+    pub complement: BitVec,
+    /// Present iff the reads are gathered: the affine *gather map*
+    /// `G` defining the iteration units — unit `u` reads the source
+    /// records `{x : G(x) ∈ memoryload u}`. For a lone MLD⁻¹ pass the
+    /// gather map is the pass itself; after absorbing later passes it
+    /// stays the *first* pass of the group.
+    pub gather: Option<Bmmc>,
+    /// The write side (the last absorbed pass's write discipline).
+    pub write: WriteDiscipline,
+    /// Kinds of the original passes this step replaces, in execution
+    /// order (length 1 for an unfused pass).
+    pub replaced: Vec<PassKind>,
+}
+
+impl FusedPass {
+    fn from_single(pass: &Pass) -> Self {
+        FusedPass {
+            matrix: pass.matrix.clone(),
+            complement: pass.complement.clone(),
+            gather: matches!(pass.kind, PassKind::MldInverse).then(|| pass.as_bmmc()),
+            write: match pass.kind {
+                PassKind::Mrc | PassKind::MldInverse => WriteDiscipline::Striped,
+                PassKind::Mld => WriteDiscipline::Scatter,
+            },
+            replaced: vec![pass.kind],
+        }
+    }
+
+    /// The read side of this step.
+    pub fn reads(&self) -> ReadDiscipline {
+        if self.gather.is_some() {
+            ReadDiscipline::Gather
+        } else {
+            ReadDiscipline::Striped
+        }
+    }
+
+    /// Number of original passes this step replaces.
+    pub fn num_replaced(&self) -> usize {
+        self.replaced.len()
+    }
+
+    /// True if this step replaces more than one original pass.
+    pub fn is_fused(&self) -> bool {
+        self.replaced.len() > 1
+    }
+
+    /// The composed permutation this step performs.
+    pub fn as_bmmc(&self) -> Bmmc {
+        Bmmc::new(self.matrix.clone(), self.complement.clone())
+            .expect("fused groups compose nonsingular factors")
+    }
+
+    /// Display label, e.g. `"Mrc"` or `"Mrc+Mld"`.
+    pub fn label(&self) -> String {
+        kinds_label(&self.replaced)
+    }
+}
+
+/// Display label for a (possibly fused) run of pass kinds, e.g.
+/// `"Mrc"` or `"Mrc+Mld"` — shared by [`FusedPass::label`] and
+/// [`crate::algorithm::StepStats::label`].
+pub fn kinds_label(kinds: &[PassKind]) -> String {
+    kinds
+        .iter()
+        .map(|k| format!("{k:?}"))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// A fused execution plan: the steps to run, each one disk round-trip.
+#[derive(Clone, Debug)]
+pub struct FusedPlan {
+    /// Executable steps in execution order.
+    pub steps: Vec<FusedPass>,
+}
+
+impl FusedPlan {
+    /// Number of executed steps (disk round-trips).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of original planned passes.
+    pub fn planned_passes(&self) -> usize {
+        self.steps.iter().map(FusedPass::num_replaced).sum()
+    }
+
+    /// Disk round-trips saved by fusion.
+    pub fn passes_saved(&self) -> usize {
+        self.planned_passes() - self.num_steps()
+    }
+
+    /// Predicted parallel I/Os for the fused execution (`2N/BD` per
+    /// step).
+    pub fn predicted_ios(&self, geom: &Geometry) -> usize {
+        self.num_steps() * geom.ios_per_pass()
+    }
+
+    /// Predicted parallel I/Os for the *unfused* execution of the same
+    /// plan.
+    pub fn unfused_ios(&self, geom: &Geometry) -> usize {
+        self.planned_passes() * geom.ios_per_pass()
+    }
+
+    /// Recomposes the steps and checks they reproduce `perm` (the
+    /// product of step permutations, last step leftmost).
+    pub fn verify(&self, perm: &Bmmc) -> bool {
+        let mut composed = Bmmc::identity(perm.bits());
+        for step in &self.steps {
+            composed = step.as_bmmc().compose(&composed);
+        }
+        composed == *perm
+    }
+}
+
+/// Fuses adjacent passes of a plan at boundaries `b = lg B`,
+/// `m = lg M`, greedily absorbing each pass into the current group
+/// when the legality rule (see the module docs) allows it.
+///
+/// ```
+/// use bmmc::{catalog, fusion::fuse_passes, plan_passes};
+///
+/// // A Gray-code + bit-complement permutation is MRC: a chain of MRC
+/// // passes collapses to one step.
+/// let g = catalog::gray_code(10);
+/// let passes = plan_passes(&g, 2, 6).unwrap();
+/// let doubled: Vec<_> = passes.iter().chain(passes.iter()).cloned().collect();
+/// let plan = fuse_passes(&doubled, 2, 6);
+/// assert_eq!(plan.planned_passes(), 2);
+/// assert_eq!(plan.num_steps(), 1); // MRC∘MRC always fuses
+/// ```
+pub fn fuse_passes(passes: &[Pass], b: usize, m: usize) -> FusedPlan {
+    let mut steps: Vec<FusedPass> = Vec::new();
+    for pass in passes {
+        if let Some(group) = steps.last_mut() {
+            if try_absorb(group, pass, b, m) {
+                continue;
+            }
+        }
+        steps.push(FusedPass::from_single(pass));
+    }
+    FusedPlan { steps }
+}
+
+/// Attempts to absorb `next` into `group`; true on success.
+fn try_absorb(group: &mut FusedPass, next: &Pass, b: usize, m: usize) -> bool {
+    // Rule 1 — discipline: the group ends on whole-memoryload writes
+    // and `next` begins on whole-memoryload reads, so the intermediate
+    // memoryload exists in RAM and never needs the disk.
+    if group.write == WriteDiscipline::Striped && next.kind.reads_whole_memoryloads() {
+        let composed = next.as_bmmc().compose(&group.as_bmmc());
+        group.matrix = composed.matrix().clone();
+        group.complement = composed.complement().clone();
+        group.write = match next.kind {
+            PassKind::Mld => WriteDiscipline::Scatter,
+            _ => WriteDiscipline::Striped,
+        };
+        group.replaced.push(next.kind);
+        return true;
+    }
+    // Rule 2 — rank check: the composed map is itself one-pass
+    // executable, so the whole group collapses to a classified pass.
+    let composed = next.as_bmmc().compose(&group.as_bmmc());
+    let (gather, write) = if is_mrc(composed.matrix(), m) {
+        (None, WriteDiscipline::Striped)
+    } else if is_mld(composed.matrix(), b, m) {
+        (None, WriteDiscipline::Scatter)
+    } else if is_mld_inverse(composed.matrix(), b, m) {
+        (Some(composed.clone()), WriteDiscipline::Striped)
+    } else {
+        return false;
+    };
+    group.matrix = composed.matrix().clone();
+    group.complement = composed.complement().clone();
+    group.gather = gather;
+    group.write = write;
+    group.replaced.push(next.kind);
+    true
+}
+
+/// Executes one fused step on a caller-provided engine, moving all `N`
+/// records from portion `src` to portion `dst`. Costs exactly `2N/BD`
+/// parallel I/Os regardless of how many original passes the step
+/// replaces.
+pub fn execute_fused_with<R: Record>(
+    engine: &mut PassEngine<R>,
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    step: &FusedPass,
+) -> Result<()> {
+    let n = sys.geometry().n();
+    if step.matrix.rows() != n {
+        return Err(BmmcError::GeometryMismatch {
+            perm_bits: step.matrix.rows(),
+            system_bits: n,
+        });
+    }
+    assert_ne!(src, dst, "source and target portions must differ");
+    let ev = AffineEvaluator::new(&step.as_bmmc());
+    match (&step.gather, step.write) {
+        (None, WriteDiscipline::Striped) => passes::execute_mrc(engine, sys, src, dst, &ev),
+        (None, WriteDiscipline::Scatter) => passes::execute_mld(engine, sys, src, dst, &ev),
+        (Some(g), WriteDiscipline::Striped) => {
+            let inv_ev = AffineEvaluator::new(&g.inverse());
+            passes::execute_mld_inverse(engine, sys, src, dst, &ev, &inv_ev)
+        }
+        (Some(g), WriteDiscipline::Scatter) => {
+            let inv_ev = AffineEvaluator::new(&g.inverse());
+            passes::execute_gather_scatter(engine, sys, src, dst, &ev, &inv_ev)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::passes::reference_permute;
+    use pdm::{Geometry, IoStats, ServiceMode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// N=2^10, B=2^2, D=2^2, M=2^6 → b=2, d=2, m=6, n=10.
+    fn geom() -> Geometry {
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap()
+    }
+
+    fn pass_of(perm: &Bmmc, kind: PassKind) -> Pass {
+        Pass {
+            matrix: perm.matrix().clone(),
+            complement: perm.complement().clone(),
+            kind,
+        }
+    }
+
+    /// Runs a fused plan end to end and checks the final placement
+    /// against the composed reference permutation; returns
+    /// (plan, total IoStats).
+    fn run_fused(g: Geometry, passes: &[Pass], mode: ServiceMode) -> (FusedPlan, IoStats) {
+        let plan = fuse_passes(passes, g.b(), g.m());
+        let mut composed = Bmmc::identity(g.n());
+        for p in passes {
+            composed = p.as_bmmc().compose(&composed);
+        }
+        assert!(plan.verify(&composed), "fused plan does not recompose");
+        let input: Vec<u64> = (0..g.records() as u64).collect();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.set_service_mode(mode);
+        sys.load_records(0, &input);
+        let mut engine = PassEngine::new(g);
+        let mut src = 0;
+        for step in &plan.steps {
+            let dst = 1 - src;
+            execute_fused_with(&mut engine, &mut sys, src, dst, step).unwrap();
+            src = dst;
+        }
+        let expect = reference_permute(&input, |x| composed.target(x));
+        assert_eq!(sys.dump_records(src), expect, "wrong final placement");
+        (plan, sys.stats())
+    }
+
+    #[test]
+    fn mrc_chain_collapses_to_one_step() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g = geom();
+        let chain: Vec<Pass> = (0..4)
+            .map(|_| pass_of(&catalog::random_mrc(&mut rng, g.n(), g.m()), PassKind::Mrc))
+            .collect();
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let (plan, ios) = run_fused(g, &chain, mode);
+            assert_eq!(plan.num_steps(), 1, "MRC chain must fully fuse");
+            assert_eq!(plan.passes_saved(), 3);
+            assert_eq!(ios.parallel_ios() as usize, g.ios_per_pass());
+            assert_eq!(ios.striped_writes, ios.parallel_writes);
+        }
+    }
+
+    #[test]
+    fn mrc_then_mld_fuses_to_one_scattering_step() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = geom();
+        let plan_passes = vec![
+            pass_of(&catalog::random_mrc(&mut rng, g.n(), g.m()), PassKind::Mrc),
+            pass_of(
+                &catalog::random_mld(&mut rng, g.n(), g.b(), g.m()),
+                PassKind::Mld,
+            ),
+        ];
+        let (plan, ios) = run_fused(g, &plan_passes, ServiceMode::Serial);
+        assert_eq!(plan.num_steps(), 1);
+        assert_eq!(plan.steps[0].reads(), ReadDiscipline::Striped);
+        assert_eq!(plan.steps[0].write, WriteDiscipline::Scatter);
+        // Exactly half the unfused cost.
+        assert_eq!(ios.parallel_ios() as usize, g.ios_per_pass());
+        assert_eq!(plan.unfused_ios(&g), 2 * g.ios_per_pass());
+    }
+
+    #[test]
+    fn mld_inverse_then_mrc_fuses_with_gathered_reads() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = geom();
+        let inv = catalog::random_mld(&mut rng, g.n(), g.b(), g.m()).inverse();
+        let plan_passes = vec![
+            pass_of(&inv, PassKind::MldInverse),
+            pass_of(&catalog::random_mrc(&mut rng, g.n(), g.m()), PassKind::Mrc),
+        ];
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let (plan, ios) = run_fused(g, &plan_passes, mode);
+            assert_eq!(plan.num_steps(), 1);
+            assert_eq!(plan.steps[0].reads(), ReadDiscipline::Gather);
+            assert_eq!(plan.steps[0].write, WriteDiscipline::Striped);
+            assert_eq!(ios.parallel_ios() as usize, g.ios_per_pass());
+            assert_eq!(ios.striped_writes, ios.parallel_writes);
+        }
+    }
+
+    #[test]
+    fn mld_inverse_then_mld_fuses_gather_to_scatter() {
+        // The gathered-read/scattered-write discipline: both sides
+        // independent, still one pass (the Section 7 composition).
+        let mut rng = StdRng::seed_from_u64(74);
+        let g = geom();
+        let z = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+        let y = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+        let plan_passes = vec![
+            pass_of(&z.inverse(), PassKind::MldInverse),
+            pass_of(&y, PassKind::Mld),
+        ];
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let (plan, ios) = run_fused(g, &plan_passes, mode);
+            assert_eq!(plan.num_steps(), 1);
+            assert_eq!(plan.steps[0].reads(), ReadDiscipline::Gather);
+            assert_eq!(plan.steps[0].write, WriteDiscipline::Scatter);
+            assert_eq!(ios.parallel_ios() as usize, g.ios_per_pass());
+        }
+    }
+
+    #[test]
+    fn mld_then_mrc_does_not_fuse_in_general() {
+        // An MLD pass scatters blocks; unless the composition lands
+        // back in a one-pass class (rank rule), the pair must stay two
+        // steps. Find such a pair and check it executes correctly.
+        let mut rng = StdRng::seed_from_u64(75);
+        let g = geom();
+        let mut found = false;
+        for _ in 0..50 {
+            let mld = catalog::random_mld(&mut rng, g.n(), g.b(), g.m());
+            let mrc = catalog::random_mrc(&mut rng, g.n(), g.m());
+            let composed = mrc.compose(&mld);
+            if is_mld(composed.matrix(), g.b(), g.m())
+                || is_mld_inverse(composed.matrix(), g.b(), g.m())
+            {
+                continue;
+            }
+            let plan_passes = vec![pass_of(&mld, PassKind::Mld), pass_of(&mrc, PassKind::Mrc)];
+            let (plan, ios) = run_fused(g, &plan_passes, ServiceMode::Serial);
+            assert_eq!(plan.num_steps(), 2, "illegal pair must not fuse");
+            assert_eq!(ios.parallel_ios() as usize, 2 * g.ios_per_pass());
+            found = true;
+            break;
+        }
+        assert!(found, "no non-fusable MLD;MRC pair sampled");
+    }
+
+    #[test]
+    fn rank_rule_fuses_composition_landing_in_mld() {
+        // MLD;MLD where the composition is MLD again: the discipline
+        // rule does not apply (first pass scatters), but the rank rule
+        // fires. Take Z then Z⁻¹·Y for MLD Y — composition is Y.
+        // Z⁻¹·Y is usually not in any one-pass class by itself, so
+        // construct directly: p1 = MLD Z, p2 with matrix Y·Z⁻¹ won't
+        // generally be a *pass*. Instead use two erasers (involutions,
+        // MLD) whose product is another eraser-form MLD matrix.
+        let g = geom();
+        let (b, m, n) = (g.b(), g.m(), g.n());
+        let e1 = crate::factors::eraser(n, b, m, &[crate::factors::ColAdd { src: m, dst: b }]);
+        let e2 = crate::factors::eraser(
+            n,
+            b,
+            m,
+            &[crate::factors::ColAdd {
+                src: m + 1,
+                dst: b + 1,
+            }],
+        );
+        let p1 = Bmmc::linear(e1).unwrap();
+        let p2 = Bmmc::linear(e2).unwrap();
+        assert!(is_mld(p1.matrix(), b, m) && is_mld(p2.matrix(), b, m));
+        let product = p2.compose(&p1);
+        assert!(
+            is_mld(product.matrix(), b, m),
+            "eraser product should stay MLD"
+        );
+        let plan_passes = vec![pass_of(&p1, PassKind::Mld), pass_of(&p2, PassKind::Mld)];
+        let (plan, ios) = run_fused(g, &plan_passes, ServiceMode::Serial);
+        assert_eq!(plan.num_steps(), 1, "rank rule should fuse MLD;MLD here");
+        assert_eq!(ios.parallel_ios() as usize, g.ios_per_pass());
+    }
+
+    #[test]
+    fn gather_headed_group_keeps_absorbing_striped_readers() {
+        // MLD⁻¹; MRC; MRC; MLD → one gathered-read, scattered-write
+        // step (the group's write side stays striped until the MLD).
+        let mut rng = StdRng::seed_from_u64(76);
+        let g = geom();
+        let plan_passes = vec![
+            pass_of(
+                &catalog::random_mld(&mut rng, g.n(), g.b(), g.m()).inverse(),
+                PassKind::MldInverse,
+            ),
+            pass_of(&catalog::random_mrc(&mut rng, g.n(), g.m()), PassKind::Mrc),
+            pass_of(&catalog::random_mrc(&mut rng, g.n(), g.m()), PassKind::Mrc),
+            pass_of(
+                &catalog::random_mld(&mut rng, g.n(), g.b(), g.m()),
+                PassKind::Mld,
+            ),
+        ];
+        let (plan, ios) = run_fused(g, &plan_passes, ServiceMode::Threaded);
+        assert_eq!(plan.num_steps(), 1, "whole chain must fuse");
+        assert_eq!(plan.passes_saved(), 3);
+        assert_eq!(plan.steps[0].label(), "MldInverse+Mrc+Mrc+Mld");
+        assert_eq!(ios.parallel_ios() as usize, g.ios_per_pass());
+    }
+
+    #[test]
+    fn complements_compose_through_fusion() {
+        // Nonzero complements on both passes of a fused pair.
+        let g = geom();
+        let rev = catalog::vector_reversal(g.n()); // identity matrix, c = 1…1
+        let gray = catalog::gray_code(g.n());
+        let plan_passes = vec![
+            pass_of(&rev, PassKind::Mrc),
+            pass_of(&gray, PassKind::Mrc),
+            pass_of(&rev, PassKind::Mrc),
+        ];
+        let (plan, _) = run_fused(g, &plan_passes, ServiceMode::Serial);
+        assert_eq!(plan.num_steps(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_plans() {
+        let g = geom();
+        assert_eq!(fuse_passes(&[], g.b(), g.m()).num_steps(), 0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let p = pass_of(
+            &catalog::random_mld(&mut rng, g.n(), g.b(), g.m()),
+            PassKind::Mld,
+        );
+        let plan = fuse_passes(std::slice::from_ref(&p), g.b(), g.m());
+        assert_eq!(plan.num_steps(), 1);
+        assert_eq!(plan.passes_saved(), 0);
+        assert!(!plan.steps[0].is_fused());
+    }
+
+    #[test]
+    fn bpc_baseline_plan_halves_round_trips() {
+        // The flagship workload: the baseline's (MLD, MRC)×k + MRC
+        // plan fuses to k+1 steps.
+        let mut rng = StdRng::seed_from_u64(78);
+        let g = geom();
+        for _ in 0..5 {
+            let perm = catalog::random_bpc(&mut rng, g.n());
+            let plan_passes = crate::bpc_baseline::bpc_baseline_plan(&perm, g.b(), g.m())
+                .unwrap()
+                .passes;
+            if plan_passes.len() < 3 {
+                continue; // no crossing chunks: nothing to fuse
+            }
+            let k = (plan_passes.len() - 1) / 2;
+            let (plan, ios) = run_fused(g, &plan_passes, ServiceMode::Serial);
+            assert_eq!(
+                plan.num_steps(),
+                k + 1,
+                "baseline plan of {} passes should fuse to {} steps",
+                plan_passes.len(),
+                k + 1
+            );
+            assert_eq!(
+                ios.parallel_ios() as usize,
+                (k + 1) * g.ios_per_pass(),
+                "fused execution must charge one pass per step"
+            );
+        }
+    }
+}

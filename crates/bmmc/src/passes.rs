@@ -100,7 +100,13 @@ pub fn execute_pass_with<R: Record>(
     })
 }
 
-fn execute_mrc<R: Record>(
+/// The MRC discipline on an arbitrary affine evaluator: striped reads
+/// of each source memoryload, in-place rearrangement, striped writes of
+/// one whole target memoryload. Requires `ev` to map each source
+/// memoryload onto a single target memoryload (debug-asserted) — true
+/// for any MRC matrix, and for the composition of an MRC chain
+/// ([`crate::fusion`] reuses this with a composed evaluator).
+pub(crate) fn execute_mrc<R: Record>(
     engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
@@ -113,8 +119,8 @@ fn execute_mrc<R: Record>(
     engine
         .run_pass(
             sys,
-            |ml| ReadPlan::Memoryload { portion: src, ml },
-            |ml, records, _scratch| {
+            |ml, _gather| ReadPlan::Memoryload { portion: src, ml },
+            |ml, records, _scratch, _scatter| {
                 let base = (ml * mem) as u64;
                 let target_ml = (ev.eval(base) >> m) as usize;
                 debug_assert!(
@@ -131,7 +137,12 @@ fn execute_mrc<R: Record>(
         .map_err(BmmcError::from)
 }
 
-fn execute_mld<R: Record>(
+/// The MLD discipline on an arbitrary affine evaluator: striped reads,
+/// in-place rearrangement, independent writes of `M/B` whole target
+/// blocks per memoryload. Requires `ev` to map each source memoryload
+/// onto whole target blocks (Lemma 13) — true for any MLD matrix, and
+/// for an MRC chain composed with a final MLD pass ([`crate::fusion`]).
+pub(crate) fn execute_mld<R: Record>(
     engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
@@ -149,8 +160,8 @@ fn execute_mld<R: Record>(
     engine
         .run_pass(
             sys,
-            |ml| ReadPlan::Memoryload { portion: src, ml },
-            |ml, records, _scratch| {
+            |ml, _gather| ReadPlan::Memoryload { portion: src, ml },
+            |ml, records, _scratch, scatter| {
                 let base = (ml * mem) as u64;
                 // Pre-compute the global target block for each relative
                 // block number (well-defined: records sharing a relative
@@ -165,36 +176,34 @@ fn execute_mld<R: Record>(
                 // Scatter M/BD batches of D blocks; batch t carries
                 // relative blocks tD .. tD+D−1 (contiguous in the
                 // permuted buffer), whose low d bits give their disks.
-                let batches = (0..rel_blocks / disks)
-                    .map(|t| {
-                        (0..disks)
-                            .map(|delta| {
-                                let rel = t * disks + delta;
-                                let blk = target_block[rel];
-                                let disk = layout.disk_of_block(blk) as usize;
-                                debug_assert_eq!(
-                                    disk, delta,
-                                    "relative block {rel} not on its home disk \
-                                     (property 3 violated)"
-                                );
-                                BlockRef {
-                                    disk,
-                                    slot: dst_base + layout.stripe_of_block(blk) as usize,
-                                }
-                            })
-                            .collect()
-                    })
-                    .collect();
-                WritePlan::Scatter { batches }
+                scatter.reset(disks);
+                for t in 0..rel_blocks / disks {
+                    for delta in 0..disks {
+                        let rel = t * disks + delta;
+                        let blk = target_block[rel];
+                        let disk = layout.disk_of_block(blk) as usize;
+                        debug_assert_eq!(
+                            disk, delta,
+                            "relative block {rel} not on its home disk \
+                             (property 3 violated)"
+                        );
+                        scatter.push(BlockRef {
+                            disk,
+                            slot: dst_base + layout.stripe_of_block(blk) as usize,
+                        });
+                    }
+                }
+                WritePlan::Scatter
             },
         )
         .map_err(BmmcError::from)
 }
 
-/// Per-memoryload gather bookkeeping for the MLD⁻¹ executor, shared
-/// between the engine's `reads` and `transform` callbacks. The engine
-/// may call `reads(t+1)` before `transform(t)` (prefetch), so the
-/// gathered block lists are kept for two loads, indexed by `t % 2`.
+/// Per-memoryload gather bookkeeping for the gathered-read executors
+/// (MLD⁻¹ and the fused gather→scatter discipline), shared between the
+/// engine's `reads` and `transform` callbacks. The engine may call
+/// `reads(t+1)` before `transform(t)` (prefetch), so the gathered
+/// block lists are kept for two loads, indexed by `t % 2`.
 struct GatherState {
     /// Source block numbers in gather order (batch-major), per parity.
     blocks: [Vec<u64>; 2],
@@ -202,9 +211,151 @@ struct GatherState {
     per_disk: Vec<Vec<u64>>,
     /// Scratch: block-seen bitmap over all N/B source blocks.
     seen: Vec<bool>,
+    layout: pdm::Layout,
+    mem: usize,
+    disks: usize,
+    rel_blocks: usize,
+    src_base: usize,
 }
 
-fn execute_mld_inverse<R: Record>(
+impl GatherState {
+    fn new<R: Record>(sys: &DiskSystem<R>, src: usize) -> Self {
+        let geom = sys.geometry();
+        let disks = geom.disks();
+        let rel_blocks = geom.blocks_per_memoryload();
+        GatherState {
+            blocks: [Vec::new(), Vec::new()],
+            per_disk: vec![Vec::with_capacity(rel_blocks / disks); disks],
+            seen: vec![false; geom.total_blocks()],
+            layout: sys.layout(),
+            mem: geom.memory(),
+            disks,
+            rel_blocks,
+            src_base: sys.portion_base(src),
+        }
+    }
+
+    /// Discovers the `M/B` distinct source blocks feeding unit `t`
+    /// (the preimage of target memoryload `t` under the gather map,
+    /// planned via its inverse `inv_ev`) and fills `gather` with
+    /// `M/BD` independent reads of one block per disk.
+    fn plan_unit(
+        &mut self,
+        t: usize,
+        inv_ev: &AffineEvaluator,
+        gather: &mut pdm::engine::BlockBatches,
+    ) -> ReadPlan {
+        let base = (t * self.mem) as u64;
+        // Reset only the M/B bits the previous load set — a full clear
+        // of the N/B-entry bitmap per load would dominate the planner
+        // at large N.
+        for d in self.per_disk.iter_mut() {
+            for blk in d.drain(..) {
+                self.seen[blk as usize] = false;
+            }
+        }
+        for i in 0..self.mem as u64 {
+            let x = inv_ev.eval(base + i);
+            let blk = self.layout.block(x);
+            if !self.seen[blk as usize] {
+                self.seen[blk as usize] = true;
+                self.per_disk[self.layout.disk_of_block(blk) as usize].push(blk);
+            }
+        }
+        debug_assert!(
+            self.per_disk
+                .iter()
+                .all(|d| d.len() == self.rel_blocks / self.disks),
+            "source blocks of a unit not evenly spread over the disks \
+             (mirror of property 3)"
+        );
+        let order = &mut self.blocks[t % 2];
+        order.clear();
+        gather.reset(self.disks);
+        for k in 0..self.rel_blocks / self.disks {
+            for (disk, on_disk) in self.per_disk.iter().enumerate() {
+                let blk = on_disk[k];
+                order.push(blk);
+                gather.push(BlockRef {
+                    disk,
+                    slot: self.src_base + self.layout.stripe_of_block(blk) as usize,
+                });
+            }
+        }
+        ReadPlan::Gather
+    }
+}
+
+/// The MLD⁻¹ discipline generalized over a *gather* evaluator and a
+/// *placement* evaluator: unit `u` gathers the source records
+/// `{x : gather_map(x) ∈ memoryload u}` (planned via `inv_ev`, the
+/// inverse of the gather map) with `M/BD` independent reads, places
+/// each record at the low `m` bits of its final target `ev(x)`, and
+/// emits the unit as one whole target memoryload with striped writes.
+/// For a single MLD⁻¹ pass `ev` *is* the gather map, so the target
+/// memoryload equals `u`; [`crate::fusion`] runs it with a composed
+/// `ev` whose target memoryload is a permutation of `u`
+/// (debug-asserted uniform per unit).
+pub(crate) fn execute_mld_inverse<R: Record>(
+    engine: &mut PassEngine<R>,
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    ev: &AffineEvaluator,
+    inv_ev: &AffineEvaluator,
+) -> Result<()> {
+    let geom = sys.geometry();
+    let layout = sys.layout();
+    let mem = geom.memory();
+    let block = geom.block();
+    let mask = (mem - 1) as u64;
+    let state = RefCell::new(GatherState::new(sys, src));
+    engine
+        .run_pass(
+            sys,
+            |t, gather| state.borrow_mut().plan_unit(t, inv_ev, gather),
+            |t, records, scratch, _scatter| {
+                // `records` holds the gathered blocks in batch-major
+                // order; scatter each record to its target position (the
+                // low m bits of its target address) via the scratch
+                // buffer.
+                let st = state.borrow();
+                let mut target_ml = 0usize;
+                for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
+                    for off in 0..block {
+                        let x = layout.compose_block(blk, off as u64);
+                        let y = ev.eval(x);
+                        if g == 0 && off == 0 {
+                            target_ml = layout.memoryload(y) as usize;
+                        }
+                        debug_assert_eq!(
+                            layout.memoryload(y) as usize,
+                            target_ml,
+                            "unit scattered across target memoryloads"
+                        );
+                        scratch[(y & mask) as usize] = records[g * block + off];
+                    }
+                }
+                std::mem::swap(records, scratch);
+                WritePlan::Memoryload {
+                    portion: dst,
+                    ml: target_ml,
+                }
+            },
+        )
+        .map_err(BmmcError::from)
+}
+
+/// The fused gather→scatter discipline ([`crate::fusion`]): unit `u`
+/// gathers the source records `{x : gather_map(x) ∈ memoryload u}`
+/// with `M/BD` independent reads (like MLD⁻¹), places each record at
+/// the low `m` bits of its final target `ev(x)`, and emits the unit as
+/// `M/B` whole target blocks with `M/BD` independent writes (like
+/// MLD). This executes an (MLD⁻¹, …, MLD) fused group — including the
+/// paper's Section 7 `π_Y ∘ π_Z⁻¹` composition
+/// ([`crate::extensions::perform_mld_pair`]) — in one pass with
+/// independent reads *and* independent writes.
+pub(crate) fn execute_gather_scatter<R: Record>(
     engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
@@ -219,83 +370,44 @@ fn execute_mld_inverse<R: Record>(
     let disks = geom.disks();
     let mask = (mem - 1) as u64;
     let rel_blocks = geom.blocks_per_memoryload();
-    let src_base = sys.portion_base(src);
-    let state = RefCell::new(GatherState {
-        blocks: [Vec::new(), Vec::new()],
-        per_disk: vec![Vec::with_capacity(rel_blocks / disks); disks],
-        seen: vec![false; geom.total_blocks()],
-    });
+    let dst_base = sys.portion_base(dst);
+    let state = RefCell::new(GatherState::new(sys, src));
+    let mut target_block = vec![0u64; rel_blocks];
     engine
         .run_pass(
             sys,
-            |t| {
-                // Discover the M/B distinct source blocks feeding target
-                // memoryload t and plan their gather: M/BD independent
-                // reads of one block per disk.
-                let st = &mut *state.borrow_mut();
-                let base = (t * mem) as u64;
-                // Reset only the M/B bits the previous load set — a
-                // full clear of the N/B-entry bitmap per load would
-                // dominate the planner at large N.
-                for d in st.per_disk.iter_mut() {
-                    for blk in d.drain(..) {
-                        st.seen[blk as usize] = false;
-                    }
-                }
-                for i in 0..mem as u64 {
-                    let x = inv_ev.eval(base + i);
-                    let blk = layout.block(x);
-                    if !st.seen[blk as usize] {
-                        st.seen[blk as usize] = true;
-                        st.per_disk[layout.disk_of_block(blk) as usize].push(blk);
-                    }
-                }
-                debug_assert!(
-                    st.per_disk.iter().all(|d| d.len() == rel_blocks / disks),
-                    "source blocks of a target memoryload not evenly spread \
-                     (mirror of property 3)"
-                );
-                let order = &mut st.blocks[t % 2];
-                order.clear();
-                let batches = (0..rel_blocks / disks)
-                    .map(|k| {
-                        (0..disks)
-                            .map(|disk| {
-                                let blk = st.per_disk[disk][k];
-                                order.push(blk);
-                                BlockRef {
-                                    disk,
-                                    slot: src_base + layout.stripe_of_block(blk) as usize,
-                                }
-                            })
-                            .collect()
-                    })
-                    .collect();
-                ReadPlan::Gather { batches }
-            },
-            |t, records, scratch| {
-                // `records` holds the gathered blocks in batch-major
-                // order; scatter each record to its target position (the
-                // low m bits of its target address) via the scratch
-                // buffer.
+            |t, gather| state.borrow_mut().plan_unit(t, inv_ev, gather),
+            |t, records, scratch, scatter| {
                 let st = state.borrow();
                 for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
                     for off in 0..block {
                         let x = layout.compose_block(blk, off as u64);
                         let y = ev.eval(x);
-                        debug_assert_eq!(
-                            layout.memoryload(y) as usize,
-                            t,
-                            "gathered a record not destined for this memoryload"
-                        );
                         scratch[(y & mask) as usize] = records[g * block + off];
+                        // Lemma 14 for the composed map: records sharing
+                        // a relative target block share a target block.
+                        target_block[layout.relative_block(y) as usize] = layout.block(y);
                     }
                 }
                 std::mem::swap(records, scratch);
-                WritePlan::Memoryload {
-                    portion: dst,
-                    ml: t,
+                scatter.reset(disks);
+                for tb in 0..rel_blocks / disks {
+                    for delta in 0..disks {
+                        let rel = tb * disks + delta;
+                        let blk = target_block[rel];
+                        debug_assert_eq!(
+                            layout.disk_of_block(blk) as usize,
+                            delta,
+                            "relative block {rel} not on its home disk \
+                             (property 3 violated)"
+                        );
+                        scatter.push(BlockRef {
+                            disk: delta,
+                            slot: dst_base + layout.stripe_of_block(blk) as usize,
+                        });
+                    }
                 }
+                WritePlan::Scatter
             },
         )
         .map_err(BmmcError::from)

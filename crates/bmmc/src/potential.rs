@@ -108,7 +108,7 @@ pub fn trace_potential<R: Record>(
     let mut src = 0usize;
     for pass in &fac.passes {
         let dst = 1 - src;
-        stats.push(execute_pass(sys, src, dst, pass)?);
+        stats.push(execute_pass(sys, src, dst, pass)?.into());
         src = dst;
         trajectory.push(potential(sys, src, group));
     }

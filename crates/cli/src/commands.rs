@@ -2,11 +2,12 @@
 
 use crate::args::{parse_geometry, parse_pow2, Args};
 use crate::builtins;
-use bmmc::algorithm::{execute_passes, perform_bmmc};
-use bmmc::bpc_baseline::perform_bpc_baseline;
+use bmmc::algorithm::{execute_passes, execute_passes_unfused, BmmcReport};
+use bmmc::bpc_baseline::bpc_baseline_plan;
 use bmmc::detect::{detect_bmmc, Detection};
+use bmmc::fusion::fuse_passes;
 use bmmc::verify::{verify_permutation, VerifyOutcome};
-use bmmc::{bounds, classify, factor_chunked, spec, Bmmc, PassKind};
+use bmmc::{bounds, classify, factor_chunked, plan_passes, spec, Bmmc, PassKind};
 use gf2::elim::rank;
 use gf2::perm::bpc_cross_rank;
 use pdm::{DiskSystem, Geometry, TimingModel};
@@ -128,6 +129,41 @@ pub fn factor(a: &Args) -> Result<(), String> {
         return Err("internal error: factorization does not recompose".to_string());
     }
     println!("recomposition check: passes compose back to A ✓");
+
+    // The fused execution plan: adjacent passes that compose within
+    // the memory model collapse into single disk round-trips.
+    let fused = fuse_passes(&fac.passes, geom.b(), geom.m());
+    if !fused.verify(&perm) {
+        return Err("internal error: fused plan does not recompose".to_string());
+    }
+    println!(
+        "fused plan: {} executed step(s) for {} planned pass(es):",
+        fused.num_steps(),
+        fused.planned_passes()
+    );
+    for (i, step) in fused.steps.iter().enumerate() {
+        println!(
+            "  step {}: {}  ({:?} reads, {:?} writes){}",
+            i + 1,
+            step.label(),
+            step.reads(),
+            step.write,
+            if step.is_fused() {
+                format!(
+                    "  — fuses {} passes into one round-trip",
+                    step.num_replaced()
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!(
+        "predicted I/O: {} parallel I/Os fused vs {} unfused ({} round-trip(s) saved)",
+        fused.predicted_ios(&geom),
+        fused.unfused_ios(&geom),
+        fused.passes_saved()
+    );
     Ok(())
 }
 
@@ -145,8 +181,20 @@ pub fn run(a: &Args) -> Result<(), String> {
     sys.load_records(0, &(0..geom.records() as u64).collect::<Vec<_>>());
 
     let algorithm = a.get("algorithm").unwrap_or("auto");
+    let fuse = !a.has("no-fuse");
+    let execute =
+        |sys: &mut DiskSystem<u64>, passes: &[bmmc::Pass]| -> Result<BmmcReport, String> {
+            if fuse {
+                execute_passes(sys, passes).map_err(|e| e.to_string())
+            } else {
+                execute_passes_unfused(sys, passes).map_err(|e| e.to_string())
+            }
+        };
     let report = match algorithm {
-        "auto" => perform_bmmc(&mut sys, &perm).map_err(|e| e.to_string())?,
+        "auto" => {
+            let passes = plan_passes(&perm, geom.b(), geom.m()).map_err(|e| e.to_string())?;
+            execute(&mut sys, &passes)?
+        }
         "factor" => {
             let chunk = match a.get("chunk") {
                 Some(s) => parse_pow2(s)?,
@@ -154,9 +202,12 @@ pub fn run(a: &Args) -> Result<(), String> {
             };
             let fac =
                 factor_chunked(&perm, geom.b(), geom.m(), chunk).map_err(|e| e.to_string())?;
-            execute_passes(&mut sys, &fac.passes).map_err(|e| e.to_string())?
+            execute(&mut sys, &fac.passes)?
         }
-        "bpc" => perform_bpc_baseline(&mut sys, &perm).map_err(|e| e.to_string())?,
+        "bpc" => {
+            let plan = bpc_baseline_plan(&perm, geom.b(), geom.m()).map_err(|e| e.to_string())?;
+            execute(&mut sys, &plan.passes)?
+        }
         "sort" => {
             let rep = extsort::general_permute(&mut sys, |&x| x, |x| perm.target(x))
                 .map_err(|e| e.to_string())?;
@@ -175,13 +226,21 @@ pub fn run(a: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
-    let kinds: Vec<PassKind> = report.passes.iter().map(|p| p.kind).collect();
+    let kinds: Vec<String> = report.passes.iter().map(|p| p.label()).collect();
     println!(
         "{} pass(es) {:?}: {}",
         report.num_passes(),
         kinds,
         report.total
     );
+    if report.passes_saved() > 0 {
+        println!(
+            "pass fusion saved {} disk round-trip(s): {} planned passes ran as {} steps",
+            report.passes_saved(),
+            report.planned_passes(),
+            report.num_passes()
+        );
+    }
     if let Some(t) = sys.timing() {
         println!(
             "simulated time: {:.2} s ({} seeks, {} sequential accesses)",

@@ -40,6 +40,8 @@ RUN FLAGS:
   --timing MODEL        also simulate service time: hdd | ssd
   --chunk K             swap/erase chunk-size override (ablation)
   --verify              scan the output and confirm every placement
+  --no-fuse             disable pass-pair fusion (one round-trip per
+                        planned pass, for differential comparison)
 
 DETECT FLAGS:
   --targets FILE        one target address per line (decimal), length N
@@ -53,7 +55,7 @@ BUILTINS:
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(argv, &["verify"]) {
+    let parsed = match Args::parse(argv, &["verify", "no-fuse"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

@@ -90,6 +90,44 @@ fn factor_prints_plan() {
     let text = run_ok(&["factor", "--builtin", "random:9", "--geometry", GEOM]);
     assert!(text.contains("pass 1"));
     assert!(text.contains("recomposition check"));
+    // PR 3: the fused execution plan and its predicted savings.
+    assert!(text.contains("fused plan:"));
+    assert!(text.contains("predicted I/O:"));
+}
+
+#[test]
+fn bpc_baseline_reports_fusion_savings() {
+    // Bit reversal crosses the memory boundary at this geometry, so
+    // the BPC baseline plan has (MLD, MRC)+ MRC seams that fuse.
+    let fused = run_ok(&[
+        "run",
+        "--builtin",
+        "bit-reversal",
+        "--geometry",
+        GEOM,
+        "--algorithm",
+        "bpc",
+        "--verify",
+    ]);
+    assert!(
+        fused.contains("pass fusion saved"),
+        "no fusion reported:\n{fused}"
+    );
+    assert!(fused.contains("verified"));
+    // The opt-out executes every planned pass and reports no savings.
+    let unfused = run_ok(&[
+        "run",
+        "--builtin",
+        "bit-reversal",
+        "--geometry",
+        GEOM,
+        "--algorithm",
+        "bpc",
+        "--no-fuse",
+        "--verify",
+    ]);
+    assert!(!unfused.contains("pass fusion saved"));
+    assert!(unfused.contains("verified"));
 }
 
 #[test]

@@ -37,5 +37,5 @@
 pub mod merge;
 pub mod permute;
 
-pub use merge::{sort_by_key, SortReport};
+pub use merge::{sort_by_key, sort_by_key_with, SortConfig, SortReport};
 pub use permute::general_permute;

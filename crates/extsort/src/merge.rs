@@ -14,17 +14,40 @@
 //!    ([`pdm::DiskSystem::read_stripe_into`] — no per-refill
 //!    allocation); each pass costs exactly `2N/BD`.
 //!
-//!    (The merge keeps single-buffered cursors on purpose: prefetching
-//!    each run's next stripe would double the resident buffers to
-//!    `2F·BD > M` records and violate the memory model, so the
-//!    engine's overlap applies to run formation only.)
+//!    (The default merge keeps single-buffered cursors on purpose:
+//!    prefetching each run's next stripe would double the resident
+//!    buffers to `2F·BD > M` records and violate the memory model, so
+//!    the engine's overlap applies to run formation only.)
 //!
 //! Total: `(2N/BD)·(1 + ⌈log_F(N/M)⌉)` parallel I/Os.
+//!
+//! # Double-buffered merge variant
+//!
+//! [`SortConfig::double_buffered_merge`] trades fan-in for overlap:
+//! each cursor holds *two* stripe buffers and prefetches its next
+//! stripe split-phase ([`pdm::DiskSystem::begin_read`]) while the heap
+//! drains the current one, so in [`pdm::ServiceMode::Threaded`] the
+//! refill latency hides behind the comparisons. To stay inside `M`
+//! records the fan-in is halved — `F₂ = (M/BD − 1)/2` (two stripes per
+//! run plus the output stripe: `2F₂ + 1 ≤ M/BD`) — which *raises* the
+//! pass count to `1 + ⌈log_{F₂}(N/M)⌉`. Whether the per-pass overlap
+//! pays for the extra passes is exactly what the `engine_sweep`
+//! bench's `extsort` section measures; the model-faithful
+//! single-buffered merge remains the default.
 
 use pdm::engine::{ReadPlan, WritePlan};
-use pdm::{DiskSystem, IoStats, PassEngine, PdmError, Record};
+use pdm::{BlockRef, DiskSystem, IoStats, PassEngine, PdmError, ReadTicket, Record};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Configuration for [`sort_by_key_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SortConfig {
+    /// Use the double-buffered merge with halved fan-in (see the
+    /// module docs). Default false: the memory-model-faithful
+    /// single-buffered merge.
+    pub double_buffered_merge: bool,
+}
 
 /// Outcome of an external sort.
 #[derive(Clone, Copy, Debug)]
@@ -100,20 +123,40 @@ impl<R: Record> Cursor<R> {
     }
 }
 
-/// Sorts the `N` records in portion 0 by `key`, ascending. Requires a
-/// disk system with at least two portions, and `M ≥ 3·BD` (fan-in of
-/// at least two runs plus the output buffer).
+/// Sorts the `N` records in portion 0 by `key`, ascending, with the
+/// default (single-buffered, memory-model-faithful) merge. See
+/// [`sort_by_key_with`].
 pub fn sort_by_key<R: Record>(
     sys: &mut DiskSystem<R>,
     key: impl Fn(&R) -> u64 + Copy,
 ) -> Result<SortReport, PdmError> {
+    sort_by_key_with(sys, key, SortConfig::default())
+}
+
+/// Sorts the `N` records in portion 0 by `key`, ascending. Requires a
+/// disk system with at least two portions, and enough memory for a
+/// fan-in of at least two runs plus the output buffer (`M ≥ 3·BD`
+/// single-buffered, `M ≥ 5·BD` double-buffered).
+pub fn sort_by_key_with<R: Record>(
+    sys: &mut DiskSystem<R>,
+    key: impl Fn(&R) -> u64 + Copy,
+    cfg: SortConfig,
+) -> Result<SortReport, PdmError> {
     let geom = sys.geometry();
     assert!(sys.portions() >= 2, "sort needs two portions");
     let stripes_in_memory = geom.memory() / (geom.block() * geom.disks());
-    let fan_in = stripes_in_memory.saturating_sub(1);
+    // Single-buffered: F + 1 stripes resident. Double-buffered: each
+    // run holds two stripes, so 2F + 1 ≤ M/BD.
+    let fan_in = if cfg.double_buffered_merge {
+        stripes_in_memory.saturating_sub(1) / 2
+    } else {
+        stripes_in_memory.saturating_sub(1)
+    };
     if fan_in < 2 {
         return Err(PdmError::Config(format!(
-            "merge sort needs M ≥ 3·BD (fan-in {fan_in} < 2)"
+            "merge sort needs fan-in >= 2, got {fan_in} \
+             (M/BD = {stripes_in_memory}, double_buffered = {})",
+            cfg.double_buffered_merge
         )));
     }
     let before = sys.stats();
@@ -123,8 +166,8 @@ pub fn sort_by_key<R: Record>(
     let mut engine: PassEngine<R> = PassEngine::new(geom);
     engine.run_pass(
         sys,
-        |ml| ReadPlan::Memoryload { portion: 0, ml },
-        |ml, records, _scratch| {
+        |ml, _gather| ReadPlan::Memoryload { portion: 0, ml },
+        |ml, records, _scratch, _scatter| {
             records.sort_unstable_by_key(|r| key(r));
             WritePlan::Memoryload { portion: 1, ml }
         },
@@ -148,7 +191,11 @@ pub fn sort_by_key<R: Record>(
         for group in runs.chunks(fan_in) {
             let start = group[0].start;
             let end = group.last().unwrap().end;
-            merge_group(sys, src, dst, group, key, &mut out)?;
+            if cfg.double_buffered_merge {
+                merge_group_db(sys, src, dst, group, key, &mut out)?;
+            } else {
+                merge_group(sys, src, dst, group, key, &mut out)?;
+            }
             next_runs.push(Run { start, end });
         }
         runs = next_runs;
@@ -207,6 +254,168 @@ fn merge_group<R: Record>(
     }
     debug_assert!(out.is_empty(), "runs are stripe-aligned");
     debug_assert!(cursors.iter().all(Cursor::exhausted));
+    Ok(())
+}
+
+/// One run being consumed by the double-buffered merge: two stripe
+/// buffers, the active one draining while the other's refill is in
+/// flight split-phase.
+struct DbCursor<R: Record> {
+    run: Run,
+    /// Next stripe to *submit* (not yet issued).
+    next_stripe: usize,
+    bufs: [Vec<R>; 2],
+    /// Which buffer the heap is draining.
+    cur: usize,
+    filled: usize,
+    pos: usize,
+    /// In-flight refill of `bufs[1 - cur]`.
+    pending: Option<ReadTicket<R>>,
+}
+
+impl<R: Record> DbCursor<R> {
+    fn new(run: Run, stripe_len: usize) -> Self {
+        DbCursor {
+            run,
+            next_stripe: run.start,
+            bufs: [
+                vec![R::default(); stripe_len],
+                vec![R::default(); stripe_len],
+            ],
+            cur: 0,
+            filled: 0,
+            pos: 0,
+            pending: None,
+        }
+    }
+
+    /// Submits the next stripe read split-phase, if any remain and
+    /// none is in flight. `refs` is a reusable scratch.
+    fn prefetch(
+        &mut self,
+        sys: &mut DiskSystem<R>,
+        base: usize,
+        refs: &mut Vec<BlockRef>,
+    ) -> Result<(), PdmError> {
+        if self.pending.is_some() || self.next_stripe >= self.run.end {
+            return Ok(());
+        }
+        let slot = base + self.next_stripe;
+        refs.clear();
+        refs.extend((0..sys.geometry().disks()).map(|disk| BlockRef { disk, slot }));
+        self.pending = Some(sys.begin_read(refs)?);
+        self.next_stripe += 1;
+        Ok(())
+    }
+
+    /// Makes the next record available, completing the in-flight
+    /// refill and chaining the next prefetch; false when the run is
+    /// done.
+    fn ensure(
+        &mut self,
+        sys: &mut DiskSystem<R>,
+        base: usize,
+        refs: &mut Vec<BlockRef>,
+    ) -> Result<bool, PdmError> {
+        if self.pos < self.filled {
+            return Ok(true);
+        }
+        let Some(ticket) = self.pending.take() else {
+            return Ok(false);
+        };
+        let other = 1 - self.cur;
+        let len = self.bufs[other].len();
+        sys.finish_read(ticket, &mut self.bufs[other][..])?;
+        self.cur = other;
+        self.filled = len;
+        self.pos = 0;
+        // Start refilling the buffer just drained.
+        self.prefetch(sys, base, refs).map(|()| true)
+    }
+
+    fn peek(&self) -> &R {
+        &self.bufs[self.cur][self.pos]
+    }
+
+    fn pop(&mut self) -> R {
+        let r = self.bufs[self.cur][self.pos];
+        self.pos += 1;
+        r
+    }
+}
+
+/// Merges a group of consecutive runs with double-buffered cursors
+/// (split-phase prefetch). I/O *counts* are identical to
+/// [`merge_group`] — every stripe is still read exactly once — but in
+/// threaded mode the refills overlap the heap work.
+fn merge_group_db<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    group: &[Run],
+    key: impl Fn(&R) -> u64 + Copy,
+    out: &mut Vec<R>,
+) -> Result<(), PdmError> {
+    let geom = sys.geometry();
+    let src_base = sys.portion_base(src);
+    let stripe_len = geom.block() * geom.disks();
+    let mut cursors: Vec<DbCursor<R>> = group
+        .iter()
+        .map(|&run| DbCursor::new(run, stripe_len))
+        .collect();
+    let mut refs: Vec<BlockRef> = Vec::with_capacity(geom.disks());
+    let result = merge_group_db_inner(sys, src_base, dst, group, &mut cursors, &mut refs, key, out);
+    if result.is_err() {
+        // Abort path: reclaim every in-flight prefetch so no pooled
+        // buffers are stranded.
+        for c in &mut cursors {
+            if let Some(t) = c.pending.take() {
+                sys.discard_read(t);
+            }
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_group_db_inner<R: Record>(
+    sys: &mut DiskSystem<R>,
+    src_base: usize,
+    dst: usize,
+    group: &[Run],
+    cursors: &mut [DbCursor<R>],
+    refs: &mut Vec<BlockRef>,
+    key: impl Fn(&R) -> u64 + Copy,
+    out: &mut Vec<R>,
+) -> Result<(), PdmError> {
+    let geom = sys.geometry();
+    let dst_base = sys.portion_base(dst);
+    let stripe_len = geom.block() * geom.disks();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter_mut().enumerate() {
+        c.prefetch(sys, src_base, refs)?;
+        if c.ensure(sys, src_base, refs)? {
+            heap.push(Reverse((key(c.peek()), i)));
+        }
+    }
+    out.clear();
+    let mut out_stripe = group[0].start;
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let rec = cursors[i].pop();
+        out.push(rec);
+        if out.len() == stripe_len {
+            sys.write_stripe(dst_base + out_stripe, out)?;
+            out_stripe += 1;
+            out.clear();
+        }
+        if cursors[i].ensure(sys, src_base, refs)? {
+            heap.push(Reverse((key(cursors[i].peek()), i)));
+        }
+    }
+    debug_assert!(out.is_empty(), "runs are stripe-aligned");
+    debug_assert!(cursors
+        .iter()
+        .all(|c| c.pending.is_none() && c.pos >= c.filled));
     Ok(())
 }
 
@@ -323,6 +532,93 @@ mod tests {
         let report = sort_by_key(&mut sys, |&r| r).unwrap();
         let out = sys.dump_records(report.final_portion);
         assert_eq!(out, (0..g.records() as u64).collect::<Vec<u64>>());
+    }
+
+    /// Geometry with M/BD = 8 stripes in memory: single-buffered
+    /// fan-in 7, double-buffered fan-in 3.
+    fn db_geom() -> Geometry {
+        Geometry::new(1 << 10, 1 << 1, 1 << 1, 1 << 5).unwrap()
+    }
+
+    #[test]
+    fn double_buffered_merge_sorts_identically() {
+        let g = db_geom();
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut records: Vec<u64> = (0..g.records() as u64).collect();
+        records.shuffle(&mut rng);
+        let run = |cfg: SortConfig, mode: ServiceMode| {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode);
+            sys.load_records(0, &records);
+            let report = sort_by_key_with(&mut sys, |&r| r, cfg).unwrap();
+            assert_eq!(
+                sys.buffer_pool_stats().outstanding,
+                0,
+                "merge stranded pooled buffers"
+            );
+            (report, sys.dump_records(report.final_portion))
+        };
+        let single = SortConfig::default();
+        let double = SortConfig {
+            double_buffered_merge: true,
+        };
+        let expect: Vec<u64> = (0..g.records() as u64).collect();
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let (sr, sout) = run(single, mode);
+            let (dr, dout) = run(double, mode);
+            assert_eq!(sout, expect, "single-buffered missorted in {mode:?}");
+            assert_eq!(dout, expect, "double-buffered missorted in {mode:?}");
+            // Halved fan-in: 7 → 3; more passes, every pass still
+            // exactly 2N/BD striped parallel I/Os.
+            assert_eq!(sr.fan_in, 7);
+            assert_eq!(dr.fan_in, 3);
+            assert!(dr.passes >= sr.passes);
+            for r in [&sr, &dr] {
+                assert_eq!(
+                    r.total.parallel_ios() as usize,
+                    r.passes * g.ios_per_pass(),
+                    "pass-cost identity broken"
+                );
+                assert_eq!(r.total.striped_reads, r.total.parallel_reads);
+                assert_eq!(r.total.striped_writes, r.total.parallel_writes);
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffered_pass_count_matches_halved_fan_in_formula() {
+        let g = db_geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &(0..g.records() as u64).rev().collect::<Vec<_>>());
+        let report = sort_by_key_with(
+            &mut sys,
+            |&r| r,
+            SortConfig {
+                double_buffered_merge: true,
+            },
+        )
+        .unwrap();
+        // N/M = 32 runs at fan-in 3: 32 → 11 → 4 → 2 → 1, so 4 merge
+        // passes + run formation.
+        assert_eq!(report.passes, 5);
+    }
+
+    #[test]
+    fn double_buffered_rejects_too_small_memory() {
+        // M/BD = 4: single-buffered fan-in 3 works, double-buffered
+        // fan-in 1 must be rejected.
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+        assert!(sort_by_key_with(
+            &mut sys,
+            |&r| r,
+            SortConfig {
+                double_buffered_merge: true
+            }
+        )
+        .is_err());
+        assert!(sort_by_key(&mut sys, |&r| r).is_ok());
     }
 
     #[test]

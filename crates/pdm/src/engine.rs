@@ -2,27 +2,38 @@
 //! with double-buffered I/O overlap.
 //!
 //! Every algorithm in this workspace — the BMMC one-pass executors, the
-//! BPC baseline chunks, external-sort run formation — reduces to the
-//! same inner loop: stream the `N` records through memory one
-//! `M`-record *memoryload* at a time, rearrange in RAM, write back. The
-//! [`PassEngine`] is that loop, written once:
+//! pass-fusion executor, the BPC baseline chunks, external-sort run
+//! formation — reduces to the same inner loop: stream the `N` records
+//! through memory one `M`-record *memoryload* at a time, rearrange in
+//! RAM, write back. The [`PassEngine`] is that loop, written once:
 //!
 //! * **reads** come from a [`ReadPlan`] per memoryload — either the
 //!   `M/BD` consecutive stripes of a source memoryload (striped reads)
 //!   or an arbitrary gather of independent block batches (the MLD⁻¹
-//!   discipline);
+//!   discipline), described by the engine-owned [`BlockBatches`]
+//!   buffer the `reads` callback fills in place;
 //! * the caller's **transform** rearranges the `M` records in memory
 //!   (a scratch memoryload buffer is provided for out-of-place
 //!   scatters);
 //! * **writes** go out per the returned [`WritePlan`] — striped to a
 //!   target memoryload, or an independent scatter of block batches
-//!   (the MLD discipline).
+//!   (the MLD discipline), again via an engine-owned [`BlockBatches`].
 //!
 //! Costs are exactly those of the hand-written loops the engine
 //! replaces: each memoryload is read once and written once, so a full
 //! pass is `2N/BD` parallel I/Os, with the striped/independent split
 //! determined entirely by the plans. [`IoStats`](crate::IoStats) is
 //! charged through the ordinary [`DiskSystem`] accounting.
+//!
+//! # Steady-state allocation freedom
+//!
+//! All plan storage is owned by the engine and reused across
+//! memoryloads and passes: the gather/scatter batch buffers, the
+//! striped-plan reference scratch, and the write-ticket list. After
+//! the first memoryload of the first pass, the engine's hot loop
+//! performs **no heap allocation** in the synchronous service modes
+//! (`crates/pdm/tests/engine_alloc.rs` asserts this with a counting
+//! global allocator; the threaded mode's channel machinery is exempt).
 //!
 //! # Overlap
 //!
@@ -53,8 +64,8 @@
 //! engine
 //!     .run_pass(
 //!         &mut sys,
-//!         |ml| ReadPlan::Memoryload { portion: 0, ml },
-//!         |ml, data, _scratch| {
+//!         |ml, _gather| ReadPlan::Memoryload { portion: 0, ml },
+//!         |ml, data, _scratch, _scatter| {
 //!             data.reverse();
 //!             WritePlan::Memoryload { portion: 1, ml }
 //!         },
@@ -69,8 +80,67 @@ use crate::error::Result;
 use crate::record::Record;
 use crate::system::{BlockRef, DiskSystem, ReadTicket, ServiceMode, WriteTicket};
 
+/// A flat, reusable sequence of equal-sized block-reference batches.
+///
+/// Each batch is one parallel I/O of `batch_len` blocks (at most one
+/// per disk); batch `k`'s request `j` corresponds to buffer offset
+/// `(k·batch_len + j) · B` records. This replaces the former
+/// per-memoryload `Vec<Vec<BlockRef>>` plan shape: one flat vector plus
+/// a uniform batch length, cleared and refilled in place each
+/// memoryload, so steady-state passes allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct BlockBatches {
+    refs: Vec<BlockRef>,
+    batch_len: usize,
+}
+
+impl BlockBatches {
+    /// Clears the batches and sets the per-batch length for refilling.
+    pub fn reset(&mut self, batch_len: usize) {
+        assert!(batch_len > 0, "batches must contain at least one block");
+        self.refs.clear();
+        self.batch_len = batch_len;
+    }
+
+    /// Appends one block reference to the current tail batch.
+    pub fn push(&mut self, r: BlockRef) {
+        self.refs.push(r);
+    }
+
+    /// Blocks per batch (per parallel I/O).
+    pub fn batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// Total block references pushed so far.
+    pub fn total_blocks(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Number of complete batches.
+    pub fn num_batches(&self) -> usize {
+        self.refs.len().checked_div(self.batch_len).unwrap_or(0)
+    }
+
+    /// True if no references have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Iterates over the batches, each one parallel I/O.
+    pub fn batches(&self) -> impl Iterator<Item = &[BlockRef]> {
+        assert!(
+            self.batch_len > 0 && self.refs.len().is_multiple_of(self.batch_len),
+            "ragged batch set: {} refs with batch length {}",
+            self.refs.len(),
+            self.batch_len
+        );
+        self.refs.chunks_exact(self.batch_len)
+    }
+}
+
 /// Where one memoryload's records come from.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum ReadPlan {
     /// The `M/BD` consecutive stripes of memoryload `ml` in `portion`,
     /// read with striped parallel I/Os.
@@ -80,19 +150,15 @@ pub enum ReadPlan {
         /// Memoryload index within the portion.
         ml: usize,
     },
-    /// Independent block batches; each inner vector is one parallel I/O
-    /// of at most one block per disk. Batch `k`'s request `j` lands at
-    /// buffer offset `(sum of earlier batch sizes + j) · B`; the total
-    /// must be exactly `M` records. Block slots are absolute (include
-    /// the portion base).
-    Gather {
-        /// The batches, in issue order.
-        batches: Vec<Vec<BlockRef>>,
-    },
+    /// Independent block batches, as filled into the engine's
+    /// [`BlockBatches`] argument of the `reads` callback. The total
+    /// must be exactly `M` records; slots are absolute (include the
+    /// portion base).
+    Gather,
 }
 
 /// Where one memoryload's records go.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum WritePlan {
     /// Striped writes to memoryload `ml` of `portion`.
     Memoryload {
@@ -101,21 +167,28 @@ pub enum WritePlan {
         /// Memoryload index within the portion.
         ml: usize,
     },
-    /// Independent block batches; batch `k`'s request `j` takes the
-    /// block at buffer offset `(sum of earlier batch sizes + j) · B`.
-    /// The total must be exactly `M` records. Slots are absolute.
-    Scatter {
-        /// The batches, in issue order.
-        batches: Vec<Vec<BlockRef>>,
-    },
+    /// Independent block batches, as filled into the engine's
+    /// [`BlockBatches`] argument of the `transform` callback. The
+    /// total must be exactly `M` records; slots are absolute.
+    Scatter,
 }
 
 /// The reusable streaming loop. Owns two `M`-record buffers (data and
-/// scratch) that persist across passes, so a multi-pass algorithm
-/// allocates its working memory once.
+/// scratch) plus all plan storage (gather/scatter batches, striped
+/// reference scratch, ticket lists), so a multi-pass algorithm
+/// allocates its working memory once and streams every subsequent
+/// memoryload allocation-free.
 pub struct PassEngine<R: Record> {
     data: Vec<R>,
     scratch: Vec<R>,
+    /// Gather plan storage, refilled by the `reads` callback.
+    gather: BlockBatches,
+    /// Scatter plan storage, refilled by the `transform` callback.
+    scatter: BlockBatches,
+    /// Reused per-stripe reference scratch for striped plans.
+    stripe_refs: Vec<BlockRef>,
+    /// Reused in-flight write tickets (bounded to one memoryload).
+    write_tickets: Vec<WriteTicket<R>>,
 }
 
 /// The reads for one memoryload, in whichever phase the service mode
@@ -126,7 +199,9 @@ enum PendingLoad<R: Record> {
     /// One ticket per parallel I/O, each tagged with its destination
     /// offset (in records) in the memoryload buffer.
     Tickets(Vec<(usize, ReadTicket<R>)>),
-    /// Not yet issued; performed synchronously at collection time.
+    /// Not yet issued; performed synchronously at collection time. A
+    /// deferred [`ReadPlan::Gather`] refers to the engine's gather
+    /// batches, which stay untouched until the plan executes.
     Plan(ReadPlan),
 }
 
@@ -143,16 +218,23 @@ impl<R: Record> PassEngine<R> {
         PassEngine {
             data: vec![R::default(); geom.memory()],
             scratch: vec![R::default(); geom.memory()],
+            gather: BlockBatches::default(),
+            scatter: BlockBatches::default(),
+            stripe_refs: Vec::with_capacity(geom.disks()),
+            write_tickets: Vec::with_capacity(geom.stripes_per_memoryload()),
         }
     }
 
     /// Streams every memoryload of the system through `transform`.
     ///
-    /// `reads(t)` supplies the [`ReadPlan`] for memoryload `t`
-    /// (`t` in `0 .. N/M`); `transform(t, data, scratch)` rearranges
-    /// the `M` records (leaving the result in `data`, using `scratch`
-    /// freely) and returns the [`WritePlan`]. A pass costs exactly
-    /// `2N/BD` parallel I/Os.
+    /// `reads(t, gather)` supplies the [`ReadPlan`] for memoryload `t`
+    /// (`t` in `0 .. N/M`), filling `gather` in place (after a
+    /// [`BlockBatches::reset`]) when it returns [`ReadPlan::Gather`];
+    /// `transform(t, data, scratch, scatter)` rearranges the `M`
+    /// records (leaving the result in `data`, using `scratch` freely)
+    /// and returns the [`WritePlan`], filling `scatter` when it
+    /// returns [`WritePlan::Scatter`]. A pass costs exactly `2N/BD`
+    /// parallel I/Os.
     ///
     /// Contract for `reads`: it is called exactly once per memoryload,
     /// in increasing order, but — when overlap is active — up to one
@@ -180,25 +262,18 @@ impl<R: Record> PassEngine<R> {
         mut transform: G,
     ) -> Result<()>
     where
-        F: FnMut(usize) -> ReadPlan,
-        G: FnMut(usize, &mut Vec<R>, &mut Vec<R>) -> WritePlan,
+        F: FnMut(usize, &mut BlockBatches) -> ReadPlan,
+        G: FnMut(usize, &mut Vec<R>, &mut Vec<R>, &mut BlockBatches) -> WritePlan,
     {
         let mut pending_read: Option<PendingLoad<R>> = None;
-        let mut pending_writes: Vec<WriteTicket<R>> = Vec::new();
-        let result = self.run_pass_inner(
-            sys,
-            &mut pending_read,
-            &mut pending_writes,
-            &mut reads,
-            &mut transform,
-        );
+        let result = self.run_pass_inner(sys, &mut pending_read, &mut reads, &mut transform);
         if result.is_err() {
             if let Some(PendingLoad::Tickets(tickets)) = pending_read.take() {
                 for (_, t) in tickets {
                     sys.discard_read(t);
                 }
             }
-            for t in pending_writes.drain(..) {
+            for t in self.write_tickets.drain(..) {
                 // Transfer errors here are masked by the original
                 // error; buffers are reclaimed either way.
                 let _ = sys.finish_write(t);
@@ -211,13 +286,12 @@ impl<R: Record> PassEngine<R> {
         &mut self,
         sys: &mut DiskSystem<R>,
         pending_read: &mut Option<PendingLoad<R>>,
-        pending_writes: &mut Vec<WriteTicket<R>>,
         reads: &mut F,
         transform: &mut G,
     ) -> Result<()>
     where
-        F: FnMut(usize) -> ReadPlan,
-        G: FnMut(usize, &mut Vec<R>, &mut Vec<R>) -> WritePlan,
+        F: FnMut(usize, &mut BlockBatches) -> ReadPlan,
+        G: FnMut(usize, &mut Vec<R>, &mut Vec<R>, &mut BlockBatches) -> WritePlan,
     {
         let geom = sys.geometry();
         let loads = geom.memoryloads();
@@ -226,6 +300,7 @@ impl<R: Record> PassEngine<R> {
             self.data.len() == mem && self.scratch.len() == mem,
             "engine built for a different geometry"
         );
+        self.write_tickets.clear();
         // Overlap only pays (and only changes operation ordering) when
         // the service threads can run transfers behind the CPU. In the
         // synchronous modes the engine degenerates to the classic loop:
@@ -233,34 +308,52 @@ impl<R: Record> PassEngine<R> {
         // classic operation order.
         let overlap = sys.service_mode() == ServiceMode::Threaded;
 
+        let first = reads(0, &mut self.gather);
         *pending_read = Some(if overlap {
-            PendingLoad::Tickets(Self::issue_reads(sys, &geom, reads(0))?)
+            PendingLoad::Tickets(Self::issue_reads(
+                sys,
+                &geom,
+                first,
+                &self.gather,
+                &mut self.stripe_refs,
+            )?)
         } else {
-            PendingLoad::Plan(reads(0))
+            PendingLoad::Plan(first)
         });
         for t in 0..loads {
             let current = pending_read.take().expect("read pipeline primed");
-            Self::collect_reads(sys, &geom, current, &mut self.data)?;
+            Self::collect_reads(sys, &geom, current, &self.gather, &mut self.data)?;
             if overlap && t + 1 < loads {
+                let plan = reads(t + 1, &mut self.gather);
                 *pending_read = Some(PendingLoad::Tickets(Self::issue_reads(
                     sys,
                     &geom,
-                    reads(t + 1),
+                    plan,
+                    &self.gather,
+                    &mut self.stripe_refs,
                 )?));
             }
-            let wp = transform(t, &mut self.data, &mut self.scratch);
+            let wp = transform(t, &mut self.data, &mut self.scratch, &mut self.scatter);
             // Bound the write pipeline to one memoryload: drain the
             // previous load's writes before issuing this load's.
-            Self::drain_writes(sys, pending_writes)?;
-            *pending_writes = Self::issue_writes(sys, &geom, wp, &self.data)?;
+            Self::drain_writes(sys, &mut self.write_tickets)?;
+            Self::issue_writes(
+                sys,
+                &geom,
+                wp,
+                &self.scatter,
+                &self.data,
+                &mut self.stripe_refs,
+                &mut self.write_tickets,
+            )?;
             if !overlap && t + 1 < loads {
                 // Synchronous modes: keep the classic loop's operation
                 // order (write memoryload t, then read t+1).
-                Self::drain_writes(sys, pending_writes)?;
-                *pending_read = Some(PendingLoad::Plan(reads(t + 1)));
+                Self::drain_writes(sys, &mut self.write_tickets)?;
+                *pending_read = Some(PendingLoad::Plan(reads(t + 1, &mut self.gather)));
             }
         }
-        Self::drain_writes(sys, pending_writes)?;
+        Self::drain_writes(sys, &mut self.write_tickets)?;
         Ok(())
     }
 
@@ -286,6 +379,8 @@ impl<R: Record> PassEngine<R> {
         sys: &mut DiskSystem<R>,
         geom: &Geometry,
         plan: ReadPlan,
+        gather: &BlockBatches,
+        stripe_refs: &mut Vec<BlockRef>,
     ) -> Result<Vec<(usize, ReadTicket<R>)>> {
         let block = geom.block();
         let mut tickets = Vec::new();
@@ -314,26 +409,25 @@ impl<R: Record> PassEngine<R> {
                 let stripe_len = block * geom.disks();
                 let base = sys.portion_base(portion) + ml * spm;
                 for s in 0..spm {
-                    let refs: Vec<BlockRef> = (0..geom.disks())
-                        .map(|disk| BlockRef {
-                            disk,
-                            slot: base + s,
-                        })
-                        .collect();
-                    issue(sys, s * stripe_len, &refs, &mut tickets)?;
+                    stripe_refs.clear();
+                    stripe_refs.extend((0..geom.disks()).map(|disk| BlockRef {
+                        disk,
+                        slot: base + s,
+                    }));
+                    issue(sys, s * stripe_len, stripe_refs, &mut tickets)?;
                 }
             }
-            ReadPlan::Gather { batches } => {
-                let mut offset = 0;
-                for refs in &batches {
-                    issue(sys, offset, refs, &mut tickets)?;
-                    offset += refs.len() * block;
-                }
+            ReadPlan::Gather => {
                 assert_eq!(
-                    offset,
+                    gather.total_blocks() * block,
                     geom.memory(),
                     "gather plan must cover exactly one memoryload"
                 );
+                let mut offset = 0;
+                for refs in gather.batches() {
+                    issue(sys, offset, refs, &mut tickets)?;
+                    offset += refs.len() * block;
+                }
             }
         }
         Ok(tickets)
@@ -345,6 +439,7 @@ impl<R: Record> PassEngine<R> {
         sys: &mut DiskSystem<R>,
         geom: &Geometry,
         load: PendingLoad<R>,
+        gather: &BlockBatches,
         out: &mut [R],
     ) -> Result<()> {
         let block = geom.block();
@@ -368,77 +463,77 @@ impl<R: Record> PassEngine<R> {
             PendingLoad::Plan(ReadPlan::Memoryload { portion, ml }) => {
                 sys.read_memoryload_into(portion, ml, out)
             }
-            PendingLoad::Plan(ReadPlan::Gather { batches }) => {
+            PendingLoad::Plan(ReadPlan::Gather) => {
+                assert_eq!(
+                    gather.total_blocks() * block,
+                    geom.memory(),
+                    "gather plan must cover exactly one memoryload"
+                );
                 let mut offset = 0;
-                for refs in &batches {
+                for refs in gather.batches() {
                     let len = refs.len() * block;
                     sys.read_blocks_into(refs, &mut out[offset..offset + len])?;
                     offset += len;
                 }
-                assert_eq!(
-                    offset,
-                    geom.memory(),
-                    "gather plan must cover exactly one memoryload"
-                );
                 Ok(())
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_writes(
         sys: &mut DiskSystem<R>,
         geom: &Geometry,
         plan: WritePlan,
+        scatter: &BlockBatches,
         data: &[R],
-    ) -> Result<Vec<WriteTicket<R>>> {
+        stripe_refs: &mut Vec<BlockRef>,
+        tickets: &mut Vec<WriteTicket<R>>,
+    ) -> Result<()> {
         let block = geom.block();
-        let mut tickets = Vec::new();
+        debug_assert!(tickets.is_empty(), "previous load's writes not drained");
+        let abort = |sys: &mut DiskSystem<R>, tickets: &mut Vec<WriteTicket<R>>, e| {
+            for t in tickets.drain(..) {
+                let _ = sys.finish_write(t);
+            }
+            Err(e)
+        };
         match plan {
             WritePlan::Memoryload { portion, ml } => {
                 let spm = geom.stripes_per_memoryload();
                 let stripe_len = block * geom.disks();
                 let base = sys.portion_base(portion) + ml * spm;
                 for s in 0..spm {
-                    let refs: Vec<BlockRef> = (0..geom.disks())
-                        .map(|disk| BlockRef {
-                            disk,
-                            slot: base + s,
-                        })
-                        .collect();
-                    match sys.begin_write(&refs, &data[s * stripe_len..(s + 1) * stripe_len]) {
+                    stripe_refs.clear();
+                    stripe_refs.extend((0..geom.disks()).map(|disk| BlockRef {
+                        disk,
+                        slot: base + s,
+                    }));
+                    match sys.begin_write(stripe_refs, &data[s * stripe_len..(s + 1) * stripe_len])
+                    {
                         Ok(t) => tickets.push(t),
-                        Err(e) => {
-                            for t in tickets {
-                                let _ = sys.finish_write(t);
-                            }
-                            return Err(e);
-                        }
+                        Err(e) => return abort(sys, tickets, e),
                     }
                 }
             }
-            WritePlan::Scatter { batches } => {
-                let mut offset = 0;
-                for refs in &batches {
-                    let len = refs.len() * block;
-                    match sys.begin_write(refs, &data[offset..offset + len]) {
-                        Ok(t) => tickets.push(t),
-                        Err(e) => {
-                            for t in tickets {
-                                let _ = sys.finish_write(t);
-                            }
-                            return Err(e);
-                        }
-                    }
-                    offset += len;
-                }
+            WritePlan::Scatter => {
                 assert_eq!(
-                    offset,
+                    scatter.total_blocks() * block,
                     geom.memory(),
                     "scatter plan must cover exactly one memoryload"
                 );
+                let mut offset = 0;
+                for refs in scatter.batches() {
+                    let len = refs.len() * block;
+                    match sys.begin_write(refs, &data[offset..offset + len]) {
+                        Ok(t) => tickets.push(t),
+                        Err(e) => return abort(sys, tickets, e),
+                    }
+                    offset += len;
+                }
             }
         }
-        Ok(tickets)
+        Ok(())
     }
 }
 
@@ -457,8 +552,8 @@ mod tests {
         engine
             .run_pass(
                 sys,
-                |ml| ReadPlan::Memoryload { portion: 0, ml },
-                |ml, _data, _scratch| WritePlan::Memoryload { portion: 1, ml },
+                |ml, _g| ReadPlan::Memoryload { portion: 0, ml },
+                |ml, _data, _scratch, _s| WritePlan::Memoryload { portion: 1, ml },
             )
             .unwrap();
     }
@@ -495,8 +590,8 @@ mod tests {
         engine
             .run_pass(
                 &mut sys,
-                |ml| ReadPlan::Memoryload { portion: 0, ml },
-                |ml, data, scratch| {
+                |ml, _g| ReadPlan::Memoryload { portion: 0, ml },
+                |ml, data, scratch, _s| {
                     // Out-of-place reversal via scratch, then swap.
                     for (i, &r) in data.iter().enumerate() {
                         scratch[data.len() - 1 - i] = r;
@@ -532,29 +627,29 @@ mod tests {
         engine
             .run_pass(
                 &mut sys,
-                |ml| ReadPlan::Gather {
-                    batches: (0..spm)
-                        .map(|s| {
-                            (0..g.disks())
-                                .map(|disk| BlockRef {
-                                    disk,
-                                    slot: ml * spm + s,
-                                })
-                                .collect()
-                        })
-                        .collect(),
+                |ml, gather| {
+                    gather.reset(g.disks());
+                    for s in 0..spm {
+                        for disk in 0..g.disks() {
+                            gather.push(BlockRef {
+                                disk,
+                                slot: ml * spm + s,
+                            });
+                        }
+                    }
+                    ReadPlan::Gather
                 },
-                |ml, _data, _scratch| WritePlan::Scatter {
-                    batches: (0..spm)
-                        .map(|s| {
-                            (0..g.disks())
-                                .map(|disk| BlockRef {
-                                    disk,
-                                    slot: dst_base + ml * spm + s,
-                                })
-                                .collect()
-                        })
-                        .collect(),
+                |ml, _data, _scratch, scatter| {
+                    scatter.reset(g.disks());
+                    for s in 0..spm {
+                        for disk in 0..g.disks() {
+                            scatter.push(BlockRef {
+                                disk,
+                                slot: dst_base + ml * spm + s,
+                            });
+                        }
+                    }
+                    WritePlan::Scatter
                 },
             )
             .unwrap();
@@ -574,8 +669,8 @@ mod tests {
             engine
                 .run_pass(
                     &mut sys,
-                    |ml| ReadPlan::Memoryload { portion: 0, ml },
-                    |ml, data, _| {
+                    |ml, _g| ReadPlan::Memoryload { portion: 0, ml },
+                    |ml, data, _, _| {
                         data.rotate_left(3);
                         WritePlan::Memoryload {
                             portion: 1,
@@ -605,8 +700,8 @@ mod tests {
             let err = engine
                 .run_pass(
                     &mut sys,
-                    |ml| ReadPlan::Memoryload { portion: 0, ml },
-                    |ml, _, _| WritePlan::Memoryload { portion: 1, ml },
+                    |ml, _g| ReadPlan::Memoryload { portion: 0, ml },
+                    |ml, _, _, _| WritePlan::Memoryload { portion: 1, ml },
                 )
                 .unwrap_err();
             assert!(matches!(err, PdmError::Fault { .. }), "mode {mode:?}");
@@ -630,11 +725,29 @@ mod tests {
         engine
             .run_pass(
                 &mut sys,
-                |ml| ReadPlan::Memoryload { portion: 1, ml },
-                |ml, _d, _s| WritePlan::Memoryload { portion: 0, ml },
+                |ml, _g| ReadPlan::Memoryload { portion: 1, ml },
+                |ml, _d, _s, _b| WritePlan::Memoryload { portion: 0, ml },
             )
             .unwrap();
         assert_eq!(sys.dump_records(0), input);
         assert_eq!(sys.stats().parallel_ios() as usize, 2 * g.ios_per_pass());
+    }
+
+    #[test]
+    fn block_batches_bookkeeping() {
+        let mut b = BlockBatches::default();
+        b.reset(2);
+        for slot in 0..4 {
+            b.push(BlockRef { disk: 0, slot });
+            b.push(BlockRef { disk: 1, slot });
+        }
+        assert_eq!(b.batch_len(), 2);
+        assert_eq!(b.num_batches(), 4);
+        assert_eq!(b.total_blocks(), 8);
+        assert_eq!(b.batches().count(), 4);
+        // Reset reuses the storage with a new shape.
+        b.reset(4);
+        assert!(b.is_empty());
+        assert_eq!(b.num_batches(), 0);
     }
 }

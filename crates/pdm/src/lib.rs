@@ -46,7 +46,7 @@ pub mod system;
 pub mod timing;
 
 pub use config::Geometry;
-pub use engine::{PassEngine, ReadPlan, WritePlan};
+pub use engine::{BlockBatches, PassEngine, ReadPlan, WritePlan};
 pub use error::{PdmError, Result};
 pub use fault::FaultPlan;
 pub use layout::Layout;

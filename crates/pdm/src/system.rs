@@ -169,14 +169,14 @@ pub struct ReadTicket<R: Record> {
     pending: usize,
     /// Buffers already filled in request order (synchronous modes).
     sync: Vec<Vec<R>>,
-    /// Requested disks in request order, for error attribution.
-    disks: Vec<usize>,
+    /// Number of requested blocks (one per disk).
+    count: usize,
 }
 
 impl<R: Record> ReadTicket<R> {
     /// Records transferred by this operation.
     pub fn records(&self, block: usize) -> usize {
-        self.disks.len() * block
+        self.count * block
     }
 }
 
@@ -201,6 +201,11 @@ pub struct DiskSystem<R: Record> {
     op_counter: u64,
     timing: Option<TimingTracker>,
     striped_only: bool,
+    /// Reused duplicate-disk scratch for per-operation validation, so
+    /// the admission path allocates nothing in steady state.
+    seen_disks: Vec<bool>,
+    /// Reused stripe-reference scratch for [`Self::read_stripe_into`].
+    stripe_scratch: Vec<BlockRef>,
 }
 
 impl<R: Record> DiskSystem<R> {
@@ -224,6 +229,8 @@ impl<R: Record> DiskSystem<R> {
             op_counter: 0,
             timing: None,
             striped_only: false,
+            seen_disks: vec![false; geom.disks()],
+            stripe_scratch: Vec::with_capacity(geom.disks()),
         }
     }
 
@@ -334,21 +341,17 @@ impl<R: Record> DiskSystem<R> {
         self.striped_only = on;
     }
 
-    fn validate(&self, refs: impl Iterator<Item = BlockRef>) -> Result<()> {
-        let mut seen = vec![false; self.geom.disks()];
+    fn validate(&mut self, refs: impl Iterator<Item = BlockRef>) -> Result<()> {
+        let slots_per_disk = self.slots_per_disk();
+        let disks = self.geom.disks();
+        self.seen_disks.fill(false);
+        let seen = &mut self.seen_disks;
         for r in refs {
-            if r.disk >= self.geom.disks() {
+            if r.disk >= disks || r.slot >= slots_per_disk {
                 return Err(PdmError::OutOfRange {
                     disk: r.disk,
                     slot: r.slot,
-                    slots_per_disk: self.slots_per_disk(),
-                });
-            }
-            if r.slot >= self.slots_per_disk() {
-                return Err(PdmError::OutOfRange {
-                    disk: r.disk,
-                    slot: r.slot,
-                    slots_per_disk: self.slots_per_disk(),
+                    slots_per_disk,
                 });
             }
             if seen[r.disk] {
@@ -581,12 +584,12 @@ impl<R: Record> DiskSystem<R> {
                 rx: None,
                 pending: 0,
                 sync: Vec::new(),
-                disks: Vec::new(),
+                count: 0,
             });
         }
         self.admit(refs)?;
         self.charge(refs, true);
-        let disks: Vec<usize> = refs.iter().map(|r| r.disk).collect();
+        let count = refs.len();
         match &mut self.service {
             Service::Pooled(pool) => {
                 let (tx, rx) = channel();
@@ -606,7 +609,7 @@ impl<R: Record> DiskSystem<R> {
                     rx: Some(rx),
                     pending: refs.len(),
                     sync: Vec::new(),
-                    disks,
+                    count,
                 })
             }
             Service::Serial(units) | Service::SpawnPerOp(units) => {
@@ -632,7 +635,7 @@ impl<R: Record> DiskSystem<R> {
                     rx: None,
                     pending: 0,
                     sync,
-                    disks,
+                    count,
                 })
             }
         }
@@ -645,9 +648,9 @@ impl<R: Record> DiskSystem<R> {
         let block = self.geom.block();
         assert_eq!(
             out.len(),
-            ticket.disks.len() * block,
+            ticket.count * block,
             "finish_read requires {} records of output space",
-            ticket.disks.len() * block
+            ticket.count * block
         );
         let ReadTicket {
             rx, pending, sync, ..
@@ -788,6 +791,9 @@ impl<R: Record> DiskSystem<R> {
     // ------------------------------------------------------------------
     // Striped convenience layers.
 
+    /// The `D` references of the stripe at `slot` (test convenience;
+    /// production paths reuse scratch buffers instead).
+    #[cfg(test)]
     fn stripe_refs(&self, slot: usize) -> Vec<BlockRef> {
         (0..self.geom.disks())
             .map(|disk| BlockRef { disk, slot })
@@ -795,10 +801,15 @@ impl<R: Record> DiskSystem<R> {
     }
 
     /// Striped read of the stripe at `slot` into `out` (`B·D` records
-    /// in address order), with no per-block allocation.
+    /// in address order), with no allocation at all in steady state
+    /// (the reference scratch is a reused field).
     pub fn read_stripe_into(&mut self, slot: usize, out: &mut [R]) -> Result<()> {
-        let refs = self.stripe_refs(slot);
-        self.read_blocks_into(&refs, out)
+        let mut refs = std::mem::take(&mut self.stripe_scratch);
+        refs.clear();
+        refs.extend((0..self.geom.disks()).map(|disk| BlockRef { disk, slot }));
+        let result = self.read_blocks_into(&refs, out);
+        self.stripe_scratch = refs;
+        result
     }
 
     /// Striped read of the stripe at `slot`: the `D` blocks at the same
@@ -1008,6 +1019,8 @@ impl<R: Record + ByteRecord> DiskSystem<R> {
             op_counter: 0,
             timing: None,
             striped_only: false,
+            seen_disks: vec![false; geom.disks()],
+            stripe_scratch: Vec::with_capacity(geom.disks()),
         })
     }
 }

@@ -1,0 +1,140 @@
+//! Steady-state allocation freedom of the engine hot loop.
+//!
+//! The [`pdm::PassEngine`] owns all its plan storage — the memoryload
+//! buffers, the flat [`pdm::BlockBatches`] gather/scatter sets, the
+//! striped-plan reference scratch, and the write-ticket list — and the
+//! [`pdm::DiskSystem`] admission path reuses its validation scratch.
+//! After a warm-up pass, streaming further passes through the engine
+//! in the serial service mode must perform **zero** heap allocations,
+//! for striped and for gather/scatter plans alike. (The threaded mode
+//! is exempt: its channel machinery allocates per operation by
+//! design.)
+//!
+//! Verified the blunt way: a counting `#[global_allocator]` wraps the
+//! system allocator, and the second pass must leave the counter
+//! untouched. This file holds only these tests so no other test's
+//! allocations can interfere.
+
+use pdm::engine::{PassEngine, ReadPlan, WritePlan};
+use pdm::{BlockRef, DiskSystem, Geometry, ServiceMode};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// N=512, B=2, D=4, M=64: 8 memoryloads of 8 stripes each.
+fn geom() -> Geometry {
+    Geometry::new(512, 2, 4, 64).unwrap()
+}
+
+#[test]
+fn striped_pass_is_allocation_free_after_warmup() {
+    let g = geom();
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    sys.set_service_mode(ServiceMode::Serial);
+    sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+    let mut engine = PassEngine::new(g);
+    let run = |sys: &mut DiskSystem<u64>, engine: &mut PassEngine<u64>, src, dst| {
+        engine
+            .run_pass(
+                sys,
+                |ml, _gather| ReadPlan::Memoryload { portion: src, ml },
+                |ml, data, _scratch, _scatter| {
+                    data.reverse();
+                    WritePlan::Memoryload { portion: dst, ml }
+                },
+            )
+            .unwrap();
+    };
+    run(&mut sys, &mut engine, 0, 1); // warm-up
+    let before = allocations();
+    run(&mut sys, &mut engine, 1, 0);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "striped engine pass allocated in steady state"
+    );
+}
+
+#[test]
+fn gather_scatter_pass_is_allocation_free_after_warmup() {
+    let g = geom();
+    let spm = g.stripes_per_memoryload();
+    let disks = g.disks();
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    sys.set_service_mode(ServiceMode::Serial);
+    sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+    let bases = [sys.portion_base(0), sys.portion_base(1)];
+    let mut engine = PassEngine::new(g);
+    // Gather the memoryload's stripes as explicit independent batches
+    // and scatter them back likewise — the plan *shapes* the fused
+    // executors use, with closures that themselves allocate nothing.
+    let run = |sys: &mut DiskSystem<u64>, engine: &mut PassEngine<u64>, src: usize, dst: usize| {
+        engine
+            .run_pass(
+                sys,
+                |ml, gather| {
+                    gather.reset(disks);
+                    for s in 0..spm {
+                        for disk in 0..disks {
+                            gather.push(BlockRef {
+                                disk,
+                                slot: bases[src] + ml * spm + s,
+                            });
+                        }
+                    }
+                    ReadPlan::Gather
+                },
+                |ml, _data, _scratch, scatter| {
+                    scatter.reset(disks);
+                    for s in 0..spm {
+                        for disk in 0..disks {
+                            scatter.push(BlockRef {
+                                disk,
+                                slot: bases[dst] + ml * spm + s,
+                            });
+                        }
+                    }
+                    WritePlan::Scatter
+                },
+            )
+            .unwrap();
+    };
+    run(&mut sys, &mut engine, 0, 1); // warm-up
+    let before = allocations();
+    run(&mut sys, &mut engine, 1, 0);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "gather/scatter engine pass allocated in steady state"
+    );
+    assert_eq!(
+        sys.dump_records(0),
+        (0..g.records() as u64).collect::<Vec<_>>()
+    );
+}

@@ -132,7 +132,10 @@ proptest! {
     }
 
     /// Multi-pass plans keep agreeing when the engine (and its buffers)
-    /// are reused across the whole plan via the algorithm layer.
+    /// are reused across the whole plan via the algorithm layer. Uses
+    /// the *unfused* route on purpose: this property pins the engine
+    /// against the reference loops round-trip for round-trip
+    /// (`tests/fusion_equivalence.rs` owns the fused≡unfused property).
     #[test]
     fn full_algorithm_matches_pass_by_pass_reference(
         s in any::<u64>(),
@@ -147,7 +150,9 @@ proptest! {
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.set_service_mode(mode_of(threaded));
         sys.load_records(0, &input);
-        let report = bmmc::perform_bmmc(&mut sys, &perm).expect("perform_bmmc");
+        let planned = plan_passes(&perm, g.b(), g.m()).expect("planning failed");
+        let report = bmmc::execute_passes_unfused(&mut sys, &planned)
+            .expect("execute_passes_unfused");
 
         let passes = plan_passes(&perm, g.b(), g.m()).expect("planning failed");
         let mut ref_sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
