@@ -26,21 +26,31 @@
 //! strictly fewer parallel I/Os, exactly 2× fewer on fully-fusable
 //! chains, with identical final placement) and an **extsort** section
 //! (the memory-model-faithful single-buffered merge vs. the
-//! double-buffered variant with halved fan-in).
+//! double-buffered variant with halved fan-in). Since PR 4 a **file**
+//! section runs the same engine pass on MemDisk vs. `FileDisk` (real
+//! positional file I/O) under the serial / spawn-per-op / persistent-
+//! DiskPool disciplines: placement must be byte-identical and the
+//! charged parallel-I/O counts identical — only the wall clock may
+//! move.
 //!
 //! ```text
 //! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
-//!   --quick         small sizes (CI smoke); emits the "quick", "fusion",
-//!                   and "extsort" sections
-//!   --baseline      run full + quick and insist on the acceptance ratio
-//!   --out FILE      write the JSON document to FILE
-//!   --check FILE    compare this run's quick/fusion/extsort sections
-//!                   against FILE's; exit 1 if the engine regressed >20%
-//!                   vs. the recorded speedup (rows whose recorded ratio
-//!                   is below the 1.5x acceptance bar are noise and not
-//!                   time-gated) or any parallel-I/O count moved at all
-//!   --check-latest  like --check, against the newest BENCH_PR*.json in
-//!                   the working directory (per-PR bench trajectory)
+//!   --quick          small sizes (CI smoke); emits the "quick",
+//!                    "fusion", "extsort", and "file" sections
+//!   --baseline       run full + quick and insist on the acceptance ratio
+//!   --file-dir DIR   parent directory for the file section's per-disk
+//!                    files (e.g. a tmpfs mount); default: a
+//!                    self-cleaning temp dir
+//!   --file-only      run (and with --check, gate) only the file section
+//!   --out FILE       write the JSON document to FILE
+//!   --check FILE     compare this run's quick/fusion/extsort/file
+//!                    sections against FILE's; exit 1 if the engine
+//!                    regressed >20% vs. the recorded speedup (rows whose
+//!                    recorded ratio is below the 1.5x acceptance bar are
+//!                    noise and not time-gated) or any parallel-I/O count
+//!                    moved at all
+//!   --check-latest   like --check, against the newest BENCH_PR*.json in
+//!                    the working directory (per-PR bench trajectory)
 //! ```
 
 use bmmc::algorithm::{execute_passes, execute_passes_unfused};
@@ -56,6 +66,7 @@ use pdm::{DiskSystem, Geometry, ServiceMode};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::path::Path;
 use std::time::Instant;
 
 #[derive(Clone, Copy, Debug)]
@@ -451,6 +462,148 @@ fn run_fusion_sweep(lg_records: usize, reps: usize) -> Json {
     ])
 }
 
+/// MemDisk vs. FileDisk under the engine, across service disciplines.
+///
+/// Every row performs the identical seeded one-pass MLD permutation
+/// through the [`pdm::PassEngine`]; the placement must be
+/// byte-identical to the reference (hence to MemDisk) and the charged
+/// parallel-I/O count identical across **all** rows — backends may
+/// only move the wall clock. The interesting comparison is
+/// `file`/`threaded` (persistent `DiskPool` workers issuing positional
+/// reads/writes, split-phase overlap) against `file`/`spawn` (the
+/// legacy spawn-per-operation servicing) on the same files.
+fn run_file_sweep(lg_records: usize, reps: usize, parent: &Path) -> Json {
+    let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 4, 1 << 12).expect("file geometry");
+    eprintln!(
+        "== file sweep: N=2^{lg_records}, B=2^3, D=2^4, M=2^12, engine, best of {reps} reps \
+         (files under {})",
+        parent.display()
+    );
+    let mut rng = StdRng::seed_from_u64(0xF11E + lg_records as u64);
+    let perm = catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m());
+    let pass = Pass {
+        matrix: perm.matrix().clone(),
+        complement: perm.complement().clone(),
+        kind: PassKind::Mld,
+    };
+    let input: Vec<u64> = (0..geom.records() as u64).collect();
+    let expect = reference_permute(&input, |x| perm.target(x));
+    let modes = [
+        ("serial", ServiceMode::Serial),
+        ("spawn", ServiceMode::SpawnPerOp),
+        ("threaded", ServiceMode::Threaded),
+    ];
+    let mut rows: Vec<Json> = Vec::new();
+    let mut rps: Vec<(&str, &str, f64)> = Vec::new();
+    let mut ios: Option<u64> = None;
+    for backend in ["mem", "file"] {
+        for (mode_name, mode) in modes {
+            let scratch = parent.join(format!("{backend}-{mode_name}"));
+            let mut sys: DiskSystem<u64> = if backend == "file" {
+                DiskSystem::new_file(geom, 2, &scratch).expect("file-backed system")
+            } else {
+                DiskSystem::new_mem(geom, 2)
+            };
+            sys.set_service_mode(mode);
+            sys.load_records(0, &input);
+            // Warm-up rep doubles as the correctness check: the file
+            // backend must place every record byte-identically.
+            let stats = execute_pass(&mut sys, 0, 1, &pass).expect("engine pass failed");
+            assert_eq!(
+                sys.dump_records(1),
+                expect,
+                "{backend}/{mode_name} produced a wrong permutation"
+            );
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let s = execute_pass(&mut sys, 0, 1, &pass).expect("engine pass failed");
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(s.ios.parallel_ios(), stats.ios.parallel_ios());
+            }
+            drop(sys);
+            if backend == "file" {
+                std::fs::remove_dir_all(&scratch).ok();
+            }
+            if let Some(prev) = ios {
+                assert_eq!(
+                    prev,
+                    stats.ios.parallel_ios(),
+                    "{backend}/{mode_name} changed the charged I/O count"
+                );
+            }
+            ios = Some(stats.ios.parallel_ios());
+            let records_per_sec = geom.records() as f64 / best;
+            rps.push((backend, mode_name, records_per_sec));
+            eprintln!(
+                "   {:<5} {:<9} {:>12.0} rec/s  {:>8.2} ms  {} parallel I/Os",
+                backend,
+                mode_name,
+                records_per_sec,
+                best * 1e3,
+                stats.ios.parallel_ios()
+            );
+            rows.push(Json::obj(vec![
+                ("backend", Json::Str(backend.into())),
+                ("mode", Json::Str(mode_name.into())),
+                (
+                    "records_per_sec",
+                    Json::Num((records_per_sec * 10.0).round() / 10.0),
+                ),
+                (
+                    "elapsed_ms",
+                    Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+                ),
+                ("parallel_ios", Json::Num(stats.ios.parallel_ios() as f64)),
+            ]));
+        }
+    }
+    let ratio = |backend: &str, num: &str, den: &str| {
+        let get = |mode: &str| {
+            rps.iter()
+                .find(|(b, m, _)| *b == backend && *m == mode)
+                .map(|(_, _, r)| *r)
+                .expect("row measured")
+        };
+        get(num) / get(den)
+    };
+    let speedups: Vec<Json> = ["mem", "file"]
+        .into_iter()
+        .map(|backend| {
+            Json::obj(vec![
+                ("backend", Json::Str(backend.into())),
+                (
+                    "threaded_over_spawn",
+                    Json::Num((ratio(backend, "threaded", "spawn") * 1000.0).round() / 1000.0),
+                ),
+                (
+                    "threaded_over_serial",
+                    Json::Num((ratio(backend, "threaded", "serial") * 1000.0).round() / 1000.0),
+                ),
+            ])
+        })
+        .collect();
+    eprintln!(
+        "   file threaded/spawn: {:.2}x, file threaded/serial: {:.2}x",
+        ratio("file", "threaded", "spawn"),
+        ratio("file", "threaded", "serial")
+    );
+    Json::obj(vec![
+        (
+            "geometry",
+            Json::obj(vec![
+                ("lg_records", Json::Num(lg_records as f64)),
+                ("lg_block", Json::Num(3.0)),
+                ("lg_disks", Json::Num(4.0)),
+                ("lg_memory", Json::Num(12.0)),
+            ]),
+        ),
+        ("reps", Json::Num(reps as f64)),
+        ("rows", Json::Arr(rows)),
+        ("speedups", Json::Arr(speedups)),
+    ])
+}
+
 /// Single- vs. double-buffered extsort merge (halved fan-in), threaded.
 fn run_extsort_sweep(lg_records: usize, reps: usize) -> Json {
     let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 4, 1 << 12).expect("extsort geometry");
@@ -580,17 +733,38 @@ fn io_rows(doc: &Json, section: &str, key_fields: &[&str]) -> Vec<(String, u64)>
 
 /// The CI gate: compares this run's quick section with the checked-in
 /// baseline. Fails on a >20% speedup regression or any change in the
-/// charged parallel-I/O counts — including the fusion and extsort
-/// sections' counts, which are fully deterministic.
-fn check_against_baseline(current: &Json, baseline_path: &str) -> Result<(), String> {
+/// charged parallel-I/O counts — including the fusion, extsort, and
+/// file sections' counts, which are fully deterministic. With
+/// `file_only` set (the tmpfs file-backend smoke step), only the file
+/// section's I/O counts are compared.
+fn check_against_baseline(
+    current: &Json,
+    baseline_path: &str,
+    file_only: bool,
+) -> Result<(), String> {
     let text =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
     let baseline = Json::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
     let mut failures = Vec::new();
-    for (section, keys) in [
-        ("fusion", &["workload", "impl"][..]),
-        ("extsort", &["variant"][..]),
-    ] {
+    let io_sections: &[(&str, &[&str])] = if file_only {
+        // The dedicated file gate must never pass vacuously: a
+        // baseline without file rows means there is nothing it could
+        // be checking, which is itself a failure.
+        if io_rows(&baseline, "file", &["backend", "mode"]).is_empty() {
+            return Err(format!(
+                "{baseline_path} has no file section to compare — \
+                 regenerate it with a post-PR4 engine_sweep"
+            ));
+        }
+        &[("file", &["backend", "mode"])]
+    } else {
+        &[
+            ("fusion", &["workload", "impl"]),
+            ("extsort", &["variant"]),
+            ("file", &["backend", "mode"]),
+        ]
+    };
+    for &(section, keys) in io_sections {
         for (label, base_ios) in io_rows(&baseline, section, keys) {
             match io_rows(current, section, keys)
                 .into_iter()
@@ -608,6 +782,9 @@ fn check_against_baseline(current: &Json, baseline_path: &str) -> Result<(), Str
     }
     if !failures.is_empty() {
         return Err(failures.join("\n"));
+    }
+    if file_only {
+        return Ok(());
     }
     let base = section_metrics(&baseline, "quick");
     let cur = section_metrics(current, "quick");
@@ -672,38 +849,69 @@ fn main() {
             .cloned()
     };
     // --baseline always runs the full sweep (it must enforce the
-    // acceptance ratio), so it overrides --quick.
+    // acceptance ratio), so it overrides --quick. --file-only runs
+    // just the file section (the CI file-backend smoke step).
     let baseline_mode = has("--baseline");
+    let file_only = has("--file-only") && !baseline_mode;
     let quick_only = has("--quick") && !baseline_mode;
+
+    // File-backend scratch space: --file-dir points it at, e.g., a
+    // tmpfs mount; otherwise a self-cleaning temp dir (the guard
+    // removes it on exit).
+    let mut _file_guard: Option<pdm::TempDir> = None;
+    let file_parent: std::path::PathBuf = match value_of("--file-dir") {
+        Some(p) => {
+            std::fs::create_dir_all(&p).expect("create --file-dir");
+            p.into()
+        }
+        None => {
+            let g = pdm::TempDir::new("engine-sweep-file");
+            let p = g.path().to_path_buf();
+            _file_guard = Some(g);
+            p
+        }
+    };
 
     let mut sections: Vec<(&str, Json)> = Vec::new();
     let mut full_rows = Vec::new();
-    if !quick_only {
-        let (rows, section) = run_sweep(&FULL);
-        full_rows = rows;
-        sections.push(("full", section));
+    let mut fusion_section = None;
+    let mut extsort_section = None;
+    if !file_only {
+        if !quick_only {
+            let (rows, section) = run_sweep(&FULL);
+            full_rows = rows;
+            sections.push(("full", section));
+        }
+        if quick_only || baseline_mode {
+            let (_, section) = run_sweep(&QUICK);
+            sections.push(("quick", section));
+        }
+        // The fusion and extsort sections run at the quick size in
+        // every mode: their parallel-I/O counts are deterministic (and
+        // exactly gated by --check), their timings cheap.
+        let fusion = run_fusion_sweep(QUICK.lg_records, QUICK.reps);
+        sections.push(("fusion", fusion.clone()));
+        fusion_section = Some(fusion);
+        let extsort = run_extsort_sweep(QUICK.lg_records, QUICK.reps);
+        sections.push(("extsort", extsort.clone()));
+        extsort_section = Some(extsort);
     }
-    if quick_only || baseline_mode {
-        let (_, section) = run_sweep(&QUICK);
-        sections.push(("quick", section));
-    }
-    // The fusion and extsort sections run at the quick size in every
-    // mode: their parallel-I/O counts are deterministic (and exactly
-    // gated by --check), their timings cheap.
-    let fusion_section = run_fusion_sweep(QUICK.lg_records, QUICK.reps);
-    sections.push(("fusion", fusion_section.clone()));
-    let extsort_section = run_extsort_sweep(QUICK.lg_records, QUICK.reps);
-    sections.push(("extsort", extsort_section.clone()));
+    // The file section likewise runs at the quick size in every mode:
+    // MemDisk vs. FileDisk under the engine, all service disciplines.
+    let file_section = run_file_sweep(QUICK.lg_records, QUICK.reps, &file_parent);
+    sections.push(("file", file_section.clone()));
 
     let mut doc_pairs = vec![
         ("bench", Json::Str("engine_sweep".into())),
-        ("version", Json::Num(2.0)),
+        ("version", Json::Num(3.0)),
         (
             "acceptance",
             Json::Str(
                 "engine >= 1.5x legacy records/s at D=16 threaded, identical parallel_ios; \
                  fused execution strictly fewer parallel I/Os than unfused (2x on \
-                 fully-fusable chains), identical placement"
+                 fully-fusable chains), identical placement; file backend byte-identical \
+                 to mem with identical parallel_ios, threaded (DiskPool) file >= spawn-per-op \
+                 file records/s"
                     .into(),
             ),
         ),
@@ -744,23 +952,31 @@ fn main() {
     });
     if let Some(baseline) = check_target {
         eprintln!("bench-smoke gate: checking against {baseline}");
-        match check_against_baseline(&doc, &baseline) {
+        match check_against_baseline(&doc, &baseline, file_only) {
             Ok(()) => eprintln!("bench-smoke gate: PASS"),
+            Err(msg) if file_only => {
+                // The file-only gate compares deterministic I/O counts
+                // exclusively — a failure is real drift, not timing
+                // noise, so there is nothing to retry.
+                eprintln!("bench-smoke gate: FAIL\n{msg}");
+                std::process::exit(1);
+            }
             Err(msg) => {
                 // Timing on a loaded host is noisy even best-of-N (the
                 // legacy spawn-per-op side swings the most); a single
                 // clean retry separates real regressions from flakes.
                 // The --out artifact keeps the first attempt's numbers.
-                // The fusion/extsort I/O counts are deterministic, so
-                // the first run's sections are reused verbatim.
+                // The fusion/extsort/file I/O counts are deterministic,
+                // so the first run's sections are reused verbatim.
                 eprintln!("bench-smoke gate: first attempt failed:\n{msg}\nretrying once…");
                 let (_, retry_section) = run_sweep(&QUICK);
                 let retry_doc = Json::obj(vec![
                     ("quick", retry_section),
-                    ("fusion", fusion_section),
-                    ("extsort", extsort_section),
+                    ("fusion", fusion_section.expect("fusion ran")),
+                    ("extsort", extsort_section.expect("extsort ran")),
+                    ("file", file_section),
                 ]);
-                match check_against_baseline(&retry_doc, &baseline) {
+                match check_against_baseline(&retry_doc, &baseline, false) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),
                     Err(msg) => {
                         eprintln!("bench-smoke gate: FAIL (twice)\n{msg}");

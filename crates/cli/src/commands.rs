@@ -10,10 +10,11 @@ use bmmc::verify::{verify_permutation, VerifyOutcome};
 use bmmc::{bounds, classify, factor_chunked, plan_passes, spec, Bmmc, PassKind};
 use gf2::elim::rank;
 use gf2::perm::bpc_cross_rank;
-use pdm::{DiskSystem, Geometry, TimingModel};
+use pdm::{Backend, DiskSystem, Geometry, TempDir, TimingModel};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::path::PathBuf;
 
 /// Loads the permutation from `--builtin` or `--spec` and checks it
 /// fits the geometry.
@@ -39,6 +40,41 @@ fn load_perm(a: &Args, geom: &Geometry) -> Result<Bmmc, String> {
 
 fn geometry(a: &Args) -> Result<Geometry, String> {
     parse_geometry(a.require("geometry")?)
+}
+
+/// Builds the disk array per `--backend` (mem, the default, or file),
+/// `--dir`, and `--threaded`. Every algorithm the CLI can run takes
+/// `&mut DiskSystem`, so the choice is invisible downstream. A
+/// file-backed system without an explicit `--dir` uses a self-cleaning
+/// temp dir whose guard is parked in `scratch` for the command's
+/// duration.
+fn build_system(
+    a: &Args,
+    geom: Geometry,
+    scratch: &mut Option<TempDir>,
+) -> Result<DiskSystem<u64>, String> {
+    let backend = match a.get("backend").unwrap_or("mem") {
+        "mem" => Backend::Mem,
+        "file" => {
+            let dir = match a.get("dir") {
+                Some(d) => PathBuf::from(d),
+                None => {
+                    let guard = TempDir::new("bmmc-cli");
+                    let dir = guard.path().to_path_buf();
+                    *scratch = Some(guard);
+                    dir
+                }
+            };
+            Backend::File { dir }
+        }
+        other => return Err(format!("unknown backend {other:?} (expected mem or file)")),
+    };
+    let mut sys =
+        DiskSystem::new_with_backend(geom, 2, &backend).map_err(|e| format!("backend: {e}"))?;
+    if a.has("threaded") {
+        sys.set_threaded(true);
+    }
+    Ok(sys)
 }
 
 /// `bmmc-cli info`: classification, ranks, and every bound.
@@ -171,7 +207,10 @@ pub fn factor(a: &Args) -> Result<(), String> {
 pub fn run(a: &Args) -> Result<(), String> {
     let geom = geometry(a)?;
     let perm = load_perm(a, &geom)?;
-    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+    // Keeps an implicit file-backend scratch dir alive (and removed on
+    // exit, even an early error return) for the whole command.
+    let mut scratch: Option<TempDir> = None;
+    let mut sys = build_system(a, geom, &mut scratch)?;
     match a.get("timing") {
         Some("hdd") => sys.set_timing(TimingModel::hdd()),
         Some("ssd") => sys.set_timing(TimingModel::ssd()),

@@ -37,6 +37,12 @@ COMMON FLAGS:
 
 RUN FLAGS:
   --algorithm WHICH     auto (default) | factor | sort | bpc
+  --backend WHICH       mem (default) | file — file runs every pass
+                        against one real file per disk (positional I/O)
+  --dir PATH            file backend: directory for the per-disk files
+                        (default: a self-cleaning temp directory)
+  --threaded            service parallel I/Os on persistent per-disk
+                        threads (overlapped reads; same charged cost)
   --timing MODEL        also simulate service time: hdd | ssd
   --chunk K             swap/erase chunk-size override (ablation)
   --verify              scan the output and confirm every placement
@@ -55,7 +61,7 @@ BUILTINS:
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(argv, &["verify", "no-fuse"]) {
+    let parsed = match Args::parse(argv, &["verify", "no-fuse", "threaded"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

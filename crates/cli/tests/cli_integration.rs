@@ -72,6 +72,66 @@ fn run_sort_algorithm() {
 }
 
 #[test]
+fn run_on_file_backend_verifies() {
+    // Default --dir: the CLI provisions (and removes) its own scratch
+    // directory; the permutation must still verify end to end.
+    let text = run_ok(&[
+        "run",
+        "--builtin",
+        "bit-reversal",
+        "--geometry",
+        GEOM,
+        "--backend",
+        "file",
+        "--threaded",
+        "--verify",
+    ]);
+    assert!(text.contains("verified"), "file backend run:\n{text}");
+}
+
+#[test]
+fn run_on_file_backend_with_explicit_dir() {
+    let dir = pdm::TempDir::new("bmmc-cli-test");
+    let dir_arg = dir.path().to_str().unwrap();
+    let text = run_ok(&[
+        "run",
+        "--builtin",
+        "gray",
+        "--geometry",
+        GEOM,
+        "--backend",
+        "file",
+        "--dir",
+        dir_arg,
+        "--algorithm",
+        "sort",
+        "--verify",
+    ]);
+    assert!(text.contains("verified"), "file backend sort:\n{text}");
+    // The per-disk files land where asked (D = 2^2 at this geometry).
+    for d in 0..4 {
+        assert!(
+            dir.path().join(format!("disk{d:03}.bin")).is_file(),
+            "missing disk file {d}"
+        );
+    }
+}
+
+#[test]
+fn run_rejects_unknown_backend() {
+    let err = run_err(&[
+        "run",
+        "--builtin",
+        "gray",
+        "--geometry",
+        GEOM,
+        "--backend",
+        "tape",
+    ]);
+    assert!(err.contains("unknown backend"), "{err}");
+}
+
+#[test]
 fn run_with_timing_model() {
     let text = run_ok(&[
         "run",

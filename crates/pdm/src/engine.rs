@@ -41,7 +41,12 @@
 //! CPU transforms memoryload *k*, the per-disk service threads are
 //! already reading memoryload *k+1* and still draining the writes of
 //! memoryload *k−1*. Records move through the system's reusable block
-//! buffer pool instead of fresh allocations. In the synchronous service
+//! buffer pool instead of fresh allocations. The overlap is
+//! backend-agnostic: on a file-backed system
+//! ([`crate::system::Backend::File`]) each worker issues real
+//! positional system calls against its disk's file, so the pipeline
+//! hides genuine I/O latency rather than simulated copies
+//! (`engine_sweep`'s `file` section measures exactly this). In the synchronous service
 //! modes the engine degenerates to exactly the classic loop — same
 //! operations, same order, same operation numbering for
 //! [fault plans](crate::FaultPlan). (With overlap enabled the *set* of

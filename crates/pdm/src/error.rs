@@ -22,8 +22,39 @@ pub enum PdmError {
     /// An independent (non-striped) access was attempted while the
     /// system is restricted to striped I/O.
     StripedOnly,
+    /// A record type of the wrong serialized width was used against a
+    /// file-backed disk created for a different record geometry (the
+    /// backend would otherwise slice the on-disk bytes at the wrong
+    /// stride — silent corruption or an out-of-bounds panic).
+    RecordSize {
+        /// Serialized record width the disk was created with.
+        expected: usize,
+        /// Serialized width of the record type used in the request.
+        actual: usize,
+    },
     /// A real-file backend I/O failure.
     Io(String),
+}
+
+impl PdmError {
+    /// Patches the real disk index into an [`PdmError::OutOfRange`]
+    /// produced by a [`crate::backend::DiskUnit`] (units don't know
+    /// their position in the array, so they report a placeholder);
+    /// every other error is returned unchanged.
+    pub fn with_disk(self, disk: usize) -> PdmError {
+        match self {
+            PdmError::OutOfRange {
+                slot,
+                slots_per_disk,
+                ..
+            } => PdmError::OutOfRange {
+                disk,
+                slot,
+                slots_per_disk,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for PdmError {
@@ -48,6 +79,11 @@ impl fmt::Display for PdmError {
             PdmError::StripedOnly => write!(
                 f,
                 "independent access rejected: the system is restricted to striped I/O"
+            ),
+            PdmError::RecordSize { expected, actual } => write!(
+                f,
+                "record size mismatch: disk was created for {expected}-byte records, \
+                 request uses {actual}-byte records"
             ),
             PdmError::Io(msg) => write!(f, "backend I/O error: {msg}"),
         }

@@ -43,6 +43,7 @@ pub mod parallel;
 pub mod record;
 pub mod stats;
 pub mod system;
+pub mod tempdir;
 pub mod timing;
 
 pub use config::Geometry;
@@ -53,5 +54,8 @@ pub use layout::Layout;
 pub use memory::{permute_in_place, Memory};
 pub use record::{ByteRecord, Record, TaggedRecord};
 pub use stats::IoStats;
-pub use system::{BlockRef, BufferPoolStats, DiskSystem, ReadTicket, ServiceMode, WriteTicket};
+pub use system::{
+    Backend, BlockRef, BufferPoolStats, DiskSystem, ReadTicket, ServiceMode, WriteTicket,
+};
+pub use tempdir::TempDir;
 pub use timing::{TimingModel, TimingTracker};

@@ -199,12 +199,14 @@ pub fn threaded_read<R: Record>(
     }
     let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for (unit, job) in units.iter_mut().zip(by_disk) {
+        for (disk, (unit, job)) in units.iter_mut().zip(by_disk).enumerate() {
             if let Some((slot, out)) = job {
                 let errors = &errors;
                 s.spawn(move || {
                     if let Err(e) = unit.read(slot, out) {
-                        errors.lock().push(e);
+                        // Units report a placeholder disk index; patch
+                        // in the real one while we still know it.
+                        errors.lock().push(e.with_disk(disk));
                     }
                 });
             }
@@ -229,12 +231,12 @@ pub fn threaded_write<R: Record>(
     }
     let errors: Mutex<Vec<PdmError>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for (unit, job) in units.iter_mut().zip(by_disk) {
+        for (disk, (unit, job)) in units.iter_mut().zip(by_disk).enumerate() {
             if let Some((slot, data)) = job {
                 let errors = &errors;
                 s.spawn(move || {
                     if let Err(e) = unit.write(slot, data) {
-                        errors.lock().push(e);
+                        errors.lock().push(e.with_disk(disk));
                     }
                 });
             }
@@ -276,11 +278,24 @@ mod tests {
     }
 
     #[test]
-    fn threaded_read_propagates_errors() {
+    fn threaded_read_propagates_errors_naming_the_disk() {
         let mut u = units(2, 2, 2);
-        let reqs = [(0usize, 5usize)]; // out of range
+        let reqs = [(1usize, 5usize)]; // out of range on disk 1
         let mut out = vec![0u64; 2];
-        assert!(threaded_read(&mut u, &reqs, vec![out.as_mut_slice()]).is_err());
+        let err = threaded_read(&mut u, &reqs, vec![out.as_mut_slice()]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PdmError::OutOfRange {
+                    disk: 1,
+                    slot: 5,
+                    ..
+                }
+            ),
+            "diagnostic must name the failing disk, got {err}"
+        );
+        let err = threaded_write(&mut u, &[(1, 5, &[0u64, 0][..])]).unwrap_err();
+        assert!(matches!(err, PdmError::OutOfRange { disk: 1, .. }));
     }
 
     #[test]

@@ -41,6 +41,12 @@ impl TaggedRecord {
 }
 
 /// Fixed-width byte serialization, required by the file-backed disks.
+///
+/// [`crate::backend::FileDisk`] pins [`ByteRecord::BYTES`] at creation
+/// time and rejects any later access with a record type of a different
+/// width ([`crate::PdmError::RecordSize`]) — the on-disk byte geometry
+/// belongs to the disk, not to whichever type a call site happens to
+/// use.
 pub trait ByteRecord: Copy {
     /// Serialized size in bytes.
     const BYTES: usize;

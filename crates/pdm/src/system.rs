@@ -46,8 +46,31 @@ use crate::parallel::{threaded_read, threaded_write, Cmd, Completion, DiskPool};
 use crate::record::{ByteRecord, Record};
 use crate::stats::IoStats;
 use crate::timing::{TimingModel, TimingTracker};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver};
+
+/// Which storage backs the disk units of a [`DiskSystem`].
+///
+/// Every algorithm in this workspace takes `&mut DiskSystem<R>`, so a
+/// system built from a `Backend` runs the BMMC passes, fused plans,
+/// the BPC baseline, and `extsort` unmodified on either backend; only
+/// the wall clock (never the charged parallel-I/O count) differs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// In-memory disks ([`MemDisk`]) — the default for experiments:
+    /// the paper's cost model counts operations, not bytes.
+    #[default]
+    Mem,
+    /// One preallocated file per disk ([`FileDisk`]), for wall-clock
+    /// realism: real positional system calls, serviced by the same
+    /// [`ServiceMode`] machinery (including the threaded split-phase
+    /// overlap).
+    File {
+        /// Directory holding the per-disk `disk###.bin` files
+        /// (created if missing).
+        dir: PathBuf,
+    },
+}
 
 /// A reference to one block: disk number and block slot on that disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -209,15 +232,11 @@ pub struct DiskSystem<R: Record> {
 }
 
 impl<R: Record> DiskSystem<R> {
-    /// A memory-backed system with `portions` address spaces of `N/BD`
-    /// stripes each (use 2 for the source/target double-buffering of
-    /// the one-pass algorithms).
-    pub fn new_mem(geom: Geometry, portions: usize) -> Self {
+    /// A system over pre-built disk units (one per disk, each sized
+    /// `portions × N/BD` block slots).
+    fn from_units(geom: Geometry, portions: usize, units: Vec<Box<dyn DiskUnit<R>>>) -> Self {
         assert!(portions >= 1, "need at least one portion");
-        let slots = portions * geom.stripes();
-        let units = (0..geom.disks())
-            .map(|_| Box::new(MemDisk::<R>::new(geom.block(), slots)) as Box<dyn DiskUnit<R>>)
-            .collect();
+        assert_eq!(units.len(), geom.disks(), "one unit per disk");
         DiskSystem {
             geom,
             layout: Layout::new(&geom),
@@ -232,6 +251,17 @@ impl<R: Record> DiskSystem<R> {
             seen_disks: vec![false; geom.disks()],
             stripe_scratch: Vec::with_capacity(geom.disks()),
         }
+    }
+
+    /// A memory-backed system with `portions` address spaces of `N/BD`
+    /// stripes each (use 2 for the source/target double-buffering of
+    /// the one-pass algorithms).
+    pub fn new_mem(geom: Geometry, portions: usize) -> Self {
+        let slots = portions * geom.stripes();
+        let units = (0..geom.disks())
+            .map(|_| Box::new(MemDisk::<R>::new(geom.block(), slots)) as Box<dyn DiskUnit<R>>)
+            .collect();
+        Self::from_units(geom, portions, units)
     }
 
     /// The geometry this system was built with.
@@ -401,21 +431,6 @@ impl<R: Record> DiskSystem<R> {
         }
     }
 
-    fn fixup_disk(disk: usize, e: PdmError) -> PdmError {
-        match e {
-            PdmError::OutOfRange {
-                slot,
-                slots_per_disk,
-                ..
-            } => PdmError::OutOfRange {
-                disk,
-                slot,
-                slots_per_disk,
-            },
-            other => other,
-        }
-    }
-
     /// One parallel read into a contiguous buffer: fetches each
     /// requested block (at most one per disk) into
     /// `out[i*B .. (i+1)*B]` in request order, with no allocation on
@@ -439,7 +454,7 @@ impl<R: Record> DiskSystem<R> {
                 for (r, chunk) in refs.iter().zip(out.chunks_exact_mut(block)) {
                     units[r.disk]
                         .read(r.slot, chunk)
-                        .map_err(|e| Self::fixup_disk(r.disk, e))?;
+                        .map_err(|e| e.with_disk(r.disk))?;
                 }
             }
             Service::SpawnPerOp(units) => {
@@ -467,7 +482,7 @@ impl<R: Record> DiskSystem<R> {
                     match c.result {
                         Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
                         Err(e) if first_err.is_none() => {
-                            first_err = Some(Self::fixup_disk(c.disk, e));
+                            first_err = Some(e.with_disk(c.disk));
                         }
                         Err(_) => {}
                     }
@@ -519,7 +534,7 @@ impl<R: Record> DiskSystem<R> {
                 for (r, data) in writes {
                     units[r.disk]
                         .write(r.slot, data)
-                        .map_err(|e| Self::fixup_disk(r.disk, e))?;
+                        .map_err(|e| e.with_disk(r.disk))?;
                 }
             }
             Service::SpawnPerOp(units) => {
@@ -550,7 +565,7 @@ impl<R: Record> DiskSystem<R> {
                     let c = rx.recv().expect("disk service thread hung up");
                     if let Err(e) = c.result {
                         if first_err.is_none() {
-                            first_err = Some(Self::fixup_disk(c.disk, e));
+                            first_err = Some(e.with_disk(c.disk));
                         }
                     }
                     self.pool.put(c.buf);
@@ -626,7 +641,7 @@ impl<R: Record> DiskSystem<R> {
                             for b in sync {
                                 self.pool.put(b);
                             }
-                            return Err(Self::fixup_disk(r.disk, e));
+                            return Err(e.with_disk(r.disk));
                         }
                     }
                 }
@@ -662,7 +677,7 @@ impl<R: Record> DiskSystem<R> {
                 match c.result {
                     Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
                     Err(e) if first_err.is_none() => {
-                        first_err = Some(Self::fixup_disk(c.disk, e));
+                        first_err = Some(e.with_disk(c.disk));
                     }
                     Err(_) => {}
                 }
@@ -744,7 +759,7 @@ impl<R: Record> DiskSystem<R> {
                 for (i, r) in refs.iter().enumerate() {
                     units[r.disk]
                         .write(r.slot, &data[i * block..(i + 1) * block])
-                        .map_err(|e| Self::fixup_disk(r.disk, e))?;
+                        .map_err(|e| e.with_disk(r.disk))?;
                 }
                 Ok(WriteTicket {
                     rx: None,
@@ -776,7 +791,7 @@ impl<R: Record> DiskSystem<R> {
                 let c = rx.recv().expect("disk service thread hung up");
                 if let Err(e) = c.result {
                     if first_err.is_none() {
-                        first_err = Some(Self::fixup_disk(c.disk, e));
+                        first_err = Some(e.with_disk(c.disk));
                     }
                 }
                 self.pool.put(c.buf);
@@ -891,7 +906,9 @@ impl<R: Record> DiskSystem<R> {
     /// Reads one block directly, bypassing the model (no I/O charged).
     fn unit_read(&mut self, disk: usize, slot: usize, out: &mut [R]) -> Result<()> {
         match &mut self.service {
-            Service::Serial(units) | Service::SpawnPerOp(units) => units[disk].read(slot, out),
+            Service::Serial(units) | Service::SpawnPerOp(units) => {
+                units[disk].read(slot, out).map_err(|e| e.with_disk(disk))
+            }
             Service::Pooled(pool) => {
                 let buf = self.pool.take();
                 let (tx, rx) = channel();
@@ -909,7 +926,7 @@ impl<R: Record> DiskSystem<R> {
                     out.copy_from_slice(&c.buf);
                 }
                 self.pool.put(c.buf);
-                c.result
+                c.result.map_err(|e| e.with_disk(disk))
             }
         }
     }
@@ -917,7 +934,9 @@ impl<R: Record> DiskSystem<R> {
     /// Writes one block directly, bypassing the model (no I/O charged).
     fn unit_write(&mut self, disk: usize, slot: usize, data: &[R]) -> Result<()> {
         match &mut self.service {
-            Service::Serial(units) | Service::SpawnPerOp(units) => units[disk].write(slot, data),
+            Service::Serial(units) | Service::SpawnPerOp(units) => {
+                units[disk].write(slot, data).map_err(|e| e.with_disk(disk))
+            }
             Service::Pooled(pool) => {
                 let mut buf = self.pool.take();
                 buf.copy_from_slice(data);
@@ -933,7 +952,7 @@ impl<R: Record> DiskSystem<R> {
                 );
                 let c = rx.recv().expect("disk service thread hung up");
                 self.pool.put(c.buf);
-                c.result
+                c.result.map_err(|e| e.with_disk(disk))
             }
         }
     }
@@ -1008,20 +1027,18 @@ impl<R: Record + ByteRecord> DiskSystem<R> {
             let path = dir.join(format!("disk{d:03}.bin"));
             units.push(Box::new(FileDisk::create::<R>(&path, geom.block(), slots)?));
         }
-        Ok(DiskSystem {
-            geom,
-            layout: Layout::new(&geom),
-            service: Service::Serial(units),
-            pool: BlockPool::new(geom.block()),
-            portions,
-            stats: IoStats::default(),
-            faults: FaultPlan::new(),
-            op_counter: 0,
-            timing: None,
-            striped_only: false,
-            seen_disks: vec![false; geom.disks()],
-            stripe_scratch: Vec::with_capacity(geom.disks()),
-        })
+        Ok(Self::from_units(geom, portions, units))
+    }
+
+    /// Backend-generic constructor: builds [`DiskSystem::new_mem`] or
+    /// [`DiskSystem::new_file`] per the [`Backend`] value, so callers
+    /// (CLI, benches, tests) can thread a backend choice through
+    /// configuration instead of branching at every construction site.
+    pub fn new_with_backend(geom: Geometry, portions: usize, backend: &Backend) -> Result<Self> {
+        match backend {
+            Backend::Mem => Ok(Self::new_mem(geom, portions)),
+            Backend::File { dir } => Self::new_file(geom, portions, dir),
+        }
     }
 }
 
@@ -1327,13 +1344,71 @@ mod tests {
     #[test]
     fn file_backend_round_trip() {
         let g = Geometry::new(64, 2, 4, 16).unwrap();
-        let dir = std::env::temp_dir().join(format!("pdm-sys-{}", std::process::id()));
-        let mut sys: DiskSystem<u64> = DiskSystem::new_file(g, 2, &dir).unwrap();
+        let dir = crate::tempdir::TempDir::new("pdm-sys");
+        let mut sys: DiskSystem<u64> = DiskSystem::new_file(g, 2, dir.path()).unwrap();
         let records: Vec<u64> = (0..64).map(|i| i * 3).collect();
         sys.load_records(0, &records);
         assert_eq!(sys.dump_records(0), records);
         let stripe = sys.read_stripe(1).unwrap();
         assert_eq!(stripe, (8..16).map(|i| i * 3).collect::<Vec<u64>>());
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backend_generic_constructor() {
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let records: Vec<u64> = (0..64).collect();
+        let dir = crate::tempdir::TempDir::new("pdm-backend");
+        for backend in [
+            Backend::Mem,
+            Backend::File {
+                dir: dir.path().to_path_buf(),
+            },
+        ] {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_with_backend(g, 2, &backend).unwrap();
+            sys.load_records(0, &records);
+            assert_eq!(sys.dump_records(0), records, "backend {backend:?}");
+        }
+    }
+
+    /// The file backend must behave identically to MemDisk under every
+    /// service mode — including the threaded split-phase path the
+    /// engine's overlap uses, where the per-disk workers issue real
+    /// positional reads/writes against the files.
+    #[test]
+    fn file_backend_split_phase_all_modes() {
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        for mode in [
+            ServiceMode::Serial,
+            ServiceMode::SpawnPerOp,
+            ServiceMode::Threaded,
+        ] {
+            let dir = crate::tempdir::TempDir::new("pdm-sys-split");
+            let mut sys: DiskSystem<u64> = DiskSystem::new_file(g, 2, dir.path()).unwrap();
+            sys.set_service_mode(mode);
+            let records: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(11)).collect();
+            sys.load_records(0, &records);
+            // Overlapped reads of stripes 0 and 1, then a split-phase
+            // write of stripe 1's data into portion 1.
+            let t0 = sys.begin_read(&sys.stripe_refs(0)).unwrap();
+            let t1 = sys.begin_read(&sys.stripe_refs(1)).unwrap();
+            let mut s0 = vec![0u64; 8];
+            let mut s1 = vec![0u64; 8];
+            sys.finish_read(t0, &mut s0).unwrap();
+            sys.finish_read(t1, &mut s1).unwrap();
+            assert_eq!(s0, records[..8], "mode {mode:?}");
+            assert_eq!(s1, records[8..16], "mode {mode:?}");
+            let refs = sys.stripe_refs(sys.portion_base(1));
+            let w = sys.begin_write(&refs, &s1).unwrap();
+            sys.finish_write(w).unwrap();
+            assert_eq!(
+                sys.peek_block(BlockRef {
+                    disk: 0,
+                    slot: sys.portion_base(1)
+                }),
+                records[8..10].to_vec(),
+                "mode {mode:?}"
+            );
+            assert_eq!(sys.buffer_pool_stats().outstanding, 0, "mode {mode:?}");
+        }
     }
 }

@@ -1,0 +1,79 @@
+//! Self-cleaning scratch directories for the file-backed disk paths.
+//!
+//! File-backend tests and benches need a directory of per-disk files
+//! that disappears afterwards *even when the test panics* — ad-hoc
+//! `std::fs::remove_dir_all` calls at the end of a test leak the
+//! directory on every assertion failure. [`TempDir`] is the RAII
+//! guard: the directory is created unique on construction and removed
+//! on drop, which Rust runs during unwinding too.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter so concurrent tests in one process get
+/// distinct directories.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under a parent (by default the system
+/// temp dir), removed — recursively — when the guard drops.
+///
+/// ```
+/// use pdm::tempdir::TempDir;
+/// let dir = TempDir::new("pdm-doc");
+/// std::fs::write(dir.path().join("disk000.bin"), b"x").unwrap();
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[must_use = "the directory is removed when the guard drops"]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<system temp dir>/<prefix>-<pid>-<seq>`.
+    pub fn new(prefix: &str) -> Self {
+        Self::new_in(&std::env::temp_dir(), prefix)
+    }
+
+    /// Creates `<parent>/<prefix>-<pid>-<seq>` (parents are created as
+    /// needed) — for pointing scratch space at, e.g., a tmpfs mount.
+    pub fn new_in(parent: &Path, prefix: &str) -> Self {
+        let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = parent.join(format!("{prefix}-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("create temp dir {}: {e}", path.display()));
+        TempDir { path }
+    }
+
+    /// The directory's path, valid until the guard drops.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a vanished directory is already what we want.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_removed_on_drop() {
+        let a = TempDir::new("pdm-tempdir-test");
+        let b = TempDir::new("pdm-tempdir-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        std::fs::write(pa.join("nested.bin"), [0u8; 16]).unwrap();
+        drop(a);
+        drop(b);
+        assert!(!pa.exists(), "drop must remove the directory and contents");
+        assert!(!pb.exists());
+    }
+}

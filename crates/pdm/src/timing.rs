@@ -54,6 +54,8 @@ pub struct TimingTracker {
     last_slot: Vec<Option<usize>>,
     elapsed_ms: f64,
     busy_ms: Vec<f64>,
+    /// Reused per-operation busy scratch (see [`TimingTracker::record`]).
+    op_busy_ms: Vec<f64>,
     seeks: u64,
     sequential: u64,
 }
@@ -66,16 +68,21 @@ impl TimingTracker {
             last_slot: vec![None; disks],
             elapsed_ms: 0.0,
             busy_ms: vec![0.0; disks],
+            op_busy_ms: vec![0.0; disks],
             seeks: 0,
             sequential: 0,
         }
     }
 
     /// Records one parallel I/O touching the given `(disk, slot)`
-    /// pairs. The operation's duration is the maximum per-disk service
-    /// time (barrier synchronization).
+    /// pairs. The operation's duration is the maximum *per-disk* service
+    /// time (barrier synchronization): when one operation charges
+    /// several blocks to the same disk — gather/scatter batches do —
+    /// that disk services them back to back, so its contribution to the
+    /// makespan is the **sum** of its access costs, not the costliest
+    /// single access.
     pub fn record(&mut self, accesses: impl IntoIterator<Item = (usize, usize)>) {
-        let mut op_ms = 0.0f64;
+        self.op_busy_ms.fill(0.0);
         for (disk, slot) in accesses {
             let sequential = match self.last_slot[disk] {
                 Some(prev) => slot == prev || slot == prev + 1,
@@ -90,8 +97,9 @@ impl TimingTracker {
             } + self.model.transfer_ms;
             self.last_slot[disk] = Some(slot);
             self.busy_ms[disk] += cost;
-            op_ms = op_ms.max(cost);
+            self.op_busy_ms[disk] += cost;
         }
+        let op_ms = self.op_busy_ms.iter().copied().fold(0.0f64, f64::max);
         self.elapsed_ms += op_ms;
     }
 
@@ -158,6 +166,26 @@ mod tests {
         assert!((t.elapsed_ms() - (10.5 + 10.5)).abs() < 1e-9);
         assert!((t.busy_ms()[0] - 12.0).abs() < 1e-9);
         assert!((t.busy_ms()[1] - 10.5).abs() < 1e-9);
+    }
+
+    /// Regression test: an operation that charges several blocks to
+    /// the same disk used to take the max over *single accesses*
+    /// (10.5 here) instead of the per-disk sum — undercounting the
+    /// makespan whenever gather/scatter batches stack a disk.
+    #[test]
+    fn multi_access_per_disk_sums_within_the_op() {
+        let mut t = TimingTracker::new(model(), 2);
+        // Disk 0: seek (10.5) then sequential continuation (1.5) →
+        // busy 12.0 in this one op. Disk 1: one seek (10.5).
+        t.record([(0, 3), (0, 4), (1, 7)]);
+        assert!((t.elapsed_ms() - 12.0).abs() < 1e-9, "{}", t.elapsed_ms());
+        assert!((t.busy_ms()[0] - 12.0).abs() < 1e-9);
+        assert!((t.busy_ms()[1] - 10.5).abs() < 1e-9);
+        assert_eq!(t.seeks(), 2);
+        assert_eq!(t.sequential_accesses(), 1);
+        // The makespan is never below the busiest disk's total.
+        t.record([(0, 5), (0, 6), (0, 7)]); // 3 sequential: 4.5
+        assert!((t.elapsed_ms() - 16.5).abs() < 1e-9);
     }
 
     #[test]

@@ -81,6 +81,44 @@ fn striped_pass_is_allocation_free_after_warmup() {
     );
 }
 
+/// The file backend must not break the guarantee: `FileDisk` transfers
+/// serialize through a staging buffer allocated once at creation, so a
+/// steady-state pass over real files is as allocation-free as the
+/// MemDisk one (the data just additionally crosses a syscall).
+#[test]
+fn file_backed_striped_pass_is_allocation_free_after_warmup() {
+    let g = geom();
+    let dir = pdm::TempDir::new("pdm-alloc-file");
+    let mut sys: DiskSystem<u64> = DiskSystem::new_file(g, 2, dir.path()).unwrap();
+    sys.set_service_mode(ServiceMode::Serial);
+    sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+    let mut engine = PassEngine::new(g);
+    let run = |sys: &mut DiskSystem<u64>, engine: &mut PassEngine<u64>, src, dst| {
+        engine
+            .run_pass(
+                sys,
+                |ml, _gather| ReadPlan::Memoryload { portion: src, ml },
+                |ml, data, _scratch, _scatter| {
+                    data.reverse();
+                    WritePlan::Memoryload { portion: dst, ml }
+                },
+            )
+            .unwrap();
+    };
+    run(&mut sys, &mut engine, 0, 1); // warm-up
+    let before = allocations();
+    run(&mut sys, &mut engine, 1, 0);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "file-backed engine pass allocated in steady state"
+    );
+    assert_eq!(
+        sys.dump_records(0),
+        (0..g.records() as u64).collect::<Vec<_>>()
+    );
+}
+
 #[test]
 fn gather_scatter_pass_is_allocation_free_after_warmup() {
     let g = geom();
