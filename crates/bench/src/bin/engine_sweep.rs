@@ -24,14 +24,19 @@
 //! Since PR 3 the document also carries a **fusion** section (multi-
 //! pass plans executed fused vs. unfused — the fused runs must charge
 //! strictly fewer parallel I/Os, exactly 2× fewer on fully-fusable
-//! chains, with identical final placement) and an **extsort** section
-//! (the memory-model-faithful single-buffered merge vs. the
-//! double-buffered variant with halved fan-in). Since PR 4 a **file**
-//! section runs the same engine pass on MemDisk vs. `FileDisk` (real
-//! positional file I/O) under the serial / spawn-per-op / persistent-
-//! DiskPool disciplines: placement must be byte-identical and the
-//! charged parallel-I/O counts identical — only the wall clock may
-//! move.
+//! chains, with identical final placement) and an **extsort** section.
+//! Since PR 5 the extsort section sweeps all three merge strategies
+//! (single-buffered, double-buffered, and the forecasting
+//! block-granular merge whose fan-in `M/B − D − 1` closes the D× gap
+//! to Vitter–Shriver) across serial/threaded service and mem/file
+//! backends, asserting every row's pass count and parallel-I/O count
+//! equals the `bmmc::bounds::merge_sort_*` prediction and that the
+//! forecast rows reach ≥8× the single-buffered fan-in in strictly
+//! fewer passes. Since PR 4 a **file** section runs the same engine
+//! pass on MemDisk vs. `FileDisk` (real positional file I/O) under the
+//! serial / spawn-per-op / persistent-DiskPool disciplines: placement
+//! must be byte-identical and the charged parallel-I/O counts
+//! identical — only the wall clock may move.
 //!
 //! ```text
 //! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
@@ -54,6 +59,7 @@
 //! ```
 
 use bmmc::algorithm::{execute_passes, execute_passes_unfused};
+use bmmc::bounds;
 use bmmc::bpc_baseline::bpc_baseline_plan;
 use bmmc::catalog;
 use bmmc::factoring::{Pass, PassKind};
@@ -61,7 +67,7 @@ use bmmc::fusion::fuse_passes;
 use bmmc::passes::{execute_pass, reference, reference_permute};
 use bmmc::Bmmc;
 use bmmc_bench::json::Json;
-use extsort::{sort_by_key_with, SortConfig};
+use extsort::{sort_by_key_with, MergeStrategy, SortConfig};
 use pdm::{DiskSystem, Geometry, ServiceMode};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -604,72 +610,137 @@ fn run_file_sweep(lg_records: usize, reps: usize, parent: &Path) -> Json {
     ])
 }
 
-/// Single- vs. double-buffered extsort merge (halved fan-in), threaded.
-fn run_extsort_sweep(lg_records: usize, reps: usize) -> Json {
+/// Maps an extsort strategy to its `bmmc::bounds` mirror (the two
+/// crates are siblings, so the enum exists on both sides).
+fn bounds_strategy(merge: MergeStrategy) -> bounds::MergeStrategy {
+    match merge {
+        MergeStrategy::SingleBuffered => bounds::MergeStrategy::SingleBuffered,
+        MergeStrategy::DoubleBuffered => bounds::MergeStrategy::DoubleBuffered,
+        MergeStrategy::Forecast => bounds::MergeStrategy::Forecast,
+    }
+}
+
+/// The extsort merge-strategy sweep: single- vs double-buffered vs
+/// forecasting merge, across serial/threaded service and mem/file
+/// backends. Every row's pass count and parallel-I/O count must equal
+/// the `bmmc::bounds` prediction (service mode and backend may only
+/// move the wall clock), and the forecasting rows must realize the
+/// PR 5 acceptance criterion: fan-in ≥ 8× the single-buffered
+/// `M/BD − 1` and strictly fewer passes at this geometry.
+fn run_extsort_sweep(lg_records: usize, reps: usize, parent: &Path) -> Json {
     let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 4, 1 << 12).expect("extsort geometry");
+    // The merge is comparison-bound; 3 reps is plenty for a best-of.
+    let reps = reps.min(3);
     eprintln!(
-        "== extsort sweep: N=2^{lg_records}, B=2^3, D=2^4, M=2^12, threaded, best of {reps} reps"
+        "== extsort sweep: N=2^{lg_records}, B=2^3, D=2^4, M=2^12, \
+         {{single,double,forecast}} x {{serial,threaded}} x {{mem,file}}, best of {reps} reps"
     );
     let mut rng = StdRng::seed_from_u64(0x50C7);
     let mut input: Vec<u64> = (0..geom.records() as u64).collect();
     input.shuffle(&mut rng);
+    let strategies = [
+        MergeStrategy::SingleBuffered,
+        MergeStrategy::DoubleBuffered,
+        MergeStrategy::Forecast,
+    ];
     let mut rows: Vec<Json> = Vec::new();
-    for double in [false, true] {
-        let cfg = SortConfig {
-            double_buffered_merge: double,
-        };
-        let run = |input: &[u64]| {
-            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
-            sys.set_service_mode(ServiceMode::Threaded);
-            sys.load_records(0, input);
-            let t0 = Instant::now();
-            let report = sort_by_key_with(&mut sys, |&r| r, cfg).expect("sort");
-            let dt = t0.elapsed().as_secs_f64();
-            let out = sys.dump_records(report.final_portion);
-            assert!(out.windows(2).all(|w| w[0] <= w[1]), "missorted output");
-            (report, dt)
-        };
-        let (report, mut best) = run(&input);
-        for _ in 1..reps {
-            let (r, dt) = run(&input);
-            assert_eq!(r.total.parallel_ios(), report.total.parallel_ios());
-            best = best.min(dt);
+    for backend in ["mem", "file"] {
+        for (mode_name, mode) in [
+            ("serial", ServiceMode::Serial),
+            ("threaded", ServiceMode::Threaded),
+        ] {
+            for merge in strategies {
+                let variant = merge.as_str();
+                let scratch = parent.join(format!("extsort-{backend}-{mode_name}-{variant}"));
+                let run = |input: &[u64]| {
+                    let mut sys: DiskSystem<u64> = if backend == "file" {
+                        DiskSystem::new_file(geom, 2, &scratch).expect("file-backed system")
+                    } else {
+                        DiskSystem::new_mem(geom, 2)
+                    };
+                    sys.set_service_mode(mode);
+                    sys.load_records(0, input);
+                    let t0 = Instant::now();
+                    let report =
+                        sort_by_key_with(&mut sys, |&r| r, SortConfig { merge }).expect("sort");
+                    let dt = t0.elapsed().as_secs_f64();
+                    let out = sys.dump_records(report.final_portion);
+                    assert!(out.windows(2).all(|w| w[0] <= w[1]), "missorted output");
+                    (report, dt)
+                };
+                let (report, mut best) = run(&input);
+                for _ in 1..reps {
+                    let (r, dt) = run(&input);
+                    assert_eq!(r.total.parallel_ios(), report.total.parallel_ios());
+                    best = best.min(dt);
+                }
+                if backend == "file" {
+                    std::fs::remove_dir_all(&scratch).ok();
+                }
+                // The model cost is a function of the strategy alone:
+                // exactly the bounds-side replay, on every backend and
+                // service mode.
+                let predicted = bounds_strategy(merge);
+                assert_eq!(
+                    Some(report.passes),
+                    bounds::merge_sort_passes(&geom, predicted),
+                    "{variant}/{backend}/{mode_name}: pass count drifted from bounds"
+                );
+                assert_eq!(
+                    Some(report.total.parallel_ios()),
+                    bounds::merge_sort_ios(&geom, predicted),
+                    "{variant}/{backend}/{mode_name}: parallel I/Os drifted from bounds"
+                );
+                eprintln!(
+                    "   {:<8} {:<5} {:<9} fan-in {:>3}  {} passes  {:>7} parallel I/Os  \
+                     {:>12.0} rec/s  {:>8.2} ms",
+                    variant,
+                    backend,
+                    mode_name,
+                    report.fan_in,
+                    report.passes,
+                    report.total.parallel_ios(),
+                    geom.records() as f64 / best,
+                    best * 1e3
+                );
+                rows.push(Json::obj(vec![
+                    ("variant", Json::Str(variant.into())),
+                    ("backend", Json::Str(backend.into())),
+                    ("mode", Json::Str(mode_name.into())),
+                    ("fan_in", Json::Num(report.fan_in as f64)),
+                    ("passes", Json::Num(report.passes as f64)),
+                    (
+                        "parallel_ios",
+                        Json::Num(report.total.parallel_ios() as f64),
+                    ),
+                    (
+                        "records_per_sec",
+                        Json::Num(((geom.records() as f64 / best) * 10.0).round() / 10.0),
+                    ),
+                    (
+                        "elapsed_ms",
+                        Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+                    ),
+                ]));
+            }
         }
-        eprintln!(
-            "   {:<16} fan-in {:>2}  {} passes  {:>7} parallel I/Os  {:>8.2} ms",
-            if double {
-                "double-buffered"
-            } else {
-                "single-buffered"
-            },
-            report.fan_in,
-            report.passes,
-            report.total.parallel_ios(),
-            best * 1e3
-        );
-        rows.push(Json::obj(vec![
-            (
-                "variant",
-                Json::Str(if double { "double" } else { "single" }.into()),
-            ),
-            ("fan_in", Json::Num(report.fan_in as f64)),
-            ("passes", Json::Num(report.passes as f64)),
-            (
-                "parallel_ios",
-                Json::Num(report.total.parallel_ios() as f64),
-            ),
-            (
-                "records_per_sec",
-                Json::Num(((geom.records() as f64 / best) * 10.0).round() / 10.0),
-            ),
-            (
-                "elapsed_ms",
-                Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
-            ),
-        ]));
     }
+    // Acceptance: forecasting closes the D× fan-in gap at this
+    // geometry (M/B − D − 1 ≥ 8·(M/BD − 1)) and needs strictly fewer
+    // passes than the single-buffered merge.
+    let single = bounds::MergeStrategy::SingleBuffered;
+    let forecast = bounds::MergeStrategy::Forecast;
+    assert!(
+        forecast.fan_in(&geom) >= 8 * single.fan_in(&geom),
+        "forecast fan-in {} below 8x single-buffered {}",
+        forecast.fan_in(&geom),
+        single.fan_in(&geom)
+    );
+    assert!(
+        bounds::merge_sort_passes(&geom, forecast) < bounds::merge_sort_passes(&geom, single),
+        "forecast must sort in strictly fewer passes at the bench geometry"
+    );
     Json::obj(vec![
-        ("mode", Json::Str("threaded".into())),
         ("lg_records", Json::Num(lg_records as f64)),
         ("rows", Json::Arr(rows)),
     ])
@@ -760,7 +831,7 @@ fn check_against_baseline(
     } else {
         &[
             ("fusion", &["workload", "impl"]),
-            ("extsort", &["variant"]),
+            ("extsort", &["variant", "backend", "mode"]),
             ("file", &["backend", "mode"]),
         ]
     };
@@ -892,7 +963,7 @@ fn main() {
         let fusion = run_fusion_sweep(QUICK.lg_records, QUICK.reps);
         sections.push(("fusion", fusion.clone()));
         fusion_section = Some(fusion);
-        let extsort = run_extsort_sweep(QUICK.lg_records, QUICK.reps);
+        let extsort = run_extsort_sweep(QUICK.lg_records, QUICK.reps, &file_parent);
         sections.push(("extsort", extsort.clone()));
         extsort_section = Some(extsort);
     }

@@ -20,7 +20,8 @@ fn main() {
     // Small lg(M/B) = 4 keeps multi-pass BMMC instances possible while
     // leaving the sort baseline enough memory to merge (fan-in 3).
     let geom = Geometry::new(1 << 18, 1 << 6, 1 << 2, 1 << 10).unwrap();
-    let sort_ios = bounds::merge_sort_ios(&geom).expect("geometry can merge");
+    let sort_ios = bounds::merge_sort_ios(&geom, bounds::MergeStrategy::SingleBuffered)
+        .expect("geometry can merge");
     println!(
         "Crossover sweep @ {}   lg(M/B) = {}, sort baseline = {} I/Os\n",
         geom_label(&geom),

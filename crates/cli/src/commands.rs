@@ -248,9 +248,21 @@ pub fn run(a: &Args) -> Result<(), String> {
             execute(&mut sys, &plan.passes)?
         }
         "sort" => {
-            let rep = extsort::general_permute(&mut sys, |&x| x, |x| perm.target(x))
-                .map_err(|e| e.to_string())?;
-            println!("sort baseline: {} passes, {}", rep.passes, rep.total);
+            let merge: extsort::MergeStrategy = a.get("merge").unwrap_or("single").parse()?;
+            let rep = extsort::general_permute_with(
+                &mut sys,
+                |&x| x,
+                |x| perm.target(x),
+                extsort::SortConfig { merge },
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "sort baseline ({} merge, fan-in {}): {} passes, {}",
+                rep.strategy.as_str(),
+                rep.fan_in,
+                rep.passes,
+                rep.total
+            );
             if a.has("verify") {
                 verify_and_report(&mut sys, rep.final_portion, &perm)?;
             }

@@ -37,6 +37,11 @@ COMMON FLAGS:
 
 RUN FLAGS:
   --algorithm WHICH     auto (default) | factor | sort | bpc
+  --merge WHICH         sort merge strategy: single (default, striped,
+                        fan-in M/BD−1) | double (split-phase stripe
+                        prefetch, halved fan-in) | forecast (block-
+                        granular Vitter–Shriver forecasting, fan-in
+                        M/B−D−1)
   --backend WHICH       mem (default) | file — file runs every pass
                         against one real file per disk (positional I/O)
   --dir PATH            file backend: directory for the per-disk files

@@ -72,6 +72,44 @@ fn run_sort_algorithm() {
 }
 
 #[test]
+fn run_sort_with_forecast_merge() {
+    // GEOM has M/B = 32, D = 4: forecast fan-in 27 vs single 31.
+    let text = run_ok(&[
+        "run",
+        "--builtin",
+        "bit-reversal",
+        "--geometry",
+        GEOM,
+        "--algorithm",
+        "sort",
+        "--merge",
+        "forecast",
+        "--verify",
+    ]);
+    assert!(
+        text.contains("sort baseline (forecast merge, fan-in 27)"),
+        "{text}"
+    );
+    assert!(text.contains("verified"));
+}
+
+#[test]
+fn run_sort_rejects_unknown_merge_strategy() {
+    let err = run_err(&[
+        "run",
+        "--builtin",
+        "gray",
+        "--geometry",
+        GEOM,
+        "--algorithm",
+        "sort",
+        "--merge",
+        "triple",
+    ]);
+    assert!(err.contains("unknown merge strategy"), "{err}");
+}
+
+#[test]
 fn run_on_file_backend_verifies() {
     // Default --dir: the CLI provisions (and removes) its own scratch
     // directory; the permutation must still verify end to end.

@@ -8,14 +8,18 @@
 //! target address with an external merge sort, which *is* the
 //! permutation once the keys are `0..N`.
 //!
-//! The merge is stripe-granular: every buffer holds one stripe
-//! (`B·D` records), so every read and write is a striped parallel I/O
-//! and each pass costs exactly `2N/BD` operations. The fan-in is
-//! therefore `M/BD − 1` (one stripe buffered per run plus one output
-//! stripe). Vitter–Shriver reach fan-in `Θ(M/B)` with forecasting and
-//! randomized striping; the substitution preserves the bound's shape
-//! (passes = `Θ(log_{M/BD}(N/M))`) and is exact in our cost tables —
-//! see DESIGN.md.
+//! The merge comes in three strategies (see [`MergeStrategy`] and
+//! DESIGN.md for the cost table). The default is stripe-granular:
+//! every buffer holds one stripe (`B·D` records), so every read and
+//! write is a striped parallel I/O and each full pass costs exactly
+//! `2N/BD` operations, at fan-in `M/BD − 1`. The
+//! [`MergeStrategy::Forecast`] variant closes the fan-in gap to
+//! Vitter–Shriver: per-run buffers shrink to one *block* and a
+//! forecasting key per run (the last key of its current block) drives
+//! a split-phase prefetch of exactly the run that empties next,
+//! reaching fan-in `M/B − D − 1 = Θ(M/B)` — the bound's own fan-in —
+//! and strictly fewer merge passes whenever the default needs more
+//! than one, at the price of independent single-block refill reads.
 //!
 //! ```
 //! use extsort::general_permute;
@@ -37,5 +41,5 @@
 pub mod merge;
 pub mod permute;
 
-pub use merge::{sort_by_key, sort_by_key_with, SortConfig, SortReport};
-pub use permute::general_permute;
+pub use merge::{sort_by_key, sort_by_key_with, MergeStrategy, SortConfig, SortReport};
+pub use permute::{general_permute, general_permute_with};

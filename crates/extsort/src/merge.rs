@@ -1,4 +1,5 @@
-//! Stripe-granular external merge sort.
+//! External merge sort on the parallel disk model, in three merge
+//! flavours (see DESIGN.md for the full cost table).
 //!
 //! 1. **Run formation**: each memoryload streams through the shared
 //!    [`PassEngine`](pdm::PassEngine) — striped reads, in-memory sort,
@@ -6,47 +7,114 @@
 //!    `2N/BD` parallel I/Os. In [`pdm::ServiceMode::Threaded`] the
 //!    engine overlaps the reads of memoryload *k+1* with the sort of
 //!    memoryload *k*.
-//! 2. **Merge passes**: groups of up to `F = M/BD − 1` consecutive
-//!    runs are merged; each active run buffers one stripe and the
-//!    output buffers one stripe, so memory holds at most
-//!    `(F+1)·BD = M` records. Every transfer is a striped parallel
-//!    I/O through a reusable stripe buffer
-//!    ([`pdm::DiskSystem::read_stripe_into`] — no per-refill
-//!    allocation); each pass costs exactly `2N/BD`.
+//! 2. **Merge passes**: groups of up to `F` consecutive runs are
+//!    merged, where `F` depends on the [`MergeStrategy`]. A leftover
+//!    group of a *single* run is never copied: it stays where it is
+//!    (zero I/O) and [`Run::portion`] records which portion it lives
+//!    in for the next pass.
 //!
-//!    (The default merge keeps single-buffered cursors on purpose:
-//!    prefetching each run's next stripe would double the resident
-//!    buffers to `2F·BD > M` records and violate the memory model, so
-//!    the engine's overlap applies to run formation only.)
+//! # Merge strategies
 //!
-//! Total: `(2N/BD)·(1 + ⌈log_F(N/M)⌉)` parallel I/Os.
-//!
-//! # Double-buffered merge variant
-//!
-//! [`SortConfig::double_buffered_merge`] trades fan-in for overlap:
-//! each cursor holds *two* stripe buffers and prefetches its next
-//! stripe split-phase ([`pdm::DiskSystem::begin_read`]) while the heap
-//! drains the current one, so in [`pdm::ServiceMode::Threaded`] the
-//! refill latency hides behind the comparisons. To stay inside `M`
-//! records the fan-in is halved — `F₂ = (M/BD − 1)/2` (two stripes per
-//! run plus the output stripe: `2F₂ + 1 ≤ M/BD`) — which *raises* the
-//! pass count to `1 + ⌈log_{F₂}(N/M)⌉`. Whether the per-pass overlap
-//! pays for the extra passes is exactly what the `engine_sweep`
-//! bench's `extsort` section measures; the model-faithful
-//! single-buffered merge remains the default.
+//! * [`MergeStrategy::SingleBuffered`] (the default): each active run
+//!   buffers one stripe (`B·D` records) and the output buffers one
+//!   stripe, so memory holds at most `(F+1)·BD = M` records and
+//!   `F₁ = M/BD − 1`. Every transfer is a striped parallel I/O through
+//!   a reusable stripe buffer ([`pdm::DiskSystem::read_stripe_into`]);
+//!   a full merge pass costs exactly `2N/BD`.
+//! * [`MergeStrategy::DoubleBuffered`]: each cursor holds *two* stripe
+//!   buffers and prefetches its next stripe split-phase
+//!   ([`pdm::DiskSystem::begin_read`]) while the heap drains the
+//!   current one, so in [`pdm::ServiceMode::Threaded`] the refill
+//!   latency hides behind the comparisons. To stay inside `M` records
+//!   the fan-in is halved — `F₂ = (M/BD − 1)/2` — which *raises* the
+//!   pass count.
+//! * [`MergeStrategy::Forecast`]: the Vitter–Shriver forecasting
+//!   merge at *block* granularity. Each run buffers a single block
+//!   (`B` records) and carries a **forecasting key** — the key of the
+//!   last record of its current block. Blocks within a run are sorted,
+//!   so the run whose forecasting key is smallest is *exactly* the run
+//!   whose buffer empties next; its next block is prefetched
+//!   split-phase into one shared landing block while the heap drains.
+//!   Memory holds `F` run blocks, the landing block, and the output
+//!   stripe: `F₃ = M/B − D − 1 = Θ(M/B)` — a factor ~`D` more fan-in
+//!   than `F₁`, hence strictly fewer merge passes whenever the
+//!   single-buffered sort needs more than one. The price is the read
+//!   discipline: refills are independent single-block parallel I/Os
+//!   (`D` read operations per stripe instead of one striped read), so
+//!   a forecast merge pass charges `(D+1)·N/BD` parallel I/Os against
+//!   the single-buffered `2N/BD`. Fewer passes, cheaper passes for the
+//!   striped strategies — `bmmc::bounds::merge_sort_ios` computes both
+//!   sides exactly and the `engine_sweep` extsort section measures
+//!   them.
 
 use pdm::engine::{ReadPlan, WritePlan};
-use pdm::{BlockRef, DiskSystem, IoStats, PassEngine, PdmError, ReadTicket, Record};
+use pdm::{BlockRef, DiskSystem, Geometry, IoStats, PassEngine, PdmError, ReadTicket, Record};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// How the merge passes buffer their runs. See the module docs for the
+/// cost trade-offs; `bmmc::bounds` mirrors the fan-in and cost
+/// formulas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// One stripe buffer per run, striped I/O only, fan-in
+    /// `M/BD − 1`. The memory-model-faithful default.
+    #[default]
+    SingleBuffered,
+    /// Two stripe buffers per run with split-phase prefetch, fan-in
+    /// `(M/BD − 1)/2`.
+    DoubleBuffered,
+    /// One *block* buffer per run plus a forecasting key driving a
+    /// single split-phase block prefetch, fan-in `M/B − D − 1`.
+    Forecast,
+}
+
+impl MergeStrategy {
+    /// The merge fan-in this strategy reaches on `geom` (may be < 2,
+    /// in which case [`sort_by_key_with`] rejects the geometry).
+    pub fn fan_in(&self, geom: &Geometry) -> usize {
+        let stripes_in_memory = geom.stripes_per_memoryload();
+        match self {
+            MergeStrategy::SingleBuffered => stripes_in_memory.saturating_sub(1),
+            MergeStrategy::DoubleBuffered => stripes_in_memory.saturating_sub(1) / 2,
+            MergeStrategy::Forecast => geom
+                .blocks_per_memoryload()
+                .saturating_sub(geom.disks() + 1),
+        }
+    }
+
+    /// Stable lower-case label (`single`, `double`, `forecast`) used
+    /// by the CLI flag and the bench row keys.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MergeStrategy::SingleBuffered => "single",
+            MergeStrategy::DoubleBuffered => "double",
+            MergeStrategy::Forecast => "forecast",
+        }
+    }
+}
+
+impl std::str::FromStr for MergeStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "single" => Ok(MergeStrategy::SingleBuffered),
+            "double" => Ok(MergeStrategy::DoubleBuffered),
+            "forecast" => Ok(MergeStrategy::Forecast),
+            other => Err(format!(
+                "unknown merge strategy {other:?} (expected single, double, or forecast)"
+            )),
+        }
+    }
+}
 
 /// Configuration for [`sort_by_key_with`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SortConfig {
-    /// Use the double-buffered merge with halved fan-in (see the
-    /// module docs). Default false: the memory-model-faithful
-    /// single-buffered merge.
-    pub double_buffered_merge: bool,
+    /// Which merge strategy the merge passes use (see [`MergeStrategy`]
+    /// and the module docs). Default: [`MergeStrategy::SingleBuffered`].
+    pub merge: MergeStrategy,
 }
 
 /// Outcome of an external sort.
@@ -54,26 +122,36 @@ pub struct SortConfig {
 pub struct SortReport {
     /// Number of passes over the data (run formation + merge passes).
     pub passes: usize,
-    /// Merge fan-in used (`M/BD − 1`).
+    /// The merge fan-in actually used — the strategy's own value
+    /// ([`MergeStrategy::fan_in`]): `M/BD − 1` single-buffered,
+    /// `(M/BD − 1)/2` double-buffered, `M/B − D − 1` forecasting.
     pub fan_in: usize,
+    /// The merge strategy that produced this report (so benches and
+    /// the CLI can label rows).
+    pub strategy: MergeStrategy,
     /// Total I/O.
     pub total: IoStats,
     /// Portion holding the sorted data.
     pub final_portion: usize,
 }
 
-/// A run: a contiguous range of stripes within a portion, sorted by
-/// key.
+/// A run: a contiguous range of stripes, sorted by key, living in
+/// `portion`. Between passes runs may live in *either* portion: a
+/// leftover singleton group is left in place (zero I/O) rather than
+/// copied, so the next pass finds it where the previous one did.
 #[derive(Clone, Copy, Debug)]
 struct Run {
     start: usize,
     end: usize, // exclusive, in stripes
+    portion: usize,
 }
 
-/// One run being consumed during a merge: a reusable one-stripe buffer
-/// plus the read cursor.
+/// One run being consumed during a single-buffered merge: a reusable
+/// one-stripe buffer plus the read cursor.
 struct Cursor<R> {
     run: Run,
+    /// `portion_base` of the run's portion.
+    base: usize,
     next_stripe: usize,
     buf: Vec<R>,
     /// Valid records in `buf` (0 until the first refill).
@@ -82,9 +160,10 @@ struct Cursor<R> {
 }
 
 impl<R: Record> Cursor<R> {
-    fn new(run: Run, stripe_len: usize) -> Self {
+    fn new(run: Run, base: usize, stripe_len: usize) -> Self {
         Cursor {
             run,
+            base,
             next_stripe: run.start,
             buf: vec![R::default(); stripe_len],
             filled: 0,
@@ -98,14 +177,14 @@ impl<R: Record> Cursor<R> {
 
     /// Refills the buffer (in place, no allocation) if empty; returns
     /// false when the run is done.
-    fn ensure(&mut self, sys: &mut DiskSystem<R>, base: usize) -> Result<bool, PdmError> {
+    fn ensure(&mut self, sys: &mut DiskSystem<R>) -> Result<bool, PdmError> {
         if self.pos < self.filled {
             return Ok(true);
         }
         if self.next_stripe >= self.run.end {
             return Ok(false);
         }
-        sys.read_stripe_into(base + self.next_stripe, &mut self.buf)?;
+        sys.read_stripe_into(self.base + self.next_stripe, &mut self.buf)?;
         self.filled = self.buf.len();
         self.pos = 0;
         self.next_stripe += 1;
@@ -135,28 +214,28 @@ pub fn sort_by_key<R: Record>(
 
 /// Sorts the `N` records in portion 0 by `key`, ascending. Requires a
 /// disk system with at least two portions, and enough memory for a
-/// fan-in of at least two runs plus the output buffer (`M ≥ 3·BD`
-/// single-buffered, `M ≥ 5·BD` double-buffered).
+/// fan-in of at least two runs plus the buffers the chosen
+/// [`MergeStrategy`] needs.
 pub fn sort_by_key_with<R: Record>(
     sys: &mut DiskSystem<R>,
     key: impl Fn(&R) -> u64 + Copy,
     cfg: SortConfig,
 ) -> Result<SortReport, PdmError> {
     let geom = sys.geometry();
-    assert!(sys.portions() >= 2, "sort needs two portions");
-    let stripes_in_memory = geom.memory() / (geom.block() * geom.disks());
-    // Single-buffered: F + 1 stripes resident. Double-buffered: each
-    // run holds two stripes, so 2F + 1 ≤ M/BD.
-    let fan_in = if cfg.double_buffered_merge {
-        stripes_in_memory.saturating_sub(1) / 2
-    } else {
-        stripes_in_memory.saturating_sub(1)
-    };
+    if sys.portions() < 2 {
+        return Err(PdmError::Config(format!(
+            "merge sort needs a disk system with at least two portions, got {}",
+            sys.portions()
+        )));
+    }
+    let fan_in = cfg.merge.fan_in(&geom);
     if fan_in < 2 {
         return Err(PdmError::Config(format!(
             "merge sort needs fan-in >= 2, got {fan_in} \
-             (M/BD = {stripes_in_memory}, double_buffered = {})",
-            cfg.double_buffered_merge
+             (M/BD = {}, M/B = {}, strategy = {})",
+            geom.stripes_per_memoryload(),
+            geom.blocks_per_memoryload(),
+            cfg.merge.as_str()
         )));
     }
     let before = sys.stats();
@@ -177,64 +256,81 @@ pub fn sort_by_key_with<R: Record>(
         .map(|ml| Run {
             start: ml * spm,
             end: (ml + 1) * spm,
+            portion: 1,
         })
         .collect();
-    let mut src = 1usize;
     let mut passes = 1usize;
 
-    // --- Merge passes.
+    // --- Merge passes. The target portion alternates per pass; every
+    // *merged* group lands there, while a leftover singleton group
+    // keeps its `Run::portion`. At most one run is ever off the common
+    // source portion, and it is the globally last run, so within a
+    // group at most the final run lives in the target portion — the
+    // one arrangement where in-place output is safe (the output cursor
+    // reaches a target-portion stripe only after every block of it has
+    // been consumed, because all earlier-ranged runs together hold
+    // exactly the records written before it).
     let stripe_len = geom.block() * geom.disks();
     let mut out: Vec<R> = Vec::with_capacity(stripe_len);
+    let mut target = 0usize;
     while runs.len() > 1 {
-        let dst = 1 - src;
         let mut next_runs: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(fan_in));
         for group in runs.chunks(fan_in) {
-            let start = group[0].start;
-            let end = group.last().unwrap().end;
-            if cfg.double_buffered_merge {
-                merge_group_db(sys, src, dst, group, key, &mut out)?;
-            } else {
-                merge_group(sys, src, dst, group, key, &mut out)?;
+            if group.len() == 1 {
+                // Leftover singleton: already a sorted run — leave it
+                // in place instead of paying 2·|run| parallel I/Os of
+                // pure copy.
+                next_runs.push(group[0]);
+                continue;
             }
-            next_runs.push(Run { start, end });
+            match cfg.merge {
+                MergeStrategy::SingleBuffered => merge_group(sys, target, group, key, &mut out)?,
+                MergeStrategy::DoubleBuffered => merge_group_db(sys, target, group, key, &mut out)?,
+                MergeStrategy::Forecast => merge_group_fc(sys, target, group, key, &mut out)?,
+            }
+            next_runs.push(Run {
+                start: group[0].start,
+                end: group.last().unwrap().end,
+                portion: target,
+            });
         }
         runs = next_runs;
-        src = dst;
+        target = 1 - target;
         passes += 1;
     }
 
     Ok(SortReport {
         passes,
         fan_in,
+        strategy: cfg.merge,
         total: sys.stats().since(&before),
-        final_portion: src,
+        final_portion: runs[0].portion,
     })
 }
 
-/// Merges a group of consecutive runs from `src` into the same stripe
-/// range of `dst`. `out` is the reusable one-stripe output buffer.
+/// Merges a group of consecutive runs (each read from its own
+/// [`Run::portion`]) into the same stripe range of portion `dst`.
+/// `out` is the reusable one-stripe output buffer.
 fn merge_group<R: Record>(
     sys: &mut DiskSystem<R>,
-    src: usize,
     dst: usize,
     group: &[Run],
     key: impl Fn(&R) -> u64 + Copy,
     out: &mut Vec<R>,
 ) -> Result<(), PdmError> {
     let geom = sys.geometry();
-    let src_base = sys.portion_base(src);
     let dst_base = sys.portion_base(dst);
     let stripe_len = geom.block() * geom.disks();
 
     let mut cursors: Vec<Cursor<R>> = group
         .iter()
-        .map(|&run| Cursor::new(run, stripe_len))
+        .map(|&run| Cursor::new(run, sys.portion_base(run.portion), stripe_len))
         .collect();
     // Heap of (key, cursor index); pull the global minimum, refilling
     // that cursor's stripe buffer on demand.
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     for (i, c) in cursors.iter_mut().enumerate() {
-        if c.ensure(sys, src_base)? {
+        if c.ensure(sys)? {
             heap.push(Reverse((key(c.peek()), i)));
         }
     }
@@ -248,7 +344,7 @@ fn merge_group<R: Record>(
             out_stripe += 1;
             out.clear();
         }
-        if cursors[i].ensure(sys, src_base)? {
+        if cursors[i].ensure(sys)? {
             heap.push(Reverse((key(cursors[i].peek()), i)));
         }
     }
@@ -262,6 +358,7 @@ fn merge_group<R: Record>(
 /// flight split-phase.
 struct DbCursor<R: Record> {
     run: Run,
+    base: usize,
     /// Next stripe to *submit* (not yet issued).
     next_stripe: usize,
     bufs: [Vec<R>; 2],
@@ -274,9 +371,10 @@ struct DbCursor<R: Record> {
 }
 
 impl<R: Record> DbCursor<R> {
-    fn new(run: Run, stripe_len: usize) -> Self {
+    fn new(run: Run, base: usize, stripe_len: usize) -> Self {
         DbCursor {
             run,
+            base,
             next_stripe: run.start,
             bufs: [
                 vec![R::default(); stripe_len],
@@ -294,13 +392,12 @@ impl<R: Record> DbCursor<R> {
     fn prefetch(
         &mut self,
         sys: &mut DiskSystem<R>,
-        base: usize,
         refs: &mut Vec<BlockRef>,
     ) -> Result<(), PdmError> {
         if self.pending.is_some() || self.next_stripe >= self.run.end {
             return Ok(());
         }
-        let slot = base + self.next_stripe;
+        let slot = self.base + self.next_stripe;
         refs.clear();
         refs.extend((0..sys.geometry().disks()).map(|disk| BlockRef { disk, slot }));
         self.pending = Some(sys.begin_read(refs)?);
@@ -314,7 +411,6 @@ impl<R: Record> DbCursor<R> {
     fn ensure(
         &mut self,
         sys: &mut DiskSystem<R>,
-        base: usize,
         refs: &mut Vec<BlockRef>,
     ) -> Result<bool, PdmError> {
         if self.pos < self.filled {
@@ -330,7 +426,7 @@ impl<R: Record> DbCursor<R> {
         self.filled = len;
         self.pos = 0;
         // Start refilling the buffer just drained.
-        self.prefetch(sys, base, refs).map(|()| true)
+        self.prefetch(sys, refs).map(|()| true)
     }
 
     fn peek(&self) -> &R {
@@ -350,21 +446,19 @@ impl<R: Record> DbCursor<R> {
 /// threaded mode the refills overlap the heap work.
 fn merge_group_db<R: Record>(
     sys: &mut DiskSystem<R>,
-    src: usize,
     dst: usize,
     group: &[Run],
     key: impl Fn(&R) -> u64 + Copy,
     out: &mut Vec<R>,
 ) -> Result<(), PdmError> {
     let geom = sys.geometry();
-    let src_base = sys.portion_base(src);
     let stripe_len = geom.block() * geom.disks();
     let mut cursors: Vec<DbCursor<R>> = group
         .iter()
-        .map(|&run| DbCursor::new(run, stripe_len))
+        .map(|&run| DbCursor::new(run, sys.portion_base(run.portion), stripe_len))
         .collect();
     let mut refs: Vec<BlockRef> = Vec::with_capacity(geom.disks());
-    let result = merge_group_db_inner(sys, src_base, dst, group, &mut cursors, &mut refs, key, out);
+    let result = merge_group_db_inner(sys, dst, group, &mut cursors, &mut refs, key, out);
     if result.is_err() {
         // Abort path: reclaim every in-flight prefetch so no pooled
         // buffers are stranded.
@@ -380,7 +474,6 @@ fn merge_group_db<R: Record>(
 #[allow(clippy::too_many_arguments)]
 fn merge_group_db_inner<R: Record>(
     sys: &mut DiskSystem<R>,
-    src_base: usize,
     dst: usize,
     group: &[Run],
     cursors: &mut [DbCursor<R>],
@@ -393,8 +486,8 @@ fn merge_group_db_inner<R: Record>(
     let stripe_len = geom.block() * geom.disks();
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     for (i, c) in cursors.iter_mut().enumerate() {
-        c.prefetch(sys, src_base, refs)?;
-        if c.ensure(sys, src_base, refs)? {
+        c.prefetch(sys, refs)?;
+        if c.ensure(sys, refs)? {
             heap.push(Reverse((key(c.peek()), i)));
         }
     }
@@ -408,7 +501,7 @@ fn merge_group_db_inner<R: Record>(
             out_stripe += 1;
             out.clear();
         }
-        if cursors[i].ensure(sys, src_base, refs)? {
+        if cursors[i].ensure(sys, refs)? {
             heap.push(Reverse((key(cursors[i].peek()), i)));
         }
     }
@@ -419,10 +512,225 @@ fn merge_group_db_inner<R: Record>(
     Ok(())
 }
 
+/// One run being consumed by the forecasting merge: a single *block*
+/// buffer plus the forecasting key (the key of the buffer's last
+/// record — blocks within a run are sorted, so the run with the
+/// smallest forecasting key is exactly the run whose buffer empties
+/// next).
+struct FcCursor<R> {
+    run: Run,
+    base: usize,
+    /// Next block (0-based within the run) not yet landed or in
+    /// flight. Block `k` of a run lives at stripe `start + k/D`,
+    /// disk `k mod D`.
+    next_block: usize,
+    total_blocks: usize,
+    buf: Vec<R>,
+    filled: usize,
+    pos: usize,
+    /// Forecasting key (valid while `filled > 0`).
+    fkey: u64,
+}
+
+impl<R: Record> FcCursor<R> {
+    fn new(run: Run, base: usize, block: usize, disks: usize) -> Self {
+        FcCursor {
+            run,
+            base,
+            next_block: 0,
+            total_blocks: (run.end - run.start) * disks,
+            buf: vec![R::default(); block],
+            filled: 0,
+            pos: 0,
+            fkey: 0,
+        }
+    }
+
+    /// True while this cursor still has blocks that were neither
+    /// landed nor submitted.
+    fn has_unfetched(&self) -> bool {
+        self.next_block < self.total_blocks
+    }
+
+    /// The [`BlockRef`] of the next unfetched block.
+    fn next_ref(&self, disks: usize) -> BlockRef {
+        BlockRef {
+            disk: self.next_block % disks,
+            slot: self.base + self.run.start + self.next_block / disks,
+        }
+    }
+
+    fn peek(&self) -> &R {
+        &self.buf[self.pos]
+    }
+
+    fn pop(&mut self) -> R {
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        r
+    }
+
+    /// Installs a freshly landed block and refreshes the forecasting
+    /// key.
+    fn install(&mut self, key: impl Fn(&R) -> u64) {
+        self.filled = self.buf.len();
+        self.pos = 0;
+        self.fkey = key(&self.buf[self.filled - 1]);
+    }
+}
+
+/// The in-flight forecast prefetch: which cursor it refills and its
+/// split-phase ticket.
+struct FcPending<R: Record> {
+    cursor: usize,
+    ticket: ReadTicket<R>,
+}
+
+/// Merges a group of consecutive runs with forecasting block-granular
+/// cursors. Reads are independent single-block parallel I/Os (every
+/// block of the group is read exactly once — `D` read operations per
+/// stripe); writes remain striped. The one split-phase prefetch in
+/// flight always belongs to the run that empties next, so in threaded
+/// mode every refill is already resident when the heap demands it.
+fn merge_group_fc<R: Record>(
+    sys: &mut DiskSystem<R>,
+    dst: usize,
+    group: &[Run],
+    key: impl Fn(&R) -> u64 + Copy,
+    out: &mut Vec<R>,
+) -> Result<(), PdmError> {
+    let geom = sys.geometry();
+    let block = geom.block();
+    let disks = geom.disks();
+    let mut cursors: Vec<FcCursor<R>> = group
+        .iter()
+        .map(|&run| FcCursor::new(run, sys.portion_base(run.portion), block, disks))
+        .collect();
+    let mut pending: Option<FcPending<R>> = None;
+    let result = merge_group_fc_inner(sys, dst, group, &mut cursors, &mut pending, key, out);
+    if result.is_err() {
+        // Abort path: reclaim the in-flight prefetch so no pooled
+        // buffers are stranded.
+        if let Some(p) = pending.take() {
+            sys.discard_read(p.ticket);
+        }
+    }
+    result
+}
+
+/// Submits the next prefetch: the first unfetched block of the run
+/// predicted to empty next (smallest `(fkey, index)` — ties broken
+/// like the merge heap, so the prediction is exact even with
+/// duplicate keys).
+fn fc_issue_prefetch<R: Record>(
+    sys: &mut DiskSystem<R>,
+    cursors: &mut [FcCursor<R>],
+    pending: &mut Option<FcPending<R>>,
+) -> Result<(), PdmError> {
+    debug_assert!(pending.is_none());
+    let disks = sys.geometry().disks();
+    let predicted = cursors
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.has_unfetched())
+        .min_by_key(|(i, c)| (c.fkey, *i))
+        .map(|(i, _)| i);
+    if let Some(i) = predicted {
+        let ticket = sys.begin_read_block(cursors[i].next_ref(disks))?;
+        cursors[i].next_block += 1;
+        *pending = Some(FcPending { cursor: i, ticket });
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_group_fc_inner<R: Record>(
+    sys: &mut DiskSystem<R>,
+    dst: usize,
+    group: &[Run],
+    cursors: &mut [FcCursor<R>],
+    pending: &mut Option<FcPending<R>>,
+    key: impl Fn(&R) -> u64 + Copy,
+    out: &mut Vec<R>,
+) -> Result<(), PdmError> {
+    let geom = sys.geometry();
+    let dst_base = sys.portion_base(dst);
+    let disks = geom.disks();
+    let stripe_len = geom.block() * disks;
+    // Shared landing buffer for the split-phase prefetch: the one
+    // extra block of residency the strategy charges against M.
+    let mut landing: Vec<R> = vec![R::default(); geom.block()];
+
+    // Initial fill: every cursor's first block, demand-read (all runs
+    // start at a stripe boundary, i.e. on disk 0, so these reads
+    // cannot batch).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter_mut().enumerate() {
+        debug_assert!(c.has_unfetched(), "runs are non-empty");
+        sys.read_block_into(c.next_ref(disks), &mut c.buf)?;
+        c.next_block += 1;
+        c.install(key);
+        heap.push(Reverse((key(c.peek()), i)));
+    }
+    fc_issue_prefetch(sys, cursors, pending)?;
+
+    out.clear();
+    let mut out_stripe = group[0].start;
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let rec = cursors[i].pop();
+        out.push(rec);
+        if out.len() == stripe_len {
+            sys.write_stripe(dst_base + out_stripe, out)?;
+            out_stripe += 1;
+            out.clear();
+        }
+        if cursors[i].pos < cursors[i].filled {
+            heap.push(Reverse((key(cursors[i].peek()), i)));
+            continue;
+        }
+        // Cursor i drained its block. If it has more, the forecast
+        // guarantees the in-flight prefetch is exactly its next block.
+        match pending.take() {
+            Some(p) if p.cursor == i => {
+                sys.finish_read(p.ticket, &mut landing)?;
+                std::mem::swap(&mut cursors[i].buf, &mut landing);
+                cursors[i].install(key);
+                heap.push(Reverse((key(cursors[i].peek()), i)));
+                fc_issue_prefetch(sys, cursors, pending)?;
+            }
+            other => {
+                *pending = other;
+                // The run is exhausted: the prediction is exact, so a
+                // drained cursor that is not the prefetch target has
+                // no blocks left. Guarded by a demand read rather than
+                // trusting the invariant: if a future edit ever breaks
+                // the exactness argument, the merge must fail loudly
+                // under debug and stay correct (every block still read
+                // exactly once) in release — not silently truncate the
+                // group.
+                if cursors[i].has_unfetched() {
+                    debug_assert!(false, "forecast mispredicted the next empty run");
+                    let r = cursors[i].next_ref(disks);
+                    sys.read_block_into(r, &mut cursors[i].buf)?;
+                    cursors[i].next_block += 1;
+                    cursors[i].install(key);
+                    heap.push(Reverse((key(cursors[i].peek()), i)));
+                }
+            }
+        }
+    }
+    debug_assert!(out.is_empty(), "runs are stripe-aligned");
+    debug_assert!(pending.is_none(), "prefetch outlived the merge");
+    debug_assert!(cursors
+        .iter()
+        .all(|c| c.pos >= c.filled && !c.has_unfetched()));
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdm::{Geometry, ServiceMode};
+    use pdm::{FaultPlan, Geometry, ServiceMode};
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
@@ -430,6 +738,10 @@ mod tests {
     fn geom() -> Geometry {
         // N=2^10, B=2^2, D=2^2, M=2^6: M/BD = 4 stripes, fan-in 3.
         Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap()
+    }
+
+    fn cfg(merge: MergeStrategy) -> SortConfig {
+        SortConfig { merge }
     }
 
     #[test]
@@ -475,11 +787,15 @@ mod tests {
         let report = sort_by_key(&mut sys, |&r| r).unwrap();
         // N/M = 16 runs, fan-in 3: 16 → 6 → 2 → 1 = 3 merge passes.
         assert_eq!(report.fan_in, 3);
+        assert_eq!(report.strategy, MergeStrategy::SingleBuffered);
         assert_eq!(report.passes, 4);
-        // Every pass costs exactly 2N/BD striped I/Os.
+        // Every merged stripe costs one striped read + one striped
+        // write, but the leftover singleton of merge pass 1 (16 runs =
+        // 5 groups of 3 + one of 1) stays in place: 4·128 minus the
+        // 2·4 parallel I/Os the old wholesale copy used to charge.
         assert_eq!(
             report.total.parallel_ios() as usize,
-            report.passes * g.ios_per_pass()
+            report.passes * g.ios_per_pass() - 2 * g.stripes_per_memoryload()
         );
         assert_eq!(report.total.striped_reads, report.total.parallel_reads);
         assert_eq!(report.total.striped_writes, report.total.parallel_writes);
@@ -514,11 +830,33 @@ mod tests {
 
     #[test]
     fn rejects_tiny_memory() {
-        // M = BD: zero fan-in.
+        // M = BD: zero fan-in for every strategy.
         let g = Geometry::new(1 << 8, 1 << 2, 1 << 2, 1 << 4).unwrap();
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &(0..256u64).collect::<Vec<_>>());
-        assert!(sort_by_key(&mut sys, |&r| r).is_err());
+        for strategy in [
+            MergeStrategy::SingleBuffered,
+            MergeStrategy::DoubleBuffered,
+            MergeStrategy::Forecast,
+        ] {
+            assert!(matches!(
+                sort_by_key_with(&mut sys, |&r| r, cfg(strategy)),
+                Err(PdmError::Config(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn single_portion_system_is_a_typed_error() {
+        // Regression test: a 1-portion system used to hit an assert!
+        // and panic; it must return the same typed error as the fan-in
+        // check.
+        let g = geom();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 1);
+        sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+        let err = sort_by_key(&mut sys, |&r| r).unwrap_err();
+        assert!(matches!(err, PdmError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("two portions"), "{err}");
     }
 
     #[test]
@@ -535,13 +873,14 @@ mod tests {
     }
 
     /// Geometry with M/BD = 8 stripes in memory: single-buffered
-    /// fan-in 7, double-buffered fan-in 3.
+    /// fan-in 7, double-buffered fan-in 3, forecast fan-in
+    /// M/B − D − 1 = 16 − 3 = 13.
     fn db_geom() -> Geometry {
         Geometry::new(1 << 10, 1 << 1, 1 << 1, 1 << 5).unwrap()
     }
 
     #[test]
-    fn double_buffered_merge_sorts_identically() {
+    fn all_strategies_sort_identically() {
         let g = db_geom();
         let mut rng = StdRng::seed_from_u64(104);
         let mut records: Vec<u64> = (0..g.records() as u64).collect();
@@ -558,30 +897,45 @@ mod tests {
             );
             (report, sys.dump_records(report.final_portion))
         };
-        let single = SortConfig::default();
-        let double = SortConfig {
-            double_buffered_merge: true,
-        };
         let expect: Vec<u64> = (0..g.records() as u64).collect();
         for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
-            let (sr, sout) = run(single, mode);
-            let (dr, dout) = run(double, mode);
+            let (sr, sout) = run(cfg(MergeStrategy::SingleBuffered), mode);
+            let (dr, dout) = run(cfg(MergeStrategy::DoubleBuffered), mode);
+            let (fr, fout) = run(cfg(MergeStrategy::Forecast), mode);
             assert_eq!(sout, expect, "single-buffered missorted in {mode:?}");
             assert_eq!(dout, expect, "double-buffered missorted in {mode:?}");
-            // Halved fan-in: 7 → 3; more passes, every pass still
-            // exactly 2N/BD striped parallel I/Os.
+            assert_eq!(fout, expect, "forecast missorted in {mode:?}");
+            // 32 runs of 8 stripes each; N/BD = 256 stripes total.
+            // Single (fan-in 7): 32 → 5 → 1, no singletons, 3 passes of
+            // exactly 2·256 parallel I/Os.
             assert_eq!(sr.fan_in, 7);
+            assert_eq!(sr.passes, 3);
+            assert_eq!(sr.total.parallel_ios(), 3 * 512);
+            // Double (fan-in 3): 32 → 11 → 4 → 2 → 1; merge pass 3
+            // leaves a 40-stripe singleton in place (saving 80).
             assert_eq!(dr.fan_in, 3);
-            assert!(dr.passes >= sr.passes);
+            assert_eq!(dr.passes, 5);
+            assert_eq!(dr.total.parallel_ios(), 5 * 512 - 80);
+            // Forecast (fan-in 13): 32 → 3 → 1 — this geometry is too
+            // small for the fan-in gain to drop a pass (strictly fewer
+            // passes needs >F₁ runs; see tests/merge_strategies.rs) —
+            // and merge reads are per-block (D per stripe):
+            // formation 512 + 2·(2·256 + 256) = 2048.
+            assert_eq!(fr.fan_in, 13);
+            assert_eq!(fr.passes, 3);
+            assert!(fr.passes <= sr.passes);
+            assert_eq!(fr.total.parallel_ios(), 512 + 2 * (2 * 256 + 256));
             for r in [&sr, &dr] {
-                assert_eq!(
-                    r.total.parallel_ios() as usize,
-                    r.passes * g.ios_per_pass(),
-                    "pass-cost identity broken"
-                );
                 assert_eq!(r.total.striped_reads, r.total.parallel_reads);
                 assert_eq!(r.total.striped_writes, r.total.parallel_writes);
             }
+            // Forecast: writes stay striped, merge reads are
+            // independent single-block operations (formation reads are
+            // striped).
+            assert_eq!(fr.total.striped_writes, fr.total.parallel_writes);
+            assert_eq!(fr.total.striped_reads, 256);
+            assert_eq!(fr.total.independent_reads(), 2 * 512);
+            assert_eq!(fr.total.blocks_read, 256 * 2 + 2 * 512);
         }
     }
 
@@ -590,14 +944,8 @@ mod tests {
         let g = db_geom();
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &(0..g.records() as u64).rev().collect::<Vec<_>>());
-        let report = sort_by_key_with(
-            &mut sys,
-            |&r| r,
-            SortConfig {
-                double_buffered_merge: true,
-            },
-        )
-        .unwrap();
+        let report =
+            sort_by_key_with(&mut sys, |&r| r, cfg(MergeStrategy::DoubleBuffered)).unwrap();
         // N/M = 32 runs at fan-in 3: 32 → 11 → 4 → 2 → 1, so 4 merge
         // passes + run formation.
         assert_eq!(report.passes, 5);
@@ -610,15 +958,95 @@ mod tests {
         let g = geom();
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
-        assert!(sort_by_key_with(
-            &mut sys,
-            |&r| r,
-            SortConfig {
-                double_buffered_merge: true
-            }
-        )
-        .is_err());
+        assert!(sort_by_key_with(&mut sys, |&r| r, cfg(MergeStrategy::DoubleBuffered)).is_err());
         assert!(sort_by_key(&mut sys, |&r| r).is_ok());
+    }
+
+    #[test]
+    fn forecast_merge_sorts_with_duplicate_keys() {
+        // Duplicate keys stress the forecast tie-break: the prediction
+        // orders runs by (fkey, index) exactly like the merge heap.
+        let g = db_geom();
+        let mut rng = StdRng::seed_from_u64(105);
+        let mut records: Vec<u64> = (0..g.records() as u64).map(|i| i % 5).collect();
+        records.shuffle(&mut rng);
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode);
+            sys.load_records(0, &records);
+            let report = sort_by_key_with(&mut sys, |&r| r, cfg(MergeStrategy::Forecast)).unwrap();
+            let out = sys.dump_records(report.final_portion);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "missorted {mode:?}");
+            let mut a = out;
+            let mut b = records.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "multiset changed in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn forecast_single_disk_sort() {
+        // D=1: every "single-block" read is also a full stripe, and
+        // the forecast fan-in is M/B − 2 = 6.
+        let g = Geometry::new(1 << 9, 1 << 2, 1, 1 << 5).unwrap();
+        assert_eq!(MergeStrategy::Forecast.fan_in(&g), 6);
+        let mut rng = StdRng::seed_from_u64(106);
+        let mut records: Vec<u64> = (0..g.records() as u64).collect();
+        records.shuffle(&mut rng);
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.load_records(0, &records);
+        let report = sort_by_key_with(&mut sys, |&r| r, cfg(MergeStrategy::Forecast)).unwrap();
+        let out = sys.dump_records(report.final_portion);
+        assert_eq!(out, (0..g.records() as u64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn forecast_abort_reclaims_prefetch_buffers() {
+        // A fault mid-merge must surface as an error (not a panic) and
+        // leave zero pooled buffers outstanding — the in-flight
+        // forecast prefetch is discarded on the abort path.
+        let g = db_geom();
+        let mut rng = StdRng::seed_from_u64(107);
+        let mut records: Vec<u64> = (0..g.records() as u64).collect();
+        records.shuffle(&mut rng);
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            // Fault a handful of operation indices inside the merge
+            // phase (run formation is 512 ops).
+            for op in [600u64, 700, 1000] {
+                let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+                sys.set_service_mode(mode);
+                sys.load_records(0, &records);
+                // Fault every disk at this op: a forecast refill is a
+                // single-block read touching just one (data-dependent)
+                // disk.
+                let mut plan = FaultPlan::new();
+                for disk in 0..g.disks() {
+                    plan = plan.fail_at(op, disk);
+                }
+                sys.set_faults(plan);
+                let err = sort_by_key_with(&mut sys, |&r| r, cfg(MergeStrategy::Forecast))
+                    .expect_err("fault must abort the sort");
+                assert!(matches!(err, PdmError::Fault { .. }), "got {err:?}");
+                assert_eq!(
+                    sys.buffer_pool_stats().outstanding,
+                    0,
+                    "abort stranded pooled buffers (mode {mode:?}, op {op})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_strategy_labels_round_trip() {
+        for s in [
+            MergeStrategy::SingleBuffered,
+            MergeStrategy::DoubleBuffered,
+            MergeStrategy::Forecast,
+        ] {
+            assert_eq!(s.as_str().parse::<MergeStrategy>().unwrap(), s);
+        }
+        assert!("fancy".parse::<MergeStrategy>().is_err());
     }
 
     #[test]

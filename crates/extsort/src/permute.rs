@@ -9,12 +9,16 @@
 //! `pdm::engine` (see [`crate::merge`]): run formation is a
 //! [`pdm::PassEngine`] pass, so with
 //! [`pdm::ServiceMode::Threaded`] the per-disk service threads
-//! prefetch the next memoryload while the current one is sorted.
+//! prefetch the next memoryload while the current one is sorted. The
+//! merge strategy (single-buffered, double-buffered, or forecasting —
+//! see [`crate::MergeStrategy`]) is selectable via
+//! [`general_permute_with`].
 
-use crate::merge::{sort_by_key, SortReport};
+use crate::merge::{sort_by_key_with, SortConfig, SortReport};
 use pdm::{DiskSystem, PdmError, Record};
 
-/// Performs an arbitrary permutation of the records in portion 0.
+/// Performs an arbitrary permutation of the records in portion 0 with
+/// the default (single-buffered) merge. See [`general_permute_with`].
 ///
 /// * `key_of` recovers a record's *source address* (its identity) —
 ///   e.g. `|r| r.key` for [`pdm::TaggedRecord`] or `|&r| r` for `u64`
@@ -25,12 +29,25 @@ pub fn general_permute<R: Record>(
     key_of: impl Fn(&R) -> u64 + Copy,
     target: impl Fn(u64) -> u64 + Copy,
 ) -> Result<SortReport, PdmError> {
-    sort_by_key(sys, move |r| target(key_of(r)))
+    general_permute_with(sys, key_of, target, SortConfig::default())
+}
+
+/// [`general_permute`] with an explicit [`SortConfig`], so callers
+/// (the CLI's `--merge` flag, the benches) can pick the merge
+/// strategy.
+pub fn general_permute_with<R: Record>(
+    sys: &mut DiskSystem<R>,
+    key_of: impl Fn(&R) -> u64 + Copy,
+    target: impl Fn(u64) -> u64 + Copy,
+    cfg: SortConfig,
+) -> Result<SortReport, PdmError> {
+    sort_by_key_with(sys, move |r| target(key_of(r)), cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::merge::MergeStrategy;
     use pdm::{Geometry, TaggedRecord};
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
@@ -60,9 +77,41 @@ mod tests {
     }
 
     #[test]
+    fn forecast_strategy_performs_identical_permutation() {
+        let g = geom();
+        let n = g.records();
+        let mut rng = StdRng::seed_from_u64(112);
+        let mut targets: Vec<u64> = (0..n as u64).collect();
+        targets.shuffle(&mut rng);
+
+        let run = |merge: MergeStrategy| {
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+            sys.load_records(0, &(0..n as u64).collect::<Vec<_>>());
+            let tmap = &targets;
+            let report = general_permute_with(
+                &mut sys,
+                |&r| r,
+                move |x| tmap[x as usize],
+                SortConfig { merge },
+            )
+            .unwrap();
+            assert_eq!(report.strategy, merge);
+            sys.dump_records(report.final_portion)
+        };
+        assert_eq!(
+            run(MergeStrategy::SingleBuffered),
+            run(MergeStrategy::Forecast),
+            "strategies must place every record identically"
+        );
+    }
+
+    #[test]
     fn cost_matches_general_bound_shape() {
         // The executable baseline's I/O count equals the sorting term
-        // of the general-permutation bound with fan-in M/BD − 1.
+        // of the general-permutation bound with fan-in M/BD − 1,
+        // tightened by the leftover-singleton rule: merge pass 1
+        // (16 runs = 5 groups of 3 + one of 1) leaves one 4-stripe run
+        // in place instead of copying it.
         let g = geom();
         let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
         sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
@@ -84,7 +133,7 @@ mod tests {
         assert_eq!(report.passes, 1 + merge_passes);
         assert_eq!(
             report.total.parallel_ios() as usize,
-            report.passes * g.ios_per_pass()
+            report.passes * g.ios_per_pass() - 2 * g.stripes_per_memoryload()
         );
     }
 

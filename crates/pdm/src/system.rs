@@ -579,6 +579,14 @@ impl<R: Record> DiskSystem<R> {
         Ok(())
     }
 
+    /// One parallel read of a *single* block into `out` (`B` records)
+    /// — the block-granular unit of the forecasting merge. Counts one
+    /// parallel I/O (classified striped only when `D = 1`, where one
+    /// block is a whole stripe).
+    pub fn read_block_into(&mut self, r: BlockRef, out: &mut [R]) -> Result<()> {
+        self.read_blocks_into(&[r], out)
+    }
+
     // ------------------------------------------------------------------
     // Split-phase operations (the engine's overlap path).
 
@@ -654,6 +662,13 @@ impl<R: Record> DiskSystem<R> {
                 })
             }
         }
+    }
+
+    /// Begins a split-phase read of a single block (see
+    /// [`DiskSystem::begin_read`]) — how the forecasting merge keeps
+    /// the predicted run's next block in flight while the heap drains.
+    pub fn begin_read_block(&mut self, r: BlockRef) -> Result<ReadTicket<R>> {
+        self.begin_read(&[r])
     }
 
     /// Completes a split-phase read, copying block `i` of the request
@@ -1327,6 +1342,35 @@ mod tests {
                 after.allocated, warm.allocated,
                 "faulted ops must not grow the pool (mode {mode:?})"
             );
+        }
+    }
+
+    #[test]
+    fn single_block_reads_all_modes() {
+        // The block-granular merge path: one block per parallel I/O,
+        // synchronous and split-phase, classified independent for
+        // D > 1.
+        for mode in [
+            ServiceMode::Serial,
+            ServiceMode::SpawnPerOp,
+            ServiceMode::Threaded,
+        ] {
+            let mut sys = small();
+            sys.set_service_mode(mode);
+            let records: Vec<u64> = (0..64).collect();
+            sys.load_records(0, &records);
+            let mut buf = vec![0u64; 2];
+            sys.read_block_into(BlockRef { disk: 2, slot: 3 }, &mut buf)
+                .unwrap();
+            assert_eq!(buf, vec![28, 29], "mode {mode:?}");
+            let t = sys.begin_read_block(BlockRef { disk: 1, slot: 0 }).unwrap();
+            sys.finish_read(t, &mut buf).unwrap();
+            assert_eq!(buf, vec![2, 3], "mode {mode:?}");
+            let s = sys.stats();
+            assert_eq!(s.parallel_reads, 2);
+            assert_eq!(s.striped_reads, 0, "one block of D=4 is not a stripe");
+            assert_eq!(s.blocks_read, 2);
+            assert_eq!(sys.buffer_pool_stats().outstanding, 0, "mode {mode:?}");
         }
     }
 

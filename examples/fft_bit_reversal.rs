@@ -59,6 +59,6 @@ fn main() {
          sorting bound {} I/Os)",
         sort_report.total.parallel_ios() as f64 / report.total.parallel_ios() as f64,
         bounds::theorem21_upper(&geom, gamma_rank),
-        bounds::merge_sort_ios(&geom).unwrap()
+        bounds::merge_sort_ios(&geom, bounds::MergeStrategy::SingleBuffered).unwrap()
     );
 }
