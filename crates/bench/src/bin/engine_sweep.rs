@@ -36,24 +36,34 @@
 //! pass on MemDisk vs. `FileDisk` (real positional file I/O) under the
 //! serial / spawn-per-op / persistent-DiskPool disciplines: placement
 //! must be byte-identical and the charged parallel-I/O counts
-//! identical — only the wall clock may move.
+//! identical — only the wall clock may move. Since PR 6 a **transport**
+//! section serves the same engine pass in-process, over per-disk
+//! `pdm-diskd` worker processes (Unix-domain sockets), and over the
+//! deterministic simulated network: placement and parallel-I/O counts
+//! identical, in-process rows move zero messages, and the sim rows'
+//! message/byte counts equal the real socket rows' exactly.
 //!
 //! ```text
 //! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
 //!   --quick          small sizes (CI smoke); emits the "quick",
-//!                    "fusion", "extsort", and "file" sections
-//!   --baseline       run full + quick and insist on the acceptance ratio
+//!                    "fusion", "extsort", "transport", and "file"
+//!                    sections
+//!   --baseline       run full + quick and insist on the acceptance ratios
 //!   --file-dir DIR   parent directory for the file section's per-disk
 //!                    files (e.g. a tmpfs mount); default: a
 //!                    self-cleaning temp dir
 //!   --file-only      run (and with --check, gate) only the file section
+//!   --transport X    run (and with --check, gate) only the transport
+//!                    section, restricted to {inproc, X} — the CI UDS
+//!                    smoke step (needs the pdm-diskd binary for X=uds)
 //!   --out FILE       write the JSON document to FILE
-//!   --check FILE     compare this run's quick/fusion/extsort/file
-//!                    sections against FILE's; exit 1 if the engine
-//!                    regressed >20% vs. the recorded speedup (rows whose
-//!                    recorded ratio is below the 1.5x acceptance bar are
-//!                    noise and not time-gated) or any parallel-I/O count
-//!                    moved at all
+//!   --check FILE     compare this run's quick/fusion/extsort/file/
+//!                    transport sections against FILE's; exit 1 if the
+//!                    engine regressed >20% vs. the recorded speedup
+//!                    (rows whose recorded ratio is below the 1.5x
+//!                    acceptance bar are noise and not time-gated) or
+//!                    any parallel-I/O or transport message count moved
+//!                    at all
 //!   --check-latest   like --check, against the newest BENCH_PR*.json in
 //!                    the working directory (per-PR bench trajectory)
 //! ```
@@ -68,7 +78,7 @@ use bmmc::passes::{execute_pass, reference, reference_permute};
 use bmmc::Bmmc;
 use bmmc_bench::json::Json;
 use extsort::{sort_by_key_with, MergeStrategy, SortConfig};
-use pdm::{DiskSystem, Geometry, ServiceMode};
+use pdm::{Backend, DiskSystem, Geometry, MsgStats, ServiceMode, TransportConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -610,6 +620,202 @@ fn run_file_sweep(lg_records: usize, reps: usize, parent: &Path) -> Json {
     ])
 }
 
+/// Builds the `TransportConfig` for a transport-sweep row name.
+fn transport_config(name: &str) -> TransportConfig {
+    match name {
+        "inproc" => TransportConfig::InProc,
+        "uds" => TransportConfig::Uds(Default::default()),
+        "sim" => TransportConfig::SimNet(Default::default()),
+        other => unreachable!("unknown transport {other}"),
+    }
+}
+
+/// The transport sweep: the same seeded engine MLD pass served
+/// in-process, over per-disk `pdm-diskd` worker processes (Unix-domain
+/// sockets), and over the deterministic simulated network.
+///
+/// Placement and the charged parallel-I/O count must be identical
+/// across every transport — the transport may only move the wall
+/// clock. The in-process rows must move **zero** transport messages,
+/// and the sim rows must move exactly the same message and wire-byte
+/// counts as the real socket rows (both sides speak the identical
+/// `pdm::proto` protocol, so the simulation is an exact cost model of
+/// the sockets). Under `--baseline` the threaded UDS row must reach
+/// ≥ 0.5× the threaded in-process records/s.
+///
+/// `only` restricts the sweep to `{inproc, only}` (the CI UDS smoke
+/// step). The UDS rows need the `pdm-diskd` worker binary; a full run
+/// skips them with a loud warning when it is missing, but a restricted
+/// `--transport uds` run fails — that run exists to test the sockets.
+fn run_transport_sweep(
+    lg_records: usize,
+    reps: usize,
+    only: Option<&str>,
+    baseline_mode: bool,
+) -> Json {
+    let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 4, 1 << 12).expect("transport geometry");
+    eprintln!(
+        "== transport sweep: N=2^{lg_records}, B=2^3, D=2^4, M=2^12, engine, best of {reps} reps"
+    );
+    let mut rng = StdRng::seed_from_u64(0x7BA7 + lg_records as u64);
+    let perm = catalog::random_mld(&mut rng, geom.n(), geom.b(), geom.m());
+    let pass = Pass {
+        matrix: perm.matrix().clone(),
+        complement: perm.complement().clone(),
+        kind: PassKind::Mld,
+    };
+    let input: Vec<u64> = (0..geom.records() as u64).collect();
+    let expect = reference_permute(&input, |x| perm.target(x));
+    let transports: Vec<&'static str> = match only {
+        None => vec!["inproc", "uds", "sim"],
+        Some("inproc") => vec!["inproc"],
+        Some("uds") => vec!["inproc", "uds"],
+        Some("sim") => vec!["inproc", "sim"],
+        Some(other) => {
+            eprintln!("unknown --transport {other} (expected inproc, uds, or sim)");
+            std::process::exit(2);
+        }
+    };
+    let have_diskd = pdm::transport::find_diskd().is_some();
+    if !have_diskd && transports.contains(&"uds") {
+        if only.is_some() {
+            eprintln!(
+                "--transport uds: pdm-diskd worker binary not found — build it \
+                 (cargo build --release) or set PDM_DISKD_BIN"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "   WARNING: pdm-diskd worker binary not found (PDM_DISKD_BIN unset, not \
+             beside this executable) — skipping the uds rows"
+        );
+    }
+    let mut rows: Vec<Json> = Vec::new();
+    let mut rps: Vec<(&str, &str, f64)> = Vec::new();
+    let mut ios: Option<u64> = None;
+    let mut wire: Option<(&str, MsgStats)> = None;
+    for transport in transports {
+        if transport == "uds" && !have_diskd {
+            continue;
+        }
+        let config = transport_config(transport);
+        for (mode_name, mode) in [
+            ("serial", ServiceMode::Serial),
+            ("threaded", ServiceMode::Threaded),
+        ] {
+            let mut sys: DiskSystem<u64> =
+                DiskSystem::new_with_transport(geom, 2, &Backend::Mem, &config)
+                    .expect("transport system");
+            sys.set_service_mode(mode);
+            sys.load_records(0, &input);
+            let run = |sys: &mut DiskSystem<u64>| {
+                let m0 = sys.message_stats();
+                let t0 = Instant::now();
+                let stats = execute_pass(sys, 0, 1, &pass).expect("engine pass failed");
+                let dt = t0.elapsed().as_secs_f64();
+                (stats, sys.message_stats().since(&m0), dt)
+            };
+            // Warm-up rep doubles as the correctness check.
+            let (stats, msgs, _) = run(&mut sys);
+            assert_eq!(
+                sys.dump_records(1),
+                expect,
+                "{transport}/{mode_name} produced a wrong permutation"
+            );
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let (s, m, dt) = run(&mut sys);
+                best = best.min(dt);
+                assert_eq!(s.ios.parallel_ios(), stats.ios.parallel_ios());
+                assert_eq!(
+                    m, msgs,
+                    "{transport}/{mode_name}: message count not deterministic"
+                );
+            }
+            if let Some(prev) = ios {
+                assert_eq!(
+                    prev,
+                    stats.ios.parallel_ios(),
+                    "{transport}/{mode_name} changed the charged I/O count"
+                );
+            }
+            ios = Some(stats.ios.parallel_ios());
+            if transport == "inproc" {
+                assert!(
+                    msgs.is_zero(),
+                    "in-process rows must move no messages, got {msgs}"
+                );
+            } else {
+                // Both remote transports speak the same wire protocol
+                // over the same op sequence: identical counts, exactly.
+                match &wire {
+                    None => wire = Some((transport, msgs)),
+                    Some((first, m)) => assert_eq!(
+                        *m, msgs,
+                        "{transport}/{mode_name} message counts diverge from {first}"
+                    ),
+                }
+            }
+            let records_per_sec = geom.records() as f64 / best;
+            rps.push((transport, mode_name, records_per_sec));
+            eprintln!(
+                "   {:<6} {:<9} {:>12.0} rec/s  {:>8.2} ms  {} parallel I/Os  \
+                 {} msgs  {} wire bytes",
+                transport,
+                mode_name,
+                records_per_sec,
+                best * 1e3,
+                stats.ios.parallel_ios(),
+                msgs.messages(),
+                msgs.bytes()
+            );
+            rows.push(Json::obj(vec![
+                ("transport", Json::Str(transport.into())),
+                ("mode", Json::Str(mode_name.into())),
+                (
+                    "records_per_sec",
+                    Json::Num((records_per_sec * 10.0).round() / 10.0),
+                ),
+                (
+                    "elapsed_ms",
+                    Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+                ),
+                ("parallel_ios", Json::Num(stats.ios.parallel_ios() as f64)),
+                ("messages", Json::Num(msgs.messages() as f64)),
+                ("wire_bytes", Json::Num(msgs.bytes() as f64)),
+            ]));
+        }
+    }
+    let get = |transport: &str, mode: &str| {
+        rps.iter()
+            .find(|(t, m, _)| *t == transport && *m == mode)
+            .map(|(_, _, r)| *r)
+    };
+    if let (Some(uds), Some(inproc)) = (get("uds", "threaded"), get("inproc", "threaded")) {
+        let ratio = uds / inproc;
+        eprintln!("   uds/inproc threaded: {ratio:.2}x");
+        if baseline_mode {
+            assert!(
+                ratio >= 0.5,
+                "acceptance criterion failed: threaded uds only {ratio:.2}x of in-process"
+            );
+        }
+    }
+    Json::obj(vec![
+        (
+            "geometry",
+            Json::obj(vec![
+                ("lg_records", Json::Num(lg_records as f64)),
+                ("lg_block", Json::Num(3.0)),
+                ("lg_disks", Json::Num(4.0)),
+                ("lg_memory", Json::Num(12.0)),
+            ]),
+        ),
+        ("reps", Json::Num(reps as f64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
 /// Maps an extsort strategy to its `bmmc::bounds` mirror (the two
 /// crates are siblings, so the enum exists on both sides).
 fn bounds_strategy(merge: MergeStrategy) -> bounds::MergeStrategy {
@@ -780,9 +986,9 @@ fn section_metrics(doc: &Json, section: &str) -> Vec<(u64, String, f64, u64)> {
         .collect()
 }
 
-/// Extracts `(label, parallel_ios)` pairs from a fusion or extsort
-/// section's rows, keyed by the row's identifying fields.
-fn io_rows(doc: &Json, section: &str, key_fields: &[&str]) -> Vec<(String, u64)> {
+/// Extracts `(label, field value)` pairs from a section's rows, keyed
+/// by the row's identifying fields.
+fn counter_rows(doc: &Json, section: &str, key_fields: &[&str], field: &str) -> Vec<(String, u64)> {
     let Some(rows) = doc
         .get(section)
         .and_then(|s| s.get("rows"))
@@ -797,27 +1003,37 @@ fn io_rows(doc: &Json, section: &str, key_fields: &[&str]) -> Vec<(String, u64)>
                 .map(|f| r.get(f).and_then(Json::as_str).unwrap_or("?").to_string())
                 .collect::<Vec<_>>()
                 .join("/");
-            Some((label, r.get("parallel_ios")?.as_u64()?))
+            Some((label, r.get(field)?.as_u64()?))
         })
         .collect()
 }
 
+/// Legacy shorthand: the `parallel_ios` column of a section.
+fn io_rows(doc: &Json, section: &str, key_fields: &[&str]) -> Vec<(String, u64)> {
+    counter_rows(doc, section, key_fields, "parallel_ios")
+}
+
 /// The CI gate: compares this run's quick section with the checked-in
 /// baseline. Fails on a >20% speedup regression or any change in the
-/// charged parallel-I/O counts — including the fusion, extsort, and
-/// file sections' counts, which are fully deterministic. With
-/// `file_only` set (the tmpfs file-backend smoke step), only the file
-/// section's I/O counts are compared.
+/// charged parallel-I/O counts — including the fusion, extsort, file,
+/// and transport sections' counts (and the transport rows' message
+/// counts), which are fully deterministic. With `file_only` set (the
+/// tmpfs file-backend smoke step), only the file section's I/O counts
+/// are compared. With `transport_only` set (the UDS smoke step), only
+/// the transport rows this restricted run produced are compared — the
+/// baseline's other transports are not required to be present.
 fn check_against_baseline(
     current: &Json,
     baseline_path: &str,
     file_only: bool,
+    transport_only: bool,
 ) -> Result<(), String> {
     let text =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
     let baseline = Json::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
     let mut failures = Vec::new();
-    let io_sections: &[(&str, &[&str])] = if file_only {
+    const TRANSPORT_KEYS: &[&str] = &["transport", "mode"];
+    let gated: &[(&str, &[&str], &str)] = if file_only {
         // The dedicated file gate must never pass vacuously: a
         // baseline without file rows means there is nothing it could
         // be checking, which is itself a failure.
@@ -827,34 +1043,63 @@ fn check_against_baseline(
                  regenerate it with a post-PR4 engine_sweep"
             ));
         }
-        &[("file", &["backend", "mode"])]
+        &[("file", &["backend", "mode"], "parallel_ios")]
+    } else if transport_only {
+        // Same vacuity rule for the dedicated transport gate.
+        if io_rows(&baseline, "transport", TRANSPORT_KEYS).is_empty() {
+            return Err(format!(
+                "{baseline_path} has no transport section to compare — \
+                 regenerate it with a post-PR6 engine_sweep"
+            ));
+        }
+        &[
+            ("transport", TRANSPORT_KEYS, "parallel_ios"),
+            ("transport", TRANSPORT_KEYS, "messages"),
+        ]
     } else {
         &[
-            ("fusion", &["workload", "impl"]),
-            ("extsort", &["variant", "backend", "mode"]),
-            ("file", &["backend", "mode"]),
+            ("fusion", &["workload", "impl"], "parallel_ios"),
+            ("extsort", &["variant", "backend", "mode"], "parallel_ios"),
+            ("file", &["backend", "mode"], "parallel_ios"),
+            ("transport", TRANSPORT_KEYS, "parallel_ios"),
+            ("transport", TRANSPORT_KEYS, "messages"),
         ]
     };
-    for &(section, keys) in io_sections {
-        for (label, base_ios) in io_rows(&baseline, section, keys) {
-            match io_rows(current, section, keys)
-                .into_iter()
-                .find(|(l, _)| *l == label)
-            {
-                Some((_, cur_ios)) if cur_ios == base_ios => {
-                    eprintln!("check {section} {label}: {cur_ios} parallel I/Os — ok");
+    for &(section, keys, field) in gated {
+        let base_rows = counter_rows(&baseline, section, keys, field);
+        let cur_rows = counter_rows(current, section, keys, field);
+        // A restricted transport run carries fewer rows than the full
+        // baseline: walk the current rows and look them up in the
+        // baseline. Every other gate walks the baseline, so dropping a
+        // row is a failure.
+        let (from, to, to_name) = if transport_only {
+            (&cur_rows, &base_rows, "baseline")
+        } else {
+            (&base_rows, &cur_rows, "current run")
+        };
+        for (label, from_val) in from {
+            match to.iter().find(|(l, _)| l == label) {
+                Some((_, to_val)) if to_val == from_val => {
+                    eprintln!("check {section} {label}: {field} {from_val} — ok");
                 }
-                Some((_, cur_ios)) => failures.push(format!(
-                    "{section} {label}: parallel I/Os changed {base_ios} → {cur_ios}"
-                )),
-                None => failures.push(format!("{section} {label}: missing from current run")),
+                Some((_, to_val)) => {
+                    let (base_val, cur_val) = if transport_only {
+                        (to_val, from_val)
+                    } else {
+                        (from_val, to_val)
+                    };
+                    failures.push(format!(
+                        "{section} {label}: {field} changed {base_val} → {cur_val}"
+                    ));
+                }
+                None => failures.push(format!("{section} {label}: missing from {to_name}")),
             }
         }
     }
     if !failures.is_empty() {
         return Err(failures.join("\n"));
     }
-    if file_only {
+    if file_only || transport_only {
         return Ok(());
     }
     let base = section_metrics(&baseline, "quick");
@@ -920,10 +1165,14 @@ fn main() {
             .cloned()
     };
     // --baseline always runs the full sweep (it must enforce the
-    // acceptance ratio), so it overrides --quick. --file-only runs
-    // just the file section (the CI file-backend smoke step).
+    // acceptance ratios), so it overrides --quick. --file-only runs
+    // just the file section (the CI file-backend smoke step);
+    // --transport X runs just the transport section restricted to
+    // {inproc, X} (the CI UDS smoke step).
     let baseline_mode = has("--baseline");
+    let transport_flag = value_of("--transport");
     let file_only = has("--file-only") && !baseline_mode;
+    let transport_only = transport_flag.is_some() && !baseline_mode && !file_only;
     let quick_only = has("--quick") && !baseline_mode;
 
     // File-backend scratch space: --file-dir points it at, e.g., a
@@ -947,7 +1196,7 @@ fn main() {
     let mut full_rows = Vec::new();
     let mut fusion_section = None;
     let mut extsort_section = None;
-    if !file_only {
+    if !file_only && !transport_only {
         if !quick_only {
             let (rows, section) = run_sweep(&FULL);
             full_rows = rows;
@@ -967,14 +1216,33 @@ fn main() {
         sections.push(("extsort", extsort.clone()));
         extsort_section = Some(extsort);
     }
-    // The file section likewise runs at the quick size in every mode:
-    // MemDisk vs. FileDisk under the engine, all service disciplines.
-    let file_section = run_file_sweep(QUICK.lg_records, QUICK.reps, &file_parent);
-    sections.push(("file", file_section.clone()));
+    // The transport section runs at the quick size in every mode but
+    // --file-only: the same engine pass over in-process channels, UDS
+    // worker processes, and the simulated network.
+    let mut transport_section = None;
+    if !file_only {
+        let only = if baseline_mode {
+            None
+        } else {
+            transport_flag.as_deref()
+        };
+        let t = run_transport_sweep(QUICK.lg_records, QUICK.reps, only, baseline_mode);
+        sections.push(("transport", t.clone()));
+        transport_section = Some(t);
+    }
+    // The file section likewise runs at the quick size in every mode
+    // but --transport: MemDisk vs. FileDisk under the engine, all
+    // service disciplines.
+    let mut file_section = None;
+    if !transport_only {
+        let f = run_file_sweep(QUICK.lg_records, QUICK.reps, &file_parent);
+        sections.push(("file", f.clone()));
+        file_section = Some(f);
+    }
 
     let mut doc_pairs = vec![
         ("bench", Json::Str("engine_sweep".into())),
-        ("version", Json::Num(3.0)),
+        ("version", Json::Num(4.0)),
         (
             "acceptance",
             Json::Str(
@@ -982,7 +1250,9 @@ fn main() {
                  fused execution strictly fewer parallel I/Os than unfused (2x on \
                  fully-fusable chains), identical placement; file backend byte-identical \
                  to mem with identical parallel_ios, threaded (DiskPool) file >= spawn-per-op \
-                 file records/s"
+                 file records/s; every transport byte-identical with identical parallel_ios, \
+                 inproc moves zero messages, sim message/byte counts equal uds exactly, \
+                 threaded uds >= 0.5x inproc records/s"
                     .into(),
             ),
         ),
@@ -1023,12 +1293,13 @@ fn main() {
     });
     if let Some(baseline) = check_target {
         eprintln!("bench-smoke gate: checking against {baseline}");
-        match check_against_baseline(&doc, &baseline, file_only) {
+        match check_against_baseline(&doc, &baseline, file_only, transport_only) {
             Ok(()) => eprintln!("bench-smoke gate: PASS"),
-            Err(msg) if file_only => {
-                // The file-only gate compares deterministic I/O counts
-                // exclusively — a failure is real drift, not timing
-                // noise, so there is nothing to retry.
+            Err(msg) if file_only || transport_only => {
+                // These restricted gates compare deterministic I/O and
+                // message counts exclusively — a failure is real
+                // drift, not timing noise, so there is nothing to
+                // retry.
                 eprintln!("bench-smoke gate: FAIL\n{msg}");
                 std::process::exit(1);
             }
@@ -1037,17 +1308,19 @@ fn main() {
                 // legacy spawn-per-op side swings the most); a single
                 // clean retry separates real regressions from flakes.
                 // The --out artifact keeps the first attempt's numbers.
-                // The fusion/extsort/file I/O counts are deterministic,
-                // so the first run's sections are reused verbatim.
+                // The fusion/extsort/file/transport counts are
+                // deterministic, so the first run's sections are
+                // reused verbatim.
                 eprintln!("bench-smoke gate: first attempt failed:\n{msg}\nretrying once…");
                 let (_, retry_section) = run_sweep(&QUICK);
                 let retry_doc = Json::obj(vec![
                     ("quick", retry_section),
                     ("fusion", fusion_section.expect("fusion ran")),
                     ("extsort", extsort_section.expect("extsort ran")),
-                    ("file", file_section),
+                    ("file", file_section.expect("file ran")),
+                    ("transport", transport_section.expect("transport ran")),
                 ]);
-                match check_against_baseline(&retry_doc, &baseline, false) {
+                match check_against_baseline(&retry_doc, &baseline, false, false) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),
                     Err(msg) => {
                         eprintln!("bench-smoke gate: FAIL (twice)\n{msg}");

@@ -10,7 +10,7 @@ use crate::error::{BmmcError, Result};
 use crate::factoring::{factor, Factorization, Pass, PassKind};
 use crate::fusion::{execute_fused_with, fuse_passes, FusedPlan};
 use crate::passes::{execute_pass_with, PassStats};
-use pdm::{DiskSystem, IoStats, PassEngine, Record};
+use pdm::{DiskSystem, IoStats, MsgStats, PassEngine, Record};
 
 /// Statistics for one *executed* step: one disk round-trip realizing
 /// one or more original planned passes (several when the pass fuser
@@ -52,6 +52,10 @@ pub struct BmmcReport {
     pub passes: Vec<StepStats>,
     /// Total I/O across all steps.
     pub total: IoStats,
+    /// Transport messages and wire bytes moved by all steps —
+    /// identically zero when the disk system is served in process
+    /// (channels move buffers, not messages).
+    pub msgs: MsgStats,
     /// The portion (0 or 1) holding the permuted data afterwards.
     pub final_portion: usize,
 }
@@ -136,6 +140,7 @@ pub fn execute_fused_plan<R: Record>(
         "plan execution needs a source and a target portion"
     );
     let before = sys.stats();
+    let msgs_before = sys.message_stats();
     let mut engine = PassEngine::new(sys.geometry());
     let mut stats = Vec::with_capacity(plan.num_steps());
     let mut src = 0usize;
@@ -152,6 +157,7 @@ pub fn execute_fused_plan<R: Record>(
     Ok(BmmcReport {
         passes: stats,
         total: sys.stats().since(&before),
+        msgs: sys.message_stats().since(&msgs_before),
         final_portion: src,
     })
 }
@@ -169,6 +175,7 @@ pub fn execute_passes_unfused<R: Record>(
         "plan execution needs a source and a target portion"
     );
     let before = sys.stats();
+    let msgs_before = sys.message_stats();
     let mut engine = PassEngine::new(sys.geometry());
     let mut stats = Vec::with_capacity(passes.len());
     let mut src = 0usize;
@@ -180,6 +187,7 @@ pub fn execute_passes_unfused<R: Record>(
     Ok(BmmcReport {
         passes: stats,
         total: sys.stats().since(&before),
+        msgs: sys.message_stats().since(&msgs_before),
         final_portion: src,
     })
 }
@@ -235,6 +243,12 @@ mod tests {
         assert_eq!(
             report.total.parallel_ios() as usize,
             report.num_passes() * g.ios_per_pass()
+        );
+        // In-process servicing moves no transport messages.
+        assert!(
+            report.msgs.is_zero(),
+            "in-proc run reported {}",
+            report.msgs
         );
         report
     }

@@ -104,6 +104,7 @@ pub fn trace_potential<R: Record>(
     let group = move |rec: &R| target(key_of(rec)) >> b;
     let mut trajectory = vec![potential(sys, 0, group)];
     let before = sys.stats();
+    let msgs_before = sys.message_stats();
     let mut stats = Vec::with_capacity(fac.passes.len());
     let mut src = 0usize;
     for pass in &fac.passes {
@@ -116,6 +117,7 @@ pub fn trace_potential<R: Record>(
         BmmcReport {
             passes: stats,
             total: sys.stats().since(&before),
+            msgs: sys.message_stats().since(&msgs_before),
             final_portion: src,
         },
         trajectory,

@@ -10,7 +10,7 @@ use bmmc::verify::{verify_permutation, VerifyOutcome};
 use bmmc::{bounds, classify, factor_chunked, plan_passes, spec, Bmmc, PassKind};
 use gf2::elim::rank;
 use gf2::perm::bpc_cross_rank;
-use pdm::{Backend, DiskSystem, Geometry, TempDir, TimingModel};
+use pdm::{Backend, DiskSystem, Geometry, TempDir, TimingModel, TransportConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -43,11 +43,11 @@ fn geometry(a: &Args) -> Result<Geometry, String> {
 }
 
 /// Builds the disk array per `--backend` (mem, the default, or file),
-/// `--dir`, and `--threaded`. Every algorithm the CLI can run takes
-/// `&mut DiskSystem`, so the choice is invisible downstream. A
-/// file-backed system without an explicit `--dir` uses a self-cleaning
-/// temp dir whose guard is parked in `scratch` for the command's
-/// duration.
+/// `--dir`, `--transport`, and `--threaded`. Every algorithm the CLI
+/// can run takes `&mut DiskSystem`, so the choice is invisible
+/// downstream. A file-backed system without an explicit `--dir` uses a
+/// self-cleaning temp dir whose guard is parked in `scratch` for the
+/// command's duration.
 fn build_system(
     a: &Args,
     geom: Geometry,
@@ -69,8 +69,18 @@ fn build_system(
         }
         other => return Err(format!("unknown backend {other:?} (expected mem or file)")),
     };
-    let mut sys =
-        DiskSystem::new_with_backend(geom, 2, &backend).map_err(|e| format!("backend: {e}"))?;
+    let transport = match a.get("transport").unwrap_or("inproc") {
+        "inproc" => TransportConfig::InProc,
+        "uds" => TransportConfig::Uds(Default::default()),
+        "sim" => TransportConfig::SimNet(Default::default()),
+        other => {
+            return Err(format!(
+                "unknown transport {other:?} (expected inproc, uds, or sim)"
+            ))
+        }
+    };
+    let mut sys = DiskSystem::new_with_transport(geom, 2, &backend, &transport)
+        .map_err(|e| format!("disk system: {e}"))?;
     if a.has("threaded") {
         sys.set_threaded(true);
     }
@@ -263,6 +273,7 @@ pub fn run(a: &Args) -> Result<(), String> {
                 rep.passes,
                 rep.total
             );
+            print_transport_costs(&rep.msgs, &sys);
             if a.has("verify") {
                 verify_and_report(&mut sys, rep.final_portion, &perm)?;
             }
@@ -284,6 +295,7 @@ pub fn run(a: &Args) -> Result<(), String> {
         kinds,
         report.total
     );
+    print_transport_costs(&report.msgs, &sys);
     if report.passes_saved() > 0 {
         println!(
             "pass fusion saved {} disk round-trip(s): {} planned passes ran as {} steps",
@@ -304,6 +316,20 @@ pub fn run(a: &Args) -> Result<(), String> {
         verify_and_report(&mut sys, report.final_portion, &perm)?;
     }
     Ok(())
+}
+
+/// Prints the transport cost line for a remote run; in-process runs
+/// move no messages and print nothing.
+fn print_transport_costs(msgs: &pdm::MsgStats, sys: &DiskSystem<u64>) {
+    if msgs.is_zero() {
+        return;
+    }
+    print!("transport: {msgs}");
+    let net = sys.network_ms();
+    if net > 0.0 {
+        print!(", {net:.2} ms simulated network time");
+    }
+    println!();
 }
 
 fn verify_and_report(sys: &mut DiskSystem<u64>, portion: usize, perm: &Bmmc) -> Result<(), String> {

@@ -48,6 +48,14 @@ RUN FLAGS:
                         (default: a self-cleaning temp directory)
   --threaded            service parallel I/Os on persistent per-disk
                         threads (overlapped reads; same charged cost)
+  --transport WHICH     how disk commands reach the disks: inproc
+                        (default, channels) | uds (one pdm-diskd worker
+                        process per disk over Unix sockets) | sim
+                        (deterministic simulated network; latency and
+                        bandwidth charged into --timing). Placement and
+                        parallel-I/O counts are identical across all
+                        three; message/byte counters are printed for
+                        uds and sim
   --timing MODEL        also simulate service time: hdd | ssd
   --chunk K             swap/erase chunk-size override (ablation)
   --verify              scan the output and confirm every placement

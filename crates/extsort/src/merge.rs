@@ -48,7 +48,9 @@
 //!   them.
 
 use pdm::engine::{ReadPlan, WritePlan};
-use pdm::{BlockRef, DiskSystem, Geometry, IoStats, PassEngine, PdmError, ReadTicket, Record};
+use pdm::{
+    BlockRef, DiskSystem, Geometry, IoStats, MsgStats, PassEngine, PdmError, ReadTicket, Record,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -131,6 +133,9 @@ pub struct SortReport {
     pub strategy: MergeStrategy,
     /// Total I/O.
     pub total: IoStats,
+    /// Transport messages and wire bytes moved by the whole sort —
+    /// identically zero when the disk system is served in process.
+    pub msgs: MsgStats,
     /// Portion holding the sorted data.
     pub final_portion: usize,
 }
@@ -239,6 +244,7 @@ pub fn sort_by_key_with<R: Record>(
         )));
     }
     let before = sys.stats();
+    let msgs_before = sys.message_stats();
 
     // --- Run formation: memoryload-sized sorted runs into portion 1,
     // streamed through the engine.
@@ -304,6 +310,7 @@ pub fn sort_by_key_with<R: Record>(
         fan_in,
         strategy: cfg.merge,
         total: sys.stats().since(&before),
+        msgs: sys.message_stats().since(&msgs_before),
         final_portion: runs[0].portion,
     })
 }

@@ -32,15 +32,33 @@ pub enum PdmError {
         /// Serialized width of the record type used in the request.
         actual: usize,
     },
+    /// The transport link to a disk's service worker dropped — the
+    /// worker process died, the socket closed, or a disconnect fault
+    /// was injected ([`crate::fault::FaultPlan::disconnect_at`]). The
+    /// operation that observed the break fails; buffers still return
+    /// to the pool.
+    Disconnected { disk: usize },
+    /// The worker at the far end of a transport speaks a different
+    /// wire-protocol version ([`crate::proto::PROTO_VERSION`]); the
+    /// connection is refused during the handshake, before any data
+    /// moves.
+    ProtocolVersion {
+        disk: usize,
+        expected: u32,
+        actual: u32,
+    },
     /// A real-file backend I/O failure.
     Io(String),
 }
 
 impl PdmError {
-    /// Patches the real disk index into an [`PdmError::OutOfRange`]
-    /// produced by a [`crate::backend::DiskUnit`] (units don't know
-    /// their position in the array, so they report a placeholder);
-    /// every other error is returned unchanged.
+    /// Patches the real disk index into an error produced below the
+    /// [`crate::system::DiskSystem`] layer. [`crate::backend::DiskUnit`]s
+    /// and the wire protocol ([`crate::proto`]) don't know the disk's
+    /// position in the array, so [`PdmError::OutOfRange`],
+    /// [`PdmError::Disconnected`], and [`PdmError::ProtocolVersion`]
+    /// arrive with a placeholder index; every other error is returned
+    /// unchanged.
     pub fn with_disk(self, disk: usize) -> PdmError {
         match self {
             PdmError::OutOfRange {
@@ -51,6 +69,14 @@ impl PdmError {
                 disk,
                 slot,
                 slots_per_disk,
+            },
+            PdmError::Disconnected { .. } => PdmError::Disconnected { disk },
+            PdmError::ProtocolVersion {
+                expected, actual, ..
+            } => PdmError::ProtocolVersion {
+                disk,
+                expected,
+                actual,
             },
             other => other,
         }
@@ -84,6 +110,18 @@ impl fmt::Display for PdmError {
                 f,
                 "record size mismatch: disk was created for {expected}-byte records, \
                  request uses {actual}-byte records"
+            ),
+            PdmError::Disconnected { disk } => write!(
+                f,
+                "transport to disk {disk} disconnected (worker gone or link severed)"
+            ),
+            PdmError::ProtocolVersion {
+                disk,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "disk {disk} worker speaks wire-protocol version {actual}, expected {expected}"
             ),
             PdmError::Io(msg) => write!(f, "backend I/O error: {msg}"),
         }

@@ -6,6 +6,19 @@
 //! operation and surfaces [`crate::error::PdmError::Fault`], letting
 //! tests verify that algorithms propagate disk errors instead of
 //! silently corrupting data.
+//!
+//! Two failure shapes exist:
+//!
+//! * [`FaultPlan::fail_at`] — a *transfer* fault: the operation is
+//!   rejected before any block moves.
+//! * [`FaultPlan::disconnect_at`] — a *transport* fault: the link to
+//!   the disk's service worker is severed at that operation
+//!   ([`crate::parallel::Transport::inject_disconnect`]), so the
+//!   failure surfaces **mid-operation** through the completion path as
+//!   [`crate::error::PdmError::Disconnected`], and — unlike a transfer
+//!   fault — the link stays dead for every later operation. This is
+//!   how the buffer-pool hygiene tests prove that a worker crash
+//!   cannot strand pooled block buffers.
 
 use std::collections::BTreeSet;
 
@@ -13,6 +26,7 @@ use std::collections::BTreeSet;
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     faults: BTreeSet<(u64, usize)>,
+    disconnects: BTreeSet<(u64, usize)>,
 }
 
 impl FaultPlan {
@@ -28,20 +42,41 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a *transport disconnect* of `disk` at parallel I/O
+    /// number `op`: the link to that disk's service worker is severed
+    /// just before the operation is serviced, and stays severed.
+    pub fn disconnect_at(mut self, op: u64, disk: usize) -> Self {
+        self.disconnects.insert((op, disk));
+        self
+    }
+
     /// True if the plan contains a fault for this operation and any of
     /// the participating disks; returns the first faulted disk.
     pub fn check(&self, op: u64, disks: impl IntoIterator<Item = usize>) -> Option<usize> {
         disks.into_iter().find(|&d| self.faults.contains(&(op, d)))
     }
 
-    /// Number of scheduled faults.
+    /// True if the plan severs the transport to any of the
+    /// participating disks at this operation; returns the first such
+    /// disk.
+    pub fn check_disconnect(
+        &self,
+        op: u64,
+        disks: impl IntoIterator<Item = usize>,
+    ) -> Option<usize> {
+        disks
+            .into_iter()
+            .find(|&d| self.disconnects.contains(&(op, d)))
+    }
+
+    /// Number of scheduled faults (transfer faults and disconnects).
     pub fn len(&self) -> usize {
-        self.faults.len()
+        self.faults.len() + self.disconnects.len()
     }
 
     /// True if no faults are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.disconnects.is_empty()
     }
 }
 
@@ -70,5 +105,17 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.check(0, [0]), Some(0));
         assert_eq!(p.check(5, [3]), Some(3));
+    }
+
+    #[test]
+    fn disconnects_are_tracked_separately() {
+        let p = FaultPlan::new().fail_at(1, 0).disconnect_at(4, 2);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        // A disconnect is not a transfer fault and vice versa.
+        assert_eq!(p.check(4, [0, 1, 2]), None);
+        assert_eq!(p.check_disconnect(4, [0, 1, 2]), Some(2));
+        assert_eq!(p.check_disconnect(1, [0, 1, 2]), None);
+        assert_eq!(p.check_disconnect(4, [0, 1]), None);
     }
 }

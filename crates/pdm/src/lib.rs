@@ -40,11 +40,13 @@ pub mod fault;
 pub mod layout;
 pub mod memory;
 pub mod parallel;
+pub mod proto;
 pub mod record;
 pub mod stats;
 pub mod system;
 pub mod tempdir;
 pub mod timing;
+pub mod transport;
 
 pub use config::Geometry;
 pub use engine::{BlockBatches, PassEngine, ReadPlan, WritePlan};
@@ -52,10 +54,12 @@ pub use error::{PdmError, Result};
 pub use fault::FaultPlan;
 pub use layout::Layout;
 pub use memory::{permute_in_place, Memory};
+pub use parallel::Transport;
 pub use record::{ByteRecord, Record, TaggedRecord};
-pub use stats::IoStats;
+pub use stats::{IoStats, MsgStats};
 pub use system::{
     Backend, BlockRef, BufferPoolStats, DiskSystem, ReadTicket, ServiceMode, WriteTicket,
 };
 pub use tempdir::TempDir;
 pub use timing::{TimingModel, TimingTracker};
+pub use transport::{SimNetModel, TransportConfig, UdsConfig};

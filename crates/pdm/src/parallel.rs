@@ -1,17 +1,22 @@
 //! Concurrent servicing of parallel I/O operations.
 //!
 //! A parallel I/O touches at most one block on each disk; the transfers
-//! are independent by construction, so they can be serviced by one
-//! thread per participating disk. Two threaded disciplines exist:
+//! are independent by construction, so each disk can be serviced by its
+//! own worker. The worker is reached through a [`Transport`]: the
+//! request/reply protocol ([`Cmd`] / [`Completion`]) is the same
+//! whether the worker is a thread in this process, a `pdm-diskd`
+//! process behind a Unix-domain socket, or a deterministic simulated
+//! network (see [`crate::transport`]). Three disciplines exist:
 //!
-//! * [`DiskPool`] — **persistent** service threads, one per disk, fed
-//!   over channels. Commands carry owned block buffers (recycled by the
-//!   caller's buffer pool), so a transfer costs one channel round-trip
-//!   instead of a thread spawn. Because submission and completion are
-//!   decoupled, a caller can keep an operation in flight while it
-//!   computes — this is what the [`crate::engine`] pipeline uses to
-//!   overlap the permute of memoryload *k* with the reads of
-//!   memoryload *k+1*.
+//! * [`DiskPool`] — **persistent** workers, one per disk, fed through
+//!   transports. Commands carry owned block buffers (recycled by the
+//!   caller's buffer pool), so an in-process transfer costs one channel
+//!   round-trip instead of a thread spawn. Because submission and
+//!   completion are decoupled, a caller can keep an operation in
+//!   flight while it computes — this is what the [`crate::engine`]
+//!   pipeline uses to overlap the permute of memoryload *k* with the
+//!   reads of memoryload *k+1*, and the overlap survives remoteness:
+//!   over a socket the requests pipeline the same way.
 //! * [`threaded_read`] / [`threaded_write`] — the legacy
 //!   spawn-per-operation discipline retained as
 //!   [`crate::system::ServiceMode::SpawnPerOp`] for comparison
@@ -27,6 +32,7 @@
 use crate::backend::DiskUnit;
 use crate::error::{PdmError, Result};
 use crate::record::Record;
+use crate::stats::MsgStats;
 use parking_lot::Mutex;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -74,110 +80,258 @@ pub struct Completion<R> {
     pub result: Result<()>,
 }
 
-/// Persistent per-disk service threads.
+/// One disk's end of the request/reply protocol.
 ///
-/// Each worker owns its [`DiskUnit`] for the pool's lifetime;
-/// [`DiskPool::into_units`] shuts the workers down and hands the units
-/// back (used when the [`crate::system::DiskSystem`] switches service
-/// modes).
+/// A transport accepts [`Cmd`]s and eventually answers each on the
+/// command's completion channel. The contract that keeps every caller
+/// drain-loop transport-agnostic:
+///
+/// * **Submission never blocks on the reply** (it may block briefly on
+///   a socket write).
+/// * **Every command is answered exactly once**, including after the
+///   link dies: a transport failure surfaces *through the completion*
+///   as [`PdmError::Disconnected`] with the buffer attached, never as
+///   a panic or a silently dropped command. Buffer-pool hygiene is
+///   therefore identical on every path.
+/// * Replies may arrive in any order across disks; per disk they
+///   follow submission order.
+pub trait Transport<R: Record>: Send {
+    /// The disk this transport serves.
+    fn disk(&self) -> usize;
+
+    /// Submits a command; the reply arrives on the command's `done`
+    /// channel. [`Cmd::Stop`] is a no-op here — shutdown is driven by
+    /// [`Transport::shutdown`].
+    fn submit(&mut self, cmd: Cmd<R>);
+
+    /// Data-plane messages and bytes moved so far. Identically zero
+    /// for in-process transports, where commands cross by reference.
+    fn message_stats(&self) -> MsgStats {
+        MsgStats::default()
+    }
+
+    /// Takes (returns and resets) the simulated network milliseconds
+    /// accrued since the last call. Zero for everything but the SimNet
+    /// transport.
+    fn take_sim_ms(&mut self) -> f64 {
+        0.0
+    }
+
+    /// Severs the link as a fault-injection action
+    /// ([`crate::fault::FaultPlan::disconnect_at`]): in-flight and
+    /// subsequent commands complete with [`PdmError::Disconnected`].
+    /// The link stays dead.
+    fn inject_disconnect(&mut self);
+
+    /// Gracefully shuts the worker down, returning the disk unit when
+    /// it lives in this process (`None` for remote workers, whose
+    /// storage dies with them). Idempotent.
+    fn shutdown(&mut self) -> Option<Box<dyn DiskUnit<R>>>;
+}
+
+/// Answers `cmd` with [`PdmError::Disconnected`], returning its buffer
+/// through the completion so the caller's pool can recycle it.
+pub(crate) fn fail_disconnected<R: Record>(cmd: Cmd<R>, disk: usize) {
+    match cmd {
+        Cmd::Read { buf, idx, done, .. } | Cmd::Write { buf, idx, done, .. } => {
+            let _ = done.send(Completion {
+                idx,
+                disk,
+                buf,
+                result: Err(PdmError::Disconnected { disk }),
+            });
+        }
+        Cmd::Stop => {}
+    }
+}
+
+/// The in-process transport: a persistent service thread that owns its
+/// [`DiskUnit`] and receives commands over a channel — buffers cross
+/// by ownership transfer, no bytes are serialized, and
+/// [`Transport::message_stats`] stays zero. This is the default
+/// transport and preserves the pre-transport `DiskPool` behaviour
+/// exactly.
+pub struct InProcTransport<R: Record> {
+    disk: usize,
+    tx: Sender<Cmd<R>>,
+    join: Option<JoinHandle<Box<dyn DiskUnit<R>>>>,
+    dead: bool,
+}
+
+impl<R: Record> InProcTransport<R> {
+    /// Spawns the service thread for `disk` over `unit`.
+    pub fn new(disk: usize, mut unit: Box<dyn DiskUnit<R>>) -> Self {
+        let (tx, rx): (Sender<Cmd<R>>, Receiver<Cmd<R>>) = channel();
+        let join = std::thread::Builder::new()
+            .name(format!("pdm-disk-{disk}"))
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Read {
+                            slot,
+                            mut buf,
+                            idx,
+                            done,
+                        } => {
+                            let result = unit.read(slot, &mut buf);
+                            let _ = done.send(Completion {
+                                idx,
+                                disk,
+                                buf,
+                                result,
+                            });
+                        }
+                        Cmd::Write {
+                            slot,
+                            buf,
+                            idx,
+                            done,
+                        } => {
+                            let result = unit.write(slot, &buf);
+                            let _ = done.send(Completion {
+                                idx,
+                                disk,
+                                buf,
+                                result,
+                            });
+                        }
+                        Cmd::Stop => break,
+                    }
+                }
+                unit
+            })
+            .expect("failed to spawn disk service thread");
+        InProcTransport {
+            disk,
+            tx,
+            join: Some(join),
+            dead: false,
+        }
+    }
+}
+
+impl<R: Record> Transport<R> for InProcTransport<R> {
+    fn disk(&self) -> usize {
+        self.disk
+    }
+
+    fn submit(&mut self, cmd: Cmd<R>) {
+        if self.dead || self.join.is_none() {
+            fail_disconnected(cmd, self.disk);
+            return;
+        }
+        if let Err(send_err) = self.tx.send(cmd) {
+            // Service thread gone: answer the command ourselves.
+            self.dead = true;
+            fail_disconnected(send_err.0, self.disk);
+        }
+    }
+
+    fn inject_disconnect(&mut self) {
+        // The service thread stays alive (its unit must survive a
+        // later shutdown); the *link* is what dies.
+        self.dead = true;
+    }
+
+    fn shutdown(&mut self) -> Option<Box<dyn DiskUnit<R>>> {
+        let join = self.join.take()?;
+        let _ = self.tx.send(Cmd::Stop);
+        Some(join.join().expect("disk service thread panicked"))
+    }
+}
+
+impl<R: Record> Drop for InProcTransport<R> {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.tx.send(Cmd::Stop);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Persistent per-disk workers behind [`Transport`]s.
+///
+/// With [`DiskPool::new`] every worker is an in-process service thread
+/// owning its [`DiskUnit`] ([`InProcTransport`]);
+/// [`DiskPool::from_transports`] generalizes to remote workers (see
+/// [`crate::transport`]). [`DiskPool::into_units`] shuts in-process
+/// workers down and hands the units back (used when the
+/// [`crate::system::DiskSystem`] switches service modes).
 pub struct DiskPool<R: Record> {
-    senders: Vec<Sender<Cmd<R>>>,
-    joins: Vec<Option<JoinHandle<Box<dyn DiskUnit<R>>>>>,
+    transports: Vec<Box<dyn Transport<R>>>,
 }
 
 impl<R: Record> DiskPool<R> {
-    /// Spawns one service thread per unit.
+    /// Spawns one in-process service thread per unit.
     pub fn new(units: Vec<Box<dyn DiskUnit<R>>>) -> Self {
-        let mut senders = Vec::with_capacity(units.len());
-        let mut joins = Vec::with_capacity(units.len());
-        for (disk, mut unit) in units.into_iter().enumerate() {
-            let (tx, rx): (Sender<Cmd<R>>, Receiver<Cmd<R>>) = channel();
-            let join = std::thread::Builder::new()
-                .name(format!("pdm-disk-{disk}"))
-                .spawn(move || {
-                    while let Ok(cmd) = rx.recv() {
-                        match cmd {
-                            Cmd::Read {
-                                slot,
-                                mut buf,
-                                idx,
-                                done,
-                            } => {
-                                let result = unit.read(slot, &mut buf);
-                                let _ = done.send(Completion {
-                                    idx,
-                                    disk,
-                                    buf,
-                                    result,
-                                });
-                            }
-                            Cmd::Write {
-                                slot,
-                                buf,
-                                idx,
-                                done,
-                            } => {
-                                let result = unit.write(slot, &buf);
-                                let _ = done.send(Completion {
-                                    idx,
-                                    disk,
-                                    buf,
-                                    result,
-                                });
-                            }
-                            Cmd::Stop => break,
-                        }
-                    }
-                    unit
+        Self::from_transports(
+            units
+                .into_iter()
+                .enumerate()
+                .map(|(disk, unit)| {
+                    Box::new(InProcTransport::new(disk, unit)) as Box<dyn Transport<R>>
                 })
-                .expect("failed to spawn disk service thread");
-            senders.push(tx);
-            joins.push(Some(join));
+                .collect(),
+        )
+    }
+
+    /// A pool over pre-built transports, one per disk in disk order.
+    pub fn from_transports(transports: Vec<Box<dyn Transport<R>>>) -> Self {
+        for (d, t) in transports.iter().enumerate() {
+            assert_eq!(t.disk(), d, "transports must be in disk order");
         }
-        DiskPool { senders, joins }
+        DiskPool { transports }
     }
 
     /// Number of disks (workers).
     pub fn disks(&self) -> usize {
-        self.senders.len()
+        self.transports.len()
     }
 
     /// Submits a command to `disk`'s worker. Non-blocking; the reply
-    /// arrives on the command's `done` channel.
-    pub fn submit(&self, disk: usize, cmd: Cmd<R>) {
-        self.senders[disk]
-            .send(cmd)
-            .expect("disk service thread terminated unexpectedly");
+    /// arrives on the command's `done` channel (a dead link answers
+    /// with [`PdmError::Disconnected`] there, buffer attached).
+    pub fn submit(&mut self, disk: usize, cmd: Cmd<R>) {
+        self.transports[disk].submit(cmd);
+    }
+
+    /// Aggregate data-plane message counters across all disks.
+    pub fn message_stats(&self) -> MsgStats {
+        let mut total = MsgStats::default();
+        for t in &self.transports {
+            total.merge(&t.message_stats());
+        }
+        total
+    }
+
+    /// Per-disk data-plane message counters, in disk order.
+    pub fn message_stats_per_disk(&self) -> Vec<MsgStats> {
+        self.transports.iter().map(|t| t.message_stats()).collect()
+    }
+
+    /// Takes the simulated network time accrued across all disks since
+    /// the last call (SimNet transports only).
+    pub fn take_sim_ms(&mut self) -> f64 {
+        self.transports.iter_mut().map(|t| t.take_sim_ms()).sum()
+    }
+
+    /// Severs the link to `disk` (fault injection).
+    pub fn inject_disconnect(&mut self, disk: usize) {
+        self.transports[disk].inject_disconnect();
     }
 
     /// Shuts down the workers and returns their disk units in disk
-    /// order.
+    /// order. Panics if any worker is remote — remote storage cannot
+    /// be pulled back into this process, and the `DiskSystem` never
+    /// asks to.
     pub fn into_units(mut self) -> Vec<Box<dyn DiskUnit<R>>> {
-        for tx in &self.senders {
-            let _ = tx.send(Cmd::Stop);
-        }
-        self.joins
+        self.transports
             .iter_mut()
-            .map(|j| {
-                j.take()
-                    .expect("worker already joined")
-                    .join()
-                    .expect("disk service thread panicked")
+            .map(|t| {
+                t.shutdown()
+                    .expect("remote transports host no local disk unit")
             })
             .collect()
-    }
-}
-
-impl<R: Record> Drop for DiskPool<R> {
-    fn drop(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Cmd::Stop);
-        }
-        for j in self.joins.iter_mut() {
-            if let Some(h) = j.take() {
-                let _ = h.join();
-            }
-        }
     }
 }
 
@@ -300,7 +454,7 @@ mod tests {
 
     #[test]
     fn pool_round_trip_and_unit_recovery() {
-        let pool = DiskPool::new(units(2, 4, 4));
+        let mut pool = DiskPool::new(units(2, 4, 4));
         assert_eq!(pool.disks(), 4);
         // Write a distinct block to each disk, all in flight at once.
         let (tx, rx) = channel();
@@ -350,7 +504,7 @@ mod tests {
 
     #[test]
     fn pool_propagates_unit_errors_with_buffer() {
-        let pool = DiskPool::new(units(2, 2, 1));
+        let mut pool = DiskPool::new(units(2, 2, 1));
         let (tx, rx) = channel();
         pool.submit(
             0,
@@ -370,5 +524,58 @@ mod tests {
     fn pool_drop_joins_workers() {
         let pool = DiskPool::new(units(2, 2, 3));
         drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn inproc_transport_reports_zero_messages() {
+        let mut pool = DiskPool::new(units(2, 2, 2));
+        let (tx, rx) = channel();
+        pool.submit(
+            0,
+            Cmd::Write {
+                slot: 1,
+                buf: vec![7u64, 8],
+                idx: 0,
+                done: tx,
+            },
+        );
+        rx.recv().unwrap().result.unwrap();
+        assert!(pool.message_stats().is_zero());
+        assert!(pool.message_stats_per_disk().iter().all(MsgStats::is_zero));
+        assert_eq!(pool.take_sim_ms(), 0.0);
+    }
+
+    #[test]
+    fn injected_disconnect_answers_with_buffer_and_stays_dead() {
+        let mut pool = DiskPool::new(units(2, 4, 2));
+        pool.inject_disconnect(1);
+        for _ in 0..2 {
+            let (tx, rx) = channel();
+            pool.submit(
+                1,
+                Cmd::Read {
+                    slot: 0,
+                    buf: vec![0u64; 2],
+                    idx: 3,
+                    done: tx,
+                },
+            );
+            let c = rx.recv().unwrap();
+            assert!(matches!(c.result, Err(PdmError::Disconnected { disk: 1 })));
+            assert_eq!(c.buf.len(), 2, "buffer must come back on disconnect");
+            assert_eq!(c.idx, 3);
+        }
+        // The other disk is unaffected.
+        let (tx, rx) = channel();
+        pool.submit(
+            0,
+            Cmd::Read {
+                slot: 0,
+                buf: vec![0u64; 2],
+                idx: 0,
+                done: tx,
+            },
+        );
+        rx.recv().unwrap().result.unwrap();
     }
 }

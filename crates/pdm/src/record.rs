@@ -66,6 +66,16 @@ impl ByteRecord for u64 {
     }
 }
 
+impl ByteRecord for u8 {
+    const BYTES: usize = 1;
+    fn to_bytes(&self, out: &mut [u8]) {
+        out[0] = *self;
+    }
+    fn from_bytes(bytes: &[u8]) -> Self {
+        bytes[0]
+    }
+}
+
 impl ByteRecord for u32 {
     const BYTES: usize = 4;
     fn to_bytes(&self, out: &mut [u8]) {

@@ -58,6 +58,81 @@ impl IoStats {
     }
 }
 
+/// Transport message accounting, the communication-volume dual of
+/// [`IoStats`].
+///
+/// When the disk service runs behind a remote transport
+/// ([`crate::transport`]), every parallel I/O decomposes into framed
+/// request/reply messages; these counters record how many frames and
+/// wire bytes moved, per direction, on the data plane (the one-time
+/// connection handshake is excluded). In-process service modes move no
+/// messages at all, so every counter stays zero there — asserted by the
+/// transport equivalence tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgStats {
+    /// Request frames sent to the disk workers.
+    pub messages_sent: u64,
+    /// Reply frames received from the disk workers.
+    pub messages_received: u64,
+    /// Wire bytes sent (frame headers included).
+    pub bytes_sent: u64,
+    /// Wire bytes received (frame headers included).
+    pub bytes_received: u64,
+}
+
+impl MsgStats {
+    /// Total frames in both directions.
+    #[inline]
+    pub fn messages(&self) -> u64 {
+        self.messages_sent + self.messages_received
+    }
+
+    /// Total wire bytes in both directions.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// True if no messages have moved (always the case in-process).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        *self == MsgStats::default()
+    }
+
+    /// Accumulates another counter set (per-disk → aggregate).
+    pub fn merge(&mut self, other: &MsgStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &MsgStats) -> MsgStats {
+        MsgStats {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            messages_received: self.messages_received - earlier.messages_received,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+        }
+    }
+}
+
+impl fmt::Display for MsgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} messages ({} out / {} in), {} wire bytes ({} out / {} in)",
+            self.messages(),
+            self.messages_sent,
+            self.messages_received,
+            self.bytes(),
+            self.bytes_sent,
+            self.bytes_received,
+        )
+    }
+}
+
 impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -120,5 +195,37 @@ mod tests {
     fn display_mentions_total() {
         let s = IoStats::default();
         assert!(s.to_string().contains("0 parallel I/Os"));
+    }
+
+    #[test]
+    fn msg_stats_accounting() {
+        let mut a = MsgStats::default();
+        assert!(a.is_zero());
+        a.merge(&MsgStats {
+            messages_sent: 3,
+            messages_received: 2,
+            bytes_sent: 300,
+            bytes_received: 150,
+        });
+        a.merge(&MsgStats {
+            messages_sent: 1,
+            messages_received: 1,
+            bytes_sent: 25,
+            bytes_received: 75,
+        });
+        assert_eq!(a.messages(), 7);
+        assert_eq!(a.bytes(), 550);
+        let earlier = MsgStats {
+            messages_sent: 2,
+            messages_received: 1,
+            bytes_sent: 100,
+            bytes_received: 50,
+        };
+        let d = a.since(&earlier);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.messages_received, 2);
+        assert_eq!(d.bytes_sent, 225);
+        assert_eq!(d.bytes_received, 175);
+        assert!(a.to_string().contains("7 messages"));
     }
 }

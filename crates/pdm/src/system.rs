@@ -42,10 +42,11 @@ use crate::config::Geometry;
 use crate::error::{PdmError, Result};
 use crate::fault::FaultPlan;
 use crate::layout::Layout;
-use crate::parallel::{threaded_read, threaded_write, Cmd, Completion, DiskPool};
+use crate::parallel::{threaded_read, threaded_write, Cmd, Completion, DiskPool, Transport};
 use crate::record::{ByteRecord, Record};
-use crate::stats::IoStats;
+use crate::stats::{IoStats, MsgStats};
 use crate::timing::{TimingModel, TimingTracker};
+use crate::transport::{spawn_uds_workers, SimNetTransport, TransportConfig};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver};
 
@@ -103,12 +104,18 @@ enum Service<R: Record> {
     Serial(Vec<Box<dyn DiskUnit<R>>>),
     SpawnPerOp(Vec<Box<dyn DiskUnit<R>>>),
     Pooled(DiskPool<R>),
+    /// A transport pool driven in lockstep: each command's completion
+    /// is collected before the next is submitted. This is the serial
+    /// discipline over a *remote* transport (whose disks live behind a
+    /// [`Transport`] rather than as local units), so
+    /// [`ServiceMode::Serial`] keeps its meaning on remote systems.
+    Lockstep(DiskPool<R>),
 }
 
 impl<R: Record> Service<R> {
     fn mode(&self) -> ServiceMode {
         match self {
-            Service::Serial(_) => ServiceMode::Serial,
+            Service::Serial(_) | Service::Lockstep(_) => ServiceMode::Serial,
             Service::SpawnPerOp(_) => ServiceMode::SpawnPerOp,
             Service::Pooled(_) => ServiceMode::Threaded,
         }
@@ -117,9 +124,41 @@ impl<R: Record> Service<R> {
     fn into_units(self) -> Vec<Box<dyn DiskUnit<R>>> {
         match self {
             Service::Serial(u) | Service::SpawnPerOp(u) => u,
-            Service::Pooled(pool) => pool.into_units(),
+            Service::Pooled(pool) | Service::Lockstep(pool) => pool.into_units(),
         }
     }
+}
+
+/// Resolves one read completion: data into `out`, buffer back to the
+/// pool on every path, first error retained.
+fn absorb_read_completion<R: Record>(
+    pool: &mut BlockPool<R>,
+    c: Completion<R>,
+    out: &mut [R],
+    block: usize,
+    first_err: &mut Option<PdmError>,
+) {
+    match c.result {
+        Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
+        Err(e) if first_err.is_none() => *first_err = Some(e.with_disk(c.disk)),
+        Err(_) => {}
+    }
+    pool.put(c.buf);
+}
+
+/// Resolves one write completion: buffer back to the pool, first error
+/// retained.
+fn absorb_write_completion<R: Record>(
+    pool: &mut BlockPool<R>,
+    c: Completion<R>,
+    first_err: &mut Option<PdmError>,
+) {
+    if let Err(e) = c.result {
+        if first_err.is_none() {
+            *first_err = Some(e.with_disk(c.disk));
+        }
+    }
+    pool.put(c.buf);
 }
 
 /// Pool-accounting snapshot (see [`DiskSystem::buffer_pool_stats`]).
@@ -224,6 +263,13 @@ pub struct DiskSystem<R: Record> {
     op_counter: u64,
     timing: Option<TimingTracker>,
     striped_only: bool,
+    /// True when the disks live behind remote transports (UDS workers
+    /// or the simulated network) instead of local units. Remote
+    /// systems map [`ServiceMode::Serial`] onto [`Service::Lockstep`].
+    remote: bool,
+    /// Simulated network time accrued by a SimNet transport
+    /// ([`DiskSystem::network_ms`]).
+    net_ms: f64,
     /// Reused duplicate-disk scratch for per-operation validation, so
     /// the admission path allocates nothing in steady state.
     seen_disks: Vec<bool>,
@@ -248,6 +294,31 @@ impl<R: Record> DiskSystem<R> {
             op_counter: 0,
             timing: None,
             striped_only: false,
+            remote: false,
+            net_ms: 0.0,
+            seen_disks: vec![false; geom.disks()],
+            stripe_scratch: Vec::with_capacity(geom.disks()),
+        }
+    }
+
+    /// A system whose disks live behind remote transports. Starts in
+    /// lockstep (the serial discipline; see [`Service::Lockstep`]).
+    fn from_remote(geom: Geometry, portions: usize, pool: DiskPool<R>) -> Self {
+        assert!(portions >= 1, "need at least one portion");
+        assert_eq!(pool.disks(), geom.disks(), "one transport per disk");
+        DiskSystem {
+            geom,
+            layout: Layout::new(&geom),
+            service: Service::Lockstep(pool),
+            pool: BlockPool::new(geom.block()),
+            portions,
+            stats: IoStats::default(),
+            faults: FaultPlan::new(),
+            op_counter: 0,
+            timing: None,
+            striped_only: false,
+            remote: true,
+            net_ms: 0.0,
             seen_disks: vec![false; geom.disks()],
             stripe_scratch: Vec::with_capacity(geom.disks()),
         }
@@ -316,6 +387,27 @@ impl<R: Record> DiskSystem<R> {
     /// are identical in every mode; only wall-clock behaviour differs.
     /// Switching modes drains any service threads first.
     pub fn set_service_mode(&mut self, mode: ServiceMode) {
+        if self.remote {
+            // Remote disks cannot be hosted as local units; the pool of
+            // transports *moves* between disciplines. Serial maps onto
+            // lockstep; SpawnPerOp has no remote analogue and gets the
+            // pipelined pool (the closest in spirit: per-op concurrency).
+            let want_lockstep = matches!(mode, ServiceMode::Serial);
+            if want_lockstep == matches!(self.service, Service::Lockstep(_)) {
+                return;
+            }
+            let placeholder = Service::Serial(Vec::new());
+            let pool = match std::mem::replace(&mut self.service, placeholder) {
+                Service::Pooled(pool) | Service::Lockstep(pool) => pool,
+                _ => unreachable!("remote systems always hold a transport pool"),
+            };
+            self.service = if want_lockstep {
+                Service::Lockstep(pool)
+            } else {
+                Service::Pooled(pool)
+            };
+            return;
+        }
         if self.service.mode() == mode {
             return;
         }
@@ -349,6 +441,47 @@ impl<R: Record> DiskSystem<R> {
     /// buffers held by unresolved tickets.
     pub fn buffer_pool_stats(&self) -> BufferPoolStats {
         self.pool.stats()
+    }
+
+    /// Transport message counters, merged over all disks: frames and
+    /// wire bytes both ways. Identically zero on in-process systems —
+    /// channels move buffers, not messages.
+    pub fn message_stats(&self) -> MsgStats {
+        match &self.service {
+            Service::Pooled(pool) | Service::Lockstep(pool) => pool.message_stats(),
+            _ => MsgStats::default(),
+        }
+    }
+
+    /// Per-disk transport message counters (empty on non-pooled
+    /// services).
+    pub fn message_stats_per_disk(&self) -> Vec<MsgStats> {
+        match &self.service {
+            Service::Pooled(pool) | Service::Lockstep(pool) => pool.message_stats_per_disk(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Simulated network time accrued so far (zero unless a SimNet
+    /// transport is in use). Also folded into the timing tracker's
+    /// makespan when [`DiskSystem::set_timing`] is active.
+    pub fn network_ms(&self) -> f64 {
+        self.net_ms
+    }
+
+    /// Collects simulated network time accrued by the transports since
+    /// the last call (SimNet charges synchronously inside submission).
+    fn absorb_network_time(&mut self) {
+        let ms = match &mut self.service {
+            Service::Pooled(pool) | Service::Lockstep(pool) => pool.take_sim_ms(),
+            _ => 0.0,
+        };
+        if ms > 0.0 {
+            self.net_ms += ms;
+            if let Some(t) = self.timing.as_mut() {
+                t.add_network_ms(ms);
+            }
+        }
     }
 
     /// Enables the optional service-time model ([`crate::timing`]);
@@ -408,6 +541,21 @@ impl<R: Record> DiskSystem<R> {
         if let Some(disk) = self.faults.check(op, refs.iter().map(|r| r.disk)) {
             return Err(PdmError::Fault { op, disk });
         }
+        if let Some(disk) = self
+            .faults
+            .check_disconnect(op, refs.iter().map(|r| r.disk))
+        {
+            match &mut self.service {
+                // Transport-backed services sever the link and let the
+                // operation proceed: the disconnect surfaces through
+                // the completion path mid-operation (the realistic
+                // failure), with every buffer still recycled.
+                Service::Pooled(pool) | Service::Lockstep(pool) => pool.inject_disconnect(disk),
+                // Unit-backed services have no link to sever; fail the
+                // operation up front.
+                _ => return Err(PdmError::Disconnected { disk }),
+            }
+        }
         Ok(())
     }
 
@@ -449,6 +597,7 @@ impl<R: Record> DiskSystem<R> {
             refs.len() * block
         );
         self.admit(refs)?;
+        let lockstep = matches!(self.service, Service::Lockstep(_));
         match &mut self.service {
             Service::Serial(units) => {
                 for (r, chunk) in refs.iter().zip(out.chunks_exact_mut(block)) {
@@ -461,8 +610,9 @@ impl<R: Record> DiskSystem<R> {
                 let reqs: Vec<(usize, usize)> = refs.iter().map(|r| (r.disk, r.slot)).collect();
                 threaded_read(units, &reqs, out.chunks_exact_mut(block).collect())?;
             }
-            Service::Pooled(pool) => {
+            Service::Pooled(pool) | Service::Lockstep(pool) => {
                 let (tx, rx) = channel();
+                let mut first_err = None;
                 for (idx, r) in refs.iter().enumerate() {
                     let buf = self.pool.take();
                     pool.submit(
@@ -474,27 +624,28 @@ impl<R: Record> DiskSystem<R> {
                             done: tx.clone(),
                         },
                     );
+                    if lockstep {
+                        // Serial discipline: one command in flight.
+                        let c = rx.recv().expect("disk service hung up");
+                        absorb_read_completion(&mut self.pool, c, out, block, &mut first_err);
+                    }
                 }
                 drop(tx);
-                let mut first_err = None;
-                for _ in 0..refs.len() {
-                    let c = rx.recv().expect("disk service thread hung up");
-                    match c.result {
-                        Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
-                        Err(e) if first_err.is_none() => {
-                            first_err = Some(e.with_disk(c.disk));
-                        }
-                        Err(_) => {}
+                if !lockstep {
+                    for _ in 0..refs.len() {
+                        let c = rx.recv().expect("disk service thread hung up");
+                        // Pool hygiene: the buffer comes back on every path.
+                        absorb_read_completion(&mut self.pool, c, out, block, &mut first_err);
                     }
-                    // Pool hygiene: the buffer comes back on every path.
-                    self.pool.put(c.buf);
                 }
                 if let Some(e) = first_err {
+                    self.absorb_network_time();
                     return Err(e);
                 }
             }
         }
         self.charge(refs, true);
+        self.absorb_network_time();
         Ok(())
     }
 
@@ -529,6 +680,7 @@ impl<R: Record> DiskSystem<R> {
         }
         let refs: Vec<BlockRef> = writes.iter().map(|(r, _)| *r).collect();
         self.admit(&refs)?;
+        let lockstep = matches!(self.service, Service::Lockstep(_));
         match &mut self.service {
             Service::Serial(units) => {
                 for (r, data) in writes {
@@ -544,8 +696,9 @@ impl<R: Record> DiskSystem<R> {
                     .collect();
                 threaded_write(units, &reqs)?;
             }
-            Service::Pooled(pool) => {
+            Service::Pooled(pool) | Service::Lockstep(pool) => {
                 let (tx, rx) = channel();
+                let mut first_err = None;
                 for (idx, (r, data)) in writes.iter().enumerate() {
                     let mut buf = self.pool.take();
                     buf.copy_from_slice(data);
@@ -558,24 +711,26 @@ impl<R: Record> DiskSystem<R> {
                             done: tx.clone(),
                         },
                     );
+                    if lockstep {
+                        let c = rx.recv().expect("disk service hung up");
+                        absorb_write_completion(&mut self.pool, c, &mut first_err);
+                    }
                 }
                 drop(tx);
-                let mut first_err = None;
-                for _ in 0..writes.len() {
-                    let c = rx.recv().expect("disk service thread hung up");
-                    if let Err(e) = c.result {
-                        if first_err.is_none() {
-                            first_err = Some(e.with_disk(c.disk));
-                        }
+                if !lockstep {
+                    for _ in 0..writes.len() {
+                        let c = rx.recv().expect("disk service thread hung up");
+                        absorb_write_completion(&mut self.pool, c, &mut first_err);
                     }
-                    self.pool.put(c.buf);
                 }
                 if let Some(e) = first_err {
+                    self.absorb_network_time();
                     return Err(e);
                 }
             }
         }
         self.charge(&refs, false);
+        self.absorb_network_time();
         Ok(())
     }
 
@@ -628,10 +783,56 @@ impl<R: Record> DiskSystem<R> {
                         },
                     );
                 }
+                self.absorb_network_time();
                 Ok(ReadTicket {
                     rx: Some(rx),
                     pending: refs.len(),
                     sync: Vec::new(),
+                    count,
+                })
+            }
+            Service::Lockstep(pool) => {
+                // Serial discipline over the transport: each block's
+                // completion is collected before the next submission;
+                // `finish_read` just copies out of the filled buffers.
+                let (tx, rx) = channel();
+                let mut sync = Vec::with_capacity(refs.len());
+                let mut first_err = None;
+                for (idx, r) in refs.iter().enumerate() {
+                    let buf = self.pool.take();
+                    pool.submit(
+                        r.disk,
+                        Cmd::Read {
+                            slot: r.slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        },
+                    );
+                    let c = rx.recv().expect("disk service hung up");
+                    match c.result {
+                        Ok(()) => sync.push(c.buf),
+                        Err(e) => {
+                            // Pool hygiene on the error path.
+                            self.pool.put(c.buf);
+                            if first_err.is_none() {
+                                first_err = Some(e.with_disk(c.disk));
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    for b in sync {
+                        self.pool.put(b);
+                    }
+                    self.absorb_network_time();
+                    return Err(e);
+                }
+                self.absorb_network_time();
+                Ok(ReadTicket {
+                    rx: None,
+                    pending: 0,
+                    sync,
                     count,
                 })
             }
@@ -765,10 +966,38 @@ impl<R: Record> DiskSystem<R> {
                         },
                     );
                 }
+                self.absorb_network_time();
                 Ok(WriteTicket {
                     rx: Some(rx),
                     pending: refs.len(),
                 })
+            }
+            Service::Lockstep(pool) => {
+                let (tx, rx) = channel();
+                let mut first_err = None;
+                for (idx, r) in refs.iter().enumerate() {
+                    let mut buf = self.pool.take();
+                    buf.copy_from_slice(&data[idx * block..(idx + 1) * block]);
+                    pool.submit(
+                        r.disk,
+                        Cmd::Write {
+                            slot: r.slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        },
+                    );
+                    let c = rx.recv().expect("disk service hung up");
+                    absorb_write_completion(&mut self.pool, c, &mut first_err);
+                }
+                self.absorb_network_time();
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(WriteTicket {
+                        rx: None,
+                        pending: 0,
+                    }),
+                }
             }
             Service::Serial(units) => {
                 for (i, r) in refs.iter().enumerate() {
@@ -924,7 +1153,7 @@ impl<R: Record> DiskSystem<R> {
             Service::Serial(units) | Service::SpawnPerOp(units) => {
                 units[disk].read(slot, out).map_err(|e| e.with_disk(disk))
             }
-            Service::Pooled(pool) => {
+            Service::Pooled(pool) | Service::Lockstep(pool) => {
                 let buf = self.pool.take();
                 let (tx, rx) = channel();
                 pool.submit(
@@ -941,6 +1170,7 @@ impl<R: Record> DiskSystem<R> {
                     out.copy_from_slice(&c.buf);
                 }
                 self.pool.put(c.buf);
+                self.absorb_network_time();
                 c.result.map_err(|e| e.with_disk(disk))
             }
         }
@@ -952,7 +1182,7 @@ impl<R: Record> DiskSystem<R> {
             Service::Serial(units) | Service::SpawnPerOp(units) => {
                 units[disk].write(slot, data).map_err(|e| e.with_disk(disk))
             }
-            Service::Pooled(pool) => {
+            Service::Pooled(pool) | Service::Lockstep(pool) => {
                 let mut buf = self.pool.take();
                 buf.copy_from_slice(data);
                 let (tx, rx) = channel();
@@ -967,6 +1197,7 @@ impl<R: Record> DiskSystem<R> {
                 );
                 let c = rx.recv().expect("disk service thread hung up");
                 self.pool.put(c.buf);
+                self.absorb_network_time();
                 c.result.map_err(|e| e.with_disk(disk))
             }
         }
@@ -1053,6 +1284,72 @@ impl<R: Record + ByteRecord> DiskSystem<R> {
         match backend {
             Backend::Mem => Ok(Self::new_mem(geom, portions)),
             Backend::File { dir } => Self::new_file(geom, portions, dir),
+        }
+    }
+
+    /// Transport-generic constructor: the same system served in
+    /// process ([`TransportConfig::InProc`]), by out-of-process
+    /// `pdm-diskd` workers over Unix-domain sockets
+    /// ([`TransportConfig::Uds`]), or over the deterministic simulated
+    /// network ([`TransportConfig::SimNet`]). Placement and charged
+    /// parallel-I/O counts are identical across all three; only
+    /// message counters, network time, and the wall clock differ.
+    ///
+    /// Remote systems start in the lockstep (serial) discipline; use
+    /// [`DiskSystem::set_service_mode`] /
+    /// [`DiskSystem::set_threaded`] for pipelined submission.
+    pub fn new_with_transport(
+        geom: Geometry,
+        portions: usize,
+        backend: &Backend,
+        transport: &TransportConfig,
+    ) -> Result<Self> {
+        let slots = portions * geom.stripes();
+        match transport {
+            TransportConfig::InProc => Self::new_with_backend(geom, portions, backend),
+            TransportConfig::SimNet(model) => {
+                let mut transports: Vec<Box<dyn Transport<R>>> = Vec::with_capacity(geom.disks());
+                match backend {
+                    Backend::Mem => {
+                        for d in 0..geom.disks() {
+                            transports.push(Box::new(SimNetTransport::<R>::new_mem(
+                                d,
+                                geom.block(),
+                                slots,
+                                *model,
+                            )));
+                        }
+                    }
+                    Backend::File { dir } => {
+                        std::fs::create_dir_all(dir).map_err(|e| {
+                            PdmError::Io(format!("create_dir_all {}: {e}", dir.display()))
+                        })?;
+                        for d in 0..geom.disks() {
+                            transports.push(Box::new(SimNetTransport::<R>::new_file(
+                                d,
+                                &dir.join(format!("disk{d:03}.bin")),
+                                geom.block(),
+                                slots,
+                                *model,
+                            )?));
+                        }
+                    }
+                }
+                Ok(Self::from_remote(
+                    geom,
+                    portions,
+                    DiskPool::from_transports(transports),
+                ))
+            }
+            TransportConfig::Uds(cfg) => {
+                let transports =
+                    spawn_uds_workers::<R>(geom.disks(), geom.block(), slots, backend, cfg)?;
+                Ok(Self::from_remote(
+                    geom,
+                    portions,
+                    DiskPool::from_transports(transports),
+                ))
+            }
         }
     }
 }
@@ -1411,6 +1708,264 @@ mod tests {
             let mut sys: DiskSystem<u64> = DiskSystem::new_with_backend(g, 2, &backend).unwrap();
             sys.load_records(0, &records);
             assert_eq!(sys.dump_records(0), records, "backend {backend:?}");
+        }
+    }
+
+    /// A SimNet system must be byte-identical to the in-process system
+    /// on every access path — the simulated network serializes through
+    /// the real wire protocol, which must be lossless.
+    #[test]
+    fn simnet_matches_inproc_on_all_paths() {
+        use crate::transport::{SimNetModel, TransportConfig};
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let records: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(13)).collect();
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let mut sim: DiskSystem<u64> = DiskSystem::new_with_transport(
+                g,
+                2,
+                &Backend::Mem,
+                &TransportConfig::SimNet(SimNetModel::lan()),
+            )
+            .unwrap();
+            sim.set_service_mode(mode);
+            assert_eq!(sim.service_mode(), mode);
+            let mut local = small();
+            local.set_service_mode(mode);
+            sim.load_records(0, &records);
+            local.load_records(0, &records);
+            assert_eq!(sim.dump_records(0), records, "mode {mode:?}");
+            // Striped, independent, and split-phase paths all agree.
+            assert_eq!(
+                sim.read_stripe(1).unwrap(),
+                local.read_stripe(1).unwrap(),
+                "mode {mode:?}"
+            );
+            let refs = [BlockRef { disk: 1, slot: 0 }, BlockRef { disk: 3, slot: 2 }];
+            assert_eq!(
+                sim.read_blocks(&refs).unwrap(),
+                local.read_blocks(&refs).unwrap()
+            );
+            let t = sim.begin_read(&sim.stripe_refs(2)).unwrap();
+            let mut got = vec![0u64; 8];
+            sim.finish_read(t, &mut got).unwrap();
+            assert_eq!(got, records[16..24], "mode {mode:?}");
+            let w = sim
+                .begin_write(&sim.stripe_refs(sim.portion_base(1)), &got)
+                .unwrap();
+            sim.finish_write(w).unwrap();
+            assert_eq!(
+                sim.peek_block(BlockRef {
+                    disk: 0,
+                    slot: sim.portion_base(1)
+                }),
+                records[16..18].to_vec()
+            );
+            // Mirror the split-phase ops on the local system so the
+            // charged-cost comparison covers identical sequences.
+            let t = local.begin_read(&local.stripe_refs(2)).unwrap();
+            let mut local_got = vec![0u64; 8];
+            local.finish_read(t, &mut local_got).unwrap();
+            assert_eq!(local_got, got);
+            let w = local
+                .begin_write(&local.stripe_refs(local.portion_base(1)), &local_got)
+                .unwrap();
+            local.finish_write(w).unwrap();
+            // Same charged cost, messages moved, network time accrued.
+            assert_eq!(sim.stats(), local.stats(), "mode {mode:?}");
+            let msgs = sim.message_stats();
+            assert!(msgs.messages_sent > 0 && msgs.messages_sent == msgs.messages_received);
+            assert!(sim.network_ms() > 0.0, "mode {mode:?}");
+            assert_eq!(local.message_stats(), MsgStats::default());
+            assert_eq!(local.network_ms(), 0.0);
+            assert_eq!(sim.buffer_pool_stats().outstanding, 0, "mode {mode:?}");
+        }
+    }
+
+    /// SimNet time flows into the timing tracker's makespan.
+    #[test]
+    fn simnet_network_time_reaches_the_tracker() {
+        use crate::transport::{SimNetModel, TransportConfig};
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let mut sim: DiskSystem<u64> = DiskSystem::new_with_transport(
+            g,
+            1,
+            &Backend::Mem,
+            &TransportConfig::SimNet(SimNetModel::lan()),
+        )
+        .unwrap();
+        sim.set_timing(TimingModel::ssd());
+        let records: Vec<u64> = (0..64).collect();
+        sim.load_records(0, &records);
+        let net_before = sim.network_ms();
+        sim.read_stripe(0).unwrap();
+        let t = sim.timing().unwrap();
+        let accrued = sim.network_ms() - net_before;
+        assert!(accrued > 0.0);
+        assert!(t.network_ms() >= accrued, "tracker saw the network charge");
+        assert!(t.elapsed_ms() >= t.network_ms());
+    }
+
+    /// An injected transport disconnect surfaces mid-operation as
+    /// [`PdmError::Disconnected`] naming the disk, recycles every
+    /// pooled buffer, and leaves the link dead for later operations.
+    #[test]
+    fn transport_disconnect_surfaces_and_preserves_pool_hygiene() {
+        use crate::transport::{SimNetModel, TransportConfig};
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let mut sim: DiskSystem<u64> = DiskSystem::new_with_transport(
+                g,
+                2,
+                &Backend::Mem,
+                &TransportConfig::SimNet(SimNetModel::lan()),
+            )
+            .unwrap();
+            sim.set_service_mode(mode);
+            let records: Vec<u64> = (0..64).collect();
+            sim.load_records(0, &records);
+            // Warm the pool on both the all-at-once and split-phase
+            // paths (split-phase holds a full stripe's buffers at
+            // once), then snapshot.
+            let mut buf = vec![0u64; 8];
+            sim.read_stripe_into(0, &mut buf).unwrap();
+            let t = sim.begin_read(&sim.stripe_refs(1)).unwrap();
+            sim.finish_read(t, &mut buf).unwrap();
+            let warm = sim.buffer_pool_stats();
+            assert_eq!(warm.outstanding, 0);
+            // Ops 2.. : disk 2's link drops during op 2.
+            sim.set_faults(FaultPlan::new().disconnect_at(2, 2));
+            let err = sim.read_stripe_into(0, &mut buf).unwrap_err();
+            assert!(
+                matches!(err, PdmError::Disconnected { disk: 2 }),
+                "mode {mode:?}: {err}"
+            );
+            // The link stays dead: later ops touching disk 2 fail too.
+            let err = sim.read_stripe_into(1, &mut buf).unwrap_err();
+            assert!(matches!(err, PdmError::Disconnected { disk: 2 }));
+            // Ops avoiding disk 2 still work.
+            sim.read_blocks_into(&[BlockRef { disk: 0, slot: 0 }], &mut buf[..2])
+                .unwrap();
+            // Split-phase paths also fail cleanly: lockstep surfaces
+            // the error at begin, pipelined at finish.
+            match sim.begin_read(&sim.stripe_refs(0)) {
+                Ok(t) => {
+                    let mut out = vec![0u64; 8];
+                    let err = sim.finish_read(t, &mut out).unwrap_err();
+                    assert!(matches!(err, PdmError::Disconnected { disk: 2 }));
+                }
+                Err(e) => assert!(matches!(e, PdmError::Disconnected { disk: 2 })),
+            }
+            let after = sim.buffer_pool_stats();
+            assert_eq!(after.outstanding, 0, "buffers leaked in mode {mode:?}");
+            assert_eq!(
+                after.allocated, warm.allocated,
+                "disconnects must not grow the pool (mode {mode:?})"
+            );
+        }
+    }
+
+    /// In Threaded (pipelined) mode a split-phase disconnect error
+    /// arrives at `finish_read`, not `begin_read`; buffers still come
+    /// home.
+    #[test]
+    fn split_phase_disconnect_resolves_at_finish() {
+        use crate::transport::{SimNetModel, TransportConfig};
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let mut sim: DiskSystem<u64> = DiskSystem::new_with_transport(
+            g,
+            1,
+            &Backend::Mem,
+            &TransportConfig::SimNet(SimNetModel::lan()),
+        )
+        .unwrap();
+        sim.set_service_mode(ServiceMode::Threaded);
+        let records: Vec<u64> = (0..64).collect();
+        sim.load_records(0, &records);
+        sim.set_faults(FaultPlan::new().disconnect_at(0, 1));
+        let t = sim.begin_read(&sim.stripe_refs(0)).unwrap();
+        let mut out = vec![0u64; 8];
+        let err = sim.finish_read(t, &mut out).unwrap_err();
+        assert!(matches!(err, PdmError::Disconnected { disk: 1 }), "{err}");
+        assert_eq!(sim.buffer_pool_stats().outstanding, 0);
+    }
+
+    /// On unit-backed (non-transport) services a disconnect fault has
+    /// no link to sever and fails the operation up front.
+    #[test]
+    fn disconnect_fault_on_local_units_fails_upfront() {
+        let mut sys = small();
+        sys.set_faults(FaultPlan::new().disconnect_at(0, 3));
+        let err = sys.read_stripe(0).unwrap_err();
+        assert!(matches!(err, PdmError::Disconnected { disk: 3 }));
+        // Not charged, and later ops are unaffected (no persistent
+        // link state on local units).
+        assert_eq!(sys.stats().parallel_ios(), 0);
+        sys.read_stripe(0).unwrap();
+    }
+
+    /// The full UDS client path — handshake, socket framing, the
+    /// reader-thread pipeline — against workers served on plain
+    /// threads (the identical serve loop `pdm-diskd` runs), so the
+    /// socket transport is provable without spawning processes.
+    #[test]
+    fn uds_transport_against_in_thread_workers() {
+        use crate::proto::Worker;
+        use crate::transport::{serve_stream, UdsTransport};
+        use std::os::unix::net::UnixListener;
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let dir = crate::tempdir::TempDir::new("pdm-uds-sys");
+        let slots = 2 * g.stripes();
+        let mut handles = Vec::new();
+        let mut transports: Vec<Box<dyn Transport<u64>>> = Vec::new();
+        for d in 0..g.disks() {
+            let path = dir.path().join(format!("disk{d}.sock"));
+            let listener = UnixListener::bind(&path).unwrap();
+            let block_bytes = g.block() * 8;
+            handles.push(std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                let mut w = Worker::new_mem(block_bytes, slots);
+                serve_stream(stream, &mut w).unwrap();
+            }));
+            transports.push(Box::new(
+                UdsTransport::<u64>::connect(d, &path, g.block(), slots, None, None).unwrap(),
+            ));
+        }
+        let mut sys = DiskSystem::from_remote(g, 2, DiskPool::from_transports(transports));
+        let records: Vec<u64> = (0..64).map(|i| i * 5).collect();
+        sys.load_records(0, &records);
+        assert_eq!(sys.dump_records(0), records);
+        // Pipelined split-phase over the sockets.
+        sys.set_threaded(true);
+        let t0 = sys.begin_read(&sys.stripe_refs(0)).unwrap();
+        let t1 = sys.begin_read(&sys.stripe_refs(1)).unwrap();
+        let mut s0 = vec![0u64; 8];
+        let mut s1 = vec![0u64; 8];
+        sys.finish_read(t0, &mut s0).unwrap();
+        sys.finish_read(t1, &mut s1).unwrap();
+        assert_eq!(s0, records[..8]);
+        assert_eq!(s1, records[8..16]);
+        let w = sys
+            .begin_write(&sys.stripe_refs(sys.portion_base(1)), &s0)
+            .unwrap();
+        sys.finish_write(w).unwrap();
+        assert_eq!(
+            sys.peek_block(BlockRef {
+                disk: 0,
+                slot: sys.portion_base(1)
+            }),
+            records[..2].to_vec()
+        );
+        let msgs = sys.message_stats();
+        assert!(msgs.messages_sent > 0);
+        assert_eq!(
+            msgs.messages_sent, msgs.messages_received,
+            "every request answered"
+        );
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0);
+        // Dropping the system sends STOP; the serve loops exit cleanly.
+        drop(sys);
+        for h in handles {
+            h.join().unwrap();
         }
     }
 

@@ -58,6 +58,7 @@ pub struct TimingTracker {
     op_busy_ms: Vec<f64>,
     seeks: u64,
     sequential: u64,
+    network_ms: f64,
 }
 
 impl TimingTracker {
@@ -71,6 +72,7 @@ impl TimingTracker {
             op_busy_ms: vec![0.0; disks],
             seeks: 0,
             sequential: 0,
+            network_ms: 0.0,
         }
     }
 
@@ -101,6 +103,24 @@ impl TimingTracker {
         }
         let op_ms = self.op_busy_ms.iter().copied().fold(0.0f64, f64::max);
         self.elapsed_ms += op_ms;
+    }
+
+    /// Adds simulated *network* time to the makespan — the SimNet
+    /// transport ([`crate::transport::SimNetModel`]) charges each frame
+    /// latency plus bandwidth-proportional transfer time here. The
+    /// charge is serialized (not overlapped with disk service): all
+    /// frames funnel through the client's single network interface, so
+    /// this is the link-limited bound rather than an optimistic
+    /// overlap.
+    pub fn add_network_ms(&mut self, ms: f64) {
+        self.network_ms += ms;
+        self.elapsed_ms += ms;
+    }
+
+    /// Simulated network time accrued so far (zero unless a SimNet
+    /// transport is in use).
+    pub fn network_ms(&self) -> f64 {
+        self.network_ms
     }
 
     /// Simulated elapsed (makespan) time so far.
@@ -186,6 +206,18 @@ mod tests {
         // The makespan is never below the busiest disk's total.
         t.record([(0, 5), (0, 6), (0, 7)]); // 3 sequential: 4.5
         assert!((t.elapsed_ms() - 16.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_time_extends_the_makespan() {
+        let mut t = TimingTracker::new(model(), 1);
+        t.record([(0, 0)]); // 10.5
+        t.add_network_ms(2.25);
+        t.add_network_ms(0.75);
+        assert!((t.network_ms() - 3.0).abs() < 1e-9);
+        assert!((t.elapsed_ms() - 13.5).abs() < 1e-9);
+        // Disk accounting is untouched.
+        assert!((t.busy_ms()[0] - 10.5).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Out-of-process disk worker: serves one disk of a parallel disk
+//! system over a Unix-domain socket, speaking the wire protocol of
+//! `pdm::proto`. Spawned per disk by `pdm::transport::spawn_uds_workers`
+//! (one worker process per disk, one client connection per worker).
+//!
+//! ```text
+//! pdm-diskd --socket PATH --block-bytes N --slots N [--file PATH]
+//! ```
+//!
+//! All logic lives in `pdm::transport::diskd_main` so it is shared with
+//! the in-thread test servers and unit-testable.
+
+fn main() {
+    std::process::exit(pdm::transport::diskd_main(std::env::args().skip(1)));
+}
