@@ -630,6 +630,256 @@ fn transport_config(name: &str) -> TransportConfig {
     }
 }
 
+/// The service sweep: the multi-tenant job service under three
+/// scenarios, all in-process against one shared [`pdm_served`] disk
+/// farm.
+///
+/// * `single` — the same seeded BMMC job run directly on a private
+///   `DiskSystem` and through the service (one tenant, governor
+///   engaged). Both rows must charge identical parallel I/Os — the
+///   scheduler may not change the model cost — and under `--baseline`
+///   the served row must reach ≥ 0.9× the direct records/s.
+/// * `fair` — K=4 *identical* jobs (same seed) submitted at the same
+///   instant by four client threads. Every job's charged ledger must
+///   equal its own disk system's counters exactly, all four charges
+///   must be equal to the operation, and under `--baseline` the
+///   completion-time spread must stay within 25% of the mean — the
+///   deficit round-robin discipline, not FIFO head-of-line blocking.
+/// * `load` — an open-loop generator: jobs submitted on a fixed
+///   arrival clock regardless of completions, reporting aggregate
+///   throughput and p50/p95/p99 job latency.
+///
+/// The per-job parallel-I/O counts (single and fair rows) are
+/// deterministic and exact-gated by `--check`; the latencies are
+/// recorded, not gated.
+fn run_service_sweep(reps: usize, baseline_mode: bool) -> Json {
+    use pdm_served::core::{JobState, ServiceConfig, ServiceCore};
+    use pdm_served::job::{run_job, JobKind, JobSpec};
+    use std::sync::{Arc, Barrier};
+
+    let lg_records = 14;
+    let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 3, 1 << 10).expect("service geometry");
+    let config = ServiceConfig {
+        block: geom.block(),
+        disks: geom.disks(),
+        slots: 1 << 12,
+        quantum: geom.blocks_per_memoryload() as u64,
+        max_queue: 64,
+        max_running: 8,
+    };
+    eprintln!(
+        "== service sweep: N=2^{lg_records}, B=2^3, D=2^3, M=2^10, quantum {} blocks, best of {reps} reps",
+        config.quantum
+    );
+    let spec = JobSpec::new(JobKind::Bmmc, geom.records(), geom.memory(), 0xFA1);
+    let mut rows: Vec<Json> = Vec::new();
+
+    // -- single: direct vs served ------------------------------------
+    // Interleaved direct/served pairs (rather than two back-to-back
+    // loops) so a drifting machine hits both paths alike; the baseline
+    // run takes extra reps because it *asserts* on the ratio.
+    let single_reps = if baseline_mode {
+        reps.max(7)
+    } else {
+        reps.max(1)
+    };
+    let mut direct_best = f64::MAX;
+    let mut direct_ios = 0u64;
+    let mut served_best = f64::MAX;
+    let mut served_ios = 0u64;
+    for _ in 0..single_reps {
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+        sys.set_threaded(true);
+        let t0 = Instant::now();
+        let report = run_job(&mut sys, &spec).expect("direct job");
+        direct_best = direct_best.min(t0.elapsed().as_secs_f64());
+        direct_ios = report.io.parallel_ios();
+
+        let core = ServiceCore::new(config);
+        let t0 = Instant::now();
+        let id = core.submit(spec, None).expect("submit");
+        let status = core.wait(id).expect("known id");
+        served_best = served_best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(status.state, JobState::Done, "served single job");
+        let report = status.report.expect("done job has report");
+        assert_eq!(
+            status.usage.io, report.io,
+            "scheduler ledger equals the job's own counters"
+        );
+        served_ios = status.usage.io.parallel_ios();
+        core.shutdown();
+    }
+    assert_eq!(
+        direct_ios, served_ios,
+        "the governor may not change the model cost"
+    );
+    let n = geom.records() as f64;
+    let single_ratio = (n / served_best) / (n / direct_best);
+    eprintln!(
+        "   single: direct {:.1} ms, served {:.1} ms, ratio {single_ratio:.3}",
+        direct_best * 1e3,
+        served_best * 1e3
+    );
+    if baseline_mode {
+        assert!(
+            single_ratio >= 0.9,
+            "acceptance criterion failed: served single-job throughput only \
+             {single_ratio:.3}x of the direct path"
+        );
+    }
+    for (job, ios, secs) in [
+        ("direct", direct_ios, direct_best),
+        ("served", served_ios, served_best),
+    ] {
+        rows.push(Json::obj(vec![
+            ("scenario", Json::Str("single".into())),
+            ("job", Json::Str(job.into())),
+            ("parallel_ios", Json::Num(ios as f64)),
+            (
+                "records_per_sec",
+                Json::Num(((n / secs) * 10.0).round() / 10.0),
+            ),
+            (
+                "elapsed_ms",
+                Json::Num((secs * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ]));
+    }
+
+    // -- fair: K=4 identical tenants ---------------------------------
+    const K: usize = 4;
+    let core = ServiceCore::new(config);
+    let barrier = Arc::new(Barrier::new(K));
+    let mut tenants = Vec::new();
+    for _ in 0..K {
+        let core = Arc::clone(&core);
+        let barrier = Arc::clone(&barrier);
+        tenants.push(std::thread::spawn(move || {
+            barrier.wait();
+            let t0 = Instant::now();
+            let id = core.submit(spec, None).expect("fair submit");
+            let status = core.wait(id).expect("known id");
+            (id, status, t0.elapsed().as_secs_f64())
+        }));
+    }
+    let mut completions = Vec::new();
+    for t in tenants {
+        let (id, status, secs) = t.join().expect("tenant thread");
+        assert_eq!(status.state, JobState::Done, "fair job {id}");
+        let report = status.report.expect("done job has report");
+        assert_eq!(
+            status.usage.io, report.io,
+            "fair job {id}: exact per-job accounting"
+        );
+        completions.push((id, status.usage.io.parallel_ios(), secs));
+    }
+    core.shutdown();
+    completions.sort_by_key(|&(id, _, _)| id);
+    let charges: Vec<u64> = completions.iter().map(|&(_, c, _)| c).collect();
+    assert!(
+        charges.windows(2).all(|w| w[0] == w[1]),
+        "identical jobs must be charged identically: {charges:?}"
+    );
+    let times: Vec<f64> = completions.iter().map(|&(_, _, s)| s).collect();
+    let mean = times.iter().sum::<f64>() / K as f64;
+    let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+        - times.iter().cloned().fold(f64::MAX, f64::min);
+    let spread_pct = 100.0 * spread / mean;
+    eprintln!(
+        "   fair: {K} tenants, {} parallel I/Os each, completions {:?} ms, spread {spread_pct:.1}% of mean",
+        charges[0],
+        times.iter().map(|s| (s * 1e3).round()).collect::<Vec<_>>()
+    );
+    if baseline_mode {
+        assert!(
+            spread_pct <= 25.0,
+            "acceptance criterion failed: fair-share completion spread {spread_pct:.1}% > 25% of mean"
+        );
+    }
+    for &(id, ios, secs) in &completions {
+        rows.push(Json::obj(vec![
+            ("scenario", Json::Str("fair".into())),
+            ("job", Json::Str(format!("tenant-{id}"))),
+            ("parallel_ios", Json::Num(ios as f64)),
+            (
+                "elapsed_ms",
+                Json::Num((secs * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ]));
+    }
+
+    // -- load: open-loop multi-tenant generator ----------------------
+    const JOBS: usize = 24;
+    let interval = std::time::Duration::from_millis(2);
+    let small = JobSpec::new(
+        JobKind::Bmmc,
+        1 << 12,
+        1 << 8,
+        0xBEEF, // same work per job; arrivals, not content, vary
+    );
+    let core = ServiceCore::new(config);
+    let t0 = Instant::now();
+    let mut waiters = Vec::new();
+    for _ in 0..JOBS {
+        let id = core.submit(small, None).expect("load submit");
+        let submitted = Instant::now();
+        let core = Arc::clone(&core);
+        waiters.push(std::thread::spawn(move || {
+            let status = core.wait(id).expect("known id");
+            assert_eq!(status.state, JobState::Done, "load job {id}");
+            submitted.elapsed().as_secs_f64()
+        }));
+        std::thread::sleep(interval); // open loop: the clock, not the
+                                      // completions, paces arrivals
+    }
+    let mut latencies: Vec<f64> = waiters
+        .into_iter()
+        .map(|w| w.join().expect("waiter thread"))
+        .collect();
+    let total = t0.elapsed().as_secs_f64();
+    core.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pct = |p: f64| latencies[((p * (JOBS - 1) as f64).round() as usize).min(JOBS - 1)];
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let throughput = JOBS as f64 / total;
+    eprintln!(
+        "   load: {JOBS} jobs open-loop @ {:?}, {throughput:.1} jobs/s, \
+         p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        interval,
+        p50 * 1e3,
+        p95 * 1e3,
+        p99 * 1e3
+    );
+
+    Json::obj(vec![
+        ("geometry", Json::Str(bmmc_bench::geom_label(&geom))),
+        ("quantum_blocks", Json::Num(config.quantum as f64)),
+        ("rows", Json::Arr(rows)),
+        (
+            "single_ratio",
+            Json::Num((single_ratio * 1000.0).round() / 1000.0),
+        ),
+        (
+            "fair_spread_pct",
+            Json::Num((spread_pct * 10.0).round() / 10.0),
+        ),
+        (
+            "load",
+            Json::obj(vec![
+                ("jobs", Json::Num(JOBS as f64)),
+                ("arrival_interval_ms", Json::Num(2.0)),
+                (
+                    "throughput_jobs_per_sec",
+                    Json::Num((throughput * 10.0).round() / 10.0),
+                ),
+                ("p50_ms", Json::Num((p50 * 1e3 * 100.0).round() / 100.0)),
+                ("p95_ms", Json::Num((p95 * 1e3 * 100.0).round() / 100.0)),
+                ("p99_ms", Json::Num((p99 * 1e3 * 100.0).round() / 100.0)),
+            ]),
+        ),
+    ])
+}
+
 /// The transport sweep: the same seeded engine MLD pass served
 /// in-process, over per-disk `pdm-diskd` worker processes (Unix-domain
 /// sockets), and over the deterministic simulated network.
@@ -1063,6 +1313,7 @@ fn check_against_baseline(
             ("file", &["backend", "mode"], "parallel_ios"),
             ("transport", TRANSPORT_KEYS, "parallel_ios"),
             ("transport", TRANSPORT_KEYS, "messages"),
+            ("service", &["scenario", "job"], "parallel_ios"),
         ]
     };
     for &(section, keys, field) in gated {
@@ -1196,6 +1447,7 @@ fn main() {
     let mut full_rows = Vec::new();
     let mut fusion_section = None;
     let mut extsort_section = None;
+    let mut service_section = None;
     if !file_only && !transport_only {
         if !quick_only {
             let (rows, section) = run_sweep(&FULL);
@@ -1215,6 +1467,9 @@ fn main() {
         let extsort = run_extsort_sweep(QUICK.lg_records, QUICK.reps, &file_parent);
         sections.push(("extsort", extsort.clone()));
         extsort_section = Some(extsort);
+        let service = run_service_sweep(QUICK.reps.min(3), baseline_mode);
+        sections.push(("service", service.clone()));
+        service_section = Some(service);
     }
     // The transport section runs at the quick size in every mode but
     // --file-only: the same engine pass over in-process channels, UDS
@@ -1242,7 +1497,7 @@ fn main() {
 
     let mut doc_pairs = vec![
         ("bench", Json::Str("engine_sweep".into())),
-        ("version", Json::Num(4.0)),
+        ("version", Json::Num(5.0)),
         (
             "acceptance",
             Json::Str(
@@ -1252,7 +1507,10 @@ fn main() {
                  to mem with identical parallel_ios, threaded (DiskPool) file >= spawn-per-op \
                  file records/s; every transport byte-identical with identical parallel_ios, \
                  inproc moves zero messages, sim message/byte counts equal uds exactly, \
-                 threaded uds >= 0.5x inproc records/s"
+                 threaded uds >= 0.5x inproc records/s; service: governor charges identical \
+                 parallel_ios to the direct path, served single-job throughput >= 0.9x direct, \
+                 K=4 identical tenants charged exactly equally with completion spread <= 25% \
+                 of mean"
                     .into(),
             ),
         ),
@@ -1319,6 +1577,7 @@ fn main() {
                     ("extsort", extsort_section.expect("extsort ran")),
                     ("file", file_section.expect("file ran")),
                     ("transport", transport_section.expect("transport ran")),
+                    ("service", service_section.expect("service ran")),
                 ]);
                 match check_against_baseline(&retry_doc, &baseline, false, false) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),

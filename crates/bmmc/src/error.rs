@@ -14,7 +14,9 @@ pub enum BmmcError {
     /// The permutation's address width does not match the disk
     /// system's `n = lg N`.
     GeometryMismatch {
+        /// Address width `n` of the permutation matrix.
         perm_bits: usize,
+        /// Address width `lg N` of the disk system.
         system_bits: usize,
     },
     /// A disk-system error during execution.

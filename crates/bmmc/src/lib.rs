@@ -47,6 +47,8 @@
 //! # let _ = catalog::gray_code(10);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod algorithm;
 #[allow(clippy::module_inception)]
 pub mod bmmc;

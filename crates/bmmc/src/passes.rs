@@ -1,6 +1,6 @@
 //! One-pass executors: MRC and MLD permutations on a
 //! [`pdm::DiskSystem`], built on the shared streaming
-//! [`PassEngine`](pdm::PassEngine).
+//! [`PassEngine`].
 //!
 //! All pass types process memoryloads in order (Section 3): read a
 //! memoryload (`M/BD` parallel reads), permute the `M` records in
@@ -31,7 +31,7 @@
 //! one-pass characteristic matrix is nonsingular (Lemma 12; trivially
 //! for MRC), and it is performed in place by cycle-following.
 //!
-//! The superseded hand-written loops survive in [`reference`] — they
+//! The superseded hand-written loops survive in [`mod@reference`] — they
 //! are the differential-testing oracle for the engine and the "old
 //! loop" baseline of the `engine_sweep` benchmark.
 

@@ -7,11 +7,13 @@
 //! bmmc-cli run     --spec perm.bmmc       --geometry ... --algorithm sort
 //! bmmc-cli detect  --targets targets.txt  --geometry 2^13,2^3,2^4,2^8
 //! bmmc-cli spec    --builtin gray --n 13
+//! bmmc-cli submit  --socket /tmp/pdm.sock --job sort --records 2^16 --memory 2^10
 //! ```
 
 mod args;
 mod builtins;
 mod commands;
+mod service;
 
 use args::Args;
 use std::process::ExitCode;
@@ -28,6 +30,9 @@ COMMANDS:
   run      perform the permutation on the simulated disk array
   detect   run Section 6 detection on a vector of target addresses
   spec     print a permutation in the spec file format
+  submit   send a job to a running pdm-served instance
+  status   one job's progress (--id N) or the service overview
+  cancel   request cancellation of a submitted job
   help     this text
 
 COMMON FLAGS:
@@ -62,6 +67,17 @@ RUN FLAGS:
   --no-fuse             disable pass-pair fusion (one round-trip per
                         planned pass, for differential comparison)
 
+SERVICE FLAGS (submit / status / cancel):
+  --socket PATH         the pdm-served Unix socket (required)
+  --job KIND            submit: bmmc | bpc | sort | permute
+  --records 2^k         submit: problem size N in records
+  --memory 2^k          submit: memory size M in records (B and D are
+                        the server's)
+  --seed N              submit: permutation/shuffle seed (default 0)
+  --fault OP,DISK       submit: sever DISK at parallel I/O OP (testing)
+  --detach              submit: print the job id instead of waiting
+  --id N                status/cancel: the job id
+
 DETECT FLAGS:
   --targets FILE        one target address per line (decimal), length N
   --shuffle SEED        use a random non-BMMC shuffle instead
@@ -74,7 +90,7 @@ BUILTINS:
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(argv, &["verify", "no-fuse", "threaded"]) {
+    let parsed = match Args::parse(argv, &["verify", "no-fuse", "threaded", "detach"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -87,6 +103,9 @@ fn main() -> ExitCode {
         "run" => commands::run(&parsed),
         "detect" => commands::detect(&parsed),
         "spec" => commands::spec(&parsed),
+        "submit" => service::submit(&parsed),
+        "status" => service::status(&parsed),
+        "cancel" => service::cancel(&parsed),
         "help" | "" => {
             println!("{USAGE}{}", builtins::BUILTIN_HELP);
             Ok(())

@@ -1,0 +1,139 @@
+//! The `submit` / `status` / `cancel` subcommands: a thin client for
+//! the `pdm-served` job service ([`pdm_served::client::Client`]).
+
+use crate::args::{parse_pow2, Args};
+use pdm_served::client::Client;
+use pdm_served::core::JobStatus;
+use pdm_served::job::{JobKind, JobSpec};
+use std::path::Path;
+
+fn connect(a: &Args) -> Result<Client, String> {
+    let socket = a.require("socket")?;
+    Client::connect(Path::new(socket)).map_err(|e| e.to_string())
+}
+
+/// `bmmc-cli submit --socket PATH --job KIND --records 2^k --memory 2^k
+/// [--seed N] [--merge WHICH] [--verify] [--fault OP,DISK] [--detach]`
+///
+/// Submits one job. By default waits for the result and prints the
+/// report; `--detach` prints the job id and returns immediately.
+pub fn submit(a: &Args) -> Result<(), String> {
+    let kind = JobKind::parse(a.require("job")?)
+        .ok_or_else(|| "unknown --job (want bmmc | bpc | sort | permute)".to_string())?;
+    let records = parse_pow2(a.require("records")?)?;
+    let memory = parse_pow2(a.require("memory")?)?;
+    let mut spec = JobSpec::new(
+        kind,
+        records,
+        memory,
+        a.get("seed")
+            .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+            .transpose()?
+            .unwrap_or(0),
+    );
+    if let Some(merge) = a.get("merge") {
+        spec.merge = merge.parse()?;
+    }
+    spec.verify = a.has("verify");
+    if let Some(fault) = a.get("fault") {
+        let (op, disk) = fault
+            .split_once(',')
+            .ok_or_else(|| format!("--fault wants OP,DISK, got {fault:?}"))?;
+        spec.fault = Some((
+            op.trim()
+                .parse()
+                .map_err(|_| format!("bad fault op {op:?}"))?,
+            disk.trim()
+                .parse()
+                .map_err(|_| format!("bad fault disk {disk:?}"))?,
+        ));
+    }
+
+    let mut client = connect(a)?;
+    let id = client
+        .submit(&spec)
+        .map_err(|e| e.to_string())?
+        .map_err(|reject| format!("submit refused: {reject}"))?;
+    if a.has("detach") {
+        println!("job {id} submitted ({})", kind.as_str());
+        return Ok(());
+    }
+    println!("job {id} submitted ({}), waiting…", kind.as_str());
+    let status = client
+        .result(id)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("server forgot job {id}"))?;
+    print_status(&status);
+    match status.report {
+        Some(_) => Ok(()),
+        None => Err(status
+            .error
+            .unwrap_or_else(|| "job ended without a report".into())),
+    }
+}
+
+/// `bmmc-cli status --socket PATH [--id N]`
+///
+/// With `--id`, prints one job's snapshot; without, prints the
+/// service overview.
+pub fn status(a: &Args) -> Result<(), String> {
+    let mut client = connect(a)?;
+    match a.get("id") {
+        Some(id) => {
+            let id: u64 = id.parse().map_err(|_| format!("bad --id {id:?}"))?;
+            let status = client
+                .status(id)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no such job {id}"))?;
+            print_status(&status);
+            Ok(())
+        }
+        None => {
+            let o = client.overview().map_err(|e| e.to_string())?;
+            println!(
+                "service: {} queued, {} running, {} finished, {} free slots/disk",
+                o.queued, o.running, o.finished, o.free_slots
+            );
+            Ok(())
+        }
+    }
+}
+
+/// `bmmc-cli cancel --socket PATH --id N`
+pub fn cancel(a: &Args) -> Result<(), String> {
+    let id: u64 = a
+        .require("id")?
+        .parse()
+        .map_err(|_| "bad --id".to_string())?;
+    let mut client = connect(a)?;
+    if client.cancel(id).map_err(|e| e.to_string())? {
+        println!("job {id}: cancellation requested");
+    } else {
+        println!("job {id}: not live (already finished, or unknown)");
+    }
+    Ok(())
+}
+
+fn print_status(s: &JobStatus) {
+    print!(
+        "job {} ({}): {} — {} charged ({} read + {} write, {} striped)",
+        s.id,
+        s.kind.as_str(),
+        s.state.as_str(),
+        s.usage.io.parallel_ios(),
+        s.usage.io.parallel_reads,
+        s.usage.io.parallel_writes,
+        s.usage.io.striped_reads + s.usage.io.striped_writes,
+    );
+    match (&s.report, &s.error) {
+        (Some(r), _) => {
+            print!(", {} passes", r.passes);
+            if r.verified {
+                print!(", verified");
+            }
+            println!();
+        }
+        (None, Some(e)) => println!(" — {e}"),
+        (None, None) => println!(),
+    }
+}

@@ -2,7 +2,7 @@
 //! flavours (see DESIGN.md for the full cost table).
 //!
 //! 1. **Run formation**: each memoryload streams through the shared
-//!    [`PassEngine`](pdm::PassEngine) — striped reads, in-memory sort,
+//!    [`PassEngine`] — striped reads, in-memory sort,
 //!    striped writes back as a sorted run of `M` records — one pass,
 //!    `2N/BD` parallel I/Os. In [`pdm::ServiceMode::Threaded`] the
 //!    engine overlaps the reads of memoryload *k+1* with the sort of
@@ -10,7 +10,7 @@
 //! 2. **Merge passes**: groups of up to `F` consecutive runs are
 //!    merged, where `F` depends on the [`MergeStrategy`]. A leftover
 //!    group of a *single* run is never copied: it stays where it is
-//!    (zero I/O) and [`Run::portion`] records which portion it lives
+//!    (zero I/O) and `Run::portion` records which portion it lives
 //!    in for the next pass.
 //!
 //! # Merge strategies

@@ -9,16 +9,27 @@ pub enum PdmError {
     Config(String),
     /// An injected fault fired on the given disk during the given
     /// parallel I/O operation (see [`crate::fault`]).
-    Fault { op: u64, disk: usize },
+    Fault {
+        /// Zero-based parallel I/O operation number the fault fired on.
+        op: u64,
+        /// Disk index the fault was injected against.
+        disk: usize,
+    },
     /// A request addressed a block outside the disk.
     OutOfRange {
+        /// Disk index the request addressed.
         disk: usize,
+        /// The out-of-range block slot.
         slot: usize,
+        /// The disk's capacity in block slots.
         slots_per_disk: usize,
     },
     /// More than one block was addressed on a single disk within one
     /// parallel I/O operation.
-    DuplicateDisk { disk: usize },
+    DuplicateDisk {
+        /// The disk addressed more than once.
+        disk: usize,
+    },
     /// An independent (non-striped) access was attempted while the
     /// system is restricted to striped I/O.
     StripedOnly,
@@ -37,15 +48,30 @@ pub enum PdmError {
     /// was injected ([`crate::fault::FaultPlan::disconnect_at`]). The
     /// operation that observed the break fails; buffers still return
     /// to the pool.
-    Disconnected { disk: usize },
+    Disconnected {
+        /// The disk whose transport link broke.
+        disk: usize,
+    },
     /// The worker at the far end of a transport speaks a different
     /// wire-protocol version ([`crate::proto::PROTO_VERSION`]); the
     /// connection is refused during the handshake, before any data
     /// moves.
     ProtocolVersion {
+        /// The disk whose worker was refused.
         disk: usize,
+        /// The version this side speaks.
         expected: u32,
+        /// The version the worker announced.
         actual: u32,
+    },
+    /// The owning job was cancelled while waiting for (or before
+    /// requesting) a fair-share grant ([`crate::sched`]): the
+    /// operation is refused before it is serviced or charged, and the
+    /// error unwinds the job's pass through the engine's abort path
+    /// with every buffer recycled.
+    Cancelled {
+        /// The cancelled job's identifier ([`crate::sched::JobId`]).
+        job: u64,
     },
     /// A real-file backend I/O failure.
     Io(String),
@@ -123,6 +149,7 @@ impl fmt::Display for PdmError {
                 f,
                 "disk {disk} worker speaks wire-protocol version {actual}, expected {expected}"
             ),
+            PdmError::Cancelled { job } => write!(f, "job {job} cancelled"),
             PdmError::Io(msg) => write!(f, "backend I/O error: {msg}"),
         }
     }

@@ -32,6 +32,8 @@
 //! assert_eq!(sys.stats().parallel_ios(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod backend;
 pub mod config;
 pub mod engine;
@@ -42,6 +44,7 @@ pub mod memory;
 pub mod parallel;
 pub mod proto;
 pub mod record;
+pub mod sched;
 pub mod stats;
 pub mod system;
 pub mod tempdir;
@@ -56,6 +59,7 @@ pub use layout::Layout;
 pub use memory::{permute_in_place, Memory};
 pub use parallel::Transport;
 pub use record::{ByteRecord, Record, TaggedRecord};
+pub use sched::{FairCore, FairScheduler, JobId, JobUsage, SchedHandle};
 pub use stats::{IoStats, MsgStats};
 pub use system::{
     Backend, BlockRef, BufferPoolStats, DiskSystem, ReadTicket, ServiceMode, WriteTicket,

@@ -130,8 +130,10 @@ pub trait Transport<R: Record>: Send {
 }
 
 /// Answers `cmd` with [`PdmError::Disconnected`], returning its buffer
-/// through the completion so the caller's pool can recycle it.
-pub(crate) fn fail_disconnected<R: Record>(cmd: Cmd<R>, disk: usize) {
+/// through the completion so the caller's pool can recycle it. Public
+/// so out-of-crate [`Transport`] implementations (the service's disk
+/// farm) can honour the severed-link contract.
+pub fn fail_disconnected<R: Record>(cmd: Cmd<R>, disk: usize) {
     match cmd {
         Cmd::Read { buf, idx, done, .. } | Cmd::Write { buf, idx, done, .. } => {
             let _ = done.send(Completion {

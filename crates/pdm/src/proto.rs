@@ -74,33 +74,60 @@ const HELLO_OK: u8 = 0;
 const HELLO_BAD_VERSION: u8 = 1;
 const HELLO_BAD_GEOMETRY: u8 = 2;
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Appends a little-endian `u32` to a frame under construction.
+///
+/// The `put_*` helpers, [`begin_frame`]/[`end_frame`], [`Take`], and
+/// [`read_frame`] are the reusable framing toolkit: higher-level
+/// protocols (the job service's control plane) build their own message
+/// sets on the same conventions.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u64` to a frame under construction.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Reserves the length prefix; pair with [`end_frame`].
-fn begin_frame(out: &mut Vec<u8>) -> usize {
+/// Reserves the length prefix of a new frame, returning the position
+/// to hand [`end_frame`] once the body is appended.
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
     let at = out.len();
     out.extend_from_slice(&[0u8; FRAME_HEADER]);
     at
 }
 
-/// Backpatches the length prefix reserved at `at`.
-fn end_frame(out: &mut [u8], at: usize) {
+/// Backpatches the length prefix reserved at `at` by [`begin_frame`].
+pub fn end_frame(out: &mut [u8], at: usize) {
     let len = (out.len() - at - FRAME_HEADER) as u32;
     out[at..at + FRAME_HEADER].copy_from_slice(&len.to_le_bytes());
 }
 
+/// Reads one frame body into `buf`, returning the total wire bytes
+/// consumed (header included). Refuses frames over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl std::io::Read, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+    let mut hdr = [0u8; FRAME_HEADER];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds protocol maximum"),
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(FRAME_HEADER + len)
+}
+
 /// A cursor over a frame body that turns truncation into a typed
 /// error instead of a panic.
-struct Take<'a>(&'a [u8]);
+#[derive(Debug)]
+pub struct Take<'a>(pub &'a [u8]);
 
 impl<'a> Take<'a> {
-    fn u8(&mut self) -> Result<u8> {
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8> {
         let (&b, rest) = self
             .0
             .split_first()
@@ -109,15 +136,18 @@ impl<'a> Take<'a> {
         Ok(b)
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+    /// Consumes exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.0.len() < n {
             return Err(PdmError::Io("truncated protocol frame".into()));
         }
@@ -126,7 +156,8 @@ impl<'a> Take<'a> {
         Ok(head)
     }
 
-    fn rest(self) -> &'a [u8] {
+    /// Consumes the remainder of the body.
+    pub fn rest(self) -> &'a [u8] {
         self.0
     }
 }
@@ -246,11 +277,19 @@ pub fn decode_hello_reply(body: &[u8], expected_version: u32) -> Result<()> {
 #[derive(Debug, PartialEq, Eq)]
 pub enum Request<'a> {
     /// Read block `slot`; echo `idx` in the reply.
-    Read { idx: u64, slot: u64 },
+    Read {
+        /// Caller's operation index, echoed verbatim in the reply.
+        idx: u64,
+        /// Block slot to read.
+        slot: u64,
+    },
     /// Write `payload` (one block of bytes) to `slot`.
     Write {
+        /// Caller's operation index, echoed verbatim in the reply.
         idx: u64,
+        /// Block slot to write.
         slot: u64,
+        /// One block of serialized record bytes.
         payload: &'a [u8],
     },
     /// Shut the worker down.

@@ -1,0 +1,561 @@
+//! Fair-shared disk bandwidth for concurrent jobs.
+//!
+//! One disk array, many tenants: the permutation service admits K
+//! concurrent jobs against the same D disks, and something must decide
+//! whose parallel I/O goes next. This module is that something — a
+//! **deficit round-robin** (DRR) scheduler in the style of dslab's
+//! fair-sharing throughput model, split into two layers:
+//!
+//! * [`FairCore`] — the pure scheduling state machine. Jobs register,
+//!   post pending requests (cost = blocks touched, i.e. per-disk
+//!   I/Os), and the core decides grants: each *visit* in round-robin
+//!   order tops a job's **deficit** up by one `quantum` of blocks, the
+//!   job spends deficit while its requests fit, and unspent deficit
+//!   carries to its next visit (so a request larger than one quantum
+//!   is never starved — the classic DRR guarantee). A job visited with
+//!   nothing pending forfeits its deficit: bandwidth is never reserved
+//!   for an idle tenant, which keeps the discipline work-conserving.
+//!   With a quantum of one memoryload of blocks (`M/B`), K backlogged
+//!   jobs interleave at memoryload granularity and each sees `~1/K` of
+//!   the aggregate bandwidth; the core is synchronization-free so the
+//!   fairness property tests drive it deterministically.
+//! * [`FairScheduler`] — the blocking wrapper the live service uses:
+//!   an `Arc`-shared condvar queue whose [`SchedHandle::acquire`]
+//!   parks the calling job thread until the core grants its request
+//!   (or the job is cancelled, which surfaces as
+//!   [`PdmError::Cancelled`] and unwinds the job's pass with full
+//!   buffer-pool hygiene).
+//!
+//! Every grant is charged to the owning job's [`JobUsage`] ledger —
+//! per-disk block counts in the style of
+//! [`crate::timing::TimingTracker`]'s per-disk busy sums, plus an
+//! [`IoStats`] broken down read/write and striped/independent — so
+//! per-job accounting is *exact*: a job's ledger equals the
+//! [`IoStats`] its own [`crate::system::DiskSystem`] reports
+//! ([`crate::system::DiskSystem::set_governor`] consults the scheduler
+//! on the admission path of every counted operation, before the I/O is
+//! serviced or charged).
+
+use crate::error::{PdmError, Result};
+use crate::stats::IoStats;
+use crate::system::BlockRef;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Identifier of a job admitted to the scheduler (assigned by the
+/// service's admission queue; unique for the lifetime of the service).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {}", self.0)
+    }
+}
+
+/// Per-job charged usage: the scheduler's ledger of what each tenant
+/// actually consumed of the shared array.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobUsage {
+    /// Parallel I/Os granted to the job, classified exactly as
+    /// [`crate::system::DiskSystem`] charges its own [`IoStats`].
+    pub io: IoStats,
+    /// Blocks transferred per disk (index = disk), the per-disk
+    /// accounting analogous to the timing tracker's busy sums.
+    pub blocks_per_disk: Vec<u64>,
+}
+
+impl JobUsage {
+    /// Total blocks charged across all disks.
+    pub fn blocks(&self) -> u64 {
+        self.io.blocks_read + self.io.blocks_written
+    }
+
+    fn charge(&mut self, disks: impl Iterator<Item = usize>, is_read: bool, striped: bool) {
+        let mut blocks = 0u64;
+        for d in disks {
+            if d >= self.blocks_per_disk.len() {
+                self.blocks_per_disk.resize(d + 1, 0);
+            }
+            self.blocks_per_disk[d] += 1;
+            blocks += 1;
+        }
+        if is_read {
+            self.io.parallel_reads += 1;
+            self.io.blocks_read += blocks;
+            if striped {
+                self.io.striped_reads += 1;
+            }
+        } else {
+            self.io.parallel_writes += 1;
+            self.io.blocks_written += blocks;
+            if striped {
+                self.io.striped_writes += 1;
+            }
+        }
+    }
+}
+
+/// Per-job scheduling state inside the core.
+#[derive(Debug)]
+struct JobSched {
+    /// Unspent grant budget, in blocks. Topped up by one quantum per
+    /// round-robin visit; carries across visits while the job stays
+    /// backlogged (the "deficit" of deficit round-robin).
+    deficit: u64,
+    /// The job's one outstanding request, in blocks (a job thread
+    /// issues parallel I/Os one at a time, so at most one is pending).
+    pending: Option<u64>,
+    /// Set by [`FairCore::cancel`]; the next request (or the pending
+    /// one, once its thread observes the flag) fails.
+    cancelled: bool,
+    /// Everything granted so far.
+    usage: JobUsage,
+}
+
+/// The pure deficit-round-robin state machine (see the module docs).
+/// Deterministic and synchronization-free: the property tests drive it
+/// directly, the live service wraps it in [`FairScheduler`].
+#[derive(Debug)]
+pub struct FairCore {
+    quantum: u64,
+    jobs: BTreeMap<u64, JobSched>,
+    /// Round-robin visiting order (registration order).
+    order: Vec<u64>,
+    /// The job currently holding the visit, if any.
+    turn: Option<u64>,
+}
+
+impl FairCore {
+    /// A core granting `quantum` blocks of budget per round-robin
+    /// visit. One memoryload of blocks (`M/B`) gives the
+    /// memoryload-granular interleave the service uses; the quantum is
+    /// clamped to at least 1.
+    pub fn new(quantum: u64) -> Self {
+        FairCore {
+            quantum: quantum.max(1),
+            jobs: BTreeMap::new(),
+            order: Vec::new(),
+            turn: None,
+        }
+    }
+
+    /// The per-visit budget top-up, in blocks.
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Number of registered jobs.
+    pub fn registered(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Adds a job to the round-robin ring with an empty ledger and zero
+    /// deficit. Registering an already-registered job is a no-op.
+    pub fn register(&mut self, job: JobId) {
+        self.jobs.entry(job.0).or_insert_with(|| {
+            self.order.push(job.0);
+            JobSched {
+                deficit: 0,
+                pending: None,
+                cancelled: false,
+                usage: JobUsage::default(),
+            }
+        });
+    }
+
+    /// Removes a job, returning its final ledger. Any pending request
+    /// is discarded; the visit moves on.
+    pub fn unregister(&mut self, job: JobId) -> Option<JobUsage> {
+        let state = self.jobs.remove(&job.0)?;
+        self.order.retain(|&j| j != job.0);
+        if self.turn == Some(job.0) {
+            self.turn = None;
+        }
+        Some(state.usage)
+    }
+
+    /// Marks a job cancelled; its pending and future requests are
+    /// refused (the blocking wrapper surfaces
+    /// [`PdmError::Cancelled`]).
+    pub fn cancel(&mut self, job: JobId) {
+        if let Some(j) = self.jobs.get_mut(&job.0) {
+            j.cancelled = true;
+        }
+    }
+
+    /// Whether a job has been cancelled.
+    pub fn is_cancelled(&self, job: JobId) -> bool {
+        self.jobs.get(&job.0).is_some_and(|j| j.cancelled)
+    }
+
+    /// Whether a job is registered.
+    pub fn contains(&self, job: JobId) -> bool {
+        self.jobs.contains_key(&job.0)
+    }
+
+    /// Posts the job's one outstanding request for `blocks` per-disk
+    /// I/Os. Idempotent while the request is pending.
+    pub fn request(&mut self, job: JobId, blocks: u64) {
+        if let Some(j) = self.jobs.get_mut(&job.0) {
+            j.pending = Some(blocks);
+        }
+    }
+
+    /// Withdraws the job's pending request (cancellation path).
+    pub fn clear_request(&mut self, job: JobId) {
+        if let Some(j) = self.jobs.get_mut(&job.0) {
+            j.pending = None;
+        }
+    }
+
+    /// Decides whether `job`'s pending request is granted *now* under
+    /// the DRR discipline. On `true` the request is consumed and its
+    /// cost deducted from the job's deficit; on `false` the caller
+    /// must wait (another job's grant is ready, or nothing is
+    /// pending). Any caller may invoke this for its own job after any
+    /// state change — the visit bookkeeping is advanced lazily inside.
+    pub fn try_grant(&mut self, job: JobId) -> bool {
+        loop {
+            // Establish a valid visit: the turn must rest on a job
+            // with a pending request. A turn job that went idle
+            // forfeits its deficit (work-conserving, no reservation).
+            let turn_pending = self
+                .turn
+                .and_then(|t| self.jobs.get(&t))
+                .is_some_and(|j| j.pending.is_some());
+            if !turn_pending && !self.advance(true) {
+                return false; // nothing pending anywhere
+            }
+            let t = self.turn.expect("advance established a turn");
+            let js = self.jobs.get_mut(&t).expect("turn job is registered");
+            let cost = js.pending.expect("turn job has a pending request");
+            if js.deficit >= cost {
+                if t != job.0 {
+                    return false; // someone else's grant is ready
+                }
+                js.deficit -= cost;
+                js.pending = None;
+                return true;
+            }
+            // Visit over: the deficit carries (DRR's no-starvation
+            // guarantee for requests larger than one quantum) and the
+            // next backlogged job gets the quantum.
+            self.advance(false);
+        }
+    }
+
+    /// Moves the visit to the next backlogged job after the current
+    /// turn, topping its deficit up by one quantum. `reset_old` zeroes
+    /// the outgoing job's deficit (used when it was skipped for being
+    /// idle). Returns `false` when no job has a pending request.
+    fn advance(&mut self, reset_old: bool) -> bool {
+        if reset_old {
+            if let Some(j) = self.turn.and_then(|t| self.jobs.get_mut(&t)) {
+                j.deficit = 0;
+            }
+        }
+        if self.order.is_empty() {
+            self.turn = None;
+            return false;
+        }
+        let start = match self
+            .turn
+            .and_then(|t| self.order.iter().position(|&j| j == t))
+        {
+            Some(pos) => pos + 1,
+            None => 0,
+        };
+        for i in 0..self.order.len() {
+            let cand = self.order[(start + i) % self.order.len()];
+            if self.jobs[&cand].pending.is_some() {
+                self.turn = Some(cand);
+                let j = self.jobs.get_mut(&cand).expect("candidate is registered");
+                j.deficit = j.deficit.saturating_add(self.quantum);
+                return true;
+            }
+        }
+        self.turn = None;
+        false
+    }
+
+    /// Charges a granted request to the job's ledger. The blocking
+    /// wrapper calls this with the real disk list at grant time; the
+    /// property tests call it to mirror what they granted.
+    pub fn charge(
+        &mut self,
+        job: JobId,
+        disks: impl Iterator<Item = usize>,
+        is_read: bool,
+        striped: bool,
+    ) {
+        if let Some(j) = self.jobs.get_mut(&job.0) {
+            j.usage.charge(disks, is_read, striped);
+        }
+    }
+
+    /// The job's charged usage so far.
+    pub fn usage(&self, job: JobId) -> Option<&JobUsage> {
+        self.jobs.get(&job.0).map(|j| &j.usage)
+    }
+
+    /// Snapshot of every registered job's ledger.
+    pub fn usages(&self) -> Vec<(JobId, JobUsage)> {
+        self.jobs
+            .iter()
+            .map(|(&id, j)| (JobId(id), j.usage.clone()))
+            .collect()
+    }
+}
+
+/// The blocking fair scheduler shared by the service's job threads:
+/// [`FairCore`] behind a mutex, with a condvar waking parked
+/// requesters whenever a grant, cancellation, or membership change
+/// could unblock them.
+#[derive(Debug)]
+pub struct FairScheduler {
+    core: Mutex<FairCore>,
+    cv: Condvar,
+}
+
+impl FairScheduler {
+    /// A shareable scheduler granting `quantum` blocks per visit.
+    pub fn new(quantum: u64) -> Arc<FairScheduler> {
+        Arc::new(FairScheduler {
+            core: Mutex::new(FairCore::new(quantum)),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FairCore> {
+        self.core.lock().expect("scheduler lock poisoned")
+    }
+
+    /// Registers a job and returns the handle its
+    /// [`crate::system::DiskSystem`] installs as governor
+    /// ([`crate::system::DiskSystem::set_governor`]).
+    pub fn register(self: &Arc<Self>, job: JobId) -> SchedHandle {
+        self.lock().register(job);
+        self.cv.notify_all();
+        SchedHandle {
+            sched: Arc::clone(self),
+            job,
+        }
+    }
+
+    /// Removes a job (idempotent), returning its final ledger and
+    /// waking anyone its departure unblocks.
+    pub fn unregister(&self, job: JobId) -> Option<JobUsage> {
+        let usage = self.lock().unregister(job);
+        self.cv.notify_all();
+        usage
+    }
+
+    /// Cancels a job: its blocked or next [`SchedHandle::acquire`]
+    /// fails with [`PdmError::Cancelled`], which unwinds the job's
+    /// pass through the engine's error path (buffers recycled).
+    pub fn cancel(&self, job: JobId) {
+        self.lock().cancel(job);
+        self.cv.notify_all();
+    }
+
+    /// The job's charged usage so far (`None` once unregistered).
+    pub fn usage(&self, job: JobId) -> Option<JobUsage> {
+        self.lock().usage(job).cloned()
+    }
+
+    /// Snapshot of every registered job's ledger.
+    pub fn usages(&self) -> Vec<(JobId, JobUsage)> {
+        self.lock().usages()
+    }
+
+    /// Number of registered jobs.
+    pub fn registered(&self) -> usize {
+        self.lock().registered()
+    }
+}
+
+/// One job's handle onto the shared [`FairScheduler`]: the governor a
+/// per-job [`crate::system::DiskSystem`] consults before every counted
+/// parallel I/O.
+#[derive(Clone, Debug)]
+pub struct SchedHandle {
+    sched: Arc<FairScheduler>,
+    job: JobId,
+}
+
+impl SchedHandle {
+    /// The job this handle charges.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The scheduler this handle belongs to.
+    pub fn scheduler(&self) -> &Arc<FairScheduler> {
+        &self.sched
+    }
+
+    /// Blocks until the scheduler grants this job a parallel I/O over
+    /// `refs`, then charges it to the job's ledger. Returns
+    /// [`PdmError::Cancelled`] if the job is cancelled before the
+    /// grant; a handle whose job is no longer registered passes
+    /// through ungoverned (teardown races resolve to progress, not
+    /// deadlock).
+    pub fn acquire(&self, refs: &[BlockRef], is_read: bool, striped: bool) -> Result<()> {
+        let cost = refs.len() as u64;
+        if cost == 0 {
+            return Ok(());
+        }
+        let mut core = self.sched.lock();
+        if !core.contains(self.job) {
+            return Ok(());
+        }
+        if core.is_cancelled(self.job) {
+            drop(core);
+            self.sched.cv.notify_all();
+            return Err(PdmError::Cancelled { job: self.job.0 });
+        }
+        // Single-tenant fast path: round-robin over one job always
+        // grants immediately, so skip the request/grant/notify
+        // machinery (which costs a condvar broadcast per parallel I/O)
+        // and just charge the ledger. Keeps the lone-tenant overhead
+        // near zero; contended tenants take the full DRR path below.
+        if core.registered() == 1 {
+            core.charge(self.job, refs.iter().map(|r| r.disk), is_read, striped);
+            return Ok(());
+        }
+        core.request(self.job, cost);
+        loop {
+            if core.is_cancelled(self.job) {
+                core.clear_request(self.job);
+                drop(core);
+                self.sched.cv.notify_all();
+                return Err(PdmError::Cancelled { job: self.job.0 });
+            }
+            if core.try_grant(self.job) {
+                core.charge(self.job, refs.iter().map(|r| r.disk), is_read, striped);
+                drop(core);
+                // The grant may have moved the visit; wake the next
+                // eligible requester.
+                self.sched.cv.notify_all();
+                return Ok(());
+            }
+            core = self.sched.cv.wait(core).expect("scheduler lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(core: &mut FairCore, job: JobId, cost: u64) -> bool {
+        core.request(job, cost);
+        if core.try_grant(job) {
+            core.charge(job, 0..cost as usize, true, false);
+            true
+        } else {
+            core.clear_request(job);
+            false
+        }
+    }
+
+    #[test]
+    fn single_job_is_always_granted() {
+        let mut core = FairCore::new(8);
+        core.register(JobId(1));
+        for _ in 0..100 {
+            assert!(drain(&mut core, JobId(1), 3));
+        }
+        assert_eq!(core.usage(JobId(1)).unwrap().blocks(), 300);
+    }
+
+    #[test]
+    fn two_backlogged_jobs_alternate_within_a_quantum() {
+        let mut core = FairCore::new(4);
+        core.register(JobId(1));
+        core.register(JobId(2));
+        // Both always backlogged with cost-2 requests: grants must
+        // alternate in runs of one quantum (two grants) each.
+        core.request(JobId(1), 2);
+        core.request(JobId(2), 2);
+        let mut grants = Vec::new();
+        for _ in 0..16 {
+            for id in [JobId(1), JobId(2)] {
+                if core.try_grant(id) {
+                    grants.push(id.0);
+                    core.request(id, 2); // immediately backlogged again
+                }
+            }
+        }
+        let ones = grants.iter().filter(|&&g| g == 1).count();
+        let twos = grants.iter().filter(|&&g| g == 2).count();
+        assert!(
+            (ones as i64 - twos as i64).unsigned_abs() * 2 <= core.quantum(),
+            "grants {grants:?} drifted beyond one quantum"
+        );
+    }
+
+    #[test]
+    fn oversized_request_is_not_starved() {
+        let mut core = FairCore::new(4);
+        core.register(JobId(1));
+        core.register(JobId(2));
+        // Job 1 wants 10 blocks per request (2.5 quanta); job 2 wants
+        // 1. The deficit must accumulate across visits until job 1's
+        // request fits — it can lag, but never forever.
+        core.request(JobId(1), 10);
+        core.request(JobId(2), 1);
+        let mut big_grants = 0;
+        for _ in 0..100 {
+            if core.try_grant(JobId(1)) {
+                big_grants += 1;
+                core.request(JobId(1), 10);
+            }
+            if core.try_grant(JobId(2)) {
+                core.request(JobId(2), 1);
+            }
+        }
+        assert!(big_grants >= 10, "large requests starved: {big_grants}");
+    }
+
+    #[test]
+    fn idle_job_forfeits_deficit_and_blocks_nobody() {
+        let mut core = FairCore::new(4);
+        core.register(JobId(1));
+        core.register(JobId(2));
+        // Job 2 never requests; job 1 must be granted every time.
+        for _ in 0..50 {
+            assert!(drain(&mut core, JobId(1), 4));
+        }
+        assert_eq!(core.usage(JobId(2)).unwrap().blocks(), 0);
+    }
+
+    #[test]
+    fn cancel_refuses_and_unregister_returns_ledger() {
+        let mut core = FairCore::new(4);
+        core.register(JobId(7));
+        assert!(drain(&mut core, JobId(7), 2));
+        core.cancel(JobId(7));
+        assert!(core.is_cancelled(JobId(7)));
+        let usage = core.unregister(JobId(7)).unwrap();
+        assert_eq!(usage.blocks(), 2);
+        assert_eq!(usage.io.parallel_reads, 1);
+        assert!(core.unregister(JobId(7)).is_none());
+    }
+
+    #[test]
+    fn ledger_classifies_reads_writes_striped() {
+        let mut u = JobUsage::default();
+        u.charge(0..4, true, true);
+        u.charge(0..2, false, false);
+        assert_eq!(u.io.parallel_reads, 1);
+        assert_eq!(u.io.striped_reads, 1);
+        assert_eq!(u.io.parallel_writes, 1);
+        assert_eq!(u.io.striped_writes, 0);
+        assert_eq!(u.io.blocks_read, 4);
+        assert_eq!(u.io.blocks_written, 2);
+        assert_eq!(u.blocks_per_disk, vec![2, 2, 1, 1]);
+    }
+}

@@ -44,6 +44,7 @@ use crate::fault::FaultPlan;
 use crate::layout::Layout;
 use crate::parallel::{threaded_read, threaded_write, Cmd, Completion, DiskPool, Transport};
 use crate::record::{ByteRecord, Record};
+use crate::sched::SchedHandle;
 use crate::stats::{IoStats, MsgStats};
 use crate::timing::{TimingModel, TimingTracker};
 use crate::transport::{spawn_uds_workers, SimNetTransport, TransportConfig};
@@ -270,6 +271,11 @@ pub struct DiskSystem<R: Record> {
     /// Simulated network time accrued by a SimNet transport
     /// ([`DiskSystem::network_ms`]).
     net_ms: f64,
+    /// When set, every counted operation first acquires a grant from
+    /// the fair-share scheduler this handle belongs to
+    /// ([`DiskSystem::set_governor`]); the grant is charged to the
+    /// handle's job.
+    governor: Option<SchedHandle>,
     /// Reused duplicate-disk scratch for per-operation validation, so
     /// the admission path allocates nothing in steady state.
     seen_disks: Vec<bool>,
@@ -295,6 +301,7 @@ impl<R: Record> DiskSystem<R> {
             timing: None,
             striped_only: false,
             remote: false,
+            governor: None,
             net_ms: 0.0,
             seen_disks: vec![false; geom.disks()],
             stripe_scratch: Vec::with_capacity(geom.disks()),
@@ -318,10 +325,32 @@ impl<R: Record> DiskSystem<R> {
             timing: None,
             striped_only: false,
             remote: true,
+            governor: None,
             net_ms: 0.0,
             seen_disks: vec![false; geom.disks()],
             stripe_scratch: Vec::with_capacity(geom.disks()),
         }
+    }
+
+    /// A system whose disks live behind caller-supplied transports,
+    /// one per disk in disk order. This is the multi-tenant
+    /// construction: a service leases each job its own `DiskSystem`
+    /// whose transports all feed the *same* shared per-disk workers,
+    /// so the physical disks are contended while accounting and
+    /// buffer pools stay per-job. Starts in lockstep
+    /// ([`ServiceMode::Serial`]); [`DiskSystem::set_threaded`]
+    /// switches to the pipelined pool.
+    ///
+    /// The transports' workers may expose more slots than this
+    /// system's `portions × N/BD`; the system still validates every
+    /// request against its own geometry, so a job cannot address
+    /// outside its lease.
+    pub fn new_from_transports(
+        geom: Geometry,
+        portions: usize,
+        transports: Vec<Box<dyn Transport<R>>>,
+    ) -> Self {
+        Self::from_remote(geom, portions, DiskPool::from_transports(transports))
     }
 
     /// A memory-backed system with `portions` address spaces of `N/BD`
@@ -504,6 +533,23 @@ impl<R: Record> DiskSystem<R> {
         self.striped_only = on;
     }
 
+    /// Installs (or removes) a fair-share governor: every counted
+    /// parallel I/O first blocks in [`SchedHandle::acquire`] until the
+    /// shared [`crate::sched::FairScheduler`] grants it, and the grant
+    /// is charged to the handle's job. The multi-tenant service
+    /// installs one per leased job system; solo systems leave it
+    /// unset. Cancelling the job makes the next acquisition fail with
+    /// [`PdmError::Cancelled`], before the operation is serviced or
+    /// charged.
+    pub fn set_governor(&mut self, governor: Option<SchedHandle>) {
+        self.governor = governor;
+    }
+
+    /// The installed fair-share governor, if any.
+    pub fn governor(&self) -> Option<&SchedHandle> {
+        self.governor.as_ref()
+    }
+
     fn validate(&mut self, refs: impl Iterator<Item = BlockRef>) -> Result<()> {
         let slots_per_disk = self.slots_per_disk();
         let disks = self.geom.disks();
@@ -529,12 +575,18 @@ impl<R: Record> DiskSystem<R> {
         refs.len() == self.geom.disks() && refs.windows(2).all(|w| w[0].slot == w[1].slot)
     }
 
-    /// Validation common to every counted operation: model checks, then
+    /// Validation common to every counted operation: model checks,
+    /// then the fair-share governor (which may block until the
+    /// scheduler grants the I/O, or refuse it on cancellation), then
     /// the fault plan (which consumes one operation number).
-    fn admit(&mut self, refs: &[BlockRef]) -> Result<()> {
+    fn admit(&mut self, refs: &[BlockRef], is_read: bool) -> Result<()> {
         self.validate(refs.iter().copied())?;
-        if self.striped_only && !self.is_striped(refs) {
+        let striped = self.is_striped(refs);
+        if self.striped_only && !striped {
             return Err(PdmError::StripedOnly);
+        }
+        if let Some(g) = &self.governor {
+            g.acquire(refs, is_read, striped)?;
         }
         let op = self.op_counter;
         self.op_counter += 1;
@@ -596,7 +648,7 @@ impl<R: Record> DiskSystem<R> {
             "read_blocks_into requires {} records of output space",
             refs.len() * block
         );
-        self.admit(refs)?;
+        self.admit(refs, true)?;
         let lockstep = matches!(self.service, Service::Lockstep(_));
         match &mut self.service {
             Service::Serial(units) => {
@@ -679,7 +731,7 @@ impl<R: Record> DiskSystem<R> {
             );
         }
         let refs: Vec<BlockRef> = writes.iter().map(|(r, _)| *r).collect();
-        self.admit(&refs)?;
+        self.admit(&refs, false)?;
         let lockstep = matches!(self.service, Service::Lockstep(_));
         match &mut self.service {
             Service::Serial(units) => {
@@ -765,7 +817,7 @@ impl<R: Record> DiskSystem<R> {
                 count: 0,
             });
         }
-        self.admit(refs)?;
+        self.admit(refs, true)?;
         self.charge(refs, true);
         let count = refs.len();
         match &mut self.service {
@@ -948,7 +1000,7 @@ impl<R: Record> DiskSystem<R> {
             "begin_write requires {} records of data",
             refs.len() * block
         );
-        self.admit(refs)?;
+        self.admit(refs, false)?;
         self.charge(refs, false);
         match &mut self.service {
             Service::Pooled(pool) => {

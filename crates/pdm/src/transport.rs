@@ -35,12 +35,12 @@
 use crate::backend::DiskUnit;
 use crate::error::{PdmError, Result};
 use crate::parallel::{fail_disconnected, Cmd, Completion, Transport};
-use crate::proto::{self, Worker, FRAME_HEADER, MAX_FRAME, PROTO_VERSION};
+use crate::proto::{self, read_frame, Worker, FRAME_HEADER, PROTO_VERSION};
 use crate::record::{ByteRecord, Record};
 use crate::stats::MsgStats;
 use crate::system::Backend;
 use crate::tempdir::TempDir;
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Write};
 use std::marker::PhantomData;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -109,26 +109,6 @@ impl SimNetModel {
     pub fn transfer_ms(&self, bytes: u64) -> f64 {
         self.latency_ms + bytes as f64 / (self.mb_per_s * 1000.0)
     }
-}
-
-// ---------------------------------------------------------------------
-// Frame I/O.
-
-/// Reads one frame body into `buf`, returning the total wire bytes
-/// consumed (header included).
-fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> std::io::Result<usize> {
-    let mut hdr = [0u8; FRAME_HEADER];
-    r.read_exact(&mut hdr)?;
-    let len = u32::from_le_bytes(hdr) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds protocol maximum"),
-        ));
-    }
-    buf.resize(len, 0);
-    r.read_exact(buf)?;
-    Ok(FRAME_HEADER + len)
 }
 
 // ---------------------------------------------------------------------

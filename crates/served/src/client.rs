@@ -1,0 +1,140 @@
+//! The job-service client: a blocking, one-request-at-a-time
+//! connection speaking [`crate::proto`] over a Unix socket.
+//!
+//! Used by the CLI's `submit` / `status` / `cancel` subcommands, the
+//! bench's load generator, and the service tests. Connecting retries
+//! briefly so a client started alongside the server (the CI smoke
+//! test, the bench harness) does not race the bind.
+
+use crate::core::{JobStatus, Overview, Reject};
+use crate::job::JobSpec;
+use crate::proto;
+use pdm::proto::read_frame;
+use pdm::{PdmError, Result};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A connected job-service client.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+}
+
+fn io(e: std::io::Error) -> PdmError {
+    PdmError::Io(format!("job service connection: {e}"))
+}
+
+impl Client {
+    /// Connects and completes the handshake, retrying the connect for
+    /// up to `timeout` while the server comes up.
+    pub fn connect_with_retry(path: &Path, timeout: Duration) -> Result<Client> {
+        let deadline = Instant::now() + timeout;
+        let stream = loop {
+            match UnixStream::connect(path) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(io(e)),
+            }
+        };
+        let mut client = Client {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+        };
+        client.out.clear();
+        proto::encode_hello(&mut client.out);
+        client.flush_out()?;
+        client.read_reply_frame()?;
+        proto::decode_hello_reply(&client.buf)?;
+        Ok(client)
+    }
+
+    /// Connects with a 2-second retry window.
+    pub fn connect(path: &Path) -> Result<Client> {
+        Self::connect_with_retry(path, Duration::from_secs(2))
+    }
+
+    fn flush_out(&mut self) -> Result<()> {
+        self.stream.write_all(&self.out).map_err(io)
+    }
+
+    fn read_reply_frame(&mut self) -> Result<()> {
+        read_frame(&mut self.stream, &mut self.buf).map_err(io)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self) -> Result<proto::Reply> {
+        self.flush_out()?;
+        self.read_reply_frame()?;
+        proto::decode_reply(&self.buf)
+    }
+
+    /// Submits a job; `Ok(Ok(id))` on acceptance, `Ok(Err(reject))`
+    /// when the server refused it, `Err` on transport trouble.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<std::result::Result<u64, Reject>> {
+        self.out.clear();
+        proto::encode_submit(&mut self.out, spec);
+        match self.round_trip()? {
+            proto::Reply::Submitted { id } => Ok(Ok(id)),
+            proto::Reply::Rejected(reject) => Ok(Err(reject)),
+            other => Err(unexpected("submit", &other)),
+        }
+    }
+
+    /// Fetches a job snapshot; `None` when the server has never seen
+    /// the id.
+    pub fn status(&mut self, id: u64) -> Result<Option<JobStatus>> {
+        self.out.clear();
+        proto::encode_id_request(&mut self.out, proto::STATUS, id);
+        match self.round_trip()? {
+            proto::Reply::Job(status) => Ok(Some(status)),
+            proto::Reply::UnknownJob { .. } => Ok(None),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Fetches the aggregate service overview.
+    pub fn overview(&mut self) -> Result<Overview> {
+        self.out.clear();
+        proto::encode_id_request(&mut self.out, proto::STATUS, 0);
+        match self.round_trip()? {
+            proto::Reply::Overview(o) => Ok(o),
+            other => Err(unexpected("overview", &other)),
+        }
+    }
+
+    /// Requests cancellation; true when it landed on a live job.
+    pub fn cancel(&mut self, id: u64) -> Result<bool> {
+        self.out.clear();
+        proto::encode_id_request(&mut self.out, proto::CANCEL, id);
+        match self.round_trip()? {
+            proto::Reply::Cancelled { live } => Ok(live),
+            other => Err(unexpected("cancel", &other)),
+        }
+    }
+
+    /// Blocks until the job is terminal and returns its final
+    /// snapshot; `None` for unknown ids.
+    pub fn result(&mut self, id: u64) -> Result<Option<JobStatus>> {
+        self.out.clear();
+        proto::encode_id_request(&mut self.out, proto::RESULT, id);
+        match self.round_trip()? {
+            proto::Reply::Job(status) => Ok(Some(status)),
+            proto::Reply::UnknownJob { .. } => Ok(None),
+            other => Err(unexpected("result", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, reply: &proto::Reply) -> PdmError {
+    PdmError::Io(format!(
+        "job service: unexpected reply to {what}: {reply:?}"
+    ))
+}

@@ -1,0 +1,621 @@
+//! The in-process service: admission, execution, fair sharing,
+//! cancellation, and per-job accounting — everything the socket
+//! layer ([`crate::server`]) needs, with no wire format attached, so
+//! the whole multi-tenant discipline is testable in one process.
+//!
+//! A [`ServiceCore`] owns the shared [`DiskFarm`] and one
+//! [`FairScheduler`]. [`ServiceCore::submit`] validates a
+//! [`JobSpec`] against the farm's fixed block size and disk count,
+//! applies the *typed* admission policy ([`Reject`]) and queues the
+//! job FIFO. The pump admits queued jobs while executor slots and
+//! disk capacity last — capacity admission is head-of-line, so a big
+//! job waits rather than being overtaken forever — and each admitted
+//! job runs on its own thread against its own leased
+//! [`pdm::DiskSystem`] whose governor meters every parallel I/O
+//! through the scheduler. K backlogged jobs therefore each see about
+//! `1/K` of the array's bandwidth, and each job's charged ledger
+//! ([`pdm::JobUsage`]) equals its own disk system's counters exactly.
+
+use crate::farm::DiskFarm;
+use crate::job::{run_job, JobKind, JobReport, JobSpec};
+use pdm::{FairScheduler, Geometry, JobId, JobUsage, PdmError};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Fixed properties of one service instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Records per block on every farm disk.
+    pub block: usize,
+    /// Number of disks.
+    pub disks: usize,
+    /// Block slots per disk (the farm's capacity).
+    pub slots: usize,
+    /// Scheduler quantum in blocks per round-robin turn. One
+    /// memoryload of blocks (`M/B` for the typical job memory) gives
+    /// memoryload-granular interleaving.
+    pub quantum: u64,
+    /// Maximum queued-but-not-yet-admitted jobs before submits are
+    /// refused with [`Reject::QueueFull`].
+    pub max_queue: usize,
+    /// Maximum concurrently running jobs.
+    pub max_running: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            block: 1 << 4,
+            disks: 1 << 3,
+            slots: 1 << 12,
+            quantum: 1 << 6,
+            max_queue: 64,
+            max_running: 8,
+        }
+    }
+}
+
+/// Why a submit was refused — typed, so clients can react instead of
+/// parsing strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// The admission queue is at [`ServiceConfig::max_queue`].
+    QueueFull,
+    /// The spec does not form a valid PDM geometry with the farm's
+    /// block size and disk count.
+    BadGeometry(String),
+    /// The job could never fit: it needs more slots per disk than the
+    /// farm has in total.
+    TooLarge {
+        /// Slots per disk the job needs.
+        need: usize,
+        /// Slots per disk the farm has.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::QueueFull => write!(f, "admission queue full"),
+            Reject::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+            Reject::TooLarge { need, have } => {
+                write!(
+                    f,
+                    "job too large: needs {need} slots per disk, farm has {have}"
+                )
+            }
+        }
+    }
+}
+
+/// Lifecycle of a job inside the service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for an executor slot or disk capacity.
+    Queued,
+    /// Running on its own executor thread.
+    Running,
+    /// Finished successfully; the report is available.
+    Done,
+    /// Failed; the error string is available.
+    Failed,
+    /// Cancelled (by request or because its client vanished).
+    Cancelled,
+}
+
+impl JobState {
+    /// True for states no transition leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Stable lowercase name, used on the wire and in the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Wire tag (one byte).
+    pub fn code(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+        }
+    }
+
+    /// Inverse of [`JobState::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            4 => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+/// A point-in-time view of one job, as reported to clients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobStatus {
+    /// The job's id.
+    pub id: u64,
+    /// Workload kind.
+    pub kind: JobKind,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Disk bandwidth charged to the job so far (live while running,
+    /// final afterwards).
+    pub usage: JobUsage,
+    /// The report, once [`JobState::Done`].
+    pub report: Option<JobReport>,
+    /// The failure, once [`JobState::Failed`] (or a note for
+    /// [`JobState::Cancelled`]).
+    pub error: Option<String>,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    /// Connection that owns the job (None once submitted in-process
+    /// or after the client detaches cleanly).
+    owner: Option<u64>,
+    /// Final ledger, captured when the job leaves the scheduler.
+    usage: JobUsage,
+    report: Option<JobReport>,
+    error: Option<String>,
+    cancel_requested: bool,
+}
+
+struct CoreState {
+    next_id: u64,
+    jobs: BTreeMap<u64, JobEntry>,
+    queue: VecDeque<u64>,
+    running: usize,
+    stopping: bool,
+}
+
+/// Aggregate service counters for the overview status.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Overview {
+    /// Jobs waiting for admission.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Jobs in a terminal state still in the table.
+    pub finished: usize,
+    /// Unleased block slots per disk.
+    pub free_slots: usize,
+}
+
+/// The multi-tenant job service (in-process half). Create with
+/// [`ServiceCore::new`], share via [`Arc`].
+pub struct ServiceCore {
+    farm: DiskFarm<u64>,
+    sched: Arc<FairScheduler>,
+    config: ServiceConfig,
+    state: Mutex<CoreState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for ServiceCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceCore")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceCore {
+    /// Builds the farm and scheduler and starts with an empty table.
+    pub fn new(config: ServiceConfig) -> Arc<Self> {
+        Arc::new(ServiceCore {
+            farm: DiskFarm::new(config.block, config.disks, config.slots),
+            sched: FairScheduler::new(config.quantum),
+            config,
+            state: Mutex::new(CoreState {
+                next_id: 1,
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                running: 0,
+                stopping: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The service's fixed configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Validates `spec`, queues it, and starts it if a slot is free.
+    /// Returns the new job id, or a typed [`Reject`]. `owner` ties
+    /// the job to a client connection for disconnect cleanup.
+    pub fn submit(self: &Arc<Self>, spec: JobSpec, owner: Option<u64>) -> Result<u64, Reject> {
+        let geom = Geometry::new(
+            spec.records,
+            self.config.block,
+            self.config.disks,
+            spec.memory,
+        )
+        .map_err(|e| Reject::BadGeometry(e.to_string()))?;
+        let need = spec.kind.portions() * geom.stripes();
+        if need > self.config.slots {
+            return Err(Reject::TooLarge {
+                need,
+                have: self.config.slots,
+            });
+        }
+        let id = {
+            let mut st = self.state.lock().expect("service state poisoned");
+            if st.stopping {
+                return Err(Reject::QueueFull);
+            }
+            if st.queue.len() >= self.config.max_queue {
+                return Err(Reject::QueueFull);
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            st.jobs.insert(
+                id,
+                JobEntry {
+                    spec,
+                    state: JobState::Queued,
+                    owner,
+                    usage: JobUsage::default(),
+                    report: None,
+                    error: None,
+                    cancel_requested: false,
+                },
+            );
+            st.queue.push_back(id);
+            id
+        };
+        self.pump();
+        Ok(id)
+    }
+
+    /// Admits queued jobs while executor slots and disk capacity
+    /// last. Capacity admission is head-of-line: when the front job's
+    /// lease fails, the pump stops rather than skipping ahead, so a
+    /// large job cannot starve behind a stream of small ones.
+    fn pump(self: &Arc<Self>) {
+        loop {
+            let (id, spec) = {
+                let mut st = self.state.lock().expect("service state poisoned");
+                if st.stopping || st.running >= self.config.max_running {
+                    return;
+                }
+                let Some(&id) = st.queue.front() else { return };
+                let entry = st.jobs.get_mut(&id).expect("queued job in table");
+                if entry.cancel_requested {
+                    // Cancelled before it ever ran: terminal now.
+                    st.queue.pop_front();
+                    let entry = st.jobs.get_mut(&id).expect("queued job in table");
+                    entry.state = JobState::Cancelled;
+                    entry.error = Some("cancelled before start".into());
+                    self.cv.notify_all();
+                    continue;
+                }
+                (id, entry.spec)
+            };
+            // Lease outside the state lock (allocator has its own).
+            let geom = Geometry::new(
+                spec.records,
+                self.config.block,
+                self.config.disks,
+                spec.memory,
+            )
+            .expect("validated at submit");
+            let leased = self.farm.lease_system(geom, spec.kind.portions());
+            let mut st = self.state.lock().expect("service state poisoned");
+            if st.queue.front() != Some(&id) {
+                // Someone else pumped this job meanwhile; retry.
+                continue;
+            }
+            let Ok((mut sys, lease)) = leased else {
+                // No capacity: leave the job at the head, try again
+                // when a running job releases its lease.
+                return;
+            };
+            st.queue.pop_front();
+            st.running += 1;
+            st.jobs.get_mut(&id).expect("admitted job in table").state = JobState::Running;
+            drop(st);
+
+            let handle = self.sched.register(JobId(id));
+            sys.set_governor(Some(handle));
+            sys.set_threaded(true);
+            let core = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("pdm-job-{id}"))
+                .spawn(move || {
+                    let result = run_job(&mut sys, &spec);
+                    drop(sys); // release the transports, then the slots
+                    drop(lease);
+                    core.finish(id, result);
+                })
+                .expect("spawn job executor");
+        }
+    }
+
+    /// Records a job's terminal state and admits successors.
+    fn finish(self: &Arc<Self>, id: u64, result: Result<JobReport, PdmError>) {
+        let usage = self.sched.unregister(JobId(id)).unwrap_or_default();
+        {
+            let mut st = self.state.lock().expect("service state poisoned");
+            st.running -= 1;
+            let entry = st.jobs.get_mut(&id).expect("finished job in table");
+            entry.usage = usage;
+            match result {
+                Ok(report) => {
+                    entry.state = JobState::Done;
+                    entry.report = Some(report);
+                }
+                Err(PdmError::Cancelled { .. }) => {
+                    entry.state = JobState::Cancelled;
+                    entry.error = Some("cancelled while running".into());
+                }
+                Err(e) => {
+                    entry.state = JobState::Failed;
+                    entry.error = Some(e.to_string());
+                }
+            }
+            self.cv.notify_all();
+        }
+        self.pump();
+    }
+
+    /// Requests cancellation. Queued jobs become terminal at the next
+    /// pump; running jobs are refused their next I/O grant and unwind
+    /// as [`PdmError::Cancelled`]. Unknown ids are ignored. Returns
+    /// whether the job existed and was not already terminal.
+    pub fn cancel(self: &Arc<Self>, id: u64) -> bool {
+        let live = {
+            let mut st = self.state.lock().expect("service state poisoned");
+            match st.jobs.get_mut(&id) {
+                Some(entry) if !entry.state.is_terminal() => {
+                    entry.cancel_requested = true;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if live {
+            self.sched.cancel(JobId(id));
+            self.pump(); // sweep it out of the queue if it never ran
+        }
+        live
+    }
+
+    /// Cancels every live job owned by connection `conn` — the
+    /// crashed-client cleanup path. Returns the cancelled ids.
+    pub fn cancel_owned_by(self: &Arc<Self>, conn: u64) -> Vec<u64> {
+        let ids: Vec<u64> = {
+            let st = self.state.lock().expect("service state poisoned");
+            st.jobs
+                .iter()
+                .filter(|(_, e)| e.owner == Some(conn) && !e.state.is_terminal())
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        ids.iter().filter(|&&id| self.cancel(id)).copied().collect()
+    }
+
+    /// A point-in-time view of job `id`, or `None` if unknown.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let st = self.state.lock().expect("service state poisoned");
+        let entry = st.jobs.get(&id)?;
+        let usage = if entry.state.is_terminal() {
+            entry.usage.clone()
+        } else {
+            // Live ledger while queued (zero) or running.
+            self.sched.usage(JobId(id)).unwrap_or_default()
+        };
+        Some(JobStatus {
+            id,
+            kind: entry.spec.kind,
+            state: entry.state,
+            usage,
+            report: entry.report,
+            error: entry.error.clone(),
+        })
+    }
+
+    /// Aggregate counters across the whole service.
+    pub fn overview(&self) -> Overview {
+        let st = self.state.lock().expect("service state poisoned");
+        let finished = st.jobs.values().filter(|e| e.state.is_terminal()).count();
+        Overview {
+            queued: st.queue.len(),
+            running: st.running,
+            finished,
+            free_slots: self.farm.free_slots(),
+        }
+    }
+
+    /// Blocks until job `id` reaches a terminal state, then returns
+    /// its final status (`None` for unknown ids).
+    pub fn wait(&self, id: u64) -> Option<JobStatus> {
+        let mut st = self.state.lock().expect("service state poisoned");
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(entry) if entry.state.is_terminal() => break,
+                Some(_) => st = self.cv.wait(st).expect("service state poisoned"),
+            }
+        }
+        drop(st);
+        self.status(id)
+    }
+
+    /// Stops admitting, cancels everything live, and waits for the
+    /// executors to drain. Idempotent; called by the server on exit
+    /// (and by drop-order safety nets in tests).
+    pub fn shutdown(self: &Arc<Self>) {
+        let ids: Vec<u64> = {
+            let mut st = self.state.lock().expect("service state poisoned");
+            st.stopping = true;
+            st.jobs
+                .iter()
+                .filter(|(_, e)| !e.state.is_terminal())
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in ids {
+            self.cancel(id);
+        }
+        let mut st = self.state.lock().expect("service state poisoned");
+        while st.running > 0 {
+            st = self.cv.wait(st).expect("service state poisoned");
+        }
+        // Queued leftovers (cancel marked them; pump is stopped).
+        let leftover: Vec<u64> = st.queue.drain(..).collect();
+        for id in leftover {
+            let entry = st.jobs.get_mut(&id).expect("queued job in table");
+            if !entry.state.is_terminal() {
+                entry.state = JobState::Cancelled;
+                entry.error = Some("service shutting down".into());
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_core() -> Arc<ServiceCore> {
+        ServiceCore::new(ServiceConfig {
+            block: 4,
+            disks: 4,
+            slots: 1 << 10,
+            quantum: 16,
+            max_queue: 8,
+            max_running: 4,
+        })
+    }
+
+    fn quick_spec(seed: u64) -> JobSpec {
+        let mut s = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, seed);
+        s.verify = true;
+        s
+    }
+
+    #[test]
+    fn submit_runs_to_done_with_exact_accounting() {
+        let core = quick_core();
+        let id = core.submit(quick_spec(1), None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        let report = status.report.unwrap();
+        assert!(report.verified);
+        // The scheduler's charged ledger equals the job's own counters.
+        assert_eq!(status.usage.io, report.io);
+        core.shutdown();
+    }
+
+    #[test]
+    fn four_equal_jobs_equal_charges() {
+        let core = quick_core();
+        let ids: Vec<u64> = (0..4)
+            .map(|_| core.submit(quick_spec(9), None).unwrap())
+            .collect();
+        let charges: Vec<u64> = ids
+            .iter()
+            .map(|&id| {
+                let s = core.wait(id).unwrap();
+                assert_eq!(s.state, JobState::Done);
+                assert_eq!(s.usage.io, s.report.unwrap().io, "exact ledger");
+                s.usage.io.parallel_ios()
+            })
+            .collect();
+        assert!(
+            charges.windows(2).all(|w| w[0] == w[1]),
+            "equal jobs, equal charge: {charges:?}"
+        );
+        core.shutdown();
+    }
+
+    #[test]
+    fn queue_full_and_bad_geometry_are_typed() {
+        let core = ServiceCore::new(ServiceConfig {
+            max_queue: 0,
+            max_running: 0, // nothing ever admits: pure queue test
+            ..ServiceConfig::default()
+        });
+        assert_eq!(
+            core.submit(JobSpec::new(JobKind::Sort, 1 << 12, 1 << 8, 0), None),
+            Err(Reject::QueueFull)
+        );
+        // 8 records in 16-record blocks is not a geometry.
+        match core.submit(JobSpec::new(JobKind::Sort, 8, 1 << 8, 0), None) {
+            Err(Reject::BadGeometry(_)) => {}
+            other => panic!("expected BadGeometry, got {other:?}"),
+        }
+        match core.submit(JobSpec::new(JobKind::Sort, 1 << 24, 1 << 8, 0), None) {
+            Err(Reject::TooLarge { need, have }) => assert!(need > have),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_queued_and_running() {
+        let core = ServiceCore::new(ServiceConfig {
+            block: 4,
+            disks: 4,
+            slots: 1 << 10,
+            quantum: 16,
+            max_queue: 8,
+            max_running: 1, // second job stays queued
+        });
+        let a = core.submit(quick_spec(1), None).unwrap();
+        let b = core.submit(quick_spec(2), None).unwrap();
+        assert!(core.cancel(b), "queued job is cancellable");
+        let sb = core.wait(b).unwrap();
+        assert_eq!(sb.state, JobState::Cancelled);
+        let sa = core.wait(a).unwrap();
+        assert_eq!(sa.state, JobState::Done, "head job unaffected");
+        assert!(!core.cancel(a), "terminal jobs are not cancellable");
+        assert!(!core.cancel(999), "unknown ids are not cancellable");
+        core.shutdown();
+    }
+
+    #[test]
+    fn owner_disconnect_cancels_only_their_jobs() {
+        let core = quick_core();
+        // Big enough that cancellation lands mid-run.
+        let mine = core
+            .submit(JobSpec::new(JobKind::Sort, 1 << 13, 1 << 8, 3), Some(7))
+            .unwrap();
+        let theirs = core.submit(quick_spec(4), Some(8)).unwrap();
+        let swept = core.cancel_owned_by(7);
+        assert!(swept.contains(&mine) || core.wait(mine).unwrap().state.is_terminal());
+        let s = core.wait(mine).unwrap();
+        assert!(
+            matches!(s.state, JobState::Cancelled | JobState::Done),
+            "cancel raced job completion: {:?}",
+            s.state
+        );
+        assert_eq!(core.wait(theirs).unwrap().state, JobState::Done);
+        // Nothing leaked: all capacity back, nobody left registered.
+        core.shutdown();
+        assert_eq!(core.overview().free_slots, core.config().slots);
+        assert_eq!(core.overview().running, 0);
+    }
+}

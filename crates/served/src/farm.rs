@@ -1,0 +1,442 @@
+//! The shared disk array behind the service: one worker thread per
+//! physical disk, many tenant [`DiskSystem`]s.
+//!
+//! A [`DiskFarm`] owns `D` memory-backed disk workers, each a thread
+//! looping over a command channel exactly like
+//! [`pdm::parallel::InProcTransport`]'s service loop — except that
+//! *many* clients hold senders to the same worker. Each admitted job
+//! leases a contiguous range of block slots on every disk
+//! ([`DiskFarm::lease_system`]) and gets its own
+//! [`DiskSystem`] whose per-disk `FarmTransport`s translate the
+//! job's slot addresses into the leased range and feed the shared
+//! workers. The disks are therefore physically contended — commands
+//! from all tenants interleave in each worker's queue — while
+//! validation, buffer pools, and [`pdm::IoStats`] accounting stay
+//! per-job, and the fair-share governor
+//! ([`pdm::system::DiskSystem::set_governor`]) decides whose command
+//! is *submitted* next.
+
+use pdm::backend::{DiskUnit, MemDisk};
+use pdm::parallel::{fail_disconnected, Cmd};
+use pdm::record::Record;
+use pdm::{DiskSystem, Geometry, MsgStats, PdmError, Result, Transport};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// First-fit allocator over one disk's block slots (every disk is
+/// sliced identically, so one allocator covers the whole array).
+#[derive(Debug)]
+struct SlotAllocator {
+    /// Free ranges `(base, len)`, sorted by base, coalesced.
+    free: Vec<(usize, usize)>,
+}
+
+impl SlotAllocator {
+    fn new(slots: usize) -> Self {
+        SlotAllocator {
+            free: vec![(0, slots)],
+        }
+    }
+
+    fn alloc(&mut self, len: usize) -> Option<usize> {
+        let i = self.free.iter().position(|&(_, l)| l >= len)?;
+        let (base, l) = self.free[i];
+        if l == len {
+            self.free.remove(i);
+        } else {
+            self.free[i] = (base + len, l - len);
+        }
+        Some(base)
+    }
+
+    fn release(&mut self, base: usize, len: usize) {
+        let at = self
+            .free
+            .iter()
+            .position(|&(b, _)| b > base)
+            .unwrap_or(self.free.len());
+        self.free.insert(at, (base, len));
+        // Coalesce neighbours.
+        let mut i = at.saturating_sub(1);
+        while i + 1 < self.free.len() {
+            let (b0, l0) = self.free[i];
+            let (b1, l1) = self.free[i + 1];
+            if b0 + l0 == b1 {
+                self.free[i] = (b0, l0 + l1);
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn free_slots(&self) -> usize {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+}
+
+/// A leased slot range on every disk of the farm; released back to the
+/// allocator on drop. Keep it alive as long as the leased
+/// [`DiskSystem`] is in use.
+#[derive(Debug)]
+pub struct Lease {
+    alloc: Arc<Mutex<SlotAllocator>>,
+    base: usize,
+    len: usize,
+}
+
+impl Lease {
+    /// First leased slot on each disk.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Leased slots per disk.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the lease covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.alloc
+            .lock()
+            .expect("slot allocator poisoned")
+            .release(self.base, self.len);
+    }
+}
+
+/// The shared disk array: `D` worker threads, each owning one
+/// memory-backed disk of `slots` blocks, serving commands from every
+/// tenant's `FarmTransport`s.
+#[derive(Debug)]
+pub struct DiskFarm<R: Record> {
+    block: usize,
+    slots: usize,
+    senders: Vec<Sender<Cmd<R>>>,
+    workers: Vec<JoinHandle<()>>,
+    alloc: Arc<Mutex<SlotAllocator>>,
+}
+
+impl<R: Record> DiskFarm<R> {
+    /// Spawns `disks` workers, each with a memory-backed disk of
+    /// `slots` blocks of `block` records.
+    pub fn new(block: usize, disks: usize, slots: usize) -> Self {
+        let mut senders = Vec::with_capacity(disks);
+        let mut workers = Vec::with_capacity(disks);
+        for d in 0..disks {
+            let (tx, rx) = channel::<Cmd<R>>();
+            let mut unit: Box<dyn DiskUnit<R>> = Box::new(MemDisk::new(block, slots));
+            let handle = std::thread::Builder::new()
+                .name(format!("pdm-farm-{d}"))
+                .spawn(move || {
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            Cmd::Read {
+                                slot,
+                                mut buf,
+                                idx,
+                                done,
+                            } => {
+                                let result = unit.read(slot, &mut buf);
+                                let _ = done.send(pdm::parallel::Completion {
+                                    idx,
+                                    disk: d,
+                                    buf,
+                                    result,
+                                });
+                            }
+                            Cmd::Write {
+                                slot,
+                                buf,
+                                idx,
+                                done,
+                            } => {
+                                let result = unit.write(slot, &buf);
+                                let _ = done.send(pdm::parallel::Completion {
+                                    idx,
+                                    disk: d,
+                                    buf,
+                                    result,
+                                });
+                            }
+                            // A farm worker serves many tenants: one
+                            // tenant's stop must not kill the disk.
+                            // (FarmTransport never forwards Stop; this
+                            // is defense in depth.)
+                            Cmd::Stop => {}
+                        }
+                    }
+                })
+                .expect("spawn farm worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        DiskFarm {
+            block,
+            slots,
+            senders,
+            workers,
+            alloc: Arc::new(Mutex::new(SlotAllocator::new(slots))),
+        }
+    }
+
+    /// Records per block on every farm disk.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Block slots per disk.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Currently unleased slots per disk.
+    pub fn free_slots(&self) -> usize {
+        self.alloc
+            .lock()
+            .expect("slot allocator poisoned")
+            .free_slots()
+    }
+
+    /// Leases a job its own [`DiskSystem`] over the shared disks:
+    /// `portions × N/BD` slots per disk, allocated contiguously. The
+    /// geometry's block size and disk count must match the farm's;
+    /// the lease fails with a typed [`PdmError::Config`] when the
+    /// farm lacks capacity. Drop the system before the [`Lease`].
+    pub fn lease_system(&self, geom: Geometry, portions: usize) -> Result<(DiskSystem<R>, Lease)> {
+        if geom.block() != self.block {
+            return Err(PdmError::Config(format!(
+                "job block size {} does not match the farm's {}",
+                geom.block(),
+                self.block
+            )));
+        }
+        if geom.disks() != self.senders.len() {
+            return Err(PdmError::Config(format!(
+                "job wants {} disks, the farm has {}",
+                geom.disks(),
+                self.senders.len()
+            )));
+        }
+        let need = portions * geom.stripes();
+        let base = {
+            let mut alloc = self.alloc.lock().expect("slot allocator poisoned");
+            alloc.alloc(need).ok_or_else(|| {
+                PdmError::Config(format!(
+                    "farm capacity exhausted: need {need} slots per disk, {} free of {}",
+                    alloc.free_slots(),
+                    self.slots
+                ))
+            })?
+        };
+        let lease = Lease {
+            alloc: Arc::clone(&self.alloc),
+            base,
+            len: need,
+        };
+        let transports: Vec<Box<dyn Transport<R>>> = self
+            .senders
+            .iter()
+            .enumerate()
+            .map(|(d, tx)| {
+                Box::new(FarmTransport {
+                    disk: d,
+                    base,
+                    tx: tx.clone(),
+                    dead: false,
+                }) as Box<dyn Transport<R>>
+            })
+            .collect();
+        Ok((
+            DiskSystem::new_from_transports(geom, portions, transports),
+            lease,
+        ))
+    }
+}
+
+impl<R: Record> Drop for DiskFarm<R> {
+    fn drop(&mut self) {
+        // Workers exit when the last sender drops; outstanding leases
+        // hold sender clones, so drop the farm only after every leased
+        // system is gone (the service core guarantees this).
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One disk's transport for one tenant: forwards commands to the
+/// shared worker with the job's slot addresses translated into its
+/// leased range. Message counters stay zero (commands cross by
+/// reference, like the in-process transport); a severed transport
+/// answers everything with [`PdmError::Disconnected`], buffer
+/// attached, per the [`Transport`] contract.
+struct FarmTransport<R: Record> {
+    disk: usize,
+    base: usize,
+    tx: Sender<Cmd<R>>,
+    dead: bool,
+}
+
+impl<R: Record> Transport<R> for FarmTransport<R> {
+    fn disk(&self) -> usize {
+        self.disk
+    }
+
+    fn submit(&mut self, cmd: Cmd<R>) {
+        if self.dead {
+            fail_disconnected(cmd, self.disk);
+            return;
+        }
+        let cmd = match cmd {
+            Cmd::Read {
+                slot,
+                buf,
+                idx,
+                done,
+            } => Cmd::Read {
+                slot: slot + self.base,
+                buf,
+                idx,
+                done,
+            },
+            Cmd::Write {
+                slot,
+                buf,
+                idx,
+                done,
+            } => Cmd::Write {
+                slot: slot + self.base,
+                buf,
+                idx,
+                done,
+            },
+            // The shared worker outlives this tenant; swallow stops.
+            Cmd::Stop => return,
+        };
+        if let Err(send_err) = self.tx.send(cmd) {
+            self.dead = true;
+            fail_disconnected(send_err.0, self.disk);
+        }
+    }
+
+    fn message_stats(&self) -> MsgStats {
+        MsgStats::default()
+    }
+
+    fn inject_disconnect(&mut self) {
+        self.dead = true;
+    }
+
+    fn shutdown(&mut self) -> Option<Box<dyn DiskUnit<R>>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_first_fit_and_coalesce() {
+        let mut a = SlotAllocator::new(100);
+        let x = a.alloc(30).unwrap();
+        let y = a.alloc(30).unwrap();
+        let z = a.alloc(30).unwrap();
+        assert_eq!((x, y, z), (0, 30, 60));
+        assert_eq!(a.free_slots(), 10);
+        assert!(a.alloc(20).is_none());
+        a.release(y, 30);
+        assert_eq!(a.free_slots(), 40);
+        // Freed middle range is reused.
+        assert_eq!(a.alloc(30).unwrap(), 30);
+        a.release(0, 30);
+        a.release(30, 30);
+        a.release(60, 30);
+        assert_eq!(a.free_slots(), 100);
+        assert_eq!(a.free.len(), 1, "ranges coalesce: {:?}", a.free);
+    }
+
+    #[test]
+    fn two_leases_are_disjoint_and_round_trip() {
+        let farm: DiskFarm<u64> = DiskFarm::new(2, 4, 64);
+        let geom = Geometry::new(64, 2, 4, 32).unwrap();
+        let (mut a, _la) = farm.lease_system(geom, 2).unwrap();
+        let (mut b, _lb) = farm.lease_system(geom, 2).unwrap();
+        assert_eq!(farm.free_slots(), 64 - 2 * 2 * geom.stripes());
+        a.load_records(0, &(0..64).collect::<Vec<_>>());
+        b.load_records(0, &(1000..1064).collect::<Vec<_>>());
+        assert_eq!(a.read_stripe(0).unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(b.read_stripe(0).unwrap(), (1000..1008).collect::<Vec<_>>());
+        // Threaded split-phase against the shared workers.
+        a.set_threaded(true);
+        let t = a.begin_read(&[pdm::BlockRef { disk: 0, slot: 0 }]).unwrap();
+        let mut out = vec![0u64; 2];
+        a.finish_read(t, &mut out).unwrap();
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(a.buffer_pool_stats().outstanding, 0);
+        drop(a);
+        drop(b);
+        drop(_la);
+        drop(_lb);
+        assert_eq!(farm.free_slots(), 64);
+    }
+
+    #[test]
+    fn lease_capacity_exhaustion_is_typed() {
+        let farm: DiskFarm<u64> = DiskFarm::new(2, 4, 16);
+        let geom = Geometry::new(64, 2, 4, 32).unwrap(); // needs 2*8=16
+        let (_s, _l) = farm.lease_system(geom, 2).unwrap();
+        match farm.lease_system(geom, 2) {
+            Err(PdmError::Config(msg)) => assert!(msg.contains("capacity"), "{msg}"),
+            Err(other) => panic!("expected capacity error, got {other:?}"),
+            Ok(_) => panic!("expected capacity error, got a lease"),
+        }
+    }
+
+    #[test]
+    fn geometry_mismatch_is_refused() {
+        let farm: DiskFarm<u64> = DiskFarm::new(2, 4, 64);
+        let wrong_block = Geometry::new(64, 4, 4, 32).unwrap();
+        assert!(matches!(
+            farm.lease_system(wrong_block, 2),
+            Err(PdmError::Config(_))
+        ));
+        let wrong_disks = Geometry::new(64, 2, 8, 32).unwrap();
+        assert!(matches!(
+            farm.lease_system(wrong_disks, 2),
+            Err(PdmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_tenant_leaves_the_worker_alive() {
+        let farm: DiskFarm<u64> = DiskFarm::new(2, 2, 32);
+        let geom = Geometry::new(32, 2, 2, 16).unwrap();
+        let (mut a, _la) = farm.lease_system(geom, 2).unwrap();
+        let (mut b, _lb) = farm.lease_system(geom, 2).unwrap();
+        a.load_records(0, &(0..32).collect::<Vec<_>>());
+        b.load_records(0, &(0..32).collect::<Vec<_>>());
+        // Sever tenant a mid-life via the fault plan, PR 6 style.
+        a.set_faults(pdm::FaultPlan::new().disconnect_at(0, 0));
+        a.set_threaded(true);
+        let err = a.read_stripe(0);
+        assert!(err.is_err(), "severed link must surface");
+        assert_eq!(a.buffer_pool_stats().outstanding, 0, "pool hygiene");
+        // Tenant b is unaffected.
+        assert_eq!(b.read_stripe(0).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,313 @@
+//! Job specifications and the executor that runs one job to
+//! completion against a leased [`DiskSystem`].
+//!
+//! A [`JobSpec`] is everything a client sends: what to run
+//! ([`JobKind`]), the problem size (`records`, `memory` — block size
+//! and disk count are properties of the *server's* farm), a `seed`
+//! that makes the run deterministic, the merge strategy for
+//! sort-based kinds, and optional self-check and fault-injection
+//! switches. [`run_job`] is pure with respect to the service: it
+//! takes a disk system, runs the requested algorithm, verifies the
+//! output when asked, and reports passes and I/O. Cancellation and
+//! fair-sharing are invisible here — they arrive through the
+//! system's governor as [`PdmError::Cancelled`] from inside the
+//! algorithm.
+
+use bmmc::catalog::{random_bmmc, random_bpc};
+use bmmc::verify::{verify_permutation, VerifyOutcome};
+use bmmc::{perform_bmmc, BmmcError};
+use extsort::{general_permute_with, sort_by_key_with, MergeStrategy, SortConfig};
+use pdm::{DiskSystem, IoStats, PdmError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which permutation workload a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// A random nonsingular BMMC permutation (seeded), performed with
+    /// the paper's factor-and-execute algorithm.
+    Bmmc,
+    /// A random BPC permutation (seeded), same execution path.
+    Bpc,
+    /// External merge sort of a seeded shuffle of `0..N`.
+    Sort,
+    /// A uniformly random (seeded) general permutation, routed through
+    /// the sort-based fallback.
+    Permute,
+}
+
+impl JobKind {
+    /// Stable lowercase name, used on the wire and in the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Bmmc => "bmmc",
+            JobKind::Bpc => "bpc",
+            JobKind::Sort => "sort",
+            JobKind::Permute => "permute",
+        }
+    }
+
+    /// Wire tag (one byte).
+    pub fn code(self) -> u8 {
+        match self {
+            JobKind::Bmmc => 0,
+            JobKind::Bpc => 1,
+            JobKind::Sort => 2,
+            JobKind::Permute => 3,
+        }
+    }
+
+    /// Inverse of [`JobKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => JobKind::Bmmc,
+            1 => JobKind::Bpc,
+            2 => JobKind::Sort,
+            3 => JobKind::Permute,
+            _ => return None,
+        })
+    }
+
+    /// Parses the lowercase name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bmmc" => JobKind::Bmmc,
+            "bpc" => JobKind::Bpc,
+            "sort" => JobKind::Sort,
+            "permute" => JobKind::Permute,
+            _ => return None,
+        })
+    }
+
+    /// How many portions of the disk array this kind needs: BMMC/BPC
+    /// ping-pong between two portions; the sort paths also need two
+    /// (runs alternate portions between merge passes).
+    pub fn portions(self) -> usize {
+        2
+    }
+}
+
+/// Everything needed to run one job deterministically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Workload kind.
+    pub kind: JobKind,
+    /// Problem size `N` in records (power of two).
+    pub records: usize,
+    /// Memory size `M` in records (power of two); with the farm's
+    /// block size and disk count this completes the PDM geometry.
+    pub memory: usize,
+    /// Seed for the permutation / shuffle; same seed, same work.
+    pub seed: u64,
+    /// Merge strategy for the sort-based kinds (ignored by BMMC/BPC).
+    pub merge: MergeStrategy,
+    /// Scan the output after the run and fail the job on misplacement.
+    pub verify: bool,
+    /// Optional transport fault: sever the link to `disk` at parallel
+    /// I/O number `op` (PR 6's `disconnect_at` discipline), to prove
+    /// the service survives a mid-job disk crash.
+    pub fault: Option<(u64, usize)>,
+}
+
+impl JobSpec {
+    /// A spec with service defaults: verify off, single-buffered
+    /// merge, no fault.
+    pub fn new(kind: JobKind, records: usize, memory: usize, seed: u64) -> Self {
+        JobSpec {
+            kind,
+            records,
+            memory,
+            seed,
+            merge: MergeStrategy::SingleBuffered,
+            verify: false,
+            fault: None,
+        }
+    }
+}
+
+/// What a finished job reports back to its client.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobReport {
+    /// Passes over the data (algorithm steps, or sort passes).
+    pub passes: u64,
+    /// Total I/O the job performed (its own disk system's counters).
+    pub io: IoStats,
+    /// Whether the output was scanned and found correct (`false`
+    /// means verification was not requested — a misplacement fails
+    /// the job instead of reporting here).
+    pub verified: bool,
+}
+
+/// Flattens the bmmc crate's error into the service's [`PdmError`]
+/// space: disk-layer errors (including [`PdmError::Cancelled`]) pass
+/// through untouched so the service can classify them; planning
+/// errors become configuration errors.
+fn flatten(e: BmmcError) -> PdmError {
+    match e {
+        BmmcError::Pdm(e) => e,
+        other => PdmError::Config(other.to_string()),
+    }
+}
+
+/// Runs `spec` on `sys` (which must have `spec.kind.portions()`
+/// portions and a geometry matching the spec), returning the report
+/// or the first disk/validation error. Input data is generated and
+/// loaded here; the caller owns scheduling, cancellation, and
+/// accounting.
+pub fn run_job(sys: &mut DiskSystem<u64>, spec: &JobSpec) -> Result<JobReport, PdmError> {
+    let geom = sys.geometry();
+    let n = geom.records() as u64;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    if let Some((op, disk)) = spec.fault {
+        sys.set_faults(pdm::FaultPlan::new().disconnect_at(op, disk));
+    }
+    match spec.kind {
+        JobKind::Bmmc | JobKind::Bpc => {
+            let perm = if spec.kind == JobKind::Bmmc {
+                random_bmmc(&mut rng, geom.n())
+            } else {
+                random_bpc(&mut rng, geom.n())
+            };
+            sys.load_records(0, &(0..n).collect::<Vec<_>>());
+            let report = perform_bmmc(sys, &perm).map_err(flatten)?;
+            let verified = if spec.verify {
+                match verify_permutation(sys, report.final_portion, &perm, |&k| k)
+                    .map_err(flatten)?
+                {
+                    VerifyOutcome::Correct { .. } => true,
+                    VerifyOutcome::Misplaced { address, .. } => {
+                        return Err(PdmError::Config(format!(
+                            "verification failed: record misplaced at address {address}"
+                        )))
+                    }
+                }
+            } else {
+                false
+            };
+            Ok(JobReport {
+                passes: report.num_passes() as u64,
+                io: sys.stats(),
+                verified,
+            })
+        }
+        JobKind::Sort => {
+            let mut data: Vec<u64> = (0..n).collect();
+            data.shuffle(&mut rng);
+            sys.load_records(0, &data);
+            let report = sort_by_key_with(sys, |&k| k, SortConfig { merge: spec.merge })?;
+            let verified = if spec.verify {
+                let out = sys.dump_records(report.final_portion);
+                if let Some(addr) = out.iter().enumerate().find(|(i, &k)| k != *i as u64) {
+                    return Err(PdmError::Config(format!(
+                        "verification failed: key {} at sorted position {}",
+                        addr.1, addr.0
+                    )));
+                }
+                true
+            } else {
+                false
+            };
+            Ok(JobReport {
+                passes: report.passes as u64,
+                io: sys.stats(),
+                verified,
+            })
+        }
+        JobKind::Permute => {
+            let mut target: Vec<u64> = (0..n).collect();
+            target.shuffle(&mut rng);
+            sys.load_records(0, &(0..n).collect::<Vec<_>>());
+            let t: &[u64] = &target;
+            let report = general_permute_with(
+                sys,
+                |&k| k,
+                move |k| t[k as usize],
+                SortConfig { merge: spec.merge },
+            )?;
+            let verified = if spec.verify {
+                let out = sys.dump_records(report.final_portion);
+                for (src, &dst) in target.iter().enumerate() {
+                    if out[dst as usize] != src as u64 {
+                        return Err(PdmError::Config(format!(
+                            "verification failed: source {} not at target {}",
+                            src, dst
+                        )));
+                    }
+                }
+                true
+            } else {
+                false
+            };
+            Ok(JobReport {
+                passes: report.passes as u64,
+                io: sys.stats(),
+                verified,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::Geometry;
+
+    fn system(records: usize, memory: usize, portions: usize) -> DiskSystem<u64> {
+        let geom = Geometry::new(records, 4, 4, memory).unwrap();
+        DiskSystem::new_mem(geom, portions)
+    }
+
+    #[test]
+    fn all_kinds_run_and_verify() {
+        for kind in [JobKind::Bmmc, JobKind::Bpc, JobKind::Sort, JobKind::Permute] {
+            let mut sys = system(1 << 10, 1 << 6, kind.portions());
+            let mut spec = JobSpec::new(kind, 1 << 10, 1 << 6, 42);
+            spec.verify = true;
+            let report = run_job(&mut sys, &spec)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", kind.as_str()));
+            assert!(report.verified, "{}", kind.as_str());
+            assert!(report.passes >= 1);
+            assert!(report.io.parallel_ios() > 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_io_different_seed_same_size() {
+        let run = |seed| {
+            let mut sys = system(1 << 10, 1 << 6, 2);
+            run_job(
+                &mut sys,
+                &JobSpec::new(JobKind::Sort, 1 << 10, 1 << 6, seed),
+            )
+            .unwrap()
+            .io
+        };
+        assert_eq!(run(1), run(1), "deterministic");
+        // Sort cost depends only on N, M: equal work for equal sizes.
+        assert_eq!(run(1).parallel_ios(), run(2).parallel_ios());
+    }
+
+    #[test]
+    fn injected_disconnect_fails_the_job_cleanly() {
+        let mut sys = system(1 << 10, 1 << 6, 2);
+        let mut spec = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, 7);
+        spec.fault = Some((3, 1));
+        let err = run_job(&mut sys, &spec);
+        assert!(
+            matches!(err, Err(PdmError::Disconnected { .. })),
+            "got {err:?}"
+        );
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [JobKind::Bmmc, JobKind::Bpc, JobKind::Sort, JobKind::Permute] {
+            assert_eq!(JobKind::from_code(kind.code()), Some(kind));
+            assert_eq!(JobKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(JobKind::from_code(9), None);
+        assert_eq!(JobKind::parse("fft"), None);
+    }
+}

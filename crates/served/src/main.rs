@@ -1,0 +1,6 @@
+//! `pdm-served`: the multi-tenant permutation job service binary.
+//! All logic lives in [`pdm_served::server::served_main`].
+
+fn main() {
+    std::process::exit(pdm_served::server::served_main(std::env::args().skip(1)));
+}

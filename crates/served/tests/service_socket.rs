@@ -1,0 +1,167 @@
+//! End-to-end tests of the job service over a real Unix socket:
+//! handshake, submit/status/cancel/result round trips, typed
+//! rejection, and crashed-client cleanup.
+
+use pdm_served::client::Client;
+use pdm_served::core::{JobState, Reject, ServiceConfig, ServiceCore};
+use pdm_served::job::{JobKind, JobSpec};
+use pdm_served::server::serve_listener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn socket_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "pdm-served-test-{}-{tag}-{seq}.sock",
+        std::process::id()
+    ))
+}
+
+fn start(config: ServiceConfig, tag: &str) -> (Arc<ServiceCore>, PathBuf) {
+    let path = socket_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).expect("bind test socket");
+    let core = ServiceCore::new(config);
+    let served = Arc::clone(&core);
+    std::thread::Builder::new()
+        .name(format!("pdm-served-{tag}"))
+        .spawn(move || serve_listener(listener, served))
+        .expect("spawn server");
+    (core, path)
+}
+
+fn quick_config() -> ServiceConfig {
+    ServiceConfig {
+        block: 4,
+        disks: 4,
+        slots: 1 << 10,
+        quantum: 16,
+        max_queue: 8,
+        max_running: 4,
+    }
+}
+
+#[test]
+fn submit_result_status_cancel_over_the_socket() {
+    let (core, path) = start(quick_config(), "roundtrip");
+    let mut client = Client::connect(&path).expect("connect");
+
+    // A bad spec is refused with a typed reject, not a dead socket.
+    let bad = JobSpec::new(JobKind::Sort, 8, 1 << 6, 0);
+    match client.submit(&bad).expect("transport fine") {
+        Err(Reject::BadGeometry(_)) => {}
+        other => panic!("expected BadGeometry, got {other:?}"),
+    }
+
+    let mut spec = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, 5);
+    spec.verify = true;
+    let id = client.submit(&spec).expect("transport").expect("accepted");
+    let status = client.result(id).expect("transport").expect("known id");
+    assert_eq!(status.state, JobState::Done);
+    let report = status.report.expect("done jobs carry a report");
+    assert!(report.verified);
+    assert_eq!(status.usage.io, report.io, "ledger matches job counters");
+
+    // Status after the fact still works; unknown ids are typed.
+    let again = client.status(id).expect("transport").expect("known id");
+    assert_eq!(again.state, JobState::Done);
+    assert!(client.status(9999).expect("transport").is_none());
+    assert!(!client.cancel(id).expect("transport"), "terminal: not live");
+
+    let overview = client.overview().expect("transport");
+    assert_eq!(overview.running, 0);
+    assert_eq!(overview.finished, 1);
+    assert_eq!(overview.free_slots, core.config().slots);
+    core.shutdown();
+}
+
+#[test]
+fn two_concurrent_clients_share_the_array() {
+    let (core, path) = start(quick_config(), "pair");
+    let mut a = Client::connect(&path).expect("connect a");
+    let mut b = Client::connect(&path).expect("connect b");
+    let spec = JobSpec::new(JobKind::Bmmc, 1 << 12, 1 << 7, 11);
+    let ja = a.submit(&spec).unwrap().expect("a accepted");
+    let jb = b.submit(&spec).unwrap().expect("b accepted");
+    let sa = a.result(ja).unwrap().expect("known");
+    let sb = b.result(jb).unwrap().expect("known");
+    assert_eq!(sa.state, JobState::Done);
+    assert_eq!(sb.state, JobState::Done);
+    // Identical jobs: identical charged I/O, to the operation.
+    assert_eq!(sa.usage.io, sb.usage.io);
+    core.shutdown();
+}
+
+#[test]
+fn client_disconnect_cancels_its_running_job() {
+    let (core, path) = start(quick_config(), "disconnect");
+    let mut doomed = Client::connect(&path).expect("connect doomed");
+    let mut watcher = Client::connect(&path).expect("connect watcher");
+
+    // Big enough to still be running when the client vanishes.
+    let spec = JobSpec::new(JobKind::Sort, 1 << 13, 1 << 7, 3);
+    let id = doomed.submit(&spec).unwrap().expect("accepted");
+    drop(doomed); // crash: no CANCEL, no clean goodbye
+
+    // The sweep lands asynchronously; poll through the other client.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let final_state = loop {
+        let status = watcher.status(id).expect("transport").expect("known id");
+        if status.state.is_terminal() {
+            break status.state;
+        }
+        assert!(std::time::Instant::now() < deadline, "sweep never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        matches!(final_state, JobState::Cancelled | JobState::Done),
+        "cancel raced completion: {final_state:?}"
+    );
+
+    // All capacity is back and nothing is left running or leased.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let o = watcher.overview().expect("transport");
+        if o.running == 0 && o.free_slots == core.config().slots {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "capacity never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The watcher's own connection still works end to end.
+    let mut quick = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, 1);
+    quick.verify = true;
+    let qid = watcher.submit(&quick).unwrap().expect("accepted");
+    let s = watcher.result(qid).unwrap().expect("known");
+    assert_eq!(s.state, JobState::Done);
+    core.shutdown();
+}
+
+#[test]
+fn mid_job_disk_crash_fails_only_that_job() {
+    let (core, path) = start(quick_config(), "fault");
+    let mut client = Client::connect(&path).expect("connect");
+    let mut faulty = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, 21);
+    faulty.fault = Some((2, 1)); // sever disk 1 at parallel I/O 2
+    let healthy = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, 21);
+
+    let jf = client.submit(&faulty).unwrap().expect("accepted");
+    let jh = client.submit(&healthy).unwrap().expect("accepted");
+    let sf = client.result(jf).unwrap().expect("known");
+    let sh = client.result(jh).unwrap().expect("known");
+    assert_eq!(sf.state, JobState::Failed);
+    assert!(
+        sf.error.as_deref().unwrap_or("").contains("disconnected")
+            || sf.error.as_deref().unwrap_or("").contains("disk"),
+        "error names the disk trouble: {:?}",
+        sf.error
+    );
+    assert_eq!(sh.state, JobState::Done, "other tenants unaffected");
+    let o = client.overview().expect("transport");
+    assert_eq!(o.free_slots, core.config().slots, "fault leaks no lease");
+    core.shutdown();
+}
