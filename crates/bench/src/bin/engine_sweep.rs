@@ -25,6 +25,11 @@
 //! pass plans executed fused vs. unfused — the fused runs must charge
 //! strictly fewer parallel I/Os, exactly 2× fewer on fully-fusable
 //! chains, with identical final placement) and an **extsort** section.
+//! Since PR 8 a **recovery** section runs the same seeded BMMC
+//! permutation clean and under a ~1%-transient-fault plan with the
+//! retry layer engaged: placement, charged parallel I/Os, and the
+//! retry ledger are exact-gated, and `--baseline` requires recovered
+//! throughput ≥ 0.8× clean.
 //! Since PR 5 the extsort section sweeps all three merge strategies
 //! (single-buffered, double-buffered, and the forecasting
 //! block-granular merge whose fan-in `M/B − D − 1` closes the D× gap
@@ -78,7 +83,9 @@ use bmmc::passes::{execute_pass, reference, reference_permute};
 use bmmc::Bmmc;
 use bmmc_bench::json::Json;
 use extsort::{sort_by_key_with, MergeStrategy, SortConfig};
-use pdm::{Backend, DiskSystem, Geometry, MsgStats, ServiceMode, TransportConfig};
+use pdm::{
+    Backend, DiskSystem, FaultPlan, Geometry, MsgStats, RetryPolicy, ServiceMode, TransportConfig,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -666,6 +673,7 @@ fn run_service_sweep(reps: usize, baseline_mode: bool) -> Json {
         quantum: geom.blocks_per_memoryload() as u64,
         max_queue: 64,
         max_running: 8,
+        ..ServiceConfig::default()
     };
     eprintln!(
         "== service sweep: N=2^{lg_records}, B=2^3, D=2^3, M=2^10, quantum {} blocks, best of {reps} reps",
@@ -876,6 +884,132 @@ fn run_service_sweep(reps: usize, baseline_mode: bool) -> Json {
                 ("p95_ms", Json::Num((p95 * 1e3 * 100.0).round() / 100.0)),
                 ("p99_ms", Json::Num((p99 * 1e3 * 100.0).round() / 100.0)),
             ]),
+        ),
+    ])
+}
+
+/// The recovery sweep: the same seeded BMMC permutation performed
+/// clean and under a ~1%-of-operations transient-fault plan with a
+/// fault-tolerant retry policy. Recovery must be *invisible* in the
+/// model: byte-identical final placement, exactly equal charged
+/// parallel I/Os (retried operations are charged once), and a ledger
+/// showing exactly one retry per injected firing — both counts are
+/// deterministic and exact-gated by `--check`. Under `--baseline` the
+/// recovered run must keep ≥ 0.8× the clean run's records/s.
+fn run_recovery_sweep(lg_records: usize, reps: usize, baseline_mode: bool) -> Json {
+    use bmmc::algorithm::perform_bmmc;
+    let geom = Geometry::new(1 << lg_records, 1 << 3, 1 << 4, 1 << 12).expect("recovery geometry");
+    let perm = catalog::random_bmmc(&mut StdRng::seed_from_u64(0xFA01), geom.n());
+    let input: Vec<u64> = (0..geom.records() as u64).collect();
+    let reps = reps.max(1);
+
+    // One run of the workload under `plan`, returning placement,
+    // charged I/O, the ledger, and the elapsed seconds.
+    let run = |plan: FaultPlan| {
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+        sys.set_service_mode(ServiceMode::Threaded);
+        sys.set_retry_policy(RetryPolicy::fault_tolerant());
+        sys.set_faults(plan);
+        sys.load_records(0, &input);
+        let t0 = Instant::now();
+        let report = perform_bmmc(&mut sys, &perm).expect("recovery bmmc run");
+        let secs = t0.elapsed().as_secs_f64();
+        let records = sys.dump_records(report.final_portion);
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0, "buffers stranded");
+        (records, sys.stats(), sys.retry_stats(), secs)
+    };
+
+    // The clean run sizes the fault plan: its operation count is
+    // deterministic, so "1% of operations" is a fixed schedule.
+    let (clean_records, clean_ios, clean_retry, mut clean_best) = run(FaultPlan::new());
+    assert!(clean_retry.is_clean(), "clean run has a dirty ledger");
+    let total_ops = clean_ios.parallel_ios();
+    let fault_plan = || {
+        let mut plan = FaultPlan::new();
+        for (i, op) in (0..total_ops).step_by(100).enumerate() {
+            plan = plan.fail_transient_at(op, i % geom.disks());
+        }
+        plan
+    };
+    let injected = fault_plan().len();
+    eprintln!(
+        "== recovery sweep: N=2^{lg_records}, B=2^3, D=2^4, M=2^12, \
+         {injected} transient faults over {total_ops} ops, best of {reps} reps"
+    );
+
+    let (recovered_records, recovered_ios, recovered_retry, mut recovered_best) = run(fault_plan());
+    assert_eq!(
+        recovered_records, clean_records,
+        "recovered placement diverged from clean"
+    );
+    assert_eq!(
+        recovered_ios, clean_ios,
+        "recovery changed the charged model cost"
+    );
+    assert!(recovered_retry.transient_faults >= 1, "no fault ever fired");
+    assert_eq!(
+        recovered_retry.retries, recovered_retry.transient_faults,
+        "each injected firing costs exactly one retry"
+    );
+    for _ in 1..reps {
+        let (_, _, _, secs) = run(FaultPlan::new());
+        clean_best = clean_best.min(secs);
+        let (_, _, retry, secs) = run(fault_plan());
+        assert_eq!(retry, recovered_retry, "ledger changed between reps");
+        recovered_best = recovered_best.min(secs);
+    }
+
+    let ratio = clean_best / recovered_best;
+    eprintln!(
+        "   clean {:.1} ms, recovered {:.1} ms ({} retries absorbed), ratio {ratio:.3}",
+        clean_best * 1e3,
+        recovered_best * 1e3,
+        recovered_retry.retries
+    );
+    if baseline_mode {
+        assert!(
+            ratio >= 0.8,
+            "acceptance criterion failed: recovered throughput only {ratio:.3}x of clean"
+        );
+    }
+    let n = geom.records() as f64;
+    let rows: Vec<Json> = [
+        ("clean", clean_ios, 0u64, clean_best),
+        (
+            "recovered",
+            recovered_ios,
+            recovered_retry.retries,
+            recovered_best,
+        ),
+    ]
+    .into_iter()
+    .map(|(label, ios, retries, secs)| {
+        Json::obj(vec![
+            ("run", Json::Str(label.into())),
+            ("parallel_ios", Json::Num(ios.parallel_ios() as f64)),
+            ("retries", Json::Num(retries as f64)),
+            (
+                "records_per_sec",
+                Json::Num(((n / secs) * 10.0).round() / 10.0),
+            ),
+            (
+                "elapsed_ms",
+                Json::Num((secs * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ])
+    })
+    .collect();
+    Json::obj(vec![
+        ("geometry", Json::Str(bmmc_bench::geom_label(&geom))),
+        ("injected_faults", Json::Num(injected as f64)),
+        (
+            "fired_faults",
+            Json::Num(recovered_retry.transient_faults as f64),
+        ),
+        ("rows", Json::Arr(rows)),
+        (
+            "recovered_ratio",
+            Json::Num((ratio * 1000.0).round() / 1000.0),
         ),
     ])
 }
@@ -1314,6 +1448,8 @@ fn check_against_baseline(
             ("transport", TRANSPORT_KEYS, "parallel_ios"),
             ("transport", TRANSPORT_KEYS, "messages"),
             ("service", &["scenario", "job"], "parallel_ios"),
+            ("recovery", &["run"], "parallel_ios"),
+            ("recovery", &["run"], "retries"),
         ]
     };
     for &(section, keys, field) in gated {
@@ -1448,6 +1584,7 @@ fn main() {
     let mut fusion_section = None;
     let mut extsort_section = None;
     let mut service_section = None;
+    let mut recovery_section = None;
     if !file_only && !transport_only {
         if !quick_only {
             let (rows, section) = run_sweep(&FULL);
@@ -1470,6 +1607,9 @@ fn main() {
         let service = run_service_sweep(QUICK.reps.min(3), baseline_mode);
         sections.push(("service", service.clone()));
         service_section = Some(service);
+        let recovery = run_recovery_sweep(QUICK.lg_records, QUICK.reps.min(3), baseline_mode);
+        sections.push(("recovery", recovery.clone()));
+        recovery_section = Some(recovery);
     }
     // The transport section runs at the quick size in every mode but
     // --file-only: the same engine pass over in-process channels, UDS
@@ -1510,7 +1650,9 @@ fn main() {
                  threaded uds >= 0.5x inproc records/s; service: governor charges identical \
                  parallel_ios to the direct path, served single-job throughput >= 0.9x direct, \
                  K=4 identical tenants charged exactly equally with completion spread <= 25% \
-                 of mean"
+                 of mean; recovery: a ~1%-transient-fault run places byte-identically with \
+                 identical charged parallel_ios and exactly one retry per injected firing, \
+                 recovered throughput >= 0.8x clean"
                     .into(),
             ),
         ),
@@ -1578,6 +1720,7 @@ fn main() {
                     ("file", file_section.expect("file ran")),
                     ("transport", transport_section.expect("transport ran")),
                     ("service", service_section.expect("service ran")),
+                    ("recovery", recovery_section.expect("recovery ran")),
                 ]);
                 match check_against_baseline(&retry_doc, &baseline, false, false) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),

@@ -84,6 +84,26 @@ fn build_system(
     if a.has("threaded") {
         sys.set_threaded(true);
     }
+    if let Some(r) = a.get("retries") {
+        let retries: u32 = r.parse().map_err(|_| format!("bad --retries {r:?}"))?;
+        let mut policy = pdm::RetryPolicy::fault_tolerant();
+        policy.max_attempts = retries.saturating_add(1);
+        sys.set_retry_policy(policy);
+    }
+    if let Some(fault) = a.get("transient-fault") {
+        let (op, disk) = fault
+            .split_once(',')
+            .ok_or_else(|| format!("--transient-fault wants OP,DISK, got {fault:?}"))?;
+        let op: u64 = op
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad fault op {op:?}"))?;
+        let disk: usize = disk
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad fault disk {disk:?}"))?;
+        sys.set_faults(pdm::FaultPlan::new().fail_transient_at(op, disk));
+    }
     Ok(sys)
 }
 
@@ -274,6 +294,7 @@ pub fn run(a: &Args) -> Result<(), String> {
                 rep.total
             );
             print_transport_costs(&rep.msgs, &sys);
+            print_recovery(&sys);
             if a.has("verify") {
                 verify_and_report(&mut sys, rep.final_portion, &perm)?;
             }
@@ -296,6 +317,7 @@ pub fn run(a: &Args) -> Result<(), String> {
         report.total
     );
     print_transport_costs(&report.msgs, &sys);
+    print_recovery(&sys);
     if report.passes_saved() > 0 {
         println!(
             "pass fusion saved {} disk round-trip(s): {} planned passes ran as {} steps",
@@ -330,6 +352,15 @@ fn print_transport_costs(msgs: &pdm::MsgStats, sys: &DiskSystem<u64>) {
         print!(", {net:.2} ms simulated network time");
     }
     println!();
+}
+
+/// Prints the recovery ledger for a run that needed the retry layer;
+/// clean runs (no retries, timeouts, or respawns) print nothing.
+fn print_recovery(sys: &DiskSystem<u64>) {
+    let r = sys.retry_stats();
+    if !r.is_clean() {
+        println!("recovery: {r}");
+    }
 }
 
 fn verify_and_report(sys: &mut DiskSystem<u64>, portion: usize, perm: &Bmmc) -> Result<(), String> {

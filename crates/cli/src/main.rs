@@ -62,6 +62,15 @@ RUN FLAGS:
                         three; message/byte counters are printed for
                         uds and sim
   --timing MODEL        also simulate service time: hdd | ssd
+  --retries N           allow N retries per disk operation after a
+                        retryable failure (transient fault, timeout,
+                        severed link), with worker respawn for uds;
+                        default 0 = fail fast. A non-clean run prints
+                        its recovery ledger
+  --transient-fault OP,DISK
+                        inject a one-shot transient transfer fault on
+                        DISK at parallel I/O OP (testing; pair with
+                        --retries to watch it recover)
   --chunk K             swap/erase chunk-size override (ablation)
   --verify              scan the output and confirm every placement
   --no-fuse             disable pass-pair fusion (one round-trip per
@@ -75,6 +84,10 @@ SERVICE FLAGS (submit / status / cancel):
                         the server's)
   --seed N              submit: permutation/shuffle seed (default 0)
   --fault OP,DISK       submit: sever DISK at parallel I/O OP (testing)
+  --max-retries N       submit: let the service re-run the job up to N
+                        times after a retryable failure (default 0)
+  --deadline-ms N       submit: fail the job if not done N ms after
+                        submission (bounds the retry loop)
   --detach              submit: print the job id instead of waiting
   --id N                status/cancel: the job id
 

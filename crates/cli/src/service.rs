@@ -13,7 +13,8 @@ fn connect(a: &Args) -> Result<Client, String> {
 }
 
 /// `bmmc-cli submit --socket PATH --job KIND --records 2^k --memory 2^k
-/// [--seed N] [--merge WHICH] [--verify] [--fault OP,DISK] [--detach]`
+/// [--seed N] [--merge WHICH] [--verify] [--fault OP,DISK]
+/// [--max-retries N] [--deadline-ms N] [--detach]`
 ///
 /// Submits one job. By default waits for the result and prints the
 /// report; `--detach` prints the job id and returns immediately.
@@ -47,6 +48,12 @@ pub fn submit(a: &Args) -> Result<(), String> {
                 .parse()
                 .map_err(|_| format!("bad fault disk {disk:?}"))?,
         ));
+    }
+    if let Some(r) = a.get("max-retries") {
+        spec.max_retries = r.parse().map_err(|_| format!("bad --max-retries {r:?}"))?;
+    }
+    if let Some(d) = a.get("deadline-ms") {
+        spec.deadline_ms = Some(d.parse().map_err(|_| format!("bad --deadline-ms {d:?}"))?);
     }
 
     let mut client = connect(a)?;
@@ -90,10 +97,14 @@ pub fn status(a: &Args) -> Result<(), String> {
         }
         None => {
             let o = client.overview().map_err(|e| e.to_string())?;
-            println!(
+            print!(
                 "service: {} queued, {} running, {} finished, {} free slots/disk",
                 o.queued, o.running, o.finished, o.free_slots
             );
+            if o.respawns > 0 {
+                print!(", {} worker respawns", o.respawns);
+            }
+            println!();
             Ok(())
         }
     }
@@ -116,10 +127,15 @@ pub fn cancel(a: &Args) -> Result<(), String> {
 
 fn print_status(s: &JobStatus) {
     print!(
-        "job {} ({}): {} — {} charged ({} read + {} write, {} striped)",
+        "job {} ({}): {}{} — {} charged ({} read + {} write, {} striped)",
         s.id,
         s.kind.as_str(),
         s.state.as_str(),
+        if s.attempts > 1 {
+            format!(" after {} attempts", s.attempts)
+        } else {
+            String::new()
+        },
         s.usage.io.parallel_ios(),
         s.usage.io.parallel_reads,
         s.usage.io.parallel_writes,

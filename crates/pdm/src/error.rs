@@ -43,6 +43,33 @@ pub enum PdmError {
         /// Serialized width of the record type used in the request.
         actual: usize,
     },
+    /// An injected *transient* transfer fault fired and the retry
+    /// budget ([`crate::retry::RetryPolicy::max_attempts`]) was
+    /// exhausted before the operation could succeed. With retries
+    /// enabled (`max_attempts > 1`) a transient fault is absorbed by
+    /// the retry layer and never reaches a caller.
+    TransientFault {
+        /// Zero-based parallel I/O operation number the fault fired on.
+        op: u64,
+        /// Disk index the fault was injected against.
+        disk: usize,
+        /// The attempt (0-based) that gave up.
+        attempt: u32,
+    },
+    /// A per-operation timeout ([`crate::retry::RetryPolicy::op_timeout_ms`])
+    /// expired before the disk answered — a stuck or straggling
+    /// worker. Retryable under the policy, like a transient fault.
+    Timeout {
+        /// The disk that failed to answer in time.
+        disk: usize,
+        /// Zero-based parallel I/O operation number that timed out.
+        op: u64,
+        /// The attempt (0-based) that gave up.
+        attempt: u32,
+        /// The timeout budget (or the simulated straggler delay) in
+        /// milliseconds.
+        ms: u64,
+    },
     /// The transport link to a disk's service worker dropped — the
     /// worker process died, the socket closed, or a disconnect fault
     /// was injected ([`crate::fault::FaultPlan::disconnect_at`]). The
@@ -82,8 +109,9 @@ impl PdmError {
     /// [`crate::system::DiskSystem`] layer. [`crate::backend::DiskUnit`]s
     /// and the wire protocol ([`crate::proto`]) don't know the disk's
     /// position in the array, so [`PdmError::OutOfRange`],
-    /// [`PdmError::Disconnected`], and [`PdmError::ProtocolVersion`]
-    /// arrive with a placeholder index; every other error is returned
+    /// [`PdmError::Disconnected`], [`PdmError::ProtocolVersion`],
+    /// [`PdmError::TransientFault`], and [`PdmError::Timeout`] arrive
+    /// with a placeholder index; every other error is returned
     /// unchanged.
     pub fn with_disk(self, disk: usize) -> PdmError {
         match self {
@@ -104,8 +132,33 @@ impl PdmError {
                 expected,
                 actual,
             },
+            PdmError::TransientFault { op, attempt, .. } => {
+                PdmError::TransientFault { op, disk, attempt }
+            }
+            PdmError::Timeout {
+                op, attempt, ms, ..
+            } => PdmError::Timeout {
+                disk,
+                op,
+                attempt,
+                ms,
+            },
             other => other,
         }
+    }
+
+    /// True for errors the retry layer may legitimately retry: the
+    /// failure was observed *before or during* one transfer, the
+    /// transfer did not happen (or is idempotent to replay), and a
+    /// later attempt can succeed — transient faults, per-op timeouts,
+    /// and severed transport links (whose workers may be respawned).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PdmError::TransientFault { .. }
+                | PdmError::Timeout { .. }
+                | PdmError::Disconnected { .. }
+        )
     }
 }
 
@@ -137,6 +190,19 @@ impl fmt::Display for PdmError {
                 "record size mismatch: disk was created for {expected}-byte records, \
                  request uses {actual}-byte records"
             ),
+            PdmError::TransientFault { op, disk, attempt } => write!(
+                f,
+                "transient fault on disk {disk} at parallel I/O #{op} (gave up at attempt {attempt})"
+            ),
+            PdmError::Timeout {
+                disk,
+                op,
+                attempt,
+                ms,
+            } => write!(
+                f,
+                "disk {disk} timed out after {ms} ms at parallel I/O #{op} (gave up at attempt {attempt})"
+            ),
             PdmError::Disconnected { disk } => write!(
                 f,
                 "transport to disk {disk} disconnected (worker gone or link severed)"
@@ -159,3 +225,76 @@ impl std::error::Error for PdmError {}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, PdmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `with_disk` must patch the disk index into the
+    /// retryable taxonomy (`TransientFault`, `Timeout`) instead of
+    /// dropping those variants through the catch-all arm, and the
+    /// rendered diagnostics must name disk, op, and attempt.
+    #[test]
+    fn with_disk_preserves_retryable_taxonomy() {
+        let e = PdmError::TransientFault {
+            op: 17,
+            disk: usize::MAX,
+            attempt: 2,
+        }
+        .with_disk(3);
+        assert_eq!(
+            e,
+            PdmError::TransientFault {
+                op: 17,
+                disk: 3,
+                attempt: 2
+            }
+        );
+        let msg = e.to_string();
+        for needle in ["disk 3", "#17", "attempt 2"] {
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+
+        let e = PdmError::Timeout {
+            disk: usize::MAX,
+            op: 9,
+            attempt: 1,
+            ms: 250,
+        }
+        .with_disk(5);
+        assert_eq!(
+            e,
+            PdmError::Timeout {
+                disk: 5,
+                op: 9,
+                attempt: 1,
+                ms: 250
+            }
+        );
+        let msg = e.to_string();
+        for needle in ["disk 5", "#9", "attempt 1", "250 ms"] {
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(PdmError::Disconnected { disk: 0 }.is_retryable());
+        assert!(PdmError::TransientFault {
+            op: 0,
+            disk: 0,
+            attempt: 0
+        }
+        .is_retryable());
+        assert!(PdmError::Timeout {
+            disk: 0,
+            op: 0,
+            attempt: 0,
+            ms: 1
+        }
+        .is_retryable());
+        assert!(!PdmError::Fault { op: 0, disk: 0 }.is_retryable());
+        assert!(!PdmError::StripedOnly.is_retryable());
+        assert!(!PdmError::Io("x".into()).is_retryable());
+    }
+}

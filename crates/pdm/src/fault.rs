@@ -1,32 +1,59 @@
 //! Deterministic fault injection for robustness testing.
 //!
 //! A [`FaultPlan`] names parallel-I/O operations (by global operation
-//! index) and disks on which the transfer should fail. The
+//! index) and disks on which the transfer should misbehave. The
 //! [`crate::system::DiskSystem`] consults the plan before each
-//! operation and surfaces [`crate::error::PdmError::Fault`], letting
-//! tests verify that algorithms propagate disk errors instead of
-//! silently corrupting data.
+//! operation and surfaces the matching typed error, letting tests
+//! verify that algorithms propagate disk errors instead of silently
+//! corrupting data — and, since the retry layer
+//! ([`crate::retry::RetryPolicy`]), that *recoverable* failures are
+//! absorbed with exact accounting.
 //!
-//! Two failure shapes exist:
+//! The failure taxonomy:
 //!
-//! * [`FaultPlan::fail_at`] — a *transfer* fault: the operation is
-//!   rejected before any block moves.
+//! * [`FaultPlan::fail_at`] — a **permanent** transfer fault: the
+//!   operation is rejected before any block moves and retrying cannot
+//!   help ([`crate::error::PdmError::Fault`]).
+//! * [`FaultPlan::fail_transient_at`] — a **transient** transfer
+//!   fault: the *first attempt* of that operation fails
+//!   ([`crate::error::PdmError::TransientFault`]); a retry of the same
+//!   operation succeeds. Models a correctable bus/medium error.
+//! * [`FaultPlan::fail_between`] — a flaky window: every operation in
+//!   `[start, end)` transient-fails its first attempt on that disk.
+//! * [`FaultPlan::delay_at`] — a **straggler**: that operation on that
+//!   disk is `ms` milliseconds slow. Within the per-op timeout budget
+//!   the delay is simply charged to the timing model; past it, the
+//!   first attempt surfaces [`crate::error::PdmError::Timeout`]
+//!   (retryable — the congestion is transient).
 //! * [`FaultPlan::disconnect_at`] — a *transport* fault: the link to
 //!   the disk's service worker is severed at that operation
 //!   ([`crate::parallel::Transport::inject_disconnect`]), so the
 //!   failure surfaces **mid-operation** through the completion path as
 //!   [`crate::error::PdmError::Disconnected`], and — unlike a transfer
-//!   fault — the link stays dead for every later operation. This is
-//!   how the buffer-pool hygiene tests prove that a worker crash
-//!   cannot strand pooled block buffers.
+//!   fault — the link stays dead for every later operation unless the
+//!   retry policy respawns the worker. This is how the buffer-pool
+//!   hygiene tests prove that a worker crash cannot strand pooled
+//!   block buffers.
+//!
+//! Transient faults, delays, and windows are **one-shot per
+//! operation**: they model congestion that has passed by the time the
+//! retry is issued, which is what makes retry accounting exact
+//! (retries == injected transient faults for a plan whose entries all
+//! fire).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A schedule of injected failures keyed by (parallel-I/O index, disk).
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     faults: BTreeSet<(u64, usize)>,
     disconnects: BTreeSet<(u64, usize)>,
+    transients: BTreeSet<(u64, usize)>,
+    /// Flaky windows `(start, end, disk)`: ops in `[start, end)`
+    /// transient-fail their first attempt on `disk`.
+    windows: Vec<(u64, u64, usize)>,
+    /// Straggler delays in milliseconds.
+    delays: BTreeMap<(u64, usize), u64>,
 }
 
 impl FaultPlan {
@@ -35,25 +62,78 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Schedules a failure of `disk` during parallel I/O number `op`
-    /// (operations are numbered from 0 across reads and writes).
+    /// Schedules a **permanent** failure of `disk` during parallel I/O
+    /// number `op` (operations are numbered from 0 across reads and
+    /// writes). Fires on every attempt; not retryable.
     pub fn fail_at(mut self, op: u64, disk: usize) -> Self {
         self.faults.insert((op, disk));
         self
     }
 
+    /// Schedules a **transient** failure of `disk` during parallel I/O
+    /// number `op`: the operation's first attempt fails, a retry
+    /// succeeds.
+    pub fn fail_transient_at(mut self, op: u64, disk: usize) -> Self {
+        self.transients.insert((op, disk));
+        self
+    }
+
+    /// Schedules a flaky window on `disk`: every operation in
+    /// `[start, end)` transient-fails its first attempt.
+    pub fn fail_between(mut self, start: u64, end: u64, disk: usize) -> Self {
+        self.windows.push((start, end, disk));
+        self
+    }
+
+    /// Schedules a straggler: parallel I/O number `op` on `disk` is
+    /// `ms` milliseconds slow (first attempt only).
+    pub fn delay_at(mut self, op: u64, disk: usize, ms: u64) -> Self {
+        self.delays.insert((op, disk), ms);
+        self
+    }
+
     /// Schedules a *transport disconnect* of `disk` at parallel I/O
     /// number `op`: the link to that disk's service worker is severed
-    /// just before the operation is serviced, and stays severed.
+    /// just before the operation is serviced, and stays severed
+    /// (unless the retry policy respawns it).
     pub fn disconnect_at(mut self, op: u64, disk: usize) -> Self {
         self.disconnects.insert((op, disk));
         self
     }
 
-    /// True if the plan contains a fault for this operation and any of
-    /// the participating disks; returns the first faulted disk.
+    /// True if the plan contains a permanent fault for this operation
+    /// and any of the participating disks; returns the first faulted
+    /// disk.
     pub fn check(&self, op: u64, disks: impl IntoIterator<Item = usize>) -> Option<usize> {
         disks.into_iter().find(|&d| self.faults.contains(&(op, d)))
+    }
+
+    /// True if a transient fault (point or window) hits this operation
+    /// on any of the participating disks; returns the first such disk.
+    /// Callers consult this on an operation's **first attempt only** —
+    /// transient faults model congestion that a retry outlives.
+    pub fn check_transient(
+        &self,
+        op: u64,
+        disks: impl IntoIterator<Item = usize>,
+    ) -> Option<usize> {
+        disks.into_iter().find(|&d| {
+            self.transients.contains(&(op, d))
+                || self
+                    .windows
+                    .iter()
+                    .any(|&(start, end, wd)| wd == d && (start..end).contains(&op))
+        })
+    }
+
+    /// The slowest scheduled straggler among the participating disks
+    /// for this operation, as `(disk, ms)` — a parallel I/O completes
+    /// when its slowest disk does. `None` when no delay is scheduled.
+    pub fn delay(&self, op: u64, disks: impl IntoIterator<Item = usize>) -> Option<(usize, u64)> {
+        disks
+            .into_iter()
+            .filter_map(|d| self.delays.get(&(op, d)).map(|&ms| (d, ms)))
+            .max_by_key(|&(_, ms)| ms)
     }
 
     /// True if the plan severs the transport to any of the
@@ -69,14 +149,23 @@ impl FaultPlan {
             .find(|&d| self.disconnects.contains(&(op, d)))
     }
 
-    /// Number of scheduled faults (transfer faults and disconnects).
+    /// Number of scheduled point faults (permanent, transient,
+    /// disconnect, delay entries; windows count as one each).
     pub fn len(&self) -> usize {
-        self.faults.len() + self.disconnects.len()
+        self.faults.len()
+            + self.disconnects.len()
+            + self.transients.len()
+            + self.windows.len()
+            + self.delays.len()
     }
 
     /// True if no faults are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty() && self.disconnects.is_empty()
+        self.faults.is_empty()
+            && self.disconnects.is_empty()
+            && self.transients.is_empty()
+            && self.windows.is_empty()
+            && self.delays.is_empty()
     }
 }
 
@@ -89,6 +178,8 @@ mod tests {
         let p = FaultPlan::new();
         assert!(p.is_empty());
         assert_eq!(p.check(0, [0, 1, 2]), None);
+        assert_eq!(p.check_transient(0, [0, 1, 2]), None);
+        assert_eq!(p.delay(0, [0, 1, 2]), None);
     }
 
     #[test]
@@ -117,5 +208,33 @@ mod tests {
         assert_eq!(p.check_disconnect(4, [0, 1, 2]), Some(2));
         assert_eq!(p.check_disconnect(1, [0, 1, 2]), None);
         assert_eq!(p.check_disconnect(4, [0, 1]), None);
+    }
+
+    #[test]
+    fn transients_are_distinct_from_permanent_faults() {
+        let p = FaultPlan::new().fail_transient_at(2, 1).fail_at(2, 0);
+        assert_eq!(p.check_transient(2, [1, 2]), Some(1));
+        assert_eq!(p.check_transient(2, [0, 2]), None);
+        assert_eq!(p.check(2, [1, 2]), None);
+        assert_eq!(p.check(2, [0]), Some(0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn windows_cover_half_open_ranges() {
+        let p = FaultPlan::new().fail_between(10, 13, 2);
+        assert_eq!(p.check_transient(9, [2]), None);
+        assert_eq!(p.check_transient(10, [2]), Some(2));
+        assert_eq!(p.check_transient(12, [2]), Some(2));
+        assert_eq!(p.check_transient(13, [2]), None);
+        assert_eq!(p.check_transient(11, [0, 1]), None);
+    }
+
+    #[test]
+    fn delay_picks_the_slowest_participant() {
+        let p = FaultPlan::new().delay_at(5, 0, 20).delay_at(5, 3, 80);
+        assert_eq!(p.delay(5, [0, 1, 2, 3]), Some((3, 80)));
+        assert_eq!(p.delay(5, [0, 1]), Some((0, 20)));
+        assert_eq!(p.delay(4, [0, 3]), None);
     }
 }

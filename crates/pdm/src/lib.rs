@@ -44,6 +44,7 @@ pub mod memory;
 pub mod parallel;
 pub mod proto;
 pub mod record;
+pub mod retry;
 pub mod sched;
 pub mod stats;
 pub mod system;
@@ -59,6 +60,7 @@ pub use layout::Layout;
 pub use memory::{permute_in_place, Memory};
 pub use parallel::Transport;
 pub use record::{ByteRecord, Record, TaggedRecord};
+pub use retry::{RetryPolicy, RetryStats};
 pub use sched::{FairCore, FairScheduler, JobId, JobUsage, SchedHandle};
 pub use stats::{IoStats, MsgStats};
 pub use system::{
@@ -66,4 +68,4 @@ pub use system::{
 };
 pub use tempdir::TempDir;
 pub use timing::{TimingModel, TimingTracker};
-pub use transport::{SimNetModel, TransportConfig, UdsConfig};
+pub use transport::{RemoteDisk, RespawnSpec, SimNetModel, TransportConfig, UdsConfig};

@@ -120,8 +120,23 @@ pub trait Transport<R: Record>: Send {
     /// Severs the link as a fault-injection action
     /// ([`crate::fault::FaultPlan::disconnect_at`]): in-flight and
     /// subsequent commands complete with [`PdmError::Disconnected`].
-    /// The link stays dead.
+    /// The link stays dead (unless revived by [`Transport::respawn`]).
     fn inject_disconnect(&mut self);
+
+    /// Attempts to revive a dead link. `Ok(true)` means the transport
+    /// actually relaunched/reconnected its worker, `Ok(false)` means
+    /// the link was already healthy, and `Err` means this transport
+    /// cannot recover (the default — recovery is opt-in per
+    /// transport). The [`crate::system::DiskSystem`] retry layer calls
+    /// this on a `Disconnected` completion when the
+    /// [`crate::retry::RetryPolicy`] allows respawns, and counts a
+    /// respawn in [`crate::retry::RetryStats`] only on `Ok(true)`.
+    fn respawn(&mut self) -> Result<bool> {
+        Err(PdmError::Io(format!(
+            "disk {}: transport does not support respawn",
+            self.disk()
+        )))
+    }
 
     /// Gracefully shuts the worker down, returning the disk unit when
     /// it lives in this process (`None` for remote workers, whose
@@ -235,6 +250,20 @@ impl<R: Record> Transport<R> for InProcTransport<R> {
         self.dead = true;
     }
 
+    fn respawn(&mut self) -> Result<bool> {
+        // The severed link is a flag over a still-running service
+        // thread whose unit (and data) survived; reviving it is a
+        // reconnect, not a relaunch — but it is a real recovery
+        // action, so report Ok(true) when the link was dead.
+        if self.join.is_none() {
+            return Err(PdmError::Io(format!(
+                "disk {}: service thread already shut down",
+                self.disk
+            )));
+        }
+        Ok(std::mem::take(&mut self.dead))
+    }
+
     fn shutdown(&mut self) -> Option<Box<dyn DiskUnit<R>>> {
         let join = self.join.take()?;
         let _ = self.tx.send(Cmd::Stop);
@@ -320,6 +349,12 @@ impl<R: Record> DiskPool<R> {
     /// Severs the link to `disk` (fault injection).
     pub fn inject_disconnect(&mut self, disk: usize) {
         self.transports[disk].inject_disconnect();
+    }
+
+    /// Attempts to revive the link to `disk` (see
+    /// [`Transport::respawn`]).
+    pub fn respawn(&mut self, disk: usize) -> Result<bool> {
+        self.transports[disk].respawn()
     }
 
     /// Shuts down the workers and returns their disk units in disk
@@ -579,5 +614,49 @@ mod tests {
             },
         );
         rx.recv().unwrap().result.unwrap();
+    }
+
+    #[test]
+    fn respawn_revives_a_severed_inproc_link_with_data_intact() {
+        let mut pool = DiskPool::new(units(2, 4, 2));
+        let (tx, rx) = channel();
+        pool.submit(
+            1,
+            Cmd::Write {
+                slot: 0,
+                buf: vec![41u64, 42],
+                idx: 0,
+                done: tx.clone(),
+            },
+        );
+        rx.recv().unwrap().result.unwrap();
+        // Healthy link: nothing to revive.
+        assert!(!pool.respawn(1).unwrap());
+        pool.inject_disconnect(1);
+        pool.submit(
+            1,
+            Cmd::Read {
+                slot: 0,
+                buf: vec![0u64; 2],
+                idx: 0,
+                done: tx.clone(),
+            },
+        );
+        let c = rx.recv().unwrap();
+        assert!(matches!(c.result, Err(PdmError::Disconnected { disk: 1 })));
+        // Revive and re-read: the unit (and its data) survived.
+        assert!(pool.respawn(1).unwrap());
+        pool.submit(
+            1,
+            Cmd::Read {
+                slot: 0,
+                buf: c.buf,
+                idx: 0,
+                done: tx,
+            },
+        );
+        let c = rx.recv().unwrap();
+        c.result.unwrap();
+        assert_eq!(c.buf, vec![41, 42]);
     }
 }

@@ -64,10 +64,15 @@ const REQ_READ: u8 = 1;
 const REQ_WRITE: u8 = 2;
 const REQ_STOP: u8 = 3;
 
-// Reply tags.
+// Reply tags. The retryable taxonomy (transient fault, timeout,
+// disconnect) crosses the wire structurally so the client's retry
+// layer can classify a worker-side failure without string matching.
 const REP_OK: u8 = 0;
 const REP_ERR_OUT_OF_RANGE: u8 = 1;
 const REP_ERR_OTHER: u8 = 2;
+const REP_ERR_TRANSIENT: u8 = 3;
+const REP_ERR_TIMEOUT: u8 = 4;
+const REP_ERR_DISCONNECTED: u8 = 5;
 
 // HELLO reply tags.
 const HELLO_OK: u8 = 0;
@@ -368,9 +373,12 @@ pub fn encode_ok(out: &mut Vec<u8>, idx: u64, payload: &[u8]) {
     end_frame(out, at);
 }
 
-/// Appends a framed error reply. [`PdmError::OutOfRange`] keeps its
-/// slot diagnostics structurally; any other error crosses as its
-/// display string.
+/// Appends a framed error reply. [`PdmError::OutOfRange`] and the
+/// retryable taxonomy ([`PdmError::TransientFault`],
+/// [`PdmError::Timeout`], [`PdmError::Disconnected`]) keep their
+/// diagnostics structurally — crucially, they stay *classifiable* by
+/// [`PdmError::is_retryable`] on the far side; any other error crosses
+/// as its display string.
 pub fn encode_err(out: &mut Vec<u8>, idx: u64, err: &PdmError) {
     let at = begin_frame(out);
     match err {
@@ -383,6 +391,25 @@ pub fn encode_err(out: &mut Vec<u8>, idx: u64, err: &PdmError) {
             put_u64(out, idx);
             put_u64(out, *slot as u64);
             put_u64(out, *slots_per_disk as u64);
+        }
+        PdmError::TransientFault { op, attempt, .. } => {
+            out.push(REP_ERR_TRANSIENT);
+            put_u64(out, idx);
+            put_u64(out, *op);
+            put_u32(out, *attempt);
+        }
+        PdmError::Timeout {
+            op, attempt, ms, ..
+        } => {
+            out.push(REP_ERR_TIMEOUT);
+            put_u64(out, idx);
+            put_u64(out, *op);
+            put_u32(out, *attempt);
+            put_u64(out, *ms);
+        }
+        PdmError::Disconnected { .. } => {
+            out.push(REP_ERR_DISCONNECTED);
+            put_u64(out, idx);
         }
         other => {
             out.push(REP_ERR_OTHER);
@@ -417,6 +444,36 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply<'_>> {
                 }),
             })
         }
+        REP_ERR_TRANSIENT => {
+            let op = t.u64()?;
+            let attempt = t.u32()?;
+            Ok(Reply {
+                idx,
+                result: Err(PdmError::TransientFault {
+                    op,
+                    disk: usize::MAX,
+                    attempt,
+                }),
+            })
+        }
+        REP_ERR_TIMEOUT => {
+            let op = t.u64()?;
+            let attempt = t.u32()?;
+            let ms = t.u64()?;
+            Ok(Reply {
+                idx,
+                result: Err(PdmError::Timeout {
+                    disk: usize::MAX,
+                    op,
+                    attempt,
+                    ms,
+                }),
+            })
+        }
+        REP_ERR_DISCONNECTED => Ok(Reply {
+            idx,
+            result: Err(PdmError::Disconnected { disk: usize::MAX }),
+        }),
         REP_ERR_OTHER => Ok(Reply {
             idx,
             result: Err(PdmError::Io(String::from_utf8_lossy(t.rest()).into_owned())),
@@ -465,11 +522,23 @@ impl Worker {
     /// (created or truncated), byte-compatible with
     /// [`crate::backend::FileDisk`]'s on-disk layout.
     pub fn new_file(path: &Path, block_bytes: usize, slots: usize) -> Result<Self> {
+        Self::file_worker(path, block_bytes, slots, true)
+    }
+
+    /// A file-backed worker that **reopens** an existing store at
+    /// `path` without truncating it — the respawn path: a relaunched
+    /// `pdm-diskd` must come back with the blocks its predecessor
+    /// already wrote. (`set_len` to the same size preserves content.)
+    pub fn open_file(path: &Path, block_bytes: usize, slots: usize) -> Result<Self> {
+        Self::file_worker(path, block_bytes, slots, false)
+    }
+
+    fn file_worker(path: &Path, block_bytes: usize, slots: usize, truncate: bool) -> Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
-            .truncate(true)
+            .truncate(truncate)
             .open(path)
             .map_err(|e| PdmError::Io(format!("create {}: {e}", path.display())))?;
         file.set_len((block_bytes * slots) as u64)
@@ -725,6 +794,80 @@ mod tests {
         encode_err(&mut other, 6, &PdmError::StripedOnly);
         let r = decode_reply(body(&other)).unwrap();
         assert!(matches!(r.result.unwrap_err(), PdmError::Io(_)));
+    }
+
+    /// The retryable taxonomy must survive a wire round trip
+    /// *structurally*: the far side classifies with `is_retryable`,
+    /// not by parsing display strings.
+    #[test]
+    fn retryable_errors_round_trip_typed() {
+        let cases = [
+            PdmError::TransientFault {
+                op: 42,
+                disk: usize::MAX,
+                attempt: 1,
+            },
+            PdmError::Timeout {
+                disk: usize::MAX,
+                op: 7,
+                attempt: 2,
+                ms: 125,
+            },
+            PdmError::Disconnected { disk: usize::MAX },
+        ];
+        for (i, err) in cases.iter().enumerate() {
+            let mut f = Vec::new();
+            encode_err(&mut f, i as u64, err);
+            let r = decode_reply(body(&f)).unwrap();
+            assert_eq!(r.idx, i as u64);
+            let back = r.result.unwrap_err();
+            assert_eq!(&back, err, "case {i}");
+            assert!(back.is_retryable(), "case {i}");
+            // And with_disk patches the placeholder as for local units.
+            assert!(!matches!(
+                back.with_disk(3),
+                PdmError::TransientFault {
+                    disk: usize::MAX,
+                    ..
+                } | PdmError::Timeout {
+                    disk: usize::MAX,
+                    ..
+                } | PdmError::Disconnected { disk: usize::MAX }
+            ));
+        }
+    }
+
+    /// `open_file` must *not* zero an existing store — the respawn
+    /// path depends on a relaunched worker seeing its predecessor's
+    /// blocks.
+    #[test]
+    fn open_file_preserves_existing_blocks() {
+        let dir = crate::tempdir::TempDir::new("pdm-proto-reopen");
+        let path = dir.path().join("w.bin");
+        let payload: Vec<u8> = (0..8).collect();
+        let mut req = Vec::new();
+        let mut rep = Vec::new();
+        {
+            let mut w = Worker::new_file(&path, 8, 3).unwrap();
+            encode_write::<u8>(&mut req, 0, 1, &payload);
+            w.handle(body(&req), &mut rep).unwrap();
+            assert!(decode_reply(body(&rep)).unwrap().result.is_ok());
+        } // worker "crashes"
+        let mut w = Worker::open_file(&path, 8, 3).unwrap();
+        req.clear();
+        rep.clear();
+        encode_read(&mut req, 1, 1);
+        w.handle(body(&req), &mut rep).unwrap();
+        let r = decode_reply(body(&rep)).unwrap();
+        assert_eq!(r.result.unwrap(), payload.as_slice());
+        // new_file, by contrast, truncates.
+        let mut w = Worker::new_file(&path, 8, 3).unwrap();
+        req.clear();
+        rep.clear();
+        encode_read(&mut req, 2, 1);
+        w.handle(body(&req), &mut rep).unwrap();
+        let r = decode_reply(body(&rep)).unwrap();
+        assert_eq!(r.result.unwrap(), &[0u8; 8]);
     }
 
     #[test]

@@ -44,12 +44,14 @@ use crate::fault::FaultPlan;
 use crate::layout::Layout;
 use crate::parallel::{threaded_read, threaded_write, Cmd, Completion, DiskPool, Transport};
 use crate::record::{ByteRecord, Record};
+use crate::retry::{RetryPolicy, RetryStats};
 use crate::sched::SchedHandle;
 use crate::stats::{IoStats, MsgStats};
 use crate::timing::{TimingModel, TimingTracker};
 use crate::transport::{spawn_uds_workers, SimNetTransport, TransportConfig};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 /// Which storage backs the disk units of a [`DiskSystem`].
 ///
@@ -228,6 +230,13 @@ pub struct ReadTicket<R: Record> {
     /// Completion channel (Threaded mode); `None` when the transfer
     /// completed synchronously at `begin_read`.
     rx: Option<Receiver<Completion<R>>>,
+    /// Completion return address, retained so `finish_read` can
+    /// resubmit a recovered command (retry/respawn) to the same drain.
+    tx: Option<Sender<Completion<R>>>,
+    /// The request, retained for recovery resubmission.
+    refs: Vec<BlockRef>,
+    /// Per-command recovery attempts already spent.
+    attempts: Vec<u32>,
     /// Outstanding completions on `rx`.
     pending: usize,
     /// Buffers already filled in request order (synchronous modes).
@@ -249,6 +258,12 @@ impl<R: Record> ReadTicket<R> {
 #[must_use = "resolve with finish_write or the staging buffers are stranded"]
 pub struct WriteTicket<R: Record> {
     rx: Option<Receiver<Completion<R>>>,
+    /// Completion return address for recovery resubmission.
+    tx: Option<Sender<Completion<R>>>,
+    /// The request, retained for recovery resubmission.
+    refs: Vec<BlockRef>,
+    /// Per-command recovery attempts already spent.
+    attempts: Vec<u32>,
     pending: usize,
 }
 
@@ -276,6 +291,15 @@ pub struct DiskSystem<R: Record> {
     /// ([`DiskSystem::set_governor`]); the grant is charged to the
     /// handle's job.
     governor: Option<SchedHandle>,
+    /// Bounds on the recovery layer ([`DiskSystem::set_retry_policy`]).
+    /// The default is fail-fast: one attempt, no timeouts, no respawns.
+    retry: RetryPolicy,
+    /// The recovery ledger ([`DiskSystem::retry_stats`]).
+    retry_stats: RetryStats,
+    /// Set when a per-op completion timeout fired during the current
+    /// drain; converts a final unrecovered `Disconnected` into
+    /// [`PdmError::Timeout`]. Cleared at the end of every operation.
+    timeout_fired: Option<u64>,
     /// Reused duplicate-disk scratch for per-operation validation, so
     /// the admission path allocates nothing in steady state.
     seen_disks: Vec<bool>,
@@ -302,6 +326,9 @@ impl<R: Record> DiskSystem<R> {
             striped_only: false,
             remote: false,
             governor: None,
+            retry: RetryPolicy::default(),
+            retry_stats: RetryStats::default(),
+            timeout_fired: None,
             net_ms: 0.0,
             seen_disks: vec![false; geom.disks()],
             stripe_scratch: Vec::with_capacity(geom.disks()),
@@ -326,6 +353,9 @@ impl<R: Record> DiskSystem<R> {
             striped_only: false,
             remote: true,
             governor: None,
+            retry: RetryPolicy::default(),
+            retry_stats: RetryStats::default(),
+            timeout_fired: None,
             net_ms: 0.0,
             seen_disks: vec![false; geom.disks()],
             stripe_scratch: Vec::with_capacity(geom.disks()),
@@ -550,6 +580,194 @@ impl<R: Record> DiskSystem<R> {
         self.governor.as_ref()
     }
 
+    /// Installs a recovery policy: retryable failures
+    /// ([`PdmError::is_retryable`]) are re-attempted with exponential
+    /// backoff within `policy.max_attempts`, stuck completions are
+    /// timed out per `policy.op_timeout_ms`, and dead transport links
+    /// may be revived ([`Transport::respawn`]) when `policy.respawn`.
+    /// Recovered operations are **charged once** — a recovered run's
+    /// [`IoStats`] equal a clean run's. The default policy is
+    /// fail-fast (PR 6/7 behaviour, byte-for-byte).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.retry = policy;
+    }
+
+    /// The installed recovery policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The cumulative recovery ledger: attempts, retries, timeouts,
+    /// backoff charged, and worker respawns. All-zero on a clean run.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// Charges straggler/backoff stall time into the simulated-time
+    /// accumulator and (when enabled) the timing tracker's makespan.
+    fn charge_stall_ms(&mut self, ms: f64) {
+        if ms > 0.0 {
+            self.net_ms += ms;
+            if let Some(t) = self.timing.as_mut() {
+                t.add_network_ms(ms);
+            }
+        }
+    }
+
+    /// Books one admission-level recovery attempt if the policy allows
+    /// a retry: counts it, sleeps and charges its backoff, and reports
+    /// whether the failure was absorbed. Injected transient faults and
+    /// oversized delays are one-shot per operation
+    /// ([`crate::fault::FaultPlan`]), so a single retry resolves them.
+    fn absorb_retryable_failure(&mut self) -> bool {
+        if !self.retry.retries_enabled() {
+            return false;
+        }
+        self.retry_stats.retries += 1;
+        self.retry_stats.attempts += 1;
+        let backoff = self.retry.backoff_ms(1);
+        if backoff > 0 {
+            self.retry_stats.backoff_ms += backoff;
+            std::thread::sleep(Duration::from_millis(backoff));
+            self.charge_stall_ms(backoff as f64);
+        }
+        true
+    }
+
+    /// Submits one command to the transport pool. Callers are the
+    /// pooled/lockstep paths only.
+    fn submit_cmd(&mut self, disk: usize, cmd: Cmd<R>) {
+        match &mut self.service {
+            Service::Pooled(pool) | Service::Lockstep(pool) => pool.submit(disk, cmd),
+            _ => unreachable!("submit_cmd on a unit-backed service"),
+        }
+    }
+
+    /// Severs the transport link to `disk`, if there is one.
+    fn sever_disk(&mut self, disk: usize) {
+        if let Service::Pooled(pool) | Service::Lockstep(pool) = &mut self.service {
+            pool.inject_disconnect(disk);
+        }
+    }
+
+    /// Attempts to revive the transport link to `disk`
+    /// ([`Transport::respawn`]).
+    fn respawn_disk(&mut self, disk: usize) -> Result<bool> {
+        match &mut self.service {
+            Service::Pooled(pool) | Service::Lockstep(pool) => pool.respawn(disk),
+            _ => Err(PdmError::Io(format!(
+                "disk {disk}: unit-backed service has no link to respawn"
+            ))),
+        }
+    }
+
+    /// Receives one completion from a transport drain, absorbing
+    /// recoverable failures within policy before handing it back:
+    ///
+    /// * a `Disconnected` completion with respawn budget revives the
+    ///   link ([`Transport::respawn`]) and resubmits the same command
+    ///   (reads are idempotent; writes are replay-safe because the
+    ///   per-disk link is FIFO and the payload rides in the returned
+    ///   buffer);
+    /// * a completion that outwaits `op_timeout_ms` severs the stuck
+    ///   op's links so every in-flight buffer comes home as
+    ///   `Disconnected` — which the respawn arm may then recover, and
+    ///   which [`DiskSystem::finalize_err`] otherwise surfaces as
+    ///   [`PdmError::Timeout`].
+    ///
+    /// Returns only completions the caller must resolve (data landed,
+    /// buffer to recycle, or an unrecoverable error).
+    fn recv_resolved(
+        &mut self,
+        rx: &Receiver<Completion<R>>,
+        tx: &Sender<Completion<R>>,
+        refs: &[BlockRef],
+        attempts: &mut [u32],
+        is_read: bool,
+    ) -> Completion<R> {
+        let mut severed = false;
+        loop {
+            let c = if let Some(budget) = self.retry.op_timeout_ms {
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(budget)) {
+                        Ok(c) => break c,
+                        Err(RecvTimeoutError::Timeout) => {
+                            if !severed {
+                                severed = true;
+                                self.retry_stats.timeouts += 1;
+                                self.timeout_fired = Some(budget);
+                                // Sever the whole op: stuck links
+                                // answer their in-flight commands with
+                                // `Disconnected`, bringing the buffers
+                                // home.
+                                for r in refs {
+                                    self.sever_disk(r.disk);
+                                }
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            panic!("disk service thread hung up")
+                        }
+                    }
+                }
+            } else {
+                rx.recv().expect("disk service thread hung up")
+            };
+            let recoverable = matches!(c.result, Err(PdmError::Disconnected { .. }))
+                && self.retry.respawn
+                && attempts[c.idx] + 1 < self.retry.max_attempts;
+            if recoverable {
+                if let Ok(revived) = self.respawn_disk(c.disk) {
+                    attempts[c.idx] += 1;
+                    self.retry_stats.retries += 1;
+                    self.retry_stats.attempts += 1;
+                    self.retry_stats.respawns += revived as u64;
+                    let backoff = self.retry.backoff_ms(attempts[c.idx]);
+                    if backoff > 0 {
+                        self.retry_stats.backoff_ms += backoff;
+                        std::thread::sleep(Duration::from_millis(backoff));
+                        self.charge_stall_ms(backoff as f64);
+                    }
+                    let Completion { idx, disk, buf, .. } = c;
+                    let cmd = if is_read {
+                        Cmd::Read {
+                            slot: refs[idx].slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        }
+                    } else {
+                        Cmd::Write {
+                            slot: refs[idx].slot,
+                            buf,
+                            idx,
+                            done: tx.clone(),
+                        }
+                    };
+                    self.submit_cmd(disk, cmd);
+                    continue;
+                }
+            }
+            return c;
+        }
+    }
+
+    /// Final error classification for one drained operation: when a
+    /// per-op timeout fired and the survivors still failed with
+    /// `Disconnected`, the caller-facing error is the timeout.
+    fn finalize_err(&mut self, e: PdmError) -> PdmError {
+        match (self.timeout_fired.take(), e) {
+            (Some(ms), PdmError::Disconnected { disk }) => PdmError::Timeout {
+                disk,
+                op: self.op_counter.saturating_sub(1),
+                attempt: 0,
+                ms,
+            },
+            (_, e) => e,
+        }
+    }
+
     fn validate(&mut self, refs: impl Iterator<Item = BlockRef>) -> Result<()> {
         let slots_per_disk = self.slots_per_disk();
         let disks = self.geom.disks();
@@ -590,8 +808,44 @@ impl<R: Record> DiskSystem<R> {
         }
         let op = self.op_counter;
         self.op_counter += 1;
+        self.retry_stats.attempts += 1;
         if let Some(disk) = self.faults.check(op, refs.iter().map(|r| r.disk)) {
+            // Permanent: fail fast on every attempt, never retried.
             return Err(PdmError::Fault { op, disk });
+        }
+        if let Some(disk) = self.faults.check_transient(op, refs.iter().map(|r| r.disk)) {
+            // Transient (point or flaky window): the first attempt
+            // fails; within policy the retry absorbs it and the
+            // operation proceeds — charged once, like a clean run.
+            self.retry_stats.transient_faults += 1;
+            if !self.absorb_retryable_failure() {
+                return Err(PdmError::TransientFault {
+                    op,
+                    disk,
+                    attempt: 0,
+                });
+            }
+        }
+        if let Some((disk, ms)) = self.faults.delay(op, refs.iter().map(|r| r.disk)) {
+            match self.retry.op_timeout_ms {
+                // A straggler past the per-op budget is a timeout:
+                // retryable (the congestion is transient), and the
+                // retry proceeds without re-paying the delay.
+                Some(budget) if ms > budget => {
+                    self.retry_stats.timeouts += 1;
+                    if !self.absorb_retryable_failure() {
+                        return Err(PdmError::Timeout {
+                            disk,
+                            op,
+                            attempt: 0,
+                            ms,
+                        });
+                    }
+                }
+                // Within budget (or no budget): the op simply takes
+                // `ms` longer — charged to the makespan, not an error.
+                _ => self.charge_stall_ms(ms as f64),
+            }
         }
         if let Some(disk) = self
             .faults
@@ -649,7 +903,6 @@ impl<R: Record> DiskSystem<R> {
             refs.len() * block
         );
         self.admit(refs, true)?;
-        let lockstep = matches!(self.service, Service::Lockstep(_));
         match &mut self.service {
             Service::Serial(units) => {
                 for (r, chunk) in refs.iter().zip(out.chunks_exact_mut(block)) {
@@ -662,12 +915,15 @@ impl<R: Record> DiskSystem<R> {
                 let reqs: Vec<(usize, usize)> = refs.iter().map(|r| (r.disk, r.slot)).collect();
                 threaded_read(units, &reqs, out.chunks_exact_mut(block).collect())?;
             }
-            Service::Pooled(pool) | Service::Lockstep(pool) => {
+            Service::Pooled(_) | Service::Lockstep(_) => {
+                let lockstep = matches!(self.service, Service::Lockstep(_));
                 let (tx, rx) = channel();
                 let mut first_err = None;
+                let mut attempts = vec![0u32; refs.len()];
+                let mut pending = 0;
                 for (idx, r) in refs.iter().enumerate() {
                     let buf = self.pool.take();
-                    pool.submit(
+                    self.submit_cmd(
                         r.disk,
                         Cmd::Read {
                             slot: r.slot,
@@ -676,24 +932,26 @@ impl<R: Record> DiskSystem<R> {
                             done: tx.clone(),
                         },
                     );
+                    pending += 1;
                     if lockstep {
                         // Serial discipline: one command in flight.
-                        let c = rx.recv().expect("disk service hung up");
+                        let c = self.recv_resolved(&rx, &tx, refs, &mut attempts, true);
                         absorb_read_completion(&mut self.pool, c, out, block, &mut first_err);
+                        pending -= 1;
                     }
+                }
+                for _ in 0..pending {
+                    let c = self.recv_resolved(&rx, &tx, refs, &mut attempts, true);
+                    // Pool hygiene: the buffer comes back on every path.
+                    absorb_read_completion(&mut self.pool, c, out, block, &mut first_err);
                 }
                 drop(tx);
-                if !lockstep {
-                    for _ in 0..refs.len() {
-                        let c = rx.recv().expect("disk service thread hung up");
-                        // Pool hygiene: the buffer comes back on every path.
-                        absorb_read_completion(&mut self.pool, c, out, block, &mut first_err);
-                    }
-                }
                 if let Some(e) = first_err {
+                    let e = self.finalize_err(e);
                     self.absorb_network_time();
                     return Err(e);
                 }
+                self.timeout_fired = None;
             }
         }
         self.charge(refs, true);
@@ -732,7 +990,6 @@ impl<R: Record> DiskSystem<R> {
         }
         let refs: Vec<BlockRef> = writes.iter().map(|(r, _)| *r).collect();
         self.admit(&refs, false)?;
-        let lockstep = matches!(self.service, Service::Lockstep(_));
         match &mut self.service {
             Service::Serial(units) => {
                 for (r, data) in writes {
@@ -748,13 +1005,16 @@ impl<R: Record> DiskSystem<R> {
                     .collect();
                 threaded_write(units, &reqs)?;
             }
-            Service::Pooled(pool) | Service::Lockstep(pool) => {
+            Service::Pooled(_) | Service::Lockstep(_) => {
+                let lockstep = matches!(self.service, Service::Lockstep(_));
                 let (tx, rx) = channel();
                 let mut first_err = None;
+                let mut attempts = vec![0u32; refs.len()];
+                let mut pending = 0;
                 for (idx, (r, data)) in writes.iter().enumerate() {
                     let mut buf = self.pool.take();
                     buf.copy_from_slice(data);
-                    pool.submit(
+                    self.submit_cmd(
                         r.disk,
                         Cmd::Write {
                             slot: r.slot,
@@ -763,22 +1023,24 @@ impl<R: Record> DiskSystem<R> {
                             done: tx.clone(),
                         },
                     );
+                    pending += 1;
                     if lockstep {
-                        let c = rx.recv().expect("disk service hung up");
+                        let c = self.recv_resolved(&rx, &tx, &refs, &mut attempts, false);
                         absorb_write_completion(&mut self.pool, c, &mut first_err);
+                        pending -= 1;
                     }
+                }
+                for _ in 0..pending {
+                    let c = self.recv_resolved(&rx, &tx, &refs, &mut attempts, false);
+                    absorb_write_completion(&mut self.pool, c, &mut first_err);
                 }
                 drop(tx);
-                if !lockstep {
-                    for _ in 0..writes.len() {
-                        let c = rx.recv().expect("disk service thread hung up");
-                        absorb_write_completion(&mut self.pool, c, &mut first_err);
-                    }
-                }
                 if let Some(e) = first_err {
+                    let e = self.finalize_err(e);
                     self.absorb_network_time();
                     return Err(e);
                 }
+                self.timeout_fired = None;
             }
         }
         self.charge(&refs, false);
@@ -812,6 +1074,9 @@ impl<R: Record> DiskSystem<R> {
         if refs.is_empty() {
             return Ok(ReadTicket {
                 rx: None,
+                tx: None,
+                refs: Vec::new(),
+                attempts: Vec::new(),
                 pending: 0,
                 sync: Vec::new(),
                 count: 0,
@@ -821,11 +1086,11 @@ impl<R: Record> DiskSystem<R> {
         self.charge(refs, true);
         let count = refs.len();
         match &mut self.service {
-            Service::Pooled(pool) => {
+            Service::Pooled(_) => {
                 let (tx, rx) = channel();
                 for (idx, r) in refs.iter().enumerate() {
                     let buf = self.pool.take();
-                    pool.submit(
+                    self.submit_cmd(
                         r.disk,
                         Cmd::Read {
                             slot: r.slot,
@@ -838,21 +1103,25 @@ impl<R: Record> DiskSystem<R> {
                 self.absorb_network_time();
                 Ok(ReadTicket {
                     rx: Some(rx),
+                    tx: Some(tx),
+                    refs: refs.to_vec(),
+                    attempts: vec![0; refs.len()],
                     pending: refs.len(),
                     sync: Vec::new(),
                     count,
                 })
             }
-            Service::Lockstep(pool) => {
+            Service::Lockstep(_) => {
                 // Serial discipline over the transport: each block's
                 // completion is collected before the next submission;
                 // `finish_read` just copies out of the filled buffers.
                 let (tx, rx) = channel();
+                let mut attempts = vec![0u32; refs.len()];
                 let mut sync = Vec::with_capacity(refs.len());
                 let mut first_err = None;
                 for (idx, r) in refs.iter().enumerate() {
                     let buf = self.pool.take();
-                    pool.submit(
+                    self.submit_cmd(
                         r.disk,
                         Cmd::Read {
                             slot: r.slot,
@@ -861,7 +1130,7 @@ impl<R: Record> DiskSystem<R> {
                             done: tx.clone(),
                         },
                     );
-                    let c = rx.recv().expect("disk service hung up");
+                    let c = self.recv_resolved(&rx, &tx, refs, &mut attempts, true);
                     match c.result {
                         Ok(()) => sync.push(c.buf),
                         Err(e) => {
@@ -877,12 +1146,17 @@ impl<R: Record> DiskSystem<R> {
                     for b in sync {
                         self.pool.put(b);
                     }
+                    let e = self.finalize_err(e);
                     self.absorb_network_time();
                     return Err(e);
                 }
+                self.timeout_fired = None;
                 self.absorb_network_time();
                 Ok(ReadTicket {
                     rx: None,
+                    tx: None,
+                    refs: Vec::new(),
+                    attempts: Vec::new(),
                     pending: 0,
                     sync,
                     count,
@@ -909,6 +1183,9 @@ impl<R: Record> DiskSystem<R> {
                 debug_assert_eq!(block, sync[0].len());
                 Ok(ReadTicket {
                     rx: None,
+                    tx: None,
+                    refs: Vec::new(),
+                    attempts: Vec::new(),
                     pending: 0,
                     sync,
                     count,
@@ -936,12 +1213,19 @@ impl<R: Record> DiskSystem<R> {
             ticket.count * block
         );
         let ReadTicket {
-            rx, pending, sync, ..
+            rx,
+            tx,
+            refs,
+            mut attempts,
+            pending,
+            sync,
+            ..
         } = ticket;
         let mut first_err = None;
         if let Some(rx) = rx {
+            let tx = tx.expect("pipelined ticket retains its sender");
             for _ in 0..pending {
-                let c = rx.recv().expect("disk service thread hung up");
+                let c = self.recv_resolved(&rx, &tx, &refs, &mut attempts, true);
                 match c.result {
                     Ok(()) => out[c.idx * block..(c.idx + 1) * block].copy_from_slice(&c.buf),
                     Err(e) if first_err.is_none() => {
@@ -958,14 +1242,19 @@ impl<R: Record> DiskSystem<R> {
             }
         }
         match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+            Some(e) => Err(self.finalize_err(e)),
+            None => {
+                self.timeout_fired = None;
+                Ok(())
+            }
         }
     }
 
     /// Abandons a split-phase read (abort path): waits out the
     /// transfers, discards the data, and reclaims every buffer.
     pub fn discard_read(&mut self, ticket: ReadTicket<R>) {
+        // No recovery on the abort path: the data is unwanted, so a
+        // failed completion just recycles its buffer.
         let ReadTicket {
             rx, pending, sync, ..
         } = ticket;
@@ -991,6 +1280,9 @@ impl<R: Record> DiskSystem<R> {
         if refs.is_empty() {
             return Ok(WriteTicket {
                 rx: None,
+                tx: None,
+                refs: Vec::new(),
+                attempts: Vec::new(),
                 pending: 0,
             });
         }
@@ -1003,12 +1295,12 @@ impl<R: Record> DiskSystem<R> {
         self.admit(refs, false)?;
         self.charge(refs, false);
         match &mut self.service {
-            Service::Pooled(pool) => {
+            Service::Pooled(_) => {
                 let (tx, rx) = channel();
                 for (idx, r) in refs.iter().enumerate() {
                     let mut buf = self.pool.take();
                     buf.copy_from_slice(&data[idx * block..(idx + 1) * block]);
-                    pool.submit(
+                    self.submit_cmd(
                         r.disk,
                         Cmd::Write {
                             slot: r.slot,
@@ -1021,16 +1313,20 @@ impl<R: Record> DiskSystem<R> {
                 self.absorb_network_time();
                 Ok(WriteTicket {
                     rx: Some(rx),
+                    tx: Some(tx),
+                    refs: refs.to_vec(),
+                    attempts: vec![0; refs.len()],
                     pending: refs.len(),
                 })
             }
-            Service::Lockstep(pool) => {
+            Service::Lockstep(_) => {
                 let (tx, rx) = channel();
+                let mut attempts = vec![0u32; refs.len()];
                 let mut first_err = None;
                 for (idx, r) in refs.iter().enumerate() {
                     let mut buf = self.pool.take();
                     buf.copy_from_slice(&data[idx * block..(idx + 1) * block]);
-                    pool.submit(
+                    self.submit_cmd(
                         r.disk,
                         Cmd::Write {
                             slot: r.slot,
@@ -1039,16 +1335,22 @@ impl<R: Record> DiskSystem<R> {
                             done: tx.clone(),
                         },
                     );
-                    let c = rx.recv().expect("disk service hung up");
+                    let c = self.recv_resolved(&rx, &tx, refs, &mut attempts, false);
                     absorb_write_completion(&mut self.pool, c, &mut first_err);
                 }
                 self.absorb_network_time();
                 match first_err {
-                    Some(e) => Err(e),
-                    None => Ok(WriteTicket {
-                        rx: None,
-                        pending: 0,
-                    }),
+                    Some(e) => Err(self.finalize_err(e)),
+                    None => {
+                        self.timeout_fired = None;
+                        Ok(WriteTicket {
+                            rx: None,
+                            tx: None,
+                            refs: Vec::new(),
+                            attempts: Vec::new(),
+                            pending: 0,
+                        })
+                    }
                 }
             }
             Service::Serial(units) => {
@@ -1059,6 +1361,9 @@ impl<R: Record> DiskSystem<R> {
                 }
                 Ok(WriteTicket {
                     rx: None,
+                    tx: None,
+                    refs: Vec::new(),
+                    attempts: Vec::new(),
                     pending: 0,
                 })
             }
@@ -1071,6 +1376,9 @@ impl<R: Record> DiskSystem<R> {
                 threaded_write(units, &reqs)?;
                 Ok(WriteTicket {
                     rx: None,
+                    tx: None,
+                    refs: Vec::new(),
+                    attempts: Vec::new(),
                     pending: 0,
                 })
             }
@@ -1080,11 +1388,18 @@ impl<R: Record> DiskSystem<R> {
     /// Completes a split-phase write, reclaiming the staging buffers
     /// and surfacing any transfer error.
     pub fn finish_write(&mut self, ticket: WriteTicket<R>) -> Result<()> {
-        let WriteTicket { rx, pending } = ticket;
+        let WriteTicket {
+            rx,
+            tx,
+            refs,
+            mut attempts,
+            pending,
+        } = ticket;
         let mut first_err = None;
         if let Some(rx) = rx {
+            let tx = tx.expect("pipelined ticket retains its sender");
             for _ in 0..pending {
-                let c = rx.recv().expect("disk service thread hung up");
+                let c = self.recv_resolved(&rx, &tx, &refs, &mut attempts, false);
                 if let Err(e) = c.result {
                     if first_err.is_none() {
                         first_err = Some(e.with_disk(c.disk));
@@ -1094,8 +1409,11 @@ impl<R: Record> DiskSystem<R> {
             }
         }
         match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+            Some(e) => Err(self.finalize_err(e)),
+            None => {
+                self.timeout_fired = None;
+                Ok(())
+            }
         }
     }
 
@@ -1396,11 +1714,10 @@ impl<R: Record + ByteRecord> DiskSystem<R> {
             TransportConfig::Uds(cfg) => {
                 let transports =
                     spawn_uds_workers::<R>(geom.disks(), geom.block(), slots, backend, cfg)?;
-                Ok(Self::from_remote(
-                    geom,
-                    portions,
-                    DiskPool::from_transports(transports),
-                ))
+                let mut sys =
+                    Self::from_remote(geom, portions, DiskPool::from_transports(transports));
+                sys.set_retry_policy(cfg.retry);
+                Ok(sys)
             }
         }
     }
@@ -1559,6 +1876,190 @@ mod tests {
         // op 1 touches all disks; disk 2 faults.
         let err = sys.read_stripe(1).unwrap_err();
         assert!(matches!(err, PdmError::Fault { op: 1, disk: 2 }));
+    }
+
+    #[test]
+    fn transient_faults_absorbed_with_exact_accounting() {
+        // Admission-level transients (points and a flaky window) are
+        // absorbed in every service mode; the recovered run's data and
+        // charged I/Os equal a clean run's, and the ledger counts each
+        // injected firing exactly once.
+        let records: Vec<u64> = (0..64).collect();
+        let mut clean = small();
+        clean.load_records(0, &records);
+        for s in 0..8 {
+            clean.read_stripe(s).unwrap();
+        }
+        for mode in [ServiceMode::Serial, ServiceMode::Threaded] {
+            let mut sys = small();
+            sys.set_service_mode(mode);
+            sys.set_retry_policy(RetryPolicy::fault_tolerant());
+            sys.load_records(0, &records);
+            // Three point transients plus a two-op window: 5 firings.
+            sys.set_faults(
+                FaultPlan::new()
+                    .fail_transient_at(0, 1)
+                    .fail_transient_at(3, 2)
+                    .fail_transient_at(7, 0)
+                    .fail_between(4, 6, 3),
+            );
+            for s in 0..8 {
+                assert_eq!(
+                    sys.read_stripe(s).unwrap(),
+                    records[s * 8..(s + 1) * 8],
+                    "mode {mode:?} stripe {s}"
+                );
+            }
+            let rs = sys.retry_stats();
+            assert_eq!(rs.transient_faults, 5, "mode {mode:?}");
+            assert_eq!(rs.retries, 5, "retries == injected transients");
+            assert_eq!(rs.timeouts, 0);
+            assert_eq!(rs.respawns, 0);
+            assert_eq!(rs.attempts, sys.stats().parallel_ios() + rs.retries);
+            assert_eq!(sys.stats(), clean.stats(), "charged once, mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn transient_fault_fails_fast_without_retry_budget() {
+        let mut sys = small();
+        sys.set_faults(FaultPlan::new().fail_transient_at(1, 2));
+        sys.read_stripe(0).unwrap();
+        let err = sys.read_stripe(1).unwrap_err();
+        assert_eq!(
+            err,
+            PdmError::TransientFault {
+                op: 1,
+                disk: 2,
+                attempt: 0
+            }
+        );
+        assert!(err.is_retryable());
+        let rs = sys.retry_stats();
+        assert_eq!(rs.transient_faults, 1);
+        assert_eq!(rs.retries, 0, "default policy never retries");
+    }
+
+    #[test]
+    fn stragglers_charge_the_makespan_within_budget() {
+        let mut sys = small();
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        sys.set_faults(FaultPlan::new().delay_at(0, 1, 25).delay_at(0, 3, 40));
+        let before = sys.network_ms();
+        sys.read_stripe(0).unwrap();
+        // The op completes when its slowest participant does.
+        assert!((sys.network_ms() - before - 40.0).abs() < 1e-9);
+        assert!(sys.retry_stats().is_clean(), "a straggler is not a failure");
+    }
+
+    #[test]
+    fn oversized_straggler_times_out_and_retries() {
+        let records: Vec<u64> = (0..64).collect();
+        let mut sys = small();
+        sys.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            op_timeout_ms: Some(10),
+            ..RetryPolicy::default()
+        });
+        sys.load_records(0, &records);
+        sys.set_faults(FaultPlan::new().delay_at(1, 0, 50));
+        sys.read_stripe(0).unwrap();
+        assert_eq!(sys.read_stripe(1).unwrap(), records[8..16]);
+        let rs = sys.retry_stats();
+        assert_eq!(rs.timeouts, 1);
+        assert_eq!(rs.retries, 1, "the retry outlives the congestion");
+
+        // Without a retry budget the typed Timeout surfaces.
+        let mut sys = small();
+        sys.set_retry_policy(RetryPolicy {
+            op_timeout_ms: Some(10),
+            ..RetryPolicy::default()
+        });
+        sys.load_records(0, &records);
+        sys.set_faults(FaultPlan::new().delay_at(0, 3, 50));
+        let err = sys.read_stripe(0).unwrap_err();
+        assert_eq!(
+            err,
+            PdmError::Timeout {
+                disk: 3,
+                op: 0,
+                attempt: 0,
+                ms: 50
+            }
+        );
+    }
+
+    #[test]
+    fn disconnect_respawn_recovers_threaded_run() {
+        let records: Vec<u64> = (0..64).collect();
+        let mut clean = small();
+        clean.set_service_mode(ServiceMode::Threaded);
+        clean.load_records(0, &records);
+        for s in 0..8 {
+            clean.read_stripe(s).unwrap();
+        }
+
+        let mut sys = small();
+        sys.set_service_mode(ServiceMode::Threaded);
+        sys.set_retry_policy(RetryPolicy::fault_tolerant());
+        sys.load_records(0, &records);
+        sys.set_faults(FaultPlan::new().disconnect_at(2, 1));
+        for s in 0..8 {
+            assert_eq!(
+                sys.read_stripe(s).unwrap(),
+                records[s * 8..(s + 1) * 8],
+                "stripe {s}"
+            );
+        }
+        let rs = sys.retry_stats();
+        assert_eq!(rs.respawns, 1, "one link revived");
+        assert_eq!(rs.retries, 1, "one command resubmitted");
+        assert_eq!(sys.stats(), clean.stats(), "recovered run charged once");
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0);
+    }
+
+    #[test]
+    fn disconnect_without_respawn_still_fails_cleanly() {
+        // The fail-fast contract of PR 7 is unchanged under the
+        // default policy: the disconnect surfaces, buffers come home.
+        let mut sys = small();
+        sys.set_service_mode(ServiceMode::Threaded);
+        sys.load_records(0, &(0..64).collect::<Vec<u64>>());
+        sys.set_faults(FaultPlan::new().disconnect_at(1, 2));
+        sys.read_stripe(0).unwrap();
+        let err = sys.read_stripe(1).unwrap_err();
+        assert!(matches!(err, PdmError::Disconnected { disk: 2 }), "{err}");
+        assert_eq!(sys.retry_stats().respawns, 0);
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0);
+    }
+
+    #[test]
+    fn simnet_run_recovers_disconnect_with_respawn() {
+        let g = Geometry::new(64, 2, 4, 16).unwrap();
+        let mut sys: DiskSystem<u64> = DiskSystem::new_with_transport(
+            g,
+            2,
+            &Backend::Mem,
+            &TransportConfig::SimNet(Default::default()),
+        )
+        .unwrap();
+        sys.set_threaded(true);
+        sys.set_retry_policy(RetryPolicy::fault_tolerant());
+        let records: Vec<u64> = (0..64).collect();
+        sys.load_records(0, &records);
+        sys.set_faults(FaultPlan::new().disconnect_at(3, 0).disconnect_at(5, 2));
+        for s in 0..8 {
+            assert_eq!(
+                sys.read_stripe(s).unwrap(),
+                records[s * 8..(s + 1) * 8],
+                "stripe {s}"
+            );
+        }
+        let rs = sys.retry_stats();
+        assert_eq!(rs.respawns, 2);
+        assert_eq!(rs.retries, 2);
+        assert_eq!(sys.buffer_pool_stats().outstanding, 0);
     }
 
     #[test]

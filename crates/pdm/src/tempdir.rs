@@ -26,6 +26,7 @@ static COUNTER: AtomicU64 = AtomicU64::new(0);
 /// assert!(!kept.exists());
 /// ```
 #[must_use = "the directory is removed when the guard drops"]
+#[derive(Debug)]
 pub struct TempDir {
     path: PathBuf,
 }

@@ -15,12 +15,21 @@
 //! through the scheduler. K backlogged jobs therefore each see about
 //! `1/K` of the array's bandwidth, and each job's charged ledger
 //! ([`pdm::JobUsage`]) equals its own disk system's counters exactly.
+//!
+//! Jobs are also *resilient*: a run that dies with a retryable error
+//! (transient fault, timeout, disk disconnect) within its
+//! [`JobSpec::max_retries`] budget is requeued behind an exponential
+//! backoff gate — lease and buffers released in between — and re-run
+//! from scratch; a periodic sweeper (period
+//! [`ServiceConfig::sweep_ms`]) expires those gates and enforces
+//! per-job wall-clock deadlines ([`JobSpec::deadline_ms`]).
 
 use crate::farm::DiskFarm;
 use crate::job::{run_job, JobKind, JobReport, JobSpec};
 use pdm::{FairScheduler, Geometry, JobId, JobUsage, PdmError};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Fixed properties of one service instance.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +49,12 @@ pub struct ServiceConfig {
     pub max_queue: usize,
     /// Maximum concurrently running jobs.
     pub max_running: usize,
+    /// Period of the service sweeper, which expires retry backoffs
+    /// and enforces per-job deadlines, in milliseconds.
+    pub sweep_ms: u64,
+    /// Base of the exponential backoff between a job's retry
+    /// attempts, in milliseconds (`base << (attempt - 1)`).
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +66,8 @@ impl Default for ServiceConfig {
             quantum: 1 << 6,
             max_queue: 64,
             max_running: 8,
+            sweep_ms: 20,
+            retry_backoff_ms: 10,
         }
     }
 }
@@ -163,8 +180,12 @@ pub struct JobStatus {
     /// The report, once [`JobState::Done`].
     pub report: Option<JobReport>,
     /// The failure, once [`JobState::Failed`] (or a note for
-    /// [`JobState::Cancelled`]).
+    /// [`JobState::Cancelled`]; during a retry backoff, the error
+    /// the last attempt died with).
     pub error: Option<String>,
+    /// Runs started so far: 1 for a job that never needed a retry,
+    /// more when the service re-ran it after retryable failures.
+    pub attempts: u32,
 }
 
 struct JobEntry {
@@ -174,10 +195,25 @@ struct JobEntry {
     /// or after the client detaches cleanly).
     owner: Option<u64>,
     /// Final ledger, captured when the job leaves the scheduler.
+    /// After a retry it is the *latest* attempt's ledger — earlier
+    /// attempts' traffic hit the shared disks but is not re-charged
+    /// to the final report.
     usage: JobUsage,
     report: Option<JobReport>,
     error: Option<String>,
     cancel_requested: bool,
+    /// Runs started so far (see [`JobStatus::attempts`]).
+    attempts: u32,
+    /// Earliest instant the pump may admit the job again — the retry
+    /// backoff gate. `None` means admissible now.
+    not_before: Option<Instant>,
+    /// Absolute deadline computed at submit from
+    /// [`JobSpec::deadline_ms`].
+    deadline: Option<Instant>,
+    /// The sweeper caught the job past its deadline while running;
+    /// its cancellation unwinds to `Failed("deadline exceeded")`
+    /// rather than `Cancelled`.
+    deadline_hit: bool,
 }
 
 struct CoreState {
@@ -199,6 +235,9 @@ pub struct Overview {
     pub finished: usize,
     /// Unleased block slots per disk.
     pub free_slots: usize,
+    /// Disk worker processes respawned after crashes, across the
+    /// farm's lifetime (always zero for the memory backend).
+    pub respawns: u64,
 }
 
 /// The multi-tenant job service (in-process half). Create with
@@ -220,10 +259,25 @@ impl std::fmt::Debug for ServiceCore {
 }
 
 impl ServiceCore {
-    /// Builds the farm and scheduler and starts with an empty table.
+    /// Builds a memory-backed farm and scheduler and starts with an
+    /// empty table.
     pub fn new(config: ServiceConfig) -> Arc<Self> {
-        Arc::new(ServiceCore {
-            farm: DiskFarm::new(config.block, config.disks, config.slots),
+        Self::new_with_farm(
+            config,
+            DiskFarm::new(config.block, config.disks, config.slots),
+        )
+    }
+
+    /// Builds the service over a caller-constructed farm (e.g. the
+    /// UDS process-per-disk backend,
+    /// [`crate::farm::DiskFarm::new_uds`]). The farm's block size,
+    /// disk count, and slot count must match `config`.
+    pub fn new_with_farm(config: ServiceConfig, farm: DiskFarm<u64>) -> Arc<Self> {
+        assert_eq!(farm.block(), config.block, "farm/config block mismatch");
+        assert_eq!(farm.disks(), config.disks, "farm/config disk mismatch");
+        assert_eq!(farm.slots(), config.slots, "farm/config slot mismatch");
+        let core = Arc::new(ServiceCore {
+            farm,
             sched: FairScheduler::new(config.quantum),
             config,
             state: Mutex::new(CoreState {
@@ -234,7 +288,74 @@ impl ServiceCore {
                 stopping: false,
             }),
             cv: Condvar::new(),
-        })
+        });
+        Self::spawn_sweeper(&core);
+        core
+    }
+
+    /// Starts the periodic sweeper: every [`ServiceConfig::sweep_ms`]
+    /// it enforces deadlines and re-pumps so retry backoffs expire.
+    /// The thread holds only a weak handle, so it dies with the
+    /// service (on shutdown, or when the last strong reference
+    /// drops).
+    fn spawn_sweeper(core: &Arc<Self>) {
+        let weak = Arc::downgrade(core);
+        let period = Duration::from_millis(core.config.sweep_ms.max(1));
+        std::thread::Builder::new()
+            .name("pdm-sweeper".into())
+            .spawn(move || loop {
+                std::thread::sleep(period);
+                let Some(core) = weak.upgrade() else { return };
+                if core.sweep() {
+                    return;
+                }
+            })
+            .expect("spawn service sweeper");
+    }
+
+    /// One sweeper pass: fails jobs past their deadline, then pumps
+    /// (admitting any job whose retry backoff has expired). Returns
+    /// whether the service is stopping.
+    fn sweep(self: &Arc<Self>) -> bool {
+        let now = Instant::now();
+        let (expired_running, stopping) = {
+            let mut st = self.state.lock().expect("service state poisoned");
+            let stopping = st.stopping;
+            let over_deadline = |e: &JobEntry| e.deadline.is_some_and(|d| now >= d);
+            let queued_expired: Vec<u64> = st
+                .queue
+                .iter()
+                .copied()
+                .filter(|id| over_deadline(&st.jobs[id]))
+                .collect();
+            st.queue.retain(|id| !queued_expired.contains(id));
+            for &id in &queued_expired {
+                let entry = st.jobs.get_mut(&id).expect("queued job in table");
+                entry.state = JobState::Failed;
+                entry.error = Some(format!("deadline exceeded ({} attempts)", entry.attempts));
+            }
+            if !queued_expired.is_empty() {
+                self.cv.notify_all();
+            }
+            let expired_running: Vec<u64> = st
+                .jobs
+                .iter_mut()
+                .filter(|(_, e)| e.state == JobState::Running && !e.deadline_hit)
+                .filter(|(_, e)| e.deadline.is_some_and(|d| now >= d))
+                .map(|(&id, e)| {
+                    e.deadline_hit = true;
+                    id
+                })
+                .collect();
+            (expired_running, stopping)
+        };
+        for id in expired_running {
+            // Refuse the job's next I/O grant; it unwinds through
+            // run_job and finish() records the deadline failure.
+            self.sched.cancel(JobId(id));
+        }
+        self.pump();
+        stopping
     }
 
     /// The service's fixed configuration.
@@ -280,6 +401,12 @@ impl ServiceCore {
                     report: None,
                     error: None,
                     cancel_requested: false,
+                    attempts: 0,
+                    not_before: None,
+                    deadline: spec
+                        .deadline_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms)),
+                    deadline_hit: false,
                 },
             );
             st.queue.push_back(id);
@@ -290,28 +417,42 @@ impl ServiceCore {
     }
 
     /// Admits queued jobs while executor slots and disk capacity
-    /// last. Capacity admission is head-of-line: when the front job's
-    /// lease fails, the pump stops rather than skipping ahead, so a
-    /// large job cannot starve behind a stream of small ones.
+    /// last. Capacity admission is head-of-line: when the chosen
+    /// job's lease fails, the pump stops rather than skipping ahead,
+    /// so a large job cannot starve behind a stream of small ones.
+    /// Jobs waiting out a retry backoff are the one exception — they
+    /// are skipped (the sweeper re-pumps when their gate expires)
+    /// rather than stalling everyone behind them.
     fn pump(self: &Arc<Self>) {
         loop {
-            let (id, spec) = {
+            let now = Instant::now();
+            let (id, mut spec) = {
                 let mut st = self.state.lock().expect("service state poisoned");
                 if st.stopping || st.running >= self.config.max_running {
                     return;
                 }
-                let Some(&id) = st.queue.front() else { return };
-                let entry = st.jobs.get_mut(&id).expect("queued job in table");
-                if entry.cancel_requested {
-                    // Cancelled before it ever ran: terminal now.
-                    st.queue.pop_front();
+                let mut chosen = None;
+                let mut i = 0;
+                while i < st.queue.len() {
+                    let id = st.queue[i];
                     let entry = st.jobs.get_mut(&id).expect("queued job in table");
-                    entry.state = JobState::Cancelled;
-                    entry.error = Some("cancelled before start".into());
-                    self.cv.notify_all();
-                    continue;
+                    if entry.cancel_requested {
+                        // Cancelled before it ever ran: terminal now.
+                        st.queue.remove(i);
+                        let entry = st.jobs.get_mut(&id).expect("queued job in table");
+                        entry.state = JobState::Cancelled;
+                        entry.error = Some("cancelled before start".into());
+                        self.cv.notify_all();
+                        continue;
+                    }
+                    if entry.not_before.is_none_or(|gate| gate <= now) {
+                        chosen = Some((id, entry.spec));
+                        break;
+                    }
+                    i += 1; // still backing off: skip, don't block
                 }
-                (id, entry.spec)
+                let Some((id, spec)) = chosen else { return };
+                (id, spec)
             };
             // Lease outside the state lock (allocator has its own).
             let geom = Geometry::new(
@@ -323,18 +464,26 @@ impl ServiceCore {
             .expect("validated at submit");
             let leased = self.farm.lease_system(geom, spec.kind.portions());
             let mut st = self.state.lock().expect("service state poisoned");
-            if st.queue.front() != Some(&id) {
+            let Some(pos) = st.queue.iter().position(|&q| q == id) else {
                 // Someone else pumped this job meanwhile; retry.
                 continue;
-            }
+            };
             let Ok((mut sys, lease)) = leased else {
-                // No capacity: leave the job at the head, try again
+                // No capacity: leave the job in the queue, try again
                 // when a running job releases its lease.
                 return;
             };
-            st.queue.pop_front();
+            st.queue.remove(pos);
             st.running += 1;
-            st.jobs.get_mut(&id).expect("admitted job in table").state = JobState::Running;
+            let entry = st.jobs.get_mut(&id).expect("admitted job in table");
+            entry.state = JobState::Running;
+            entry.attempts += 1;
+            entry.not_before = None;
+            if entry.attempts > 1 {
+                // Injected faults are one-shot: the re-run goes clean,
+                // like a recovered real-world transient would.
+                spec.fault = None;
+            }
             drop(st);
 
             let handle = self.sched.register(JobId(id));
@@ -353,27 +502,63 @@ impl ServiceCore {
         }
     }
 
-    /// Records a job's terminal state and admits successors.
+    /// Records a job's terminal state and admits successors — or, for
+    /// a *retryable* failure within the job's retry budget, releases
+    /// its lease back to the pool and requeues it behind an
+    /// exponential backoff gate (the caller has already dropped the
+    /// leased system, so the slots and scheduler slot are free while
+    /// the job waits).
     fn finish(self: &Arc<Self>, id: u64, result: Result<JobReport, PdmError>) {
         let usage = self.sched.unregister(JobId(id)).unwrap_or_default();
         {
             let mut st = self.state.lock().expect("service state poisoned");
             st.running -= 1;
+            let stopping = st.stopping;
             let entry = st.jobs.get_mut(&id).expect("finished job in table");
             entry.usage = usage;
+            let now = Instant::now();
+            let past_deadline = entry.deadline.is_some_and(|d| now >= d);
             match result {
                 Ok(report) => {
                     entry.state = JobState::Done;
                     entry.report = Some(report);
                 }
+                Err(PdmError::Cancelled { .. }) if entry.deadline_hit => {
+                    entry.state = JobState::Failed;
+                    entry.error = Some(format!("deadline exceeded ({} attempts)", entry.attempts));
+                }
                 Err(PdmError::Cancelled { .. }) => {
                     entry.state = JobState::Cancelled;
                     entry.error = Some("cancelled while running".into());
                 }
+                Err(e)
+                    if e.is_retryable()
+                        && entry.attempts <= entry.spec.max_retries
+                        && !entry.cancel_requested
+                        && !stopping
+                        && !past_deadline =>
+                {
+                    // Back off exponentially in the base, capped well
+                    // short of overflow.
+                    let exp = (entry.attempts - 1).min(10);
+                    let backoff = self.config.retry_backoff_ms.saturating_mul(1 << exp);
+                    entry.state = JobState::Queued;
+                    entry.not_before = Some(now + Duration::from_millis(backoff));
+                    entry.error = Some(format!("attempt {}: {e} (retrying)", entry.attempts));
+                    entry.report = None;
+                }
                 Err(e) => {
                     entry.state = JobState::Failed;
-                    entry.error = Some(e.to_string());
+                    entry.error = Some(if entry.attempts > 1 {
+                        format!("attempt {}: {e}", entry.attempts)
+                    } else {
+                        e.to_string()
+                    });
                 }
+            }
+            let requeued = entry.state == JobState::Queued;
+            if requeued {
+                st.queue.push_back(id);
             }
             self.cv.notify_all();
         }
@@ -433,6 +618,7 @@ impl ServiceCore {
             usage,
             report: entry.report,
             error: entry.error.clone(),
+            attempts: entry.attempts,
         })
     }
 
@@ -445,6 +631,7 @@ impl ServiceCore {
             running: st.running,
             finished,
             free_slots: self.farm.free_slots(),
+            respawns: self.farm.respawns(),
         }
     }
 
@@ -508,6 +695,7 @@ mod tests {
             quantum: 16,
             max_queue: 8,
             max_running: 4,
+            ..ServiceConfig::default()
         })
     }
 
@@ -583,6 +771,7 @@ mod tests {
             quantum: 16,
             max_queue: 8,
             max_running: 1, // second job stays queued
+            ..ServiceConfig::default()
         });
         let a = core.submit(quick_spec(1), None).unwrap();
         let b = core.submit(quick_spec(2), None).unwrap();
@@ -593,6 +782,152 @@ mod tests {
         assert_eq!(sa.state, JobState::Done, "head job unaffected");
         assert!(!core.cancel(a), "terminal jobs are not cancellable");
         assert!(!core.cancel(999), "unknown ids are not cancellable");
+        core.shutdown();
+    }
+
+    #[test]
+    fn retryable_failure_requeues_to_done() {
+        let core = ServiceCore::new(ServiceConfig {
+            block: 4,
+            disks: 4,
+            slots: 1 << 10,
+            quantum: 16,
+            max_queue: 8,
+            max_running: 4,
+            sweep_ms: 5,
+            retry_backoff_ms: 1,
+        });
+        let mut spec = quick_spec(7);
+        spec.fault = Some((3, 1)); // kills attempt 1 on the mem farm
+        spec.max_retries = 2;
+        let id = core.submit(spec, None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Done, "error: {:?}", status.error);
+        assert_eq!(status.attempts, 2, "one crash, one clean re-run");
+        let report = status.report.unwrap();
+        assert!(report.verified);
+        assert_eq!(status.usage.io, report.io, "final attempt's exact ledger");
+        // The terminal report matches an identical never-faulted job.
+        let mut clean = quick_spec(7);
+        clean.max_retries = 2;
+        let clean_id = core.submit(clean, None).unwrap();
+        let clean_status = core.wait(clean_id).unwrap();
+        assert_eq!(clean_status.attempts, 1);
+        assert_eq!(clean_status.report.unwrap().io, report.io);
+        core.shutdown();
+        assert_eq!(
+            core.overview().free_slots,
+            core.config().slots,
+            "lease released"
+        );
+    }
+
+    #[test]
+    fn without_retry_budget_the_fault_still_fails_the_job() {
+        let core = quick_core();
+        let mut spec = quick_spec(7);
+        spec.fault = Some((3, 1));
+        let id = core.submit(spec, None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert_eq!(status.attempts, 1);
+        assert!(status.error.is_some());
+        core.shutdown();
+    }
+
+    #[test]
+    fn success_consumes_a_single_attempt_despite_budget() {
+        // Which errors count as retryable is pinned by the pdm
+        // crate's `retryable_classification` test; here: a clean run
+        // with a generous budget must not retry at all.
+        let core = quick_core();
+        let mut spec = quick_spec(3);
+        spec.max_retries = 3;
+        let id = core.submit(spec, None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(status.attempts, 1, "no spurious retries on success");
+        core.shutdown();
+    }
+
+    #[test]
+    fn sweeper_fails_queued_job_past_deadline() {
+        let core = ServiceCore::new(ServiceConfig {
+            block: 4,
+            disks: 4,
+            slots: 1 << 10,
+            quantum: 16,
+            max_queue: 8,
+            max_running: 0, // nothing ever admits: job ages in queue
+            sweep_ms: 5,    // satellite: sweep interval is configurable
+            retry_backoff_ms: 1,
+        });
+        let mut spec = quick_spec(1);
+        spec.deadline_ms = Some(20);
+        let id = core.submit(spec, None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(
+            status.error.as_deref().unwrap_or("").contains("deadline"),
+            "error: {:?}",
+            status.error
+        );
+        assert_eq!(status.attempts, 0, "never ran");
+        core.shutdown();
+    }
+
+    #[test]
+    fn deadline_cuts_the_retry_loop_short() {
+        let core = ServiceCore::new(ServiceConfig {
+            block: 4,
+            disks: 4,
+            slots: 1 << 10,
+            quantum: 16,
+            max_queue: 8,
+            max_running: 4,
+            sweep_ms: 5,
+            retry_backoff_ms: 1,
+        });
+        let mut spec = quick_spec(7);
+        spec.fault = Some((3, 1));
+        spec.max_retries = 10;
+        spec.deadline_ms = Some(0); // already expired when attempt 1 dies
+        let id = core.submit(spec, None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Failed, "error: {:?}", status.error);
+        core.shutdown();
+    }
+
+    #[test]
+    fn uds_farm_job_survives_worker_crash_without_job_retry() {
+        let Some(bin) = pdm::transport::find_diskd() else {
+            eprintln!("pdm-diskd not built; skipping UDS service test");
+            return;
+        };
+        let config = ServiceConfig {
+            block: 4,
+            disks: 4,
+            slots: 1 << 8,
+            quantum: 16,
+            max_queue: 8,
+            max_running: 2,
+            sweep_ms: 5,
+            retry_backoff_ms: 1,
+        };
+        let farm = DiskFarm::new_uds(config.block, config.disks, config.slots, bin, 2).unwrap();
+        let core = ServiceCore::new_with_farm(config, farm);
+        // The same fault that kills a mem-farm attempt crashes a real
+        // worker process here — recovered below the job, so no retry
+        // is consumed.
+        let mut spec = quick_spec(5);
+        spec.fault = Some((3, 1));
+        spec.max_retries = 2;
+        let id = core.submit(spec, None).unwrap();
+        let status = core.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Done, "error: {:?}", status.error);
+        assert_eq!(status.attempts, 1, "recovered in place, not re-run");
+        assert!(status.report.unwrap().verified);
+        assert_eq!(core.overview().respawns, 1, "one crash, one respawn");
         core.shutdown();
     }
 

@@ -18,11 +18,31 @@
 
 use pdm::backend::{DiskUnit, MemDisk};
 use pdm::parallel::{fail_disconnected, Cmd};
-use pdm::record::Record;
-use pdm::{DiskSystem, Geometry, MsgStats, PdmError, Result, Transport};
+use pdm::record::{ByteRecord, Record};
+use pdm::{DiskSystem, Geometry, MsgStats, PdmError, RemoteDisk, RespawnSpec, Result, Transport};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// What backs the farm's disks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FarmBackend {
+    /// In-process memory disks: fast, but a disk that dies is gone —
+    /// an injected disconnect fails the tenant's operation.
+    Mem,
+    /// One `pdm-diskd` process per disk over Unix sockets, file-backed
+    /// so a crashed worker can be respawned with its data intact. An
+    /// injected disconnect *kills the real process*; the farm recovers
+    /// it transparently, bounded by `max_respawns` per disk.
+    Uds {
+        /// Path to the `pdm-diskd` binary.
+        bin: PathBuf,
+        /// Respawn budget per disk over the farm's lifetime.
+        max_respawns: u32,
+    },
+}
 
 /// First-fit allocator over one disk's block slots (every disk is
 /// sliced identically, so one allocator covers the whole array).
@@ -122,17 +142,41 @@ pub struct DiskFarm<R: Record> {
     senders: Vec<Sender<Cmd<R>>>,
     workers: Vec<JoinHandle<()>>,
     alloc: Arc<Mutex<SlotAllocator>>,
+    /// Per-disk crash-injection flags (UDS backend only; empty for
+    /// memory disks). Arming a flag makes the disk's [`RemoteDisk`]
+    /// kill its worker process at the next operation.
+    kills: Vec<Arc<AtomicBool>>,
+    /// Successful worker respawns across all disks.
+    respawns: Arc<AtomicU64>,
+    /// Holds the UDS backend's sockets and backing files.
+    _dir: Option<pdm::TempDir>,
 }
 
 impl<R: Record> DiskFarm<R> {
     /// Spawns `disks` workers, each with a memory-backed disk of
     /// `slots` blocks of `block` records.
     pub fn new(block: usize, disks: usize, slots: usize) -> Self {
+        let units = (0..disks)
+            .map(|_| Box::new(MemDisk::new(block, slots)) as Box<dyn DiskUnit<R>>)
+            .collect();
+        Self::from_units(block, slots, units, Vec::new(), Arc::default(), None)
+    }
+
+    /// Spawns one worker thread per unit, each looping over its
+    /// command channel.
+    fn from_units(
+        block: usize,
+        slots: usize,
+        units: Vec<Box<dyn DiskUnit<R>>>,
+        kills: Vec<Arc<AtomicBool>>,
+        respawns: Arc<AtomicU64>,
+        dir: Option<pdm::TempDir>,
+    ) -> Self {
+        let disks = units.len();
         let mut senders = Vec::with_capacity(disks);
         let mut workers = Vec::with_capacity(disks);
-        for d in 0..disks {
+        for (d, mut unit) in units.into_iter().enumerate() {
             let (tx, rx) = channel::<Cmd<R>>();
-            let mut unit: Box<dyn DiskUnit<R>> = Box::new(MemDisk::new(block, slots));
             let handle = std::thread::Builder::new()
                 .name(format!("pdm-farm-{d}"))
                 .spawn(move || {
@@ -184,12 +228,21 @@ impl<R: Record> DiskFarm<R> {
             senders,
             workers,
             alloc: Arc::new(Mutex::new(SlotAllocator::new(slots))),
+            kills,
+            respawns,
+            _dir: dir,
         }
     }
 
     /// Records per block on every farm disk.
     pub fn block(&self) -> usize {
         self.block
+    }
+
+    /// Successful worker respawns across all disks (always zero for
+    /// the memory backend).
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
     }
 
     /// Number of disks.
@@ -256,12 +309,76 @@ impl<R: Record> DiskFarm<R> {
                     base,
                     tx: tx.clone(),
                     dead: false,
+                    kill: self.kills.get(d).cloned(),
                 }) as Box<dyn Transport<R>>
             })
             .collect();
         Ok((
             DiskSystem::new_from_transports(geom, portions, transports),
             lease,
+        ))
+    }
+}
+
+impl<R: Record + ByteRecord> DiskFarm<R> {
+    /// Builds a farm over the chosen [`FarmBackend`].
+    pub fn with_backend(
+        block: usize,
+        disks: usize,
+        slots: usize,
+        backend: &FarmBackend,
+    ) -> Result<Self> {
+        match backend {
+            FarmBackend::Mem => Ok(Self::new(block, disks, slots)),
+            FarmBackend::Uds { bin, max_respawns } => {
+                Self::new_uds(block, disks, slots, bin.clone(), *max_respawns)
+            }
+        }
+    }
+
+    /// Spawns `disks` file-backed `pdm-diskd` worker processes (one
+    /// per disk, sockets and backing files in a fresh temp
+    /// directory) and a farm worker thread per process holding the
+    /// blocking [`RemoteDisk`] client. Each disk carries a
+    /// crash-injection kill flag and shares the farm's respawn
+    /// ledger; a killed worker is relaunched with `--reopen`, so its
+    /// store survives, up to `max_respawns` times per disk.
+    pub fn new_uds(
+        block: usize,
+        disks: usize,
+        slots: usize,
+        bin: PathBuf,
+        max_respawns: u32,
+    ) -> Result<Self> {
+        let dir = pdm::TempDir::new("pdm-farm");
+        let respawns: Arc<AtomicU64> = Arc::default();
+        let mut kills = Vec::with_capacity(disks);
+        let mut units: Vec<Box<dyn DiskUnit<R>>> = Vec::with_capacity(disks);
+        for d in 0..disks {
+            let spec = RespawnSpec {
+                bin: bin.clone(),
+                socket: dir.path().join(format!("farm{d:03}.sock")),
+                block,
+                slots,
+                file: Some(dir.path().join(format!("farm{d:03}.bin"))),
+            };
+            let kill = Arc::new(AtomicBool::new(false));
+            let unit = RemoteDisk::<R>::launch(
+                spec,
+                max_respawns,
+                Arc::clone(&kill),
+                Arc::clone(&respawns),
+            )?;
+            kills.push(kill);
+            units.push(Box::new(unit));
+        }
+        Ok(Self::from_units(
+            block,
+            slots,
+            units,
+            kills,
+            respawns,
+            Some(dir),
         ))
     }
 }
@@ -289,6 +406,11 @@ struct FarmTransport<R: Record> {
     base: usize,
     tx: Sender<Cmd<R>>,
     dead: bool,
+    /// UDS backend only: the disk's crash-injection flag. An injected
+    /// disconnect arms it — killing the real worker process at its
+    /// next operation — instead of severing this tenant's link, so
+    /// the farm's respawn path gets to prove itself.
+    kill: Option<Arc<AtomicBool>>,
 }
 
 impl<R: Record> Transport<R> for FarmTransport<R> {
@@ -338,7 +460,14 @@ impl<R: Record> Transport<R> for FarmTransport<R> {
     }
 
     fn inject_disconnect(&mut self) {
-        self.dead = true;
+        match &self.kill {
+            // Crash the real worker; the farm respawns it in place and
+            // the tenant's operation completes against the revived
+            // disk (bounded by the farm's respawn budget).
+            Some(kill) => kill.store(true, Ordering::Relaxed),
+            // Memory disks die with their link: fail fast.
+            None => self.dead = true,
+        }
     }
 
     fn shutdown(&mut self) -> Option<Box<dyn DiskUnit<R>>> {
@@ -420,6 +549,29 @@ mod tests {
             farm.lease_system(wrong_disks, 2),
             Err(PdmError::Config(_))
         ));
+    }
+
+    #[test]
+    fn uds_farm_recovers_injected_crash_with_respawn() {
+        let Some(bin) = pdm::transport::find_diskd() else {
+            eprintln!("pdm-diskd not built; skipping UDS farm test");
+            return;
+        };
+        let farm: DiskFarm<u64> = DiskFarm::new_uds(2, 2, 32, bin, 2).unwrap();
+        assert_eq!(farm.respawns(), 0);
+        let geom = Geometry::new(32, 2, 2, 16).unwrap();
+        let (mut a, _la) = farm.lease_system(geom, 2).unwrap();
+        a.load_records(0, &(0..32).collect::<Vec<_>>());
+        // The same injection that fail-fasts a memory farm crashes and
+        // transparently revives a real worker process here.
+        a.set_faults(pdm::FaultPlan::new().disconnect_at(1, 0));
+        a.set_threaded(true);
+        for s in 0..geom.stripes() {
+            let stripe = a.read_stripe(s).unwrap();
+            assert_eq!(stripe[0], (s * geom.block() * geom.disks()) as u64);
+        }
+        assert_eq!(a.buffer_pool_stats().outstanding, 0);
+        assert_eq!(farm.respawns(), 1, "one crash, one respawn");
     }
 
     #[test]

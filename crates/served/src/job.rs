@@ -108,11 +108,21 @@ pub struct JobSpec {
     /// I/O number `op` (PR 6's `disconnect_at` discipline), to prove
     /// the service survives a mid-job disk crash.
     pub fault: Option<(u64, usize)>,
+    /// How many times the service may re-run the job after a
+    /// *retryable* failure (transient fault, timeout, disconnect)
+    /// before it goes [`crate::core::JobState::Failed`]. Zero means
+    /// fail on the first error, the pre-recovery behaviour.
+    pub max_retries: u32,
+    /// Wall-clock budget from submission, in milliseconds. A job —
+    /// queued, running, or waiting out a retry backoff — past its
+    /// deadline is failed by the service sweeper. `None` means no
+    /// deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
     /// A spec with service defaults: verify off, single-buffered
-    /// merge, no fault.
+    /// merge, no fault, no retries, no deadline.
     pub fn new(kind: JobKind, records: usize, memory: usize, seed: u64) -> Self {
         JobSpec {
             kind,
@@ -122,6 +132,8 @@ impl JobSpec {
             merge: MergeStrategy::SingleBuffered,
             verify: false,
             fault: None,
+            max_retries: 0,
+            deadline_ms: None,
         }
     }
 }

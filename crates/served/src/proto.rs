@@ -23,7 +23,10 @@ use pdm::{IoStats, JobUsage, PdmError, Result};
 pub const MAGIC: [u8; 4] = *b"PDMS";
 
 /// Job-plane protocol version; bumped on incompatible change.
-pub const VERSION: u32 = 1;
+/// Version 2 added the resilience fields: `max_retries` and the
+/// optional deadline on `SUBMIT`, attempt counts on job snapshots,
+/// and the farm's respawn counter on the overview.
+pub const VERSION: u32 = 2;
 
 // Request tags (client → server).
 const T_SUBMIT: u8 = 0x10;
@@ -163,6 +166,14 @@ pub fn encode_submit(out: &mut Vec<u8>, spec: &JobSpec) {
         }
         None => out.push(0),
     }
+    put_u32(out, spec.max_retries);
+    match spec.deadline_ms {
+        Some(ms) => {
+            out.push(1);
+            put_u64(out, ms);
+        }
+        None => out.push(0),
+    }
     end_frame(out, at);
 }
 
@@ -198,6 +209,12 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
                 1 => Some((t.u64()?, t.u32()? as usize)),
                 f => return Err(bad(&format!("bad fault flag {f}"))),
             };
+            let max_retries = t.u32()?;
+            let deadline_ms = match t.u8()? {
+                0 => None,
+                1 => Some(t.u64()?),
+                f => return Err(bad(&format!("bad deadline flag {f}"))),
+            };
             Ok(Request::Submit(JobSpec {
                 kind,
                 records,
@@ -206,6 +223,8 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
                 merge,
                 verify,
                 fault,
+                max_retries,
+                deadline_ms,
             }))
         }
         T_STATUS => Ok(Request::Status { id: t.u64()? }),
@@ -300,6 +319,7 @@ pub fn encode_job(out: &mut Vec<u8>, s: &JobStatus) {
     put_u64(out, s.id);
     out.push(s.kind.code());
     out.push(s.state.code());
+    put_u32(out, s.attempts);
     put_io(out, &s.usage.io);
     put_u32(out, s.usage.blocks_per_disk.len() as u32);
     for &b in &s.usage.blocks_per_disk {
@@ -333,6 +353,7 @@ pub fn encode_overview(out: &mut Vec<u8>, o: &Overview) {
     put_u64(out, o.running as u64);
     put_u64(out, o.finished as u64);
     put_u64(out, o.free_slots as u64);
+    put_u64(out, o.respawns);
     end_frame(out, at);
 }
 
@@ -380,6 +401,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply> {
             let kind = JobKind::from_code(t.u8()?).ok_or_else(|| bad("unknown job kind code"))?;
             let state =
                 JobState::from_code(t.u8()?).ok_or_else(|| bad("unknown job state code"))?;
+            let attempts = t.u32()?;
             let io = take_io(&mut t)?;
             let disks = t.u32()? as usize;
             let mut blocks_per_disk = Vec::with_capacity(disks.min(1 << 16));
@@ -410,6 +432,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply> {
                 },
                 report,
                 error,
+                attempts,
             }))
         }
         T_OVERVIEW => Ok(Reply::Overview(Overview {
@@ -417,6 +440,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply> {
             running: t.u64()? as usize,
             finished: t.u64()? as usize,
             free_slots: t.u64()? as usize,
+            respawns: t.u64()?,
         })),
         T_CANCELLED => Ok(Reply::Cancelled { live: t.u8()? != 0 }),
         T_UNKNOWN_JOB => Ok(Reply::UnknownJob { id: t.u64()? }),
@@ -455,18 +479,20 @@ mod tests {
         spec.merge = MergeStrategy::Forecast;
         spec.verify = true;
         spec.fault = Some((17, 3));
+        spec.max_retries = 3;
+        spec.deadline_ms = Some(30_000);
         let mut f = Vec::new();
         encode_submit(&mut f, &spec);
         match decode_request(body(&f)).unwrap() {
-            Request::Submit(got) => {
-                assert_eq!(got.kind, spec.kind);
-                assert_eq!(got.records, spec.records);
-                assert_eq!(got.memory, spec.memory);
-                assert_eq!(got.seed, spec.seed);
-                assert_eq!(got.merge, spec.merge);
-                assert_eq!(got.verify, spec.verify);
-                assert_eq!(got.fault, spec.fault);
-            }
+            Request::Submit(got) => assert_eq!(got, spec),
+            other => panic!("decoded {other:?}"),
+        }
+        // The defaults (no retries, no deadline) survive too.
+        let plain = JobSpec::new(JobKind::Sort, 1 << 10, 1 << 6, 1);
+        let mut f = Vec::new();
+        encode_submit(&mut f, &plain);
+        match decode_request(body(&f)).unwrap() {
+            Request::Submit(got) => assert_eq!(got, plain),
             other => panic!("decoded {other:?}"),
         }
     }
@@ -521,6 +547,7 @@ mod tests {
                 verified: true,
             }),
             error: None,
+            attempts: 2,
         };
         let mut f = Vec::new();
         encode_job(&mut f, &status);
@@ -531,6 +558,7 @@ mod tests {
                 assert_eq!(got.usage, status.usage);
                 assert_eq!(got.report.unwrap().passes, 3);
                 assert_eq!(got.error, None);
+                assert_eq!(got.attempts, 2);
             }
             other => panic!("decoded {other:?}"),
         }
@@ -543,12 +571,13 @@ mod tests {
                 running: 2,
                 finished: 3,
                 free_slots: 4,
+                respawns: 5,
             },
         );
         match decode_reply(body(&f)).unwrap() {
             Reply::Overview(o) => assert_eq!(
-                (o.queued, o.running, o.finished, o.free_slots),
-                (1, 2, 3, 4)
+                (o.queued, o.running, o.finished, o.free_slots, o.respawns),
+                (1, 2, 3, 4, 5)
             ),
             other => panic!("decoded {other:?}"),
         }

@@ -10,6 +10,7 @@
 //! blocks its connection (not the service) until the job is terminal.
 
 use crate::core::{ServiceConfig, ServiceCore};
+use crate::farm::{DiskFarm, FarmBackend};
 use crate::proto;
 use pdm::proto::read_frame;
 use std::io::Write;
@@ -97,13 +98,21 @@ fn io_err(e: pdm::PdmError) -> std::io::Error {
 /// ```text
 /// pdm-served --socket PATH [--block N] [--disks N] [--slots N]
 ///            [--quantum N] [--max-queue N] [--max-running N]
+///            [--sweep-ms N] [--retry-backoff-ms N]
+///            [--farm mem|uds] [--diskd PATH] [--max-respawns N]
 /// ```
 ///
 /// Sizes are in records (`--block`) and block slots per disk
-/// (`--slots`, `--quantum`).
+/// (`--slots`, `--quantum`). `--farm uds` runs one file-backed
+/// `pdm-diskd` process per disk (found next to this binary, or at
+/// `--diskd`), with crashed workers respawned up to `--max-respawns`
+/// times each.
 pub fn served_main(args: impl Iterator<Item = String>) -> i32 {
     let mut socket: Option<PathBuf> = None;
     let mut config = ServiceConfig::default();
+    let mut farm_uds = false;
+    let mut diskd: Option<PathBuf> = None;
+    let mut max_respawns: u32 = 4;
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Option<String> {
@@ -146,6 +155,29 @@ pub fn served_main(args: impl Iterator<Item = String>) -> i32 {
                 Some(v) => config.max_running = v,
                 None => return 2,
             },
+            "--sweep-ms" => match parsed("--sweep-ms", value("--sweep-ms")) {
+                Some(v) => config.sweep_ms = v as u64,
+                None => return 2,
+            },
+            "--retry-backoff-ms" => {
+                match parsed("--retry-backoff-ms", value("--retry-backoff-ms")) {
+                    Some(v) => config.retry_backoff_ms = v as u64,
+                    None => return 2,
+                }
+            }
+            "--farm" => match value("--farm").as_deref() {
+                Some("mem") => farm_uds = false,
+                Some("uds") => farm_uds = true,
+                other => {
+                    eprintln!("pdm-served: --farm wants mem or uds, got {other:?}");
+                    return 2;
+                }
+            },
+            "--diskd" => diskd = value("--diskd").map(PathBuf::from),
+            "--max-respawns" => match parsed("--max-respawns", value("--max-respawns")) {
+                Some(v) => max_respawns = v as u32,
+                None => return 2,
+            },
             other => {
                 eprintln!("pdm-served: unknown flag {other}");
                 return 2;
@@ -155,9 +187,29 @@ pub fn served_main(args: impl Iterator<Item = String>) -> i32 {
     let Some(socket) = socket else {
         eprintln!(
             "usage: pdm-served --socket PATH [--block N] [--disks N] [--slots N] \
-             [--quantum N] [--max-queue N] [--max-running N]"
+             [--quantum N] [--max-queue N] [--max-running N] [--sweep-ms N] \
+             [--retry-backoff-ms N] [--farm mem|uds] [--diskd PATH] [--max-respawns N]"
         );
         return 2;
+    };
+    let backend = if farm_uds {
+        let Some(bin) = diskd.or_else(pdm::transport::find_diskd) else {
+            eprintln!(
+                "pdm-served: --farm uds needs the pdm-diskd worker binary \
+                 (build it, set PDM_DISKD_BIN, or pass --diskd PATH)"
+            );
+            return 2;
+        };
+        FarmBackend::Uds { bin, max_respawns }
+    } else {
+        FarmBackend::Mem
+    };
+    let farm = match DiskFarm::with_backend(config.block, config.disks, config.slots, &backend) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pdm-served: farm: {e}");
+            return 1;
+        }
     };
     let _ = std::fs::remove_file(&socket);
     let listener = match UnixListener::bind(&socket) {
@@ -167,14 +219,16 @@ pub fn served_main(args: impl Iterator<Item = String>) -> i32 {
             return 1;
         }
     };
-    let core = ServiceCore::new(config);
+    let core = ServiceCore::new_with_farm(config, farm);
     println!(
-        "pdm-served: listening on {} (B={} D={} slots={} quantum={})",
+        "pdm-served: listening on {} (B={} D={} slots={} quantum={} farm={} sweep={}ms)",
         socket.display(),
         config.block,
         config.disks,
         config.slots,
-        config.quantum
+        config.quantum,
+        if farm_uds { "uds" } else { "mem" },
+        config.sweep_ms
     );
     serve_listener(listener, Arc::clone(&core));
     core.shutdown();

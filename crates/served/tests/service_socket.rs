@@ -42,6 +42,7 @@ fn quick_config() -> ServiceConfig {
         quantum: 16,
         max_queue: 8,
         max_running: 4,
+        ..ServiceConfig::default()
     }
 }
 
@@ -138,6 +139,28 @@ fn client_disconnect_cancels_its_running_job() {
     let qid = watcher.submit(&quick).unwrap().expect("accepted");
     let s = watcher.result(qid).unwrap().expect("known");
     assert_eq!(s.state, JobState::Done);
+    core.shutdown();
+}
+
+#[test]
+fn retry_budget_recovers_a_faulted_job_over_the_wire() {
+    let mut config = quick_config();
+    config.sweep_ms = 5;
+    config.retry_backoff_ms = 1;
+    let (core, path) = start(config, "retry");
+    let mut client = Client::connect(&path).expect("connect");
+    let mut spec = JobSpec::new(JobKind::Bmmc, 1 << 10, 1 << 6, 21);
+    spec.verify = true;
+    spec.fault = Some((2, 1)); // kills attempt 1
+    spec.max_retries = 2;
+    spec.deadline_ms = Some(60_000);
+    let id = client.submit(&spec).unwrap().expect("accepted");
+    let s = client.result(id).unwrap().expect("known");
+    assert_eq!(s.state, JobState::Done, "error: {:?}", s.error);
+    assert_eq!(s.attempts, 2, "wire carries the attempt count");
+    assert!(s.report.expect("report").verified);
+    let o = client.overview().expect("transport");
+    assert_eq!(o.free_slots, core.config().slots, "retry leaks no lease");
     core.shutdown();
 }
 

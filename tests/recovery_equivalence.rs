@@ -1,0 +1,293 @@
+//! Recovery equivalence: a run that absorbs injected transient
+//! faults through the retry layer must be observationally identical
+//! to a clean run — byte-identical final placement, intact payloads,
+//! and the **same charged `IoStats`** (retried operations are charged
+//! once) — across the geometry zoo, serial and threaded service
+//! modes, and both the in-process and real-worker-process (UDS)
+//! transports.
+//!
+//! The recovery ledger is pinned exactly: every injected fault that
+//! fires costs exactly one retry (`retries == transient_faults`), the
+//! attempt count decomposes as `parallel_ios + retries`, and a clean
+//! run's ledger is all-zero. Fault schedules mix point transients
+//! ([`FaultPlan::fail_transient_at`]) with flaky windows
+//! ([`FaultPlan::fail_between`]); a window spanning the whole run
+//! guarantees the schedule actually fires, so the equivalence claims
+//! are never vacuous.
+//!
+//! The UDS cases spawn one real `pdm-diskd` worker process per disk,
+//! so proptest case counts stay low; the deterministic sweep covers
+//! the full zoo.
+
+use bmmc::algorithm::perform_bmmc;
+use bmmc::catalog;
+use extsort::{sort_by_key_with, SortConfig};
+use pdm::{
+    Backend, DiskSystem, FaultPlan, Geometry, IoStats, RetryPolicy, RetryStats, ServiceMode,
+    TaggedRecord, TransportConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The geometry zoo of `tests/transport_equivalence.rs`.
+fn geometries() -> Vec<Geometry> {
+    vec![
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap(),
+        Geometry::new(1 << 9, 1 << 2, 1, 1 << 5).unwrap(),
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 5).unwrap(),
+        Geometry::new(1 << 10, 1 << 1, 1 << 3, 1 << 4).unwrap(),
+        Geometry::new(1 << 11, 1, 1 << 3, 1 << 4).unwrap(),
+    ]
+}
+
+/// The transports under test: the in-process reference and the real
+/// worker processes. (The simulated network shares the UDS command
+/// sequence and is covered by the transport equivalence suite.)
+fn transports() -> Vec<(&'static str, TransportConfig)> {
+    vec![
+        ("inproc", TransportConfig::InProc),
+        ("uds", TransportConfig::Uds(Default::default())),
+    ]
+}
+
+fn sortable(g: Geometry) -> bool {
+    g.memory() / (g.block() * g.disks()) >= 3
+}
+
+fn mode_of(threaded: bool) -> ServiceMode {
+    if threaded {
+        ServiceMode::Threaded
+    } else {
+        ServiceMode::Serial
+    }
+}
+
+/// A random schedule of transient faults: point faults at distinct
+/// operations plus an optional flaky window, all within `total` ops.
+#[derive(Clone, Debug)]
+struct Schedule {
+    points: Vec<(u64, usize)>,
+    window: Option<(u64, u64, usize)>,
+}
+
+impl Schedule {
+    /// Builds the fault plan. A point fault fires iff its disk
+    /// participates in that operation; at most one transient is
+    /// consumed per operation (the retry is a second attempt and is
+    /// never re-checked).
+    fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for &(op, disk) in &self.points {
+            plan = plan.fail_transient_at(op, disk);
+        }
+        if let Some((start, end, disk)) = self.window {
+            plan = plan.fail_between(start, end, disk);
+        }
+        plan
+    }
+
+    /// A schedule guaranteed to fire at least once on any run of
+    /// `total` operations: a window over every operation on disk 0
+    /// (which participates in every striped access) plus `k` point
+    /// faults spread across ops and disks.
+    fn covering(total: u64, disks: usize, k: u64) -> Self {
+        let points = (0..k)
+            .map(|i| ((i * total) / k.max(1), (i as usize + 1) % disks))
+            .collect();
+        Schedule {
+            points,
+            window: Some((0, total, 0)),
+        }
+    }
+}
+
+/// One run's observable outcome plus its recovery ledger.
+struct Outcome {
+    records: Vec<TaggedRecord>,
+    ios: IoStats,
+    retry: RetryStats,
+}
+
+enum Workload {
+    Bmmc,
+    Sort,
+}
+
+/// Runs the workload with the given fault schedule (empty = clean) and
+/// a fault-tolerant retry policy, returning placement, charged I/O,
+/// and the ledger.
+fn run(
+    g: Geometry,
+    s: u64,
+    cfg: &TransportConfig,
+    mode: ServiceMode,
+    workload: &Workload,
+    plan: FaultPlan,
+) -> Outcome {
+    let mut sys = DiskSystem::new_with_transport(g, 2, &Backend::Mem, cfg)
+        .expect("transport system construction");
+    sys.set_service_mode(mode);
+    sys.set_retry_policy(RetryPolicy::fault_tolerant());
+    sys.set_faults(plan);
+    let final_portion = match workload {
+        Workload::Bmmc => {
+            let mut rng = StdRng::seed_from_u64(s);
+            let perm = catalog::random_bmmc(&mut rng, g.n());
+            let input: Vec<TaggedRecord> = (0..g.records() as u64).map(TaggedRecord::new).collect();
+            sys.load_records(0, &input);
+            perform_bmmc(&mut sys, &perm)
+                .expect("bmmc run")
+                .final_portion
+        }
+        Workload::Sort => {
+            let mut keys: Vec<u64> = (0..g.records() as u64).collect();
+            keys.shuffle(&mut StdRng::seed_from_u64(s));
+            let input: Vec<TaggedRecord> = keys.into_iter().map(TaggedRecord::new).collect();
+            sys.load_records(0, &input);
+            sort_by_key_with(&mut sys, |r| r.key, SortConfig::default())
+                .expect("sort run")
+                .final_portion
+        }
+    };
+    let records = sys.dump_records(final_portion);
+    assert_eq!(sys.buffer_pool_stats().outstanding, 0, "buffers stranded");
+    Outcome {
+        records,
+        ios: sys.stats(),
+        retry: sys.retry_stats(),
+    }
+}
+
+/// Checks one faulted run against its clean reference: identical
+/// placement and charged I/O, intact payloads, and an exact ledger.
+fn assert_recovered(label: &str, clean: &Outcome, faulted: &Outcome) -> Result<(), TestCaseError> {
+    prop_assert!(
+        clean.retry.is_clean(),
+        "{label}: clean run has a dirty ledger: {}",
+        clean.retry
+    );
+    prop_assert!(
+        faulted.records.iter().all(TaggedRecord::intact),
+        "{label}: payload corrupted during recovery"
+    );
+    prop_assert_eq!(
+        &faulted.records,
+        &clean.records,
+        "{}: recovered placement diverged from clean",
+        label
+    );
+    prop_assert_eq!(
+        faulted.ios,
+        clean.ios,
+        "{label}: recovered run charged differently from clean"
+    );
+    let r = &faulted.retry;
+    prop_assert!(
+        r.transient_faults >= 1,
+        "{label}: the schedule never fired — the equivalence is vacuous"
+    );
+    prop_assert_eq!(
+        r.retries,
+        r.transient_faults,
+        "{}: each injected fault costs exactly one retry",
+        label
+    );
+    prop_assert_eq!(r.timeouts, 0, "{label}: no timeouts were scheduled");
+    prop_assert_eq!(r.respawns, 0, "{label}: no disconnects were scheduled");
+    prop_assert_eq!(
+        r.attempts,
+        faulted.ios.parallel_ios() + r.retries,
+        "{}: attempts decompose as admitted ops + retries",
+        label
+    );
+    Ok(())
+}
+
+/// Deterministic sweep: every geometry, serial and threaded, both
+/// transports, BMMC (everywhere) and sort (where the fan-in allows),
+/// each against a covering schedule derived from the clean run's
+/// operation count.
+#[test]
+fn recovered_runs_equal_clean_runs_across_the_zoo() {
+    for (gi, g) in geometries().into_iter().enumerate() {
+        let mut workloads = vec![Workload::Bmmc];
+        if sortable(g) {
+            workloads.push(Workload::Sort);
+        }
+        for workload in &workloads {
+            for threaded in [false, true] {
+                let mode = mode_of(threaded);
+                let seed = 0x9EC0 + gi as u64;
+                // The clean in-process run sizes the schedule; its op
+                // count is transport- and mode-invariant.
+                let reference = run(
+                    g,
+                    seed,
+                    &TransportConfig::InProc,
+                    mode,
+                    workload,
+                    FaultPlan::new(),
+                );
+                let schedule = Schedule::covering(reference.ios.parallel_ios(), g.disks(), 3);
+                for (name, cfg) in transports() {
+                    let label = format!(
+                        "g{gi}/{}/threaded={threaded}/{name}",
+                        match workload {
+                            Workload::Bmmc => "bmmc",
+                            Workload::Sort => "sort",
+                        }
+                    );
+                    let faulted = run(g, seed, &cfg, mode, workload, schedule.plan());
+                    assert_recovered(&label, &reference, &faulted).unwrap();
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random transient-fault schedules over random BMMC permutations:
+    /// point faults at random (op, disk) pairs plus a random flaky
+    /// window, on both transports. (Each UDS case spawns a set of real
+    /// worker processes, so cases stay few — the deterministic sweep
+    /// above covers the full zoo.)
+    #[test]
+    fn random_fault_schedules_recover_exactly(
+        s in any::<u64>(),
+        fault_seed in any::<u64>(),
+        gi in 0usize..5,
+        threaded in any::<bool>(),
+        uds in any::<bool>(),
+    ) {
+        let g = geometries()[gi];
+        let mode = mode_of(threaded);
+        let workload = Workload::Bmmc;
+        let reference = run(g, s, &TransportConfig::InProc, mode, &workload, FaultPlan::new());
+        let total = reference.ios.parallel_ios();
+        // Derive a random schedule inside the run: distinct ops (the
+        // plan is a set; duplicate ops would consume only one retry),
+        // disks in range, and a window guaranteeing >= 1 firing.
+        let mut rng = StdRng::seed_from_u64(fault_seed);
+        let mut points: Vec<(u64, usize)> = (0..5)
+            .map(|_| (rng.gen_range(0..total), rng.gen_range(0..g.disks())))
+            .collect();
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        let schedule = Schedule {
+            points,
+            window: Some((0, total, rng.gen_range(0..g.disks()))),
+        };
+        let cfg = if uds {
+            TransportConfig::Uds(Default::default())
+        } else {
+            TransportConfig::InProc
+        };
+        let label = format!("g{gi}/threaded={threaded}/uds={uds}");
+        let faulted = run(g, s, &cfg, mode, &workload, schedule.plan());
+        assert_recovered(&label, &reference, &faulted)?;
+    }
+}

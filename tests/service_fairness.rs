@@ -175,6 +175,7 @@ fn service_config() -> ServiceConfig {
         quantum: 16,
         max_queue: 16,
         max_running: 8,
+        ..ServiceConfig::default()
     }
 }
 
