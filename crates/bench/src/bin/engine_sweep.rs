@@ -47,12 +47,19 @@
 //! deterministic simulated network: placement and parallel-I/O counts
 //! identical, in-process rows move zero messages, and the sim rows'
 //! message/byte counts equal the real socket rows' exactly.
+//! Since PR 9 an **addr_eval** section measures the block-run address
+//! evaluator against the per-address one, both as an isolated kernel
+//! (addresses/s over ~2^22 sequential addresses, no I/O) and end to
+//! end on the bpc-baseline bit-reversal workload run per strategy:
+//! placement and parallel-I/O counts are exact-gated, and `--baseline`
+//! requires the block-run kernel ≥ 4× and the block-run end-to-end
+//! ≥ 1.2× their per-address counterparts.
 //!
 //! ```text
 //! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
 //!   --quick          small sizes (CI smoke); emits the "quick",
-//!                    "fusion", "extsort", "transport", and "file"
-//!                    sections
+//!                    "fusion", "extsort", "service", "recovery",
+//!                    "addr_eval", "transport", and "file" sections
 //!   --baseline       run full + quick and insist on the acceptance ratios
 //!   --file-dir DIR   parent directory for the file section's per-disk
 //!                    files (e.g. a tmpfs mount); default: a
@@ -62,8 +69,9 @@
 //!                    section, restricted to {inproc, X} — the CI UDS
 //!                    smoke step (needs the pdm-diskd binary for X=uds)
 //!   --out FILE       write the JSON document to FILE
-//!   --check FILE     compare this run's quick/fusion/extsort/file/
-//!                    transport sections against FILE's; exit 1 if the
+//!   --check FILE     compare this run's quick/fusion/extsort/service/
+//!                    recovery/addr_eval/file/transport sections
+//!                    against FILE's; exit 1 if the
 //!                    engine regressed >20% vs. the recorded speedup
 //!                    (rows whose recorded ratio is below the 1.5x
 //!                    acceptance bar are noise and not time-gated) or
@@ -73,14 +81,14 @@
 //!                    the working directory (per-PR bench trajectory)
 //! ```
 
-use bmmc::algorithm::{execute_passes, execute_passes_unfused};
+use bmmc::algorithm::{execute_passes, execute_passes_strategy, execute_passes_unfused};
 use bmmc::bounds;
 use bmmc::bpc_baseline::bpc_baseline_plan;
 use bmmc::catalog;
 use bmmc::factoring::{Pass, PassKind};
 use bmmc::fusion::fuse_passes;
-use bmmc::passes::{execute_pass, reference, reference_permute};
-use bmmc::Bmmc;
+use bmmc::passes::{execute_pass, reference, reference_permute, EvalStrategy};
+use bmmc::{AffineEvaluator, BlockEvaluator, Bmmc};
 use bmmc_bench::json::Json;
 use extsort::{sort_by_key_with, MergeStrategy, SortConfig};
 use pdm::{
@@ -482,6 +490,187 @@ fn run_fusion_sweep(lg_records: usize, reps: usize) -> Json {
         ("mode", Json::Str("threaded".into())),
         ("lg_records", Json::Num(lg_records as f64)),
         ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The PR 9 address-evaluation sweep: per-address vs. block-hoisted
+/// target computation, measured twice.
+///
+/// * **kernel** rows isolate the address math from all I/O: for the
+///   bit-reversal matrix at the bpc-baseline geometry, evaluate ~2^22
+///   consecutive addresses with a full [`AffineEvaluator::eval`] walk
+///   per address, then block-hoisted (one
+///   [`BlockEvaluator::block_base`] per `B`-record block plus a
+///   residual-table lookup per record). Both kernels fold their
+///   targets into a wrapping sum — compared for equality, and fed to
+///   [`std::hint::black_box`] so neither loop can be dead-code
+///   eliminated. Under `--baseline` the block-run kernel must clear
+///   ≥ 4× the per-address addresses/s.
+/// * **end_to_end** rows run the fusion sweep's bpc-baseline workload
+///   (BPC bit reversal, `B = 2^6`, `D = 2^2`, `M = 2^9`, threaded
+///   MemDisk) through [`execute_passes_strategy`] with
+///   [`EvalStrategy::PerAddress`] vs. [`EvalStrategy::BlockRun`]:
+///   placement must be byte-identical and the charged parallel-I/O
+///   counts equal (exact-gated by `--check`); under `--baseline` the
+///   block-run execution must clear ≥ 1.2× the per-address records/s.
+fn run_addr_eval_sweep(lg_records: usize, reps: usize, baseline_mode: bool) -> Json {
+    let geom = Geometry::new(1 << lg_records, 1 << 6, 1 << 2, 1 << 9).expect("addr_eval geometry");
+    let (n, b) = (geom.n(), geom.b());
+    let perm = catalog::bit_reversal(n);
+    let records = geom.records() as u64;
+    // ---- Kernel: raw addresses/s over ~2^22 sequential addresses.
+    let rounds = ((1u64 << 22) / records).max(1);
+    let total = rounds * records;
+    eprintln!(
+        "== addr_eval sweep: N=2^{lg_records}, B=2^{b}, bit reversal, \
+         {total} kernel addresses, best of {reps} reps"
+    );
+    let aff = AffineEvaluator::new(&perm);
+    let bev = BlockEvaluator::new(&perm, b as u32);
+    let rtab = bev
+        .residual_table()
+        .expect("b = 6 is within the residual-table cap");
+    let blocks = records >> b;
+    let mut rows: Vec<Json> = Vec::new();
+    let mut kernel_rates = [0.0f64; 2]; // [per_address, block_run]
+    let mut sums = [0u64; 2];
+    for (ki, kimpl) in ["per_address", "block_run"].into_iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..rounds {
+                if ki == 0 {
+                    for x in 0..records {
+                        acc = acc.wrapping_add(aff.eval(x));
+                    }
+                } else {
+                    for blk in 0..blocks {
+                        let ybase = bev.block_base(blk);
+                        for &r in rtab {
+                            acc = acc.wrapping_add(ybase ^ r);
+                        }
+                    }
+                }
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+            sum = std::hint::black_box(acc);
+        }
+        sums[ki] = sum;
+        kernel_rates[ki] = total as f64 / best;
+        eprintln!(
+            "   kernel     {:<11} {:>13.0} addresses/s  {:>8.3} ms",
+            kimpl,
+            kernel_rates[ki],
+            best * 1e3
+        );
+        rows.push(Json::obj(vec![
+            ("kind", Json::Str("kernel".into())),
+            ("impl", Json::Str(kimpl.into())),
+            (
+                "addresses_per_sec",
+                Json::Num((kernel_rates[ki] * 10.0).round() / 10.0),
+            ),
+            (
+                "elapsed_ms",
+                Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+            ),
+            ("parallel_ios", Json::Num(0.0)),
+        ]));
+    }
+    assert_eq!(
+        sums[0], sums[1],
+        "kernels disagree: hoisted evaluation diverged from per-address"
+    );
+    let kernel_speedup = kernel_rates[1] / kernel_rates[0];
+    eprintln!("   kernel block-run speedup: {kernel_speedup:.2}x");
+    if baseline_mode {
+        assert!(
+            kernel_speedup >= 4.0,
+            "acceptance criterion failed: block-run kernel only {kernel_speedup:.2}x per-address"
+        );
+    }
+    // ---- End to end: the bpc-baseline fusion workload per strategy.
+    let passes = bpc_baseline_plan(&perm, geom.b(), geom.m())
+        .expect("bit reversal is BPC")
+        .passes;
+    let input: Vec<u64> = (0..records).collect();
+    let expect = reference_permute(&input, |x| perm.target(x));
+    let mut e2e_rates = [0.0f64; 2]; // [per_address, block_run]
+    for (si, (simpl, strategy)) in [
+        ("per_address", EvalStrategy::PerAddress),
+        ("block_run", EvalStrategy::BlockRun),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+        sys.set_service_mode(ServiceMode::Threaded);
+        sys.load_records(0, &input);
+        let execute = |sys: &mut DiskSystem<u64>| {
+            execute_passes_strategy(sys, &passes, strategy).expect("bpc-baseline run")
+        };
+        // Warm-up rep doubles as the correctness check.
+        let report = execute(&mut sys);
+        assert_eq!(
+            sys.dump_records(report.final_portion),
+            expect,
+            "{simpl} produced a wrong permutation"
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = execute(&mut sys);
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(r.total.parallel_ios(), report.total.parallel_ios());
+        }
+        e2e_rates[si] = records as f64 / best;
+        eprintln!(
+            "   end_to_end {:<11} {:>13.0} records/s    {:>8.3} ms  {:>6} parallel I/Os",
+            simpl,
+            e2e_rates[si],
+            best * 1e3,
+            report.total.parallel_ios()
+        );
+        rows.push(Json::obj(vec![
+            ("kind", Json::Str("end_to_end".into())),
+            ("impl", Json::Str(simpl.into())),
+            ("executed_passes", Json::Num(report.num_passes() as f64)),
+            (
+                "parallel_ios",
+                Json::Num(report.total.parallel_ios() as f64),
+            ),
+            (
+                "records_per_sec",
+                Json::Num((e2e_rates[si] * 10.0).round() / 10.0),
+            ),
+            (
+                "elapsed_ms",
+                Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ]));
+    }
+    let e2e_speedup = e2e_rates[1] / e2e_rates[0];
+    eprintln!("   end_to_end block-run speedup: {e2e_speedup:.2}x");
+    if baseline_mode {
+        assert!(
+            e2e_speedup >= 1.2,
+            "acceptance criterion failed: block-run end-to-end only {e2e_speedup:.2}x per-address"
+        );
+    }
+    Json::obj(vec![
+        ("geometry", Json::Str(bmmc_bench::geom_label(&geom))),
+        ("kernel_addresses", Json::Num(total as f64)),
+        ("rows", Json::Arr(rows)),
+        (
+            "kernel_block_run_over_per_address",
+            Json::Num((kernel_speedup * 1000.0).round() / 1000.0),
+        ),
+        (
+            "end_to_end_block_run_over_per_address",
+            Json::Num((e2e_speedup * 1000.0).round() / 1000.0),
+        ),
     ])
 }
 
@@ -1450,6 +1639,7 @@ fn check_against_baseline(
             ("service", &["scenario", "job"], "parallel_ios"),
             ("recovery", &["run"], "parallel_ios"),
             ("recovery", &["run"], "retries"),
+            ("addr_eval", &["kind", "impl"], "parallel_ios"),
         ]
     };
     for &(section, keys, field) in gated {
@@ -1585,6 +1775,7 @@ fn main() {
     let mut extsort_section = None;
     let mut service_section = None;
     let mut recovery_section = None;
+    let mut addr_eval_section = None;
     if !file_only && !transport_only {
         if !quick_only {
             let (rows, section) = run_sweep(&FULL);
@@ -1610,6 +1801,9 @@ fn main() {
         let recovery = run_recovery_sweep(QUICK.lg_records, QUICK.reps.min(3), baseline_mode);
         sections.push(("recovery", recovery.clone()));
         recovery_section = Some(recovery);
+        let addr_eval = run_addr_eval_sweep(QUICK.lg_records, QUICK.reps, baseline_mode);
+        sections.push(("addr_eval", addr_eval.clone()));
+        addr_eval_section = Some(addr_eval);
     }
     // The transport section runs at the quick size in every mode but
     // --file-only: the same engine pass over in-process channels, UDS
@@ -1637,7 +1831,7 @@ fn main() {
 
     let mut doc_pairs = vec![
         ("bench", Json::Str("engine_sweep".into())),
-        ("version", Json::Num(5.0)),
+        ("version", Json::Num(6.0)),
         (
             "acceptance",
             Json::Str(
@@ -1652,7 +1846,9 @@ fn main() {
                  K=4 identical tenants charged exactly equally with completion spread <= 25% \
                  of mean; recovery: a ~1%-transient-fault run places byte-identically with \
                  identical charged parallel_ios and exactly one retry per injected firing, \
-                 recovered throughput >= 0.8x clean"
+                 recovered throughput >= 0.8x clean; addr_eval: block-run kernel >= 4x \
+                 per-address addresses/s, block-run end-to-end >= 1.2x per-address records/s \
+                 on the threaded bpc bit-reversal config, identical placement and parallel_ios"
                     .into(),
             ),
         ),
@@ -1721,6 +1917,7 @@ fn main() {
                     ("transport", transport_section.expect("transport ran")),
                     ("service", service_section.expect("service ran")),
                     ("recovery", recovery_section.expect("recovery ran")),
+                    ("addr_eval", addr_eval_section.expect("addr_eval ran")),
                 ]);
                 match check_against_baseline(&retry_doc, &baseline, false, false) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),

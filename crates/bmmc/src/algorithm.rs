@@ -8,8 +8,8 @@ use crate::bmmc::Bmmc;
 use crate::classes::{is_mld, is_mld_inverse, is_mrc};
 use crate::error::{BmmcError, Result};
 use crate::factoring::{factor, Factorization, Pass, PassKind};
-use crate::fusion::{execute_fused_with, fuse_passes, FusedPlan};
-use crate::passes::{execute_pass_with, PassStats};
+use crate::fusion::{execute_fused_with_strategy, fuse_passes, FusedPlan};
+use crate::passes::{execute_pass_with_strategy, EvalStrategy, PassStats};
 use pdm::{DiskSystem, IoStats, MsgStats, PassEngine, Record};
 
 /// Statistics for one *executed* step: one disk round-trip realizing
@@ -125,8 +125,21 @@ pub fn plan_passes(perm: &Bmmc, b: usize, m: usize) -> Result<Vec<Pass>> {
 /// [`execute_passes_unfused`]; only the intermediate disk round-trips
 /// (and so the I/O totals) differ.
 pub fn execute_passes<R: Record>(sys: &mut DiskSystem<R>, passes: &[Pass]) -> Result<BmmcReport> {
+    execute_passes_strategy(sys, passes, EvalStrategy::default())
+}
+
+/// [`execute_passes`] with an explicit address-evaluation strategy
+/// (see [`EvalStrategy`]): placement and I/O counts are identical
+/// across strategies, only the in-memory kernel work differs. The
+/// `addr_eval` benchmark uses [`EvalStrategy::PerAddress`] as its
+/// end-to-end baseline.
+pub fn execute_passes_strategy<R: Record>(
+    sys: &mut DiskSystem<R>,
+    passes: &[Pass],
+    strategy: EvalStrategy,
+) -> Result<BmmcReport> {
     let geom = sys.geometry();
-    execute_fused_plan(sys, &fuse_passes(passes, geom.b(), geom.m()))
+    execute_fused_plan_strategy(sys, &fuse_passes(passes, geom.b(), geom.m()), strategy)
 }
 
 /// Executes an already-fused plan (see [`execute_passes`], which
@@ -134,6 +147,15 @@ pub fn execute_passes<R: Record>(sys: &mut DiskSystem<R>, passes: &[Pass]) -> Re
 pub fn execute_fused_plan<R: Record>(
     sys: &mut DiskSystem<R>,
     plan: &FusedPlan,
+) -> Result<BmmcReport> {
+    execute_fused_plan_strategy(sys, plan, EvalStrategy::default())
+}
+
+/// [`execute_fused_plan`] with an explicit address-evaluation strategy.
+pub fn execute_fused_plan_strategy<R: Record>(
+    sys: &mut DiskSystem<R>,
+    plan: &FusedPlan,
+    strategy: EvalStrategy,
 ) -> Result<BmmcReport> {
     assert!(
         sys.portions() >= 2,
@@ -147,7 +169,7 @@ pub fn execute_fused_plan<R: Record>(
     for step in &plan.steps {
         let dst = 1 - src;
         let step_before = sys.stats();
-        execute_fused_with(&mut engine, sys, src, dst, step)?;
+        execute_fused_with_strategy(&mut engine, sys, src, dst, step, strategy)?;
         stats.push(StepStats {
             kinds: step.replaced.clone(),
             ios: sys.stats().since(&step_before),
@@ -181,7 +203,10 @@ pub fn execute_passes_unfused<R: Record>(
     let mut src = 0usize;
     for pass in passes {
         let dst = 1 - src;
-        stats.push(execute_pass_with(&mut engine, sys, src, dst, pass)?.into());
+        stats.push(
+            execute_pass_with_strategy(&mut engine, sys, src, dst, pass, EvalStrategy::default())?
+                .into(),
+        );
         src = dst;
     }
     Ok(BmmcReport {

@@ -19,7 +19,7 @@
 
 use crate::bmmc::Bmmc;
 use crate::error::Result;
-use crate::eval::AffineEvaluator;
+use crate::eval::BlockEvaluator;
 use gf2::{BitMatrix, BitVec};
 use pdm::{BlockRef, DiskSystem};
 
@@ -216,28 +216,36 @@ pub fn detect_bmmc(sys: &mut DiskSystem<u64>, portion: usize) -> Result<Detectio
         }
     };
 
-    // ---- Phase 2: verify all N addresses with striped reads.
-    let ev = AffineEvaluator::new(&perm);
-    let stripe_len = (geom.block() * disks) as u64;
+    // ---- Phase 2: verify all N addresses with striped reads. The
+    // scanned addresses are consecutive, so the candidate is evaluated
+    // block-hoisted: one high-bits evaluation per block of the stripe
+    // plus a residual lookup per record (see [`BlockEvaluator`]).
+    let bev = BlockEvaluator::new(&perm, b as u32);
+    let block = geom.block();
+    let stripe_len = (block * disks) as u64;
     let mid = sys.stats();
     for slot in 0..geom.stripes() {
         let stripe = sys.read_stripe(base + slot)?;
         let start = slot as u64 * stripe_len;
-        for (i, &stored) in stripe.iter().enumerate() {
-            let x = start + i as u64;
-            let predicted = ev.eval(x);
-            if stored != predicted {
-                return Ok(Detection::NotBmmc {
-                    reason: NotBmmcReason::Mismatch {
-                        address: x,
-                        stored,
-                        predicted,
-                    },
-                    stats: DetectStats {
-                        candidate_reads,
-                        verify_reads: sys.stats().since(&mid).parallel_reads,
-                    },
-                });
+        let first_block = start >> b;
+        for (blk, chunk) in stripe.chunks_exact(block).enumerate() {
+            let ybase = bev.block_base(first_block + blk as u64);
+            for (off, &stored) in chunk.iter().enumerate() {
+                let predicted = ybase ^ bev.residual(off as u64);
+                if stored != predicted {
+                    let x = start + (blk * block + off) as u64;
+                    return Ok(Detection::NotBmmc {
+                        reason: NotBmmcReason::Mismatch {
+                            address: x,
+                            stored,
+                            predicted,
+                        },
+                        stats: DetectStats {
+                            candidate_reads,
+                            verify_reads: sys.stats().since(&mid).parallel_reads,
+                        },
+                    });
+                }
             }
         }
     }

@@ -1,13 +1,61 @@
 //! Fast evaluation of `y = A x ⊕ c` for `n ≤ 64`.
 //!
-//! The executors apply the affine map to every one of up to `2^n`
-//! addresses, so the generic bit-matrix product is the hot path of the
-//! whole simulator. [`AffineEvaluator`] precomputes, for each byte
-//! position of the input, a 256-entry table of the XOR of the matrix
-//! columns selected by that byte. Evaluating an address is then
-//! `⌈n/8⌉` table lookups and XORs — no per-bit branching.
+//! The executors apply the affine map to up to `2^n` addresses per
+//! pass, so this module is the hot kernel of the whole simulator. It
+//! offers two precomputed forms:
+//!
+//! * [`AffineEvaluator`] — generic byte slicing: for each byte
+//!   position of the input, a 256-entry table of the XOR of the matrix
+//!   columns selected by that byte. Evaluating an address is `⌈n/8⌉`
+//!   table lookups and XORs — no per-bit branching.
+//!   [`AffineEvaluator::eval_batch`] amortises the table walk over a
+//!   whole slice of addresses, one table at a time, for full-scan
+//!   consumers ([`crate::verify`]) whose inputs are data-dependent.
+//!
+//! * [`BlockEvaluator`] — block hoisting. In the parallel disk model
+//!   (paper Section 2) the low `b = lg B` address bits only select a
+//!   record *within* its block, so writing `x = blk·2^b ⊕ off` splits
+//!   the affine map as
+//!
+//!   ```text
+//!   A x ⊕ c = (A·(blk << b) ⊕ c) ⊕ A·off = block_base(blk) ⊕ residual(off)
+//!   ```
+//!
+//!   `block_base` touches only the high `n − b` matrix columns and is
+//!   evaluated **once per source block**; `residual` touches only the
+//!   low `b` columns and is precomputed **once per matrix** as a
+//!   `2^min(b, 16)`-entry table ([`RESIDUAL_TABLE_MAX_BITS`]). Kernel
+//!   work per pass drops from `O(N)` full evaluations to `O(N/B)`
+//!   high-bit evaluations plus one XOR and one table load per record.
+//!
+//!   Because XOR acts bitwise, the *block* part of the target obeys
+//!   the same split: `block(y) = (block_base(blk) ⊕ residual(off)) >> b`,
+//!   so each source block fans out to exactly
+//!   [`BlockEvaluator::fanout`] distinct target blocks — one per
+//!   distinct block-level residual — each receiving `B / fanout` of
+//!   its records. This is the block-level structure behind the
+//!   one-pass classes of paper Sections 3–4 (MRC keeps
+//!   `block_base >> m` constant per memoryload; MLD's independent
+//!   writes spread the fanned-out blocks one per disk). When the
+//!   fanout is 1 the permutation is block-preserving and
+//!   [`BlockEvaluator::target_runs`] coalesces consecutive source
+//!   blocks whose targets are also consecutive into whole-block
+//!   **target runs** — the span shape `pdm`'s run-length
+//!   gather/scatter batches carry without allocating.
+//!
+//! [`PassEval`] bundles both forms for one permutation; the pass
+//! planners ([`crate::passes`], [`crate::fusion`]) take the bundle and
+//! pick the block-hoisted path whenever the residual table exists.
 
 use crate::bmmc::Bmmc;
+
+/// Residual tables are enumerated exhaustively over the `2^b` block
+/// offsets, so cap the width at which [`BlockEvaluator`] materialises
+/// them. `b ≤ 16` covers every realistic block size (64 KiB blocks of
+/// 1-byte records); beyond it the planners fall back to per-address
+/// evaluation. Tuning this width (e.g. splitting wider `b` into two
+/// half-tables) is an open ROADMAP item.
+pub const RESIDUAL_TABLE_MAX_BITS: u32 = 16;
 
 /// Precomputed byte-sliced evaluator for a BMMC permutation.
 #[derive(Clone)]
@@ -19,42 +67,56 @@ pub struct AffineEvaluator {
     tables: Vec<[u64; 256]>,
 }
 
+/// Packs each matrix column `j` of `perm` as a `u64`: bit `i` = `A[i][j]`.
+fn packed_columns(perm: &Bmmc) -> Vec<u64> {
+    let n = perm.bits();
+    let mut cols = vec![0u64; n];
+    for (j, col) in cols.iter_mut().enumerate() {
+        let column = perm.matrix().column(j);
+        for i in column.iter_ones() {
+            *col |= 1 << i;
+        }
+    }
+    cols
+}
+
+/// Builds byte-sliced lookup tables over `cols[lo..hi]`: `k`-th table
+/// maps a byte of the (shifted) input to the XOR of the columns
+/// `lo + 8k ..` selected by its bits.
+fn byte_tables(cols: &[u64], lo: usize, hi: usize) -> Vec<[u64; 256]> {
+    let width_total = hi - lo;
+    let num_tables = width_total.div_ceil(8);
+    let mut tables = vec![[0u64; 256]; num_tables];
+    for (k, table) in tables.iter_mut().enumerate() {
+        let base = lo + k * 8;
+        let width = 8.min(hi - base);
+        for byte in 0usize..256 {
+            if byte >> width != 0 {
+                continue; // bits beyond the width never occur in valid input
+            }
+            let mut acc = 0u64;
+            for bit in 0..width {
+                if byte >> bit & 1 == 1 {
+                    acc ^= cols[base + bit];
+                }
+            }
+            table[byte] = acc;
+        }
+    }
+    tables
+}
+
 impl AffineEvaluator {
     /// Builds the evaluator. The permutation must act on at most 64
     /// address bits (always true in the disk model, where `n = lg N`).
     pub fn new(perm: &Bmmc) -> Self {
         let n = perm.bits();
         assert!(n <= 64, "AffineEvaluator supports n ≤ 64, got {n}");
-        // Pack each matrix column j as a u64: bit i = A[i][j].
-        let mut cols = vec![0u64; n];
-        for (j, col) in cols.iter_mut().enumerate() {
-            let column = perm.matrix().column(j);
-            for i in column.iter_ones() {
-                *col |= 1 << i;
-            }
-        }
-        let num_tables = n.div_ceil(8);
-        let mut tables = vec![[0u64; 256]; num_tables];
-        for (k, table) in tables.iter_mut().enumerate() {
-            let base = k * 8;
-            let width = 8.min(n - base);
-            for byte in 0usize..256 {
-                if byte >> width != 0 {
-                    continue; // bits beyond n never occur in valid input
-                }
-                let mut acc = 0u64;
-                for bit in 0..width {
-                    if byte >> bit & 1 == 1 {
-                        acc ^= cols[base + bit];
-                    }
-                }
-                table[byte] = acc;
-            }
-        }
+        let cols = packed_columns(perm);
         AffineEvaluator {
             n: n as u32,
             c: perm.complement().as_u64(),
-            tables,
+            tables: byte_tables(&cols, 0, n),
         }
     }
 
@@ -75,6 +137,273 @@ impl AffineEvaluator {
             acc ^= table[(x >> (8 * k)) as usize & 0xff];
         }
         acc
+    }
+
+    /// Computes `A x ⊕ c` for every `x` in `xs`, writing the targets
+    /// into `out` (same length).
+    ///
+    /// Walks one byte table at a time across the whole slice instead
+    /// of all tables per address, so each 2 KiB table stays hot in L1
+    /// for the length of the batch — the entry point for full-scan
+    /// checks over data-dependent inputs where block hoisting does not
+    /// apply.
+    pub fn eval_batch(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "eval_batch length mismatch");
+        out.fill(self.c);
+        for (k, table) in self.tables.iter().enumerate() {
+            let shift = 8 * k as u32;
+            for (y, &x) in out.iter_mut().zip(xs.iter()) {
+                debug_assert!(self.n == 64 || x < (1u64 << self.n), "address out of range");
+                *y ^= table[(x >> shift) as usize & 0xff];
+            }
+        }
+    }
+}
+
+/// A maximal span of consecutive source blocks whose whole-block
+/// targets are also consecutive, emitted by
+/// [`BlockEvaluator::target_runs`] for block-preserving permutations.
+///
+/// Every record of source block `src_block + k` (for `k < len`) lands
+/// in target block `target_block + k`; within each block the records
+/// are rearranged by the shared intra-block permutation
+/// `off ↦ residual(off)` (low `b` bits — see
+/// [`BlockEvaluator::residual`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TargetRun {
+    /// First source block of the run.
+    pub src_block: u64,
+    /// Target block of `src_block`; block `src_block + k` lands in
+    /// `target_block + k`.
+    pub target_block: u64,
+    /// Number of consecutive blocks in the run.
+    pub len: u64,
+}
+
+/// Block-hoisted evaluator: per-source-block high-bit bases plus a
+/// per-matrix residual table for the low `b` offset bits.
+///
+/// See the [module docs](self) for the hoisting identity. All methods
+/// are exact for any nonsingular `A`; the planners additionally use
+/// [`Self::block_residuals`] (present when `b ≤`
+/// [`RESIDUAL_TABLE_MAX_BITS`]) to enumerate each block's fanned-out
+/// target blocks without touching its `B` addresses.
+#[derive(Clone)]
+pub struct BlockEvaluator {
+    n: u32,
+    b: u32,
+    c: u64,
+    /// Byte-sliced tables over the high columns `b..n`, indexed by the
+    /// bytes of the *block number* `blk = x >> b`.
+    hi_tables: Vec<[u64; 256]>,
+    /// Byte-sliced tables over the low columns `0..b`, indexed by the
+    /// bytes of the offset — the fallback when `b` is too wide for the
+    /// flat table.
+    lo_tables: Vec<[u64; 256]>,
+    /// Flat `residual(off)` table for all `2^b` offsets, when
+    /// `b ≤ RESIDUAL_TABLE_MAX_BITS`.
+    residual_table: Option<Vec<u64>>,
+    /// The distinct block-level residuals `residual(off) >> b`, in
+    /// first-occurrence order over ascending offset. Each source block
+    /// `blk` fans out to exactly the target blocks
+    /// `(block_base(blk) >> b) ⊕ r` for `r` in this list, and the
+    /// order matches the order a per-address ascending scan would
+    /// first touch them in — the pass planners rely on that to keep
+    /// batch discovery order byte-identical.
+    block_residuals: Option<Vec<u64>>,
+}
+
+impl BlockEvaluator {
+    /// Builds the evaluator for a permutation on `n`-bit addresses
+    /// whose low `block_bits = lg B` bits are intra-block offsets.
+    pub fn new(perm: &Bmmc, block_bits: u32) -> Self {
+        let n = perm.bits();
+        assert!(n <= 64, "BlockEvaluator supports n ≤ 64, got {n}");
+        assert!(
+            block_bits as usize <= n,
+            "block bits {block_bits} exceed address width {n}"
+        );
+        let b = block_bits as usize;
+        let cols = packed_columns(perm);
+        let hi_tables = byte_tables(&cols, b, n);
+        let lo_tables = byte_tables(&cols, 0, b);
+        let (residual_table, block_residuals) = if block_bits <= RESIDUAL_TABLE_MAX_BITS {
+            let mut table = vec![0u64; 1usize << b];
+            let mut residuals = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (off, slot) in table.iter_mut().enumerate() {
+                let mut acc = 0u64;
+                for (k, t) in lo_tables.iter().enumerate() {
+                    acc ^= t[(off >> (8 * k)) & 0xff];
+                }
+                *slot = acc;
+                if seen.insert(acc >> b) {
+                    residuals.push(acc >> b);
+                }
+            }
+            (Some(table), Some(residuals))
+        } else {
+            (None, None)
+        };
+        BlockEvaluator {
+            n: n as u32,
+            b: block_bits,
+            c: perm.complement().as_u64(),
+            hi_tables,
+            lo_tables,
+            residual_table,
+            block_residuals,
+        }
+    }
+
+    /// Address width `n`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Intra-block offset width `b = lg B`.
+    #[inline]
+    pub fn block_bits(&self) -> u32 {
+        self.b
+    }
+
+    /// Evaluates the invariant high bits once for a whole source
+    /// block: `A·(blk << b) ⊕ c`. The full target of address
+    /// `blk·2^b ⊕ off` is `block_base(blk) ⊕ residual(off)`; in
+    /// particular `block_base(blk)` *is* the target of the block's
+    /// offset-0 record.
+    #[inline]
+    pub fn block_base(&self, blk: u64) -> u64 {
+        debug_assert!(
+            self.n - self.b == 64 || blk < (1u64 << (self.n - self.b)),
+            "block number out of range"
+        );
+        let mut acc = self.c;
+        for (k, table) in self.hi_tables.iter().enumerate() {
+            acc ^= table[(blk >> (8 * k)) as usize & 0xff];
+        }
+        acc
+    }
+
+    /// Evaluates the low columns only: `A·off` for `off < 2^b`.
+    #[inline]
+    pub fn residual(&self, off: u64) -> u64 {
+        debug_assert!(
+            self.b == 64 || off < (1u64 << self.b),
+            "offset out of range"
+        );
+        if let Some(table) = &self.residual_table {
+            return table[off as usize];
+        }
+        let mut acc = 0u64;
+        for (k, table) in self.lo_tables.iter().enumerate() {
+            acc ^= table[(off >> (8 * k)) as usize & 0xff];
+        }
+        acc
+    }
+
+    /// The flat `2^b` residual table, when `b ≤`
+    /// [`RESIDUAL_TABLE_MAX_BITS`] — hot loops index it directly
+    /// instead of calling [`Self::residual`] per record.
+    #[inline]
+    pub fn residual_table(&self) -> Option<&[u64]> {
+        self.residual_table.as_deref()
+    }
+
+    /// The distinct block-level residuals in first-occurrence order
+    /// over ascending offset (see the field docs), or `None` when `b`
+    /// exceeds [`RESIDUAL_TABLE_MAX_BITS`].
+    #[inline]
+    pub fn block_residuals(&self) -> Option<&[u64]> {
+        self.block_residuals.as_deref()
+    }
+
+    /// Number of distinct target blocks each source block fans out to,
+    /// or `None` when the residuals were not enumerated.
+    #[inline]
+    pub fn fanout(&self) -> Option<usize> {
+        self.block_residuals.as_ref().map(Vec::len)
+    }
+
+    /// Whether every source block maps wholesale onto one target block
+    /// (fanout 1, i.e. the only block-level residual is 0). Requires
+    /// the residuals to have been enumerated.
+    #[inline]
+    pub fn preserves_blocks(&self) -> bool {
+        self.fanout() == Some(1)
+    }
+
+    /// Iterates the maximal [`TargetRun`]s covering `num_blocks`
+    /// consecutive source blocks starting at `first_block`,
+    /// coalescing consecutive source blocks whose target blocks are
+    /// also consecutive.
+    ///
+    /// Panics unless [`Self::preserves_blocks`]: with fanout > 1 no
+    /// whole-block runs exist.
+    pub fn target_runs(
+        &self,
+        first_block: u64,
+        num_blocks: u64,
+    ) -> impl Iterator<Item = TargetRun> + '_ {
+        assert!(
+            self.preserves_blocks(),
+            "target_runs requires a block-preserving permutation (fanout 1)"
+        );
+        let b = self.b;
+        let mut next = first_block;
+        let end = first_block + num_blocks;
+        std::iter::from_fn(move || {
+            if next >= end {
+                return None;
+            }
+            let src = next;
+            let target = self.block_base(src) >> b;
+            let mut len = 1u64;
+            while src + len < end && self.block_base(src + len) >> b == target + len {
+                len += 1;
+            }
+            next = src + len;
+            Some(TargetRun {
+                src_block: src,
+                target_block: target,
+                len,
+            })
+        })
+    }
+}
+
+/// The evaluator bundle the pass executors take: the generic
+/// per-address form plus the block-hoisted form for the same
+/// permutation. Planners use the block form whenever its residual
+/// table exists and fall back to [`PassEval::affine`] otherwise
+/// (`b >` [`RESIDUAL_TABLE_MAX_BITS`], or when forced for
+/// benchmarking via [`crate::passes::EvalStrategy::PerAddress`]).
+#[derive(Clone)]
+pub struct PassEval {
+    affine: AffineEvaluator,
+    block: BlockEvaluator,
+}
+
+impl PassEval {
+    /// Builds both evaluator forms for `perm` with `block_bits = lg B`.
+    pub fn new(perm: &Bmmc, block_bits: u32) -> Self {
+        PassEval {
+            affine: AffineEvaluator::new(perm),
+            block: BlockEvaluator::new(perm, block_bits),
+        }
+    }
+
+    /// The generic per-address evaluator.
+    #[inline]
+    pub fn affine(&self) -> &AffineEvaluator {
+        &self.affine
+    }
+
+    /// The block-hoisted evaluator.
+    #[inline]
+    pub fn block(&self) -> &BlockEvaluator {
+        &self.block
     }
 }
 
@@ -121,5 +450,119 @@ mod tests {
         for x in [0u64, 1, 12345, (1 << 20) - 1] {
             assert_eq!(ev.eval(x), x);
         }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for n in [1usize, 7, 13, 24] {
+            let a = random_nonsingular(&mut rng, n);
+            let c = BitVec::from_u64(n, rng.gen::<u64>() & ((1u64 << n) - 1));
+            let p = Bmmc::new(a, c).unwrap();
+            let ev = AffineEvaluator::new(&p);
+            let xs: Vec<u64> = (0..257)
+                .map(|_| rng.gen::<u64>() & ((1u64 << n) - 1))
+                .collect();
+            let mut out = vec![0u64; xs.len()];
+            ev.eval_batch(&xs, &mut out);
+            for (&x, &y) in xs.iter().zip(out.iter()) {
+                assert_eq!(y, ev.eval(x), "n={n}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_split_matches_full_eval() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for (n, b) in [(6usize, 0u32), (6, 2), (10, 4), (13, 13), (18, 6)] {
+            let a = random_nonsingular(&mut rng, n);
+            let c = BitVec::from_u64(n, rng.gen::<u64>() & ((1u64 << n) - 1));
+            let p = Bmmc::new(a, c).unwrap();
+            let ev = AffineEvaluator::new(&p);
+            let bev = BlockEvaluator::new(&p, b);
+            for _ in 0..300 {
+                let x = rng.gen::<u64>() & ((1u64 << n) - 1);
+                let (blk, off) = (x >> b, x & ((1u64 << b) - 1));
+                assert_eq!(
+                    bev.block_base(blk) ^ bev.residual(off),
+                    ev.eval(x),
+                    "n={n}, b={b}, x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_residuals_first_occurrence_order() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for (n, b) in [(10usize, 3u32), (12, 5), (9, 0)] {
+            let a = random_nonsingular(&mut rng, n);
+            let c = BitVec::from_u64(n, rng.gen::<u64>() & ((1u64 << n) - 1));
+            let p = Bmmc::new(a, c).unwrap();
+            let bev = BlockEvaluator::new(&p, b);
+            // Reference: scan offsets ascending, collect first-seen
+            // block-level residuals.
+            let mut expect = Vec::new();
+            for off in 0..(1u64 << b) {
+                let r = bev.residual(off) >> b;
+                if !expect.contains(&r) {
+                    expect.push(r);
+                }
+            }
+            assert_eq!(bev.block_residuals().unwrap(), &expect[..], "n={n}, b={b}");
+            assert_eq!(bev.fanout().unwrap(), expect.len());
+            assert_eq!(bev.block_residuals().unwrap()[0], 0, "residual(0) is 0");
+        }
+    }
+
+    #[test]
+    fn identity_runs_coalesce_fully() {
+        let bev = BlockEvaluator::new(&Bmmc::identity(12), 4);
+        assert!(bev.preserves_blocks());
+        let runs: Vec<TargetRun> = bev.target_runs(0, 1 << 8).collect();
+        assert_eq!(
+            runs,
+            vec![TargetRun {
+                src_block: 0,
+                target_block: 0,
+                len: 1 << 8
+            }]
+        );
+    }
+
+    #[test]
+    fn runs_cover_blocks_exactly_once() {
+        // A block-preserving but non-identity map: swap two high bits
+        // (a BPC permuting only block-number bits).
+        use gf2::BitMatrix;
+        let n = 10;
+        let b = 3u32;
+        let mut m = BitMatrix::identity(n);
+        // Swap rows/cols to exchange address bits 8 and 9.
+        m.set(8, 8, false);
+        m.set(9, 9, false);
+        m.set(8, 9, true);
+        m.set(9, 8, true);
+        let p = Bmmc::new(m, BitVec::zeros(n)).unwrap();
+        let bev = BlockEvaluator::new(&p, b);
+        assert!(bev.preserves_blocks());
+        let ev = AffineEvaluator::new(&p);
+        let mut covered = vec![false; 1 << (n - b as usize)];
+        for run in bev.target_runs(0, 1 << (n - b as usize)) {
+            for k in 0..run.len {
+                let src = run.src_block + k;
+                assert!(!covered[src as usize], "block covered twice");
+                covered[src as usize] = true;
+                // Whole-block target agrees with the per-address path.
+                for off in 0..(1u64 << b) {
+                    assert_eq!(
+                        ev.eval((src << b) | off) >> b,
+                        run.target_block + k,
+                        "src={src}, off={off}"
+                    );
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "runs missed a block");
     }
 }

@@ -77,9 +77,9 @@
 use crate::bmmc::Bmmc;
 use crate::classes::{is_mld, is_mld_inverse, is_mrc};
 use crate::error::{BmmcError, Result};
-use crate::eval::AffineEvaluator;
+use crate::eval::PassEval;
 use crate::factoring::{Pass, PassKind};
-use crate::passes;
+use crate::passes::{self, EvalStrategy};
 use gf2::{BitMatrix, BitVec};
 use pdm::{DiskSystem, Geometry, PassEngine, Record};
 
@@ -301,7 +301,22 @@ pub fn execute_fused_with<R: Record>(
     dst: usize,
     step: &FusedPass,
 ) -> Result<()> {
-    let n = sys.geometry().n();
+    execute_fused_with_strategy(engine, sys, src, dst, step, EvalStrategy::default())
+}
+
+/// [`execute_fused_with`] with an explicit address-evaluation strategy
+/// (see [`EvalStrategy`]); placement and I/O accounting are identical
+/// across strategies.
+pub fn execute_fused_with_strategy<R: Record>(
+    engine: &mut PassEngine<R>,
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    step: &FusedPass,
+    strategy: EvalStrategy,
+) -> Result<()> {
+    let geom = sys.geometry();
+    let n = geom.n();
     if step.matrix.rows() != n {
         return Err(BmmcError::GeometryMismatch {
             perm_bits: step.matrix.rows(),
@@ -309,17 +324,22 @@ pub fn execute_fused_with<R: Record>(
         });
     }
     assert_ne!(src, dst, "source and target portions must differ");
-    let ev = AffineEvaluator::new(&step.as_bmmc());
+    let b = geom.b() as u32;
+    let ev = PassEval::new(&step.as_bmmc(), b);
     match (&step.gather, step.write) {
-        (None, WriteDiscipline::Striped) => passes::execute_mrc(engine, sys, src, dst, &ev),
-        (None, WriteDiscipline::Scatter) => passes::execute_mld(engine, sys, src, dst, &ev),
+        (None, WriteDiscipline::Striped) => {
+            passes::execute_mrc(engine, sys, src, dst, &ev, strategy)
+        }
+        (None, WriteDiscipline::Scatter) => {
+            passes::execute_mld(engine, sys, src, dst, &ev, strategy)
+        }
         (Some(g), WriteDiscipline::Striped) => {
-            let inv_ev = AffineEvaluator::new(&g.inverse());
-            passes::execute_mld_inverse(engine, sys, src, dst, &ev, &inv_ev)
+            let inv_ev = PassEval::new(&g.inverse(), b);
+            passes::execute_mld_inverse(engine, sys, src, dst, &ev, &inv_ev, strategy)
         }
         (Some(g), WriteDiscipline::Scatter) => {
-            let inv_ev = AffineEvaluator::new(&g.inverse());
-            passes::execute_gather_scatter(engine, sys, src, dst, &ev, &inv_ev)
+            let inv_ev = PassEval::new(&g.inverse(), b);
+            passes::execute_gather_scatter(engine, sys, src, dst, &ev, &inv_ev, strategy)
         }
     }
 }

@@ -70,13 +70,14 @@ pub mod verify;
 
 pub use crate::bmmc::Bmmc;
 pub use algorithm::{
-    execute_fused_plan, execute_passes, execute_passes_unfused, perform_bmmc, plan_passes,
-    BmmcReport, StepStats,
+    execute_fused_plan, execute_fused_plan_strategy, execute_passes, execute_passes_strategy,
+    execute_passes_unfused, perform_bmmc, plan_passes, BmmcReport, StepStats,
 };
 pub use classes::{classify, is_bmmc, is_bpc, is_mld, is_mld_inverse, is_mrc, ClassFlags};
 pub use detect::{detect_bmmc, Detection};
 pub use error::{BmmcError, Result};
-pub use eval::AffineEvaluator;
+pub use eval::{AffineEvaluator, BlockEvaluator, PassEval, TargetRun};
 pub use extensions::perform_mld_pair;
 pub use factoring::{factor, factor_chunked, Factorization, Pass, PassKind};
 pub use fusion::{fuse_passes, FusedPass, FusedPlan};
+pub use passes::EvalStrategy;

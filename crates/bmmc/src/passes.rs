@@ -31,12 +31,26 @@
 //! one-pass characteristic matrix is nonsingular (Lemma 12; trivially
 //! for MRC), and it is performed in place by cycle-following.
 //!
+//! # Block-run evaluation
+//!
+//! By default ([`EvalStrategy::BlockRun`]) the executors evaluate
+//! target addresses with the block-hoisted [`BlockEvaluator`] form
+//! (see [`crate::eval`]): the high `n − b` bits of the affine map are
+//! evaluated once per source block and the low `b` bits come from the
+//! per-matrix residual table, so a memoryload's planning and permute
+//! closures perform `M/B` high-bit evaluations instead of `M` full
+//! ones. Batch discovery (the gather planner's first-seen order, the
+//! scatter push order) is arranged to be *byte-identical* to the
+//! per-address scan it replaces — [`EvalStrategy::PerAddress`] keeps
+//! that scan alive for differential testing and as the `addr_eval`
+//! benchmark baseline.
+//!
 //! The superseded hand-written loops survive in [`mod@reference`] — they
 //! are the differential-testing oracle for the engine and the "old
 //! loop" baseline of the `engine_sweep` benchmark.
 
 use crate::error::{BmmcError, Result};
-use crate::eval::AffineEvaluator;
+use crate::eval::{AffineEvaluator, BlockEvaluator, PassEval};
 use crate::factoring::{Pass, PassKind};
 use pdm::engine::{ReadPlan, WritePlan};
 use pdm::memory::permute_in_place;
@@ -50,6 +64,31 @@ pub struct PassStats {
     pub kind: PassKind,
     /// I/O performed by this pass alone.
     pub ios: IoStats,
+}
+
+/// How the pass executors evaluate target addresses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Hoist the invariant high bits once per source block and look
+    /// the low bits up in the per-matrix residual table (see
+    /// [`crate::eval::BlockEvaluator`]). The production default; the
+    /// executors silently fall back to per-address evaluation when the
+    /// block is too wide for the residual table
+    /// (`b > `[`crate::eval::RESIDUAL_TABLE_MAX_BITS`]).
+    #[default]
+    BlockRun,
+    /// Evaluate `y = Ax ⊕ c` independently for every address — the
+    /// pre-block-run behaviour, kept selectable for differential
+    /// testing and as the `addr_eval` benchmark baseline.
+    PerAddress,
+}
+
+impl EvalStrategy {
+    /// Whether this strategy uses `bev`'s block-hoisted path (requires
+    /// the residual table to have been materialised).
+    fn uses_block(self, bev: &BlockEvaluator) -> bool {
+        self == EvalStrategy::BlockRun && bev.residual_table().is_some()
+    }
 }
 
 /// Executes one pass, moving all `N` records from portion `src` to
@@ -67,13 +106,28 @@ pub fn execute_pass<R: Record>(
 }
 
 /// Executes one pass on a caller-provided engine (reusing its
-/// memoryload buffers across passes).
+/// memoryload buffers across passes), with the default
+/// [`EvalStrategy::BlockRun`] address evaluation.
 pub fn execute_pass_with<R: Record>(
     engine: &mut PassEngine<R>,
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
     pass: &Pass,
+) -> Result<PassStats> {
+    execute_pass_with_strategy(engine, sys, src, dst, pass, EvalStrategy::default())
+}
+
+/// Executes one pass on a caller-provided engine with an explicit
+/// address-evaluation strategy. Placement and I/O accounting are
+/// identical across strategies; only the kernel work differs.
+pub fn execute_pass_with_strategy<R: Record>(
+    engine: &mut PassEngine<R>,
+    sys: &mut DiskSystem<R>,
+    src: usize,
+    dst: usize,
+    pass: &Pass,
+    strategy: EvalStrategy,
 ) -> Result<PassStats> {
     let geom = sys.geometry();
     let n = geom.n();
@@ -85,13 +139,13 @@ pub fn execute_pass_with<R: Record>(
     }
     assert_ne!(src, dst, "source and target portions must differ");
     let before = sys.stats();
-    let ev = AffineEvaluator::new(&pass.as_bmmc());
+    let ev = PassEval::new(&pass.as_bmmc(), geom.b() as u32);
     match pass.kind {
-        PassKind::Mrc => execute_mrc(engine, sys, src, dst, &ev)?,
-        PassKind::Mld => execute_mld(engine, sys, src, dst, &ev)?,
+        PassKind::Mrc => execute_mrc(engine, sys, src, dst, &ev, strategy)?,
+        PassKind::Mld => execute_mld(engine, sys, src, dst, &ev, strategy)?,
         PassKind::MldInverse => {
-            let inv_ev = AffineEvaluator::new(&pass.as_bmmc().inverse());
-            execute_mld_inverse(engine, sys, src, dst, &ev, &inv_ev)?;
+            let inv_ev = PassEval::new(&pass.as_bmmc().inverse(), geom.b() as u32);
+            execute_mld_inverse(engine, sys, src, dst, &ev, &inv_ev, strategy)?;
         }
     }
     Ok(PassStats {
@@ -111,23 +165,47 @@ pub(crate) fn execute_mrc<R: Record>(
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
-    ev: &AffineEvaluator,
+    ev: &PassEval,
+    strategy: EvalStrategy,
 ) -> Result<()> {
     let geom = sys.geometry();
-    let (mem, m) = (geom.memory(), geom.m());
+    let (mem, m, b) = (geom.memory(), geom.m(), geom.b());
     let mask = (mem - 1) as u64;
+    let bmask = geom.block() - 1;
+    let affine = ev.affine();
+    let bev = ev.block();
+    let use_block = strategy.uses_block(bev);
+    // One target base per source block of the memoryload, refilled per
+    // load (the block-hoisted `O(M/B)` part of the evaluation).
+    let mut pos_base = vec![0u64; geom.blocks_per_memoryload()];
     engine
         .run_pass(
             sys,
             |ml, _gather| ReadPlan::Memoryload { portion: src, ml },
             |ml, records, _scratch, _scatter| {
                 let base = (ml * mem) as u64;
-                let target_ml = (ev.eval(base) >> m) as usize;
+                let target_ml = if use_block {
+                    let first = base >> b;
+                    for (j, pb) in pos_base.iter_mut().enumerate() {
+                        *pb = bev.block_base(first + j as u64);
+                    }
+                    // residual(0) = 0, so pos_base[0] is eval(base).
+                    (pos_base[0] >> m) as usize
+                } else {
+                    (affine.eval(base) >> m) as usize
+                };
                 debug_assert!(
-                    (0..mem as u64).all(|i| (ev.eval(base + i) >> m) as usize == target_ml),
+                    (0..mem as u64).all(|i| (affine.eval(base + i) >> m) as usize == target_ml),
                     "MRC pass scattered a memoryload across target memoryloads"
                 );
-                permute_in_place(records, |i| (ev.eval(base + i as u64) & mask) as usize);
+                if use_block {
+                    let rtab = bev.residual_table().unwrap();
+                    permute_in_place(records, |i| {
+                        ((pos_base[i >> b] ^ rtab[i & bmask]) & mask) as usize
+                    });
+                } else {
+                    permute_in_place(records, |i| (affine.eval(base + i as u64) & mask) as usize);
+                }
                 WritePlan::Memoryload {
                     portion: dst,
                     ml: target_ml,
@@ -147,15 +225,22 @@ pub(crate) fn execute_mld<R: Record>(
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
-    ev: &AffineEvaluator,
+    ev: &PassEval,
+    strategy: EvalStrategy,
 ) -> Result<()> {
     let geom = sys.geometry();
     let layout = sys.layout();
-    let mem = geom.memory();
+    let (mem, b) = (geom.memory(), geom.b());
     let disks = geom.disks();
     let mask = (mem - 1) as u64;
+    let bmask = geom.block() - 1;
     let rel_blocks = geom.blocks_per_memoryload(); // M/B
+    let rel_mask = (rel_blocks - 1) as u64;
     let dst_base = sys.portion_base(dst);
+    let affine = ev.affine();
+    let bev = ev.block();
+    let use_block = strategy.uses_block(bev);
+    let mut pos_base = vec![0u64; rel_blocks];
     let mut target_block = vec![0u64; rel_blocks];
     engine
         .run_pass(
@@ -167,12 +252,47 @@ pub(crate) fn execute_mld<R: Record>(
                 // block number (well-defined: records sharing a relative
                 // block share a target memoryload — Lemma 14 via the
                 // kernel condition).
-                for i in 0..mem as u64 {
-                    let y = ev.eval(base + i);
-                    let rel = layout.relative_block(y) as usize;
-                    target_block[rel] = layout.block(y);
+                if use_block {
+                    let first = base >> b;
+                    for (j, pb) in pos_base.iter_mut().enumerate() {
+                        *pb = bev.block_base(first + j as u64);
+                    }
+                    if bev.preserves_blocks() {
+                        // Fanout 1: whole-block target runs cover the
+                        // memoryload; each run is a span of consecutive
+                        // source blocks landing in consecutive target
+                        // blocks.
+                        for run in bev.target_runs(first, rel_blocks as u64) {
+                            for k in 0..run.len {
+                                let tb = run.target_block + k;
+                                target_block[(tb & rel_mask) as usize] = tb;
+                            }
+                        }
+                    } else {
+                        // Fanout K: each source block scatters to the K
+                        // target blocks given by the block-level
+                        // residuals.
+                        let brs = bev.block_residuals().unwrap();
+                        for pb in &pos_base {
+                            let tb_base = pb >> b;
+                            for &r in brs {
+                                let tb = tb_base ^ r;
+                                target_block[(tb & rel_mask) as usize] = tb;
+                            }
+                        }
+                    }
+                    let rtab = bev.residual_table().unwrap();
+                    permute_in_place(records, |i| {
+                        ((pos_base[i >> b] ^ rtab[i & bmask]) & mask) as usize
+                    });
+                } else {
+                    for i in 0..mem as u64 {
+                        let y = affine.eval(base + i);
+                        let rel = layout.relative_block(y) as usize;
+                        target_block[rel] = layout.block(y);
+                    }
+                    permute_in_place(records, |i| (affine.eval(base + i as u64) & mask) as usize);
                 }
-                permute_in_place(records, |i| (ev.eval(base + i as u64) & mask) as usize);
                 // Scatter M/BD batches of D blocks; batch t carries
                 // relative blocks tD .. tD+D−1 (contiguous in the
                 // permuted buffer), whose low d bits give their disks.
@@ -213,6 +333,7 @@ struct GatherState {
     seen: Vec<bool>,
     layout: pdm::Layout,
     mem: usize,
+    b: usize,
     disks: usize,
     rel_blocks: usize,
     src_base: usize,
@@ -229,6 +350,7 @@ impl GatherState {
             seen: vec![false; geom.total_blocks()],
             layout: sys.layout(),
             mem: geom.memory(),
+            b: geom.b(),
             disks,
             rel_blocks,
             src_base: sys.portion_base(src),
@@ -237,12 +359,22 @@ impl GatherState {
 
     /// Discovers the `M/B` distinct source blocks feeding unit `t`
     /// (the preimage of target memoryload `t` under the gather map,
-    /// planned via its inverse `inv_ev`) and fills `gather` with
+    /// planned via its inverse `inv`) and fills `gather` with
     /// `M/BD` independent reads of one block per disk.
+    ///
+    /// With block-run evaluation the discovery loop walks the unit's
+    /// `M/B` blocks and the inverse map's block-level residuals instead
+    /// of its `M` addresses. The per-address ascending scan visits,
+    /// within source block `j`, the candidate blocks
+    /// `(block_base(j) >> b) ⊕ r` exactly in the residuals'
+    /// first-occurrence order — so the first-seen discovery order (and
+    /// with it the per-disk lists, batch composition, and buffer
+    /// layout) is byte-identical across strategies.
     fn plan_unit(
         &mut self,
         t: usize,
-        inv_ev: &AffineEvaluator,
+        inv: &PassEval,
+        use_block: bool,
         gather: &mut pdm::engine::BlockBatches,
     ) -> ReadPlan {
         let base = (t * self.mem) as u64;
@@ -254,12 +386,29 @@ impl GatherState {
                 self.seen[blk as usize] = false;
             }
         }
-        for i in 0..self.mem as u64 {
-            let x = inv_ev.eval(base + i);
-            let blk = self.layout.block(x);
-            if !self.seen[blk as usize] {
-                self.seen[blk as usize] = true;
-                self.per_disk[self.layout.disk_of_block(blk) as usize].push(blk);
+        if use_block {
+            let bev = inv.block();
+            let brs = bev.block_residuals().unwrap();
+            let first = base >> self.b;
+            for j in 0..self.rel_blocks as u64 {
+                let xb = bev.block_base(first + j) >> self.b;
+                for &r in brs {
+                    let blk = xb ^ r;
+                    if !self.seen[blk as usize] {
+                        self.seen[blk as usize] = true;
+                        self.per_disk[self.layout.disk_of_block(blk) as usize].push(blk);
+                    }
+                }
+            }
+        } else {
+            let inv_ev = inv.affine();
+            for i in 0..self.mem as u64 {
+                let x = inv_ev.eval(base + i);
+                let blk = self.layout.block(x);
+                if !self.seen[blk as usize] {
+                    self.seen[blk as usize] = true;
+                    self.per_disk[self.layout.disk_of_block(blk) as usize].push(blk);
+                }
             }
         }
         debug_assert!(
@@ -301,19 +450,23 @@ pub(crate) fn execute_mld_inverse<R: Record>(
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
-    ev: &AffineEvaluator,
-    inv_ev: &AffineEvaluator,
+    ev: &PassEval,
+    inv_ev: &PassEval,
+    strategy: EvalStrategy,
 ) -> Result<()> {
     let geom = sys.geometry();
     let layout = sys.layout();
     let mem = geom.memory();
     let block = geom.block();
     let mask = (mem - 1) as u64;
+    let affine = ev.affine();
+    let bev = ev.block();
+    let use_block = strategy.uses_block(bev) && strategy.uses_block(inv_ev.block());
     let state = RefCell::new(GatherState::new(sys, src));
     engine
         .run_pass(
             sys,
-            |t, gather| state.borrow_mut().plan_unit(t, inv_ev, gather),
+            |t, gather| state.borrow_mut().plan_unit(t, inv_ev, use_block, gather),
             |t, records, scratch, _scatter| {
                 // `records` holds the gathered blocks in batch-major
                 // order; scatter each record to its target position (the
@@ -321,19 +474,40 @@ pub(crate) fn execute_mld_inverse<R: Record>(
                 // buffer.
                 let st = state.borrow();
                 let mut target_ml = 0usize;
-                for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
-                    for off in 0..block {
-                        let x = layout.compose_block(blk, off as u64);
-                        let y = ev.eval(x);
-                        if g == 0 && off == 0 {
-                            target_ml = layout.memoryload(y) as usize;
+                if use_block {
+                    let rtab = bev.residual_table().unwrap();
+                    for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
+                        // One high-bit evaluation per gathered block;
+                        // ybase is the target of its offset-0 record.
+                        let ybase = bev.block_base(blk);
+                        if g == 0 {
+                            target_ml = layout.memoryload(ybase) as usize;
                         }
-                        debug_assert_eq!(
-                            layout.memoryload(y) as usize,
-                            target_ml,
-                            "unit scattered across target memoryloads"
-                        );
-                        scratch[(y & mask) as usize] = records[g * block + off];
+                        for (off, &r) in rtab.iter().enumerate() {
+                            let y = ybase ^ r;
+                            debug_assert_eq!(
+                                layout.memoryload(y) as usize,
+                                target_ml,
+                                "unit scattered across target memoryloads"
+                            );
+                            scratch[(y & mask) as usize] = records[g * block + off];
+                        }
+                    }
+                } else {
+                    for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
+                        for off in 0..block {
+                            let x = layout.compose_block(blk, off as u64);
+                            let y = affine.eval(x);
+                            if g == 0 && off == 0 {
+                                target_ml = layout.memoryload(y) as usize;
+                            }
+                            debug_assert_eq!(
+                                layout.memoryload(y) as usize,
+                                target_ml,
+                                "unit scattered across target memoryloads"
+                            );
+                            scratch[(y & mask) as usize] = records[g * block + off];
+                        }
                     }
                 }
                 std::mem::swap(records, scratch);
@@ -360,33 +534,57 @@ pub(crate) fn execute_gather_scatter<R: Record>(
     sys: &mut DiskSystem<R>,
     src: usize,
     dst: usize,
-    ev: &AffineEvaluator,
-    inv_ev: &AffineEvaluator,
+    ev: &PassEval,
+    inv_ev: &PassEval,
+    strategy: EvalStrategy,
 ) -> Result<()> {
     let geom = sys.geometry();
     let layout = sys.layout();
-    let mem = geom.memory();
+    let (mem, b) = (geom.memory(), geom.b());
     let block = geom.block();
     let disks = geom.disks();
     let mask = (mem - 1) as u64;
     let rel_blocks = geom.blocks_per_memoryload();
+    let rel_mask = (rel_blocks - 1) as u64;
     let dst_base = sys.portion_base(dst);
+    let affine = ev.affine();
+    let bev = ev.block();
+    let use_block = strategy.uses_block(bev) && strategy.uses_block(inv_ev.block());
     let state = RefCell::new(GatherState::new(sys, src));
     let mut target_block = vec![0u64; rel_blocks];
     engine
         .run_pass(
             sys,
-            |t, gather| state.borrow_mut().plan_unit(t, inv_ev, gather),
+            |t, gather| state.borrow_mut().plan_unit(t, inv_ev, use_block, gather),
             |t, records, scratch, scatter| {
                 let st = state.borrow();
-                for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
-                    for off in 0..block {
-                        let x = layout.compose_block(blk, off as u64);
-                        let y = ev.eval(x);
-                        scratch[(y & mask) as usize] = records[g * block + off];
-                        // Lemma 14 for the composed map: records sharing
-                        // a relative target block share a target block.
-                        target_block[layout.relative_block(y) as usize] = layout.block(y);
+                if use_block {
+                    let rtab = bev.residual_table().unwrap();
+                    let brs = bev.block_residuals().unwrap();
+                    for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
+                        let ybase = bev.block_base(blk);
+                        for (off, &r) in rtab.iter().enumerate() {
+                            scratch[((ybase ^ r) & mask) as usize] = records[g * block + off];
+                        }
+                        // Lemma 14 for the composed map: each gathered
+                        // block scatters to the target blocks given by
+                        // the block-level residuals.
+                        let tb_base = ybase >> b;
+                        for &r in brs {
+                            let tb = tb_base ^ r;
+                            target_block[(tb & rel_mask) as usize] = tb;
+                        }
+                    }
+                } else {
+                    for (g, &blk) in st.blocks[t % 2].iter().enumerate() {
+                        for off in 0..block {
+                            let x = layout.compose_block(blk, off as u64);
+                            let y = affine.eval(x);
+                            scratch[(y & mask) as usize] = records[g * block + off];
+                            // Lemma 14 for the composed map: records sharing
+                            // a relative target block share a target block.
+                            target_block[layout.relative_block(y) as usize] = layout.block(y);
+                        }
                     }
                 }
                 std::mem::swap(records, scratch);

@@ -5,7 +5,10 @@
 //! every record landed where the permutation says. For records that
 //! carry their source address, a full check is a single scan — `N/BD`
 //! striped parallel reads, the same cost as the verification phase of
-//! Section 6 detection.
+//! Section 6 detection. The keys found on disk are data-dependent (no
+//! block structure to hoist), so the in-memory check runs through
+//! [`AffineEvaluator::eval_batch`]: one table-at-a-time sweep per
+//! stripe instead of a full evaluator walk per record.
 
 use crate::bmmc::Bmmc;
 use crate::error::{BmmcError, Result};
@@ -49,15 +52,20 @@ pub fn verify_permutation<R: Record>(
     }
     let ev = AffineEvaluator::new(perm);
     let base = sys.portion_base(portion);
-    let stripe_len = (geom.block() * geom.disks()) as u64;
+    let stripe_len = geom.block() * geom.disks();
+    let mut keys = vec![0u64; stripe_len];
+    let mut targets = vec![0u64; stripe_len];
     let before = sys.stats();
     for slot in 0..geom.stripes() {
         let stripe = sys.read_stripe(base + slot)?;
-        let start = slot as u64 * stripe_len;
-        for (i, rec) in stripe.iter().enumerate() {
+        let start = (slot * stripe_len) as u64;
+        for (k, rec) in keys.iter_mut().zip(&stripe) {
+            *k = key_of(rec);
+        }
+        ev.eval_batch(&keys, &mut targets);
+        for (i, (&key, &target)) in keys.iter().zip(&targets).enumerate() {
             let address = start + i as u64;
-            let key = key_of(rec);
-            if ev.eval(key) != address {
+            if target != address {
                 return Ok(VerifyOutcome::Misplaced {
                     address,
                     found_key: key,

@@ -85,31 +85,101 @@ use crate::error::Result;
 use crate::record::Record;
 use crate::system::{BlockRef, DiskSystem, ReadTicket, ServiceMode, WriteTicket};
 
-/// A flat, reusable sequence of equal-sized block-reference batches.
+/// One coalesced span of block references: `len` blocks on `disk` at
+/// consecutive slots starting at `slot`, one per consecutive batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Run {
+    disk: usize,
+    slot: usize,
+    len: usize,
+}
+
+/// A reusable run-length-encoded sequence of equal-sized
+/// block-reference batches.
 ///
 /// Each batch is one parallel I/O of `batch_len` blocks (at most one
 /// per disk); batch `k`'s request `j` corresponds to buffer offset
-/// `(k·batch_len + j) · B` records. This replaces the former
-/// per-memoryload `Vec<Vec<BlockRef>>` plan shape: one flat vector plus
-/// a uniform batch length, cleared and refilled in place each
-/// memoryload, so steady-state passes allocate nothing.
+/// `(k·batch_len + j) · B` records. References are still [`push`]ed
+/// one at a time in batch-major order, but the storage is per *column*
+/// (position-within-batch): column `j` receives exactly one reference
+/// per batch, and [`push`] coalesces consecutive batches whose column-
+/// `j` references hit the same disk at consecutive slots into one
+/// `(disk, first_slot, len)` run. Block-run pass planners (the
+/// `bmmc` executors feeding off block-hoisted target evaluation)
+/// produce exactly such slot-sequential columns, so a whole
+/// memoryload's gather or scatter plan collapses to a handful of
+/// spans — carried without allocating in the steady state, preserving
+/// the engine's allocation-freedom guarantee.
+///
+/// Consumers materialise one batch at a time into a caller-owned
+/// scratch vector via [`begin`]/[`next_batch_into`] with a reusable
+/// [`BatchCursor`], since the coalesced form has no per-batch slices
+/// to borrow.
+///
+/// [`push`]: BlockBatches::push
+/// [`begin`]: BlockBatches::begin
+/// [`next_batch_into`]: BlockBatches::next_batch_into
 #[derive(Clone, Debug, Default)]
 pub struct BlockBatches {
-    refs: Vec<BlockRef>,
+    /// `cols[j]` holds the coalesced runs of every batch's position-`j`
+    /// reference, in batch order. Inner vectors keep their capacity
+    /// across [`BlockBatches::reset`].
+    cols: Vec<Vec<Run>>,
     batch_len: usize,
+    /// Total references pushed since the last reset.
+    count: usize,
+}
+
+/// Reusable iteration state for materialising a [`BlockBatches`] plan
+/// batch by batch. Owned by the consumer (the [`PassEngine`]) and
+/// rewound by [`BlockBatches::begin`], so steady-state iteration
+/// allocates nothing once its per-column positions have grown to the
+/// batch length.
+#[derive(Clone, Debug, Default)]
+pub struct BatchCursor {
+    /// Next batch index to materialise.
+    batch: usize,
+    /// Number of batches in the plan being iterated.
+    num_batches: usize,
+    /// Per-column (run index, offset within run).
+    pos: Vec<(usize, usize)>,
 }
 
 impl BlockBatches {
     /// Clears the batches and sets the per-batch length for refilling.
+    /// Run storage (and its capacity) is retained and reused.
     pub fn reset(&mut self, batch_len: usize) {
         assert!(batch_len > 0, "batches must contain at least one block");
-        self.refs.clear();
+        for col in &mut self.cols {
+            col.clear();
+        }
+        if self.cols.len() < batch_len {
+            self.cols.resize_with(batch_len, Vec::new);
+        }
         self.batch_len = batch_len;
+        self.count = 0;
     }
 
-    /// Appends one block reference to the current tail batch.
+    /// Appends one block reference to the current tail batch,
+    /// extending the column's last run when `r` continues it on the
+    /// same disk at the next slot.
     pub fn push(&mut self, r: BlockRef) {
-        self.refs.push(r);
+        let col = &mut self.cols[self.count % self.batch_len];
+        self.count += 1;
+        // A column sees exactly one reference per batch, so its last
+        // run always ends at the previous batch — contiguity in batch
+        // index is structural and only disk/slot adjacency is checked.
+        if let Some(last) = col.last_mut() {
+            if last.disk == r.disk && last.slot + last.len == r.slot {
+                last.len += 1;
+                return;
+            }
+        }
+        col.push(Run {
+            disk: r.disk,
+            slot: r.slot,
+            len: 1,
+        });
     }
 
     /// Blocks per batch (per parallel I/O).
@@ -119,28 +189,67 @@ impl BlockBatches {
 
     /// Total block references pushed so far.
     pub fn total_blocks(&self) -> usize {
-        self.refs.len()
+        self.count
     }
 
     /// Number of complete batches.
     pub fn num_batches(&self) -> usize {
-        self.refs.len().checked_div(self.batch_len).unwrap_or(0)
+        self.count.checked_div(self.batch_len).unwrap_or(0)
+    }
+
+    /// Number of coalesced runs across all columns — the size of the
+    /// plan actually stored; `total_blocks / num_runs` is the mean
+    /// span length the planner achieved.
+    pub fn num_runs(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum()
     }
 
     /// True if no references have been pushed.
     pub fn is_empty(&self) -> bool {
-        self.refs.is_empty()
+        self.count == 0
     }
 
-    /// Iterates over the batches, each one parallel I/O.
-    pub fn batches(&self) -> impl Iterator<Item = &[BlockRef]> {
+    /// Rewinds `cursor` to the first batch of this plan.
+    pub fn begin(&self, cursor: &mut BatchCursor) {
         assert!(
-            self.batch_len > 0 && self.refs.len().is_multiple_of(self.batch_len),
+            self.batch_len > 0 && self.count.is_multiple_of(self.batch_len),
             "ragged batch set: {} refs with batch length {}",
-            self.refs.len(),
+            self.count,
             self.batch_len
         );
-        self.refs.chunks_exact(self.batch_len)
+        cursor.batch = 0;
+        cursor.num_batches = self.num_batches();
+        cursor.pos.clear();
+        cursor.pos.resize(self.batch_len, (0, 0));
+    }
+
+    /// Materialises the next batch into `out` (cleared first),
+    /// advancing `cursor`. Returns `false` when the batches are
+    /// exhausted, leaving `out` empty.
+    pub fn next_batch_into(&self, cursor: &mut BatchCursor, out: &mut Vec<BlockRef>) -> bool {
+        out.clear();
+        if cursor.batch >= cursor.num_batches {
+            return false;
+        }
+        for (col, pos) in self.cols[..self.batch_len]
+            .iter()
+            .zip(cursor.pos.iter_mut())
+        {
+            let (run_idx, off) = *pos;
+            let run = col[run_idx];
+            debug_assert!(off < run.len);
+            out.push(BlockRef {
+                disk: run.disk,
+                slot: run.slot + off,
+            });
+            *pos = if off + 1 == run.len {
+                (run_idx + 1, 0)
+            } else {
+                (run_idx, off + 1)
+            };
+        }
+        cursor.batch += 1;
+        true
     }
 }
 
@@ -190,8 +299,12 @@ pub struct PassEngine<R: Record> {
     gather: BlockBatches,
     /// Scatter plan storage, refilled by the `transform` callback.
     scatter: BlockBatches,
-    /// Reused per-stripe reference scratch for striped plans.
+    /// Reused block-reference scratch: per-stripe references for
+    /// striped plans, and the materialisation target for run-length
+    /// gather/scatter batches.
     stripe_refs: Vec<BlockRef>,
+    /// Reused iteration state for the run-length batch plans.
+    cursor: BatchCursor,
     /// Reused in-flight write tickets (bounded to one memoryload).
     write_tickets: Vec<WriteTicket<R>>,
 }
@@ -226,6 +339,7 @@ impl<R: Record> PassEngine<R> {
             gather: BlockBatches::default(),
             scatter: BlockBatches::default(),
             stripe_refs: Vec::with_capacity(geom.disks()),
+            cursor: BatchCursor::default(),
             write_tickets: Vec::with_capacity(geom.stripes_per_memoryload()),
         }
     }
@@ -320,6 +434,7 @@ impl<R: Record> PassEngine<R> {
                 &geom,
                 first,
                 &self.gather,
+                &mut self.cursor,
                 &mut self.stripe_refs,
             )?)
         } else {
@@ -327,7 +442,15 @@ impl<R: Record> PassEngine<R> {
         });
         for t in 0..loads {
             let current = pending_read.take().expect("read pipeline primed");
-            Self::collect_reads(sys, &geom, current, &self.gather, &mut self.data)?;
+            Self::collect_reads(
+                sys,
+                &geom,
+                current,
+                &self.gather,
+                &mut self.cursor,
+                &mut self.stripe_refs,
+                &mut self.data,
+            )?;
             if overlap && t + 1 < loads {
                 let plan = reads(t + 1, &mut self.gather);
                 *pending_read = Some(PendingLoad::Tickets(Self::issue_reads(
@@ -335,6 +458,7 @@ impl<R: Record> PassEngine<R> {
                     &geom,
                     plan,
                     &self.gather,
+                    &mut self.cursor,
                     &mut self.stripe_refs,
                 )?));
             }
@@ -348,6 +472,7 @@ impl<R: Record> PassEngine<R> {
                 wp,
                 &self.scatter,
                 &self.data,
+                &mut self.cursor,
                 &mut self.stripe_refs,
                 &mut self.write_tickets,
             )?;
@@ -385,6 +510,7 @@ impl<R: Record> PassEngine<R> {
         geom: &Geometry,
         plan: ReadPlan,
         gather: &BlockBatches,
+        cursor: &mut BatchCursor,
         stripe_refs: &mut Vec<BlockRef>,
     ) -> Result<Vec<(usize, ReadTicket<R>)>> {
         let block = geom.block();
@@ -429,9 +555,10 @@ impl<R: Record> PassEngine<R> {
                     "gather plan must cover exactly one memoryload"
                 );
                 let mut offset = 0;
-                for refs in gather.batches() {
-                    issue(sys, offset, refs, &mut tickets)?;
-                    offset += refs.len() * block;
+                gather.begin(cursor);
+                while gather.next_batch_into(cursor, stripe_refs) {
+                    issue(sys, offset, stripe_refs, &mut tickets)?;
+                    offset += stripe_refs.len() * block;
                 }
             }
         }
@@ -440,11 +567,14 @@ impl<R: Record> PassEngine<R> {
 
     /// Collects one memoryload into `out`: waits out in-flight tickets,
     /// or executes a deferred plan directly (synchronous modes).
+    #[allow(clippy::too_many_arguments)]
     fn collect_reads(
         sys: &mut DiskSystem<R>,
         geom: &Geometry,
         load: PendingLoad<R>,
         gather: &BlockBatches,
+        cursor: &mut BatchCursor,
+        refs_scratch: &mut Vec<BlockRef>,
         out: &mut [R],
     ) -> Result<()> {
         let block = geom.block();
@@ -475,9 +605,10 @@ impl<R: Record> PassEngine<R> {
                     "gather plan must cover exactly one memoryload"
                 );
                 let mut offset = 0;
-                for refs in gather.batches() {
-                    let len = refs.len() * block;
-                    sys.read_blocks_into(refs, &mut out[offset..offset + len])?;
+                gather.begin(cursor);
+                while gather.next_batch_into(cursor, refs_scratch) {
+                    let len = refs_scratch.len() * block;
+                    sys.read_blocks_into(refs_scratch, &mut out[offset..offset + len])?;
                     offset += len;
                 }
                 Ok(())
@@ -492,6 +623,7 @@ impl<R: Record> PassEngine<R> {
         plan: WritePlan,
         scatter: &BlockBatches,
         data: &[R],
+        cursor: &mut BatchCursor,
         stripe_refs: &mut Vec<BlockRef>,
         tickets: &mut Vec<WriteTicket<R>>,
     ) -> Result<()> {
@@ -528,9 +660,10 @@ impl<R: Record> PassEngine<R> {
                     "scatter plan must cover exactly one memoryload"
                 );
                 let mut offset = 0;
-                for refs in scatter.batches() {
-                    let len = refs.len() * block;
-                    match sys.begin_write(refs, &data[offset..offset + len]) {
+                scatter.begin(cursor);
+                while scatter.next_batch_into(cursor, stripe_refs) {
+                    let len = stripe_refs.len() * block;
+                    match sys.begin_write(stripe_refs, &data[offset..offset + len]) {
                         Ok(t) => tickets.push(t),
                         Err(e) => return abort(sys, tickets, e),
                     }
@@ -749,10 +882,67 @@ mod tests {
         assert_eq!(b.batch_len(), 2);
         assert_eq!(b.num_batches(), 4);
         assert_eq!(b.total_blocks(), 8);
-        assert_eq!(b.batches().count(), 4);
+        // Slot-sequential columns coalesce to one run per column.
+        assert_eq!(b.num_runs(), 2);
+        // Materialisation reproduces the pushed batch-major order.
+        let mut cursor = BatchCursor::default();
+        let mut out = Vec::new();
+        b.begin(&mut cursor);
+        let mut batches = 0;
+        while b.next_batch_into(&mut cursor, &mut out) {
+            assert_eq!(
+                out,
+                vec![
+                    BlockRef {
+                        disk: 0,
+                        slot: batches
+                    },
+                    BlockRef {
+                        disk: 1,
+                        slot: batches
+                    }
+                ]
+            );
+            batches += 1;
+        }
+        assert_eq!(batches, 4);
         // Reset reuses the storage with a new shape.
         b.reset(4);
         assert!(b.is_empty());
         assert_eq!(b.num_batches(), 0);
+        assert_eq!(b.num_runs(), 0);
+    }
+
+    #[test]
+    fn block_batches_breaks_runs_on_disk_or_slot_discontinuity() {
+        let mut b = BlockBatches::default();
+        b.reset(1);
+        // slot run broken by a gap, then by a disk change.
+        for r in [
+            BlockRef { disk: 0, slot: 0 },
+            BlockRef { disk: 0, slot: 1 },
+            BlockRef { disk: 0, slot: 3 },
+            BlockRef { disk: 1, slot: 4 },
+        ] {
+            b.push(r);
+        }
+        assert_eq!(b.num_runs(), 3);
+        assert_eq!(b.total_blocks(), 4);
+        let mut cursor = BatchCursor::default();
+        let mut out = Vec::new();
+        let mut got = Vec::new();
+        b.begin(&mut cursor);
+        while b.next_batch_into(&mut cursor, &mut out) {
+            got.extend(out.iter().copied());
+        }
+        assert_eq!(
+            got,
+            vec![
+                BlockRef { disk: 0, slot: 0 },
+                BlockRef { disk: 0, slot: 1 },
+                BlockRef { disk: 0, slot: 3 },
+                BlockRef { disk: 1, slot: 4 },
+            ]
+        );
     }
 }

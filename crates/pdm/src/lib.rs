@@ -53,7 +53,7 @@ pub mod timing;
 pub mod transport;
 
 pub use config::Geometry;
-pub use engine::{BlockBatches, PassEngine, ReadPlan, WritePlan};
+pub use engine::{BatchCursor, BlockBatches, PassEngine, ReadPlan, WritePlan};
 pub use error::{PdmError, Result};
 pub use fault::FaultPlan;
 pub use layout::Layout;

@@ -1,8 +1,9 @@
 //! Steady-state allocation freedom of the engine hot loop.
 //!
 //! The [`pdm::PassEngine`] owns all its plan storage — the memoryload
-//! buffers, the flat [`pdm::BlockBatches`] gather/scatter sets, the
-//! striped-plan reference scratch, and the write-ticket list — and the
+//! buffers, the run-length [`pdm::BlockBatches`] gather/scatter sets
+//! (plus the [`pdm::BatchCursor`] that materialises their batches),
+//! the striped-plan reference scratch, and the write-ticket list — and the
 //! [`pdm::DiskSystem`] admission path reuses its validation scratch.
 //! After a warm-up pass, streaming further passes through the engine
 //! in the serial service mode must perform **zero** heap allocations,

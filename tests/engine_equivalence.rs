@@ -11,9 +11,9 @@
 
 use bmmc::algorithm::plan_passes;
 use bmmc::factoring::{Pass, PassKind};
-use bmmc::passes::{execute_pass, reference};
+use bmmc::passes::{execute_pass, execute_pass_with_strategy, reference, EvalStrategy};
 use bmmc::{catalog, Bmmc};
-use pdm::{DiskSystem, Geometry, ServiceMode, TaggedRecord, TempDir};
+use pdm::{DiskSystem, Geometry, PassEngine, ServiceMode, TaggedRecord, TempDir};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,6 +85,49 @@ fn mode_of(threaded: bool) -> ServiceMode {
     } else {
         ServiceMode::Serial
     }
+}
+
+/// Runs `passes` once per [`EvalStrategy`] — block-run (the default)
+/// and per-address — on identical inputs in `mode`; asserts
+/// byte-identical final placement and *exactly* equal per-pass
+/// `IoStats` and message counts. The evaluation strategy is an
+/// in-memory concern only: nothing observable at the disks may change.
+fn assert_strategies_equivalent(
+    g: Geometry,
+    passes: &[Pass],
+    mode: ServiceMode,
+) -> Result<(), TestCaseError> {
+    let input: Vec<u64> = (0..g.records() as u64).collect();
+    let run = |strategy: EvalStrategy| {
+        let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+        sys.set_service_mode(mode);
+        sys.load_records(0, &input);
+        let mut engine = PassEngine::new(g);
+        let mut src = 0usize;
+        let mut stats = Vec::with_capacity(passes.len());
+        for pass in passes {
+            let dst = 1 - src;
+            let st = execute_pass_with_strategy(&mut engine, &mut sys, src, dst, pass, strategy)
+                .expect("pass execution");
+            stats.push(st.ios);
+            src = dst;
+        }
+        (sys.dump_records(src), stats, sys.message_stats())
+    };
+    let (block_out, block_stats, block_msgs) = run(EvalStrategy::BlockRun);
+    let (addr_out, addr_stats, addr_msgs) = run(EvalStrategy::PerAddress);
+    prop_assert_eq!(block_out, addr_out, "placements diverged across strategies");
+    prop_assert_eq!(
+        block_stats,
+        addr_stats,
+        "per-pass I/O accounting diverged across strategies"
+    );
+    prop_assert_eq!(
+        block_msgs,
+        addr_msgs,
+        "message counts diverged across strategies"
+    );
+    Ok(())
 }
 
 /// Runs `passes` on a **file-backed** system (engine executor, in
@@ -178,6 +221,51 @@ proptest! {
                 kind,
             };
             assert_equivalent(g, std::slice::from_ref(&pass), mode_of(threaded))?;
+        }
+    }
+
+    /// Block-run evaluation is observationally identical to
+    /// per-address evaluation: for arbitrary planned BMMC permutations
+    /// the placement is byte-identical and the per-pass `IoStats` and
+    /// message counts are exactly equal, serial and threaded.
+    #[test]
+    fn block_run_matches_per_address_for_random_bmmc(
+        s in any::<u64>(),
+        gi in 0usize..5,
+        threaded in any::<bool>(),
+    ) {
+        let g = geometries()[gi];
+        let mut rng = StdRng::seed_from_u64(s);
+        let perm = catalog::random_bmmc(&mut rng, g.n());
+        let passes = plan_passes(&perm, g.b(), g.m()).expect("planning failed");
+        assert_strategies_equivalent(g, &passes, mode_of(threaded))?;
+    }
+
+    /// The same strategy equivalence with each one-pass discipline
+    /// forced explicitly, covering all four executors head-on.
+    #[test]
+    fn block_run_matches_per_address_for_one_pass_classes(
+        s in any::<u64>(),
+        gi in 0usize..5,
+        threaded in any::<bool>(),
+    ) {
+        let g = geometries()[gi];
+        let mut rng = StdRng::seed_from_u64(s);
+        let cases: Vec<(Bmmc, PassKind)> = vec![
+            (catalog::random_mrc(&mut rng, g.n(), g.m()), PassKind::Mrc),
+            (catalog::random_mld(&mut rng, g.n(), g.b(), g.m()), PassKind::Mld),
+            (
+                catalog::random_mld(&mut rng, g.n(), g.b(), g.m()).inverse(),
+                PassKind::MldInverse,
+            ),
+        ];
+        for (perm, kind) in cases {
+            let pass = Pass {
+                matrix: perm.matrix().clone(),
+                complement: perm.complement().clone(),
+                kind,
+            };
+            assert_strategies_equivalent(g, std::slice::from_ref(&pass), mode_of(threaded))?;
         }
     }
 

@@ -8,10 +8,13 @@
 //! and `N/B` blocks in each direction, so the fused `IoStats` equal
 //! the unfused totals minus the skipped passes.
 
-use bmmc::algorithm::{execute_passes, execute_passes_unfused, BmmcReport};
+use bmmc::algorithm::{
+    execute_passes, execute_passes_strategy, execute_passes_unfused, BmmcReport,
+};
 use bmmc::bpc_baseline::bpc_baseline_plan;
 use bmmc::factoring::{Pass, PassKind};
 use bmmc::fusion::fuse_passes;
+use bmmc::passes::EvalStrategy;
 use bmmc::{catalog, plan_passes, Bmmc};
 use pdm::{DiskSystem, Geometry, ServiceMode, TaggedRecord};
 use proptest::prelude::*;
@@ -162,6 +165,50 @@ proptest! {
             );
             prop_assert!(fused.total.parallel_ios() < unfused.total.parallel_ios());
         }
+    }
+
+    /// Fused execution under the block-run evaluator (the default)
+    /// and the per-address evaluator: byte-identical placement, the
+    /// same step structure, and *exactly* equal total `IoStats` and
+    /// message counts — the gather/scatter batches the fused executors
+    /// build from target runs must be observationally indistinguishable
+    /// from the per-address ones, serial and threaded.
+    #[test]
+    fn fused_block_run_matches_per_address(
+        s in any::<u64>(),
+        gi in 0usize..5,
+        threaded in any::<bool>(),
+    ) {
+        let g = geometries()[gi];
+        let mut rng = StdRng::seed_from_u64(s);
+        let perm = catalog::random_bmmc(&mut rng, g.n());
+        let passes = plan_passes(&perm, g.b(), g.m()).expect("planning failed");
+        let input: Vec<TaggedRecord> =
+            (0..g.records() as u64).map(TaggedRecord::new).collect();
+
+        let run = |strategy: EvalStrategy| {
+            let mut sys: DiskSystem<TaggedRecord> = DiskSystem::new_mem(g, 2);
+            sys.set_service_mode(mode_of(threaded));
+            sys.load_records(0, &input);
+            let report =
+                execute_passes_strategy(&mut sys, &passes, strategy).expect("fused execution");
+            let out = sys.dump_records(report.final_portion);
+            (out, report, sys.message_stats())
+        };
+        let (block_out, block_report, block_msgs) = run(EvalStrategy::BlockRun);
+        let (addr_out, addr_report, addr_msgs) = run(EvalStrategy::PerAddress);
+        prop_assert_eq!(block_out, addr_out, "placements diverged across strategies");
+        prop_assert_eq!(block_report.num_passes(), addr_report.num_passes());
+        prop_assert_eq!(
+            block_report.total,
+            addr_report.total,
+            "total I/O diverged across strategies"
+        );
+        prop_assert_eq!(
+            block_msgs,
+            addr_msgs,
+            "message counts diverged across strategies"
+        );
     }
 
     /// Hand-built fully-fusable chains: every pair the discipline rule
