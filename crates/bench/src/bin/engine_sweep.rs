@@ -54,12 +54,27 @@
 //! placement and parallel-I/O counts are exact-gated, and `--baseline`
 //! requires the block-run kernel ≥ 4× and the block-run end-to-end
 //! ≥ 1.2× their per-address counterparts.
+//! Since PR 10 a **planner** section emits the `--algorithm auto`
+//! crossover table: for each named workload × geometry × timing model,
+//! `bmmc::plan::candidates` + `choose` pick among the DP-fused BMMC
+//! route and the three external-sort routes, and the pick itself is
+//! part of the row *key* — a code change that flips any crossover
+//! decision fails the `--check` gate as a missing row rather than
+//! silently re-baselining. The section also carries the committed
+//! `MLD;MRC;MLD` re-association chain (greedy pair fusion stuck at two
+//! steps, the DP whole-plan fuser at one); the addr_eval section gains
+//! a residual-table **cap sweep** (flat table vs byte-sliced fallback
+//! per width — the tuning evidence behind `RESIDUAL_TABLE_MAX_BITS`);
+//! and the extsort section gains adversarial-input rows
+//! (duplicate-heavy and skewed key catalogs from `extsort::keys`),
+//! whose schedules must stay input-independent.
 //!
 //! ```text
 //! cargo run --release -p bmmc-bench --bin engine_sweep -- [FLAGS]
 //!   --quick          small sizes (CI smoke); emits the "quick",
 //!                    "fusion", "extsort", "service", "recovery",
-//!                    "addr_eval", "transport", and "file" sections
+//!                    "addr_eval", "planner", "transport", and "file"
+//!                    sections
 //!   --baseline       run full + quick and insist on the acceptance ratios
 //!   --file-dir DIR   parent directory for the file section's per-disk
 //!                    files (e.g. a tmpfs mount); default: a
@@ -70,8 +85,8 @@
 //!                    smoke step (needs the pdm-diskd binary for X=uds)
 //!   --out FILE       write the JSON document to FILE
 //!   --check FILE     compare this run's quick/fusion/extsort/service/
-//!                    recovery/addr_eval/file/transport sections
-//!                    against FILE's; exit 1 if the
+//!                    recovery/addr_eval/planner/file/transport
+//!                    sections against FILE's; exit 1 if the
 //!                    engine regressed >20% vs. the recorded speedup
 //!                    (rows whose recorded ratio is below the 1.5x
 //!                    acceptance bar are noise and not time-gated) or
@@ -88,11 +103,15 @@ use bmmc::catalog;
 use bmmc::factoring::{Pass, PassKind};
 use bmmc::fusion::fuse_passes;
 use bmmc::passes::{execute_pass, reference, reference_permute, EvalStrategy};
-use bmmc::{AffineEvaluator, BlockEvaluator, Bmmc};
+use bmmc::{
+    candidates, choose, fuse_passes_greedy, AffineEvaluator, BlockEvaluator, Bmmc, CandidateKind,
+    Plan, PlanStep,
+};
 use bmmc_bench::json::Json;
-use extsort::{sort_by_key_with, MergeStrategy, SortConfig};
+use extsort::{keys, sort_by_key_with, MergeStrategy, SortConfig};
 use pdm::{
-    Backend, DiskSystem, FaultPlan, Geometry, MsgStats, RetryPolicy, ServiceMode, TransportConfig,
+    Backend, DiskSystem, FaultPlan, Geometry, MsgStats, RetryPolicy, ServiceMode, TimingModel,
+    TransportConfig,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -591,6 +610,102 @@ fn run_addr_eval_sweep(lg_records: usize, reps: usize, baseline_mode: bool) -> J
             "acceptance criterion failed: block-run kernel only {kernel_speedup:.2}x per-address"
         );
     }
+    // ---- Cap sweep (PR 10): the flat residual table against the
+    // byte-sliced fallback at each plausible block width — the tuning
+    // evidence behind `bmmc::eval::RESIDUAL_TABLE_MAX_BITS`. The tuned
+    // cap must admit the table at every swept width; both paths must
+    // produce identical target checksums; and under --baseline the
+    // flat table must win wherever the fallback pays more than one
+    // byte lookup per record.
+    let sweep_bits = 22u32;
+    let wperm = catalog::bit_reversal(sweep_bits as usize);
+    let sweep_total = 1u64 << sweep_bits;
+    let mut cap_ratios: Vec<Json> = Vec::new();
+    for width in [6u32, 12, 16] {
+        let mut rates = [0.0f64; 2]; // [flat, sliced]
+        let mut csums = [0u64; 2];
+        for (vi, vname) in ["flat", "sliced"].into_iter().enumerate() {
+            let bev = if vi == 0 {
+                let ev = BlockEvaluator::new(&wperm, width);
+                assert!(
+                    ev.residual_table().is_some(),
+                    "the tuned cap must admit a width-{width} residual table"
+                );
+                ev
+            } else {
+                BlockEvaluator::with_table_cap(&wperm, width, 0)
+            };
+            let blocks = sweep_total >> width;
+            let offsets = 1u64 << width;
+            let mut best = f64::INFINITY;
+            let mut sum = 0u64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let mut acc = 0u64;
+                if let Some(rtab) = bev.residual_table() {
+                    for blk in 0..blocks {
+                        let ybase = bev.block_base(blk);
+                        for &r in rtab {
+                            acc = acc.wrapping_add(ybase ^ r);
+                        }
+                    }
+                } else {
+                    for blk in 0..blocks {
+                        let ybase = bev.block_base(blk);
+                        for off in 0..offsets {
+                            acc = acc.wrapping_add(ybase ^ bev.residual(off));
+                        }
+                    }
+                }
+                best = best.min(t0.elapsed().as_secs_f64());
+                sum = std::hint::black_box(acc);
+            }
+            csums[vi] = sum;
+            rates[vi] = sweep_total as f64 / best;
+            eprintln!(
+                "   cap_sweep  b={width:<2} {vname:<7} {:>13.0} addresses/s  {:>8.3} ms",
+                rates[vi],
+                best * 1e3
+            );
+            rows.push(Json::obj(vec![
+                ("kind", Json::Str("cap_sweep".into())),
+                ("impl", Json::Str(format!("b{width}-{vname}"))),
+                (
+                    "addresses_per_sec",
+                    Json::Num((rates[vi] * 10.0).round() / 10.0),
+                ),
+                (
+                    "elapsed_ms",
+                    Json::Num((best * 1e3 * 1000.0).round() / 1000.0),
+                ),
+                ("parallel_ios", Json::Num(0.0)),
+            ]));
+        }
+        assert_eq!(
+            csums[0], csums[1],
+            "width {width}: capped evaluation diverged from the flat table"
+        );
+        let ratio = rates[0] / rates[1];
+        eprintln!("   cap_sweep  b={width:<2} flat/sliced: {ratio:.2}x");
+        if baseline_mode && width > 8 {
+            // At one byte and below both paths are a single table
+            // lookup and the comparison is noise; past that the
+            // fallback pays an extra lookup per record and the flat
+            // table must win.
+            assert!(
+                ratio >= 1.0,
+                "acceptance criterion failed: width-{width} flat residual table only \
+                 {ratio:.2}x the byte-sliced fallback"
+            );
+        }
+        cap_ratios.push(Json::obj(vec![
+            ("width", Json::Num(width as f64)),
+            (
+                "flat_over_sliced",
+                Json::Num((ratio * 1000.0).round() / 1000.0),
+            ),
+        ]));
+    }
     // ---- End to end: the bpc-baseline fusion workload per strategy.
     let passes = bpc_baseline_plan(&perm, geom.b(), geom.m())
         .expect("bit reversal is BPC")
@@ -671,6 +786,213 @@ fn run_addr_eval_sweep(lg_records: usize, reps: usize, baseline_mode: bool) -> J
             "end_to_end_block_run_over_per_address",
             Json::Num((e2e_speedup * 1000.0).round() / 1000.0),
         ),
+        ("cap_sweep_flat_over_sliced", Json::Arr(cap_ratios)),
+    ])
+}
+
+/// One planner crossover row. Every field is deterministic — the sweep
+/// is purely analytic (`bmmc::plan::candidates` + `choose` over exact
+/// per-step counts), so `steps` and `parallel_ios` are exact-gated and
+/// the pick string sits in the row *key*.
+fn planner_row(
+    workload: &str,
+    geometry: &str,
+    timing: &str,
+    pick: &str,
+    steps: usize,
+    parallel_ios: u64,
+    modeled_ms: f64,
+) -> Json {
+    Json::obj(vec![
+        ("workload", Json::Str(workload.into())),
+        ("geometry", Json::Str(geometry.into())),
+        ("timing", Json::Str(timing.into())),
+        ("pick", Json::Str(pick.into())),
+        ("steps", Json::Num(steps as f64)),
+        ("parallel_ios", Json::Num(parallel_ios as f64)),
+        (
+            "modeled_ms",
+            Json::Num((modeled_ms * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
+/// The PR 10 planner sweep: the `--algorithm auto` crossover table.
+///
+/// For each named workload × geometry × timing model the unified plan
+/// IR enumerates every executable candidate (the DP-fused BMMC route
+/// plus the three external-sort routes) and `choose` picks the
+/// cheapest by modeled wall-clock, exact parallel I/Os breaking ties.
+/// The table spans the regimes the cost model distinguishes:
+///
+/// * BMMC-structured workloads (transpose, bit reversal, random,
+///   adversarial worst-cross-rank) — where the paper's factoring
+///   usually dominates, but a worst-rank matrix can push the BMMC
+///   route past the sort route's pass count;
+/// * a `shuffle` workload — a general permutation with no BMMC
+///   structure, so the candidates are the merge strategies alone and
+///   the pick is the strategy crossover (seek-heavy models favor the
+///   fewer-operation single-buffered merge; flat models favor
+///   whichever schedule moves fewest blocks);
+/// * the `tiny-mem` geometry — `M = BD`, where no merge fits and the
+///   sort route vanishes exactly where BMMC factoring is costliest;
+/// * the committed `MLD;MRC;MLD` re-association chain
+///   ([`bmmc::plan::reassociation_case`]) planned both ways: greedy
+///   pair fusion is stuck at two steps, the DP whole-plan fuser
+///   executes it in one — strictly fewer steps and parallel I/Os,
+///   asserted here and exact-gated by `--check`.
+fn run_planner_sweep() -> Json {
+    let geoms = [
+        (
+            "fig2",
+            Geometry::new(1 << 13, 1 << 3, 1 << 4, 1 << 8).expect("fig2 geometry"),
+        ),
+        (
+            "bench",
+            Geometry::new(1 << 18, 1 << 3, 1 << 4, 1 << 12).expect("bench geometry"),
+        ),
+        (
+            "narrow",
+            Geometry::new(1 << 9, 1 << 2, 1 << 1, 1 << 6).expect("narrow geometry"),
+        ),
+        (
+            "tiny-mem",
+            Geometry::new(1 << 13, 1 << 3, 1 << 2, 1 << 5).expect("tiny-mem geometry"),
+        ),
+    ];
+    let timings = [("hdd", TimingModel::hdd()), ("ssd", TimingModel::ssd())];
+    eprintln!(
+        "== planner sweep: crossover picks over {} geometries x {{hdd,ssd}} (analytic)",
+        geoms.len()
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for (gi, (gname, g)) in geoms.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0x10AD + gi as u64);
+        let workloads: Vec<(&str, Bmmc)> = vec![
+            ("transpose", catalog::transpose(g.n(), g.n() / 2)),
+            ("bit-reversal", catalog::bit_reversal(g.n())),
+            ("random", catalog::random_bmmc(&mut rng, g.n())),
+            (
+                "worst-rank",
+                catalog::random_worst_rank(&mut rng, g.n(), g.m()),
+            ),
+        ];
+        for (wname, perm) in &workloads {
+            let plans = candidates(perm, g);
+            assert!(!plans.is_empty(), "the BMMC route always applies");
+            for (tname, timing) in &timings {
+                let pick = choose(&plans, g, timing).expect("candidates is nonempty");
+                eprintln!(
+                    "   {:<8} {:<12} {:<3} -> {:<13} {:>2} steps  {:>7} parallel I/Os  \
+                     {:>12.2} modeled ms  ({} candidates)",
+                    gname,
+                    wname,
+                    tname,
+                    pick.candidate.name(),
+                    pick.num_steps(),
+                    pick.parallel_ios(g),
+                    pick.modeled_ms(g, timing),
+                    plans.len()
+                );
+                rows.push(planner_row(
+                    wname,
+                    gname,
+                    tname,
+                    pick.candidate.name(),
+                    pick.num_steps(),
+                    pick.parallel_ios(g),
+                    pick.modeled_ms(g, timing),
+                ));
+            }
+        }
+        // The sort-only shuffle workload: a general permutation with no
+        // BMMC structure, so the candidates are the merge strategies
+        // alone and the pick is the pure strategy crossover.
+        let sort_plans: Vec<Plan> = [
+            bmmc::bounds::MergeStrategy::SingleBuffered,
+            bmmc::bounds::MergeStrategy::DoubleBuffered,
+            bmmc::bounds::MergeStrategy::Forecast,
+        ]
+        .into_iter()
+        .filter_map(|s| Plan::sort(g, s))
+        .collect();
+        if sort_plans.is_empty() {
+            eprintln!(
+                "   {gname:<8} shuffle: no merge fits (fan-in < 2) — the sort route \
+                 vanishes exactly where BMMC factoring is costliest"
+            );
+            continue;
+        }
+        for (tname, timing) in &timings {
+            let pick = choose(&sort_plans, g, timing).expect("sort candidates exist");
+            eprintln!(
+                "   {:<8} {:<12} {:<3} -> {:<13} {:>2} steps  {:>7} parallel I/Os  \
+                 {:>12.2} modeled ms  ({} candidates)",
+                gname,
+                "shuffle",
+                tname,
+                pick.candidate.name(),
+                pick.num_steps(),
+                pick.parallel_ios(g),
+                pick.modeled_ms(g, timing),
+                sort_plans.len()
+            );
+            rows.push(planner_row(
+                "shuffle",
+                gname,
+                tname,
+                pick.candidate.name(),
+                pick.num_steps(),
+                pick.parallel_ios(g),
+                pick.modeled_ms(g, timing),
+            ));
+        }
+    }
+    // The committed re-association chain at the fig2 boundaries:
+    // greedy pair fusion closes its first group after p1 (the pair seam
+    // classifies nowhere), but the whole product telescopes into MLD⁻¹
+    // and the DP's full-gather split executes all three passes in one
+    // round-trip.
+    let (gname, g) = &geoms[0];
+    let passes = catalog::reassociation_chain(g.n(), g.b(), g.m());
+    let greedy = fuse_passes_greedy(&passes, g.b(), g.m());
+    let greedy_plan = Plan {
+        candidate: CandidateKind::Bmmc,
+        steps: greedy.steps.iter().cloned().map(PlanStep::Bmmc).collect(),
+    };
+    let dp = Plan::from_passes(&passes, g.b(), g.m());
+    assert!(
+        dp.num_steps() < greedy_plan.num_steps(),
+        "the DP fuser must beat greedy on the committed re-association chain"
+    );
+    assert!(dp.parallel_ios(g) < greedy_plan.parallel_ios(g));
+    eprintln!(
+        "   {:<8} reassoc: greedy {} steps ({} parallel I/Os), dp {} step(s) ({} parallel I/Os)",
+        gname,
+        greedy_plan.num_steps(),
+        greedy_plan.parallel_ios(g),
+        dp.num_steps(),
+        dp.parallel_ios(g)
+    );
+    for (tname, timing) in &timings {
+        for (fuser, plan) in [("greedy", &greedy_plan), ("dp", &dp)] {
+            rows.push(planner_row(
+                "reassoc",
+                gname,
+                tname,
+                fuser,
+                plan.num_steps(),
+                plan.parallel_ios(g),
+                plan.modeled_ms(g, timing),
+            ));
+        }
+    }
+    Json::obj(vec![
+        (
+            "timing_models",
+            Json::Arr(vec![Json::Str("hdd".into()), Json::Str("ssd".into())]),
+        ),
+        ("rows", Json::Arr(rows)),
     ])
 }
 
@@ -1484,6 +1806,7 @@ fn run_extsort_sweep(lg_records: usize, reps: usize, parent: &Path) -> Json {
                 );
                 rows.push(Json::obj(vec![
                     ("variant", Json::Str(variant.into())),
+                    ("input", Json::Str("perm".into())),
                     ("backend", Json::Str(backend.into())),
                     ("mode", Json::Str(mode_name.into())),
                     ("fan_in", Json::Num(report.fan_in as f64)),
@@ -1502,6 +1825,78 @@ fn run_extsort_sweep(lg_records: usize, reps: usize, parent: &Path) -> Json {
                     ),
                 ]));
             }
+        }
+    }
+    // Adversarial key catalogs (PR 10, `extsort::keys`): duplicate-
+    // heavy and log-uniform skewed inputs through every strategy on
+    // mem/serial. The merge schedule is a function of the geometry
+    // alone, so these rows must replay the same bounds counts as the
+    // permutation input — the gate holds the schedule input-
+    // independent — and the outputs must be exactly the sorted input.
+    let records = geom.records();
+    let adversarial: [(&str, Vec<u64>); 2] = [
+        ("dup", keys::duplicate_heavy(0xD0B1, records, 4)),
+        ("skew", keys::skewed(0x53E9, records, records as u64 * 4)),
+    ];
+    for (iname, input) in &adversarial {
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for merge in strategies {
+            let variant = merge.as_str();
+            let mut sys: DiskSystem<u64> = DiskSystem::new_mem(geom, 2);
+            sys.set_service_mode(ServiceMode::Serial);
+            sys.load_records(0, input);
+            let t0 = Instant::now();
+            let report = sort_by_key_with(&mut sys, |&r| r, SortConfig { merge }).expect("sort");
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                sys.dump_records(report.final_portion),
+                expect,
+                "{variant}/{iname}: adversarial input missorted"
+            );
+            let predicted = bounds_strategy(merge);
+            assert_eq!(
+                Some(report.passes),
+                bounds::merge_sort_passes(&geom, predicted),
+                "{variant}/{iname}: the merge schedule must be input-independent"
+            );
+            assert_eq!(
+                Some(report.total.parallel_ios()),
+                bounds::merge_sort_ios(&geom, predicted),
+                "{variant}/{iname}: parallel I/Os drifted from bounds"
+            );
+            eprintln!(
+                "   {:<8} {:<5} {:<9} fan-in {:>3}  {} passes  {:>7} parallel I/Os  \
+                 {:>12.0} rec/s  {:>8.2} ms",
+                variant,
+                iname,
+                "serial",
+                report.fan_in,
+                report.passes,
+                report.total.parallel_ios(),
+                records as f64 / dt,
+                dt * 1e3
+            );
+            rows.push(Json::obj(vec![
+                ("variant", Json::Str(variant.into())),
+                ("input", Json::Str((*iname).into())),
+                ("backend", Json::Str("mem".into())),
+                ("mode", Json::Str("serial".into())),
+                ("fan_in", Json::Num(report.fan_in as f64)),
+                ("passes", Json::Num(report.passes as f64)),
+                (
+                    "parallel_ios",
+                    Json::Num(report.total.parallel_ios() as f64),
+                ),
+                (
+                    "records_per_sec",
+                    Json::Num(((records as f64 / dt) * 10.0).round() / 10.0),
+                ),
+                (
+                    "elapsed_ms",
+                    Json::Num((dt * 1e3 * 1000.0).round() / 1000.0),
+                ),
+            ]));
         }
     }
     // Acceptance: forecasting closes the D× fan-in gap at this
@@ -1606,6 +2001,9 @@ fn check_against_baseline(
     let baseline = Json::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
     let mut failures = Vec::new();
     const TRANSPORT_KEYS: &[&str] = &["transport", "mode"];
+    // The pick sits in the key: a flipped crossover decision surfaces
+    // as a missing row, never as a silently re-baselined count.
+    const PLANNER_KEYS: &[&str] = &["workload", "geometry", "timing", "pick"];
     let gated: &[(&str, &[&str], &str)] = if file_only {
         // The dedicated file gate must never pass vacuously: a
         // baseline without file rows means there is nothing it could
@@ -1632,7 +2030,11 @@ fn check_against_baseline(
     } else {
         &[
             ("fusion", &["workload", "impl"], "parallel_ios"),
-            ("extsort", &["variant", "backend", "mode"], "parallel_ios"),
+            (
+                "extsort",
+                &["variant", "input", "backend", "mode"],
+                "parallel_ios",
+            ),
             ("file", &["backend", "mode"], "parallel_ios"),
             ("transport", TRANSPORT_KEYS, "parallel_ios"),
             ("transport", TRANSPORT_KEYS, "messages"),
@@ -1640,6 +2042,8 @@ fn check_against_baseline(
             ("recovery", &["run"], "parallel_ios"),
             ("recovery", &["run"], "retries"),
             ("addr_eval", &["kind", "impl"], "parallel_ios"),
+            ("planner", PLANNER_KEYS, "parallel_ios"),
+            ("planner", PLANNER_KEYS, "steps"),
         ]
     };
     for &(section, keys, field) in gated {
@@ -1776,6 +2180,7 @@ fn main() {
     let mut service_section = None;
     let mut recovery_section = None;
     let mut addr_eval_section = None;
+    let mut planner_section = None;
     if !file_only && !transport_only {
         if !quick_only {
             let (rows, section) = run_sweep(&FULL);
@@ -1804,6 +2209,12 @@ fn main() {
         let addr_eval = run_addr_eval_sweep(QUICK.lg_records, QUICK.reps, baseline_mode);
         sections.push(("addr_eval", addr_eval.clone()));
         addr_eval_section = Some(addr_eval);
+        // The planner section is purely analytic — every row is a
+        // deterministic function of the cost model, so it runs (and is
+        // exact-gated) in every non-restricted mode.
+        let planner = run_planner_sweep();
+        sections.push(("planner", planner.clone()));
+        planner_section = Some(planner);
     }
     // The transport section runs at the quick size in every mode but
     // --file-only: the same engine pass over in-process channels, UDS
@@ -1831,7 +2242,7 @@ fn main() {
 
     let mut doc_pairs = vec![
         ("bench", Json::Str("engine_sweep".into())),
-        ("version", Json::Num(6.0)),
+        ("version", Json::Num(7.0)),
         (
             "acceptance",
             Json::Str(
@@ -1848,7 +2259,14 @@ fn main() {
                  identical charged parallel_ios and exactly one retry per injected firing, \
                  recovered throughput >= 0.8x clean; addr_eval: block-run kernel >= 4x \
                  per-address addresses/s, block-run end-to-end >= 1.2x per-address records/s \
-                 on the threaded bpc bit-reversal config, identical placement and parallel_ios"
+                 on the threaded bpc bit-reversal config, identical placement and parallel_ios, \
+                 and the flat residual table >= the byte-sliced fallback addresses/s at every \
+                 multi-byte width (the RESIDUAL_TABLE_MAX_BITS tuning evidence); planner: \
+                 every crossover pick, step count, and predicted parallel-I/O count is a pure \
+                 function of the cost model (pick-in-key exact gate), and the DP fuser executes \
+                 the committed MLD;MRC;MLD re-association chain in one pass where greedy pair \
+                 fusion needs two; extsort adversarial inputs (duplicate-heavy, skewed) sort \
+                 exactly under every strategy with the input-independent schedule"
                     .into(),
             ),
         ),
@@ -1918,6 +2336,7 @@ fn main() {
                     ("service", service_section.expect("service ran")),
                     ("recovery", recovery_section.expect("recovery ran")),
                     ("addr_eval", addr_eval_section.expect("addr_eval ran")),
+                    ("planner", planner_section.expect("planner ran")),
                 ]);
                 match check_against_baseline(&retry_doc, &baseline, false, false) {
                     Ok(()) => eprintln!("bench-smoke gate: PASS (on retry)"),

@@ -222,6 +222,28 @@ pub fn execute_plan<R: Record>(sys: &mut DiskSystem<R>, fac: &Factorization) -> 
     execute_passes(sys, &fac.passes)
 }
 
+/// Executes the BMMC route of a plan-IR [`crate::plan::Plan`] — the
+/// executor side of the unified planner: [`crate::plan::candidates`] /
+/// [`crate::plan::choose`] produce the plan, this function consumes
+/// it. The executed parallel-I/O count equals
+/// [`crate::plan::Plan::parallel_ios`] exactly.
+///
+/// # Panics
+///
+/// Panics on a sort-route plan: `extsort` is a sibling crate, so sort
+/// plans are executed (and exact-checked against the IR) by the CLI
+/// and bench layers.
+pub fn execute_plan_ir<R: Record>(
+    sys: &mut DiskSystem<R>,
+    plan: &crate::plan::Plan,
+    strategy: EvalStrategy,
+) -> Result<BmmcReport> {
+    let fused = plan
+        .fused_plan()
+        .expect("execute_plan_ir takes BMMC-route plans; sort routes run via extsort");
+    execute_fused_plan_strategy(sys, &fused, strategy)
+}
+
 /// Performs the BMMC permutation `perm` on the records in portion 0,
 /// using the one-pass fast paths or the Section 5 factoring. This is
 /// the algorithm of Theorem 21: at most

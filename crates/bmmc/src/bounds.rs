@@ -123,37 +123,68 @@ impl MergeStrategy {
     }
 }
 
+/// One merge level of the external-sort schedule, as it lands on the
+/// plan IR ([`crate::plan::Plan::sort`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergeLevel {
+    /// Groups of ≥ 2 runs actually merged on this level.
+    pub merged_groups: usize,
+    /// Leftover groups of one run, left in place at zero I/O.
+    pub singleton_groups: usize,
+    /// Total stripes flowing through the merged groups: each costs
+    /// `reads_per_stripe` parallel reads plus one striped write.
+    pub merged_stripes: u64,
+    /// Exact parallel I/Os of this level,
+    /// `merged_stripes · (reads_per_stripe + 1)`.
+    pub parallel_ios: u64,
+}
+
 /// Replays the merge schedule of `extsort::sort_by_key_with` exactly —
 /// run sizes, `chunks(fan_in)` grouping, and the leftover-singleton
-/// rule (a group of one run stays in place, zero I/O) — returning
-/// `(passes, parallel_ios)`. `None` when memory is too small to merge
-/// (fan-in < 2).
-fn merge_sort_schedule(geom: &Geometry, strategy: MergeStrategy) -> Option<(usize, u64)> {
+/// rule (a group of one run stays in place, zero I/O) — returning one
+/// [`MergeLevel`] per merge pass (run formation excluded). `None` when
+/// memory is too small to merge (fan-in < 2).
+pub fn merge_sort_levels(geom: &Geometry, strategy: MergeStrategy) -> Option<Vec<MergeLevel>> {
     let fan_in = strategy.fan_in(geom);
     if fan_in < 2 {
         return None;
     }
     let reads_per_stripe = strategy.reads_per_stripe(geom);
-    // Run formation: one full striped pass.
-    let mut ios = geom.ios_per_pass() as u64;
-    let mut passes = 1usize;
+    let mut levels = Vec::new();
     // Run sizes in stripes.
     let mut runs: Vec<usize> = vec![geom.stripes_per_memoryload(); geom.memoryloads()];
     while runs.len() > 1 {
+        let mut level = MergeLevel {
+            merged_groups: 0,
+            singleton_groups: 0,
+            merged_stripes: 0,
+            parallel_ios: 0,
+        };
         let mut next = Vec::with_capacity(runs.len().div_ceil(fan_in));
         for group in runs.chunks(fan_in) {
             if group.len() == 1 {
+                level.singleton_groups += 1;
                 next.push(group[0]);
                 continue;
             }
             let stripes: u64 = group.iter().map(|&s| s as u64).sum();
-            ios += stripes * (reads_per_stripe + 1);
+            level.merged_groups += 1;
+            level.merged_stripes += stripes;
+            level.parallel_ios += stripes * (reads_per_stripe + 1);
             next.push(group.iter().sum());
         }
         runs = next;
-        passes += 1;
+        levels.push(level);
     }
-    Some((passes, ios))
+    Some(levels)
+}
+
+/// `(passes, parallel_ios)` totals of the merge schedule: run
+/// formation plus every [`MergeLevel`].
+fn merge_sort_schedule(geom: &Geometry, strategy: MergeStrategy) -> Option<(usize, u64)> {
+    let levels = merge_sort_levels(geom, strategy)?;
+    let ios = geom.ios_per_pass() as u64 + levels.iter().map(|l| l.parallel_ios).sum::<u64>();
+    Some((1 + levels.len(), ios))
 }
 
 /// The exact parallel-I/O count of the external merge sort in the

@@ -204,6 +204,28 @@ pub fn random_mld<R: Rng + ?Sized>(rng: &mut R, n: usize, b: usize, m: usize) ->
     Bmmc::new(a, c).expect("Schur-complement construction is nonsingular")
 }
 
+/// An adversarial BMMC draw for the planner benches: the cross block
+/// `A[split.., 0..split]` has the maximum possible rank
+/// `min(split, n − split)`. At `split = b` this maximises the
+/// Aggarwal–Vitter potential drop Theorem 3 charges for (the hardest
+/// permutations the lower bound knows); at `split = m` it maximises
+/// `rank γ̂`, hence the factoring pass count `⌈rank γ̂ / lg(M/B)⌉ + 1`
+/// — the workloads where route choice is least forgiving.
+pub fn random_worst_rank<R: Rng + ?Sized>(rng: &mut R, n: usize, split: usize) -> Bmmc {
+    assert!(split <= n, "split {split} out of range for n = {n}");
+    let r = split.min(n - split);
+    let a = gf2::sample::random_with_submatrix_rank(rng, n, split, r);
+    let c = BitVec::from_bits((0..n).map(|_| rng.gen::<bool>()));
+    Bmmc::new(a, c).expect("sampled nonsingular")
+}
+
+/// The committed `MLD;MRC;MLD` re-association chain, re-exported here
+/// so workload catalogs (benches, `tests/planner.rs`) can name it
+/// beside the samplers. See [`crate::plan::reassociation_case`].
+pub fn reassociation_chain(n: usize, b: usize, m: usize) -> Vec<crate::factoring::Pass> {
+    crate::plan::reassociation_case(n, b, m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +376,31 @@ mod tests {
             .map(|_| random_mld(&mut rng, n, b, m))
             .any(|p| !is_mrc(p.matrix(), m));
         assert!(any_non_mrc, "all sampled MLD matrices were MRC");
+    }
+
+    #[test]
+    fn worst_rank_sampler_saturates_the_cross_rank() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (n, split) in [(10usize, 2usize), (10, 6), (13, 4), (16, 8)] {
+            let p = random_worst_rank(&mut rng, n, split);
+            assert_eq!(
+                gf2::elim::rank(&p.matrix().submatrix(split..n, 0..split)),
+                split.min(n - split),
+                "n={n} split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn reassociation_chain_kinds_and_recomposition() {
+        let (n, b, m) = (10, 2, 6);
+        let passes = reassociation_chain(n, b, m);
+        assert_eq!(passes.len(), 3);
+        let mut composed = Bmmc::identity(n);
+        for p in &passes {
+            composed = p.as_bmmc().compose(&composed);
+        }
+        assert!(classes::is_mld_inverse(composed.matrix(), b, m));
     }
 
     #[test]

@@ -51,11 +51,22 @@ use crate::bmmc::Bmmc;
 
 /// Residual tables are enumerated exhaustively over the `2^b` block
 /// offsets, so cap the width at which [`BlockEvaluator`] materialises
-/// them. `b ≤ 16` covers every realistic block size (64 KiB blocks of
-/// 1-byte records); beyond it the planners fall back to per-address
-/// evaluation. Tuning this width (e.g. splitting wider `b` into two
-/// half-tables) is an open ROADMAP item.
+/// them. Tuned by the bench `addr_eval` cap sweep
+/// ([`BlockEvaluator::with_table_cap`]): the flat table wins at every
+/// width it is allowed to exist at — at `b = 16` it is 512 KiB
+/// (cache-resident, one load per record versus two byte-sliced
+/// lookups) and its `2^b` setup scan is amortised by the `N ≫ 2^b`
+/// records of any realistic pass. `b ≤ 16` covers every realistic
+/// block size (64 KiB blocks of 1-byte records); beyond it setup cost
+/// and cache footprint grow 2× per bit while the per-record win
+/// stays flat, so wider evaluators fall back to byte-sliced
+/// residuals and per-address planning.
 pub const RESIDUAL_TABLE_MAX_BITS: u32 = 16;
+
+/// Ceiling on [`BlockEvaluator::with_table_cap`]'s sweep knob: a flat
+/// table above `2^24` entries (128 MiB) would dwarf any plausible win,
+/// so caps beyond this are clamped rather than allocated.
+const RESIDUAL_TABLE_HARD_CAP: u32 = 24;
 
 /// Precomputed byte-sliced evaluator for a BMMC permutation.
 #[derive(Clone)]
@@ -217,6 +228,18 @@ impl BlockEvaluator {
     /// Builds the evaluator for a permutation on `n`-bit addresses
     /// whose low `block_bits = lg B` bits are intra-block offsets.
     pub fn new(perm: &Bmmc, block_bits: u32) -> Self {
+        Self::with_table_cap(perm, block_bits, RESIDUAL_TABLE_MAX_BITS)
+    }
+
+    /// Like [`Self::new`] but with an explicit residual-table width
+    /// cap — the knob behind [`RESIDUAL_TABLE_MAX_BITS`], exposed so
+    /// the bench `addr_eval` kernel rows can sweep it. When
+    /// `block_bits > cap` the flat table and the block-residual
+    /// enumeration are skipped: [`Self::residual`] falls back to
+    /// byte-sliced lookups and the planners to per-address scans.
+    /// Placement is identical either way; only the constant factor
+    /// moves.
+    pub fn with_table_cap(perm: &Bmmc, block_bits: u32, cap: u32) -> Self {
         let n = perm.bits();
         assert!(n <= 64, "BlockEvaluator supports n ≤ 64, got {n}");
         assert!(
@@ -227,7 +250,7 @@ impl BlockEvaluator {
         let cols = packed_columns(perm);
         let hi_tables = byte_tables(&cols, b, n);
         let lo_tables = byte_tables(&cols, 0, b);
-        let (residual_table, block_residuals) = if block_bits <= RESIDUAL_TABLE_MAX_BITS {
+        let (residual_table, block_residuals) = if block_bits <= cap.min(RESIDUAL_TABLE_HARD_CAP) {
             let mut table = vec![0u64; 1usize << b];
             let mut residuals = Vec::new();
             let mut seen = std::collections::HashSet::new();
@@ -425,6 +448,35 @@ mod tests {
             let ev = AffineEvaluator::new(&p);
             for x in 0..(1u64 << n) {
                 assert_eq!(ev.eval(x), p.target(x), "n={n}, x={x}");
+            }
+        }
+    }
+
+    /// The cap only moves the constant factor: a capped evaluator
+    /// (no flat table, no block residuals) must agree address-for-
+    /// address with the tuned one — the regression gate behind
+    /// closing the ROADMAP residual-width item.
+    #[test]
+    fn capped_table_is_exact_and_only_drops_the_fast_path() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (n, b) in [(10usize, 3u32), (13, 4), (16, 6)] {
+            let a = random_nonsingular(&mut rng, n);
+            let c = BitVec::from_u64(n, rng.gen::<u64>() & ((1 << n) - 1));
+            let p = Bmmc::new(a, c).unwrap();
+            let tuned = BlockEvaluator::new(&p, b);
+            let capped = BlockEvaluator::with_table_cap(&p, b, 0);
+            assert!(tuned.residual_table().is_some());
+            assert!(capped.residual_table().is_none(), "cap 0 must disable it");
+            assert!(capped.block_residuals().is_none());
+            assert!(capped.fanout().is_none());
+            for x in 0..(1u64 << n) {
+                let (blk, off) = (x >> b, x & ((1 << b) - 1));
+                assert_eq!(
+                    tuned.block_base(blk) ^ tuned.residual(off),
+                    capped.block_base(blk) ^ capped.residual(off),
+                    "n={n} b={b} x={x}"
+                );
+                assert_eq!(capped.block_base(blk) ^ capped.residual(off), p.target(x));
             }
         }
     }

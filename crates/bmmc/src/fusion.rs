@@ -9,9 +9,11 @@
 //! affine maps — whenever they compose within the `M`-record memory
 //! model, one read, one composed in-memory rearrangement, and one
 //! write suffice, halving the parallel I/O for that pair. The
-//! [`fuse_passes`] planner folds adjacent passes greedily into
-//! [`FusedPass`] groups, and [`execute_fused_with`] runs each group in
-//! a single pass of `2N/BD` parallel I/Os.
+//! [`fuse_passes`] planner folds passes into [`FusedPass`] groups —
+//! since the plan-IR refactor by whole-plan dynamic programming
+//! ([`crate::plan::fuse_passes_dp`]), with the original greedy pair
+//! fuser kept as [`fuse_passes_greedy`] — and [`execute_fused_with`]
+//! runs each group in a single pass of `2N/BD` parallel I/Os.
 //!
 //! # Legality rule
 //!
@@ -124,7 +126,7 @@ pub struct FusedPass {
 }
 
 impl FusedPass {
-    fn from_single(pass: &Pass) -> Self {
+    pub(crate) fn from_single(pass: &Pass) -> Self {
         FusedPass {
             matrix: pass.matrix.clone(),
             complement: pass.complement.clone(),
@@ -225,9 +227,12 @@ impl FusedPlan {
     }
 }
 
-/// Fuses adjacent passes of a plan at boundaries `b = lg B`,
-/// `m = lg M`, greedily absorbing each pass into the current group
-/// when the legality rule (see the module docs) allows it.
+/// Fuses a pass plan at boundaries `b = lg B`, `m = lg M`. Since the
+/// plan-IR refactor this is the dynamic-programming whole-plan fuser
+/// ([`crate::plan::fuse_passes_dp`]): it never produces more steps
+/// than the greedy pair fuser ([`fuse_passes_greedy`]), returns the
+/// greedy plan verbatim when the step counts tie, and finds
+/// re-associations pair fusion misses (e.g. `MLD;MRC;MLD`).
 ///
 /// ```
 /// use bmmc::{catalog, fusion::fuse_passes, plan_passes};
@@ -242,6 +247,14 @@ impl FusedPlan {
 /// assert_eq!(plan.num_steps(), 1); // MRC∘MRC always fuses
 /// ```
 pub fn fuse_passes(passes: &[Pass], b: usize, m: usize) -> FusedPlan {
+    crate::plan::fuse_passes_dp(passes, b, m)
+}
+
+/// The original greedy left-to-right pair fuser: absorbs each pass
+/// into the current group when the discipline or rank rule (see the
+/// module docs) allows it. Kept as the DP fuser's tie-break target and
+/// regression baseline — the DP provably never does worse.
+pub fn fuse_passes_greedy(passes: &[Pass], b: usize, m: usize) -> FusedPlan {
     let mut steps: Vec<FusedPass> = Vec::new();
     for pass in passes {
         if let Some(group) = steps.last_mut() {
@@ -482,6 +495,9 @@ mod tests {
             let composed = mrc.compose(&mld);
             if is_mld(composed.matrix(), g.b(), g.m())
                 || is_mld_inverse(composed.matrix(), g.b(), g.m())
+                // The DP fuser can also gather *through* the MLD pass
+                // when it happens to be MLD⁻¹ too — exclude that.
+                || is_mld_inverse(mld.matrix(), g.b(), g.m())
             {
                 continue;
             }
@@ -601,16 +617,16 @@ mod tests {
             }
             let k = (plan_passes.len() - 1) / 2;
             let (plan, ios) = run_fused(g, &plan_passes, ServiceMode::Serial);
-            assert_eq!(
-                plan.num_steps(),
-                k + 1,
-                "baseline plan of {} passes should fuse to {} steps",
+            assert!(
+                plan.num_steps() <= k + 1,
+                "baseline plan of {} passes should fuse to at most {} steps, got {}",
                 plan_passes.len(),
-                k + 1
+                k + 1,
+                plan.num_steps()
             );
             assert_eq!(
                 ios.parallel_ios() as usize,
-                (k + 1) * g.ios_per_pass(),
+                plan.num_steps() * g.ios_per_pass(),
                 "fused execution must charge one pass per step"
             );
         }

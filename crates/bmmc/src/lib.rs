@@ -28,7 +28,12 @@
 //!   bit-reversal, vector-reversal, hypercube, Gray code, reblocking;
 //! * a multi-pass **BPC baseline** ([`bpc_baseline`]) realizing the
 //!   pass structure of the earlier algorithm of Cormen \[4\], for the
-//!   old-vs-new comparisons.
+//!   old-vs-new comparisons;
+//! * the **unified plan IR** ([`plan`]): typed [`plan::Plan`] values
+//!   every planner produces and every executor consumes, fused by
+//!   whole-plan dynamic programming ([`plan::fuse_passes_dp`]) and
+//!   costed both in exact parallel I/Os and seek-aware modeled
+//!   wall-clock — the machinery behind the CLI's `--algorithm auto`.
 //!
 //! ```
 //! use bmmc::{catalog, algorithm::perform_bmmc};
@@ -64,6 +69,7 @@ pub mod factoring;
 pub mod factors;
 pub mod fusion;
 pub mod passes;
+pub mod plan;
 pub mod potential;
 pub mod spec;
 pub mod verify;
@@ -71,7 +77,7 @@ pub mod verify;
 pub use crate::bmmc::Bmmc;
 pub use algorithm::{
     execute_fused_plan, execute_fused_plan_strategy, execute_passes, execute_passes_strategy,
-    execute_passes_unfused, perform_bmmc, plan_passes, BmmcReport, StepStats,
+    execute_passes_unfused, execute_plan_ir, perform_bmmc, plan_passes, BmmcReport, StepStats,
 };
 pub use classes::{classify, is_bmmc, is_bpc, is_mld, is_mld_inverse, is_mrc, ClassFlags};
 pub use detect::{detect_bmmc, Detection};
@@ -79,5 +85,6 @@ pub use error::{BmmcError, Result};
 pub use eval::{AffineEvaluator, BlockEvaluator, PassEval, TargetRun};
 pub use extensions::perform_mld_pair;
 pub use factoring::{factor, factor_chunked, Factorization, Pass, PassKind};
-pub use fusion::{fuse_passes, FusedPass, FusedPlan};
+pub use fusion::{fuse_passes, fuse_passes_greedy, FusedPass, FusedPlan};
 pub use passes::EvalStrategy;
+pub use plan::{candidates, choose, fuse_passes_dp, CandidateKind, Plan, PlanStep};

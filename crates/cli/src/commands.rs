@@ -7,7 +7,10 @@ use bmmc::bpc_baseline::bpc_baseline_plan;
 use bmmc::detect::{detect_bmmc, Detection};
 use bmmc::fusion::fuse_passes;
 use bmmc::verify::{verify_permutation, VerifyOutcome};
-use bmmc::{bounds, classify, factor_chunked, plan_passes, spec, Bmmc, PassKind};
+use bmmc::{
+    bounds, candidates, choose, classify, factor_chunked, plan_passes, spec, Bmmc, CandidateKind,
+    PassKind, Plan,
+};
 use gf2::elim::rank;
 use gf2::perm::bpc_cross_rank;
 use pdm::{Backend, DiskSystem, Geometry, TempDir, TimingModel, TransportConfig};
@@ -105,6 +108,55 @@ fn build_system(
         sys.set_faults(pdm::FaultPlan::new().fail_transient_at(op, disk));
     }
     Ok(sys)
+}
+
+/// The timing model candidate plans are costed under (`--timing`,
+/// default hdd — seek-dominated devices are where the route choice
+/// matters most).
+fn costing_timing(a: &Args) -> Result<TimingModel, String> {
+    match a.get("timing") {
+        None | Some("hdd") => Ok(TimingModel::hdd()),
+        Some("ssd") => Ok(TimingModel::ssd()),
+        Some(other) => Err(format!("unknown timing model {other:?}")),
+    }
+}
+
+/// Maps a planner merge strategy onto the `extsort` executor's.
+fn extsort_strategy(s: bounds::MergeStrategy) -> extsort::MergeStrategy {
+    match s {
+        bounds::MergeStrategy::SingleBuffered => extsort::MergeStrategy::SingleBuffered,
+        bounds::MergeStrategy::DoubleBuffered => extsort::MergeStrategy::DoubleBuffered,
+        bounds::MergeStrategy::Forecast => extsort::MergeStrategy::Forecast,
+    }
+}
+
+/// Prints the full candidate table — steps, exact predicted parallel
+/// I/Os, seek-aware modeled wall-clock, and which plan `auto` picks —
+/// and returns the pick.
+fn print_candidates(perm: &Bmmc, geom: &Geometry, timing: &TimingModel) -> Result<Plan, String> {
+    let plans = candidates(perm, geom);
+    let chosen = choose(&plans, geom, timing)
+        .ok_or("no candidate plan applies to this geometry")?
+        .clone();
+    println!("candidate plans:");
+    for plan in &plans {
+        let mark = if plan.candidate == chosen.candidate {
+            "->"
+        } else {
+            "  "
+        };
+        let labels: Vec<String> = plan.steps.iter().map(|s| s.label()).collect();
+        println!(
+            " {mark} {:<13} {:>2} step(s) {:>8} parallel I/Os {:>12.2} ms modeled  [{}]",
+            plan.candidate.name(),
+            plan.num_steps(),
+            plan.parallel_ios(geom),
+            plan.modeled_ms(geom, timing),
+            labels.join("; ")
+        );
+    }
+    println!("auto picks: {}", chosen.candidate.name());
+    Ok(chosen)
 }
 
 /// `bmmc-cli info`: classification, ranks, and every bound.
@@ -230,6 +282,10 @@ pub fn factor(a: &Args) -> Result<(), String> {
         fused.unfused_ios(&geom),
         fused.passes_saved()
     );
+
+    // The planner's view: every candidate route costed both ways.
+    let timing = costing_timing(a)?;
+    print_candidates(&perm, &geom, &timing)?;
     Ok(())
 }
 
@@ -261,8 +317,24 @@ pub fn run(a: &Args) -> Result<(), String> {
         };
     let report = match algorithm {
         "auto" => {
-            let passes = plan_passes(&perm, geom.b(), geom.m()).map_err(|e| e.to_string())?;
-            execute(&mut sys, &passes)?
+            let timing = costing_timing(a)?;
+            let chosen = print_candidates(&perm, &geom, &timing)?;
+            match chosen.candidate {
+                CandidateKind::Bmmc => {
+                    let passes =
+                        plan_passes(&perm, geom.b(), geom.m()).map_err(|e| e.to_string())?;
+                    execute(&mut sys, &passes)?
+                }
+                CandidateKind::Sort(strategy) => {
+                    return run_sort_route(
+                        a,
+                        &mut sys,
+                        &perm,
+                        extsort_strategy(strategy),
+                        Some((&chosen, &geom)),
+                    );
+                }
+            }
         }
         "factor" => {
             let chunk = match a.get("chunk") {
@@ -279,33 +351,7 @@ pub fn run(a: &Args) -> Result<(), String> {
         }
         "sort" => {
             let merge: extsort::MergeStrategy = a.get("merge").unwrap_or("single").parse()?;
-            let rep = extsort::general_permute_with(
-                &mut sys,
-                |&x| x,
-                |x| perm.target(x),
-                extsort::SortConfig { merge },
-            )
-            .map_err(|e| e.to_string())?;
-            println!(
-                "sort baseline ({} merge, fan-in {}): {} passes, {}",
-                rep.strategy.as_str(),
-                rep.fan_in,
-                rep.passes,
-                rep.total
-            );
-            print_transport_costs(&rep.msgs, &sys);
-            print_recovery(&sys);
-            if a.has("verify") {
-                verify_and_report(&mut sys, rep.final_portion, &perm)?;
-            }
-            if let Some(t) = sys.timing() {
-                println!(
-                    "simulated time: {:.2} s ({} seeks)",
-                    t.elapsed_ms() / 1000.0,
-                    t.seeks()
-                );
-            }
-            return Ok(());
+            return run_sort_route(a, &mut sys, &perm, merge, None);
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
@@ -336,6 +382,57 @@ pub fn run(a: &Args) -> Result<(), String> {
     }
     if a.has("verify") {
         verify_and_report(&mut sys, report.final_portion, &perm)?;
+    }
+    Ok(())
+}
+
+/// The sort route of `bmmc-cli run`: external merge sort on target
+/// addresses. When `auto` routed here, `predicted` carries the chosen
+/// [`Plan`] and the measured parallel I/Os are exact-checked against
+/// the planner's count.
+fn run_sort_route(
+    a: &Args,
+    sys: &mut DiskSystem<u64>,
+    perm: &Bmmc,
+    merge: extsort::MergeStrategy,
+    predicted: Option<(&Plan, &Geometry)>,
+) -> Result<(), String> {
+    let rep = extsort::general_permute_with(
+        sys,
+        |&x| x,
+        |x| perm.target(x),
+        extsort::SortConfig { merge },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "sort baseline ({} merge, fan-in {}): {} passes, {}",
+        rep.strategy.as_str(),
+        rep.fan_in,
+        rep.passes,
+        rep.total
+    );
+    if let Some((plan, geom)) = predicted {
+        let planned = plan.parallel_ios(geom);
+        let measured = rep.total.parallel_ios();
+        if planned != measured {
+            return Err(format!(
+                "internal error: planner predicted {planned} parallel I/Os, executor measured \
+                 {measured}"
+            ));
+        }
+        println!("planner check: measured I/Os match the plan exactly ({planned})");
+    }
+    print_transport_costs(&rep.msgs, sys);
+    print_recovery(sys);
+    if a.has("verify") {
+        verify_and_report(sys, rep.final_portion, perm)?;
+    }
+    if let Some(t) = sys.timing() {
+        println!(
+            "simulated time: {:.2} s ({} seeks)",
+            t.elapsed_ms() / 1000.0,
+            t.seeks()
+        );
     }
     Ok(())
 }

@@ -26,7 +26,9 @@ USAGE:
 
 COMMANDS:
   info     classify a permutation and print every bound the paper states
-  factor   print the Section 5 factoring and pass plan
+  factor   print the Section 5 factoring, the fused pass plan, and the
+           full candidate table (predicted I/Os, modeled wall-clock,
+           and which route auto picks)
   run      perform the permutation on the simulated disk array
   detect   run Section 6 detection on a vector of target addresses
   spec     print a permutation in the spec file format
@@ -41,7 +43,11 @@ COMMON FLAGS:
   --spec FILE           read the permutation from a spec file instead
 
 RUN FLAGS:
-  --algorithm WHICH     auto (default) | factor | sort | bpc
+  --algorithm WHICH     auto (default) | factor | sort | bpc. auto
+                        costs every candidate plan (DP-fused BMMC
+                        route and all three sort strategies) with the
+                        seek-aware wall-clock model (--timing, default
+                        hdd), prints the table, and runs the cheapest
   --merge WHICH         sort merge strategy: single (default, striped,
                         fan-in M/BD−1) | double (split-phase stripe
                         prefetch, halved fan-in) | forecast (block-

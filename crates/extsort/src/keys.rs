@@ -1,0 +1,80 @@
+//! Adversarial key distributions for the sort benches and property
+//! tests.
+//!
+//! The merge layer's interesting failure modes are not uniform random
+//! permutations: long runs of *equal* keys stress cursor tie-handling
+//! and the forecasting heap (every forecast key equal), and heavily
+//! *skewed* distributions produce unbalanced merge groups where a few
+//! runs carry almost all records. These named generators give the
+//! bench `extsort` rows and the `tests/merge_strategies.rs` proptests
+//! a shared, seeded vocabulary for those inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `len` keys drawn uniformly from only `distinct` values, shuffled:
+/// with `len ≫ distinct` every merge step compares mostly-equal keys
+/// and tie order is decided by cursor priority alone.
+///
+/// # Panics
+/// Panics if `distinct` is zero.
+pub fn duplicate_heavy(seed: u64, len: usize, distinct: u64) -> Vec<u64> {
+    assert!(distinct > 0, "need at least one distinct key");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..distinct)).collect()
+}
+
+/// `len` keys log-uniform over `[0, max)`: small values dominate by
+/// orders of magnitude (value `v` is roughly `1/(v+1)` likely), so
+/// sorted runs are wildly unequal in content and merge groups are
+/// unbalanced.
+///
+/// # Panics
+/// Panics if `max` is zero.
+pub fn skewed(seed: u64, len: usize, max: u64) -> Vec<u64> {
+    assert!(max > 0, "need a nonzero key range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lg_max = (max as f64).ln();
+    (0..len)
+        .map(|_| {
+            let v = (rng.gen::<f64>() * lg_max).exp() as u64 - 1;
+            v.min(max - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_heavy_stays_in_range_and_repeats() {
+        let keys = duplicate_heavy(1, 4096, 5);
+        assert_eq!(keys.len(), 4096);
+        assert!(keys.iter().all(|&k| k < 5));
+        // With 4096 draws over 5 values, every value appears.
+        for v in 0..5 {
+            assert!(keys.contains(&v), "value {v} missing");
+        }
+    }
+
+    #[test]
+    fn skewed_is_in_range_and_head_heavy() {
+        let keys = skewed(2, 4096, 1 << 20);
+        assert!(keys.iter().all(|&k| k < (1 << 20)));
+        // Log-uniform over [1, 2^20]: P(v < 32) = lg 32 / lg 2^20 = 1/4,
+        // versus 32/2^20 ≈ 0.003% for a uniform draw.
+        let small = keys.iter().filter(|&&k| k < 32).count();
+        assert!(
+            small > keys.len() / 5,
+            "log-uniform draw should be head-heavy, got {small}/4096 below 32"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        assert_eq!(duplicate_heavy(7, 100, 3), duplicate_heavy(7, 100, 3));
+        assert_eq!(skewed(7, 100, 1000), skewed(7, 100, 1000));
+        assert_ne!(skewed(7, 100, 1000), skewed(8, 100, 1000));
+    }
+}

@@ -38,6 +38,7 @@
 //! }
 //! ```
 
+pub mod keys;
 pub mod merge;
 pub mod permute;
 

@@ -155,11 +155,12 @@ proptest! {
         let (fused, unfused) =
             assert_fused_equals_unfused(g, &passes, mode_of(threaded))?;
         if passes.len() >= 3 {
+            // The greedy pairing gives exactly ⌈len/2⌉ steps; the DP
+            // fuser may occasionally re-associate below that.
             let k = (passes.len() - 1) / 2;
-            prop_assert_eq!(
-                fused.num_passes(),
-                k + 1,
-                "baseline fusion must halve round-trips: {} passes -> {} steps",
+            prop_assert!(
+                fused.num_passes() <= k + 1,
+                "baseline fusion must at least halve round-trips: {} passes -> {} steps",
                 passes.len(),
                 fused.num_passes()
             );

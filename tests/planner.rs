@@ -1,0 +1,142 @@
+//! The unified plan IR and the DP whole-plan fuser, end to end.
+//!
+//! * The committed `MLD;MRC;MLD` re-association regression: the DP
+//!   fuser executes the chain in one step where greedy pair fusion
+//!   needs two — strictly fewer steps *and* strictly fewer measured
+//!   parallel I/Os, with byte-identical placement.
+//! * DP ≤ greedy across the geometry zoo (proptest): for random BMMC
+//!   factorings and adversarial worst-cross-rank draws, the DP plan
+//!   never has more steps, and both executions place every record
+//!   byte-identically.
+//! * The cost model: `plan::candidates` + `plan::choose` pick a plan
+//!   whose predicted parallel I/Os the executor reproduces exactly.
+
+use bmmc::algorithm::{execute_fused_plan_strategy, execute_passes};
+use bmmc::passes::EvalStrategy;
+use bmmc::plan::reassociation_case;
+use bmmc::{
+    candidates, catalog, choose, fuse_passes_dp, fuse_passes_greedy, plan_passes, Bmmc,
+    CandidateKind,
+};
+use pdm::{DiskSystem, Geometry, TimingModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Geometries spanning the corners the fuser's legality rules care
+/// about: minimum memory, B = 1, D = 1, wide arrays, deep factorings.
+fn geometry_zoo() -> Vec<Geometry> {
+    vec![
+        Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap(),
+        Geometry::new(1 << 9, 1 << 2, 1, 1 << 4).unwrap(),
+        Geometry::new(1 << 12, 1 << 3, 1 << 2, 1 << 8).unwrap(),
+        Geometry::new(1 << 12, 1, 1 << 2, 1 << 6).unwrap(),
+        Geometry::new(1 << 11, 1 << 1, 1 << 3, 1 << 7).unwrap(),
+        Geometry::new(1 << 13, 1 << 3, 1 << 1, 1 << 5).unwrap(),
+    ]
+}
+
+/// Runs a fused plan on a fresh system and returns (placement, ios).
+fn run_fused(g: Geometry, plan: &bmmc::FusedPlan) -> (Vec<u64>, u64) {
+    let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+    sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+    let report = execute_fused_plan_strategy(&mut sys, plan, EvalStrategy::default()).unwrap();
+    (
+        sys.dump_records(report.final_portion),
+        report.total.parallel_ios(),
+    )
+}
+
+/// The flagship regression: the committed chain where whole-plan DP
+/// provably beats greedy pair fusion.
+#[test]
+fn reassociation_regression_fewer_steps_and_fewer_measured_ios() {
+    let g = Geometry::new(1 << 10, 1 << 2, 1 << 2, 1 << 6).unwrap();
+    let passes = reassociation_case(g.n(), g.b(), g.m());
+    let greedy = fuse_passes_greedy(&passes, g.b(), g.m());
+    let dp = fuse_passes_dp(&passes, g.b(), g.m());
+    assert_eq!(greedy.num_steps(), 2);
+    assert_eq!(dp.num_steps(), 1);
+
+    let (greedy_out, greedy_ios) = run_fused(g, &greedy);
+    let (dp_out, dp_ios) = run_fused(g, &dp);
+    assert_eq!(dp_out, greedy_out, "placements must be byte-identical");
+    assert!(
+        dp_ios < greedy_ios,
+        "DP must measure strictly fewer parallel I/Os ({dp_ios} vs {greedy_ios})"
+    );
+    assert_eq!(dp_ios, g.ios_per_pass() as u64);
+
+    // And the reference permutation is actually performed.
+    let mut composed = Bmmc::identity(g.n());
+    for p in &passes {
+        composed = p.as_bmmc().compose(&composed);
+    }
+    for x in 0..g.records() as u64 {
+        assert_eq!(dp_out[composed.target(x) as usize], x);
+    }
+}
+
+/// `--algorithm auto` machinery: the chosen candidate's predicted
+/// parallel I/Os are exactly what the BMMC executor measures.
+#[test]
+fn chosen_bmmc_plan_predicts_measured_ios_exactly() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for g in geometry_zoo() {
+        let perm = catalog::random_bmmc(&mut rng, g.n());
+        let plans = candidates(&perm, &g);
+        assert!(!plans.is_empty(), "bmmc route always applies");
+        for timing in [TimingModel::hdd(), TimingModel::ssd()] {
+            let chosen = choose(&plans, &g, &timing).unwrap();
+            if chosen.candidate == CandidateKind::Bmmc {
+                let mut sys: DiskSystem<u64> = DiskSystem::new_mem(g, 2);
+                sys.load_records(0, &(0..g.records() as u64).collect::<Vec<_>>());
+                let passes = plan_passes(&perm, g.b(), g.m()).unwrap();
+                let report = execute_passes(&mut sys, &passes).unwrap();
+                assert_eq!(
+                    report.total.parallel_ios(),
+                    chosen.parallel_ios(&g),
+                    "plan IR predicted I/Os must be exact"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DP never produces more steps than greedy, and both plans place
+    /// every record byte-identically, across the zoo — for generic
+    /// random BMMC draws and for adversarial worst-cross-rank draws
+    /// (maximal `rank γ̂`, the longest factorings).
+    #[test]
+    fn dp_never_worse_than_greedy_and_placement_identical(
+        seed in any::<u64>(),
+        gi in 0usize..6,
+        adversarial in any::<bool>(),
+    ) {
+        let g = geometry_zoo()[gi];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perm = if adversarial {
+            catalog::random_worst_rank(&mut rng, g.n(), g.m())
+        } else {
+            catalog::random_bmmc(&mut rng, g.n())
+        };
+        let passes = plan_passes(&perm, g.b(), g.m()).unwrap();
+        let greedy = fuse_passes_greedy(&passes, g.b(), g.m());
+        let dp = fuse_passes_dp(&passes, g.b(), g.m());
+        prop_assert!(dp.num_steps() <= greedy.num_steps());
+        prop_assert!(dp.verify(&perm), "DP plan must recompose the permutation");
+
+        let (greedy_out, greedy_ios) = run_fused(g, &greedy);
+        let (dp_out, dp_ios) = run_fused(g, &dp);
+        prop_assert_eq!(dp_out, greedy_out, "placements diverged");
+        prop_assert!(dp_ios <= greedy_ios);
+        prop_assert_eq!(
+            dp_ios,
+            dp.num_steps() as u64 * g.ios_per_pass() as u64,
+            "each DP step is one full round-trip"
+        );
+    }
+}
